@@ -1,0 +1,89 @@
+//! Microbenchmarks of the numerical kernels that dominate training time:
+//! matrix products (the forward/backward pass), softmax, the simplex
+//! projection (every eq.-7 update), and the aggregation primitives
+//! (every client-edge and edge-cloud sync).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hm_data::rng::{Purpose, StreamRng};
+use hm_optim::projection::project_simplex;
+use hm_tensor::{ops, vecops, Matrix};
+use std::hint::black_box;
+
+fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StreamRng::new(seed, Purpose::Misc, 0, 0);
+    Matrix::from_fn(rows, cols, |_, _| rng.uniform() as f32 - 0.5)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul_transb");
+    // Shapes from the actual models: logistic forward (batch × 256 · 10×256ᵀ)
+    // and the MLP's fattest layer (batch × 256 · 300×256ᵀ).
+    for &(m, k, n) in &[(8usize, 256usize, 10usize), (8, 256, 300), (64, 256, 300)] {
+        let a = rand_matrix(m, k, 1);
+        let b = rand_matrix(n, k, 2);
+        g.throughput(Throughput::Elements((m * k * n) as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{k}x{n}")),
+            &(a, b),
+            |bench, (a, b)| bench.iter(|| ops::matmul_transb(black_box(a), black_box(b))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut g = c.benchmark_group("softmax_rows");
+    for &rows in &[8usize, 64, 512] {
+        let m = rand_matrix(rows, 10, 3);
+        g.throughput(Throughput::Elements((rows * 10) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(rows), &m, |bench, m| {
+            bench.iter(|| ops::softmax_rows(black_box(m)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_simplex_projection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("project_simplex");
+    // n = 10 (the paper's N_E), 100 (the Synthetic scenario), 1000.
+    for &n in &[10usize, 100, 1000] {
+        let mut rng = StreamRng::new(4, Purpose::Misc, 0, 0);
+        let x: Vec<f32> = (0..n).map(|_| rng.normal() as f32).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &x, |bench, x| {
+            bench.iter(|| {
+                let mut y = x.clone();
+                project_simplex(black_box(&mut y));
+                y
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("average_into");
+    // d = 2570 (logistic on 16×16, 10 classes) and 31k (default fig-4 MLP),
+    // averaged over N_0 = 3 sources (one client-edge aggregation).
+    for &d in &[2570usize, 31_260] {
+        let sources: Vec<Vec<f32>> = (0..3)
+            .map(|i| rand_matrix(1, d, 10 + i).into_vec())
+            .collect();
+        let refs: Vec<&[f32]> = sources.iter().map(|v| v.as_slice()).collect();
+        g.throughput(Throughput::Elements(d as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(d), &refs, |bench, refs| {
+            let mut out = vec![0.0_f32; d];
+            bench.iter(|| vecops::average_into(black_box(refs), black_box(&mut out)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_matmul,
+    bench_softmax,
+    bench_simplex_projection,
+    bench_aggregation
+);
+criterion_main!(kernels);

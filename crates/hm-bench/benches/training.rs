@@ -1,0 +1,196 @@
+//! Benchmarks of the training-loop building blocks and of one full
+//! HierMinimax round — including the sequential-vs-rayon comparison that
+//! justifies the parallel client executor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hm_core::algorithms::{Algorithm, HierMinimax, HierMinimaxConfig, RunOpts};
+use hm_core::localsgd::local_sgd;
+use hm_core::problem::FederatedProblem;
+use hm_data::generators::synthetic_images::ImageConfig;
+use hm_data::rng::{Purpose, StreamRng};
+use hm_data::scenarios::one_class_per_edge;
+use hm_nn::{Mlp, Model, MulticlassLogistic};
+use hm_optim::ProjectionOp;
+use hm_simnet::Parallelism;
+use std::hint::black_box;
+
+fn problem() -> FederatedProblem {
+    let cfg = ImageConfig::emnist_digits_like();
+    let sc = one_class_per_edge(cfg, 10, 3, 40, 20, 7);
+    FederatedProblem::logistic_from_scenario(&sc)
+}
+
+fn bench_local_sgd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("local_sgd_2steps");
+    let fp = problem();
+    let data = fp.client_data(0, 0).clone();
+
+    let logi = MulticlassLogistic::new(256, 10);
+    let w0 = vec![0.0_f32; logi.num_params()];
+    g.bench_function("logistic_d2570", |bench| {
+        bench.iter(|| {
+            let mut rng = StreamRng::new(1, Purpose::Batch, 0, 0);
+            local_sgd(
+                black_box(&logi),
+                black_box(&data),
+                &w0,
+                2,
+                0.05,
+                4,
+                &ProjectionOp::Unconstrained,
+                &mut rng,
+                None,
+            )
+        })
+    });
+
+    let mlp = Mlp::new(256, &[100, 50], 10);
+    let mut irng = StreamRng::new(2, Purpose::Init, 0, 0);
+    let w0 = mlp.init_params(&mut irng);
+    g.bench_function("mlp_d31260", |bench| {
+        bench.iter(|| {
+            let mut rng = StreamRng::new(1, Purpose::Batch, 0, 0);
+            local_sgd(
+                black_box(&mlp),
+                black_box(&data),
+                &w0,
+                2,
+                0.05,
+                8,
+                &ProjectionOp::Unconstrained,
+                &mut rng,
+                None,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_full_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hierminimax_round");
+    g.sample_size(20);
+    let fp = problem();
+    for (label, par) in [
+        ("sequential", Parallelism::Sequential),
+        ("rayon", Parallelism::Rayon),
+    ] {
+        let cfg = HierMinimaxConfig {
+            rounds: 1,
+            tau1: 2,
+            tau2: 2,
+            m_edges: 5,
+            eta_w: 0.05,
+            eta_p: 0.01,
+            batch_size: 4,
+            loss_batch: 16,
+            weight_update_model: Default::default(),
+            quantizer: Default::default(),
+            dropout: 0.0,
+            tau2_per_edge: None,
+            opts: RunOpts {
+                eval_every: 0,
+                parallelism: par,
+                trace: false,
+            },
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |bench, cfg| {
+            let alg = HierMinimax::new(cfg.clone());
+            bench.iter(|| alg.run(black_box(&fp), 9))
+        });
+    }
+    g.finish();
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    let fp = problem();
+    let w = vec![0.01_f32; fp.num_params()];
+    c.bench_function("evaluate_10_edges", |bench| {
+        bench.iter(|| hm_core::metrics::evaluate(black_box(&fp), black_box(&w), Parallelism::Rayon))
+    });
+}
+
+fn bench_quantized_round(c: &mut Criterion) {
+    use hm_simnet::Quantizer;
+    let mut g = c.benchmark_group("hierminimax_round_quantized");
+    g.sample_size(20);
+    let fp = problem();
+    for (label, q) in [
+        ("exact", Quantizer::Exact),
+        ("8bit", Quantizer::Stochastic { bits: 8 }),
+        ("2bit", Quantizer::Stochastic { bits: 2 }),
+    ] {
+        let cfg = HierMinimaxConfig {
+            rounds: 1,
+            tau1: 2,
+            tau2: 2,
+            m_edges: 5,
+            eta_w: 0.05,
+            eta_p: 0.01,
+            batch_size: 4,
+            loss_batch: 16,
+            weight_update_model: Default::default(),
+            quantizer: q,
+            dropout: 0.0,
+            tau2_per_edge: None,
+            opts: RunOpts {
+                eval_every: 0,
+                parallelism: Parallelism::Rayon,
+                trace: false,
+            },
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |bench, cfg| {
+            let alg = HierMinimax::new(cfg.clone());
+            bench.iter(|| alg.run(black_box(&fp), 9))
+        });
+    }
+    g.finish();
+}
+
+fn bench_multilevel_round(c: &mut Criterion) {
+    use hm_core::algorithms::{MultiLevelConfig, MultiLevelMinimax, UpperLevel};
+    let mut g = c.benchmark_group("multilevel_round");
+    g.sample_size(20);
+    let fp = problem();
+    for (label, upper) in [
+        ("3layer", vec![]),
+        (
+            "4layer",
+            vec![UpperLevel {
+                group_size: 5,
+                tau: 2,
+            }],
+        ),
+    ] {
+        let cfg = MultiLevelConfig {
+            rounds: 1,
+            tau1: 2,
+            tau2: 2,
+            upper,
+            m_groups: 2,
+            eta_w: 0.05,
+            eta_p: 0.01,
+            batch_size: 4,
+            loss_batch: 16,
+            opts: RunOpts {
+                eval_every: 0,
+                parallelism: Parallelism::Rayon,
+                trace: false,
+            },
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |bench, cfg| {
+            let alg = MultiLevelMinimax::new(cfg.clone());
+            bench.iter(|| alg.run(black_box(&fp), 9))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    training,
+    bench_local_sgd,
+    bench_full_round,
+    bench_evaluation,
+    bench_quantized_round,
+    bench_multilevel_round
+);
+criterion_main!(training);

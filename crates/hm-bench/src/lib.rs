@@ -1,0 +1,23 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Binaries (run with `--release`; all accept `--quick` for a smoke-scale
+//! run and `--full` for the largest configuration):
+//!
+//! - `fig3` — §6.1 / Fig. 3: convex logistic regression, one class per
+//!   edge area; average & worst accuracy vs communication rounds for all
+//!   five methods, plus the rounds-to-80%-worst headline numbers.
+//! - `fig4` — §6.2 / Fig. 4: non-convex MLP, s%-similarity split; same
+//!   comparison with the rounds-to-50%-worst headline numbers.
+//! - `table2` — §6.3 / Table 2: HierFAVG vs HierMinimax
+//!   average/worst/variance on all five dataset stand-ins.
+//! - `tradeoff` — Table 1 / Theorems 1–2: the α-sweep showing the
+//!   communication-convergence tradeoff (edge-cloud rounds `Θ(T^{1−α})` vs
+//!   duality gap), plus the τ1/τ2 split ablation.
+//!
+//! Each binary prints aligned text tables and writes CSV series under
+//! `results/` for external plotting.
+
+pub mod harness;
+pub mod plot;
+pub mod results;
+pub mod table;

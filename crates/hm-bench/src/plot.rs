@@ -1,0 +1,132 @@
+//! Terminal line charts for the figure binaries: a braille-free,
+//! plain-ASCII renderer that draws multiple named series on a shared
+//! grid, so `fig3`/`fig4` print an actual figure next to their tables.
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points, in increasing x.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Render the series into `width × height` characters plus axes and a
+/// legend. Each series uses its own glyph; collisions show the later
+/// series. Returns an empty string when no series has points.
+pub fn render(
+    series: &[Series],
+    width: usize,
+    height: usize,
+    x_label: &str,
+    y_label: &str,
+) -> String {
+    const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let (width, height) = (width.max(16), height.max(4));
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
+    if pts.is_empty() {
+        return String::new();
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let cx = ((x - x0) / (x1 - x0) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y0) / (y1 - y0) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{y_label}\n"));
+    for (i, row) in grid.iter().enumerate() {
+        let y_tick = y1 - (y1 - y0) * i as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y_tick:>7.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>8}+{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>8} {:<w$.0}{:>r$.0}   ({x_label})\n",
+        "",
+        x0,
+        x1,
+        w = width / 2,
+        r = width - width / 2 - 1,
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(label: &str, n: usize, slope: f64) -> Series {
+        Series {
+            label: label.into(),
+            points: (0..n).map(|i| (i as f64, slope * i as f64)).collect(),
+        }
+    }
+
+    #[test]
+    fn renders_nonempty_with_legend() {
+        let s = [ramp("up", 20, 1.0), ramp("flat", 20, 0.0)];
+        let out = render(&s, 40, 10, "rounds", "worst acc");
+        assert!(out.contains("* up"));
+        assert!(out.contains("o flat"));
+        assert!(out.contains("worst acc"));
+        assert!(out.contains("(rounds)"));
+        // 10 grid rows plus axes and legend.
+        assert!(out.lines().count() >= 14, "{out}");
+    }
+
+    #[test]
+    fn empty_series_render_empty() {
+        assert_eq!(render(&[], 40, 10, "x", "y"), "");
+        let empty = [Series {
+            label: "e".into(),
+            points: vec![],
+        }];
+        assert_eq!(render(&empty, 40, 10, "x", "y"), "");
+    }
+
+    #[test]
+    fn increasing_series_puts_glyphs_higher_later() {
+        let s = [ramp("up", 30, 1.0)];
+        let out = render(&s, 30, 8, "x", "y");
+        let rows: Vec<&str> = out.lines().skip(1).take(8).collect();
+        // Top row's glyph must be to the right of the bottom row's.
+        let top_col = rows[0].find('*').expect("top glyph");
+        let bottom_col = rows[7].find('*').expect("bottom glyph");
+        assert!(top_col > bottom_col, "{out}");
+    }
+
+    #[test]
+    fn constant_series_does_not_panic() {
+        let s = [Series {
+            label: "c".into(),
+            points: vec![(1.0, 5.0), (2.0, 5.0)],
+        }];
+        let out = render(&s, 30, 6, "x", "y");
+        assert!(out.contains('*'));
+    }
+}

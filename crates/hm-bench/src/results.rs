@@ -1,0 +1,58 @@
+//! CSV result files under `results/` for external plotting.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory that experiment binaries write their CSV series into.
+pub const RESULTS_DIR: &str = "results";
+
+/// Write `contents` to `results/<name>`, creating the directory if needed.
+/// Returns the written path.
+///
+/// # Panics
+/// Panics on I/O failure (experiment binaries want loud failures).
+pub fn write_result(name: &str, contents: &str) -> PathBuf {
+    let dir = Path::new(RESULTS_DIR);
+    fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(name);
+    fs::write(&path, contents).expect("write result file");
+    path
+}
+
+/// Parse simple CLI flags shared by the experiment binaries: returns
+/// `(quick, full)` from `--quick` / `--full` argv flags.
+pub fn parse_scale_flags() -> (bool, bool) {
+    let args: Vec<String> = std::env::args().collect();
+    (
+        args.iter().any(|a| a == "--quick"),
+        args.iter().any(|a| a == "--full"),
+    )
+}
+
+/// Parse `--seed <n>` (default when absent).
+pub fn parse_seed(default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_result_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("hm-results-{}", std::process::id()));
+        let old = std::env::current_dir().unwrap();
+        fs::create_dir_all(&dir).unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        let p = write_result("test.csv", "a,b\n1,2\n");
+        let back = fs::read_to_string(&p).unwrap();
+        std::env::set_current_dir(old).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+        assert_eq!(back, "a,b\n1,2\n");
+    }
+}

@@ -1,0 +1,114 @@
+//! Minimal aligned text-table printer for experiment output.
+
+/// A text table with a header row and aligned columns.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the row width doesn't match the header.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with space-padded columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                out.push_str(cell);
+                if i + 1 < cols {
+                    out.push_str(&" ".repeat(w - cell.len() + 2));
+                }
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Format an `Option<u64>` count as the paper formats "never reached".
+pub fn fmt_rounds(r: Option<u64>) -> String {
+    match r {
+        Some(n) => n.to_string(),
+        None => "not reached".to_string(),
+    }
+}
+
+/// Percentage with one decimal, e.g. `0.8035 → "80.4%"`.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(vec!["method", "worst"]);
+        t.row(vec!["HierMinimax", "0.83"]);
+        t.row(vec!["X", "0.5"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("method"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "worst" starts at the same offset in all rows.
+        let col = lines[0].find("worst").unwrap();
+        assert_eq!(&lines[2][col..col + 4], "0.83");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn bad_row_panics() {
+        TextTable::new(vec!["a", "b"]).row(vec!["1"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_rounds(Some(8200)), "8200");
+        assert_eq!(fmt_rounds(None), "not reached");
+        assert_eq!(fmt_pct(0.8035), "80.3%");
+    }
+}

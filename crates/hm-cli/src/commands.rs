@@ -1,0 +1,609 @@
+//! The CLI subcommands.
+
+use crate::args::{ArgError, Args};
+use crate::scenario;
+use hm_core::algorithms::{
+    AflConfig, Algorithm, Drfa, DrfaConfig, FedAvg, FedAvgConfig, FedProx, FedProxConfig, HierFavg,
+    HierFavgConfig, HierMinimax, HierMinimaxConfig, MultiLevelConfig, MultiLevelMinimax, QFedAvg,
+    QfflConfig, RunOpts, StochasticAfl, UpperLevel,
+};
+use hm_core::duality::{duality_gap, GapConfig};
+use hm_core::metrics::evaluate;
+use hm_core::problem::FederatedProblem;
+use hm_core::RunResult;
+use hm_data::partition::label_skew;
+use hm_simnet::{LatencyModel, Link, Parallelism, Quantizer};
+
+/// Dispatch a parsed command line. Returns the process exit code.
+pub fn dispatch(args: &Args) -> Result<(), ArgError> {
+    match args.subcommand.as_str() {
+        "run" => run(args),
+        "compare" => compare(args),
+        "gap" => gap(args),
+        "data" => data(args),
+        "eval" => eval_model(args),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(ArgError(format!(
+            "unknown subcommand {other:?}\n\n{}",
+            usage()
+        ))),
+    }
+}
+
+/// The usage text.
+pub fn usage() -> &'static str {
+    "hierminimax — distributed minimax fair optimization over hierarchical networks
+
+USAGE:
+  hierminimax <run|compare|gap|data|help> [flags]
+
+SUBCOMMANDS:
+  run       run one algorithm and report fairness + communication
+  compare   run all five methods of the paper with a matched budget
+            (--extended adds FedProx, q-FedAvg and 4-layer MultiLevel)
+  gap       run HierMinimax and report the convex duality gap (Theorem 1)
+  data      build a scenario and print its heterogeneity statistics
+  eval      evaluate a saved model (--model PATH) on a scenario
+
+SCENARIO FLAGS (all subcommands):
+  --scenario tiny|emnist|mnist|fashion|dirichlet|adult|synthetic|idx|csv  (default emnist)
+  --edges N --clients N --train-per-client N --test-per-edge N
+  --imbalance F       smallest edge's data fraction (default 0.15)
+  --similarity F      s of the similarity split (default 0.5)
+  --data-seed N
+  --images P --labels P    (scenario idx: IDX image/label files)
+  --file P                 (scenario csv: categorical CSV)
+  --partition label|similarity|dirichlet   (real-data scenarios)\n  --alpha F             Dirichlet concentration (default 0.5)
+
+ALGORITHM FLAGS (run):
+  --method hierminimax|hierfavg|fedavg|fedprox|afl|drfa|qffl|multilevel
+                        (default hierminimax)
+  --rounds N --tau1 N --tau2 N --m N
+  --eta-w F --eta-p F --batch N --loss-batch N
+  --q F                 (qffl) fairness exponent
+  --mu F                (fedprox) proximal coefficient
+  --group-size N --tau3 N   (multilevel) region grouping and period
+  --quant-bits N        quantize uplinks at N bits (0 = exact)
+  --dropout F           per-block client dropout probability (hier. methods)
+  --mlp W1,W2,...       use an MLP with these hidden widths
+  --cnn                 use the SimpleCnn model (square inputs only)
+  --seed N --eval-every N --sequential --csv PATH
+  --save-model PATH     (run) save the final model
+  --model PATH          (eval) model file to evaluate
+"
+}
+
+fn opts(args: &Args) -> Result<RunOpts, ArgError> {
+    Ok(RunOpts {
+        eval_every: args.num_or("eval-every", 0)?,
+        parallelism: if args.switch("sequential") {
+            Parallelism::Sequential
+        } else {
+            Parallelism::Rayon
+        },
+        trace: false,
+    })
+}
+
+fn build_problem(args: &Args) -> Result<FederatedProblem, ArgError> {
+    let sc = scenario::build(args)?;
+    let mlp = args.str_or("mlp", "");
+    if args.switch("cnn") {
+        let side = (sc.dim as f64).sqrt() as usize;
+        if side * side != sc.dim {
+            return Err(ArgError(format!(
+                "--cnn needs square inputs; got dim {}",
+                sc.dim
+            )));
+        }
+        // Two 3x3 conv blocks with 2x2 pooling need at least 10x10 inputs.
+        if side < 10 {
+            return Err(ArgError(format!(
+                "--cnn needs inputs of at least 10x10; got {side}x{side}"
+            )));
+        }
+        let model = hm_nn::SimpleCnn::new(side, 3, 4, 8, 32, sc.num_classes);
+        return Ok(FederatedProblem::new(
+            sc,
+            std::sync::Arc::new(model),
+            hm_optim::ProjectionOp::Unconstrained,
+            hm_optim::ProjectionOp::Simplex,
+        ));
+    }
+    if mlp.is_empty() {
+        Ok(FederatedProblem::logistic_from_scenario(&sc))
+    } else {
+        let hidden: Result<Vec<usize>, _> = mlp.split(',').map(str::parse).collect();
+        let hidden = hidden.map_err(|_| ArgError(format!("--mlp: cannot parse {mlp:?}")))?;
+        Ok(FederatedProblem::mlp_from_scenario(&sc, &hidden))
+    }
+}
+
+fn quantizer(args: &Args) -> Result<Quantizer, ArgError> {
+    let bits: u8 = args.num_or("quant-bits", 0)?;
+    Ok(match bits {
+        0 => Quantizer::Exact,
+        b if (1..=16).contains(&b) => Quantizer::Stochastic { bits: b },
+        b => return Err(ArgError(format!("--quant-bits {b} out of 0..=16"))),
+    })
+}
+
+#[allow(clippy::too_many_lines)]
+fn build_algorithm(args: &Args) -> Result<Box<dyn Algorithm>, ArgError> {
+    let method = args.str_or("method", "hierminimax");
+    let rounds = args.num_or("rounds", 500)?;
+    let tau1 = args.num_or("tau1", 2)?;
+    let tau2 = args.num_or("tau2", 2)?;
+    let m = args.num_or("m", 2)?;
+    let eta_w = args.num_or("eta-w", 0.02_f32)?;
+    let eta_p = args.num_or("eta-p", 0.005_f32)?;
+    let batch_size = args.num_or("batch", 2)?;
+    let loss_batch = args.num_or("loss-batch", 16)?;
+    let opts = opts(args)?;
+    let quant = quantizer(args)?;
+    Ok(match method.as_str() {
+        "hierminimax" => Box::new(HierMinimax::new(HierMinimaxConfig {
+            rounds,
+            tau1,
+            tau2,
+            m_edges: m,
+            eta_w,
+            eta_p,
+            batch_size,
+            loss_batch,
+            weight_update_model: Default::default(),
+            quantizer: quant,
+            dropout: args.num_or("dropout", 0.0)?,
+            tau2_per_edge: None,
+            opts,
+        })),
+        "hierfavg" => Box::new(HierFavg::new(HierFavgConfig {
+            rounds,
+            tau1,
+            tau2,
+            m_edges: m,
+            eta_w,
+            batch_size,
+            quantizer: quant,
+            dropout: args.num_or("dropout", 0.0)?,
+            opts,
+        })),
+        "fedavg" => Box::new(FedAvg::new(FedAvgConfig {
+            rounds,
+            tau1,
+            m_clients: m,
+            eta_w,
+            batch_size,
+            opts,
+        })),
+        "fedprox" => Box::new(FedProx::new(FedProxConfig {
+            rounds,
+            tau1,
+            m_clients: m,
+            mu: args.num_or("mu", 0.1)?,
+            eta_w,
+            batch_size,
+            opts,
+        })),
+        "afl" => Box::new(StochasticAfl::new(AflConfig {
+            rounds,
+            m_clients: m,
+            eta_w,
+            eta_q: eta_p,
+            batch_size,
+            loss_batch,
+            opts,
+        })),
+        "drfa" => Box::new(Drfa::new(DrfaConfig {
+            rounds,
+            tau1,
+            m_clients: m,
+            eta_w,
+            eta_q: eta_p,
+            batch_size,
+            loss_batch,
+            opts,
+        })),
+        "qffl" => Box::new(QFedAvg::new(QfflConfig {
+            rounds,
+            tau1,
+            m_clients: m,
+            q: args.num_or("q", 1.0)?,
+            eta_w,
+            batch_size,
+            loss_batch,
+            opts,
+        })),
+        "multilevel" => Box::new(MultiLevelMinimax::new(MultiLevelConfig {
+            rounds,
+            tau1,
+            tau2,
+            upper: vec![UpperLevel {
+                group_size: args.num_or("group-size", 2)?,
+                tau: args.num_or("tau3", 2)?,
+            }],
+            m_groups: m,
+            eta_w,
+            eta_p,
+            batch_size,
+            loss_batch,
+            opts,
+        })),
+        other => {
+            return Err(ArgError(format!(
+                "unknown method {other:?} (hierminimax|hierfavg|fedavg|fedprox|afl|drfa|qffl|multilevel)"
+            )))
+        }
+    })
+}
+
+fn report(problem: &FederatedProblem, name: &str, r: &RunResult) {
+    let e = evaluate(problem, &r.final_w, Parallelism::Rayon);
+    println!("\n== {name} ==");
+    println!(
+        "per-edge accuracy: {:?}",
+        e.per_edge_accuracy
+            .iter()
+            .map(|a| (a * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "average {:.4}   worst {:.4}   variance {:.2} pp^2",
+        e.average, e.worst, e.variance_pp
+    );
+    println!("final weights p: {:?}", r.final_p);
+    let slots = r.history.rounds.last().map_or(0, |rec| rec.slots_done);
+    println!(
+        "communication: {} cloud rounds, {} local rounds, {:.2e} floats; {} slots",
+        r.comm.cloud_rounds(),
+        r.comm.rounds(Link::ClientEdge),
+        r.comm.total_floats() as f64,
+        slots
+    );
+    let mec = LatencyModel::mobile_edge();
+    println!(
+        "simulated wall-clock (mobile-edge model): {:.1} s",
+        mec.simulated_seconds(&r.comm, slots)
+    );
+}
+
+fn run(args: &Args) -> Result<(), ArgError> {
+    let problem = build_problem(args)?;
+    let alg = build_algorithm(args)?;
+    let seed = args.num_or("seed", 7_u64)?;
+    let csv = args.str_or("csv", "");
+    let save_model = args.str_or("save-model", "");
+    args.reject_unknown()?;
+    println!(
+        "problem: {} ({} edges x {} clients, d = {})",
+        problem.scenario.name,
+        problem.num_edges(),
+        problem.clients_per_edge(),
+        problem.num_params()
+    );
+    let r = alg.run(&problem, seed);
+    report(&problem, alg.name(), &r);
+    if !csv.is_empty() {
+        std::fs::write(&csv, r.history.to_csv())
+            .map_err(|e| ArgError(format!("writing {csv}: {e}")))?;
+        println!("history written to {csv}");
+    }
+    if !save_model.is_empty() {
+        hm_data::persist::save_params(std::path::Path::new(&save_model), &r.final_w)
+            .map_err(|e| ArgError(format!("saving model: {e}")))?;
+        println!("model written to {save_model}");
+    }
+    Ok(())
+}
+
+fn eval_model(args: &Args) -> Result<(), ArgError> {
+    let problem = build_problem(args)?;
+    let model_path = args.str_or("model", "");
+    if model_path.is_empty() {
+        return Err(ArgError("eval requires --model <path>".into()));
+    }
+    args.reject_unknown()?;
+    let w = hm_data::persist::load_params(std::path::Path::new(&model_path))
+        .map_err(|e| ArgError(format!("loading model: {e}")))?;
+    if w.len() != problem.num_params() {
+        return Err(ArgError(format!(
+            "model has {} parameters but the scenario needs {}",
+            w.len(),
+            problem.num_params()
+        )));
+    }
+    let e = evaluate(&problem, &w, Parallelism::Rayon);
+    println!("per-edge accuracy: {:?}", e.per_edge_accuracy);
+    println!(
+        "average {:.4}   worst {:.4}   variance {:.2} pp^2",
+        e.average, e.worst, e.variance_pp
+    );
+    Ok(())
+}
+
+fn compare(args: &Args) -> Result<(), ArgError> {
+    let problem = build_problem(args)?;
+    let seed = args.num_or("seed", 7_u64)?;
+    let rounds = args.num_or("rounds", 500)?;
+    let tau1 = args.num_or("tau1", 2)?;
+    let tau2 = args.num_or("tau2", 2)?;
+    let m = args.num_or("m", 5)?;
+    let eta_w = args.num_or("eta-w", 0.02_f32)?;
+    let eta_p = args.num_or("eta-p", 0.005_f32)?;
+    let batch_size = args.num_or("batch", 1)?;
+    let loss_batch = args.num_or("loss-batch", 16)?;
+    let opts = opts(args)?;
+    let extended = args.switch("extended");
+    args.reject_unknown()?;
+
+    let slots = rounds * tau1 * tau2;
+    let n0 = problem.clients_per_edge();
+    println!(
+        "comparing {} methods on {} with a budget of {} slots",
+        if extended { 8 } else { 5 },
+        problem.scenario.name,
+        slots
+    );
+    let mut algs: Vec<Box<dyn Algorithm>> = vec![
+        Box::new(FedAvg::new(FedAvgConfig {
+            rounds: slots / tau1,
+            tau1,
+            m_clients: m * n0,
+            eta_w,
+            batch_size,
+            opts: opts.clone(),
+        })),
+        Box::new(StochasticAfl::new(AflConfig {
+            rounds: slots,
+            m_clients: m * n0,
+            eta_w,
+            eta_q: eta_p,
+            batch_size,
+            loss_batch,
+            opts: opts.clone(),
+        })),
+        Box::new(Drfa::new(DrfaConfig {
+            rounds: slots / tau1,
+            tau1,
+            m_clients: m * n0,
+            eta_w,
+            eta_q: eta_p,
+            batch_size,
+            loss_batch,
+            opts: opts.clone(),
+        })),
+        Box::new(HierFavg::new(HierFavgConfig {
+            rounds,
+            tau1,
+            tau2,
+            m_edges: m,
+            eta_w,
+            batch_size,
+            quantizer: Quantizer::Exact,
+            dropout: 0.0,
+            opts: opts.clone(),
+        })),
+        Box::new(HierMinimax::new(HierMinimaxConfig {
+            rounds,
+            tau1,
+            tau2,
+            m_edges: m,
+            eta_w,
+            eta_p,
+            batch_size,
+            loss_batch,
+            weight_update_model: Default::default(),
+            quantizer: Quantizer::Exact,
+            dropout: 0.0,
+            tau2_per_edge: None,
+            opts: opts.clone(),
+        })),
+    ];
+    if extended {
+        algs.push(Box::new(FedProx::new(FedProxConfig {
+            rounds: slots / tau1,
+            tau1,
+            m_clients: m * n0,
+            mu: 0.1,
+            eta_w,
+            batch_size,
+            opts: opts.clone(),
+        })));
+        algs.push(Box::new(QFedAvg::new(QfflConfig {
+            rounds: slots / tau1,
+            tau1,
+            m_clients: m * n0,
+            q: 1.0,
+            eta_w,
+            batch_size,
+            loss_batch,
+            opts: opts.clone(),
+        })));
+        if problem.num_edges() % 2 == 0 {
+            algs.push(Box::new(MultiLevelMinimax::new(MultiLevelConfig {
+                rounds: (slots / (tau1 * tau2 * 2)).max(1),
+                tau1,
+                tau2,
+                upper: vec![UpperLevel {
+                    group_size: 2,
+                    tau: 2,
+                }],
+                m_groups: (m / 2).max(1).min(problem.num_edges() / 2),
+                eta_w,
+                eta_p,
+                batch_size,
+                loss_batch,
+                opts: opts.clone(),
+            })));
+        }
+    }
+    println!(
+        "{:<24}{:>10}{:>10}{:>12}{:>14}",
+        "method", "avg", "worst", "var(pp^2)", "cloud rounds"
+    );
+    for alg in algs {
+        let r = alg.run(&problem, seed);
+        let e = evaluate(&problem, &r.final_w, Parallelism::Rayon);
+        println!(
+            "{:<24}{:>10.4}{:>10.4}{:>12.2}{:>14}",
+            alg.name(),
+            e.average,
+            e.worst,
+            e.variance_pp,
+            r.comm.cloud_rounds()
+        );
+    }
+    Ok(())
+}
+
+fn gap(args: &Args) -> Result<(), ArgError> {
+    let problem = build_problem(args)?;
+    if !args.str_or("mlp", "").is_empty() || args.switch("cnn") {
+        return Err(ArgError(
+            "gap: the duality gap is defined for the convex (logistic) model".into(),
+        ));
+    }
+    if args.str_or("method", "hierminimax") == "multilevel" {
+        return Err(ArgError(
+            "gap: multilevel reports group-level weights; use --method hierminimax".into(),
+        ));
+    }
+    let alg = build_algorithm(args)?;
+    let seed = args.num_or("seed", 7_u64)?;
+    args.reject_unknown()?;
+    let r = alg.run(&problem, seed);
+    let g = duality_gap(&problem, &r.avg_w, &r.avg_p, &GapConfig::default());
+    println!("primal  max_p F(ŵ, p)   = {:.6}", g.primal);
+    println!("dual    min_w F(w, p̂)   ≈ {:.6}", g.dual);
+    println!("duality gap              = {:.6}", g.gap);
+    println!(
+        "(averaged iterates over {} rounds; Theorem 1 predicts the gap",
+        r.history.rounds.len()
+    );
+    println!(" shrinks as O(T^(-(1-alpha)/2)) in the total slot budget T)");
+    Ok(())
+}
+
+fn data(args: &Args) -> Result<(), ArgError> {
+    let sc = scenario::build(args)?;
+    args.reject_unknown()?;
+    sc.validate();
+    println!("scenario: {}", sc.name);
+    println!(
+        "{} edges x {} clients, dim {}, {} classes",
+        sc.num_edges(),
+        sc.clients_per_edge(),
+        sc.dim,
+        sc.num_classes
+    );
+    let shards: Vec<hm_data::Dataset> = sc.edges.iter().map(|e| e.train_concat()).collect();
+    println!(
+        "label skew: {:.3} (1.0 = one class per edge, 1/C = iid)",
+        label_skew(&shards)
+    );
+    println!("{:<6}{:>8}{:>8}   class histogram", "edge", "train", "test");
+    for (e, edge) in sc.edges.iter().enumerate() {
+        let train: usize = edge.client_train.iter().map(|d| d.len()).sum();
+        println!(
+            "{:<6}{:>8}{:>8}   {:?}",
+            e,
+            train,
+            edge.test.len(),
+            shards[e].class_counts()
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        let v: Vec<String> = s.split_whitespace().map(String::from).collect();
+        Args::parse(&v).unwrap()
+    }
+
+    #[test]
+    fn run_executes_on_tiny() {
+        let a = args(
+            "run --scenario tiny --edges 3 --clients 2 --rounds 3 --m 2 --seed 1 --sequential",
+        );
+        dispatch(&a).unwrap();
+    }
+
+    #[test]
+    fn every_method_builds() {
+        for m in [
+            "hierminimax",
+            "hierfavg",
+            "fedavg",
+            "afl",
+            "drfa",
+            "qffl",
+            "multilevel",
+        ] {
+            let a = args(&format!("run --method {m} --rounds 1"));
+            build_algorithm(&a).unwrap_or_else(|e| panic!("{m}: {e}"));
+        }
+    }
+
+    #[test]
+    fn unknown_method_rejected() {
+        let a = args("run --method sgd");
+        assert!(build_algorithm(&a).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_rejected_by_run() {
+        let a = args("run --scenario tiny --edges 3 --clients 2 --rounds 1 --m 2 --bogus 1");
+        let err = dispatch(&a).unwrap_err();
+        assert!(err.0.contains("--bogus"), "{err}");
+    }
+
+    #[test]
+    fn data_prints_stats() {
+        let a = args("data --scenario tiny --edges 3 --clients 2");
+        dispatch(&a).unwrap();
+    }
+
+    #[test]
+    fn gap_rejects_mlp() {
+        let a = args("gap --scenario tiny --edges 3 --clients 2 --mlp 8 --rounds 1 --m 2");
+        assert!(dispatch(&a).is_err());
+    }
+
+    #[test]
+    fn save_and_eval_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("hm-cli-eval-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("m.hmw");
+        let a = args(&format!(
+            "run --scenario tiny --edges 3 --clients 2 --rounds 3 --m 2 --sequential --save-model {}",
+            model.display()
+        ));
+        dispatch(&a).unwrap();
+        let b = args(&format!(
+            "eval --scenario tiny --edges 3 --clients 2 --model {}",
+            model.display()
+        ));
+        dispatch(&b).unwrap();
+        // Dimension mismatch caught.
+        let c = args(&format!(
+            "eval --scenario tiny --edges 4 --clients 2 --model {}",
+            model.display()
+        ));
+        assert!(dispatch(&c).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quant_bits_validation() {
+        assert!(quantizer(&args("run --quant-bits 8")).is_ok());
+        assert!(quantizer(&args("run --quant-bits 0")).is_ok());
+        assert!(quantizer(&args("run --quant-bits 33")).is_err());
+    }
+}

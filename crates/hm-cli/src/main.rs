@@ -1,0 +1,47 @@
+//! `hierminimax` — the command-line interface of the reproduction.
+//!
+//! Run `hierminimax help` for usage. See the `commands` module for the
+//! subcommands and `scenario` for the data options.
+
+mod args;
+mod commands;
+mod scenario;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::Args::parse(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    // The library crates signal configuration errors with panics (they are
+    // programming errors at the API boundary); at the CLI boundary they are
+    // user errors, so translate them into clean messages. The panic hook is
+    // silenced to avoid the backtrace banner.
+    std::panic::set_hook(Box::new(|_| {}));
+    // AssertUnwindSafe: `parsed` holds a RefCell for flag-consumption
+    // tracking, but it is dropped immediately after a panic, so no broken
+    // invariant can be observed.
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| commands::dispatch(&parsed)));
+    match result {
+        Ok(Ok(())) => ExitCode::SUCCESS,
+        Ok(Err(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("invalid configuration");
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Scenario construction for the CLI: built-in synthetic scenarios plus
+//! real-data loading (IDX images / categorical CSV) with the paper's
+//! heterogeneity partitioners.
+
+use crate::args::{ArgError, Args};
+use hm_data::generators::adult_like::AdultLikeConfig;
+use hm_data::generators::li_synthetic::LiSyntheticConfig;
+use hm_data::generators::synthetic_images::ImageConfig;
+use hm_data::io;
+use hm_data::partition::{partition_by_label, partition_dirichlet, partition_similarity};
+use hm_data::rng::{Purpose, StreamKey, StreamRng};
+use hm_data::scenarios::{
+    adult_two_edges, dirichlet_split, li_synthetic_scenario, linear_sizes,
+    one_class_per_edge_sized, similarity_split, tiny_problem, EdgeData, HierScenario,
+};
+use hm_data::Dataset;
+use std::path::Path;
+
+/// Build the scenario selected by `--scenario` (default `emnist`) and its
+/// size flags. Supported names: `tiny`, `emnist`, `mnist`, `fashion`,
+/// `adult`, `synthetic`, `idx` (real IDX files via `--images`/`--labels`),
+/// `csv` (categorical CSV via `--file`).
+pub fn build(args: &Args) -> Result<HierScenario, ArgError> {
+    let name = args.str_or("scenario", "emnist");
+    let edges: usize = args.num_or("edges", 10)?;
+    let clients: usize = args.num_or("clients", 3)?;
+    let train: usize = args.num_or("train-per-client", 60)?;
+    let test: usize = args.num_or("test-per-edge", 300)?;
+    let data_seed: u64 = args.num_or("data-seed", 2024)?;
+    let imbalance: f64 = args.num_or("imbalance", 0.15)?;
+    let similarity: f64 = args.num_or("similarity", 0.5)?;
+
+    let image = |cfg: ImageConfig| -> Result<HierScenario, ArgError> {
+        let mut cfg = cfg;
+        cfg.num_classes = edges;
+        let sizes = linear_sizes(train, imbalance, edges);
+        Ok(one_class_per_edge_sized(
+            cfg, edges, clients, &sizes, test, data_seed,
+        ))
+    };
+
+    match name.as_str() {
+        "tiny" => Ok(tiny_problem(edges.min(8), clients, data_seed)),
+        "emnist" => image(ImageConfig::emnist_digits_like()),
+        "mnist" => image(ImageConfig::mnist_like()),
+        "fashion" => {
+            // The paper's §6.2 scenario: similarity split.
+            Ok(similarity_split(
+                ImageConfig::fashion_mnist_like(),
+                edges,
+                clients,
+                train * clients,
+                similarity,
+                0.25,
+                data_seed,
+            ))
+        }
+        "dirichlet" => Ok(dirichlet_split(
+            ImageConfig::mnist_like(),
+            edges,
+            clients,
+            train * clients,
+            args.num_or("alpha", 0.5)?,
+            0.25,
+            data_seed,
+        )),
+        "adult" => Ok(adult_two_edges(
+            AdultLikeConfig::default(),
+            clients,
+            train * clients * 10,
+            train * clients,
+            test,
+            data_seed,
+        )),
+        "synthetic" => Ok(li_synthetic_scenario(
+            LiSyntheticConfig::default(),
+            edges.max(10),
+            clients,
+            train,
+            test,
+            data_seed,
+        )),
+        "idx" => {
+            let images = args.str_or("images", "");
+            let labels = args.str_or("labels", "");
+            if images.is_empty() || labels.is_empty() {
+                return Err(ArgError(
+                    "scenario idx requires --images <path> and --labels <path>".into(),
+                ));
+            }
+            let ds = io::load_idx_dataset(Path::new(&images), Path::new(&labels))
+                .map_err(|e| ArgError(format!("loading IDX data: {e}")))?;
+            partition_real(args, ds, edges, clients, data_seed)
+        }
+        "csv" => {
+            let file = args.str_or("file", "");
+            if file.is_empty() {
+                return Err(ArgError("scenario csv requires --file <path>".into()));
+            }
+            let ds = io::load_categorical_csv(Path::new(&file))
+                .map_err(|e| ArgError(format!("loading CSV data: {e}")))?;
+            partition_real(args, ds, edges, clients, data_seed)
+        }
+        other => Err(ArgError(format!(
+            "unknown scenario {other:?} (tiny|emnist|mnist|fashion|dirichlet|adult|synthetic|idx|csv)"
+        ))),
+    }
+}
+
+/// Partition a real dataset across edges (`--partition label|similarity`),
+/// holding out 25% of each edge's shard as its test set.
+fn partition_real(
+    args: &Args,
+    ds: Dataset,
+    edges: usize,
+    clients: usize,
+    data_seed: u64,
+) -> Result<HierScenario, ArgError> {
+    let how = args.str_or("partition", "similarity");
+    let similarity: f64 = args.num_or("similarity", 0.5)?;
+    let shards = match how.as_str() {
+        "label" => partition_by_label(&ds, edges),
+        "similarity" => {
+            let mut rng = StreamRng::for_key(StreamKey::new(data_seed, Purpose::Split, 0, 0));
+            partition_similarity(&ds, edges, similarity, &mut rng)
+        }
+        "dirichlet" => {
+            let alpha = args.num_or("alpha", 0.5)?;
+            let mut rng = StreamRng::for_key(StreamKey::new(data_seed, Purpose::Split, 0, 0));
+            partition_dirichlet(&ds, edges, alpha, &mut rng)
+        }
+        other => {
+            return Err(ArgError(format!(
+                "unknown partition {other:?} (label|similarity|dirichlet)"
+            )))
+        }
+    };
+    let mut out = Vec::with_capacity(shards.len());
+    for (e, shard) in shards.into_iter().enumerate() {
+        if shard.len() < clients * 2 {
+            return Err(ArgError(format!(
+                "edge {e} received only {} samples — too few for {clients} clients",
+                shard.len()
+            )));
+        }
+        let mut srng = StreamRng::for_key(StreamKey::new(data_seed, Purpose::Split, 1, e as u64));
+        let (train, test) = shard.train_test_split(0.25, &mut srng);
+        out.push(EdgeData {
+            client_train: train.split_even(clients),
+            test,
+        });
+    }
+    Ok(HierScenario {
+        name: format!("real-{how}"),
+        num_classes: ds.num_classes,
+        dim: ds.dim(),
+        edges: out,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        let v: Vec<String> = s.split_whitespace().map(String::from).collect();
+        Args::parse(&v).unwrap()
+    }
+
+    #[test]
+    fn builds_every_builtin() {
+        for sc in [
+            "tiny",
+            "emnist",
+            "mnist",
+            "fashion",
+            "dirichlet",
+            "adult",
+            "synthetic",
+        ] {
+            // --alpha only affects the dirichlet scenario (near-iid split
+            // so no edge starves at this tiny size).
+            let a = args(&format!(
+                "run --scenario {sc} --edges 10 --clients 2 --train-per-client 12                  --test-per-edge 20 --alpha 50"
+            ));
+            let s = build(&a).unwrap_or_else(|e| panic!("{sc}: {e}"));
+            s.validate();
+        }
+    }
+
+    #[test]
+    fn unknown_scenario_rejected() {
+        let a = args("run --scenario nope");
+        assert!(build(&a).is_err());
+    }
+
+    #[test]
+    fn idx_requires_paths() {
+        let a = args("run --scenario idx");
+        let err = build(&a).unwrap_err();
+        assert!(err.0.contains("--images"));
+    }
+
+    #[test]
+    fn csv_scenario_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("hm-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("toy.csv");
+        let mut body = String::new();
+        for i in 0..120 {
+            body.push_str(&format!("a{}, b{}, c{}\n", i % 4, i % 3, i % 2));
+        }
+        std::fs::write(&p, body).unwrap();
+        let a = args(&format!(
+            "run --scenario csv --file {} --edges 2 --clients 2 --partition similarity",
+            p.display()
+        ));
+        let s = build(&a).unwrap();
+        s.validate();
+        assert_eq!(s.num_edges(), 2);
+        assert_eq!(s.num_classes, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

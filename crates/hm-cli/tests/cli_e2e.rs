@@ -1,0 +1,139 @@
+//! End-to-end process tests of the `hierminimax` binary: spawn the real
+//! executable and assert on exit codes and output.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hierminimax"))
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = bin().arg("help").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("hierminimax"));
+}
+
+#[test]
+fn run_tiny_end_to_end() {
+    let out = bin()
+        .args([
+            "run",
+            "--scenario",
+            "tiny",
+            "--edges",
+            "3",
+            "--clients",
+            "2",
+            "--rounds",
+            "5",
+            "--m",
+            "2",
+            "--sequential",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("HierMinimax"), "{text}");
+    assert!(text.contains("cloud rounds"), "{text}");
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = bin().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown subcommand"), "{err}");
+}
+
+#[test]
+fn missing_args_fail_cleanly() {
+    let out = bin().output().expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("missing subcommand"), "{err}");
+}
+
+#[test]
+fn typo_flag_is_reported() {
+    let out = bin()
+        .args([
+            "run",
+            "--scenario",
+            "tiny",
+            "--edges",
+            "3",
+            "--clients",
+            "2",
+            "--ruonds",
+            "5",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--ruonds"), "{err}");
+}
+
+#[test]
+fn data_subcommand_reports_skew() {
+    let out = bin()
+        .args([
+            "data",
+            "--scenario",
+            "tiny",
+            "--edges",
+            "3",
+            "--clients",
+            "2",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("label skew"), "{text}");
+}
+
+#[test]
+fn csv_history_is_written() {
+    let dir = std::env::temp_dir().join(format!("hm-cli-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("hist.csv");
+    let out = bin()
+        .args([
+            "run",
+            "--scenario",
+            "tiny",
+            "--edges",
+            "3",
+            "--clients",
+            "2",
+            "--rounds",
+            "4",
+            "--m",
+            "2",
+            "--eval-every",
+            "1",
+            "--sequential",
+            "--csv",
+        ])
+        .arg(&csv)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = std::fs::read_to_string(&csv).unwrap();
+    assert!(body.starts_with("round,"), "{body}");
+    assert!(body.lines().count() >= 5, "{body}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

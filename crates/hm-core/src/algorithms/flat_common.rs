@@ -1,0 +1,131 @@
+//! Shared machinery for the two-layer (client ↔ cloud) baselines: FedAvg,
+//! Stochastic-AFL, and DRFA. These methods ignore the edge servers — every
+//! exchange is metered on the `ClientCloud` link — and index clients flat
+//! (`0..N`), while fairness continues to be *measured* per edge area.
+
+use crate::localsgd::local_sgd;
+use crate::problem::FederatedProblem;
+use hm_data::rng::{Purpose, StreamKey, StreamRng};
+use hm_data::Dataset;
+use hm_simnet::Parallelism;
+
+/// A flat client's training shard.
+pub(crate) fn client_dataset(problem: &FederatedProblem, client: usize) -> &Dataset {
+    let topo = problem.topology();
+    let edge = topo.edge_of(client);
+    let idx = client - edge * topo.clients_per_edge();
+    problem.client_data(edge, idx)
+}
+
+/// Run `steps` local SGD steps at each of the given (distinct) clients,
+/// starting from the shared broadcast model `w`, optionally capturing the
+/// iterate after `checkpoint_after` steps. Results are in input order.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_flat_clients(
+    problem: &FederatedProblem,
+    w: &[f32],
+    clients: &[usize],
+    steps: usize,
+    eta_w: f32,
+    batch_size: usize,
+    round: usize,
+    seed: u64,
+    par: Parallelism,
+    checkpoint_after: Option<usize>,
+) -> Vec<(Vec<f32>, Option<Vec<f32>>)> {
+    par.map(clients.to_vec(), |client| {
+        let mut rng = StreamRng::for_key(StreamKey::new(
+            seed,
+            Purpose::Batch,
+            round as u64,
+            client as u64,
+        ));
+        local_sgd(
+            &*problem.model,
+            client_dataset(problem, client),
+            w,
+            steps,
+            eta_w,
+            batch_size,
+            &problem.w_domain,
+            &mut rng,
+            checkpoint_after,
+        )
+    })
+}
+
+/// Collapse a per-client weight vector `q` into a per-edge vector (summing
+/// within each edge area) for history recording and cross-method
+/// comparison.
+pub(crate) fn q_to_edge_p(problem: &FederatedProblem, q: &[f32]) -> Vec<f32> {
+    let topo = problem.topology();
+    assert_eq!(
+        q.len(),
+        topo.total_clients(),
+        "client weight length mismatch"
+    );
+    let mut p = vec![0.0_f32; topo.num_edges()];
+    for (c, &qc) in q.iter().enumerate() {
+        p[topo.edge_of(c)] += qc;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hm_data::scenarios::tiny_problem;
+
+    #[test]
+    fn client_dataset_addresses_by_edge() {
+        let sc = tiny_problem(3, 2, 1);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        // Client 3 is edge 1, index 1.
+        let a = client_dataset(&fp, 3);
+        let b = fp.client_data(1, 1);
+        assert_eq!(a.x.max_abs_diff(&b.x), 0.0);
+    }
+
+    #[test]
+    fn q_to_edge_p_sums_within_edges() {
+        let sc = tiny_problem(2, 3, 1);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let q = vec![0.1, 0.2, 0.3, 0.05, 0.15, 0.2];
+        let p = q_to_edge_p(&fp, &q);
+        assert!((p[0] - 0.6).abs() < 1e-6);
+        assert!((p[1] - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flat_clients_deterministic_across_parallelism() {
+        let sc = tiny_problem(2, 2, 5);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let w = vec![0.0; fp.num_params()];
+        let a = run_flat_clients(
+            &fp,
+            &w,
+            &[0, 1, 2, 3],
+            3,
+            0.1,
+            2,
+            0,
+            9,
+            Parallelism::Sequential,
+            Some(1),
+        );
+        let b = run_flat_clients(
+            &fp,
+            &w,
+            &[0, 1, 2, 3],
+            3,
+            0.1,
+            2,
+            0,
+            9,
+            Parallelism::Rayon,
+            Some(1),
+        );
+        assert_eq!(a, b);
+        assert!(a.iter().all(|(_, cp)| cp.is_some()));
+    }
+}

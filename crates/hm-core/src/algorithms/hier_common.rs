@@ -1,0 +1,391 @@
+//! Shared machinery for the three-layer algorithms (HierMinimax and
+//! HierFAVG): the `ModelUpdate` procedure — `τ2` client-edge aggregation
+//! blocks of `τ1` local SGD steps each — with optional checkpoint capture.
+
+use crate::localsgd::local_sgd;
+use crate::problem::FederatedProblem;
+use hm_data::rng::{Purpose, StreamKey, StreamRng};
+use hm_simnet::trace::{Event, Trace};
+use hm_simnet::{CommMeter, Link, Parallelism, Quantizer};
+use hm_tensor::vecops;
+
+/// A client's block output: the updated model and, in the checkpoint
+/// block, the checkpoint snapshot.
+type ClientBlockResult = (Vec<f32>, Option<Vec<f32>>);
+
+/// Result of one edge server's `ModelUpdate` procedure.
+#[derive(Debug, Clone)]
+pub(crate) struct EdgeBlockOutput {
+    /// The edge id this output belongs to.
+    pub edge: usize,
+    /// `w_e^{(k, τ2)}` — the edge model after all aggregation blocks.
+    pub w_final: Vec<f32>,
+    /// `w_e^{(k, c2, c1)}` — the aggregated checkpoint model, when a
+    /// checkpoint index was supplied.
+    pub checkpoint: Option<Vec<f32>>,
+}
+
+/// Parameters of one round's `ModelUpdate` across the participating edges.
+pub(crate) struct EdgeBlockParams<'a> {
+    pub problem: &'a FederatedProblem,
+    /// The global model broadcast by the cloud at the start of the round.
+    pub w_start: &'a [f32],
+    /// Distinct participating edge ids.
+    pub edges: &'a [usize],
+    pub tau1: usize,
+    pub tau2: usize,
+    pub eta_w: f32,
+    pub batch_size: usize,
+    /// Checkpoint index `(c1, c2)`, or `None` for minimization methods.
+    pub checkpoint: Option<(usize, usize)>,
+    /// Codec applied to client model uploads (the Hier-Local-QSGD
+    /// extension); downlink broadcasts stay full precision.
+    pub quantizer: Quantizer,
+    /// Per-block probability that a client drops out (crash/straggler cut
+    /// by the synchronisation deadline). A dropped client neither computes
+    /// nor uploads for that block; the edge averages the survivors, and an
+    /// edge whose clients all dropped keeps its block-start model.
+    pub dropout: f32,
+    /// Whether this call records `ClientEdge` synchronisation rounds.
+    /// Callers that invoke `run_edge_blocks` once per edge (the
+    /// heterogeneous-rate path) set this false and record the round count
+    /// themselves, because concurrent edges share sync windows: metering
+    /// each edge's blocks separately would count the same wall-clock
+    /// window once per edge.
+    pub record_rounds: bool,
+    /// Training round `k` (keys the RNG streams).
+    pub round: usize,
+    pub seed: u64,
+    pub meter: &'a CommMeter,
+    pub par: Parallelism,
+    pub trace: &'a Trace,
+}
+
+/// Run `τ2` client-edge aggregation blocks on each participating edge.
+///
+/// All clients of all participating edges execute a block concurrently
+/// (they are mutually independent); blocks are sequential, as the protocol
+/// requires. Communication is metered on the `ClientEdge` link: one
+/// broadcast + one gather + one round per block, with the checkpoint model
+/// piggybacked on the gather of block `c2` (doubling that block's uplink
+/// payload, as in the paper where clients "send along" the checkpoint).
+pub(crate) fn run_edge_blocks(p: EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
+    let n0 = p.problem.clients_per_edge();
+    let d = p.problem.num_params() as u64;
+    let topo = p.problem.topology();
+    let mut edge_models: Vec<Vec<f32>> = p.edges.iter().map(|_| p.w_start.to_vec()).collect();
+    let mut edge_checkpoints: Vec<Option<Vec<f32>>> = vec![None; p.edges.len()];
+
+    assert!((0.0..1.0).contains(&p.dropout), "dropout must lie in [0,1)");
+    for t2 in 0..p.tau2 {
+        let is_cp_block = p.checkpoint.map(|(_, c2)| c2 == t2).unwrap_or(false);
+        let cp_after = p.checkpoint.and_then(|(c1, c2)| (c2 == t2).then_some(c1));
+        // Which clients survive this block (keyed stream, so deterministic
+        // and independent of execution order).
+        let alive: Vec<bool> = (0..p.edges.len() * n0)
+            .map(|slot| {
+                if p.dropout == 0.0 {
+                    return true;
+                }
+                let edge = p.edges[slot / n0];
+                let client = topo.client_id(edge, slot % n0);
+                let mut drng = StreamRng::for_key(StreamKey::new(
+                    p.seed,
+                    Purpose::Dropout,
+                    (p.round * p.tau2 + t2) as u64,
+                    client as u64,
+                ));
+                drng.uniform() >= f64::from(p.dropout)
+            })
+            .collect();
+        // Edge broadcasts its block-start model to its clients.
+        p.meter
+            .record_broadcast(Link::ClientEdge, d, (p.edges.len() * n0) as u64);
+
+        // All (edge, client) pairs run τ1 local steps concurrently.
+        let tasks: Vec<(usize, usize)> = (0..p.edges.len())
+            .flat_map(|ei| (0..n0).map(move |c| (ei, c)))
+            .filter(|&(ei, c)| alive[ei * n0 + c])
+            .collect();
+        let results_alive: Vec<ClientBlockResult> = {
+            let edge_models = &edge_models;
+            p.par.map(tasks.clone(), |(ei, c)| {
+                let edge = p.edges[ei];
+                let client = topo.client_id(edge, c);
+                let mut rng = StreamRng::for_key(StreamKey::new(
+                    p.seed,
+                    Purpose::Batch,
+                    (p.round * p.tau2 + t2) as u64,
+                    client as u64,
+                ));
+                let (mut w_out, mut cp_out) = local_sgd(
+                    &*p.problem.model,
+                    p.problem.client_data(edge, c),
+                    &edge_models[ei],
+                    p.tau1,
+                    p.eta_w,
+                    p.batch_size,
+                    &p.problem.w_domain,
+                    &mut rng,
+                    cp_after,
+                );
+                // Uplink codec: quantize the *update delta* against the
+                // block-start model the edge already holds (as in
+                // Hier-Local-QSGD — deltas are small, so coarse grids stay
+                // accurate), then reconstruct the model the edge decodes.
+                if p.quantizer != Quantizer::Exact {
+                    let mut qrng = StreamRng::for_key(StreamKey::new(
+                        p.seed,
+                        Purpose::Quantize,
+                        (p.round * p.tau2 + t2) as u64,
+                        client as u64,
+                    ));
+                    let base = &edge_models[ei];
+                    quantize_delta(&p.quantizer, base, &mut w_out, &mut qrng);
+                    if let Some(cp) = cp_out.as_mut() {
+                        quantize_delta(&p.quantizer, base, cp, &mut qrng);
+                    }
+                }
+                (w_out, cp_out)
+            })
+        };
+        // Scatter results back to (edge, client) slots; dropped slots None.
+        let mut results: Vec<Option<ClientBlockResult>> =
+            (0..p.edges.len() * n0).map(|_| None).collect();
+        for ((ei, c), r) in tasks.iter().zip(results_alive) {
+            results[ei * n0 + c] = Some(r);
+        }
+
+        // Surviving clients upload their (possibly quantized) models, plus
+        // the checkpoint in block c2.
+        let unit = p.quantizer.wire_floats(d as usize);
+        let floats_up = if is_cp_block { 2 * unit } else { unit };
+        let survivors = alive.iter().filter(|&&a| a).count() as u64;
+        p.meter
+            .record_gather(Link::ClientEdge, floats_up, survivors);
+        if p.record_rounds {
+            p.meter.record_round(Link::ClientEdge);
+        }
+
+        // Edge-side aggregation over survivors (deterministic order:
+        // clients are indexed).
+        for (ei, model) in edge_models.iter_mut().enumerate() {
+            let client_ws: Vec<&[f32]> = (0..n0)
+                .filter_map(|c| results[ei * n0 + c].as_ref().map(|(w, _)| w.as_slice()))
+                .collect();
+            if client_ws.is_empty() {
+                // All clients of this edge dropped: the edge keeps its
+                // block-start model (no checkpoint from this edge either).
+                continue;
+            }
+            vecops::average_into(&client_ws, model);
+            if is_cp_block {
+                let cps: Vec<&[f32]> = (0..n0)
+                    .filter_map(|c| {
+                        results[ei * n0 + c].as_ref().map(|(_, cp)| {
+                            cp.as_deref()
+                                .expect("checkpoint block must return checkpoints")
+                        })
+                    })
+                    .collect();
+                let mut cp = vec![0.0_f32; cps[0].len()];
+                vecops::average_into(&cps, &mut cp);
+                edge_checkpoints[ei] = Some(cp);
+            }
+            p.trace.record(|| Event::ClientEdgeAggregation {
+                round: p.round,
+                edge: p.edges[ei],
+                t2,
+            });
+        }
+    }
+
+    p.edges
+        .iter()
+        .zip(edge_models)
+        .zip(edge_checkpoints)
+        .map(|((&edge, w_final), checkpoint)| {
+            // If every client of this edge dropped during the checkpoint
+            // block, fall back to the edge's final model so Phase 2 still
+            // has an estimate to evaluate (slightly biased, but only in a
+            // failure corner the paper's protocol does not define).
+            let checkpoint = match (checkpoint, p.checkpoint) {
+                (None, Some(_)) => Some(w_final.clone()),
+                (cp, _) => cp,
+            };
+            EdgeBlockOutput {
+                edge,
+                w_final,
+                checkpoint,
+            }
+        })
+        .collect()
+}
+
+/// Quantize `v` as a delta against `base` (which the receiver already
+/// holds), then reconstruct: `v ← base + Q(v − base)`. This is the
+/// Hier-Local-QSGD upload codec — update deltas shrink with the learning
+/// rate, so even coarse grids quantize them accurately.
+pub(crate) fn quantize_delta(
+    q: &Quantizer,
+    base: &[f32],
+    v: &mut [f32],
+    rng: &mut hm_data::StreamRng,
+) {
+    debug_assert_eq!(base.len(), v.len());
+    for (x, &b) in v.iter_mut().zip(base) {
+        *x -= b;
+    }
+    q.apply(v, rng);
+    for (x, &b) in v.iter_mut().zip(base) {
+        *x += b;
+    }
+}
+
+/// Count multiplicities of a with-replacement sample, returning
+/// `(distinct_ids, multiplicities)` with distinct ids in first-seen order.
+pub(crate) fn multiplicities(sampled: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let mut distinct = Vec::new();
+    let mut counts = Vec::new();
+    for &e in sampled {
+        match distinct.iter().position(|&x| x == e) {
+            Some(i) => counts[i] += 1,
+            None => {
+                distinct.push(e);
+                counts.push(1);
+            }
+        }
+    }
+    (distinct, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hm_data::scenarios::tiny_problem;
+
+    fn meter_and_trace() -> (CommMeter, Trace) {
+        (CommMeter::new(), Trace::enabled())
+    }
+
+    #[test]
+    fn multiplicities_counts() {
+        let (d, c) = multiplicities(&[3, 1, 3, 3, 0]);
+        assert_eq!(d, vec![3, 1, 0]);
+        assert_eq!(c, vec![3, 1, 1]);
+        assert_eq!(c.iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn edge_blocks_run_and_meter() {
+        let sc = tiny_problem(3, 2, 1);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let (meter, trace) = meter_and_trace();
+        let w0 = vec![0.0; fp.num_params()];
+        let out = run_edge_blocks(EdgeBlockParams {
+            problem: &fp,
+            w_start: &w0,
+            edges: &[0, 2],
+            tau1: 2,
+            tau2: 3,
+            eta_w: 0.1,
+            batch_size: 2,
+            checkpoint: Some((1, 1)),
+            quantizer: Quantizer::Exact,
+            dropout: 0.0,
+            record_rounds: true,
+            round: 0,
+            seed: 42,
+            meter: &meter,
+            par: Parallelism::Sequential,
+            trace: &trace,
+        });
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].edge, 0);
+        assert_eq!(out[1].edge, 2);
+        // Models moved away from zero, and checkpoints were captured.
+        for o in &out {
+            assert!(hm_tensor::vecops::norm2(&o.w_final) > 0.0);
+            assert!(o.checkpoint.is_some());
+        }
+        let s = meter.snapshot();
+        // 3 blocks → 3 client-edge rounds, zero cloud rounds here.
+        assert_eq!(s.rounds(Link::ClientEdge), 3);
+        assert_eq!(s.cloud_rounds(), 0);
+        // Downlink: 3 blocks × 2 edges × 2 clients × d floats.
+        let d = fp.num_params() as u64;
+        assert_eq!(s.downlink_floats(Link::ClientEdge), 3 * 2 * 2 * d);
+        // Uplink: (2 plain blocks × d + 1 checkpoint block × 2d) × 4 clients.
+        assert_eq!(s.uplink_floats(Link::ClientEdge), (2 * d + 2 * d) * 4);
+        // Trace recorded τ2 aggregations per edge.
+        let events = trace.events();
+        let aggs = events
+            .iter()
+            .filter(|e| matches!(e, Event::ClientEdgeAggregation { .. }))
+            .count();
+        assert_eq!(aggs, 2 * 3);
+    }
+
+    #[test]
+    fn checkpoint_at_block_start_equals_block_model() {
+        // With c1 = 0, the checkpoint is the block-start model; for c2 = 0
+        // that is the broadcast global model itself.
+        let sc = tiny_problem(2, 2, 3);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let (meter, trace) = (CommMeter::new(), Trace::disabled());
+        let w0 = vec![0.25; fp.num_params()];
+        let out = run_edge_blocks(EdgeBlockParams {
+            problem: &fp,
+            w_start: &w0,
+            edges: &[1],
+            tau1: 3,
+            tau2: 2,
+            eta_w: 0.05,
+            batch_size: 2,
+            checkpoint: Some((0, 0)),
+            quantizer: Quantizer::Exact,
+            dropout: 0.0,
+            record_rounds: true,
+            round: 0,
+            seed: 7,
+            meter: &meter,
+            par: Parallelism::Sequential,
+            trace: &trace,
+        });
+        assert_eq!(out[0].checkpoint.as_deref(), Some(w0.as_slice()));
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let sc = tiny_problem(3, 3, 9);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let run = |par: Parallelism| {
+            let meter = CommMeter::new();
+            let trace = Trace::disabled();
+            run_edge_blocks(EdgeBlockParams {
+                problem: &fp,
+                w_start: &vec![0.0; fp.num_params()],
+                edges: &[0, 1, 2],
+                tau1: 2,
+                tau2: 2,
+                eta_w: 0.1,
+                batch_size: 2,
+                checkpoint: Some((1, 0)),
+                quantizer: Quantizer::Exact,
+                dropout: 0.0,
+                record_rounds: true,
+                round: 3,
+                seed: 11,
+                meter: &meter,
+                par,
+                trace: &trace,
+            })
+        };
+        let a = run(Parallelism::Sequential);
+        let b = run(Parallelism::Rayon);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.w_final, y.w_final);
+            assert_eq!(x.checkpoint, y.checkpoint);
+        }
+    }
+}

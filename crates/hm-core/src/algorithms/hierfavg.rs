@@ -1,0 +1,275 @@
+//! HierFAVG (Liu et al., ICC 2020) — the three-layer *minimization*
+//! baseline: the same client-edge-cloud update structure as HierMinimax's
+//! Phase 1 (`τ2` client-edge aggregations of `τ1` local steps), but solving
+//! problem (1) — no edge weights, no Phase 2. Participating edges are
+//! sampled uniformly, and the cloud aggregation weights each edge by its
+//! training-data volume (the `q_n ∝ data` convention of eq. 1); client
+//! shards within an edge are equal-sized in every scenario here, so the
+//! client-edge aggregation remains a plain average.
+
+use super::hier_common::{run_edge_blocks, EdgeBlockParams};
+use super::{finish_round, Algorithm, IterateAverage, RunOpts, RunResult};
+use crate::history::History;
+use crate::problem::FederatedProblem;
+use hm_data::rng::{Purpose, StreamKey, StreamRng};
+use hm_simnet::sampling::sample_edges_uniform;
+use hm_simnet::trace::Event;
+use hm_simnet::{CommMeter, Link, Quantizer};
+use hm_tensor::vecops;
+
+/// Configuration of a HierFAVG run.
+#[derive(Debug, Clone)]
+pub struct HierFavgConfig {
+    /// Training rounds `K`.
+    pub rounds: usize,
+    /// Local SGD steps per client-edge aggregation (`τ1`).
+    pub tau1: usize,
+    /// Client-edge aggregations per round (`τ2`).
+    pub tau2: usize,
+    /// Participating edges per round (uniformly sampled).
+    pub m_edges: usize,
+    /// Model learning rate.
+    pub eta_w: f32,
+    /// Mini-batch size for local SGD.
+    pub batch_size: usize,
+    /// Uplink codec for model uploads (`Quantizer::Exact` = the original
+    /// HierFAVG; a stochastic codec gives Hier-Local-QSGD).
+    pub quantizer: Quantizer,
+    /// Per-block client dropout probability (crash/straggler simulation;
+    /// `0.0` = the paper's failure-free protocol).
+    pub dropout: f32,
+    /// Shared runner options.
+    pub opts: RunOpts,
+}
+
+impl Default for HierFavgConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 50,
+            tau1: 2,
+            tau2: 2,
+            m_edges: 2,
+            eta_w: 0.05,
+            batch_size: 4,
+            quantizer: Quantizer::Exact,
+            dropout: 0.0,
+            opts: RunOpts::default(),
+        }
+    }
+}
+
+/// The HierFAVG baseline.
+#[derive(Debug, Clone)]
+pub struct HierFavg {
+    cfg: HierFavgConfig,
+}
+
+impl HierFavg {
+    /// Build a runner from a config.
+    pub fn new(cfg: HierFavgConfig) -> Self {
+        assert!(cfg.rounds > 0 && cfg.tau1 > 0 && cfg.tau2 > 0);
+        assert!(cfg.m_edges > 0 && cfg.batch_size > 0);
+        Self { cfg }
+    }
+}
+
+impl Algorithm for HierFavg {
+    fn name(&self) -> &'static str {
+        "HierFAVG"
+    }
+
+    fn run(&self, problem: &FederatedProblem, seed: u64) -> RunResult {
+        let cfg = &self.cfg;
+        let n_edges = problem.num_edges();
+        assert!(
+            cfg.m_edges <= n_edges,
+            "m_edges {} exceeds {} edges",
+            cfg.m_edges,
+            n_edges
+        );
+        let d = problem.num_params();
+        let meter = CommMeter::new();
+        let trace = cfg.opts.make_trace();
+        let mut history = History::default();
+        let mut avg_w = IterateAverage::new(d);
+        let mut avg_p = IterateAverage::new(n_edges);
+        let uniform_p = problem.initial_p();
+
+        let mut w = problem
+            .model
+            .init_params(&mut StreamRng::for_key(StreamKey::new(
+                seed,
+                Purpose::Init,
+                0,
+                0,
+            )));
+
+        for k in 0..cfg.rounds {
+            let mut e_rng =
+                StreamRng::for_key(StreamKey::new(seed, Purpose::EdgeSampling, k as u64, 0));
+            let sampled = sample_edges_uniform(n_edges, cfg.m_edges, &mut e_rng);
+            trace.record(|| Event::Phase1EdgesSampled {
+                round: k,
+                edges: sampled.clone(),
+            });
+
+            meter.record_broadcast(Link::EdgeCloud, d as u64, sampled.len() as u64);
+
+            let outputs = run_edge_blocks(EdgeBlockParams {
+                problem,
+                w_start: &w,
+                edges: &sampled,
+                tau1: cfg.tau1,
+                tau2: cfg.tau2,
+                eta_w: cfg.eta_w,
+                batch_size: cfg.batch_size,
+                checkpoint: None,
+                quantizer: cfg.quantizer,
+                dropout: cfg.dropout,
+                record_rounds: true,
+                round: k,
+                seed,
+                meter: &meter,
+                par: cfg.opts.parallelism,
+                trace: &trace,
+            });
+
+            let mut outputs = outputs;
+            if cfg.quantizer != Quantizer::Exact {
+                // Edge→cloud codec: deltas against the round's broadcast
+                // model, which the cloud already holds.
+                for o in outputs.iter_mut() {
+                    let mut qrng = StreamRng::for_key(StreamKey::new(
+                        seed,
+                        Purpose::Quantize,
+                        k as u64,
+                        1_000_000 + o.edge as u64,
+                    ));
+                    super::hier_common::quantize_delta(
+                        &cfg.quantizer,
+                        &w,
+                        &mut o.w_final,
+                        &mut qrng,
+                    );
+                }
+            }
+            meter.record_gather(
+                Link::EdgeCloud,
+                cfg.quantizer.wire_floats(d),
+                sampled.len() as u64,
+            );
+            meter.record_round(Link::EdgeCloud);
+
+            // Cloud aggregation weighted by edge data volume (q ∝ data).
+            let sizes: Vec<f64> = sampled
+                .iter()
+                .map(|&e| {
+                    problem.scenario.edges[e]
+                        .client_train
+                        .iter()
+                        .map(|d| d.len())
+                        .sum::<usize>() as f64
+                })
+                .collect();
+            let total: f64 = sizes.iter().sum();
+            let weights: Vec<f64> = sizes.iter().map(|s| s / total).collect();
+            let finals: Vec<&[f32]> = outputs.iter().map(|o| o.w_final.as_slice()).collect();
+            vecops::weighted_average_into(&finals, &weights, &mut w);
+            trace.record(|| Event::GlobalAggregation { round: k });
+
+            finish_round(
+                problem,
+                &cfg.opts,
+                &mut history,
+                &mut avg_w,
+                &mut avg_p,
+                k,
+                cfg.rounds,
+                cfg.tau1 * cfg.tau2,
+                meter.snapshot(),
+                &w,
+                uniform_p.clone(),
+            );
+        }
+
+        RunResult {
+            final_w: w,
+            avg_w: avg_w.mean(),
+            final_p: uniform_p.clone(),
+            avg_p: avg_p.mean(),
+            history,
+            comm: meter.snapshot(),
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hm_data::scenarios::tiny_problem;
+    use hm_simnet::Parallelism;
+
+    fn quick_cfg(rounds: usize) -> HierFavgConfig {
+        HierFavgConfig {
+            rounds,
+            tau1: 2,
+            tau2: 2,
+            m_edges: 2,
+            eta_w: 0.1,
+            batch_size: 2,
+            quantizer: hm_simnet::Quantizer::Exact,
+            dropout: 0.0,
+            opts: RunOpts {
+                eval_every: 1,
+                parallelism: Parallelism::Sequential,
+                trace: false,
+            },
+        }
+    }
+
+    #[test]
+    fn one_cloud_round_per_training_round() {
+        let sc = tiny_problem(3, 2, 1);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let r = HierFavg::new(quick_cfg(5)).run(&fp, 42);
+        assert_eq!(r.comm.cloud_rounds(), 5);
+        // τ2 client-edge rounds per training round.
+        assert_eq!(r.comm.rounds(hm_simnet::Link::ClientEdge), 10);
+    }
+
+    #[test]
+    fn p_stays_uniform() {
+        let sc = tiny_problem(4, 2, 2);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let r = HierFavg::new(quick_cfg(3)).run(&fp, 1);
+        assert_eq!(r.final_p, vec![0.25; 4]);
+        for rec in &r.history.rounds {
+            assert_eq!(rec.p, vec![0.25; 4]);
+        }
+    }
+
+    #[test]
+    fn training_reduces_objective() {
+        let sc = tiny_problem(3, 2, 3);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let w0 = vec![0.0; fp.num_params()];
+        let p0 = fp.initial_p();
+        let before = fp.objective(&w0, &p0);
+        let mut cfg = quick_cfg(30);
+        cfg.m_edges = 3;
+        let r = HierFavg::new(cfg).run(&fp, 5);
+        assert!(fp.objective(&r.final_w, &p0) < before * 0.8);
+    }
+
+    #[test]
+    fn deterministic_across_parallelism() {
+        let sc = tiny_problem(3, 2, 4);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let mut cfg = quick_cfg(3);
+        let a = HierFavg::new(cfg.clone()).run(&fp, 7);
+        cfg.opts.parallelism = Parallelism::Rayon;
+        let b = HierFavg::new(cfg).run(&fp, 7);
+        assert_eq!(a.final_w, b.final_w);
+    }
+}

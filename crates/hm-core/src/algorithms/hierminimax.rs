@@ -1,0 +1,572 @@
+//! HierMinimax — Algorithm 1 of the paper.
+//!
+//! Per training round `k`:
+//!
+//! **Phase 1 (model update).** The cloud samples `m_E` edges i.i.d. by the
+//! current weights `p^(k)` and a checkpoint index `(c1, c2)` uniform on
+//! `[τ1] × [τ2]`, and broadcasts `w^(k)` and `(c1, c2)`. Each sampled edge
+//! runs `ModelUpdate`: `τ2` client-edge aggregation blocks of `τ1` local
+//! projected-SGD steps (eq. 4), capturing the checkpoint model after `c1`
+//! steps of block `c2`. Edges upload `w_e^{(k,τ2)}` and the checkpoint; the
+//! cloud averages both (eqs. 5–6).
+//!
+//! **Phase 2 (weight update).** The cloud samples a *uniform* edge set
+//! `U^(k)` of size `m_E`, broadcasts the checkpoint model, and collects
+//! mini-batch loss estimates `f_e`. It forms the importance-weighted
+//! estimate `v_e = (N_E/m_E)·f_e` for sampled edges (zero otherwise) —
+//! unbiased for `∇_p F(w^{(k,c2,c1)}, ·)` — and updates
+//! `p^{(k+1)} = Π_P(p^(k) + η_p τ1 τ2 v)` (eq. 7).
+
+use super::hier_common::{multiplicities, run_edge_blocks, EdgeBlockParams};
+use super::{finish_round, Algorithm, IterateAverage, RunOpts, RunResult};
+use crate::history::History;
+use crate::localsgd::estimate_loss;
+use crate::problem::FederatedProblem;
+use hm_data::rng::{Purpose, StreamKey, StreamRng};
+use hm_optim::sgd::projected_ascent_step;
+use hm_simnet::sampling::{sample_checkpoint, sample_edges_uniform, sample_edges_weighted};
+use hm_simnet::trace::Event;
+use hm_simnet::{CommMeter, Link, Quantizer};
+use hm_tensor::vecops;
+
+/// Which model Phase 2 estimates losses on — the paper's randomly-indexed
+/// checkpoint, or two biased ablation variants used by the
+/// `ablation_checkpoint` bench to show why the checkpoint matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WeightUpdateModel {
+    /// The paper's mechanism: the aggregated model at the uniformly random
+    /// checkpoint index `(c1, c2)` — an unbiased sample of the round's
+    /// iterate trajectory.
+    #[default]
+    RandomCheckpoint,
+    /// Ablation: the round's *final* aggregated model `w^(k+1)` (biased
+    /// toward the end of the trajectory).
+    FinalModel,
+    /// Ablation: the round's *starting* model `w^(k)` (one full round
+    /// stale).
+    RoundStart,
+}
+
+/// Configuration of a HierMinimax run.
+#[derive(Debug, Clone)]
+pub struct HierMinimaxConfig {
+    /// Training rounds `K`.
+    pub rounds: usize,
+    /// Local SGD steps per client-edge aggregation (`τ1`).
+    pub tau1: usize,
+    /// Client-edge aggregations per round (`τ2`).
+    pub tau2: usize,
+    /// Participating edges per phase (`m_E`).
+    pub m_edges: usize,
+    /// Model learning rate `η_w`.
+    pub eta_w: f32,
+    /// Weight learning rate `η_p` (the update applies `η_p τ1 τ2`).
+    pub eta_p: f32,
+    /// Mini-batch size for local SGD.
+    pub batch_size: usize,
+    /// Mini-batch size for Phase-2 loss estimation (a larger batch lowers
+    /// the variance σ_p² of the weight-gradient estimate).
+    pub loss_batch: usize,
+    /// Which model Phase 2 evaluates (ablation hook; the paper's mechanism
+    /// is the default).
+    pub weight_update_model: WeightUpdateModel,
+    /// Uplink codec for model uploads (the Hier-Local-QSGD extension;
+    /// `Quantizer::Exact` reproduces the paper's algorithm).
+    pub quantizer: Quantizer,
+    /// Per-block client dropout probability (crash/straggler simulation;
+    /// `0.0` = the paper's failure-free protocol).
+    pub dropout: f32,
+    /// Heterogeneous operating rates (the "flexible communication
+    /// frequencies" the paper highlights, cf. Castiglia et al. \[5\]):
+    /// when set, edge `e` performs `tau2_per_edge[e]` client-edge
+    /// aggregations per round instead of the uniform `tau2`. Slot
+    /// accounting uses the maximum (the synchronous round ends when the
+    /// slowest edge finishes).
+    pub tau2_per_edge: Option<Vec<usize>>,
+    /// Shared runner options.
+    pub opts: RunOpts,
+}
+
+impl Default for HierMinimaxConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 50,
+            tau1: 2,
+            tau2: 2,
+            m_edges: 2,
+            eta_w: 0.05,
+            eta_p: 0.05,
+            batch_size: 4,
+            loss_batch: 16,
+            weight_update_model: WeightUpdateModel::default(),
+            quantizer: Quantizer::Exact,
+            dropout: 0.0,
+            tau2_per_edge: None,
+            opts: RunOpts::default(),
+        }
+    }
+}
+
+/// The HierMinimax algorithm (Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct HierMinimax {
+    cfg: HierMinimaxConfig,
+}
+
+impl HierMinimax {
+    /// Build a runner from a config.
+    pub fn new(cfg: HierMinimaxConfig) -> Self {
+        assert!(cfg.rounds > 0 && cfg.tau1 > 0 && cfg.tau2 > 0);
+        assert!(cfg.m_edges > 0, "need at least one participating edge");
+        assert!(cfg.batch_size > 0);
+        Self { cfg }
+    }
+
+    /// The configuration of this runner.
+    pub fn config(&self) -> &HierMinimaxConfig {
+        &self.cfg
+    }
+}
+
+impl Algorithm for HierMinimax {
+    fn name(&self) -> &'static str {
+        "HierMinimax"
+    }
+
+    fn run(&self, problem: &FederatedProblem, seed: u64) -> RunResult {
+        let cfg = &self.cfg;
+        let n_edges = problem.num_edges();
+        let n0 = problem.clients_per_edge();
+        assert!(
+            cfg.m_edges <= n_edges,
+            "m_edges {} exceeds {} edges",
+            cfg.m_edges,
+            n_edges
+        );
+        if let Some(rates) = &cfg.tau2_per_edge {
+            assert_eq!(rates.len(), n_edges, "one tau2 per edge");
+            assert!(rates.iter().all(|&t| t > 0), "tau2 rates must be positive");
+        }
+        let max_tau2 = cfg
+            .tau2_per_edge
+            .as_ref()
+            .map_or(cfg.tau2, |r| r.iter().copied().max().expect("non-empty"));
+        let d = problem.num_params();
+        let meter = CommMeter::new();
+        let trace = cfg.opts.make_trace();
+        let mut history = History::default();
+        let mut avg_w = IterateAverage::new(d);
+        let mut avg_p = IterateAverage::new(n_edges);
+
+        let mut w = problem
+            .model
+            .init_params(&mut StreamRng::for_key(StreamKey::new(
+                seed,
+                Purpose::Init,
+                0,
+                0,
+            )));
+        let mut p = problem.initial_p();
+
+        for k in 0..cfg.rounds {
+            // ---- Phase 1: model parameter update --------------------------
+            let mut e_rng =
+                StreamRng::for_key(StreamKey::new(seed, Purpose::EdgeSampling, k as u64, 0));
+            let p64: Vec<f64> = p.iter().map(|&x| f64::from(x).max(0.0)).collect();
+            let sampled = sample_edges_weighted(&p64, cfg.m_edges, &mut e_rng);
+            trace.record(|| Event::Phase1EdgesSampled {
+                round: k,
+                edges: sampled.clone(),
+            });
+
+            let mut c_rng =
+                StreamRng::for_key(StreamKey::new(seed, Purpose::Checkpoint, k as u64, 0));
+            let (c1, c2) = sample_checkpoint(cfg.tau1, cfg.tau2, &mut c_rng);
+            trace.record(|| Event::CheckpointSampled { round: k, c1, c2 });
+
+            // Cloud → sampled edges: the global model and the (scalar)
+            // checkpoint index. Duplicated samples transmit once.
+            let (distinct, counts) = multiplicities(&sampled);
+            meter.record_broadcast(Link::EdgeCloud, d as u64 + 2, distinct.len() as u64);
+
+            // Round-start model, kept for the RoundStart ablation variant.
+            let w_start = if cfg.weight_update_model == WeightUpdateModel::RoundStart {
+                w.clone()
+            } else {
+                Vec::new()
+            };
+
+            let outputs = match &cfg.tau2_per_edge {
+                None => run_edge_blocks(EdgeBlockParams {
+                    problem,
+                    w_start: &w,
+                    edges: &distinct,
+                    tau1: cfg.tau1,
+                    tau2: cfg.tau2,
+                    eta_w: cfg.eta_w,
+                    batch_size: cfg.batch_size,
+                    checkpoint: Some((c1, c2)),
+                    quantizer: cfg.quantizer,
+                    dropout: cfg.dropout,
+                    record_rounds: true,
+                    round: k,
+                    seed,
+                    meter: &meter,
+                    par: cfg.opts.parallelism,
+                    trace: &trace,
+                }),
+                Some(rates) => {
+                    // Heterogeneous rates: each edge runs its own block
+                    // count and samples its own uniform checkpoint block
+                    // (clamping a shared index would bias slow edges toward
+                    // late blocks and never reach fast edges' extra blocks).
+                    // Local (client-edge) rounds are metered per edge here,
+                    // since each edge genuinely runs its own aggregations.
+                    let mut outs = Vec::with_capacity(distinct.len());
+                    for &e in &distinct {
+                        let tau2_e = rates[e];
+                        let c2_e = StreamRng::for_key(StreamKey::new(
+                            seed,
+                            Purpose::Checkpoint,
+                            k as u64,
+                            1 + e as u64,
+                        ))
+                        .below(tau2_e);
+                        let mut o = run_edge_blocks(EdgeBlockParams {
+                            problem,
+                            w_start: &w,
+                            edges: std::slice::from_ref(&e),
+                            tau1: cfg.tau1,
+                            tau2: tau2_e,
+                            eta_w: cfg.eta_w,
+                            batch_size: cfg.batch_size,
+                            checkpoint: Some((c1, c2_e)),
+                            quantizer: cfg.quantizer,
+                            dropout: cfg.dropout,
+                            record_rounds: false,
+                            round: k,
+                            seed,
+                            meter: &meter,
+                            par: cfg.opts.parallelism,
+                            trace: &trace,
+                        });
+                        outs.push(o.pop().expect("one edge per call"));
+                    }
+                    // Concurrent edges share synchronisation windows: the
+                    // round's local sync count is the slowest sampled
+                    // edge's block count, not the per-edge sum.
+                    let max_sampled = distinct
+                        .iter()
+                        .map(|&e| rates[e])
+                        .max()
+                        .expect("at least one sampled edge");
+                    for _ in 0..max_sampled {
+                        meter.record_round(Link::ClientEdge);
+                    }
+                    outs
+                }
+            };
+
+            debug_assert!(
+                outputs.iter().zip(&distinct).all(|(o, &e)| o.edge == e),
+                "edge outputs out of order"
+            );
+
+            // Edges → cloud: final model + checkpoint model (quantized
+            // when the codec is active), one round.
+            let mut outputs = outputs;
+            if cfg.quantizer != Quantizer::Exact {
+                // Edge→cloud codec: deltas against the round's broadcast
+                // model, which the cloud already holds.
+                for o in outputs.iter_mut() {
+                    let mut qrng = StreamRng::for_key(StreamKey::new(
+                        seed,
+                        Purpose::Quantize,
+                        k as u64,
+                        1_000_000 + o.edge as u64,
+                    ));
+                    super::hier_common::quantize_delta(
+                        &cfg.quantizer,
+                        &w,
+                        &mut o.w_final,
+                        &mut qrng,
+                    );
+                    if let Some(cp) = o.checkpoint.as_mut() {
+                        super::hier_common::quantize_delta(&cfg.quantizer, &w, cp, &mut qrng);
+                    }
+                }
+            }
+            meter.record_gather(
+                Link::EdgeCloud,
+                2 * cfg.quantizer.wire_floats(d),
+                distinct.len() as u64,
+            );
+            meter.record_round(Link::EdgeCloud);
+
+            // Cloud aggregation over the m_E sampled slots (eqs. 5–6):
+            // duplicates in the with-replacement sample weight their edge.
+            let weights: Vec<f64> = counts
+                .iter()
+                .map(|&c| c as f64 / cfg.m_edges as f64)
+                .collect();
+            let finals: Vec<&[f32]> = outputs.iter().map(|o| o.w_final.as_slice()).collect();
+            vecops::weighted_average_into(&finals, &weights, &mut w);
+            let cps: Vec<&[f32]> = outputs
+                .iter()
+                .map(|o| {
+                    o.checkpoint
+                        .as_deref()
+                        .expect("phase 1 captures checkpoints")
+                })
+                .collect();
+            let mut w_checkpoint = vec![0.0_f32; d];
+            vecops::weighted_average_into(&cps, &weights, &mut w_checkpoint);
+            trace.record(|| Event::GlobalAggregation { round: k });
+            // Ablation hook: optionally estimate Phase-2 losses on a biased
+            // model instead of the unbiased random checkpoint.
+            let w_phase2: &[f32] = match cfg.weight_update_model {
+                WeightUpdateModel::RandomCheckpoint => &w_checkpoint,
+                WeightUpdateModel::FinalModel => &w,
+                WeightUpdateModel::RoundStart => &w_start,
+            };
+
+            // ---- Phase 2: edge weight update ------------------------------
+            let mut u_rng = StreamRng::for_key(StreamKey::new(
+                seed,
+                Purpose::LossEstSampling,
+                k as u64,
+                u64::MAX,
+            ));
+            let u_set = sample_edges_uniform(n_edges, cfg.m_edges, &mut u_rng);
+            trace.record(|| Event::Phase2EdgesSampled {
+                round: k,
+                edges: u_set.clone(),
+            });
+
+            // Cloud → U^(k): checkpoint model; edges relay to clients.
+            meter.record_broadcast(Link::EdgeCloud, d as u64, u_set.len() as u64);
+            meter.record_broadcast(Link::ClientEdge, d as u64, (u_set.len() * n0) as u64);
+
+            let topo = problem.topology();
+            let model = &problem.model;
+            let edge_losses: Vec<f64> = cfg.opts.parallelism.map(u_set.clone(), |e| {
+                // f_e = (1/N_0) Σ_n f_n(checkpoint; ξ_n).
+                let mut total = 0.0_f64;
+                for c in 0..n0 {
+                    let client = topo.client_id(e, c);
+                    let mut rng = StreamRng::for_key(StreamKey::new(
+                        seed,
+                        Purpose::LossEstSampling,
+                        k as u64,
+                        client as u64,
+                    ));
+                    total += estimate_loss(
+                        &**model,
+                        problem.client_data(e, c),
+                        w_phase2,
+                        cfg.loss_batch,
+                        &mut rng,
+                    );
+                }
+                total / n0 as f64
+            });
+
+            // Clients → edges: scalar losses; edges → cloud: scalar f_e.
+            meter.record_gather(Link::ClientEdge, 1, (u_set.len() * n0) as u64);
+            meter.record_round(Link::ClientEdge);
+            // Phase 2 piggybacks on the round's cloud exchange window: its
+            // floats/messages are metered above, but it does not count as a
+            // separate communication round (the paper's Table-1 complexity
+            // is O(1) edge-cloud rounds per training round covering both
+            // phases).
+            meter.record_gather(Link::EdgeCloud, 1, u_set.len() as u64);
+
+            // Unbiased gradient estimate v and projected ascent (eq. 7).
+            let mut v = vec![0.0_f32; n_edges];
+            let scale = n_edges as f64 / cfg.m_edges as f64;
+            for (&e, &fe) in u_set.iter().zip(&edge_losses) {
+                v[e] = (scale * fe) as f32;
+            }
+            // Theorem 1's update applies η_p × (slots per round); under
+            // heterogeneous rates the round spans τ1 · max τ2_e slots.
+            let lr = cfg.eta_p * (cfg.tau1 * max_tau2) as f32;
+            projected_ascent_step(&mut p, &v, lr, &problem.p_domain);
+            trace.record(|| Event::WeightUpdate {
+                round: k,
+                p: p.clone(),
+            });
+
+            finish_round(
+                problem,
+                &cfg.opts,
+                &mut history,
+                &mut avg_w,
+                &mut avg_p,
+                k,
+                cfg.rounds,
+                cfg.tau1 * max_tau2,
+                meter.snapshot(),
+                &w,
+                p.clone(),
+            );
+        }
+
+        RunResult {
+            final_w: w,
+            avg_w: avg_w.mean(),
+            final_p: p.clone(),
+            avg_p: avg_p.mean(),
+            history,
+            comm: meter.snapshot(),
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hm_data::scenarios::tiny_problem;
+    use hm_simnet::Parallelism;
+
+    fn quick_cfg(rounds: usize) -> HierMinimaxConfig {
+        HierMinimaxConfig {
+            rounds,
+            tau1: 2,
+            tau2: 2,
+            m_edges: 2,
+            eta_w: 0.1,
+            eta_p: 0.1,
+            batch_size: 2,
+            loss_batch: 4,
+            weight_update_model: WeightUpdateModel::default(),
+            quantizer: Quantizer::Exact,
+            dropout: 0.0,
+            tau2_per_edge: None,
+            opts: RunOpts {
+                eval_every: 1,
+                parallelism: Parallelism::Sequential,
+                trace: true,
+            },
+        }
+    }
+
+    #[test]
+    fn runs_and_records_history() {
+        let sc = tiny_problem(3, 2, 1);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let r = HierMinimax::new(quick_cfg(4)).run(&fp, 42);
+        assert_eq!(r.history.rounds.len(), 4);
+        assert_eq!(r.final_p.len(), 3);
+        // p stays on the simplex.
+        let sum: f32 = r.final_p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+        assert!(r.final_p.iter().all(|&x| x >= -1e-6));
+        // One cloud round per training round (Phases 1+2 share the
+        // round's exchange window).
+        assert_eq!(r.comm.cloud_rounds(), 4);
+        // slots = rounds · τ1 τ2.
+        assert_eq!(r.history.rounds.last().unwrap().slots_done, 16);
+    }
+
+    #[test]
+    fn deterministic_across_parallelism() {
+        let sc = tiny_problem(3, 2, 2);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let mut cfg = quick_cfg(3);
+        cfg.opts.trace = false;
+        cfg.opts.parallelism = Parallelism::Sequential;
+        let a = HierMinimax::new(cfg.clone()).run(&fp, 7);
+        cfg.opts.parallelism = Parallelism::Rayon;
+        let b = HierMinimax::new(cfg).run(&fp, 7);
+        assert_eq!(a.final_w, b.final_w);
+        assert_eq!(a.final_p, b.final_p);
+    }
+
+    #[test]
+    fn seeds_change_the_run() {
+        let sc = tiny_problem(3, 2, 2);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let a = HierMinimax::new(quick_cfg(3)).run(&fp, 1);
+        let b = HierMinimax::new(quick_cfg(3)).run(&fp, 2);
+        assert_ne!(a.final_w, b.final_w);
+    }
+
+    #[test]
+    fn training_reduces_objective() {
+        let sc = tiny_problem(3, 2, 3);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let w0 = vec![0.0; fp.num_params()];
+        let p0 = fp.initial_p();
+        let before = fp.objective(&w0, &p0);
+        let mut cfg = quick_cfg(30);
+        cfg.m_edges = 3;
+        let r = HierMinimax::new(cfg).run(&fp, 5);
+        let after = fp.objective(&r.final_w, &p0);
+        assert!(after < before * 0.8, "objective {before} -> {after}");
+    }
+
+    #[test]
+    fn trace_contains_protocol_events() {
+        use hm_simnet::trace::Event;
+        let sc = tiny_problem(3, 2, 4);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let r = HierMinimax::new(quick_cfg(2)).run(&fp, 9);
+        let events = r.trace.events();
+        let phase1 = events
+            .iter()
+            .filter(|e| matches!(e, Event::Phase1EdgesSampled { .. }))
+            .count();
+        let phase2 = events
+            .iter()
+            .filter(|e| matches!(e, Event::Phase2EdgesSampled { .. }))
+            .count();
+        let cps = events
+            .iter()
+            .filter(|e| matches!(e, Event::CheckpointSampled { .. }))
+            .count();
+        let wu = events
+            .iter()
+            .filter(|e| matches!(e, Event::WeightUpdate { .. }))
+            .count();
+        assert_eq!(phase1, 2);
+        assert_eq!(phase2, 2);
+        assert_eq!(cps, 2);
+        assert_eq!(wu, 2);
+        // Checkpoint indices are within [τ1]×[τ2].
+        for e in &events {
+            if let Event::CheckpointSampled { c1, c2, .. } = e {
+                assert!(*c1 < 2 && *c2 < 2);
+            }
+        }
+    }
+
+    #[test]
+    fn weights_shift_toward_lossier_edges() {
+        // With one class per edge and per-edge losses, after training the
+        // weight of the worst edge should not be the smallest one.
+        let sc = tiny_problem(4, 2, 6);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let mut cfg = quick_cfg(40);
+        cfg.m_edges = 2;
+        cfg.opts.eval_every = 0;
+        let r = HierMinimax::new(cfg).run(&fp, 3);
+        // p must have moved off the uniform start.
+        let uniform = 1.0 / 4.0_f32;
+        assert!(
+            r.final_p.iter().any(|&x| (x - uniform).abs() > 1e-3),
+            "p never moved: {:?}",
+            r.final_p
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn too_many_edges_panics() {
+        let sc = tiny_problem(2, 2, 1);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let mut cfg = quick_cfg(1);
+        cfg.m_edges = 5;
+        let _ = HierMinimax::new(cfg).run(&fp, 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! The distributed optimization algorithms.
+//!
+//! - [`HierMinimax`] — the paper's contribution (Algorithm 1): three-layer
+//!   minimax with multi-step local SGD, multi-step client-edge aggregation,
+//!   checkpoint-based edge-weight updates, and partial participation.
+//! - [`MultiLevelMinimax`] — the paper's §3 generalisation to arbitrary
+//!   hierarchy depth (clients → edges → regions → … → cloud).
+//! - Baselines, exactly the four the evaluation compares against (§6):
+//!   [`FedAvg`] (two-layer minimization, multi-step), [`StochasticAfl`]
+//!   (two-layer minimax, single-step), [`Drfa`] (two-layer minimax,
+//!   multi-step), and [`HierFavg`] (three-layer minimization).
+//!
+//! ## Communication-round convention
+//!
+//! Following the paper's framing (cloud connectivity is the scarce
+//! resource), "communication rounds" counts synchronisation rounds on
+//! cloud-terminating links ([`CommStats::cloud_rounds`]): exactly one per
+//! training round for every method — the O(1)-per-round accounting behind
+//! Table 1's `Θ(T^{1−α})` edge-cloud complexity. Weight-update exchanges
+//! (DRFA's checkpoint round, HierMinimax's Phase 2) share the round's
+//! exchange window; their payloads are still metered in the float/message
+//! counters. Client-edge aggregations are metered on the `ClientEdge` link
+//! and visible in [`CommStats::total_rounds`] and the float counters, but
+//! do not count toward the headline metric.
+
+mod drfa;
+mod fedavg;
+mod fedprox;
+mod flat_common;
+mod hier_common;
+mod hierfavg;
+mod hierminimax;
+mod multilevel;
+mod overselect;
+mod qffl;
+
+pub use drfa::{Drfa, DrfaConfig};
+pub use fedavg::{FedAvg, FedAvgConfig};
+pub use fedprox::{FedProx, FedProxConfig};
+pub use hierfavg::{HierFavg, HierFavgConfig};
+pub use hierminimax::{HierMinimax, HierMinimaxConfig, WeightUpdateModel};
+pub use multilevel::{MultiLevelConfig, MultiLevelMinimax, UpperLevel};
+pub use overselect::{OverselectConfig, OverselectMinimax, OverselectResult};
+pub use qffl::{QFedAvg, QfflConfig};
+
+use crate::history::History;
+use crate::metrics::evaluate;
+use crate::problem::FederatedProblem;
+use hm_simnet::trace::Trace;
+use hm_simnet::{CommStats, Parallelism};
+
+mod afl;
+pub use afl::{AflConfig, StochasticAfl};
+
+/// Options shared by every algorithm runner.
+#[derive(Debug, Clone)]
+pub struct RunOpts {
+    /// Evaluate on test data every `eval_every` rounds (`0` = only after
+    /// the final round). The final round is always evaluated.
+    pub eval_every: usize,
+    /// Client/edge execution mode.
+    pub parallelism: Parallelism,
+    /// Collect a protocol [`Trace`] (off by default; used by tests).
+    pub trace: bool,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        Self {
+            eval_every: 10,
+            parallelism: Parallelism::Rayon,
+            trace: false,
+        }
+    }
+}
+
+impl RunOpts {
+    /// Whether round `k` (0-based) of `rounds` total should be evaluated.
+    pub fn should_eval(&self, k: usize, rounds: usize) -> bool {
+        let last = k + 1 == rounds;
+        last || (self.eval_every > 0 && (k + 1).is_multiple_of(self.eval_every))
+    }
+
+    /// Build the trace handle for a run.
+    pub fn make_trace(&self) -> Trace {
+        if self.trace {
+            Trace::enabled()
+        } else {
+            Trace::disabled()
+        }
+    }
+}
+
+/// Output of one algorithm run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Final global model `w^(K)`.
+    pub final_w: Vec<f32>,
+    /// Running average of the per-round global models — the practical proxy
+    /// for Theorem 1's time-averaged iterate `ŵ` used by the duality-gap
+    /// evaluation.
+    pub avg_w: Vec<f32>,
+    /// Final edge weights (per edge area; two-layer minimax methods report
+    /// their client weights summed per edge, minimization methods report
+    /// the uniform vector).
+    pub final_p: Vec<f32>,
+    /// Running average of the per-round edge weights (`p̂` in Theorem 1).
+    pub avg_p: Vec<f32>,
+    /// Per-round history (communication, weights, periodic evaluations).
+    pub history: History,
+    /// Final cumulative communication counters.
+    pub comm: CommStats,
+    /// Protocol trace (empty unless requested in [`RunOpts`]).
+    pub trace: Trace,
+}
+
+/// A distributed algorithm that solves (or approximates) problem (3).
+pub trait Algorithm {
+    /// Short name used in experiment tables ("HierMinimax", "DRFA", …).
+    fn name(&self) -> &'static str;
+
+    /// Run the algorithm on a problem with a master seed.
+    fn run(&self, problem: &FederatedProblem, seed: u64) -> RunResult;
+}
+
+/// Running f64 accumulator for iterate averaging (`ŵ`, `p̂`).
+#[derive(Debug, Clone)]
+pub(crate) struct IterateAverage {
+    sum: Vec<f64>,
+    count: usize,
+}
+
+impl IterateAverage {
+    pub(crate) fn new(dim: usize) -> Self {
+        Self {
+            sum: vec![0.0; dim],
+            count: 0,
+        }
+    }
+
+    pub(crate) fn add(&mut self, x: &[f32]) {
+        assert_eq!(x.len(), self.sum.len());
+        for (s, &v) in self.sum.iter_mut().zip(x) {
+            *s += f64::from(v);
+        }
+        self.count += 1;
+    }
+
+    pub(crate) fn mean(&self) -> Vec<f32> {
+        let n = self.count.max(1) as f64;
+        self.sum.iter().map(|&s| (s / n) as f32).collect()
+    }
+}
+
+/// Shared end-of-round bookkeeping: push a history record (evaluating if
+/// scheduled) and fold the iterates into the running averages.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finish_round(
+    problem: &FederatedProblem,
+    opts: &RunOpts,
+    history: &mut History,
+    avg_w: &mut IterateAverage,
+    avg_p: &mut IterateAverage,
+    round: usize,
+    rounds_total: usize,
+    slots_per_round: usize,
+    comm: CommStats,
+    w: &[f32],
+    p_per_edge: Vec<f32>,
+) {
+    avg_w.add(w);
+    avg_p.add(&p_per_edge);
+    let eval = if opts.should_eval(round, rounds_total) {
+        Some(evaluate(problem, w, opts.parallelism))
+    } else {
+        None
+    };
+    history.push(crate::history::RoundRecord {
+        round,
+        slots_done: (round + 1) * slots_per_round,
+        comm,
+        p: p_per_edge,
+        eval,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_schedule() {
+        let opts = RunOpts {
+            eval_every: 5,
+            ..Default::default()
+        };
+        assert!(!opts.should_eval(0, 100));
+        assert!(opts.should_eval(4, 100)); // round 5
+        assert!(opts.should_eval(99, 100)); // final
+        let only_final = RunOpts {
+            eval_every: 0,
+            ..Default::default()
+        };
+        assert!(!only_final.should_eval(42, 100));
+        assert!(only_final.should_eval(99, 100));
+    }
+
+    #[test]
+    fn iterate_average_means() {
+        let mut a = IterateAverage::new(2);
+        a.add(&[1.0, 0.0]);
+        a.add(&[3.0, 1.0]);
+        assert_eq!(a.mean(), vec![2.0, 0.5]);
+    }
+
+    #[test]
+    fn iterate_average_empty_is_zero() {
+        let a = IterateAverage::new(3);
+        assert_eq!(a.mean(), vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,571 @@
+//! Multi-level HierMinimax — the paper's claimed generalisation beyond
+//! three layers ("we use [client-edge-cloud] as a representative example…
+//! our work can be easily generalized", §3).
+//!
+//! The network is a tree: clients → edge servers → one or more levels of
+//! intermediate aggregators ("regions") → cloud. Each intermediate level
+//! `l` performs `τ_l` aggregations of the level below per aggregation of
+//! the level above; the minimax weights `p` live on the level directly
+//! under the cloud (the level whose mixture the cloud can actually
+//! reweight), exactly as the paper's `p` lives on edge areas in the
+//! three-layer case.
+//!
+//! Grouping is structural: level `l`'s groups are contiguous runs of the
+//! level below. With `upper: []` this degenerates to HierMinimax itself
+//! (weights on edge areas) — asserted in the tests.
+//!
+//! Communication metering note: links between intermediate levels are
+//! metered on `ClientEdge` (local/cheap class) and only the top level's
+//! exchange with the cloud on `EdgeCloud` (WAN class), consistent with the
+//! cost model where everything below the cloud is site-local.
+
+use super::hier_common::{multiplicities, run_edge_blocks, EdgeBlockParams};
+use super::{finish_round, Algorithm, IterateAverage, RunOpts, RunResult};
+use crate::history::History;
+use crate::localsgd::estimate_loss;
+use crate::problem::FederatedProblem;
+use hm_data::rng::{Purpose, StreamKey, StreamRng};
+use hm_optim::sgd::projected_ascent_step;
+use hm_simnet::sampling::{sample_edges_uniform, sample_edges_weighted};
+use hm_simnet::trace::Event;
+use hm_simnet::trace::Trace;
+use hm_simnet::{CommMeter, Link, Quantizer};
+use hm_tensor::vecops;
+
+/// One intermediate aggregation level above the edge servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpperLevel {
+    /// How many groups of the level below form one group of this level
+    /// (contiguous grouping).
+    pub group_size: usize,
+    /// Aggregations of the level below per aggregation of this level.
+    pub tau: usize,
+}
+
+/// Configuration of a multi-level HierMinimax run.
+#[derive(Debug, Clone)]
+pub struct MultiLevelConfig {
+    /// Training rounds `K`.
+    pub rounds: usize,
+    /// Local SGD steps per client-edge aggregation (`τ1`).
+    pub tau1: usize,
+    /// Client-edge aggregations per edge-level sync (`τ2`).
+    pub tau2: usize,
+    /// Intermediate levels above the edges, bottom-up (empty = the plain
+    /// three-layer HierMinimax).
+    pub upper: Vec<UpperLevel>,
+    /// Top-level groups sampled per round (`m` of the weighted sampling).
+    pub m_groups: usize,
+    /// Model learning rate.
+    pub eta_w: f32,
+    /// Weight learning rate (the update applies `η_p · Π τ`).
+    pub eta_p: f32,
+    /// Mini-batch size for local SGD.
+    pub batch_size: usize,
+    /// Mini-batch size for loss estimation.
+    pub loss_batch: usize,
+    /// Shared runner options.
+    pub opts: RunOpts,
+}
+
+impl Default for MultiLevelConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 50,
+            tau1: 2,
+            tau2: 2,
+            upper: vec![UpperLevel {
+                group_size: 2,
+                tau: 2,
+            }],
+            m_groups: 2,
+            eta_w: 0.05,
+            eta_p: 0.01,
+            batch_size: 4,
+            loss_batch: 16,
+            opts: RunOpts::default(),
+        }
+    }
+}
+
+impl MultiLevelConfig {
+    /// Time slots consumed per training round: `τ1 τ2 Π_l τ_l`.
+    pub fn slots_per_round(&self) -> usize {
+        self.tau1 * self.tau2 * self.upper.iter().map(|u| u.tau).product::<usize>()
+    }
+
+    /// Edges per top-level group: `Π_l group_size_l`.
+    pub fn edges_per_group(&self) -> usize {
+        self.upper.iter().map(|u| u.group_size).product()
+    }
+}
+
+/// Multi-level HierMinimax.
+#[derive(Debug, Clone)]
+pub struct MultiLevelMinimax {
+    cfg: MultiLevelConfig,
+}
+
+impl MultiLevelMinimax {
+    /// Build a runner from a config.
+    ///
+    /// # Panics
+    /// Panics on degenerate configs (zero rounds/taus/groups).
+    pub fn new(cfg: MultiLevelConfig) -> Self {
+        assert!(cfg.rounds > 0 && cfg.tau1 > 0 && cfg.tau2 > 0);
+        assert!(cfg.m_groups > 0 && cfg.batch_size > 0 && cfg.loss_batch > 0);
+        assert!(cfg.upper.iter().all(|u| u.group_size > 0 && u.tau > 0));
+        Self { cfg }
+    }
+
+    /// Number of top-level (weighted) groups for a problem.
+    ///
+    /// # Panics
+    /// Panics unless the problem's edge count is divisible by the grouping.
+    pub fn num_groups(&self, problem: &FederatedProblem) -> usize {
+        let per = self.cfg.edges_per_group();
+        let n = problem.num_edges();
+        assert!(
+            n.is_multiple_of(per),
+            "{n} edges do not divide into groups of {per}"
+        );
+        n / per
+    }
+
+    /// Recursive subtree update: runs the level `li` (index into
+    /// `cfg.upper`, from the top) aggregation loop over the given edge
+    /// set, returning `(model, checkpoint)`.
+    #[allow(clippy::too_many_arguments)]
+    fn subtree_update(
+        &self,
+        problem: &FederatedProblem,
+        w_start: &[f32],
+        edges: &[usize],
+        li: usize,
+        cp_index: &[usize], // one entry per upper level + the (c1, c2) base
+        round_tag: usize,   // unique per (round, position) for RNG keying
+        seed: u64,
+        meter: &CommMeter,
+        trace: &Trace,
+    ) -> (Vec<f32>, Option<Vec<f32>>) {
+        let cfg = &self.cfg;
+        if li == cfg.upper.len() {
+            // Base case: one edge-level block over these edges.
+            let (c1, c2) = (cp_index[cp_index.len() - 2], cp_index[cp_index.len() - 1]);
+            let outputs = run_edge_blocks(EdgeBlockParams {
+                problem,
+                w_start,
+                edges,
+                tau1: cfg.tau1,
+                tau2: cfg.tau2,
+                eta_w: cfg.eta_w,
+                batch_size: cfg.batch_size,
+                checkpoint: Some((c1, c2)),
+                quantizer: Quantizer::Exact,
+                dropout: 0.0,
+                record_rounds: true,
+                round: round_tag,
+                seed,
+                meter,
+                par: cfg.opts.parallelism,
+                trace,
+            });
+            let finals: Vec<&[f32]> = outputs.iter().map(|o| o.w_final.as_slice()).collect();
+            let mut w = vec![0.0_f32; w_start.len()];
+            vecops::average_into(&finals, &mut w);
+            let cps: Vec<&[f32]> = outputs
+                .iter()
+                .map(|o| {
+                    o.checkpoint
+                        .as_deref()
+                        .expect("base level captures checkpoints")
+                })
+                .collect();
+            let mut cp = vec![0.0_f32; w_start.len()];
+            vecops::average_into(&cps, &mut cp);
+            // The edge→aggregator upload is metered by the parent level's
+            // gather (every recursion level records one gather over its
+            // children), so nothing extra is recorded here.
+            return (w, Some(cp));
+        }
+
+        let level = cfg.upper[li];
+        // Split this subtree's edges into the child groups of the next
+        // level down (contiguous, equal-sized by construction).
+        let child_edges: usize = cfg.upper[li + 1..]
+            .iter()
+            .map(|u| u.group_size)
+            .product::<usize>()
+            .max(1);
+        let children: Vec<&[usize]> = edges.chunks(child_edges).collect();
+        let mut w = w_start.to_vec();
+        let mut checkpoint: Option<Vec<f32>> = None;
+        for t in 0..level.tau {
+            // Broadcast down to children (intermediate link).
+            meter.record_broadcast(Link::ClientEdge, w.len() as u64, children.len() as u64);
+            let mut child_results = Vec::with_capacity(children.len());
+            for (ci, child) in children.iter().enumerate() {
+                let tag = (round_tag * level.tau + t) * children.len() + ci;
+                child_results.push(self.subtree_update(
+                    problem,
+                    &w,
+                    child,
+                    li + 1,
+                    cp_index,
+                    tag,
+                    seed,
+                    meter,
+                    trace,
+                ));
+            }
+            // Gather child models (+ checkpoints when this is the
+            // checkpointed sub-block) and aggregate.
+            meter.record_gather(Link::ClientEdge, 2 * w.len() as u64, children.len() as u64);
+            meter.record_round(Link::ClientEdge);
+            let models: Vec<&[f32]> = child_results.iter().map(|(m, _)| m.as_slice()).collect();
+            vecops::average_into(&models, &mut w);
+            if t == cp_index[li] {
+                let cps: Vec<&[f32]> = child_results
+                    .iter()
+                    .map(|(_, cp)| cp.as_deref().expect("children carry checkpoints"))
+                    .collect();
+                let mut cp = vec![0.0_f32; w.len()];
+                vecops::average_into(&cps, &mut cp);
+                checkpoint = Some(cp);
+            }
+        }
+        (w, checkpoint)
+    }
+}
+
+impl Algorithm for MultiLevelMinimax {
+    fn name(&self) -> &'static str {
+        "MultiLevelMinimax"
+    }
+
+    fn run(&self, problem: &FederatedProblem, seed: u64) -> RunResult {
+        let cfg = &self.cfg;
+        let num_groups = self.num_groups(problem);
+        assert!(
+            cfg.m_groups <= num_groups,
+            "m_groups {} exceeds {} groups",
+            cfg.m_groups,
+            num_groups
+        );
+        let per_group = cfg.edges_per_group();
+        let d = problem.num_params();
+        let n0 = problem.clients_per_edge();
+        let meter = CommMeter::new();
+        let trace = cfg.opts.make_trace();
+        let mut history = History::default();
+        let mut avg_w = IterateAverage::new(d);
+        let mut avg_p = IterateAverage::new(num_groups);
+
+        let mut w = problem
+            .model
+            .init_params(&mut StreamRng::for_key(StreamKey::new(
+                seed,
+                Purpose::Init,
+                0,
+                0,
+            )));
+        let mut p = vec![1.0 / num_groups as f32; num_groups];
+        let group_edges: Vec<Vec<usize>> = (0..num_groups)
+            .map(|g| (g * per_group..(g + 1) * per_group).collect())
+            .collect();
+        let total_tau = cfg.slots_per_round();
+
+        for k in 0..cfg.rounds {
+            // --- Phase 1: weighted top-level sampling + recursive update.
+            let mut e_rng =
+                StreamRng::for_key(StreamKey::new(seed, Purpose::EdgeSampling, k as u64, 0));
+            let p64: Vec<f64> = p.iter().map(|&x| f64::from(x).max(0.0)).collect();
+            let sampled = sample_edges_weighted(&p64, cfg.m_groups, &mut e_rng);
+            trace.record(|| Event::Phase1EdgesSampled {
+                round: k,
+                edges: sampled.clone(),
+            });
+            let (distinct, counts) = multiplicities(&sampled);
+
+            // Checkpoint index: one coordinate per upper level plus (c2, c1).
+            let mut c_rng =
+                StreamRng::for_key(StreamKey::new(seed, Purpose::Checkpoint, k as u64, 0));
+            let mut cp_index: Vec<usize> = cfg.upper.iter().map(|u| c_rng.below(u.tau)).collect();
+            let c1 = c_rng.below(cfg.tau1);
+            let c2 = c_rng.below(cfg.tau2);
+            cp_index.push(c1);
+            cp_index.push(c2);
+
+            meter.record_broadcast(
+                Link::EdgeCloud,
+                d as u64 + cp_index.len() as u64,
+                distinct.len() as u64,
+            );
+            let results: Vec<(Vec<f32>, Option<Vec<f32>>)> = distinct
+                .iter()
+                .map(|&g| {
+                    self.subtree_update(
+                        problem,
+                        &w,
+                        &group_edges[g],
+                        0,
+                        &cp_index,
+                        k * num_groups + g,
+                        seed,
+                        &meter,
+                        &trace,
+                    )
+                })
+                .collect();
+            meter.record_gather(Link::EdgeCloud, 2 * d as u64, distinct.len() as u64);
+            meter.record_round(Link::EdgeCloud);
+
+            let weights: Vec<f64> = counts
+                .iter()
+                .map(|&c| c as f64 / cfg.m_groups as f64)
+                .collect();
+            let models: Vec<&[f32]> = results.iter().map(|(m, _)| m.as_slice()).collect();
+            vecops::weighted_average_into(&models, &weights, &mut w);
+            let cps: Vec<&[f32]> = results
+                .iter()
+                .map(|(_, cp)| cp.as_deref().expect("groups carry checkpoints"))
+                .collect();
+            let mut w_checkpoint = vec![0.0_f32; d];
+            vecops::weighted_average_into(&cps, &weights, &mut w_checkpoint);
+            trace.record(|| Event::GlobalAggregation { round: k });
+
+            // --- Phase 2: uniform group sampling, loss estimation, ascent.
+            let mut u_rng = StreamRng::for_key(StreamKey::new(
+                seed,
+                Purpose::LossEstSampling,
+                k as u64,
+                u64::MAX,
+            ));
+            let u_set = sample_edges_uniform(num_groups, cfg.m_groups, &mut u_rng);
+            trace.record(|| Event::Phase2EdgesSampled {
+                round: k,
+                edges: u_set.clone(),
+            });
+            meter.record_broadcast(Link::EdgeCloud, d as u64, u_set.len() as u64);
+            meter.record_broadcast(
+                Link::ClientEdge,
+                d as u64,
+                (u_set.len() * per_group * n0) as u64,
+            );
+            let topo = problem.topology();
+            let group_losses: Vec<f64> = cfg.opts.parallelism.map(u_set.clone(), |g| {
+                let mut total = 0.0_f64;
+                for &e in &group_edges[g] {
+                    for c in 0..n0 {
+                        let client = topo.client_id(e, c);
+                        let mut rng = StreamRng::for_key(StreamKey::new(
+                            seed,
+                            Purpose::LossEstSampling,
+                            k as u64,
+                            client as u64,
+                        ));
+                        total += estimate_loss(
+                            &*problem.model,
+                            problem.client_data(e, c),
+                            &w_checkpoint,
+                            cfg.loss_batch,
+                            &mut rng,
+                        );
+                    }
+                }
+                total / (per_group * n0) as f64
+            });
+            meter.record_gather(Link::ClientEdge, 1, (u_set.len() * per_group * n0) as u64);
+            meter.record_round(Link::ClientEdge);
+            meter.record_gather(Link::EdgeCloud, 1, u_set.len() as u64);
+
+            let mut v = vec![0.0_f32; num_groups];
+            let scale = num_groups as f64 / cfg.m_groups as f64;
+            for (&g, &l) in u_set.iter().zip(&group_losses) {
+                v[g] = (scale * l) as f32;
+            }
+            projected_ascent_step(&mut p, &v, cfg.eta_p * total_tau as f32, &problem.p_domain);
+            trace.record(|| Event::WeightUpdate {
+                round: k,
+                p: p.clone(),
+            });
+
+            finish_round(
+                problem,
+                &cfg.opts,
+                &mut history,
+                &mut avg_w,
+                &mut avg_p,
+                k,
+                cfg.rounds,
+                total_tau,
+                meter.snapshot(),
+                &w,
+                p.clone(),
+            );
+        }
+
+        RunResult {
+            final_w: w,
+            avg_w: avg_w.mean(),
+            final_p: p.clone(),
+            avg_p: avg_p.mean(),
+            history,
+            comm: meter.snapshot(),
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hm_data::scenarios::tiny_problem;
+    use hm_simnet::Parallelism;
+
+    fn quick_cfg(upper: Vec<UpperLevel>, m: usize) -> MultiLevelConfig {
+        MultiLevelConfig {
+            rounds: 4,
+            tau1: 2,
+            tau2: 2,
+            upper,
+            m_groups: m,
+            eta_w: 0.1,
+            eta_p: 0.01,
+            batch_size: 2,
+            loss_batch: 4,
+            opts: RunOpts {
+                eval_every: 1,
+                parallelism: Parallelism::Sequential,
+                trace: true,
+            },
+        }
+    }
+
+    #[test]
+    fn four_layer_runs_and_accounts_slots() {
+        // 4 edges grouped 2-per-region → 2 regions; τ_region = 2.
+        let sc = tiny_problem(4, 2, 51);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let cfg = quick_cfg(
+            vec![UpperLevel {
+                group_size: 2,
+                tau: 2,
+            }],
+            2,
+        );
+        let alg = MultiLevelMinimax::new(cfg.clone());
+        assert_eq!(alg.num_groups(&fp), 2);
+        let r = alg.run(&fp, 3);
+        // slots per round = τ1 τ2 τ_region = 8.
+        assert_eq!(r.history.rounds.last().unwrap().slots_done, 4 * 8);
+        // One cloud round per training round.
+        assert_eq!(r.comm.cloud_rounds(), 4);
+        // p over regions (2 of them), still a distribution.
+        assert_eq!(r.final_p.len(), 2);
+        let sum: f32 = r.final_p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn five_layer_runs() {
+        // 8 edges → regions of 2 → super-regions of 2 regions = 2 groups.
+        let sc = tiny_problem(8, 2, 52);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let cfg = quick_cfg(
+            vec![
+                UpperLevel {
+                    group_size: 2,
+                    tau: 2,
+                }, // super-region level
+                UpperLevel {
+                    group_size: 2,
+                    tau: 3,
+                }, // region level
+            ],
+            2,
+        );
+        let alg = MultiLevelMinimax::new(cfg);
+        assert_eq!(alg.num_groups(&fp), 2);
+        let r = alg.run(&fp, 5);
+        // slots/round = 2·2·3·2 = 24.
+        assert_eq!(r.history.rounds.last().unwrap().slots_done, 4 * 24);
+        assert_eq!(r.comm.cloud_rounds(), 4);
+    }
+
+    #[test]
+    fn no_upper_levels_matches_hierminimax_structure() {
+        // With upper = [], groups are single edges and the protocol is the
+        // plain 3-layer HierMinimax: same slot accounting and cloud rounds.
+        let sc = tiny_problem(3, 2, 53);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let cfg = quick_cfg(vec![], 2);
+        let alg = MultiLevelMinimax::new(cfg);
+        assert_eq!(alg.num_groups(&fp), 3);
+        let r = alg.run(&fp, 7);
+        assert_eq!(r.history.rounds.last().unwrap().slots_done, 4 * 4);
+        assert_eq!(r.comm.cloud_rounds(), 4);
+        assert_eq!(r.final_p.len(), 3);
+    }
+
+    #[test]
+    fn training_reduces_objective() {
+        let sc = tiny_problem(4, 2, 54);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let w0 = vec![0.0; fp.num_params()];
+        let uniform = vec![0.5_f32, 0.5];
+        let mut cfg = quick_cfg(
+            vec![UpperLevel {
+                group_size: 2,
+                tau: 2,
+            }],
+            2,
+        );
+        cfg.rounds = 25;
+        let r = MultiLevelMinimax::new(cfg).run(&fp, 9);
+        // Compare the group-mixture objective before/after.
+        let group_loss = |w: &[f32]| -> f64 {
+            let l = fp.edge_losses(w);
+            0.5 * (l[0] + l[1]) / 2.0 + 0.5 * (l[2] + l[3]) / 2.0
+        };
+        let before = {
+            let _ = &uniform;
+            group_loss(&w0)
+        };
+        assert!(group_loss(&r.final_w) < before * 0.8);
+    }
+
+    #[test]
+    fn deterministic_across_parallelism() {
+        let sc = tiny_problem(4, 2, 55);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let mut cfg = quick_cfg(
+            vec![UpperLevel {
+                group_size: 2,
+                tau: 2,
+            }],
+            2,
+        );
+        cfg.opts.trace = false;
+        let a = MultiLevelMinimax::new(cfg.clone()).run(&fp, 11);
+        cfg.opts.parallelism = Parallelism::Rayon;
+        let b = MultiLevelMinimax::new(cfg).run(&fp, 11);
+        assert_eq!(a.final_w, b.final_w);
+        assert_eq!(a.final_p, b.final_p);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not divide")]
+    fn indivisible_grouping_panics() {
+        let sc = tiny_problem(3, 2, 56);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let cfg = quick_cfg(
+            vec![UpperLevel {
+                group_size: 2,
+                tau: 2,
+            }],
+            1,
+        );
+        let _ = MultiLevelMinimax::new(cfg).run(&fp, 0);
+    }
+}

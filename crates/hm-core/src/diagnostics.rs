@@ -1,0 +1,300 @@
+//! Empirical verification of the paper's analysis machinery.
+//!
+//! Lemma 1 (Bounded Squared Model Divergence) bounds the time-averaged
+//! squared distance between local models and the virtual global model:
+//!
+//! ```text
+//! (1/mT) Σ_t Σ_{n ∈ S(t)} E‖w(t) − w_n(t)‖²
+//!   ≤ 20 η² τ1² ((m+1)/m σ_w² + Ψ) + 20 η² τ1² τ2² ((m_E+1)/N0 σ_w² + Ψ)
+//! ```
+//!
+//! This module measures the left side directly — with a *lockstep*
+//! re-implementation of Phase 1 that advances every client one SGD slot at
+//! a time — and estimates the right side's problem constants (`σ_w²` from
+//! mini-batch gradient variance, `Ψ` from gradient dissimilarity), so the
+//! `lemma1` bench can print measured-vs-bound across (τ1, τ2) settings.
+//! The measured value must sit below the bound and grow with τ1, τ2, and η
+//! the way the lemma says.
+
+use crate::problem::FederatedProblem;
+use hm_data::batch::sample_batch;
+use hm_data::rng::{Purpose, StreamKey, StreamRng};
+use hm_data::Dataset;
+use hm_optim::sgd::projected_sgd_step;
+use hm_simnet::sampling::sample_edges_weighted;
+use hm_tensor::vecops;
+
+/// Estimated problem constants of Assumptions 4–5.
+#[derive(Debug, Clone, Copy)]
+pub struct ProblemConstants {
+    /// Mini-batch stochastic-gradient variance bound `σ_w²` (max over
+    /// sampled clients of `E‖∇f(w;ξ) − ∇f(w)‖²`).
+    pub sigma_w_sq: f64,
+    /// Gradient dissimilarity `Ψ = sup_e Σ_j p_j ‖∇f_e − ∇f_j‖²` at
+    /// uniform `p`.
+    pub psi: f64,
+}
+
+/// Estimate `σ_w²` and `Ψ` at the model point `w`, with the given batch
+/// size and Monte-Carlo trial count.
+pub fn estimate_constants(
+    problem: &FederatedProblem,
+    w: &[f32],
+    batch_size: usize,
+    trials: usize,
+    seed: u64,
+) -> ProblemConstants {
+    let model = &problem.model;
+    let d = problem.num_params();
+    let n0 = problem.clients_per_edge();
+    let mut grad = vec![0.0_f32; d];
+
+    // σ_w²: worst over clients of the batch-gradient variance.
+    let mut sigma_w_sq = 0.0_f64;
+    let topo = problem.topology();
+    for e in 0..problem.num_edges() {
+        for c in 0..n0 {
+            let data = problem.client_data(e, c);
+            let mut full = vec![0.0_f32; d];
+            model.loss_grad(w, data, &mut full);
+            let mut acc = 0.0_f64;
+            for t in 0..trials {
+                let mut rng = StreamRng::for_key(StreamKey::new(
+                    seed,
+                    Purpose::Misc,
+                    t as u64,
+                    topo.client_id(e, c) as u64,
+                ));
+                let batch = sample_batch(data, batch_size, &mut rng);
+                model.loss_grad(w, &batch, &mut grad);
+                acc += vecops::dist2_sq(&grad, &full);
+            }
+            sigma_w_sq = sigma_w_sq.max(acc / trials as f64);
+        }
+    }
+
+    // Ψ at uniform p: sup_e mean_j ‖∇f_e − ∇f_j‖².
+    let edge_grads: Vec<Vec<f32>> = (0..problem.num_edges())
+        .map(|e| {
+            let data: Dataset = problem.scenario.edges[e].train_concat();
+            let mut g = vec![0.0_f32; d];
+            model.loss_grad(w, &data, &mut g);
+            g
+        })
+        .collect();
+    let ne = edge_grads.len();
+    let mut psi = 0.0_f64;
+    for e in 0..ne {
+        let mut acc = 0.0_f64;
+        for j in 0..ne {
+            acc += vecops::dist2_sq(&edge_grads[e], &edge_grads[j]) / ne as f64;
+        }
+        psi = psi.max(acc);
+    }
+    ProblemConstants { sigma_w_sq, psi }
+}
+
+/// Result of a lockstep divergence measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct DivergenceReport {
+    /// Measured `(1/mT) Σ_t Σ_n ‖w(t) − w_n(t)‖²`.
+    pub measured: f64,
+    /// Lemma 1's right-hand side, using the estimated constants.
+    pub bound: f64,
+    /// The step-size condition `1 − 20 η² L² τ1² (1 + τ2²) ≥ ½` checked
+    /// with the supplied smoothness estimate (the lemma assumes it).
+    pub step_condition_ok: bool,
+}
+
+/// Parameters of the lockstep Phase-1 run.
+#[derive(Debug, Clone, Copy)]
+pub struct DivergenceConfig {
+    /// Training rounds to average over.
+    pub rounds: usize,
+    /// Local steps per client-edge aggregation.
+    pub tau1: usize,
+    /// Client-edge aggregations per round.
+    pub tau2: usize,
+    /// Participating edges per round.
+    pub m_edges: usize,
+    /// Model learning rate.
+    pub eta_w: f32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Smoothness estimate `L` for the step-size condition check.
+    pub smoothness: f64,
+}
+
+/// Run Phase 1 in lockstep (all clients advance one slot at a time, as the
+/// analysis models it) and measure Lemma 1's left side; the weights stay
+/// uniform (the lemma is about the model trajectory, not the `p` update).
+pub fn measure_divergence(
+    problem: &FederatedProblem,
+    cfg: &DivergenceConfig,
+    seed: u64,
+) -> DivergenceReport {
+    let d = problem.num_params();
+    let n0 = problem.clients_per_edge();
+    let m = cfg.m_edges * n0;
+    let model = &problem.model;
+    let topo = problem.topology();
+    let mut w_global = model.init_params(&mut StreamRng::for_key(StreamKey::new(
+        seed,
+        Purpose::Init,
+        0,
+        0,
+    )));
+    let p = vec![1.0_f64 / problem.num_edges() as f64; problem.num_edges()];
+
+    let mut total = 0.0_f64;
+    let mut slots = 0usize;
+    let mut grad = vec![0.0_f32; d];
+    for k in 0..cfg.rounds {
+        let mut e_rng =
+            StreamRng::for_key(StreamKey::new(seed, Purpose::EdgeSampling, k as u64, 0));
+        let sampled = sample_edges_weighted(&p, cfg.m_edges, &mut e_rng);
+        // Lockstep state: one model per sampled slot's client (duplicated
+        // edges share data but evolve independently in the analysis; we use
+        // distinct RNG lanes per slot to match the i.i.d. sampling model).
+        let mut locals: Vec<Vec<f32>> = vec![w_global.clone(); m];
+        let mut rngs: Vec<StreamRng> = (0..m)
+            .map(|i| {
+                StreamRng::for_key(StreamKey::new(
+                    seed,
+                    Purpose::Batch,
+                    k as u64,
+                    (1_000_000 + i) as u64,
+                ))
+            })
+            .collect();
+        for t2 in 0..cfg.tau2 {
+            for _t1 in 0..cfg.tau1 {
+                // One lockstep slot: every client steps once.
+                for (slot, local) in locals.iter_mut().enumerate() {
+                    let e = sampled[slot / n0];
+                    let c = slot % n0;
+                    let _ = topo; // data addressed via (e, c)
+                    let batch =
+                        sample_batch(problem.client_data(e, c), cfg.batch_size, &mut rngs[slot]);
+                    model.loss_grad(local, &batch, &mut grad);
+                    projected_sgd_step(local, &grad, cfg.eta_w, &problem.w_domain);
+                }
+                // Virtual global model and divergence at this slot.
+                let refs: Vec<&[f32]> = locals.iter().map(|l| l.as_slice()).collect();
+                let mut w_bar = vec![0.0_f32; d];
+                vecops::average_into(&refs, &mut w_bar);
+                let div: f64 = locals
+                    .iter()
+                    .map(|l| vecops::dist2_sq(l, &w_bar))
+                    .sum::<f64>()
+                    / m as f64;
+                total += div;
+                slots += 1;
+            }
+            // Client-edge aggregation at the end of each block.
+            let _ = t2;
+            for g in 0..cfg.m_edges {
+                let group: Vec<&[f32]> = (0..n0).map(|c| locals[g * n0 + c].as_slice()).collect();
+                let mut agg = vec![0.0_f32; d];
+                vecops::average_into(&group, &mut agg);
+                for c in 0..n0 {
+                    locals[g * n0 + c].copy_from_slice(&agg);
+                }
+            }
+        }
+        // Edge-cloud aggregation.
+        let refs: Vec<&[f32]> = locals.iter().map(|l| l.as_slice()).collect();
+        vecops::average_into(&refs, &mut w_global);
+    }
+    let measured = total / slots as f64;
+
+    // Lemma 1's right side with constants estimated at the final model.
+    let consts = estimate_constants(problem, &w_global, cfg.batch_size, 16, seed ^ 0xABCD);
+    let eta = f64::from(cfg.eta_w);
+    let t1 = cfg.tau1 as f64;
+    let t2 = cfg.tau2 as f64;
+    let m_f = m as f64;
+    let me = cfg.m_edges as f64;
+    let n0_f = n0 as f64;
+    let bound = 20.0 * eta * eta * t1 * t1 * ((m_f + 1.0) / m_f * consts.sigma_w_sq + consts.psi)
+        + 20.0
+            * eta
+            * eta
+            * t1
+            * t1
+            * t2
+            * t2
+            * ((me + 1.0) / n0_f * consts.sigma_w_sq + consts.psi);
+    let step_condition_ok =
+        1.0 - 20.0 * eta * eta * cfg.smoothness * cfg.smoothness * t1 * t1 * (1.0 + t2 * t2) >= 0.5;
+    DivergenceReport {
+        measured,
+        bound,
+        step_condition_ok,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hm_data::scenarios::tiny_problem;
+
+    fn problem() -> FederatedProblem {
+        let sc = tiny_problem(4, 2, 91);
+        FederatedProblem::logistic_from_scenario(&sc)
+    }
+
+    fn cfg(tau1: usize, tau2: usize, eta: f32) -> DivergenceConfig {
+        DivergenceConfig {
+            rounds: 12,
+            tau1,
+            tau2,
+            m_edges: 2,
+            eta_w: eta,
+            batch_size: 2,
+            smoothness: 1.0,
+        }
+    }
+
+    #[test]
+    fn measured_divergence_respects_the_bound() {
+        let fp = problem();
+        let r = measure_divergence(&fp, &cfg(2, 2, 0.02), 3);
+        assert!(
+            r.step_condition_ok,
+            "step-size condition violated in test setup"
+        );
+        assert!(
+            r.measured <= r.bound,
+            "Lemma 1 violated: measured {} > bound {}",
+            r.measured,
+            r.bound
+        );
+        assert!(r.measured > 0.0, "divergence should be strictly positive");
+    }
+
+    #[test]
+    fn divergence_grows_with_tau1() {
+        let fp = problem();
+        let a = measure_divergence(&fp, &cfg(1, 2, 0.05), 3).measured;
+        let b = measure_divergence(&fp, &cfg(4, 2, 0.05), 3).measured;
+        assert!(b > a, "divergence should grow with tau1: {a} vs {b}");
+    }
+
+    #[test]
+    fn divergence_grows_with_eta() {
+        let fp = problem();
+        let a = measure_divergence(&fp, &cfg(2, 2, 0.01), 3).measured;
+        let b = measure_divergence(&fp, &cfg(2, 2, 0.08), 3).measured;
+        assert!(b > a, "divergence should grow with eta: {a} vs {b}");
+    }
+
+    #[test]
+    fn constants_are_positive_and_finite() {
+        let fp = problem();
+        let w = vec![0.01_f32; fp.num_params()];
+        let c = estimate_constants(&fp, &w, 2, 8, 1);
+        assert!(c.sigma_w_sq.is_finite() && c.sigma_w_sq > 0.0);
+        assert!(c.psi.is_finite() && c.psi > 0.0);
+    }
+}

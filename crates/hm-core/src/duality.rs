@@ -1,0 +1,226 @@
+//! Duality-gap estimation for convex problems (Theorem 1's optimality
+//! measure):
+//!
+//! `gap(ŵ, p̂) = max_{p ∈ P} F(ŵ, p) − min_{w ∈ W} F(w, p̂)`.
+//!
+//! The max term is solved exactly for `P = Δ` (`max_e f_e(ŵ)`) and by
+//! projected gradient ascent for general `P` (the objective is linear in
+//! `p`, so ascent converges to the boundary). The min term is approximated
+//! by full-batch projected gradient descent on the `p̂`-weighted loss,
+//! warm-started at `ŵ`. The descent solve only *upper-bounds* the inner
+//! minimum, so the reported `gap = primal − dual` can **under-estimate**
+//! the true duality gap by the solver's own suboptimality; runs therefore
+//! use enough inner iterations that the residual is small relative to the
+//! gaps being compared, and cross-`T` comparisons (the Theorem 1 shape)
+//! share the same solver budget so the bias cancels.
+
+use crate::problem::FederatedProblem;
+use hm_data::Dataset;
+use hm_optim::projection::Projection;
+use hm_optim::sgd::{projected_ascent_step, projected_sgd_step};
+use hm_optim::ProjectionOp;
+use hm_tensor::vecops;
+
+/// Parameters of the gap estimation.
+#[derive(Debug, Clone)]
+pub struct GapConfig {
+    /// Full-batch GD iterations for the inner minimisation.
+    pub gd_iters: usize,
+    /// GD learning rate.
+    pub gd_lr: f32,
+    /// Ascent iterations for the max over general `P` (unused when
+    /// `P = Δ`, which is solved in closed form).
+    pub ascent_iters: usize,
+    /// Ascent learning rate.
+    pub ascent_lr: f32,
+}
+
+impl Default for GapConfig {
+    fn default() -> Self {
+        Self {
+            gd_iters: 300,
+            gd_lr: 0.5,
+            ascent_iters: 200,
+            ascent_lr: 0.5,
+        }
+    }
+}
+
+/// The two terms and their difference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DualityGap {
+    /// `max_{p ∈ P} F(ŵ, p)`.
+    pub primal: f64,
+    /// Approximation of `min_{w ∈ W} F(w, p̂)` (an upper bound on it).
+    pub dual: f64,
+    /// `primal − dual`; under-estimates the true gap by the inner
+    /// solver's suboptimality (see module docs).
+    pub gap: f64,
+}
+
+/// Estimate the duality gap of `(w_hat, p_hat)`.
+///
+/// # Panics
+/// Panics if `p_hat` has the wrong length.
+pub fn duality_gap(
+    problem: &FederatedProblem,
+    w_hat: &[f32],
+    p_hat: &[f32],
+    cfg: &GapConfig,
+) -> DualityGap {
+    assert_eq!(
+        p_hat.len(),
+        problem.num_edges(),
+        "weight vector length mismatch"
+    );
+    let losses = problem.edge_losses(w_hat);
+
+    // max over p.
+    let primal = match problem.p_domain {
+        ProjectionOp::Simplex => losses.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        _ => {
+            // Linear objective: projected gradient ascent from uniform.
+            let grad: Vec<f32> = losses.iter().map(|&l| l as f32).collect();
+            let mut p = problem.initial_p();
+            for _ in 0..cfg.ascent_iters {
+                projected_ascent_step(&mut p, &grad, cfg.ascent_lr, &problem.p_domain);
+            }
+            debug_assert!(problem.p_domain.contains(&p, 1e-3));
+            losses
+                .iter()
+                .zip(&p)
+                .map(|(&l, &pe)| l * f64::from(pe))
+                .sum()
+        }
+    };
+
+    // min over w: full-batch GD on the p̂-weighted objective.
+    let edge_data: Vec<Dataset> = (0..problem.num_edges())
+        .map(|e| problem.scenario.edges[e].train_concat())
+        .collect();
+    let model = &problem.model;
+    let d = problem.num_params();
+    let mut w = w_hat.to_vec();
+    let mut grad = vec![0.0_f32; d];
+    let mut weighted_grad = vec![0.0_f32; d];
+    let mut best = f64::INFINITY;
+    for _ in 0..cfg.gd_iters {
+        weighted_grad.iter_mut().for_each(|g| *g = 0.0);
+        let mut obj = 0.0_f64;
+        for (e, data) in edge_data.iter().enumerate() {
+            let pe = f64::from(p_hat[e]);
+            if pe == 0.0 {
+                continue;
+            }
+            let loss = model.loss_grad(&w, data, &mut grad);
+            obj += pe * loss;
+            vecops::axpy(pe as f32, &grad, &mut weighted_grad);
+        }
+        best = best.min(obj);
+        projected_sgd_step(&mut w, &weighted_grad, cfg.gd_lr, &problem.w_domain);
+    }
+    // Account for the final iterate too.
+    let final_obj: f64 = edge_data
+        .iter()
+        .enumerate()
+        .map(|(e, data)| f64::from(p_hat[e]) * model.loss(&w, data))
+        .sum();
+    let dual = best.min(final_obj);
+
+    DualityGap {
+        primal,
+        dual,
+        gap: primal - dual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hm_data::scenarios::tiny_problem;
+
+    #[test]
+    fn primal_is_max_edge_loss_on_simplex() {
+        let sc = tiny_problem(3, 2, 1);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let w = vec![0.05; fp.num_params()];
+        let p = fp.initial_p();
+        let g = duality_gap(
+            &fp,
+            &w,
+            &p,
+            &GapConfig {
+                gd_iters: 5,
+                ..Default::default()
+            },
+        );
+        let max_loss = fp
+            .edge_losses(&w)
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((g.primal - max_loss).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_is_nonnegative_for_convex() {
+        let sc = tiny_problem(3, 2, 2);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let w = vec![0.0; fp.num_params()];
+        let p = fp.initial_p();
+        let g = duality_gap(&fp, &w, &p, &GapConfig::default());
+        assert!(g.gap >= -1e-9, "gap {g:?}");
+        assert!(g.primal >= g.dual - 1e-9);
+    }
+
+    #[test]
+    fn better_iterates_have_smaller_gap() {
+        let sc = tiny_problem(3, 2, 3);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let cfg = GapConfig::default();
+        let w0 = vec![0.0; fp.num_params()];
+        let p0 = fp.initial_p();
+        let g0 = duality_gap(&fp, &w0, &p0, &cfg);
+        // Crude training: full-batch GD on the uniform objective shrinks
+        // the dual term's distance and the primal max.
+        let mut w = w0.clone();
+        let mut grad = vec![0.0_f32; fp.num_params()];
+        let mut buf = vec![0.0_f32; fp.num_params()];
+        for _ in 0..100 {
+            buf.iter_mut().for_each(|g| *g = 0.0);
+            for e in 0..3 {
+                let data = fp.scenario.edges[e].train_concat();
+                fp.model.loss_grad(&w, &data, &mut grad);
+                vecops::axpy(1.0 / 3.0, &grad, &mut buf);
+            }
+            vecops::axpy(-0.5, &buf, &mut w);
+        }
+        let g1 = duality_gap(&fp, &w, &p0, &cfg);
+        assert!(
+            g1.gap < g0.gap,
+            "gap did not shrink: {} -> {}",
+            g0.gap,
+            g1.gap
+        );
+    }
+
+    #[test]
+    fn capped_simplex_primal_below_full_simplex() {
+        let sc = tiny_problem(4, 2, 4);
+        let mut fp = FederatedProblem::logistic_from_scenario(&sc);
+        let w = vec![0.02; fp.num_params()];
+        let p = fp.initial_p();
+        let cfg = GapConfig {
+            gd_iters: 3,
+            ..Default::default()
+        };
+        let full = duality_gap(&fp, &w, &p, &cfg).primal;
+        fp.p_domain = ProjectionOp::CappedSimplex { lo: 0.0, hi: 0.5 };
+        let capped = duality_gap(&fp, &w, &p, &cfg).primal;
+        // Constraining P can only reduce the max.
+        assert!(capped <= full + 1e-6, "capped {capped} full {full}");
+        // And must stay at least the uniform mixture.
+        let uniform: f64 = fp.edge_losses(&w).iter().sum::<f64>() / 4.0;
+        assert!(capped >= uniform - 1e-6);
+    }
+}

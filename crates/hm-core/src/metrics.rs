@@ -1,0 +1,120 @@
+//! Evaluation metrics: per-edge test accuracy and the fairness statistics
+//! of Table 2 (average, worst, variance over edge areas).
+
+use crate::problem::FederatedProblem;
+use hm_simnet::Parallelism;
+
+/// Test-accuracy report over edge areas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReport {
+    /// Test accuracy per edge area, in `[0, 1]`.
+    pub per_edge_accuracy: Vec<f64>,
+    /// Unweighted mean over edge areas ("Average" in Table 2).
+    pub average: f64,
+    /// Minimum over edge areas ("Worst" in Table 2).
+    pub worst: f64,
+    /// Variance of accuracies *in percentage points squared* — the unit
+    /// Table 2 reports (e.g. 21.05 for accuracies around 0.90 ± 4.6pp).
+    pub variance_pp: f64,
+}
+
+impl EvalReport {
+    /// Build a report from per-edge accuracies.
+    ///
+    /// # Panics
+    /// Panics on an empty accuracy vector.
+    pub fn from_accuracies(per_edge_accuracy: Vec<f64>) -> Self {
+        assert!(!per_edge_accuracy.is_empty(), "no edges to evaluate");
+        let n = per_edge_accuracy.len() as f64;
+        let average = per_edge_accuracy.iter().sum::<f64>() / n;
+        let worst = per_edge_accuracy
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        // Population variance in percentage points (×100).
+        let variance_pp = per_edge_accuracy
+            .iter()
+            .map(|&a| {
+                let d = (a - average) * 100.0;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        Self {
+            per_edge_accuracy,
+            average,
+            worst,
+            variance_pp,
+        }
+    }
+
+    /// Mean accuracy of the worst `frac` fraction of edges (e.g. `0.1` for
+    /// the "worst 10%" metric the paper uses on the Synthetic dataset,
+    /// following Li et al.). At least one edge is always included.
+    pub fn worst_fraction(&self, frac: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&frac), "fraction out of range");
+        let mut sorted = self.per_edge_accuracy.clone();
+        sorted.sort_by(f64::total_cmp);
+        let k = ((sorted.len() as f64 * frac).ceil() as usize).max(1);
+        sorted[..k].iter().sum::<f64>() / k as f64
+    }
+}
+
+/// Evaluate a model on every edge's test set.
+pub fn evaluate(problem: &FederatedProblem, w: &[f32], par: Parallelism) -> EvalReport {
+    let model = &problem.model;
+    let accs = par.map_indexed(problem.num_edges(), |e| {
+        model.accuracy(w, &problem.scenario.edges[e].test)
+    });
+    EvalReport::from_accuracies(accs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FederatedProblem;
+    use hm_data::scenarios::tiny_problem;
+
+    #[test]
+    fn report_statistics() {
+        let r = EvalReport::from_accuracies(vec![0.9, 0.8, 1.0]);
+        assert!((r.average - 0.9).abs() < 1e-12);
+        assert_eq!(r.worst, 0.8);
+        // pp deviations: 0, -10, +10 → variance (0+100+100)/3.
+        assert!((r.variance_pp - 200.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_fraction_selects_bottom() {
+        let r = EvalReport::from_accuracies(vec![0.5, 0.9, 0.2, 0.8, 0.1]);
+        assert!((r.worst_fraction(0.2) - 0.1).abs() < 1e-12);
+        assert!((r.worst_fraction(0.4) - 0.15).abs() < 1e-12);
+        assert!((r.worst_fraction(1.0) - 0.5).abs() < 1e-12);
+        // Degenerate fraction still includes one edge.
+        assert!((r.worst_fraction(0.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no edges")]
+    fn empty_report_panics() {
+        let _ = EvalReport::from_accuracies(vec![]);
+    }
+
+    #[test]
+    fn evaluate_runs_and_is_deterministic_across_parallelism() {
+        let sc = tiny_problem(3, 2, 5);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let w = vec![0.01; fp.num_params()];
+        let seq = evaluate(&fp, &w, Parallelism::Sequential);
+        let par = evaluate(&fp, &w, Parallelism::Rayon);
+        assert_eq!(seq, par);
+        assert_eq!(seq.per_edge_accuracy.len(), 3);
+    }
+
+    #[test]
+    fn uniform_variance_is_zero() {
+        let r = EvalReport::from_accuracies(vec![0.7; 5]);
+        assert_eq!(r.variance_pp, 0.0);
+        assert_eq!(r.worst, 0.7);
+    }
+}

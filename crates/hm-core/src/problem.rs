@@ -1,0 +1,186 @@
+//! The distributed minimax problem instance.
+//!
+//! A [`FederatedProblem`] bundles everything eq. (3) needs: the hierarchical
+//! data scenario (which defines the edge loss functions `f_e` empirically),
+//! the model family (which defines the parameter space and the loss
+//! oracle), and the constraint sets `W` and `P`.
+
+use hm_data::scenarios::HierScenario;
+use hm_data::Dataset;
+use hm_nn::{Mlp, Model, MulticlassLogistic};
+use hm_optim::ProjectionOp;
+use hm_simnet::Topology;
+use std::sync::Arc;
+
+/// A concrete instance of the paper's problem (3):
+/// `min_{w ∈ W} max_{p ∈ P} Σ_e p_e f_e(w)`.
+#[derive(Clone)]
+pub struct FederatedProblem {
+    /// Per-edge client training shards and test sets.
+    pub scenario: HierScenario,
+    /// The shared model family (loss/gradient oracle).
+    pub model: Arc<dyn Model>,
+    /// Constraint set `W` for the model parameters.
+    pub w_domain: ProjectionOp,
+    /// Constraint set `P ⊆ Δ_{N_E−1}` for the edge weights.
+    pub p_domain: ProjectionOp,
+}
+
+impl std::fmt::Debug for FederatedProblem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FederatedProblem")
+            .field("scenario", &self.scenario.name)
+            .field("num_edges", &self.scenario.num_edges())
+            .field("clients_per_edge", &self.scenario.clients_per_edge())
+            .field("num_params", &self.model.num_params())
+            .field("w_domain", &self.w_domain)
+            .field("p_domain", &self.p_domain)
+            .finish()
+    }
+}
+
+impl FederatedProblem {
+    /// Build a problem with an explicit model and domains.
+    pub fn new(
+        scenario: HierScenario,
+        model: Arc<dyn Model>,
+        w_domain: ProjectionOp,
+        p_domain: ProjectionOp,
+    ) -> Self {
+        scenario.validate();
+        Self {
+            scenario,
+            model,
+            w_domain,
+            p_domain,
+        }
+    }
+
+    /// The paper's convex setting: multinomial logistic regression,
+    /// `W = R^d`, `P = Δ` (§6.1).
+    pub fn logistic_from_scenario(scenario: &HierScenario) -> Self {
+        let model = MulticlassLogistic::new(scenario.dim, scenario.num_classes);
+        Self::new(
+            scenario.clone(),
+            Arc::new(model),
+            ProjectionOp::Unconstrained,
+            ProjectionOp::Simplex,
+        )
+    }
+
+    /// The paper's non-convex setting: a fully-connected ReLU network with
+    /// the given hidden widths, `W = R^d`, `P = Δ` (§6.2; the paper uses
+    /// hidden widths 300/100).
+    pub fn mlp_from_scenario(scenario: &HierScenario, hidden: &[usize]) -> Self {
+        let model = Mlp::new(scenario.dim, hidden, scenario.num_classes);
+        Self::new(
+            scenario.clone(),
+            Arc::new(model),
+            ProjectionOp::Unconstrained,
+            ProjectionOp::Simplex,
+        )
+    }
+
+    /// Number of edge areas `N_E`.
+    pub fn num_edges(&self) -> usize {
+        self.scenario.num_edges()
+    }
+
+    /// Clients per edge `N_0`.
+    pub fn clients_per_edge(&self) -> usize {
+        self.scenario.clients_per_edge()
+    }
+
+    /// Model dimension `d`.
+    pub fn num_params(&self) -> usize {
+        self.model.num_params()
+    }
+
+    /// The network topology of this problem.
+    pub fn topology(&self) -> Topology {
+        Topology::new(self.num_edges(), self.clients_per_edge())
+    }
+
+    /// Training shard of a client, addressed as (edge, index-within-edge).
+    pub fn client_data(&self, edge: usize, idx: usize) -> &Dataset {
+        &self.scenario.edges[edge].client_train[idx]
+    }
+
+    /// The uniform initial edge weights `p^(0) = (1/N_E, …)`.
+    pub fn initial_p(&self) -> Vec<f32> {
+        vec![1.0 / self.num_edges() as f32; self.num_edges()]
+    }
+
+    /// Empirical edge loss `f_e(w)`: mean training loss over all of edge
+    /// `e`'s client data (full-batch; used by evaluation, not by training).
+    pub fn edge_train_loss(&self, edge: usize, w: &[f32]) -> f64 {
+        let data = self.scenario.edges[edge].train_concat();
+        self.model.loss(w, &data)
+    }
+
+    /// The global objective `F(w, p) = Σ_e p_e f_e(w)` on training data.
+    pub fn objective(&self, w: &[f32], p: &[f32]) -> f64 {
+        assert_eq!(p.len(), self.num_edges(), "weight vector length mismatch");
+        (0..self.num_edges())
+            .map(|e| f64::from(p[e]) * self.edge_train_loss(e, w))
+            .sum()
+    }
+
+    /// All edge losses `[f_1(w), …, f_{N_E}(w)]` on training data.
+    pub fn edge_losses(&self, w: &[f32]) -> Vec<f64> {
+        (0..self.num_edges())
+            .map(|e| self.edge_train_loss(e, w))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hm_data::scenarios::tiny_problem;
+
+    #[test]
+    fn logistic_problem_shapes() {
+        let sc = tiny_problem(3, 2, 1);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        assert_eq!(fp.num_edges(), 3);
+        assert_eq!(fp.clients_per_edge(), 2);
+        assert_eq!(fp.num_params(), 3 * (64 + 1));
+        assert_eq!(fp.initial_p(), vec![1.0 / 3.0; 3]);
+    }
+
+    #[test]
+    fn objective_is_weighted_sum_of_edge_losses() {
+        let sc = tiny_problem(3, 2, 2);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let w = vec![0.0; fp.num_params()];
+        let losses = fp.edge_losses(&w);
+        let p = [0.2_f32, 0.5, 0.3];
+        let f = fp.objective(&w, &p);
+        let expect: f64 = losses
+            .iter()
+            .zip(&p)
+            .map(|(&l, &pe)| l * f64::from(pe))
+            .sum();
+        assert!((f - expect).abs() < 1e-12);
+        // Zero parameters give ln(num_classes) per edge for logistic.
+        for &l in &losses {
+            assert!((l - (3.0_f64).ln()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mlp_problem_builds() {
+        let sc = tiny_problem(2, 2, 3);
+        let fp = FederatedProblem::mlp_from_scenario(&sc, &[8]);
+        assert_eq!(fp.num_params(), 8 * 64 + 8 + 2 * 8 + 2);
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let sc = tiny_problem(2, 2, 3);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let s = format!("{fp:?}");
+        assert!(s.contains("num_edges"));
+    }
+}

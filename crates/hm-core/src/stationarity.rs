@@ -1,0 +1,163 @@
+//! Non-convex stationarity measure: the Moreau-envelope gradient norm of
+//! Theorem 2.
+//!
+//! For non-convex losses the paper measures optimality by
+//! `‖∇Φ_λ(w)‖` with `Φ(w) = max_{p∈P} F(w, p)` and the λ-Moreau envelope
+//! `Φ_λ(w) = min_x { Φ(x) + ‖x − w‖²/(2λ) }` at `λ = 1/2L` (eq. 9).
+//!
+//! Two standard facts make this computable:
+//! - the envelope gradient is `∇Φ_λ(w) = (w − x̂)/λ` where `x̂` is the
+//!   proximal point `argmin_x Φ(x) + ‖x − w‖²/(2λ)`, and
+//! - for `P = Δ`, `Φ(x) = max_e f_e(x)`, so a subgradient of `Φ` at `x` is
+//!   `∇f_{e*}(x)` for any maximising edge `e*` (Danskin), which lets the
+//!   inner problem be solved by (sub)gradient descent.
+//!
+//! The prox subproblem is strongly convex when `1/λ` dominates the local
+//! curvature, so the descent solve is well behaved; like the duality-gap
+//! evaluator, the result is an empirical diagnostic, not a certified bound.
+
+use crate::problem::FederatedProblem;
+use hm_data::Dataset;
+use hm_optim::sgd::projected_sgd_step;
+use hm_tensor::vecops;
+
+/// Parameters of the Moreau-envelope gradient estimate.
+#[derive(Debug, Clone)]
+pub struct MoreauConfig {
+    /// Envelope parameter λ (the paper uses `1/2L`; pass your smoothness
+    /// estimate).
+    pub lambda: f64,
+    /// Gradient steps for the prox subproblem.
+    pub prox_iters: usize,
+    /// Step size for the prox subproblem.
+    pub prox_lr: f32,
+}
+
+impl Default for MoreauConfig {
+    fn default() -> Self {
+        Self {
+            lambda: 0.05,
+            prox_iters: 150,
+            prox_lr: 0.02,
+        }
+    }
+}
+
+/// Estimate `‖∇Φ_λ(w)‖ = ‖w − x̂‖ / λ` by solving the prox subproblem with
+/// full-batch subgradient descent on `max_e f_e(x) + ‖x − w‖²/(2λ)`.
+///
+/// # Panics
+/// Panics if `lambda <= 0`.
+pub fn moreau_grad_norm(problem: &FederatedProblem, w: &[f32], cfg: &MoreauConfig) -> f64 {
+    assert!(cfg.lambda > 0.0, "lambda must be positive");
+    let edge_data: Vec<Dataset> = (0..problem.num_edges())
+        .map(|e| problem.scenario.edges[e].train_concat())
+        .collect();
+    let model = &problem.model;
+    let d = problem.num_params();
+    let mut x = w.to_vec();
+    let mut grad = vec![0.0_f32; d];
+    let mut step = vec![0.0_f32; d];
+    let inv_lambda = (1.0 / cfg.lambda) as f32;
+    let mut best_obj = f64::INFINITY;
+    let mut best_x = x.clone();
+    for _ in 0..cfg.prox_iters {
+        // Φ subgradient at x: gradient of the max-loss edge (Danskin).
+        let losses: Vec<f64> = edge_data.iter().map(|data| model.loss(&x, data)).collect();
+        let (e_star, &phi) = losses
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("at least one edge");
+        let obj = phi + vecops::dist2_sq(&x, w) / (2.0 * cfg.lambda);
+        if obj < best_obj {
+            best_obj = obj;
+            best_x.copy_from_slice(&x);
+        }
+        model.loss_grad(&x, &edge_data[e_star], &mut grad);
+        // step = ∇f_{e*}(x) + (x − w)/λ
+        step.copy_from_slice(&grad);
+        for ((s, &xi), &wi) in step.iter_mut().zip(&x).zip(w) {
+            *s += inv_lambda * (xi - wi);
+        }
+        projected_sgd_step(&mut x, &step, cfg.prox_lr, &problem.w_domain);
+    }
+    vecops::dist2_sq(&best_x, w).sqrt() / cfg.lambda
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hm_data::rng::{Purpose, StreamKey, StreamRng};
+    use hm_data::scenarios::tiny_problem;
+
+    #[test]
+    fn near_minimiser_has_small_norm() {
+        // Train a model to (near) optimality on the max-loss objective and
+        // verify the envelope gradient norm is small there, and large at a
+        // bad point.
+        let sc = tiny_problem(3, 2, 41);
+        let fp = FederatedProblem::mlp_from_scenario(&sc, &[8]);
+        let mut w = fp.model.init_params(&mut StreamRng::for_key(StreamKey::new(
+            1,
+            Purpose::Init,
+            0,
+            0,
+        )));
+        let cfg = MoreauConfig::default();
+        let before = moreau_grad_norm(&fp, &w, &cfg);
+        // Subgradient descent on max_e f_e directly.
+        let mut grad = vec![0.0_f32; fp.num_params()];
+        for _ in 0..400 {
+            let losses = fp.edge_losses(&w);
+            let e_star = losses
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            let data = fp.scenario.edges[e_star].train_concat();
+            fp.model.loss_grad(&w, &data, &mut grad);
+            hm_tensor::vecops::axpy(-0.05, &grad, &mut w);
+        }
+        let after = moreau_grad_norm(&fp, &w, &cfg);
+        assert!(
+            after < before * 0.5,
+            "envelope norm did not drop near a minimiser: {before:.4} -> {after:.4}"
+        );
+    }
+
+    #[test]
+    fn scales_with_distance_from_prox_point() {
+        // For a fixed problem, the norm should be continuous-ish: two
+        // nearby points give similar values.
+        let sc = tiny_problem(3, 2, 42);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let w0 = vec![0.0_f32; fp.num_params()];
+        let mut w1 = w0.clone();
+        w1[0] += 1e-3;
+        let cfg = MoreauConfig::default();
+        let a = moreau_grad_norm(&fp, &w0, &cfg);
+        let b = moreau_grad_norm(&fp, &w1, &cfg);
+        assert!(
+            (a - b).abs() < 0.5 * (a + b).max(1e-6),
+            "unstable: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn zero_lambda_panics() {
+        let sc = tiny_problem(2, 2, 43);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let w = vec![0.0_f32; fp.num_params()];
+        let _ = moreau_grad_norm(
+            &fp,
+            &w,
+            &MoreauConfig {
+                lambda: 0.0,
+                ..Default::default()
+            },
+        );
+    }
+}

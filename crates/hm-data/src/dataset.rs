@@ -1,0 +1,222 @@
+//! Labelled dataset container and basic manipulation.
+
+use crate::rng::StreamRng;
+use hm_tensor::Matrix;
+
+/// A supervised classification dataset: a row-major feature matrix and one
+/// integer label per row.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// `n × d` feature matrix; row `i` is sample `i`.
+    pub x: Matrix,
+    /// Labels in `[0, num_classes)`, one per row of `x`.
+    pub y: Vec<usize>,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl Dataset {
+    /// Construct, validating shapes and label range.
+    ///
+    /// # Panics
+    /// Panics if `x.rows() != y.len()` or a label is out of range.
+    pub fn new(x: Matrix, y: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
+        assert!(num_classes > 0, "need at least one class");
+        if let Some(&bad) = y.iter().find(|&&l| l >= num_classes) {
+            panic!("label {} out of range (num_classes {})", bad, num_classes);
+        }
+        Self { x, y, num_classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// New dataset containing the given sample indices (in order; duplicates
+    /// allowed).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            x: self.x.select_rows(indices),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Split into `(train, test)` with `test_fraction` of samples held out,
+    /// after a deterministic shuffle driven by `rng`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= test_fraction < 1.0`.
+    pub fn train_test_split(&self, test_fraction: f64, rng: &mut StreamRng) -> (Dataset, Dataset) {
+        assert!(
+            (0.0..1.0).contains(&test_fraction),
+            "test_fraction {test_fraction} out of [0,1)"
+        );
+        let n = self.len();
+        let mut idx: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut idx);
+        let n_test = ((n as f64) * test_fraction).round() as usize;
+        let (test_idx, train_idx) = idx.split_at(n_test.min(n));
+        (self.subset(train_idx), self.subset(test_idx))
+    }
+
+    /// Split the dataset into `k` near-equal contiguous shards (used to
+    /// spread an edge area's data across its clients). Earlier shards get
+    /// the remainder samples.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `k > len()`.
+    pub fn split_even(&self, k: usize) -> Vec<Dataset> {
+        assert!(k > 0, "cannot split into zero shards");
+        assert!(
+            k <= self.len(),
+            "cannot split {} samples into {} non-empty shards",
+            self.len(),
+            k
+        );
+        let n = self.len();
+        let base = n / k;
+        let extra = n % k;
+        let mut out = Vec::with_capacity(k);
+        let mut start = 0;
+        for i in 0..k {
+            let size = base + usize::from(i < extra);
+            let idx: Vec<usize> = (start..start + size).collect();
+            out.push(self.subset(&idx));
+            start += size;
+        }
+        out
+    }
+
+    /// Concatenate datasets (all must agree on dim and num_classes).
+    ///
+    /// # Panics
+    /// Panics on an empty input list or mismatched shapes.
+    pub fn concat(parts: &[&Dataset]) -> Dataset {
+        assert!(!parts.is_empty(), "concat of zero datasets");
+        let dim = parts[0].dim();
+        let num_classes = parts[0].num_classes;
+        let total: usize = parts.iter().map(|d| d.len()).sum();
+        let mut x = Matrix::zeros(total, dim);
+        let mut y = Vec::with_capacity(total);
+        let mut row = 0;
+        for p in parts {
+            assert_eq!(p.dim(), dim, "concat dim mismatch");
+            assert_eq!(p.num_classes, num_classes, "concat class-count mismatch");
+            for r in 0..p.len() {
+                x.row_mut(row).copy_from_slice(p.x.row(r));
+                row += 1;
+            }
+            y.extend_from_slice(&p.y);
+        }
+        Dataset { x, y, num_classes }
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.y {
+            counts[l] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{Purpose, StreamRng};
+
+    fn toy(n: usize) -> Dataset {
+        let x = Matrix::from_fn(n, 2, |r, c| (r * 2 + c) as f32);
+        let y = (0..n).map(|i| i % 3).collect();
+        Dataset::new(x, y, 3)
+    }
+
+    #[test]
+    fn new_validates() {
+        let d = toy(6);
+        assert_eq!(d.len(), 6);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.class_counts(), vec![2, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label 5 out of range")]
+    fn out_of_range_label_panics() {
+        Dataset::new(Matrix::zeros(1, 1), vec![5], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn shape_mismatch_panics() {
+        Dataset::new(Matrix::zeros(2, 1), vec![0], 1);
+    }
+
+    #[test]
+    fn subset_preserves_rows() {
+        let d = toy(5);
+        let s = d.subset(&[4, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.x.row(0), d.x.row(4));
+        assert_eq!(s.y, vec![4 % 3, 0]);
+    }
+
+    #[test]
+    fn train_test_split_partitions() {
+        let d = toy(10);
+        let mut rng = StreamRng::new(1, Purpose::Split, 0, 0);
+        let (train, test) = d.train_test_split(0.3, &mut rng);
+        assert_eq!(train.len(), 7);
+        assert_eq!(test.len(), 3);
+        // Together they contain each original row exactly once (match rows
+        // by first feature which is unique in `toy`).
+        let mut firsts: Vec<f32> = train
+            .x
+            .rows_iter()
+            .chain(test.x.rows_iter())
+            .map(|r| r[0])
+            .collect();
+        firsts.sort_by(f32::total_cmp);
+        let expected: Vec<f32> = (0..10).map(|i| (i * 2) as f32).collect();
+        assert_eq!(firsts, expected);
+    }
+
+    #[test]
+    fn split_even_sizes() {
+        let d = toy(10);
+        let shards = d.split_even(3);
+        let sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        assert_eq!(shards.iter().map(|s| s.len()).sum::<usize>(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty shards")]
+    fn split_even_too_many_panics() {
+        toy(2).split_even(3);
+    }
+
+    #[test]
+    fn concat_roundtrips_split() {
+        let d = toy(7);
+        let shards = d.split_even(2);
+        let refs: Vec<&Dataset> = shards.iter().collect();
+        let back = Dataset::concat(&refs);
+        assert_eq!(back.len(), d.len());
+        assert_eq!(back.y, d.y);
+        assert_eq!(back.x.max_abs_diff(&d.x), 0.0);
+    }
+}

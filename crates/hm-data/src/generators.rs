@@ -1,0 +1,19 @@
+//! Synthetic dataset generators standing in for the paper's datasets.
+//!
+//! Three generator families (DESIGN.md §2 documents each substitution):
+//!
+//! - [`synthetic_images`] — class-conditional "image" generator replacing
+//!   EMNIST-Digits / MNIST / Fashion-MNIST. Each class has a prototype built
+//!   from Gaussian bumps on a `side × side` grid; samples are noisy copies.
+//!   `separation` and `noise` control difficulty, letting us order the three
+//!   stand-ins the way the real datasets are ordered (EMNIST easiest,
+//!   Fashion-MNIST hardest).
+//! - [`li_synthetic`] — the Synthetic(α, β) generative process published in
+//!   Li et al., *Fair Resource Allocation in Federated Learning* (ICLR 2020),
+//!   implemented directly from its specification.
+//! - [`adult_like`] — a two-group categorical-feature binary-label generator
+//!   replacing UCI Adult split into Doctorate / non-Doctorate edge areas.
+
+pub mod adult_like;
+pub mod li_synthetic;
+pub mod synthetic_images;

@@ -1,0 +1,217 @@
+//! The Synthetic(α, β) dataset of Li et al., *Fair Resource Allocation in
+//! Federated Learning* (ICLR 2020) — used by the paper for the Table 2
+//! "Synthetic" row with 100 edge areas.
+//!
+//! Generative process (per device/edge `k`), implemented from the published
+//! specification:
+//!
+//! - `u_k ~ N(0, α)` controls the local model: `W_k[i][j] ~ N(u_k, 1)`,
+//!   `b_k[i] ~ N(u_k, 1)` — larger α means device optima differ more.
+//! - `B_k ~ N(0, β)` controls the local input distribution:
+//!   `v_k[j] ~ N(B_k, 1)` and `x ~ N(v_k, Σ)` with diagonal
+//!   `Σ[j][j] = j^{-1.2}` — larger β means device inputs differ more.
+//! - `y = argmax(softmax(W_k x + b_k))`.
+//!
+//! With `α = β = 0` all devices share `u_k = B_k = 0` but still have
+//! device-specific `W_k`, `v_k` draws; the classic IID variant instead
+//! shares one global `(W, b)` — both are exposed.
+
+use crate::dataset::Dataset;
+use crate::rng::{Purpose, StreamKey, StreamRng};
+use hm_tensor::{ops, Matrix};
+
+/// Configuration of the Li et al. synthetic generator.
+#[derive(Debug, Clone)]
+pub struct LiSyntheticConfig {
+    /// Model-heterogeneity variance (α in the paper).
+    pub alpha: f64,
+    /// Input-heterogeneity variance (β in the paper).
+    pub beta: f64,
+    /// Input dimension (60 in the original).
+    pub dim: usize,
+    /// Number of classes (10 in the original).
+    pub num_classes: usize,
+    /// If true, all devices share a single global `(W, b)` (the IID
+    /// variant); otherwise each device draws its own.
+    pub iid_model: bool,
+}
+
+impl Default for LiSyntheticConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 1.0,
+            beta: 1.0,
+            dim: 60,
+            num_classes: 10,
+            iid_model: false,
+        }
+    }
+}
+
+/// One device's (edge area's) frozen ground-truth model and input law.
+#[derive(Debug, Clone)]
+pub struct LiDevice {
+    w: Matrix,   // num_classes × dim
+    b: Vec<f32>, // num_classes
+    v: Vec<f64>, // dim: input mean
+    cfg: LiSyntheticConfig,
+    seed: u64,
+    device: u64,
+}
+
+impl LiDevice {
+    /// Instantiate device `device` of the distribution keyed by `seed`.
+    pub fn new(cfg: LiSyntheticConfig, seed: u64, device: u64) -> Self {
+        assert!(cfg.dim > 0 && cfg.num_classes > 0);
+        // Model RNG: device-specific unless iid_model.
+        let model_entity = if cfg.iid_model { u64::MAX } else { device };
+        let mut mr = StreamRng::for_key(StreamKey::new(seed, Purpose::DataGen, 100, model_entity));
+        let u_k = mr.normal() * cfg.alpha.sqrt();
+        let w = Matrix::from_fn(cfg.num_classes, cfg.dim, |_, _| {
+            mr.normal_with(u_k, 1.0) as f32
+        });
+        let b: Vec<f32> = (0..cfg.num_classes)
+            .map(|_| mr.normal_with(u_k, 1.0) as f32)
+            .collect();
+        // Input RNG: always device-specific.
+        let mut ir = StreamRng::for_key(StreamKey::new(seed, Purpose::DataGen, 101, device));
+        let b_k = ir.normal() * cfg.beta.sqrt();
+        let v: Vec<f64> = (0..cfg.dim).map(|_| ir.normal_with(b_k, 1.0)).collect();
+        Self {
+            w,
+            b,
+            v,
+            cfg,
+            seed,
+            device,
+        }
+    }
+
+    /// Sample `n` labelled examples from this device's distribution.
+    /// `salt` distinguishes multiple draws (e.g. train vs test).
+    pub fn sample(&self, n: usize, salt: u64) -> Dataset {
+        let mut rng = StreamRng::for_key(StreamKey::new(
+            self.seed,
+            Purpose::DataGen,
+            200 + salt,
+            self.device,
+        ));
+        let dim = self.cfg.dim;
+        let mut x = Matrix::zeros(n, dim);
+        for i in 0..n {
+            let row = x.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate() {
+                // Σ[j][j] = (j+1)^{-1.2}; std dev is its square root.
+                let std = ((j + 1) as f64).powf(-1.2).sqrt();
+                *v = rng.normal_with(self.v[j], std) as f32;
+            }
+        }
+        // Labels: argmax of softmax(Wx + b) == argmax of the logits.
+        let mut logits = ops::matmul_transb(&x, &self.w);
+        ops::add_row_inplace(&mut logits, &self.b);
+        let y = ops::argmax_rows(&logits);
+        Dataset::new(x, y, self.cfg.num_classes)
+    }
+}
+
+/// Sample sizes per device following the original's log-normal device-size
+/// law (clamped to `[min_samples, ∞)`), so some edges are data-rich and
+/// some data-poor.
+pub fn device_sample_sizes(
+    num_devices: usize,
+    mean_samples: usize,
+    min_samples: usize,
+    seed: u64,
+) -> Vec<usize> {
+    let mut rng = StreamRng::for_key(StreamKey::new(seed, Purpose::DataGen, 300, 0));
+    (0..num_devices)
+        .map(|_| {
+            let z = rng.normal_with(0.0, 1.0);
+            let size = (mean_samples as f64 * (0.5 * z).exp()).round() as usize;
+            size.max(min_samples)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_is_deterministic() {
+        let cfg = LiSyntheticConfig::default();
+        let a = LiDevice::new(cfg.clone(), 1, 5).sample(8, 0);
+        let b = LiDevice::new(cfg, 1, 5).sample(8, 0);
+        assert_eq!(a.x.max_abs_diff(&b.x), 0.0);
+        assert_eq!(a.y, b.y);
+    }
+
+    #[test]
+    fn devices_differ() {
+        let cfg = LiSyntheticConfig::default();
+        let a = LiDevice::new(cfg.clone(), 1, 0).sample(8, 0);
+        let b = LiDevice::new(cfg, 1, 1).sample(8, 0);
+        assert!(a.x.max_abs_diff(&b.x) > 0.0);
+    }
+
+    #[test]
+    fn salt_changes_samples_but_not_law() {
+        let cfg = LiSyntheticConfig::default();
+        let dev = LiDevice::new(cfg, 1, 0);
+        let a = dev.sample(8, 0);
+        let b = dev.sample(8, 1);
+        assert!(a.x.max_abs_diff(&b.x) > 0.0);
+        assert_eq!(a.dim(), b.dim());
+    }
+
+    #[test]
+    fn iid_model_shares_w() {
+        let cfg = LiSyntheticConfig {
+            iid_model: true,
+            alpha: 1.0,
+            ..Default::default()
+        };
+        let a = LiDevice::new(cfg.clone(), 1, 0);
+        let b = LiDevice::new(cfg, 1, 1);
+        assert_eq!(a.w.max_abs_diff(&b.w), 0.0);
+        assert_eq!(a.b, b.b);
+        // ...but inputs still differ.
+        assert!(a.sample(4, 0).x.max_abs_diff(&b.sample(4, 0).x) > 0.0);
+    }
+
+    #[test]
+    fn labels_in_range_and_nondegenerate() {
+        let cfg = LiSyntheticConfig::default();
+        let ds = LiDevice::new(cfg, 3, 2).sample(200, 0);
+        assert!(ds.y.iter().all(|&l| l < 10));
+        let counts = ds.class_counts();
+        let nonzero = counts.iter().filter(|&&c| c > 0).count();
+        assert!(nonzero >= 2, "degenerate labels: {counts:?}");
+    }
+
+    #[test]
+    fn alpha_increases_model_divergence() {
+        // Larger α should (in expectation) move device optima apart. Proxy:
+        // distance between the W matrices of two devices.
+        let dist = |alpha: f64| {
+            let cfg = LiSyntheticConfig {
+                alpha,
+                beta: 0.0,
+                ..Default::default()
+            };
+            let a = LiDevice::new(cfg.clone(), 7, 0);
+            let b = LiDevice::new(cfg, 7, 1);
+            hm_tensor::vecops::dist2_sq(a.w.as_slice(), b.w.as_slice())
+        };
+        assert!(dist(10.0) > dist(0.0));
+    }
+
+    #[test]
+    fn sample_sizes_respect_minimum() {
+        let sizes = device_sample_sizes(100, 50, 10, 42);
+        assert_eq!(sizes.len(), 100);
+        assert!(sizes.iter().all(|&s| s >= 10));
+        // Heterogeneous: not all equal.
+        assert!(sizes.iter().any(|&s| s != sizes[0]));
+    }
+}

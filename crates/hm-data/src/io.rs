@@ -1,0 +1,406 @@
+//! Real-dataset loaders.
+//!
+//! The experiments ship with synthetic stand-ins (no downloads in the build
+//! environment), but the loaders here let a user drop in the *actual*
+//! datasets the paper uses:
+//!
+//! - [`load_idx_dataset`] — the IDX format of MNIST / Fashion-MNIST /
+//!   EMNIST (`train-images-idx3-ubyte` + `train-labels-idx1-ubyte`),
+//!   pixels normalised to `[0, 1]`.
+//! - [`load_categorical_csv`] — UCI Adult-style categorical CSV, one-hot
+//!   encoded with level discovery, last column = class label.
+//!
+//! Both return the same [`Dataset`] the generators produce, so every
+//! scenario constructor and algorithm works unchanged on real data.
+
+use crate::dataset::Dataset;
+use hm_tensor::Matrix;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Read};
+use std::path::Path;
+
+/// Errors from the dataset loaders.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structurally invalid file (bad magic, truncated, inconsistent).
+    Format(String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+fn read_u32_be(r: &mut impl Read) -> Result<u32, LoadError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_be_bytes(buf))
+}
+
+/// Read an IDX3 image file (magic `0x00000803`): returns an `n × (rows·cols)`
+/// matrix with pixels scaled to `[0, 1]`.
+pub fn read_idx_images(path: &Path) -> Result<Matrix, LoadError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let magic = read_u32_be(&mut r)?;
+    if magic != 0x0000_0803 {
+        return Err(LoadError::Format(format!(
+            "bad IDX3 magic 0x{magic:08x} in {}",
+            path.display()
+        )));
+    }
+    let n = read_u32_be(&mut r)? as usize;
+    let rows = read_u32_be(&mut r)? as usize;
+    let cols = read_u32_be(&mut r)? as usize;
+    // Validate header sizes before allocating: a corrupt header must fail
+    // cleanly, not request a petabyte (or overflow the multiply).
+    const MAX_ELEMENTS: u64 = 1 << 31;
+    let dim64 = (rows as u64)
+        .checked_mul(cols as u64)
+        .ok_or_else(|| LoadError::Format("image dimensions overflow".into()))?;
+    let total = (n as u64)
+        .checked_mul(dim64)
+        .filter(|&t| t <= MAX_ELEMENTS)
+        .ok_or_else(|| {
+            LoadError::Format(format!("implausible IDX3 header: {n} x {rows} x {cols}"))
+        })?;
+    let dim = dim64 as usize;
+    let mut bytes = vec![0u8; total as usize];
+    r.read_exact(&mut bytes)
+        .map_err(|e| LoadError::Format(format!("truncated image data: {e}")))?;
+    let data: Vec<f32> = bytes.into_iter().map(|b| f32::from(b) / 255.0).collect();
+    Ok(Matrix::from_vec(n, dim, data))
+}
+
+/// Read an IDX1 label file (magic `0x00000801`).
+pub fn read_idx_labels(path: &Path) -> Result<Vec<usize>, LoadError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let magic = read_u32_be(&mut r)?;
+    if magic != 0x0000_0801 {
+        return Err(LoadError::Format(format!(
+            "bad IDX1 magic 0x{magic:08x} in {}",
+            path.display()
+        )));
+    }
+    let n = read_u32_be(&mut r)? as usize;
+    if n as u64 > 1 << 31 {
+        return Err(LoadError::Format(format!(
+            "implausible IDX1 header: {n} labels"
+        )));
+    }
+    let mut bytes = vec![0u8; n];
+    r.read_exact(&mut bytes)
+        .map_err(|e| LoadError::Format(format!("truncated label data: {e}")))?;
+    Ok(bytes.into_iter().map(usize::from).collect())
+}
+
+/// Load a full IDX dataset (image file + label file), e.g. MNIST's
+/// `train-images-idx3-ubyte` / `train-labels-idx1-ubyte` pair.
+///
+/// `num_classes` of the returned dataset is `max(label) + 1`.
+pub fn load_idx_dataset(images: &Path, labels: &Path) -> Result<Dataset, LoadError> {
+    let x = read_idx_images(images)?;
+    let y = read_idx_labels(labels)?;
+    if x.rows() != y.len() {
+        return Err(LoadError::Format(format!(
+            "{} images but {} labels",
+            x.rows(),
+            y.len()
+        )));
+    }
+    let num_classes = y.iter().copied().max().map_or(1, |m| m + 1);
+    Ok(Dataset::new(x, y, num_classes))
+}
+
+/// Load a categorical CSV (UCI Adult style): every column but the last is a
+/// categorical attribute (one-hot encoded; levels discovered in first-seen
+/// order per column, then sorted for determinism), the last column is the
+/// class label (levels likewise discovered; e.g. `<=50K` / `>50K` → 0 / 1).
+/// Lines are comma-separated; surrounding whitespace is trimmed; empty
+/// lines are skipped.
+pub fn load_categorical_csv(path: &Path) -> Result<Dataset, LoadError> {
+    let r = BufReader::new(File::open(path)?);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for line in r.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<String> = line.split(',').map(|f| f.trim().to_string()).collect();
+        if let Some(first) = rows.first() {
+            if fields.len() != first.len() {
+                return Err(LoadError::Format(format!(
+                    "inconsistent column count: {} vs {}",
+                    fields.len(),
+                    first.len()
+                )));
+            }
+        }
+        rows.push(fields);
+    }
+    if rows.is_empty() {
+        return Err(LoadError::Format("empty csv".into()));
+    }
+    let cols = rows[0].len();
+    if cols < 2 {
+        return Err(LoadError::Format("need ≥1 attribute column + label".into()));
+    }
+    let n_attrs = cols - 1;
+    // Discover levels per attribute column (BTreeMap: sorted & deterministic).
+    let mut levels: Vec<BTreeMap<String, usize>> = vec![BTreeMap::new(); n_attrs];
+    let mut label_levels: BTreeMap<String, usize> = BTreeMap::new();
+    for row in &rows {
+        for (a, field) in row[..n_attrs].iter().enumerate() {
+            let next = levels[a].len();
+            levels[a].entry(field.clone()).or_insert(next);
+        }
+        let next = label_levels.len();
+        label_levels.entry(row[n_attrs].clone()).or_insert(next);
+    }
+    // Re-index sorted (BTreeMap iteration order) for determinism independent
+    // of row order.
+    for m in levels.iter_mut() {
+        let keys: Vec<String> = m.keys().cloned().collect();
+        for (i, k) in keys.into_iter().enumerate() {
+            m.insert(k, i);
+        }
+    }
+    {
+        let keys: Vec<String> = label_levels.keys().cloned().collect();
+        for (i, k) in keys.into_iter().enumerate() {
+            label_levels.insert(k, i);
+        }
+    }
+    let offsets: Vec<usize> = levels
+        .iter()
+        .scan(0usize, |acc, m| {
+            let off = *acc;
+            *acc += m.len();
+            Some(off)
+        })
+        .collect();
+    let dim: usize = levels.iter().map(|m| m.len()).sum();
+    let mut x = Matrix::zeros(rows.len(), dim);
+    let mut y = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        for (a, field) in row[..n_attrs].iter().enumerate() {
+            let level = levels[a][field];
+            x[(i, offsets[a] + level)] = 1.0;
+        }
+        y.push(label_levels[&row[n_attrs]]);
+    }
+    Ok(Dataset::new(x, y, label_levels.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "hm-io-{}-{}",
+            std::process::id(),
+            std::thread::current()
+                .name()
+                .unwrap_or("t")
+                .replace("::", "-")
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn write_idx3(path: &Path, n: u32, rows: u32, cols: u32, pixels: &[u8]) {
+        let mut f = File::create(path).unwrap();
+        f.write_all(&0x0000_0803u32.to_be_bytes()).unwrap();
+        f.write_all(&n.to_be_bytes()).unwrap();
+        f.write_all(&rows.to_be_bytes()).unwrap();
+        f.write_all(&cols.to_be_bytes()).unwrap();
+        f.write_all(pixels).unwrap();
+    }
+
+    fn write_idx1(path: &Path, labels: &[u8]) {
+        let mut f = File::create(path).unwrap();
+        f.write_all(&0x0000_0801u32.to_be_bytes()).unwrap();
+        f.write_all(&(labels.len() as u32).to_be_bytes()).unwrap();
+        f.write_all(labels).unwrap();
+    }
+
+    #[test]
+    fn idx_roundtrip() {
+        let d = tmpdir();
+        let img = d.join("images");
+        let lab = d.join("labels");
+        // 2 images of 2×2.
+        write_idx3(&img, 2, 2, 2, &[0, 255, 128, 64, 10, 20, 30, 40]);
+        write_idx1(&lab, &[3, 7]);
+        let ds = load_idx_dataset(&img, &lab).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.dim(), 4);
+        assert_eq!(ds.num_classes, 8);
+        assert_eq!(ds.y, vec![3, 7]);
+        assert!((ds.x[(0, 1)] - 1.0).abs() < 1e-6);
+        assert!((ds.x[(0, 2)] - 128.0 / 255.0).abs() < 1e-6);
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn idx_bad_magic_rejected() {
+        let d = tmpdir();
+        let img = d.join("badmagic");
+        let mut f = File::create(&img).unwrap();
+        f.write_all(&0xDEADBEEFu32.to_be_bytes()).unwrap();
+        drop(f);
+        let err = read_idx_images(&img).unwrap_err();
+        assert!(matches!(err, LoadError::Format(_)), "{err}");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn idx_huge_header_rejected_without_allocating() {
+        let d = tmpdir();
+        let img = d.join("huge");
+        let mut f = File::create(&img).unwrap();
+        f.write_all(&0x0000_0803u32.to_be_bytes()).unwrap();
+        f.write_all(&u32::MAX.to_be_bytes()).unwrap(); // n
+        f.write_all(&u32::MAX.to_be_bytes()).unwrap(); // rows
+        f.write_all(&u32::MAX.to_be_bytes()).unwrap(); // cols
+        drop(f);
+        let err = read_idx_images(&img).unwrap_err();
+        assert!(
+            matches!(err, LoadError::Format(m) if m.contains("implausible") || m.contains("overflow"))
+        );
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn idx_truncated_rejected() {
+        let d = tmpdir();
+        let img = d.join("trunc");
+        write_idx3(&img, 3, 2, 2, &[0; 4]); // claims 3 images, has 1
+        let err = read_idx_images(&img).unwrap_err();
+        assert!(matches!(err, LoadError::Format(_)), "{err}");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn idx_count_mismatch_rejected() {
+        let d = tmpdir();
+        let img = d.join("img");
+        let lab = d.join("lab");
+        write_idx3(&img, 1, 1, 1, &[9]);
+        write_idx1(&lab, &[0, 1]);
+        let err = load_idx_dataset(&img, &lab).unwrap_err();
+        assert!(matches!(err, LoadError::Format(_)), "{err}");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn csv_one_hot_roundtrip() {
+        let d = tmpdir();
+        let p = d.join("adult.csv");
+        std::fs::write(
+            &p,
+            "Private, Bachelors, <=50K\nSelf-emp, HS-grad, >50K\nPrivate, HS-grad, <=50K\n",
+        )
+        .unwrap();
+        let ds = load_categorical_csv(&p).unwrap();
+        assert_eq!(ds.len(), 3);
+        // Column 0 has 2 levels, column 1 has 2 levels → dim 4.
+        assert_eq!(ds.dim(), 4);
+        assert_eq!(ds.num_classes, 2);
+        // Each row has exactly one 1 per attribute.
+        for row in ds.x.rows_iter() {
+            assert_eq!(row.iter().sum::<f32>(), 2.0);
+        }
+        // Deterministic label mapping: "<=50K" < ">50K" lexicographically.
+        assert_eq!(ds.y, vec![0, 1, 0]);
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn csv_level_indexing_is_row_order_independent() {
+        let d = tmpdir();
+        let p1 = d.join("a.csv");
+        let p2 = d.join("b.csv");
+        std::fs::write(&p1, "x, yes\ny, no\n").unwrap();
+        std::fs::write(&p2, "y, no\nx, yes\n").unwrap();
+        let a = load_categorical_csv(&p1).unwrap();
+        let b = load_categorical_csv(&p2).unwrap();
+        // Same encoding: row "x,yes" identical in both files.
+        let row_a: Vec<f32> = a.x.row(0).to_vec();
+        let row_b: Vec<f32> = b.x.row(1).to_vec();
+        assert_eq!(row_a, row_b);
+        assert_eq!(a.y[0], b.y[1]);
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn csv_inconsistent_columns_rejected() {
+        let d = tmpdir();
+        let p = d.join("bad.csv");
+        std::fs::write(&p, "a, b, 0\nc, 1\n").unwrap();
+        let err = load_categorical_csv(&p).unwrap_err();
+        assert!(matches!(err, LoadError::Format(_)), "{err}");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Arbitrary bytes never panic the IDX readers — they either
+            /// parse (only when structurally valid) or return an error.
+            #[test]
+            fn prop_idx_reader_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+                let d = std::env::temp_dir()
+                    .join(format!("hm-io-fuzz-{}-{:x}", std::process::id(), bytes.len()));
+                std::fs::create_dir_all(&d).unwrap();
+                let p = d.join("fuzz.idx");
+                std::fs::write(&p, &bytes).unwrap();
+                let _ = read_idx_images(&p); // must not panic
+                let _ = read_idx_labels(&p);
+                std::fs::remove_dir_all(&d).ok();
+            }
+
+            /// Arbitrary text never panics the CSV loader.
+            #[test]
+            fn prop_csv_loader_never_panics(text in "[ -~\n]{0,200}") {
+                let d = std::env::temp_dir()
+                    .join(format!("hm-csv-fuzz-{}-{:x}", std::process::id(), text.len()));
+                std::fs::create_dir_all(&d).unwrap();
+                let p = d.join("fuzz.csv");
+                std::fs::write(&p, &text).unwrap();
+                let _ = load_categorical_csv(&p); // must not panic
+                std::fs::remove_dir_all(&d).ok();
+            }
+        }
+    }
+
+    #[test]
+    fn csv_empty_rejected() {
+        let d = tmpdir();
+        let p = d.join("empty.csv");
+        std::fs::write(&p, "\n\n").unwrap();
+        assert!(load_categorical_csv(&p).is_err());
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+}

@@ -1,0 +1,28 @@
+//! Data substrate for the HierMinimax reproduction.
+//!
+//! The paper evaluates on EMNIST-Digits, Fashion-MNIST, MNIST, Adult, and
+//! the Synthetic dataset of Li et al. (2020). Real downloads are not
+//! available in this environment, so this crate provides synthetic stand-ins
+//! that preserve the property each experiment exercises — *heterogeneity of
+//! the per-edge data distributions* — plus the partitioners the paper uses
+//! to induce it (one-label-per-edge, and the s%-similarity split of
+//! SCAFFOLD/Karimireddy et al.). See DESIGN.md §2 for the substitution
+//! rationale.
+//!
+//! Determinism: every random draw in the workspace flows through
+//! [`rng::StreamRng`], a xoshiro256** generator seeded by hashing a
+//! `(master seed, purpose, round, entity)` key with SplitMix64. Two runs
+//! with the same master seed produce bit-identical results regardless of
+//! rayon scheduling, because each (client, round) pair owns its own stream.
+
+pub mod batch;
+pub mod dataset;
+pub mod generators;
+pub mod io;
+pub mod partition;
+pub mod persist;
+pub mod rng;
+pub mod scenarios;
+
+pub use dataset::Dataset;
+pub use rng::StreamRng;

@@ -1,0 +1,390 @@
+//! Heterogeneous data partitioners.
+//!
+//! The paper induces heterogeneity two ways:
+//! - §6.1 (convex, EMNIST): "assign one distinct class of training data to
+//!   the clients of each edge area" — [`partition_by_label`].
+//! - §6.2 (non-convex, Fashion-MNIST): the s%-similarity split of
+//!   Karimireddy et al. (SCAFFOLD): "for s% similarity we allocate to each
+//!   edge area s% i.i.d. data and the remaining (100−s)% by sorting
+//!   according to label" — [`partition_similarity`].
+
+use crate::dataset::Dataset;
+use crate::rng::StreamRng;
+
+/// Assign each class to one edge area: edge `e` receives every sample whose
+/// label `l` satisfies `l % num_edges == e`. With `num_edges ==
+/// num_classes` (the paper's Fig. 3 setting: 10 digit classes over 10 edge
+/// areas) each edge holds exactly one class.
+///
+/// Returns one dataset per edge, each possibly empty when a class is absent.
+pub fn partition_by_label(data: &Dataset, num_edges: usize) -> Vec<Dataset> {
+    assert!(num_edges > 0, "need at least one edge");
+    let mut per_edge: Vec<Vec<usize>> = vec![Vec::new(); num_edges];
+    for (i, &l) in data.y.iter().enumerate() {
+        per_edge[l % num_edges].push(i);
+    }
+    per_edge.into_iter().map(|idx| data.subset(&idx)).collect()
+}
+
+/// The s%-similarity split: a fraction `s` of the data is dealt i.i.d.
+/// (shuffled round-robin) across edges; the remaining `1−s` is sorted by
+/// label and dealt in contiguous shards, concentrating labels per edge.
+///
+/// `s = 1.0` gives an i.i.d. split; `s = 0.0` gives maximal label skew.
+///
+/// # Panics
+/// Panics unless `0.0 <= s <= 1.0` and `num_edges > 0`.
+pub fn partition_similarity(
+    data: &Dataset,
+    num_edges: usize,
+    s: f64,
+    rng: &mut StreamRng,
+) -> Vec<Dataset> {
+    let uniform = vec![1.0; num_edges];
+    partition_similarity_sized(data, num_edges, s, &uniform, rng)
+}
+
+/// [`partition_similarity`] with per-edge share weights: edge `e` receives
+/// a fraction `share[e]/Σ share` of both the i.i.d. and the label-sorted
+/// portions. Unequal shares reproduce the paper's motivating data-ratio
+/// mismatch inside the similarity scenario (minimization with
+/// data-proportional weights under-serves small edges).
+///
+/// # Panics
+/// Panics unless shares are positive with `share.len() == num_edges`.
+pub fn partition_similarity_sized(
+    data: &Dataset,
+    num_edges: usize,
+    s: f64,
+    share: &[f64],
+    rng: &mut StreamRng,
+) -> Vec<Dataset> {
+    assert!(num_edges > 0, "need at least one edge");
+    assert!((0.0..=1.0).contains(&s), "similarity s={s} out of [0,1]");
+    assert_eq!(share.len(), num_edges, "one share per edge");
+    assert!(share.iter().all(|&w| w > 0.0), "shares must be positive");
+    let n = data.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut idx);
+    let n_iid = ((n as f64) * s).round() as usize;
+    let (iid_part, skew_part) = idx.split_at(n_iid.min(n));
+
+    // Largest-remainder apportionment of `m` items to edges by share.
+    let total: f64 = share.iter().sum();
+    let apportion = |m: usize| -> Vec<usize> {
+        let quotas: Vec<f64> = share.iter().map(|&w| w / total * m as f64).collect();
+        let mut counts: Vec<usize> = quotas.iter().map(|&q| q.floor() as usize).collect();
+        let mut rest: Vec<(usize, f64)> = quotas
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| (i, q - q.floor()))
+            .collect();
+        rest.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        let assigned: usize = counts.iter().sum();
+        for (i, _) in rest.iter().take(m - assigned) {
+            counts[*i] += 1;
+        }
+        counts
+    };
+
+    let mut per_edge: Vec<Vec<usize>> = vec![Vec::new(); num_edges];
+    // IID fraction: contiguous runs of the shuffled order, sized by share
+    // (the order is random, so contiguous runs are i.i.d. draws).
+    let iid_counts = apportion(iid_part.len());
+    let mut start = 0;
+    for (e, &size) in iid_counts.iter().enumerate() {
+        per_edge[e].extend_from_slice(&iid_part[start..start + size]);
+        start += size;
+    }
+    // Skewed fraction: sort by label (stable on the shuffled order), then
+    // deal contiguous shards sized by share.
+    let mut sorted: Vec<usize> = skew_part.to_vec();
+    sorted.sort_by_key(|&i| data.y[i]);
+    let skew_counts = apportion(sorted.len());
+    let mut start = 0;
+    for (e, &size) in skew_counts.iter().enumerate() {
+        per_edge[e].extend_from_slice(&sorted[start..start + size]);
+        start += size;
+    }
+    per_edge.into_iter().map(|b| data.subset(&b)).collect()
+}
+
+/// Dirichlet label partition (Hsu, Qi & Brown 2019) — the third standard
+/// heterogeneity scheme in the FL literature, alongside one-label-per-edge
+/// and the s%-similarity split. For each class, the class's samples are
+/// split across edges by a draw from `Dirichlet(alpha, …, alpha)`:
+/// small `alpha` concentrates each class on few edges (strong
+/// heterogeneity), large `alpha` approaches an i.i.d. split.
+///
+/// Gamma draws use the Marsaglia–Tsang method (with the `alpha < 1`
+/// boost), so any positive `alpha` is supported.
+///
+/// # Panics
+/// Panics unless `alpha > 0` and `num_edges > 0`.
+pub fn partition_dirichlet(
+    data: &Dataset,
+    num_edges: usize,
+    alpha: f64,
+    rng: &mut StreamRng,
+) -> Vec<Dataset> {
+    assert!(num_edges > 0, "need at least one edge");
+    assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+    // Group sample indices by class, in a shuffled order.
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); data.num_classes];
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    rng.shuffle(&mut order);
+    for &i in &order {
+        by_class[data.y[i]].push(i);
+    }
+    let mut per_edge: Vec<Vec<usize>> = vec![Vec::new(); num_edges];
+    for idx in by_class {
+        if idx.is_empty() {
+            continue;
+        }
+        // Dirichlet proportions via normalised Gamma(alpha, 1) draws.
+        let gammas: Vec<f64> = (0..num_edges).map(|_| sample_gamma(alpha, rng)).collect();
+        let total: f64 = gammas.iter().sum();
+        // Largest-remainder apportionment of this class's samples.
+        let n = idx.len();
+        let quotas: Vec<f64> = gammas.iter().map(|&g| g / total * n as f64).collect();
+        let mut counts: Vec<usize> = quotas.iter().map(|&q| q.floor() as usize).collect();
+        let mut rest: Vec<(usize, f64)> = quotas
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| (i, q - q.floor()))
+            .collect();
+        rest.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        let assigned: usize = counts.iter().sum();
+        for (i, _) in rest.iter().take(n - assigned) {
+            counts[*i] += 1;
+        }
+        let mut start = 0;
+        for (e, &c) in counts.iter().enumerate() {
+            per_edge[e].extend_from_slice(&idx[start..start + c]);
+            start += c;
+        }
+    }
+    per_edge.into_iter().map(|b| data.subset(&b)).collect()
+}
+
+/// Gamma(alpha, 1) sample (Marsaglia–Tsang; `alpha < 1` via the
+/// `U^{1/alpha}` boost).
+fn sample_gamma(alpha: f64, rng: &mut StreamRng) -> f64 {
+    if alpha < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) · U^{1/a}.
+        let u = rng.uniform().max(1e-300);
+        return sample_gamma(alpha + 1.0, rng) * u.powf(1.0 / alpha);
+    }
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = rng.normal();
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u = rng.uniform();
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v;
+        }
+        if u.max(1e-300).ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Fraction of samples (over all edges) whose label equals each edge's
+/// majority label — a scalar skew diagnostic: 1.0 when each edge is
+/// single-label, ≈ 1/num_classes for an i.i.d. split.
+pub fn label_skew(parts: &[Dataset]) -> f64 {
+    let mut majority = 0usize;
+    let mut total = 0usize;
+    for p in parts {
+        let counts = p.class_counts();
+        majority += counts.iter().copied().max().unwrap_or(0);
+        total += p.len();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        majority as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{Purpose, StreamRng};
+    use hm_tensor::Matrix;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn toy(n: usize, classes: usize) -> Dataset {
+        let x = Matrix::from_fn(n, 1, |r, _| r as f32);
+        let y = (0..n).map(|i| i % classes).collect();
+        Dataset::new(x, y, classes)
+    }
+
+    #[test]
+    fn by_label_one_class_per_edge() {
+        let d = toy(100, 10);
+        let parts = partition_by_label(&d, 10);
+        assert_eq!(parts.len(), 10);
+        for (e, p) in parts.iter().enumerate() {
+            assert_eq!(p.len(), 10);
+            assert!(p.y.iter().all(|&l| l == e));
+        }
+        assert!((label_skew(&parts) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn by_label_wraps_when_more_classes_than_edges() {
+        let d = toy(40, 4);
+        let parts = partition_by_label(&d, 2);
+        assert!(parts[0].y.iter().all(|&l| l % 2 == 0));
+        assert!(parts[1].y.iter().all(|&l| l % 2 == 1));
+    }
+
+    #[test]
+    fn similarity_partitions_cover_everything() {
+        let d = toy(103, 5);
+        let mut rng = StreamRng::new(1, Purpose::Split, 0, 0);
+        let parts = partition_similarity(&d, 4, 0.5, &mut rng);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 103);
+        // Collect the unique feature values to ensure a true partition.
+        let mut seen: Vec<f32> = parts
+            .iter()
+            .flat_map(|p| p.x.rows_iter().map(|r| r[0]).collect::<Vec<_>>())
+            .collect();
+        seen.sort_by(f32::total_cmp);
+        let expected: Vec<f32> = (0..103).map(|i| i as f32).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn similarity_extremes_order_skew() {
+        let d = toy(500, 10);
+        let mut r1 = StreamRng::new(2, Purpose::Split, 0, 0);
+        let mut r2 = StreamRng::new(2, Purpose::Split, 0, 1);
+        let mut r3 = StreamRng::new(2, Purpose::Split, 0, 2);
+        let iid = partition_similarity(&d, 10, 1.0, &mut r1);
+        let half = partition_similarity(&d, 10, 0.5, &mut r2);
+        let skewed = partition_similarity(&d, 10, 0.0, &mut r3);
+        let (a, b, c) = (label_skew(&iid), label_skew(&half), label_skew(&skewed));
+        assert!(a < b && b < c, "skews not ordered: {a} {b} {c}");
+        assert!(c > 0.9, "s=0 should be near single-label: {c}");
+        assert!(a < 0.3, "s=1 should be near iid: {a}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn similarity_bad_s_panics() {
+        let d = toy(10, 2);
+        let mut rng = StreamRng::new(0, Purpose::Split, 0, 0);
+        let _ = partition_similarity(&d, 2, 1.5, &mut rng);
+    }
+
+    #[test]
+    fn dirichlet_is_a_partition() {
+        let d = toy(200, 5);
+        let mut rng = StreamRng::new(9, Purpose::Split, 0, 0);
+        let parts = partition_dirichlet(&d, 4, 0.5, &mut rng);
+        assert_eq!(parts.len(), 4);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 200);
+        let mut seen: Vec<f32> = parts
+            .iter()
+            .flat_map(|p| p.x.rows_iter().map(|r| r[0]).collect::<Vec<_>>())
+            .collect();
+        seen.sort_by(f32::total_cmp);
+        let expected: Vec<f32> = (0..200).map(|i| i as f32).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn dirichlet_alpha_orders_skew() {
+        let d = toy(2000, 10);
+        let mut r1 = StreamRng::new(10, Purpose::Split, 0, 0);
+        let mut r2 = StreamRng::new(10, Purpose::Split, 0, 1);
+        let concentrated = partition_dirichlet(&d, 10, 0.05, &mut r1);
+        let spread = partition_dirichlet(&d, 10, 100.0, &mut r2);
+        let (a, b) = (label_skew(&concentrated), label_skew(&spread));
+        assert!(
+            a > b + 0.2,
+            "alpha=0.05 skew {a} should far exceed alpha=100 skew {b}"
+        );
+        assert!(b < 0.2, "alpha=100 should be near-iid: {b}");
+    }
+
+    #[test]
+    fn gamma_sampler_moments() {
+        // Gamma(alpha, 1) has mean alpha and variance alpha.
+        for &alpha in &[0.3_f64, 1.0, 4.5] {
+            let mut rng = StreamRng::new(11, Purpose::Split, 0, alpha.to_bits());
+            let n = 20_000;
+            let xs: Vec<f64> = (0..n).map(|_| sample_gamma(alpha, &mut rng)).collect();
+            let mean = xs.iter().sum::<f64>() / n as f64;
+            let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - alpha).abs() < 0.1 * alpha.max(0.5),
+                "alpha {alpha}: mean {mean}"
+            );
+            assert!(
+                (var - alpha).abs() < 0.2 * alpha.max(0.5),
+                "alpha {alpha}: var {var}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn dirichlet_bad_alpha_panics() {
+        let d = toy(10, 2);
+        let mut rng = StreamRng::new(0, Purpose::Split, 0, 0);
+        let _ = partition_dirichlet(&d, 2, 0.0, &mut rng);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dirichlet_is_partition(
+            n in 10usize..150,
+            edges in 1usize..6,
+            alpha in 0.05f64..20.0,
+            seed in 0u64..50,
+        ) {
+            let d = toy(n, 5.min(n));
+            let mut rng = StreamRng::seed_from_u64(seed);
+            let parts = partition_dirichlet(&d, edges, alpha, &mut rng);
+            let total: usize = parts.iter().map(|p| p.len()).sum();
+            prop_assert_eq!(total, n);
+        }
+
+        #[test]
+        fn prop_similarity_is_partition(
+            n in 10usize..200,
+            edges in 1usize..8,
+            s in 0.0f64..=1.0,
+            seed in 0u64..100,
+        ) {
+            let d = toy(n, 7.min(n));
+            let mut rng = StreamRng::seed_from_u64(seed);
+            let parts = partition_similarity(&d, edges, s, &mut rng);
+            prop_assert_eq!(parts.len(), edges);
+            let total: usize = parts.iter().map(|p| p.len()).sum();
+            prop_assert_eq!(total, n);
+            // Sizes are near-balanced: within num_edges of each other.
+            let max = parts.iter().map(|p| p.len()).max().unwrap();
+            let min = parts.iter().map(|p| p.len()).min().unwrap();
+            prop_assert!(max - min <= 2, "imbalanced: max {} min {}", max, min);
+        }
+
+        #[test]
+        fn prop_by_label_is_partition(n in 1usize..200, edges in 1usize..12) {
+            let d = toy(n, 10.min(n));
+            let parts = partition_by_label(&d, edges);
+            let total: usize = parts.iter().map(|p| p.len()).sum();
+            prop_assert_eq!(total, n);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Flat-parameter persistence: a minimal versioned binary format for model
+//! vectors, so trained models can be saved from one run and evaluated (or
+//! warm-started) in another without pulling a serialization framework.
+//!
+//! Format (all little-endian): magic `b"HMW1"`, `u64` length, then `len`
+//! IEEE-754 `f32` values, then a `u64` FNV-1a checksum of the payload
+//! bytes. The checksum catches truncation and bit rot; the magic catches
+//! wrong-file mistakes.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"HMW1";
+
+/// Errors from parameter persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structurally invalid file.
+    Format(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Write a parameter vector to `path`.
+pub fn save_params(path: &Path, params: &[f32]) -> Result<(), PersistError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(params.len() as u64).to_le_bytes())?;
+    let mut payload = Vec::with_capacity(params.len() * 4);
+    for &x in params {
+        payload.extend_from_slice(&x.to_le_bytes());
+    }
+    w.write_all(&payload)?;
+    w.write_all(&fnv1a(&payload).to_le_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a parameter vector from `path`, validating magic and checksum.
+pub fn load_params(path: &Path) -> Result<Vec<f32>, PersistError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PersistError::Format(format!(
+            "bad magic {magic:?} in {}",
+            path.display()
+        )));
+    }
+    let mut len_bytes = [0u8; 8];
+    r.read_exact(&mut len_bytes)?;
+    let len64 = u64::from_le_bytes(len_bytes);
+    // Validate before allocating: a corrupt length field must fail cleanly,
+    // not request terabytes (or overflow the multiply on 32-bit targets).
+    const MAX_PARAMS: u64 = 1 << 31;
+    if len64 > MAX_PARAMS {
+        return Err(PersistError::Format(format!(
+            "implausible parameter count {len64}"
+        )));
+    }
+    let len = len64 as usize;
+    let mut payload = vec![0u8; len * 4];
+    r.read_exact(&mut payload)
+        .map_err(|e| PersistError::Format(format!("truncated payload: {e}")))?;
+    let mut sum_bytes = [0u8; 8];
+    r.read_exact(&mut sum_bytes)
+        .map_err(|e| PersistError::Format(format!("missing checksum: {e}")))?;
+    if u64::from_le_bytes(sum_bytes) != fnv1a(&payload) {
+        return Err(PersistError::Format("checksum mismatch".into()));
+    }
+    Ok(payload
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("hm-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d.join(name)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = tmp("w.hmw");
+        let orig: Vec<f32> = (0..1000).map(|i| (i as f32).sin()).collect();
+        save_params(&p, &orig).unwrap();
+        let back = load_params(&p).unwrap();
+        assert_eq!(orig, back);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let p = tmp("empty.hmw");
+        save_params(&p, &[]).unwrap();
+        assert_eq!(load_params(&p).unwrap(), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn special_values_roundtrip() {
+        let p = tmp("special.hmw");
+        let orig = vec![0.0, -0.0, f32::MIN_POSITIVE, f32::MAX, -1e-38];
+        save_params(&p, &orig).unwrap();
+        let back = load_params(&p).unwrap();
+        assert_eq!(orig.len(), back.len());
+        for (a, b) in orig.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let p = tmp("bad.hmw");
+        std::fs::write(&p, b"NOPE\x00\x00\x00\x00\x00\x00\x00\x00").unwrap();
+        assert!(matches!(load_params(&p), Err(PersistError::Format(_))));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let p = tmp("corrupt.hmw");
+        save_params(&p, &[1.0, 2.0, 3.0]).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        bytes[14] ^= 0xFF; // flip a payload byte
+        std::fs::write(&p, bytes).unwrap();
+        let err = load_params(&p).unwrap_err();
+        assert!(matches!(err, PersistError::Format(m) if m.contains("checksum")));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let p = tmp("trunc.hmw");
+        save_params(&p, &[1.0; 100]).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(load_params(&p), Err(PersistError::Format(_))));
+    }
+}

@@ -1,0 +1,487 @@
+//! Prebuilt hierarchical data scenarios matching the paper's experiments.
+//!
+//! A [`HierScenario`] is the data-side description of a client-edge-cloud
+//! experiment: per edge area, the training shards of its clients and a test
+//! set from the same edge distribution (the paper reports per-edge-area test
+//! accuracy; clients within an edge share a distribution by assumption).
+
+use crate::dataset::Dataset;
+use crate::generators::adult_like::{AdultLikeConfig, AdultLikePopulation, Group};
+use crate::generators::li_synthetic::{device_sample_sizes, LiDevice, LiSyntheticConfig};
+use crate::generators::synthetic_images::{ImageConfig, ImageDistribution};
+use crate::partition::{partition_dirichlet, partition_similarity_sized};
+use crate::rng::{Purpose, StreamKey, StreamRng};
+
+/// Data belonging to one edge area.
+#[derive(Debug, Clone)]
+pub struct EdgeData {
+    /// One training shard per client of this edge.
+    pub client_train: Vec<Dataset>,
+    /// Test set drawn from the edge area's distribution.
+    pub test: Dataset,
+}
+
+impl EdgeData {
+    /// Concatenation of all client training shards (the edge's empirical
+    /// distribution; used by centralised reference solvers).
+    pub fn train_concat(&self) -> Dataset {
+        let refs: Vec<&Dataset> = self.client_train.iter().collect();
+        Dataset::concat(&refs)
+    }
+}
+
+/// A full hierarchical data scenario.
+#[derive(Debug, Clone)]
+pub struct HierScenario {
+    /// Human-readable name (used in experiment output).
+    pub name: String,
+    /// One entry per edge area.
+    pub edges: Vec<EdgeData>,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Feature dimension.
+    pub dim: usize,
+}
+
+impl HierScenario {
+    /// Number of edge areas.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Clients per edge of the first edge (scenarios built here are
+    /// symmetric, matching the paper's `|N_e| = N_0` assumption).
+    pub fn clients_per_edge(&self) -> usize {
+        self.edges.first().map_or(0, |e| e.client_train.len())
+    }
+
+    /// Total client count `N = N_0 · N_E`.
+    pub fn total_clients(&self) -> usize {
+        self.edges.iter().map(|e| e.client_train.len()).sum()
+    }
+
+    /// Panic unless every edge has ≥1 client with ≥1 sample and a non-empty
+    /// test set. Called by experiment drivers before training.
+    pub fn validate(&self) {
+        assert!(!self.edges.is_empty(), "scenario has no edges");
+        let n0 = self.edges[0].client_train.len();
+        for (e, edge) in self.edges.iter().enumerate() {
+            assert!(!edge.client_train.is_empty(), "edge {e} has no clients");
+            assert_eq!(
+                edge.client_train.len(),
+                n0,
+                "edge {e} has a different client count; the algorithms' flat \
+                 client indexing assumes the paper's symmetric |N_e| = N_0"
+            );
+            for (c, d) in edge.client_train.iter().enumerate() {
+                assert!(!d.is_empty(), "edge {e} client {c} has no data");
+                assert_eq!(d.dim(), self.dim, "edge {e} client {c} dim mismatch");
+            }
+            assert!(!edge.test.is_empty(), "edge {e} has an empty test set");
+        }
+    }
+}
+
+/// §6.1 scenario: one distinct class per edge area (requires
+/// `num_edges == cfg.num_classes`), as in the paper's EMNIST-Digits setup
+/// with `N_E = 10`, `N_0 = 3`. All edges receive the same amount of data;
+/// see [`one_class_per_edge_sized`] for unequal data ratios.
+pub fn one_class_per_edge(
+    cfg: ImageConfig,
+    num_edges: usize,
+    clients_per_edge: usize,
+    train_per_client: usize,
+    test_per_edge: usize,
+    seed: u64,
+) -> HierScenario {
+    let sizes = vec![train_per_client; num_edges];
+    one_class_per_edge_sized(
+        cfg,
+        num_edges,
+        clients_per_edge,
+        &sizes,
+        test_per_edge,
+        seed,
+    )
+}
+
+/// [`one_class_per_edge`] with explicit per-edge train sizes (samples per
+/// *client* of each edge). Unequal sizes reproduce the paper's motivating
+/// data-ratio mismatch: minimization with data-proportional weights
+/// (eq. 1) systematically under-serves small edges; minimax (eq. 3) does
+/// not.
+pub fn one_class_per_edge_sized(
+    cfg: ImageConfig,
+    num_edges: usize,
+    clients_per_edge: usize,
+    train_per_client: &[usize],
+    test_per_edge: usize,
+    seed: u64,
+) -> HierScenario {
+    assert_eq!(
+        num_edges, cfg.num_classes,
+        "one-class-per-edge needs num_edges == num_classes"
+    );
+    assert_eq!(train_per_client.len(), num_edges, "one size per edge");
+    let dist = ImageDistribution::new(cfg.clone(), seed);
+    let mut edges = Vec::with_capacity(num_edges);
+    for (e, &n_train) in train_per_client.iter().enumerate() {
+        let classes = [e];
+        let client_train: Vec<Dataset> = (0..clients_per_edge)
+            .map(|c| dist.sample(&classes, n_train, (e * clients_per_edge + c) as u64))
+            .collect();
+        // Distinct entity id space for test draws.
+        let test = dist.sample(&classes, test_per_edge, 1_000_000 + e as u64);
+        edges.push(EdgeData { client_train, test });
+    }
+    HierScenario {
+        name: "one-class-per-edge".into(),
+        edges,
+        num_classes: cfg.num_classes,
+        dim: cfg.dim(),
+    }
+}
+
+/// Linearly decreasing per-edge sizes from `max` down to `max·min_frac`
+/// (rounded, at least 1) — the data-imbalance profile used by the Fig. 3
+/// experiment (later classes are both harder and data-poorer).
+pub fn linear_sizes(max: usize, min_frac: f64, n: usize) -> Vec<usize> {
+    assert!(n > 0 && (0.0..=1.0).contains(&min_frac));
+    (0..n)
+        .map(|e| {
+            let t = if n > 1 {
+                e as f64 / (n - 1) as f64
+            } else {
+                0.0
+            };
+            let f = 1.0 - (1.0 - min_frac) * t;
+            ((max as f64 * f).round() as usize).max(1)
+        })
+        .collect()
+}
+
+/// §6.2 scenario: s%-similarity split of a balanced pool across edge areas
+/// (Fashion-MNIST setup, `s = 50`). Each edge's shard is split into a test
+/// hold-out and per-client training shards, so test data matches the edge's
+/// training distribution.
+pub fn similarity_split(
+    cfg: ImageConfig,
+    num_edges: usize,
+    clients_per_edge: usize,
+    samples_per_edge: usize,
+    s: f64,
+    test_fraction: f64,
+    seed: u64,
+) -> HierScenario {
+    let uniform = vec![1.0; cfg.num_classes];
+    similarity_split_weighted(
+        cfg,
+        num_edges,
+        clients_per_edge,
+        samples_per_edge,
+        s,
+        test_fraction,
+        &uniform,
+        seed,
+    )
+}
+
+/// Extra knobs for [`similarity_scenario`] beyond the paper's base setup.
+#[derive(Debug, Clone, Default)]
+pub struct SimilarityOptions {
+    /// Class frequencies of the pool (∝ values); `None` = uniform.
+    pub class_weights: Option<Vec<f64>>,
+    /// Per-edge data shares (∝ values); `None` = equal. Unequal shares
+    /// reproduce the paper's data-ratio mismatch inside this scenario.
+    pub edge_shares: Option<Vec<f64>>,
+    /// When `Some(n)`, each edge receives a *fresh* test set of `n`
+    /// samples drawn from the generator with the edge's empirical class
+    /// mixture, instead of holding out `test_fraction` of its (possibly
+    /// tiny) shard — distribution-matched but as large as needed for a
+    /// low-variance worst-accuracy estimate.
+    pub fresh_test_per_edge: Option<usize>,
+}
+
+/// [`similarity_split`] with optional class imbalance and per-edge data
+/// shares (see [`SimilarityOptions`]).
+#[allow(clippy::too_many_arguments)]
+pub fn similarity_scenario(
+    cfg: ImageConfig,
+    num_edges: usize,
+    clients_per_edge: usize,
+    samples_per_edge: usize,
+    s: f64,
+    test_fraction: f64,
+    options: &SimilarityOptions,
+    seed: u64,
+) -> HierScenario {
+    let dist = ImageDistribution::new(cfg.clone(), seed);
+    let uniform_classes = vec![1.0; cfg.num_classes];
+    let class_weights = options.class_weights.as_deref().unwrap_or(&uniform_classes);
+    let pool = dist.sample_weighted_classes(class_weights, samples_per_edge * num_edges, 0);
+    let equal_shares = vec![1.0; num_edges];
+    let shares = options.edge_shares.as_deref().unwrap_or(&equal_shares);
+    let mut prng = StreamRng::for_key(StreamKey::new(seed, Purpose::Split, 0, 0));
+    let shards = partition_similarity_sized(&pool, num_edges, s, shares, &mut prng);
+    let mut edges = Vec::with_capacity(num_edges);
+    for (e, shard) in shards.into_iter().enumerate() {
+        let (train, test) = match options.fresh_test_per_edge {
+            Some(n) => {
+                // Fresh test set from the edge's empirical class mixture.
+                let counts = shard.class_counts();
+                let mix: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+                let test = dist_sample_mixture(&dist, &mix, n, 2_000_000 + e as u64);
+                (shard, test)
+            }
+            None => {
+                let mut srng =
+                    StreamRng::for_key(StreamKey::new(seed, Purpose::Split, 1, e as u64));
+                shard.train_test_split(test_fraction, &mut srng)
+            }
+        };
+        let client_train = train.split_even(clients_per_edge);
+        edges.push(EdgeData { client_train, test });
+    }
+    HierScenario {
+        name: format!("similarity-{:.0}%", s * 100.0),
+        edges,
+        num_classes: cfg.num_classes,
+        dim: cfg.dim(),
+    }
+}
+
+/// Sample `n` points from `dist` with class frequencies ∝ `mix` (helper
+/// for the fresh-test option; zero-weight classes are simply absent).
+fn dist_sample_mixture(dist: &ImageDistribution, mix: &[f64], n: usize, entity: u64) -> Dataset {
+    dist.sample_weighted_classes(mix, n, entity)
+}
+
+/// [`similarity_split`] over a class-imbalanced pool: class `c` appears
+/// with frequency ∝ `class_weights[c]`.
+#[allow(clippy::too_many_arguments)]
+pub fn similarity_split_weighted(
+    cfg: ImageConfig,
+    num_edges: usize,
+    clients_per_edge: usize,
+    samples_per_edge: usize,
+    s: f64,
+    test_fraction: f64,
+    class_weights: &[f64],
+    seed: u64,
+) -> HierScenario {
+    let options = SimilarityOptions {
+        class_weights: Some(class_weights.to_vec()),
+        edge_shares: None,
+        fresh_test_per_edge: None,
+    };
+    similarity_scenario(
+        cfg,
+        num_edges,
+        clients_per_edge,
+        samples_per_edge,
+        s,
+        test_fraction,
+        &options,
+        seed,
+    )
+}
+
+/// Dirichlet-heterogeneity scenario (Hsu et al. 2019): a balanced pool
+/// split by per-class `Dirichlet(alpha)` draws across edges. Small `alpha`
+/// = strong label skew. Each edge's shard is split into test hold-out and
+/// per-client training shards.
+pub fn dirichlet_split(
+    cfg: ImageConfig,
+    num_edges: usize,
+    clients_per_edge: usize,
+    samples_per_edge: usize,
+    alpha: f64,
+    test_fraction: f64,
+    seed: u64,
+) -> HierScenario {
+    let dist = ImageDistribution::new(cfg.clone(), seed);
+    let pool = dist.sample_all_classes(samples_per_edge * num_edges, 0);
+    let mut prng = StreamRng::for_key(StreamKey::new(seed, Purpose::Split, 0, 0));
+    let shards = partition_dirichlet(&pool, num_edges, alpha, &mut prng);
+    let mut edges = Vec::with_capacity(num_edges);
+    for (e, shard) in shards.into_iter().enumerate() {
+        assert!(
+            shard.len() >= clients_per_edge * 2,
+            "edge {e} received only {} samples; raise samples_per_edge or alpha",
+            shard.len()
+        );
+        let mut srng = StreamRng::for_key(StreamKey::new(seed, Purpose::Split, 1, e as u64));
+        let (train, test) = shard.train_test_split(test_fraction, &mut srng);
+        let client_train = train.split_even(clients_per_edge);
+        edges.push(EdgeData { client_train, test });
+    }
+    HierScenario {
+        name: format!("dirichlet-{alpha}"),
+        edges,
+        num_classes: cfg.num_classes,
+        dim: cfg.dim(),
+    }
+}
+
+/// Table 2 Adult scenario: two edge areas — Doctorate (minority) and
+/// non-Doctorate (majority) — with very different sizes.
+pub fn adult_two_edges(
+    cfg: AdultLikeConfig,
+    clients_per_edge: usize,
+    majority_train: usize,
+    minority_train: usize,
+    test_per_edge: usize,
+    seed: u64,
+) -> HierScenario {
+    let pop = AdultLikePopulation::new(cfg.clone(), seed);
+    let dim = cfg.dim();
+    let build = |group: Group, n_train: usize| -> EdgeData {
+        let per_client = (n_train / clients_per_edge).max(1);
+        let client_train: Vec<Dataset> = (0..clients_per_edge)
+            .map(|c| pop.sample(group, per_client, 10 + c as u64))
+            .collect();
+        let test = pop.sample(group, test_per_edge, 999);
+        EdgeData { client_train, test }
+    };
+    let edges = vec![
+        build(Group::Majority, majority_train),
+        build(Group::Minority, minority_train),
+    ];
+    HierScenario {
+        name: "adult-like".into(),
+        edges,
+        num_classes: 2,
+        dim,
+    }
+}
+
+/// Table 2 Synthetic scenario: `num_edges` Li et al. devices (the paper uses
+/// 100 edge areas) with power-law sample sizes.
+pub fn li_synthetic_scenario(
+    cfg: LiSyntheticConfig,
+    num_edges: usize,
+    clients_per_edge: usize,
+    mean_samples: usize,
+    test_per_edge: usize,
+    seed: u64,
+) -> HierScenario {
+    let sizes = device_sample_sizes(num_edges, mean_samples, clients_per_edge.max(4), seed);
+    let dim = cfg.dim;
+    let num_classes = cfg.num_classes;
+    let mut edges = Vec::with_capacity(num_edges);
+    for (e, &size) in sizes.iter().enumerate() {
+        let dev = LiDevice::new(cfg.clone(), seed, e as u64);
+        let train = dev.sample(size, 0);
+        let client_train = train.split_even(clients_per_edge);
+        let test = dev.sample(test_per_edge, 1);
+        edges.push(EdgeData { client_train, test });
+    }
+    HierScenario {
+        name: "li-synthetic".into(),
+        edges,
+        num_classes,
+        dim,
+    }
+}
+
+/// A miniature one-class-per-edge problem for tests, doctests, and the
+/// quickstart example: tiny images (8×8), `n_edges` classes, little data.
+pub fn tiny_problem(n_edges: usize, clients_per_edge: usize, seed: u64) -> HierScenario {
+    let cfg = ImageConfig {
+        side: 8,
+        num_classes: n_edges,
+        bumps_per_class: 2,
+        separation: 1.0,
+        noise: 0.2,
+        prototype_overlap: 0.0,
+        pair_similarity: 0.0,
+        noise_spread: 0.0,
+        separation_spread: 0.0,
+    };
+    one_class_per_edge(cfg, n_edges, clients_per_edge, 16, 16, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_class_per_edge_structure() {
+        let sc = one_class_per_edge(ImageConfig::emnist_digits_like(), 10, 3, 12, 8, 1);
+        sc.validate();
+        assert_eq!(sc.num_edges(), 10);
+        assert_eq!(sc.clients_per_edge(), 3);
+        assert_eq!(sc.total_clients(), 30);
+        for (e, edge) in sc.edges.iter().enumerate() {
+            for d in &edge.client_train {
+                assert!(d.y.iter().all(|&l| l == e));
+            }
+            assert!(edge.test.y.iter().all(|&l| l == e));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "num_edges == num_classes")]
+    fn one_class_per_edge_requires_matching_counts() {
+        let _ = one_class_per_edge(ImageConfig::emnist_digits_like(), 5, 3, 12, 8, 1);
+    }
+
+    #[test]
+    fn similarity_split_structure() {
+        let sc = similarity_split(ImageConfig::fashion_mnist_like(), 4, 3, 60, 0.5, 0.25, 2);
+        sc.validate();
+        assert_eq!(sc.num_edges(), 4);
+        // Each edge: 60 samples, 15 test, 45 train over 3 clients.
+        for edge in &sc.edges {
+            assert_eq!(edge.test.len(), 15);
+            let n: usize = edge.client_train.iter().map(|d| d.len()).sum();
+            assert_eq!(n, 45);
+        }
+    }
+
+    #[test]
+    fn adult_sizes_are_imbalanced() {
+        let sc = adult_two_edges(AdultLikeConfig::default(), 2, 400, 40, 50, 3);
+        sc.validate();
+        let n_major: usize = sc.edges[0].client_train.iter().map(|d| d.len()).sum();
+        let n_minor: usize = sc.edges[1].client_train.iter().map(|d| d.len()).sum();
+        assert!(n_major >= 8 * n_minor, "major {n_major} minor {n_minor}");
+    }
+
+    #[test]
+    fn li_synthetic_scenario_shape() {
+        let sc = li_synthetic_scenario(LiSyntheticConfig::default(), 20, 2, 30, 20, 4);
+        sc.validate();
+        assert_eq!(sc.num_edges(), 20);
+        assert_eq!(sc.dim, 60);
+        assert_eq!(sc.num_classes, 10);
+    }
+
+    #[test]
+    fn tiny_problem_is_valid_and_fast() {
+        let sc = tiny_problem(3, 2, 42);
+        sc.validate();
+        assert_eq!(sc.num_edges(), 3);
+        assert_eq!(sc.dim, 64);
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let a = tiny_problem(3, 2, 7);
+        let b = tiny_problem(3, 2, 7);
+        assert_eq!(
+            a.edges[1].client_train[0]
+                .x
+                .max_abs_diff(&b.edges[1].client_train[0].x),
+            0.0
+        );
+    }
+
+    #[test]
+    fn edge_train_concat_merges_clients() {
+        let sc = tiny_problem(2, 3, 1);
+        let cat = sc.edges[0].train_concat();
+        let total: usize = sc.edges[0].client_train.iter().map(|d| d.len()).sum();
+        assert_eq!(cat.len(), total);
+    }
+}

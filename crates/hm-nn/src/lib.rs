@@ -1,0 +1,30 @@
+//! Model families for the HierMinimax reproduction.
+//!
+//! The paper trains two model families:
+//! - multinomial logistic regression (§6.1, convex loss), and
+//! - a two-hidden-layer fully-connected ReLU network (§6.2, non-convex),
+//!
+//! plus, as an extension, a small convolutional network ([`SimpleCnn`]).
+//!
+//! Both are exposed through the [`Model`] trait: a loss/gradient oracle over
+//! *flat* `f32` parameter vectors. The flat representation is what the
+//! distributed algorithms manipulate — they average, difference, checkpoint,
+//! and project parameter vectors without knowing the architecture, exactly
+//! as the paper treats `w ∈ W ⊆ R^d`.
+//!
+//! Gradients are hand-derived (softmax cross-entropy and dense ReLU
+//! backprop) and verified against central finite differences in
+//! [`gradcheck`]'s tests, replacing the autograd engine the paper gets from
+//! PyTorch (DESIGN.md §2).
+
+pub mod cnn;
+pub mod gradcheck;
+pub mod logistic;
+pub mod losses;
+pub mod mlp;
+pub mod model;
+
+pub use cnn::SimpleCnn;
+pub use logistic::MulticlassLogistic;
+pub use mlp::Mlp;
+pub use model::Model;

@@ -1,0 +1,102 @@
+//! Shared loss kernels: softmax cross-entropy from logits, forward and
+//! backward.
+
+use hm_tensor::{ops, Matrix};
+
+/// Mean cross-entropy of `logits` (`n × c`) against integer labels,
+/// computed via log-sum-exp for numerical stability.
+///
+/// # Panics
+/// Panics if row/label counts differ or a label is out of range.
+pub fn cross_entropy_from_logits(logits: &Matrix, labels: &[usize]) -> f64 {
+    assert_eq!(logits.rows(), labels.len(), "logits/label count mismatch");
+    let mut total = 0.0_f64;
+    for (row, &y) in logits.rows_iter().zip(labels) {
+        assert!(y < row.len(), "label {} out of range ({})", y, row.len());
+        let lse = ops::log_sum_exp(row);
+        total += f64::from(lse - row[y]);
+    }
+    total / labels.len().max(1) as f64
+}
+
+/// Gradient of the mean cross-entropy with respect to the logits:
+/// `(softmax(logits) − onehot(labels)) / n`, returned as a new matrix.
+pub fn cross_entropy_backward(logits: &Matrix, labels: &[usize]) -> Matrix {
+    assert_eq!(logits.rows(), labels.len(), "logits/label count mismatch");
+    let n = labels.len().max(1) as f32;
+    let mut delta = ops::softmax_rows(logits);
+    for (i, &y) in labels.iter().enumerate() {
+        delta[(i, y)] -= 1.0;
+    }
+    let inv = 1.0 / n;
+    delta.map_inplace(|x| x * inv);
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Matrix::zeros(3, 4);
+        let ce = cross_entropy_from_logits(&logits, &[0, 1, 2]);
+        assert!((ce - (4.0_f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confident_correct_gives_near_zero_loss() {
+        let mut logits = Matrix::zeros(1, 3);
+        logits[(0, 2)] = 50.0;
+        let ce = cross_entropy_from_logits(&logits, &[2]);
+        assert!(ce < 1e-6, "loss {ce}");
+    }
+
+    #[test]
+    fn confident_wrong_gives_large_loss() {
+        let mut logits = Matrix::zeros(1, 3);
+        logits[(0, 2)] = 50.0;
+        let ce = cross_entropy_from_logits(&logits, &[0]);
+        assert!(ce > 40.0, "loss {ce}");
+    }
+
+    #[test]
+    fn backward_rows_sum_to_zero() {
+        let logits = Matrix::from_vec(2, 3, vec![0.3, -0.2, 1.0, 2.0, 0.0, -1.0]);
+        let delta = cross_entropy_backward(&logits, &[1, 0]);
+        for row in delta.rows_iter() {
+            let s: f32 = row.iter().sum();
+            assert!(s.abs() < 1e-6, "row sum {s}");
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let logits = Matrix::from_vec(2, 3, vec![0.5, -0.1, 0.2, -0.4, 0.9, 0.0]);
+        let labels = [2usize, 1];
+        let delta = cross_entropy_backward(&logits, &labels);
+        let eps = 1e-3_f32;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut lp = logits.clone();
+                let mut lm = logits.clone();
+                lp[(r, c)] += eps;
+                lm[(r, c)] -= eps;
+                let num = (cross_entropy_from_logits(&lp, &labels)
+                    - cross_entropy_from_logits(&lm, &labels))
+                    / (2.0 * f64::from(eps));
+                assert!(
+                    (num - f64::from(delta[(r, c)])).abs() < 1e-3,
+                    "grad mismatch at ({r},{c}): fd {num} analytic {}",
+                    delta[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_labels_panic() {
+        let _ = cross_entropy_from_logits(&Matrix::zeros(2, 2), &[0]);
+    }
+}

@@ -1,0 +1,85 @@
+//! The [`Model`] trait: a loss/gradient oracle over flat parameter vectors.
+
+use hm_data::{Dataset, StreamRng};
+use hm_tensor::Matrix;
+
+/// A differentiable classification model with flat `f32` parameters.
+///
+/// Implementations must be pure functions of `(params, batch)`: calling
+/// `loss_grad` twice with the same inputs returns identical results. This is
+/// what lets the simulator replay clients deterministically and in parallel.
+pub trait Model: Send + Sync {
+    /// Total number of scalar parameters `d` (the dimension of `W`).
+    fn num_params(&self) -> usize;
+
+    /// Draw initial parameters (architecture-appropriate initialisation).
+    fn init_params(&self, rng: &mut StreamRng) -> Vec<f32>;
+
+    /// Mean loss of `params` over `batch`.
+    fn loss(&self, params: &[f32], batch: &Dataset) -> f64;
+
+    /// Mean loss and its gradient. `grad` is overwritten (not accumulated)
+    /// and must have length [`Model::num_params`].
+    fn loss_grad(&self, params: &[f32], batch: &Dataset, grad: &mut [f32]) -> f64;
+
+    /// Predicted class per row of `x`.
+    fn predict(&self, params: &[f32], x: &Matrix) -> Vec<usize>;
+
+    /// Classification accuracy of `params` on `data` in `[0, 1]`.
+    fn accuracy(&self, params: &[f32], data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let pred = self.predict(params, &data.x);
+        let correct = pred.iter().zip(&data.y).filter(|(p, y)| p == y).count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+/// Blanket impl so `&M`, `Box<M>`, `Arc<M>` work wherever a model is needed.
+impl<M: Model + ?Sized> Model for &M {
+    fn num_params(&self) -> usize {
+        (**self).num_params()
+    }
+    fn init_params(&self, rng: &mut StreamRng) -> Vec<f32> {
+        (**self).init_params(rng)
+    }
+    fn loss(&self, params: &[f32], batch: &Dataset) -> f64 {
+        (**self).loss(params, batch)
+    }
+    fn loss_grad(&self, params: &[f32], batch: &Dataset, grad: &mut [f32]) -> f64 {
+        (**self).loss_grad(params, batch, grad)
+    }
+    fn predict(&self, params: &[f32], x: &Matrix) -> Vec<usize> {
+        (**self).predict(params, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MulticlassLogistic;
+    use hm_data::rng::Purpose;
+
+    #[test]
+    fn accuracy_default_impl() {
+        // A 1-feature 2-class problem where sign of the feature decides.
+        let model = MulticlassLogistic::new(1, 2);
+        // W = [[-1],[1]], b = 0: class 1 wins for x > 0.
+        let params = vec![-1.0, 1.0, 0.0, 0.0];
+        let x = Matrix::from_vec(4, 1, vec![-2.0, -1.0, 1.0, 2.0]);
+        let data = Dataset::new(x, vec![0, 0, 1, 1], 2);
+        assert_eq!(model.accuracy(&params, &data), 1.0);
+        let flipped = Dataset::new(data.x.clone(), vec![1, 1, 0, 0], 2);
+        assert_eq!(model.accuracy(&params, &flipped), 0.0);
+    }
+
+    #[test]
+    fn reference_impl_through_ref() {
+        let model = MulticlassLogistic::new(2, 2);
+        let by_ref: &dyn Model = &model;
+        assert_eq!(by_ref.num_params(), model.num_params());
+        let mut rng = StreamRng::new(0, Purpose::Init, 0, 0);
+        assert_eq!(by_ref.init_params(&mut rng).len(), model.num_params());
+    }
+}

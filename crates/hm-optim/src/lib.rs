@@ -1,0 +1,16 @@
+//! Optimisation primitives for the HierMinimax reproduction.
+//!
+//! - [`projection`] — Euclidean projections onto the constraint sets the
+//!   paper allows: the probability simplex `Δ` (for the edge weights `p`),
+//!   capped simplices (the paper's "prior knowledge or parameter
+//!   regularization" subsets `P ⊂ Δ`), L2 balls and boxes (for compact
+//!   model domains `W`), and the unconstrained space.
+//! - [`sgd`] — the projected-SGD step of eq. (4).
+//! - [`schedules`] — the α-indexed learning-rate choices from Theorems 1
+//!   and 2 that realise the communication/convergence tradeoff.
+
+pub mod projection;
+pub mod schedules;
+pub mod sgd;
+
+pub use projection::{Projection, ProjectionOp};

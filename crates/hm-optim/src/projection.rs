@@ -1,0 +1,388 @@
+//! Euclidean projections onto the constraint sets of the paper.
+//!
+//! Both algorithm updates are *projected* steps: eq. (4) projects the model
+//! onto `W` and eq. (7) projects the edge weights onto `P ⊆ Δ_{N_E−1}`.
+//! The simplex projection is the O(n log n) sort-based algorithm of Duchi,
+//! Shalev-Shwartz, Singer & Chandra (ICML 2008); the capped simplex adds a
+//! per-coordinate upper bound via bisection on the dual variable.
+
+/// A Euclidean projection operator onto a compact (or all of R^n) convex set.
+pub trait Projection: Send + Sync {
+    /// Project `x` onto the set in place.
+    fn project(&self, x: &mut [f32]);
+
+    /// Whether `x` lies in the set within tolerance `tol` (used by tests
+    /// and debug assertions).
+    fn contains(&self, x: &[f32], tol: f32) -> bool;
+}
+
+/// Enumerated projection operator. An enum (rather than trait objects
+/// everywhere) keeps algorithm configs `Clone + Debug` and dispatch
+/// branch-predictable in the SGD inner loop.
+#[derive(Debug, Clone)]
+pub enum ProjectionOp {
+    /// No constraint (`W = R^d`, the setting of both paper experiments).
+    Unconstrained,
+    /// The probability simplex `{x : x ≥ 0, Σx = 1}`.
+    Simplex,
+    /// Capped simplex `{x : lo ≤ x_i ≤ hi, Σx = 1}` — the paper's
+    /// "prior knowledge" subsets of `Δ`.
+    CappedSimplex {
+        /// Per-coordinate lower bound.
+        lo: f32,
+        /// Per-coordinate upper bound.
+        hi: f32,
+    },
+    /// L2 ball of the given radius centred at the origin.
+    L2Ball {
+        /// Ball radius (> 0).
+        radius: f32,
+    },
+    /// Axis-aligned box `[lo, hi]^n`.
+    Box {
+        /// Lower bound per coordinate.
+        lo: f32,
+        /// Upper bound per coordinate.
+        hi: f32,
+    },
+}
+
+impl Projection for ProjectionOp {
+    fn project(&self, x: &mut [f32]) {
+        match *self {
+            ProjectionOp::Unconstrained => {}
+            ProjectionOp::Simplex => project_simplex(x),
+            ProjectionOp::CappedSimplex { lo, hi } => project_capped_simplex(x, lo, hi),
+            ProjectionOp::L2Ball { radius } => project_l2_ball(x, radius),
+            ProjectionOp::Box { lo, hi } => {
+                for v in x.iter_mut() {
+                    *v = v.clamp(lo, hi);
+                }
+            }
+        }
+    }
+
+    fn contains(&self, x: &[f32], tol: f32) -> bool {
+        match *self {
+            ProjectionOp::Unconstrained => true,
+            ProjectionOp::Simplex => {
+                let sum: f64 = x.iter().map(|&v| f64::from(v)).sum();
+                x.iter().all(|&v| v >= -tol) && (sum - 1.0).abs() <= f64::from(tol)
+            }
+            ProjectionOp::CappedSimplex { lo, hi } => {
+                let sum: f64 = x.iter().map(|&v| f64::from(v)).sum();
+                x.iter().all(|&v| v >= lo - tol && v <= hi + tol)
+                    && (sum - 1.0).abs() <= f64::from(tol)
+            }
+            ProjectionOp::L2Ball { radius } => {
+                hm_tensor::vecops::norm2(x) <= f64::from(radius) + f64::from(tol)
+            }
+            ProjectionOp::Box { lo, hi } => x.iter().all(|&v| v >= lo - tol && v <= hi + tol),
+        }
+    }
+}
+
+/// Project onto the probability simplex (Duchi et al. 2008).
+///
+/// ```
+/// use hm_optim::projection::project_simplex;
+///
+/// let mut p = vec![0.4, 0.4, 0.4]; // off the simplex after an ascent step
+/// project_simplex(&mut p);
+/// let sum: f32 = p.iter().sum();
+/// assert!((sum - 1.0).abs() < 1e-5);
+/// assert!(p.iter().all(|&x| x >= 0.0));
+/// ```
+///
+/// # Panics
+/// Panics on an empty slice or non-finite input.
+pub fn project_simplex(x: &mut [f32]) {
+    assert!(!x.is_empty(), "cannot project an empty vector");
+    assert!(
+        x.iter().all(|v| v.is_finite()),
+        "non-finite input to simplex projection"
+    );
+    let n = x.len();
+    // Sort a copy in descending order (f64 for the running sums).
+    let mut u: Vec<f64> = x.iter().map(|&v| f64::from(v)).collect();
+    u.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+    let mut css = 0.0_f64; // cumulative sum of the sorted values
+    let mut theta = 0.0_f64;
+    let mut rho = 0;
+    for (j, &uj) in u.iter().enumerate() {
+        css += uj;
+        let t = (css - 1.0) / (j + 1) as f64;
+        if uj - t > 0.0 {
+            rho = j + 1;
+            theta = t;
+        }
+    }
+    debug_assert!(rho >= 1, "simplex projection found no support");
+    let _ = rho;
+    for v in x.iter_mut() {
+        *v = (f64::from(*v) - theta).max(0.0) as f32;
+    }
+    // Renormalise the residual f32 rounding error.
+    let sum: f64 = x.iter().map(|&v| f64::from(v)).sum();
+    if sum > 0.0 {
+        let inv = (1.0 / sum) as f32;
+        for v in x.iter_mut() {
+            *v *= inv;
+        }
+    } else {
+        // Numerically possible only for pathological inputs: fall back to
+        // the barycentre.
+        let c = 1.0 / n as f32;
+        x.iter_mut().for_each(|v| *v = c);
+    }
+}
+
+/// Project onto the capped simplex `{lo ≤ x_i ≤ hi, Σ x = 1}` by bisection
+/// on the shift `θ` of `x_i ← clamp(x_i − θ, lo, hi)`.
+///
+/// # Panics
+/// Panics when the set is empty (`n·lo > 1` or `n·hi < 1`) or bounds are
+/// inverted.
+pub fn project_capped_simplex(x: &mut [f32], lo: f32, hi: f32) {
+    assert!(!x.is_empty(), "cannot project an empty vector");
+    assert!(
+        x.iter().all(|v| v.is_finite()),
+        "non-finite input to capped-simplex projection"
+    );
+    assert!(lo <= hi, "inverted bounds");
+    let n = x.len() as f64;
+    assert!(
+        n * f64::from(lo) <= 1.0 + 1e-9 && n * f64::from(hi) >= 1.0 - 1e-9,
+        "capped simplex is empty: n={n}, lo={lo}, hi={hi}"
+    );
+    let sum_at = |theta: f64| -> f64 {
+        x.iter()
+            .map(|&v| (f64::from(v) - theta).clamp(f64::from(lo), f64::from(hi)))
+            .sum()
+    };
+    // Bracket θ: sum_at is non-increasing in θ.
+    let max_x = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let min_x = x.iter().copied().fold(f32::INFINITY, f32::min);
+    let mut a = f64::from(min_x) - f64::from(hi) - 1.0;
+    let mut b = f64::from(max_x) - f64::from(lo) + 1.0;
+    for _ in 0..200 {
+        let mid = 0.5 * (a + b);
+        if sum_at(mid) > 1.0 {
+            a = mid;
+        } else {
+            b = mid;
+        }
+    }
+    let theta = 0.5 * (a + b);
+    for v in x.iter_mut() {
+        *v = (f64::from(*v) - theta).clamp(f64::from(lo), f64::from(hi)) as f32;
+    }
+}
+
+/// Project onto the origin-centred L2 ball of the given radius.
+///
+/// # Panics
+/// Panics if `radius <= 0`.
+pub fn project_l2_ball(x: &mut [f32], radius: f32) {
+    assert!(radius > 0.0, "ball radius must be positive");
+    let norm = hm_tensor::vecops::norm2(x);
+    if norm > f64::from(radius) {
+        let scale = (f64::from(radius) / norm) as f32;
+        for v in x.iter_mut() {
+            *v *= scale;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Brute-force projection onto the simplex by dense grid search over
+    /// 2-d simplices (oracle for the optimality property test).
+    fn grid_best_2d(x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), 2);
+        let mut best = vec![0.5, 0.5];
+        let mut best_d = f64::MAX;
+        for i in 0..=10_000 {
+            let a = i as f64 / 10_000.0;
+            let cand = [a as f32, (1.0 - a) as f32];
+            let d = hm_tensor::vecops::dist2_sq(&cand, x);
+            if d < best_d {
+                best_d = d;
+                best = cand.to_vec();
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn simplex_already_feasible_is_fixed() {
+        let mut x = vec![0.2, 0.3, 0.5];
+        let orig = x.clone();
+        project_simplex(&mut x);
+        for (a, b) in x.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn simplex_projects_uniform_shift() {
+        // x = p + c·1 projects back to p when p is interior.
+        let mut x = vec![0.2 + 5.0, 0.3 + 5.0, 0.5 + 5.0];
+        project_simplex(&mut x);
+        let expect = [0.2, 0.3, 0.5];
+        for (a, b) in x.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-5, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn simplex_negative_goes_to_vertex() {
+        let mut x = vec![-10.0, 0.0, 10.0];
+        project_simplex(&mut x);
+        assert!((x[2] - 1.0).abs() < 1e-6, "{x:?}");
+        assert!(x[0].abs() < 1e-6 && x[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn simplex_matches_grid_oracle_2d() {
+        for &pt in &[[1.5_f32, 0.3], [-0.4, 0.2], [0.9, 0.9], [2.0, -3.0]] {
+            let mut x = pt.to_vec();
+            project_simplex(&mut x);
+            let oracle = grid_best_2d(&pt);
+            for (a, b) in x.iter().zip(&oracle) {
+                assert!(
+                    (a - b).abs() < 2e-4,
+                    "input {pt:?}: got {x:?}, oracle {oracle:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn capped_simplex_respects_caps() {
+        let mut x = vec![10.0, 0.0, 0.0, 0.0];
+        project_capped_simplex(&mut x, 0.0, 0.4);
+        assert!(x[0] <= 0.4 + 1e-5);
+        let sum: f32 = x.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4, "{x:?}");
+    }
+
+    #[test]
+    fn capped_simplex_with_unit_cap_equals_simplex() {
+        let pts = [[1.5_f32, -0.2, 0.4], [0.0, 0.0, 0.0], [5.0, 4.0, 3.0]];
+        for pt in pts {
+            let mut a = pt.to_vec();
+            let mut b = pt.to_vec();
+            project_simplex(&mut a);
+            project_capped_simplex(&mut b, 0.0, 1.0);
+            for (u, v) in a.iter().zip(&b) {
+                assert!((u - v).abs() < 1e-4, "input {pt:?}: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn capped_simplex_infeasible_panics() {
+        let mut x = vec![0.5, 0.5];
+        project_capped_simplex(&mut x, 0.0, 0.3); // 2·0.3 < 1
+    }
+
+    #[test]
+    fn l2_ball_scales_only_outside() {
+        let mut inside = vec![0.3, 0.4];
+        project_l2_ball(&mut inside, 1.0);
+        assert_eq!(inside, vec![0.3, 0.4]);
+        let mut outside = vec![3.0, 4.0];
+        project_l2_ball(&mut outside, 1.0);
+        assert!((hm_tensor::vecops::norm2(&outside) - 1.0).abs() < 1e-6);
+        // Direction preserved.
+        assert!((outside[1] / outside[0] - 4.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn box_clamps() {
+        let op = ProjectionOp::Box { lo: -1.0, hi: 1.0 };
+        let mut x = vec![-3.0, 0.5, 2.0];
+        op.project(&mut x);
+        assert_eq!(x, vec![-1.0, 0.5, 1.0]);
+        assert!(op.contains(&x, 1e-6));
+    }
+
+    #[test]
+    fn unconstrained_is_identity() {
+        let op = ProjectionOp::Unconstrained;
+        let mut x = vec![1e9, -1e9];
+        op.project(&mut x);
+        assert_eq!(x, vec![1e9, -1e9]);
+        assert!(op.contains(&x, 0.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_simplex_output_feasible(xs in prop::collection::vec(-10.0f32..10.0, 1..20)) {
+            let mut x = xs.clone();
+            project_simplex(&mut x);
+            let op = ProjectionOp::Simplex;
+            prop_assert!(op.contains(&x, 1e-4), "infeasible output {:?}", x);
+        }
+
+        #[test]
+        fn prop_simplex_idempotent(xs in prop::collection::vec(-10.0f32..10.0, 1..20)) {
+            let mut once = xs.clone();
+            project_simplex(&mut once);
+            let mut twice = once.clone();
+            project_simplex(&mut twice);
+            for (a, b) in once.iter().zip(&twice) {
+                prop_assert!((a - b).abs() < 1e-5);
+            }
+        }
+
+        #[test]
+        fn prop_simplex_is_closest_feasible_point(
+            xs in prop::collection::vec(-5.0f32..5.0, 2..8),
+            probe_seed in 0u64..100,
+        ) {
+            // Optimality via the variational inequality: for the projection
+            // π of x and any feasible z, ⟨x − π, z − π⟩ ≤ 0.
+            let mut pi = xs.clone();
+            project_simplex(&mut pi);
+            // Random feasible probe point.
+            let mut s = probe_seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let mut z: Vec<f32> = xs.iter().map(|_| {
+                s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+                (s >> 40) as f32 / (1u64 << 24) as f32
+            }).collect();
+            let tot: f32 = z.iter().sum();
+            z.iter_mut().for_each(|v| *v /= tot.max(1e-6));
+            let inner: f64 = xs.iter().zip(&pi).zip(&z)
+                .map(|((&x, &p), &zz)| (f64::from(x) - f64::from(p)) * (f64::from(zz) - f64::from(p)))
+                .sum();
+            prop_assert!(inner <= 1e-3, "VI violated: {inner}");
+        }
+
+        #[test]
+        fn prop_capped_simplex_feasible(
+            xs in prop::collection::vec(-5.0f32..5.0, 2..12),
+            hi_scale in 1.0f32..4.0,
+        ) {
+            let n = xs.len() as f32;
+            let hi = hi_scale / n; // guarantees n·hi ≥ 1
+            let mut x = xs.clone();
+            project_capped_simplex(&mut x, 0.0, hi);
+            let sum: f64 = x.iter().map(|&v| f64::from(v)).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
+            prop_assert!(x.iter().all(|&v| v >= -1e-5 && v <= hi + 1e-5));
+        }
+
+        #[test]
+        fn prop_l2_ball_feasible(xs in prop::collection::vec(-10.0f32..10.0, 1..20), r in 0.1f32..5.0) {
+            let mut x = xs.clone();
+            project_l2_ball(&mut x, r);
+            prop_assert!(hm_tensor::vecops::norm2(&x) <= f64::from(r) + 1e-4);
+        }
+    }
+}

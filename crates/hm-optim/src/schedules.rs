@@ -1,0 +1,182 @@
+//! The α-indexed parameter schedules from the paper's Theorems 1 and 2.
+//!
+//! For `T` total time slots and tradeoff exponent `α ∈ [0, 1)`:
+//!
+//! - `τ1 τ2 ∈ Θ(T^α)` gives edge-cloud communication complexity
+//!   `Θ(T^{1−α})`.
+//! - **Convex** (Theorem 1): `η_p = Θ(T^{−(1+α)/2})`, and
+//!   `η_w = Θ(T^{−(1−2α)})` for `α ∈ (0, 1/4)`, else `η_w = Θ(T^{−1/2})`;
+//!   duality gap `O(T^{−(1−α)/2})`.
+//! - **Non-convex** (Theorem 2): `η_p = Θ(T^{−(1+3α)/4})`,
+//!   `η_w = Θ(T^{−(3+α)/4})`; Moreau-envelope rate `O(T^{−(1−α)/4})`.
+
+/// Whether the loss family is convex in `w` (selects Theorem 1 vs 2
+/// schedules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossClass {
+    /// Convex in `w` (e.g. logistic regression) — Theorem 1.
+    Convex,
+    /// Non-convex in `w` (e.g. neural networks) — Theorem 2.
+    NonConvex,
+}
+
+/// Concrete schedule derived from a `(T, α)` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Total training time slots `T = K τ1 τ2`.
+    pub total_slots: usize,
+    /// Tradeoff exponent α.
+    pub alpha: f64,
+    /// Product `τ1 τ2 = ⌈T^α⌉`.
+    pub tau_product: usize,
+    /// Model learning rate `η_w` (up to the caller's constant factor).
+    pub eta_w: f64,
+    /// Weight learning rate `η_p`.
+    pub eta_p: f64,
+    /// Number of training rounds `K = ⌈T / (τ1 τ2)⌉`.
+    pub rounds: usize,
+    /// Predicted convergence-rate scale (`T^{−(1−α)/2}` convex,
+    /// `T^{−(1−α)/4}` non-convex) — the paper's rate with constant 1.
+    pub predicted_rate: f64,
+    /// Edge-cloud communication complexity scale `T^{1−α}` (equals
+    /// `rounds` up to rounding).
+    pub predicted_comm: f64,
+}
+
+/// Build the Theorem-1/2 schedule for the given loss class, horizon, and α.
+///
+/// `base_eta_w` / `base_eta_p` are the constant factors in front of the
+/// theorem's Θ(·) rates (problem-dependent; the theorems fix only the
+/// exponents).
+///
+/// # Panics
+/// Panics unless `0 ≤ α < 1` and `T ≥ 1`.
+pub fn schedule(
+    class: LossClass,
+    total_slots: usize,
+    alpha: f64,
+    base_eta_w: f64,
+    base_eta_p: f64,
+) -> Schedule {
+    assert!((0.0..1.0).contains(&alpha), "alpha {alpha} out of [0,1)");
+    assert!(total_slots >= 1, "need at least one slot");
+    let t = total_slots as f64;
+    let tau_product = (t.powf(alpha).ceil() as usize).max(1);
+    let rounds = total_slots.div_ceil(tau_product);
+    let (eta_w, eta_p, rate) = match class {
+        LossClass::Convex => {
+            let eta_p = base_eta_p * t.powf(-(1.0 + alpha) / 2.0);
+            let eta_w = if alpha > 0.0 && alpha < 0.25 {
+                base_eta_w * t.powf(-(1.0 - 2.0 * alpha))
+            } else {
+                base_eta_w * t.powf(-0.5)
+            };
+            (eta_w, eta_p, t.powf(-(1.0 - alpha) / 2.0))
+        }
+        LossClass::NonConvex => {
+            let eta_p = base_eta_p * t.powf(-(1.0 + 3.0 * alpha) / 4.0);
+            let eta_w = base_eta_w * t.powf(-(3.0 + alpha) / 4.0);
+            (eta_w, eta_p, t.powf(-(1.0 - alpha) / 4.0))
+        }
+    };
+    Schedule {
+        total_slots,
+        alpha,
+        tau_product,
+        eta_w,
+        eta_p,
+        rounds,
+        predicted_rate: rate,
+        predicted_comm: t.powf(1.0 - alpha),
+    }
+}
+
+/// Split a `τ1·τ2` budget into the `(τ1, τ2)` factor pair closest to square
+/// (used when the caller fixes only the product, as Theorems 1–2 do).
+pub fn split_tau(tau_product: usize) -> (usize, usize) {
+    assert!(tau_product >= 1);
+    let mut best = (1, tau_product);
+    let mut best_gap = usize::MAX;
+    for t1 in 1..=tau_product {
+        if tau_product.is_multiple_of(t1) {
+            let t2 = tau_product / t1;
+            let gap = t1.abs_diff(t2);
+            if gap < best_gap {
+                best_gap = gap;
+                best = (t1, t2);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_zero_recovers_stochastic_afl_scaling() {
+        // τ1τ2 = 1, comm O(T), rate O(T^{-1/2}): the Stochastic-AFL point.
+        let s = schedule(LossClass::Convex, 10_000, 0.0, 1.0, 1.0);
+        assert_eq!(s.tau_product, 1);
+        assert_eq!(s.rounds, 10_000);
+        assert!((s.predicted_rate - 0.01).abs() < 1e-12); // T^{-1/2}
+        assert!((s.predicted_comm - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comm_decreases_and_rate_worsens_with_alpha() {
+        let t = 4096;
+        let a = schedule(LossClass::Convex, t, 0.0, 1.0, 1.0);
+        let b = schedule(LossClass::Convex, t, 0.5, 1.0, 1.0);
+        let c = schedule(LossClass::Convex, t, 0.9, 1.0, 1.0);
+        assert!(a.rounds > b.rounds && b.rounds > c.rounds);
+        assert!(a.predicted_rate < b.predicted_rate && b.predicted_rate < c.predicted_rate);
+    }
+
+    #[test]
+    fn eta_w_piecewise_convex() {
+        let t = 10_000usize;
+        let tf = t as f64;
+        // α ∈ (0, 1/4): η_w = T^{-(1-2α)}.
+        let s = schedule(LossClass::Convex, t, 0.1, 1.0, 1.0);
+        assert!((s.eta_w - tf.powf(-0.8)).abs() < 1e-12);
+        // α ≥ 1/4: η_w = T^{-1/2}.
+        let s = schedule(LossClass::Convex, t, 0.5, 1.0, 1.0);
+        assert!((s.eta_w - tf.powf(-0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonconvex_exponents() {
+        let t = 10_000usize;
+        let tf = t as f64;
+        let s = schedule(LossClass::NonConvex, t, 0.5, 1.0, 1.0);
+        assert!((s.eta_p - tf.powf(-(1.0 + 1.5) / 4.0)).abs() < 1e-12);
+        assert!((s.eta_w - tf.powf(-(3.5) / 4.0)).abs() < 1e-12);
+        assert!((s.predicted_rate - tf.powf(-0.125)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounds_times_tau_covers_t() {
+        for &alpha in &[0.0, 0.25, 0.5, 0.75] {
+            let s = schedule(LossClass::Convex, 1000, alpha, 1.0, 1.0);
+            assert!(s.rounds * s.tau_product >= 1000, "{s:?}");
+            assert!((s.rounds - 1) * s.tau_product < 1000, "{s:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1)")]
+    fn alpha_one_rejected() {
+        let _ = schedule(LossClass::Convex, 10, 1.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn split_tau_prefers_square() {
+        assert_eq!(split_tau(1), (1, 1));
+        assert_eq!(split_tau(4), (2, 2));
+        assert_eq!(split_tau(12), (3, 4));
+        let (a, b) = split_tau(7); // prime: 1×7
+        assert_eq!(a * b, 7);
+    }
+}

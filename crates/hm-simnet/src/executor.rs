@@ -1,0 +1,86 @@
+//! Order-fixed parallel execution of per-client work.
+//!
+//! The simulator's single concurrency rule (DESIGN.md §7): client work may
+//! run on any thread, but (a) each work item draws only from its own keyed
+//! RNG stream, and (b) results land in their input index slot, so every
+//! downstream reduction folds them in a fixed order. Under that rule,
+//! `Parallelism::Rayon` and `Parallelism::Sequential` produce bit-identical
+//! results — asserted by `tests/determinism.rs` at the workspace level and
+//! by the unit tests below.
+
+use rayon::prelude::*;
+
+/// Whether client work runs sequentially or on the rayon pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Single-threaded (reference semantics, useful for debugging).
+    Sequential,
+    /// Data-parallel over clients via rayon (the default).
+    #[default]
+    Rayon,
+}
+
+impl Parallelism {
+    /// Map `f` over `items`, returning outputs in input order.
+    pub fn map<T, U, F>(self, items: Vec<T>, f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Send + Sync,
+    {
+        match self {
+            Parallelism::Sequential => items.into_iter().map(f).collect(),
+            Parallelism::Rayon => items.into_par_iter().map(f).collect(),
+        }
+    }
+
+    /// Map `f` over index `0..n`, returning outputs in index order.
+    pub fn map_indexed<U, F>(self, n: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Send + Sync,
+    {
+        match self {
+            Parallelism::Sequential => (0..n).map(f).collect(),
+            Parallelism::Rayon => (0..n).into_par_iter().map(f).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        for mode in [Parallelism::Sequential, Parallelism::Rayon] {
+            let out = mode.map((0..100).collect::<Vec<usize>>(), |x| x * 2);
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_indexed_matches_sequential() {
+        let work = |i: usize| -> u64 {
+            // Hash-like deterministic work.
+            let mut s = i as u64 + 1;
+            for _ in 0..100 {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+            }
+            s
+        };
+        let seq = Parallelism::Sequential.map_indexed(64, work);
+        let par = Parallelism::Rayon.map_indexed(64, work);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u8> = Parallelism::Rayon.map(Vec::<u8>::new(), |x| x);
+        assert!(out.is_empty());
+        let out2: Vec<u8> = Parallelism::Rayon.map_indexed(0, |_| 0);
+        assert!(out2.is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! Simulated wall-clock cost model.
+//!
+//! The paper's motivation (§1) is that cloud connectivity is slow and
+//! scarce while client-edge links are fast and local. This module turns the
+//! metered communication of a run into simulated deployment time under a
+//! configurable latency/bandwidth model, so "time to accuracy" can be
+//! compared across two-layer and three-layer methods — the system-level
+//! argument for the hierarchy, quantified.
+//!
+//! The model is synchronous (like the protocol): each synchronisation round
+//! pays one round-trip on its link, every transferred float pays serial
+//! bandwidth on its link, and every local SGD time slot pays one compute
+//! step (clients within a slot run in parallel, so slots — not client-steps
+//! — count).
+
+use crate::comm::CommStats;
+use crate::Link;
+
+/// Latency/bandwidth parameters of the simulated deployment.
+///
+/// ```
+/// use hm_simnet::{CommMeter, LatencyModel, Link};
+///
+/// let meter = CommMeter::new();
+/// meter.record_round(Link::EdgeCloud);
+/// meter.record_gather(Link::EdgeCloud, 1_000, 5);
+/// let t = LatencyModel::mobile_edge().simulated_seconds(&meter.snapshot(), 10);
+/// assert!(t > 0.1); // one WAN round-trip dominates
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyModel {
+    /// Compute time of one local SGD step (seconds).
+    pub client_step_s: f64,
+    /// Round-trip latency per synchronisation round, per link (seconds).
+    pub rtt_s: [f64; 3],
+    /// Bandwidth per link (floats per second, aggregated over the link).
+    pub floats_per_s: [f64; 3],
+}
+
+impl LatencyModel {
+    /// A mobile-edge-computing preset: LAN-class client-edge links
+    /// (5 ms RTT, 10⁹ floats/s ≈ 32 Gbit/s aggregate), WAN-class links to
+    /// the cloud (100 ms RTT, 10⁷ floats/s ≈ 320 Mbit/s aggregate), and
+    /// 1 ms compute per local step.
+    pub fn mobile_edge() -> Self {
+        Self {
+            client_step_s: 1e-3,
+            // [ClientEdge, EdgeCloud, ClientCloud]
+            rtt_s: [5e-3, 100e-3, 100e-3],
+            floats_per_s: [1e9, 1e7, 1e7],
+        }
+    }
+
+    /// A uniform-network preset (all links equal) — the control case in
+    /// which the hierarchy buys nothing.
+    pub fn uniform(rtt_s: f64, floats_per_s: f64) -> Self {
+        Self {
+            client_step_s: 1e-3,
+            rtt_s: [rtt_s; 3],
+            floats_per_s: [floats_per_s; 3],
+        }
+    }
+
+    fn idx(link: Link) -> usize {
+        match link {
+            Link::ClientEdge => 0,
+            Link::EdgeCloud => 1,
+            Link::ClientCloud => 2,
+        }
+    }
+
+    /// Simulated seconds for a run (or run prefix) that executed
+    /// `slots` local-SGD time slots and produced the communication
+    /// counters `stats`.
+    pub fn simulated_seconds(&self, stats: &CommStats, slots: usize) -> f64 {
+        let mut t = slots as f64 * self.client_step_s;
+        for link in Link::all() {
+            let i = Self::idx(link);
+            t += stats.rounds(link) as f64 * self.rtt_s[i];
+            let floats = stats.uplink_floats(link) + stats.downlink_floats(link);
+            t += floats as f64 / self.floats_per_s[i];
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::CommMeter;
+
+    #[test]
+    fn zero_stats_costs_only_compute() {
+        let m = LatencyModel::mobile_edge();
+        let s = CommMeter::new().snapshot();
+        let t = m.simulated_seconds(&s, 100);
+        assert!((t - 0.1).abs() < 1e-12); // 100 slots × 1 ms
+    }
+
+    #[test]
+    fn cloud_rounds_dominate_edge_rounds() {
+        let model = LatencyModel::mobile_edge();
+        let edge_heavy = {
+            let m = CommMeter::new();
+            for _ in 0..10 {
+                m.record_round(Link::ClientEdge);
+            }
+            m.snapshot()
+        };
+        let cloud_heavy = {
+            let m = CommMeter::new();
+            for _ in 0..10 {
+                m.record_round(Link::EdgeCloud);
+            }
+            m.snapshot()
+        };
+        let te = model.simulated_seconds(&edge_heavy, 0);
+        let tc = model.simulated_seconds(&cloud_heavy, 0);
+        assert!(tc > 10.0 * te, "cloud rounds should dominate: {tc} vs {te}");
+    }
+
+    #[test]
+    fn bandwidth_term_scales_with_floats() {
+        let model = LatencyModel::uniform(0.0, 1e6);
+        let m = CommMeter::new();
+        m.record_uplink(Link::ClientCloud, 2_000_000);
+        let t = model.simulated_seconds(&m.snapshot(), 0);
+        assert!((t - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_network_is_link_agnostic() {
+        let model = LatencyModel::uniform(0.01, 1e6);
+        let a = {
+            let m = CommMeter::new();
+            m.record_round(Link::ClientEdge);
+            m.record_uplink(Link::ClientEdge, 500);
+            m.snapshot()
+        };
+        let b = {
+            let m = CommMeter::new();
+            m.record_round(Link::EdgeCloud);
+            m.record_uplink(Link::EdgeCloud, 500);
+            m.snapshot()
+        };
+        let ta = model.simulated_seconds(&a, 3);
+        let tb = model.simulated_seconds(&b, 3);
+        assert!((ta - tb).abs() < 1e-12);
+    }
+}

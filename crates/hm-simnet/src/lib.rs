@@ -1,0 +1,38 @@
+//! Hierarchical client-edge-cloud network simulator.
+//!
+//! The paper's system model (Fig. 1) is a hub-and-spoke hierarchy: a cloud
+//! server, `N_E` edge servers, and `N_0` clients per edge. All experiments
+//! in the paper run this topology in simulation (PyTorch on one machine);
+//! this crate is the equivalent substrate in Rust:
+//!
+//! - [`topology`] — the static structure and id spaces.
+//! - [`comm`] — per-link-type communication metering (floats, messages,
+//!   synchronisation rounds). The evaluation's x-axis ("communication
+//!   rounds") and Table 1's edge-cloud communication complexity both come
+//!   from these counters, so they are first-class and conservation-checked.
+//! - [`executor`] — the order-fixed parallel map used to run client work
+//!   concurrently (rayon) while keeping results bit-deterministic.
+//! - [`sampling`] — partial-participation samplers: weighted-by-`p` with
+//!   replacement (Phase 1) and uniform without replacement (Phase 2).
+//! - [`latency`] — a wall-clock cost model turning metered communication
+//!   into simulated deployment time (fast local links, slow cloud links).
+//! - [`quantize`] — unbiased stochastic model quantization (the
+//!   Hier-Local-QSGD extension of the paper's reference \[22\]) with the
+//!   matching wire-cost model.
+//! - [`trace`] — an optional structured event log used by integration
+//!   tests to assert protocol-level behaviour (who was sampled, what was
+//!   aggregated when).
+
+pub mod comm;
+pub mod executor;
+pub mod latency;
+pub mod quantize;
+pub mod sampling;
+pub mod topology;
+pub mod trace;
+
+pub use comm::{CommMeter, CommStats, Link};
+pub use executor::Parallelism;
+pub use latency::LatencyModel;
+pub use quantize::Quantizer;
+pub use topology::Topology;

@@ -1,0 +1,134 @@
+//! Partial-participation samplers.
+//!
+//! HierMinimax samples edges two different ways each round (Algorithm 1):
+//!
+//! - **Phase 1** (`E^(k)`): `m_E` edges drawn i.i.d. proportionally to the
+//!   current weights `p^(k)` (with replacement, as in DRFA — this is what
+//!   makes the averaged model an unbiased estimate of the `p`-mixture).
+//! - **Phase 2** (`U^(k)`): `m_E` edges drawn *uniformly without
+//!   replacement*; the importance weight `N_E/m_E` in the loss-gradient
+//!   estimator `v` (eq. after Alg. 1) is exactly the inverse inclusion
+//!   probability `m_E/N_E`, which makes `v` unbiased.
+
+use hm_data::StreamRng;
+
+/// Sample `m` edge indices i.i.d. proportional to `p` (with replacement).
+///
+/// # Panics
+/// Panics if `p` is empty, has negative entries, or sums to ≤ 0.
+pub fn sample_edges_weighted(p: &[f64], m: usize, rng: &mut StreamRng) -> Vec<usize> {
+    assert!(!p.is_empty(), "empty weight vector");
+    assert!(p.iter().all(|&w| w >= 0.0), "negative weight");
+    rng.sample_weighted_with_replacement(p, m)
+}
+
+/// Sample `m` distinct edges uniformly from `0..n` (without replacement).
+///
+/// # Panics
+/// Panics if `m > n`.
+pub fn sample_edges_uniform(n: usize, m: usize, rng: &mut StreamRng) -> Vec<usize> {
+    rng.sample_without_replacement(n, m)
+}
+
+/// Sample the checkpoint index `(c1, c2)` uniformly from `[τ1] × [τ2]`
+/// (0-based: `c1 ∈ {0..τ1−1}`, `c2 ∈ {0..τ2−1}`).
+///
+/// The returned pair addresses "the model after `c1` further local steps
+/// within the `c2`-th aggregation block", so `(0, 0)` is the round's
+/// starting model and sampling covers all `τ1·τ2` intermediate models with
+/// equal probability — the property the Phase-2 gradient estimator's
+/// unbiasedness over time slots rests on (Appendix A).
+///
+/// # Panics
+/// Panics if either period is zero.
+pub fn sample_checkpoint(tau1: usize, tau2: usize, rng: &mut StreamRng) -> (usize, usize) {
+    assert!(tau1 > 0 && tau2 > 0, "checkpoint periods must be positive");
+    (rng.below(tau1), rng.below(tau2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hm_data::rng::Purpose;
+
+    #[test]
+    fn weighted_matches_distribution() {
+        let p = [0.1, 0.2, 0.3, 0.4];
+        let mut rng = StreamRng::new(1, Purpose::EdgeSampling, 0, 0);
+        let mut counts = [0usize; 4];
+        let n = 100_000;
+        for idx in sample_edges_weighted(&p, n, &mut rng) {
+            counts[idx] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / n as f64;
+            assert!(
+                (freq - p[i]).abs() < 0.01,
+                "edge {i}: freq {freq} vs {}",
+                p[i]
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_allows_duplicates() {
+        // A point mass must produce all-duplicates.
+        let p = [0.0, 1.0, 0.0];
+        let mut rng = StreamRng::new(2, Purpose::EdgeSampling, 0, 0);
+        let s = sample_edges_weighted(&p, 5, &mut rng);
+        assert_eq!(s, vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn uniform_inclusion_probability() {
+        // Every edge should appear with probability m/n.
+        let (n, m) = (10usize, 4usize);
+        let trials = 20_000;
+        let mut counts = vec![0usize; n];
+        for t in 0..trials {
+            let mut rng = StreamRng::new(3, Purpose::LossEstSampling, t as u64, 0);
+            for idx in sample_edges_uniform(n, m, &mut rng) {
+                counts[idx] += 1;
+            }
+        }
+        let expect = m as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / trials as f64;
+            assert!((freq - expect).abs() < 0.02, "edge {i}: {freq} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn uniform_is_without_replacement() {
+        let mut rng = StreamRng::new(4, Purpose::LossEstSampling, 0, 0);
+        for _ in 0..100 {
+            let mut s = sample_edges_uniform(6, 6, &mut rng);
+            s.sort_unstable();
+            assert_eq!(s, (0..6).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn checkpoint_is_uniform_over_grid() {
+        let (t1, t2) = (3usize, 4usize);
+        let mut counts = vec![0usize; t1 * t2];
+        let trials = 60_000;
+        for t in 0..trials {
+            let mut rng = StreamRng::new(5, Purpose::Checkpoint, t as u64, 0);
+            let (c1, c2) = sample_checkpoint(t1, t2, &mut rng);
+            assert!(c1 < t1 && c2 < t2);
+            counts[c2 * t1 + c1] += 1;
+        }
+        let expect = trials as f64 / (t1 * t2) as f64;
+        for &c in &counts {
+            assert!((c as f64 - expect).abs() < expect * 0.1, "{counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_tau_panics() {
+        let mut rng = StreamRng::new(0, Purpose::Checkpoint, 0, 0);
+        let _ = sample_checkpoint(0, 1, &mut rng);
+    }
+}

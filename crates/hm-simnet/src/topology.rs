@@ -1,0 +1,132 @@
+//! The static client-edge-cloud hierarchy.
+//!
+//! Matches the paper's system model: `N_E` edge servers, each serving the
+//! same number `N_0` of clients (the paper assumes `|N_e| = N_0` for
+//! notational convenience; like the paper, the algorithms generalise, but
+//! the concrete topology type enforces the symmetric case used throughout
+//! the evaluation).
+
+/// Identifier of an edge server (`0..num_edges`).
+pub type EdgeId = usize;
+
+/// Identifier of a client (`0..total_clients`), globally unique.
+pub type ClientId = usize;
+
+/// The three-layer hub-and-spoke topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    num_edges: usize,
+    clients_per_edge: usize,
+}
+
+impl Topology {
+    /// Build a topology with `num_edges` edge areas of `clients_per_edge`
+    /// clients each.
+    ///
+    /// # Panics
+    /// Panics if either count is zero.
+    pub fn new(num_edges: usize, clients_per_edge: usize) -> Self {
+        assert!(num_edges > 0, "need at least one edge server");
+        assert!(clients_per_edge > 0, "need at least one client per edge");
+        Self {
+            num_edges,
+            clients_per_edge,
+        }
+    }
+
+    /// Number of edge areas `N_E`.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Clients per edge area `N_0`.
+    pub fn clients_per_edge(&self) -> usize {
+        self.clients_per_edge
+    }
+
+    /// Total number of clients `N = N_0 · N_E`.
+    pub fn total_clients(&self) -> usize {
+        self.num_edges * self.clients_per_edge
+    }
+
+    /// The edge server a client is associated with.
+    ///
+    /// # Panics
+    /// Panics if the client id is out of range.
+    pub fn edge_of(&self, client: ClientId) -> EdgeId {
+        assert!(
+            client < self.total_clients(),
+            "client {client} out of range"
+        );
+        client / self.clients_per_edge
+    }
+
+    /// Global client id of the `idx`-th client of an edge.
+    ///
+    /// # Panics
+    /// Panics if either index is out of range.
+    pub fn client_id(&self, edge: EdgeId, idx: usize) -> ClientId {
+        assert!(edge < self.num_edges, "edge {edge} out of range");
+        assert!(
+            idx < self.clients_per_edge,
+            "client index {idx} out of range"
+        );
+        edge * self.clients_per_edge + idx
+    }
+
+    /// Iterator over the global client ids of an edge area.
+    ///
+    /// # Panics
+    /// Panics if the edge id is out of range.
+    pub fn clients_of(&self, edge: EdgeId) -> impl Iterator<Item = ClientId> + '_ {
+        assert!(edge < self.num_edges, "edge {edge} out of range");
+        let start = edge * self.clients_per_edge;
+        start..start + self.clients_per_edge
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        let t = Topology::new(10, 3);
+        assert_eq!(t.num_edges(), 10);
+        assert_eq!(t.clients_per_edge(), 3);
+        assert_eq!(t.total_clients(), 30);
+    }
+
+    #[test]
+    fn edge_of_inverts_client_id() {
+        let t = Topology::new(4, 5);
+        for e in 0..4 {
+            for i in 0..5 {
+                let c = t.client_id(e, i);
+                assert_eq!(t.edge_of(c), e);
+            }
+        }
+    }
+
+    #[test]
+    fn clients_of_is_contiguous_and_disjoint() {
+        let t = Topology::new(3, 4);
+        let mut all: Vec<ClientId> = Vec::new();
+        for e in 0..3 {
+            all.extend(t.clients_of(e));
+        }
+        assert_eq!(all, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_client_panics() {
+        Topology::new(2, 2).edge_of(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one edge")]
+    fn zero_edges_panics() {
+        Topology::new(0, 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Structured protocol event log.
+//!
+//! Algorithms emit [`Event`]s describing protocol-level actions; integration
+//! tests assert on the log (e.g. "Phase 2 sampled a uniform edge set each
+//! round", "the checkpoint index was broadcast before any local step").
+//! Recording is behind a [`Trace`] handle that defaults to disabled, so
+//! production runs pay one branch per event.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A protocol-level event in an algorithm run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Cloud sampled the Phase-1 participation set `E^(k)`.
+    Phase1EdgesSampled {
+        /// Training round.
+        round: usize,
+        /// Sampled edge ids (with replacement; duplicates possible).
+        edges: Vec<usize>,
+    },
+    /// Cloud sampled the checkpoint index `(c1, c2)`.
+    CheckpointSampled {
+        /// Training round.
+        round: usize,
+        /// Local-step index within an aggregation block.
+        c1: usize,
+        /// Aggregation-block index within the round.
+        c2: usize,
+    },
+    /// An edge server completed one client-edge aggregation.
+    ClientEdgeAggregation {
+        /// Training round.
+        round: usize,
+        /// Edge id.
+        edge: usize,
+        /// Aggregation index `t2` within the round.
+        t2: usize,
+    },
+    /// Cloud aggregated edge models into the new global model (eq. 5).
+    GlobalAggregation {
+        /// Training round.
+        round: usize,
+    },
+    /// Cloud sampled the Phase-2 loss-estimation set `U^(k)`.
+    Phase2EdgesSampled {
+        /// Training round.
+        round: usize,
+        /// Sampled edge ids (distinct).
+        edges: Vec<usize>,
+    },
+    /// Cloud updated the edge weights `p` (eq. 7).
+    WeightUpdate {
+        /// Training round.
+        round: usize,
+        /// The updated weight vector.
+        p: Vec<f32>,
+    },
+}
+
+/// Shared, optionally-enabled event log.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    inner: Option<Arc<Mutex<Vec<Event>>>>,
+}
+
+impl Trace {
+    /// A disabled trace: `record` is a no-op.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled trace collecting events.
+    pub fn enabled() -> Self {
+        Self {
+            inner: Some(Arc::new(Mutex::new(Vec::new()))),
+        }
+    }
+
+    /// Whether events are being collected.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record an event (no-op when disabled). The closure form avoids
+    /// building event payloads on the disabled path.
+    pub fn record(&self, make: impl FnOnce() -> Event) {
+        if let Some(log) = &self.inner {
+            log.lock().push(make());
+        }
+    }
+
+    /// Snapshot of the events recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner
+            .as_ref()
+            .map(|l| l.lock().clone())
+            .unwrap_or_default()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map(|l| l.lock().len()).unwrap_or(0)
+    }
+
+    /// True when no events have been recorded (or tracing is disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let t = Trace::disabled();
+        t.record(|| Event::GlobalAggregation { round: 0 });
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_collects_in_order() {
+        let t = Trace::enabled();
+        t.record(|| Event::GlobalAggregation { round: 0 });
+        t.record(|| Event::WeightUpdate {
+            round: 0,
+            p: vec![0.5, 0.5],
+        });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events()[0], Event::GlobalAggregation { round: 0 });
+    }
+
+    #[test]
+    fn clones_share_the_log() {
+        let t = Trace::enabled();
+        let t2 = t.clone();
+        t2.record(|| Event::GlobalAggregation { round: 7 });
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn closure_not_called_when_disabled() {
+        let t = Trace::disabled();
+        let mut called = false;
+        t.record(|| {
+            called = true;
+            Event::GlobalAggregation { round: 0 }
+        });
+        assert!(!called);
+    }
+}

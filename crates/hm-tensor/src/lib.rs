@@ -1,0 +1,22 @@
+//! Dense linear-algebra substrate for the HierMinimax reproduction.
+//!
+//! The paper's evaluation trains multinomial logistic regression and a small
+//! fully-connected network with SGD. Those workloads only need dense
+//! row-major matrices, matrix products (including transposed variants),
+//! element-wise maps, numerically stable softmax / log-sum-exp, and a few
+//! BLAS-1 style vector kernels. This crate provides exactly that, with
+//! rayon-parallel row loops for the matrix products that dominate training
+//! time and `f64` accumulation in reductions where it matters for accuracy.
+//!
+//! Design notes:
+//! - Everything is `f32` storage (matching the PyTorch float32 runs in the
+//!   paper) with `f64` accumulators in dot products and reductions.
+//! - Parallelism kicks in above [`ops::PAR_THRESHOLD`] scalar ops so tiny
+//!   matrices (common in unit tests) don't pay rayon overhead.
+//! - No `unsafe`.
+
+pub mod matrix;
+pub mod ops;
+pub mod vecops;
+
+pub use matrix::Matrix;

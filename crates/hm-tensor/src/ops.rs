@@ -1,0 +1,463 @@
+//! Matrix kernels: products (plain and transposed variants), row softmax,
+//! log-sum-exp, ReLU forward/backward, argmax, and reductions.
+//!
+//! Products parallelise over output rows with rayon once the scalar work
+//! exceeds [`PAR_THRESHOLD`]; below it a sequential loop is faster than the
+//! fork-join overhead. Per-element accumulation order inside each output
+//! element is fixed, so results are identical regardless of thread count.
+
+use crate::Matrix;
+use rayon::prelude::*;
+
+/// Minimum number of scalar multiply-adds before a product goes parallel.
+pub const PAR_THRESHOLD: usize = 64 * 1024;
+
+/// Minimum multiply-adds *per row* before parallelising: with less work
+/// per task, rayon's fork-join overhead dominates (measured ~10–20 µs per
+/// dispatch on small batches, vs ~1 µs of arithmetic).
+pub const PAR_ROW_THRESHOLD: usize = 8 * 1024;
+
+#[inline]
+fn go_parallel(total_work: usize, rows: usize) -> bool {
+    rows >= 4 && total_work >= PAR_THRESHOLD && total_work / rows >= PAR_ROW_THRESHOLD
+}
+
+/// `C = A · B` for `A (m×k)` and `B (k×n)`.
+///
+/// Assumes finite inputs: rows whose `A` coefficient is exactly `0.0` are
+/// skipped (a sparsity fast path), which would also skip `0 · NaN = NaN`
+/// propagation from `B`. The training pipeline never produces non-finite
+/// values under its projected updates; callers with untrusted data should
+/// validate first.
+///
+/// # Panics
+/// Panics on inner-dimension mismatch.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dims {}x{} vs {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    let work = m * k * n;
+    let body = |(r, out_row): (usize, &mut [f32])| {
+        let a_row = a.row(r);
+        // ikj loop order: stream through B rows, accumulate into out_row.
+        for (i, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = b.row(i);
+            for (o, &bij) in out_row.iter_mut().zip(b_row) {
+                *o += aik * bij;
+            }
+        }
+    };
+    if go_parallel(work, m) {
+        out.as_mut_slice()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(body);
+    } else {
+        out.as_mut_slice().chunks_mut(n).enumerate().for_each(body);
+    }
+    out
+}
+
+/// `C = A · Bᵀ` for `A (m×k)` and `B (n×k)`.
+///
+/// This is the hot kernel in a forward pass (`X · Wᵀ` with row-major weight
+/// matrices); both operands are traversed row-contiguously.
+pub fn matmul_transb(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_transb: inner dims {}x{} vs {}x{}ᵀ",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k) = a.shape();
+    let n = b.rows();
+    let mut out = Matrix::zeros(m, n);
+    let work = m * k * n;
+    let body = |(r, out_row): (usize, &mut [f32])| {
+        let a_row = a.row(r);
+        for (j, o) in out_row.iter_mut().enumerate() {
+            *o = dot_f32(a_row, b.row(j));
+        }
+    };
+    if go_parallel(work, m) {
+        out.as_mut_slice()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(body);
+    } else {
+        out.as_mut_slice().chunks_mut(n).enumerate().for_each(body);
+    }
+    out
+}
+
+/// `C = Aᵀ · B` for `A (k×m)` and `B (k×n)`.
+///
+/// This is the weight-gradient kernel (`Xᵀ · Δ` in backprop).
+pub fn matmul_transa(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_transa: inner dims {}x{}ᵀ vs {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let k = a.rows();
+    let m = a.cols();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    let work = m * k * n;
+    let body = |(r, out_row): (usize, &mut [f32])| {
+        // out[r, :] = sum_i A[i, r] * B[i, :]
+        for i in 0..k {
+            let air = a[(i, r)];
+            if air == 0.0 {
+                continue;
+            }
+            let b_row = b.row(i);
+            for (o, &bij) in out_row.iter_mut().zip(b_row) {
+                *o += air * bij;
+            }
+        }
+    };
+    if go_parallel(work, m) {
+        out.as_mut_slice()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(body);
+    } else {
+        out.as_mut_slice().chunks_mut(n).enumerate().for_each(body);
+    }
+    out
+}
+
+/// Reference O(mkn) triple-loop product used as the test oracle.
+pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows());
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for r in 0..a.rows() {
+        for c in 0..b.cols() {
+            let mut acc = 0.0_f64;
+            for i in 0..a.cols() {
+                acc += f64::from(a[(r, i)]) * f64::from(b[(i, c)]);
+            }
+            out[(r, c)] = acc as f32;
+        }
+    }
+    out
+}
+
+/// Dot product with four independent accumulator lanes, letting the
+/// compiler vectorise despite strict FP ordering (the lane pattern is a
+/// fixed function of the length, so results stay run-to-run deterministic).
+#[inline]
+fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0_f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let ai = &a[i * 4..i * 4 + 4];
+        let bi = &b[i * 4..i * 4 + 4];
+        lanes[0] += ai[0] * bi[0];
+        lanes[1] += ai[1] * bi[1];
+        lanes[2] += ai[2] * bi[2];
+        lanes[3] += ai[3] * bi[3];
+    }
+    let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for i in chunks * 4..a.len() {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+
+/// Add a row vector (bias) to every row of `m` in place.
+pub fn add_row_inplace(m: &mut Matrix, row: &[f32]) {
+    assert_eq!(m.cols(), row.len(), "bias length mismatch");
+    let cols = m.cols();
+    for r in m.as_mut_slice().chunks_mut(cols) {
+        for (x, &b) in r.iter_mut().zip(row) {
+            *x += b;
+        }
+    }
+}
+
+/// Column sums of `m`, accumulated in f64 (gradient of a broadcast bias).
+pub fn col_sums(m: &Matrix) -> Vec<f32> {
+    let mut acc = vec![0.0_f64; m.cols()];
+    for row in m.rows_iter() {
+        for (a, &x) in acc.iter_mut().zip(row) {
+            *a += f64::from(x);
+        }
+    }
+    acc.into_iter().map(|x| x as f32).collect()
+}
+
+/// In-place ReLU.
+pub fn relu_inplace(m: &mut Matrix) {
+    m.map_inplace(|x| x.max(0.0));
+}
+
+/// Backward of ReLU: zero `grad` wherever the forward *output* was zero.
+///
+/// `activated` must be the ReLU output (not the pre-activation); the kernel
+/// therefore treats `activated > 0` as the pass-through mask.
+pub fn relu_backward_inplace(grad: &mut Matrix, activated: &Matrix) {
+    assert_eq!(grad.shape(), activated.shape());
+    for (g, &a) in grad.as_mut_slice().iter_mut().zip(activated.as_slice()) {
+        if a <= 0.0 {
+            *g = 0.0;
+        }
+    }
+}
+
+/// Numerically stable log-sum-exp of a slice.
+pub fn log_sum_exp(x: &[f32]) -> f32 {
+    let m = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if !m.is_finite() {
+        return m;
+    }
+    let s: f64 = x.iter().map(|&v| f64::from(v - m).exp()).sum();
+    m + (s.ln() as f32)
+}
+
+/// Row-wise softmax, numerically stable, returned as a new matrix.
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    softmax_rows_inplace(&mut out);
+    out
+}
+
+/// Row-wise softmax in place.
+pub fn softmax_rows_inplace(m: &mut Matrix) {
+    let cols = m.cols();
+    for row in m.as_mut_slice().chunks_mut(cols) {
+        let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0_f64;
+        for x in row.iter_mut() {
+            let e = f64::from(*x - mx).exp();
+            sum += e;
+            *x = e as f32;
+        }
+        let inv = (1.0 / sum) as f32;
+        for x in row.iter_mut() {
+            *x *= inv;
+        }
+    }
+}
+
+/// Index of the maximum element of each row (ties resolve to the first).
+pub fn argmax_rows(m: &Matrix) -> Vec<usize> {
+    m.rows_iter()
+        .map(|row| {
+            let mut best = 0;
+            let mut best_v = f32::NEG_INFINITY;
+            for (i, &v) in row.iter().enumerate() {
+                if v > best_v {
+                    best_v = v;
+                    best = i;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// Frobenius norm with f64 accumulation.
+pub fn frobenius_norm(m: &Matrix) -> f64 {
+    m.as_slice()
+        .iter()
+        .map(|&x| f64::from(x) * f64::from(x))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+        // Small deterministic pseudo-random fill without external RNG deps.
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+    }
+
+    #[test]
+    fn matmul_matches_naive_small() {
+        let a = mat(5, 7, 1);
+        let b = mat(7, 4, 2);
+        let c = matmul(&a, &b);
+        let r = matmul_naive(&a, &b);
+        assert!(c.max_abs_diff(&r) < 1e-4, "diff {}", c.max_abs_diff(&r));
+    }
+
+    #[test]
+    fn matmul_matches_naive_parallel_path() {
+        // Large enough to take the rayon path: total work and per-row work
+        // both above their thresholds, with ≥ 4 rows.
+        let (m, k, n) = (8usize, 512usize, 512usize);
+        assert!(go_parallel(m * k * n, m));
+        let a = mat(m, k, 3);
+        let b = mat(k, n, 4);
+        let c = matmul(&a, &b);
+        let r = matmul_naive(&a, &b);
+        assert!(c.max_abs_diff(&r) < 1e-3);
+    }
+
+    #[test]
+    fn parallel_heuristic_shape() {
+        // Tiny matrices and few-row matrices stay sequential.
+        assert!(!go_parallel(100, 10));
+        assert!(!go_parallel(1 << 20, 2)); // too few rows
+        assert!(!go_parallel(1 << 17, 64)); // too little work per row
+        assert!(go_parallel(1 << 20, 8));
+    }
+
+    #[test]
+    fn transb_equals_explicit_transpose() {
+        let a = mat(6, 5, 5);
+        let b = mat(3, 5, 6);
+        let c = matmul_transb(&a, &b);
+        let r = matmul(&a, &b.transpose());
+        assert!(c.max_abs_diff(&r) < 1e-4);
+    }
+
+    #[test]
+    fn transa_equals_explicit_transpose() {
+        let a = mat(5, 6, 7);
+        let b = mat(5, 3, 8);
+        let c = matmul_transa(&a, &b);
+        let r = matmul(&a.transpose(), &b);
+        assert!(c.max_abs_diff(&r) < 1e-4);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = mat(4, 4, 9);
+        let c = matmul(&a, &Matrix::eye(4));
+        assert!(c.max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn mismatched_dims_panic() {
+        let _ = matmul(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2));
+    }
+
+    #[test]
+    fn add_row_and_col_sums() {
+        let mut m = Matrix::zeros(3, 2);
+        add_row_inplace(&mut m, &[1.0, -2.0]);
+        assert_eq!(m.row(2), &[1.0, -2.0]);
+        let s = col_sums(&m);
+        assert_eq!(s, vec![3.0, -6.0]);
+    }
+
+    #[test]
+    fn relu_and_backward() {
+        let mut m = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -0.5]);
+        relu_inplace(&mut m);
+        assert_eq!(m.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+        let mut g = Matrix::full(1, 4, 1.0);
+        relu_backward_inplace(&mut g, &m);
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions() {
+        let m = mat(4, 6, 11);
+        let s = softmax_rows(&m);
+        for row in s.rows_iter() {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let m = Matrix::from_vec(1, 3, vec![1000.0, 1001.0, 1002.0]);
+        let s = softmax_rows(&m);
+        assert!(s.as_slice().iter().all(|x| x.is_finite()));
+        let m2 = Matrix::from_vec(1, 3, vec![0.0, 1.0, 2.0]);
+        let s2 = softmax_rows(&m2);
+        assert!(s.max_abs_diff(&s2) < 1e-5);
+    }
+
+    #[test]
+    fn log_sum_exp_stable_and_correct() {
+        assert!((log_sum_exp(&[0.0, 0.0]) - std::f32::consts::LN_2).abs() < 1e-6);
+        let v = log_sum_exp(&[1000.0, 1000.0]);
+        assert!((v - (1000.0 + std::f32::consts::LN_2)).abs() < 1e-3);
+        assert_eq!(log_sum_exp(&[f32::NEG_INFINITY]), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn argmax_rows_first_tie_wins() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 3.0, 3.0, -1.0, -5.0, -2.0]);
+        assert_eq!(argmax_rows(&m), vec![1, 0]);
+    }
+
+    #[test]
+    fn frobenius_norm_simple() {
+        let m = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        assert!((frobenius_norm(&m) - 5.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matmul_matches_naive(m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in 0u64..1000) {
+            let a = mat(m, k, seed);
+            let b = mat(k, n, seed.wrapping_add(17));
+            let c = matmul(&a, &b);
+            let r = matmul_naive(&a, &b);
+            prop_assert!(c.max_abs_diff(&r) < 1e-4);
+        }
+
+        #[test]
+        fn prop_transposed_products_consistent(m in 1usize..7, k in 1usize..7, n in 1usize..7, seed in 0u64..1000) {
+            let a = mat(m, k, seed);
+            let bt = mat(n, k, seed.wrapping_add(3));
+            let c1 = matmul_transb(&a, &bt);
+            let c2 = matmul(&a, &bt.transpose());
+            prop_assert!(c1.max_abs_diff(&c2) < 1e-4);
+
+            let at = mat(k, m, seed.wrapping_add(5));
+            let b = mat(k, n, seed.wrapping_add(7));
+            let c3 = matmul_transa(&at, &b);
+            let c4 = matmul(&at.transpose(), &b);
+            prop_assert!(c3.max_abs_diff(&c4) < 1e-4);
+        }
+
+        #[test]
+        fn prop_softmax_rows_sum_to_one(r in 1usize..6, c in 1usize..6, seed in 0u64..1000) {
+            let m = mat(r, c, seed);
+            let s = softmax_rows(&m);
+            for row in s.rows_iter() {
+                let sum: f32 = row.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! BLAS-1 style kernels on `&[f32]` slices.
+//!
+//! Model parameters travel through the system as flat vectors (the algorithms
+//! average, difference, and project them), so these kernels are used on every
+//! SGD step, aggregation, and projection.
+
+/// `y += alpha * x`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = x` (copy).
+pub fn copy(x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "copy length mismatch");
+    y.copy_from_slice(x);
+}
+
+/// `x *= alpha`.
+pub fn scale(alpha: f32, x: &mut [f32]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Dot product with f64 accumulation.
+pub fn dot(x: &[f32], y: &[f32]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    x.iter()
+        .zip(y)
+        .map(|(&a, &b)| f64::from(a) * f64::from(b))
+        .sum()
+}
+
+/// Euclidean norm with f64 accumulation.
+pub fn norm2(x: &[f32]) -> f64 {
+    x.iter()
+        .map(|&a| f64::from(a) * f64::from(a))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Squared Euclidean distance between two slices, f64 accumulation.
+pub fn dist2_sq(x: &[f32], y: &[f32]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dist2_sq length mismatch");
+    x.iter()
+        .zip(y)
+        .map(|(&a, &b)| {
+            let d = f64::from(a) - f64::from(b);
+            d * d
+        })
+        .sum()
+}
+
+/// Sum of all elements, f64 accumulation.
+pub fn sum(x: &[f32]) -> f64 {
+    x.iter().map(|&a| f64::from(a)).sum()
+}
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(x: &[f32]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        sum(x) / x.len() as f64
+    }
+}
+
+/// Deterministic average of several equally-weighted parameter vectors.
+///
+/// Accumulates in f64 in a fixed order, so the result is independent of how
+/// the sources were produced (e.g. in parallel by rayon workers). This is the
+/// model-aggregation primitive used at both the edge (client models) and the
+/// cloud (edge models).
+pub fn average_into(sources: &[&[f32]], out: &mut [f32]) {
+    assert!(!sources.is_empty(), "average of zero vectors");
+    let n = sources.len() as f64;
+    for s in sources {
+        assert_eq!(s.len(), out.len(), "average length mismatch");
+    }
+    for (i, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0_f64;
+        for s in sources {
+            acc += f64::from(s[i]);
+        }
+        *o = (acc / n) as f32;
+    }
+}
+
+/// Weighted average `out[i] = Σ_j weights[j] * sources[j][i]`.
+///
+/// Weights need not sum to one (callers normalise when they need a convex
+/// combination).
+pub fn weighted_average_into(sources: &[&[f32]], weights: &[f64], out: &mut [f32]) {
+    assert_eq!(sources.len(), weights.len(), "weights/sources mismatch");
+    assert!(!sources.is_empty(), "weighted average of zero vectors");
+    for s in sources {
+        assert_eq!(s.len(), out.len(), "average length mismatch");
+    }
+    for (i, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0_f64;
+        for (s, &w) in sources.iter().zip(weights) {
+            acc += w * f64::from(s[i]);
+        }
+        *o = acc as f32;
+    }
+}
+
+/// Largest absolute element (0 for an empty slice).
+pub fn max_abs(x: &[f32]) -> f32 {
+    x.iter().map(|v| v.abs()).fold(0.0_f32, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_vec(n: usize, seed: u64) -> Vec<f32> {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+            })
+            .collect()
+    }
+
+    proptest! {
+        #[test]
+        fn prop_axpy_is_linear(n in 1usize..32, seed in 0u64..500, a in -4.0f32..4.0) {
+            let x = arb_vec(n, seed);
+            let y0 = arb_vec(n, seed.wrapping_add(1));
+            // axpy(a, x, y) == y + a*x elementwise.
+            let mut y = y0.clone();
+            axpy(a, &x, &mut y);
+            for i in 0..n {
+                let expect = y0[i] + a * x[i];
+                prop_assert!((y[i] - expect).abs() <= 1e-5 * expect.abs().max(1.0));
+            }
+        }
+
+        #[test]
+        fn prop_average_is_permutation_invariant(n in 1usize..16, seed in 0u64..500) {
+            let a = arb_vec(n, seed);
+            let b = arb_vec(n, seed.wrapping_add(2));
+            let c = arb_vec(n, seed.wrapping_add(3));
+            let mut o1 = vec![0.0; n];
+            let mut o2 = vec![0.0; n];
+            average_into(&[&a, &b, &c], &mut o1);
+            average_into(&[&c, &b, &a], &mut o2);
+            prop_assert_eq!(o1, o2);
+        }
+
+        #[test]
+        fn prop_weighted_average_within_hull(n in 1usize..16, seed in 0u64..500, t in 0.0f64..1.0) {
+            // A convex combination of two vectors stays coordinate-wise
+            // between them.
+            let a = arb_vec(n, seed);
+            let b = arb_vec(n, seed.wrapping_add(5));
+            let mut o = vec![0.0; n];
+            weighted_average_into(&[&a, &b], &[t, 1.0 - t], &mut o);
+            for i in 0..n {
+                let lo = a[i].min(b[i]) - 1e-5;
+                let hi = a[i].max(b[i]) + 1e-5;
+                prop_assert!(o[i] >= lo && o[i] <= hi);
+            }
+        }
+
+        #[test]
+        fn prop_dot_is_symmetric(n in 1usize..32, seed in 0u64..500) {
+            let x = arb_vec(n, seed);
+            let y = arb_vec(n, seed.wrapping_add(7));
+            prop_assert!((dot(&x, &y) - dot(&y, &x)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_norm_triangle_inequality(n in 1usize..32, seed in 0u64..500) {
+            let x = arb_vec(n, seed);
+            let y = arb_vec(n, seed.wrapping_add(11));
+            let sum: Vec<f32> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+            prop_assert!(norm2(&sum) <= norm2(&x) + norm2(&y) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 10.0, 10.0];
+        axpy(0.5, &x, &mut y);
+        assert_eq!(y, [10.5, 11.0, 11.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "axpy length mismatch")]
+    fn axpy_len_mismatch_panics() {
+        let mut y = [0.0];
+        axpy(1.0, &[1.0, 2.0], &mut y);
+    }
+
+    #[test]
+    fn scale_and_copy() {
+        let mut x = [2.0, 4.0];
+        scale(0.5, &mut x);
+        assert_eq!(x, [1.0, 2.0]);
+        let mut y = [0.0, 0.0];
+        copy(&x, &mut y);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn dot_norm_dist() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(dist2_sq(&[1.0, 1.0], &[4.0, 5.0]), 25.0);
+    }
+
+    #[test]
+    fn sum_and_mean() {
+        assert_eq!(sum(&[1.0, 2.0, 3.0]), 6.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn average_of_three() {
+        let a = [1.0, 0.0];
+        let b = [2.0, 3.0];
+        let c = [3.0, 6.0];
+        let mut out = [0.0, 0.0];
+        average_into(&[&a, &b, &c], &mut out);
+        assert_eq!(out, [2.0, 3.0]);
+    }
+
+    #[test]
+    fn average_is_order_invariant() {
+        let a = [0.1_f32, 0.7];
+        let b = [0.3_f32, -0.2];
+        let c = [123.456_f32, 1e-3];
+        let mut o1 = [0.0, 0.0];
+        let mut o2 = [0.0, 0.0];
+        average_into(&[&a, &b, &c], &mut o1);
+        average_into(&[&c, &a, &b], &mut o2);
+        assert_eq!(o1, o2); // f64 accumulation of 3 f32s is exact enough
+    }
+
+    #[test]
+    fn weighted_average_convex() {
+        let a = [0.0, 10.0];
+        let b = [10.0, 0.0];
+        let mut out = [0.0, 0.0];
+        weighted_average_into(&[&a, &b], &[0.25, 0.75], &mut out);
+        assert_eq!(out, [7.5, 2.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vectors")]
+    fn average_empty_panics() {
+        let mut out = [0.0];
+        average_into(&[], &mut out);
+    }
+
+    #[test]
+    fn max_abs_works() {
+        assert_eq!(max_abs(&[-3.0, 2.0]), 3.0);
+        assert_eq!(max_abs(&[]), 0.0);
+    }
+}

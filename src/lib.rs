@@ -1,0 +1,40 @@
+//! # hierminimax
+//!
+//! Umbrella crate for the Rust reproduction of *Distributed Minimax Fair
+//! Optimization over Hierarchical Networks* (HierMinimax, ICPP 2024).
+//!
+//! This crate re-exports the workspace members under short names so examples
+//! and downstream users can depend on a single crate:
+//!
+//! - [`tensor`] — dense matrix/vector math.
+//! - [`data`] — dataset generators, partitioners, RNG streams.
+//! - [`nn`] — model families (multinomial logistic regression, MLP).
+//! - [`optim`] — SGD, projections (simplex et al.), schedules.
+//! - [`simnet`] — hierarchical client-edge-cloud network simulator with
+//!   communication metering.
+//! - [`core`] — the HierMinimax algorithm and all baselines, metrics, and
+//!   the duality-gap evaluator.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`, or:
+//!
+//! ```
+//! use hierminimax::core::algorithms::{Algorithm, HierMinimax, HierMinimaxConfig};
+//! use hierminimax::core::problem::FederatedProblem;
+//! use hierminimax::data::scenarios;
+//!
+//! // A tiny one-class-per-edge problem (3 edges, 2 clients each).
+//! let problem = scenarios::tiny_problem(3, 2, 42);
+//! let fp = FederatedProblem::logistic_from_scenario(&problem);
+//! let cfg = HierMinimaxConfig { rounds: 5, ..Default::default() };
+//! let run = HierMinimax::new(cfg).run(&fp, 42);
+//! assert_eq!(run.history.rounds.len(), 5);
+//! ```
+
+pub use hm_core as core;
+pub use hm_data as data;
+pub use hm_nn as nn;
+pub use hm_optim as optim;
+pub use hm_simnet as simnet;
+pub use hm_tensor as tensor;

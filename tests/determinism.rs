@@ -1,0 +1,173 @@
+//! Workspace-level determinism guarantees (DESIGN.md §7): every algorithm
+//! produces bit-identical results across (a) repeated runs, and (b)
+//! sequential vs rayon-parallel client execution.
+
+use hierminimax::core::algorithms::{
+    AflConfig, Algorithm, Drfa, DrfaConfig, FedAvg, FedAvgConfig, HierFavg, HierFavgConfig,
+    HierMinimax, HierMinimaxConfig, RunOpts, StochasticAfl,
+};
+use hierminimax::core::problem::FederatedProblem;
+use hierminimax::core::RunResult;
+use hierminimax::data::scenarios::tiny_problem;
+use hierminimax::simnet::Parallelism;
+
+fn opts(par: Parallelism) -> RunOpts {
+    RunOpts {
+        eval_every: 2,
+        parallelism: par,
+        trace: false,
+    }
+}
+
+fn all_algorithms(par: Parallelism) -> Vec<(&'static str, Box<dyn Algorithm>)> {
+    vec![
+        (
+            "HierMinimax",
+            Box::new(HierMinimax::new(HierMinimaxConfig {
+                rounds: 5,
+                tau1: 2,
+                tau2: 3,
+                m_edges: 2,
+                eta_w: 0.1,
+                eta_p: 0.05,
+                batch_size: 2,
+                loss_batch: 4,
+                weight_update_model: Default::default(),
+                quantizer: Default::default(),
+                dropout: 0.0,
+                tau2_per_edge: None,
+                opts: opts(par),
+            })),
+        ),
+        (
+            "HierFAVG",
+            Box::new(HierFavg::new(HierFavgConfig {
+                rounds: 5,
+                tau1: 2,
+                tau2: 3,
+                m_edges: 2,
+                eta_w: 0.1,
+                batch_size: 2,
+                quantizer: Default::default(),
+                dropout: 0.0,
+                opts: opts(par),
+            })),
+        ),
+        (
+            "FedAvg",
+            Box::new(FedAvg::new(FedAvgConfig {
+                rounds: 5,
+                tau1: 2,
+                m_clients: 4,
+                eta_w: 0.1,
+                batch_size: 2,
+                opts: opts(par),
+            })),
+        ),
+        (
+            "Stochastic-AFL",
+            Box::new(StochasticAfl::new(AflConfig {
+                rounds: 5,
+                m_clients: 4,
+                eta_w: 0.1,
+                eta_q: 0.05,
+                batch_size: 2,
+                loss_batch: 4,
+                opts: opts(par),
+            })),
+        ),
+        (
+            "DRFA",
+            Box::new(Drfa::new(DrfaConfig {
+                rounds: 5,
+                tau1: 2,
+                m_clients: 4,
+                eta_w: 0.1,
+                eta_q: 0.05,
+                batch_size: 2,
+                loss_batch: 4,
+                opts: opts(par),
+            })),
+        ),
+    ]
+}
+
+fn assert_identical(name: &str, a: &RunResult, b: &RunResult) {
+    assert_eq!(a.final_w, b.final_w, "{name}: final_w differs");
+    assert_eq!(a.final_p, b.final_p, "{name}: final_p differs");
+    assert_eq!(a.avg_w, b.avg_w, "{name}: avg_w differs");
+    assert_eq!(a.comm, b.comm, "{name}: comm stats differ");
+    for (ra, rb) in a.history.rounds.iter().zip(&b.history.rounds) {
+        assert_eq!(
+            ra.p, rb.p,
+            "{name}: history p differs at round {}",
+            ra.round
+        );
+        assert_eq!(
+            ra.eval.as_ref().map(|e| e.per_edge_accuracy.clone()),
+            rb.eval.as_ref().map(|e| e.per_edge_accuracy.clone()),
+            "{name}: eval differs at round {}",
+            ra.round
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let sc = tiny_problem(3, 2, 11);
+    let fp = FederatedProblem::logistic_from_scenario(&sc);
+    for (name, alg) in all_algorithms(Parallelism::Sequential) {
+        let a = alg.run(&fp, 5);
+        let b = alg.run(&fp, 5);
+        assert_identical(name, &a, &b);
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_for_every_algorithm() {
+    let sc = tiny_problem(3, 2, 12);
+    let fp = FederatedProblem::logistic_from_scenario(&sc);
+    let seq = all_algorithms(Parallelism::Sequential);
+    let par = all_algorithms(Parallelism::Rayon);
+    for ((name, a), (_, b)) in seq.into_iter().zip(par) {
+        let ra = a.run(&fp, 9);
+        let rb = b.run(&fp, 9);
+        assert_identical(name, &ra, &rb);
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_for_mlp() {
+    // Non-convex path: exercises the MLP backward pass under rayon.
+    let sc = tiny_problem(3, 2, 13);
+    let fp = FederatedProblem::mlp_from_scenario(&sc, &[12, 6]);
+    let cfg = |par| HierMinimaxConfig {
+        rounds: 4,
+        tau1: 2,
+        tau2: 2,
+        m_edges: 2,
+        eta_w: 0.05,
+        eta_p: 0.02,
+        batch_size: 2,
+        loss_batch: 4,
+        weight_update_model: Default::default(),
+        quantizer: Default::default(),
+        dropout: 0.0,
+        tau2_per_edge: None,
+        opts: opts(par),
+    };
+    let a = HierMinimax::new(cfg(Parallelism::Sequential)).run(&fp, 3);
+    let b = HierMinimax::new(cfg(Parallelism::Rayon)).run(&fp, 3);
+    assert_identical("HierMinimax-MLP", &a, &b);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let sc = tiny_problem(3, 2, 14);
+    let fp = FederatedProblem::logistic_from_scenario(&sc);
+    for (name, alg) in all_algorithms(Parallelism::Sequential) {
+        let a = alg.run(&fp, 1);
+        let b = alg.run(&fp, 2);
+        assert_ne!(a.final_w, b.final_w, "{name}: seeds do not change the run");
+    }
+}

@@ -1,0 +1,100 @@
+//! Client-dropout robustness: the hierarchical algorithms tolerate crashed
+//! or deadline-cut clients.
+
+use hierminimax::core::algorithms::{Algorithm, HierMinimax, HierMinimaxConfig, RunOpts};
+use hierminimax::core::metrics::evaluate;
+use hierminimax::core::problem::FederatedProblem;
+use hierminimax::data::scenarios::tiny_problem;
+use hierminimax::simnet::{Link, Parallelism};
+
+fn cfg(dropout: f32, rounds: usize) -> HierMinimaxConfig {
+    HierMinimaxConfig {
+        rounds,
+        tau1: 2,
+        tau2: 2,
+        m_edges: 2,
+        eta_w: 0.1,
+        eta_p: 0.005,
+        batch_size: 2,
+        loss_batch: 8,
+        weight_update_model: Default::default(),
+        quantizer: Default::default(),
+        dropout,
+        tau2_per_edge: None,
+        opts: RunOpts {
+            eval_every: 0,
+            parallelism: Parallelism::Rayon,
+            trace: false,
+        },
+    }
+}
+
+#[test]
+fn learns_through_twenty_percent_dropout() {
+    let sc = tiny_problem(3, 2, 95);
+    let fp = FederatedProblem::logistic_from_scenario(&sc);
+    let r = HierMinimax::new(cfg(0.2, 300)).run(&fp, 5);
+    let e = evaluate(&fp, &r.final_w, Parallelism::Rayon);
+    assert!(
+        e.average > 0.9,
+        "20% dropout run only reached {:.3}",
+        e.average
+    );
+    // Weights remain a distribution.
+    let sum: f32 = r.final_p.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-4);
+}
+
+#[test]
+fn dropout_reduces_uplink_traffic_proportionally() {
+    let sc = tiny_problem(3, 2, 96);
+    let fp = FederatedProblem::logistic_from_scenario(&sc);
+    let clean = HierMinimax::new(cfg(0.0, 40)).run(&fp, 5);
+    let lossy = HierMinimax::new(cfg(0.5, 40)).run(&fp, 5);
+    let up = |r: &hierminimax::core::RunResult| r.comm.uplink_msgs(Link::ClientEdge);
+    // Phase-1 uploads shrink by roughly the survival rate (Phase-2 scalar
+    // reports are unaffected), so well below the clean count but nonzero.
+    assert!(
+        up(&lossy) < up(&clean) * 4 / 5,
+        "{} vs {}",
+        up(&lossy),
+        up(&clean)
+    );
+    assert!(up(&lossy) > 0);
+    // Downlink broadcasts are NOT reduced by dropout (the edge pushes
+    // before knowing who will survive); they differ between the runs only
+    // through the diverging participation sampling, so bound loosely.
+    let down = |r: &hierminimax::core::RunResult| r.comm.downlink_msgs(Link::ClientEdge);
+    assert!(
+        down(&lossy) * 2 > down(&clean),
+        "{} vs {}",
+        down(&lossy),
+        down(&clean)
+    );
+}
+
+#[test]
+fn dropout_is_deterministic() {
+    let sc = tiny_problem(3, 2, 97);
+    let fp = FederatedProblem::logistic_from_scenario(&sc);
+    let a = HierMinimax::new(cfg(0.3, 10)).run(&fp, 9);
+    let b = HierMinimax::new(cfg(0.3, 10)).run(&fp, 9);
+    assert_eq!(a.final_w, b.final_w);
+    assert_eq!(a.comm, b.comm);
+    // And sequential matches parallel under dropout too.
+    let mut c_cfg = cfg(0.3, 10);
+    c_cfg.opts.parallelism = Parallelism::Sequential;
+    let c = HierMinimax::new(c_cfg).run(&fp, 9);
+    assert_eq!(a.final_w, c.final_w);
+}
+
+#[test]
+fn extreme_dropout_still_terminates() {
+    // 90% dropout: most blocks lose most clients, some edges lose all of
+    // them; the run must still complete with finite parameters.
+    let sc = tiny_problem(3, 2, 98);
+    let fp = FederatedProblem::logistic_from_scenario(&sc);
+    let r = HierMinimax::new(cfg(0.9, 30)).run(&fp, 11);
+    assert!(r.final_w.iter().all(|x| x.is_finite()));
+    assert!(r.final_p.iter().all(|x| x.is_finite()));
+}
