@@ -31,6 +31,87 @@ fn bench_matmul(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_workspace_kernels(c: &mut Criterion) {
+    // The `_into` variants against the allocating wrappers benchmarked
+    // above: same shapes, caller-owned output reused across iterations —
+    // the hot-path pattern of the workspace-based forward/backward.
+    let mut g = c.benchmark_group("matmul_transb_into");
+    for &(m, k, n) in &[(8usize, 256usize, 10usize), (8, 256, 300), (64, 256, 300)] {
+        let a = rand_matrix(m, k, 5);
+        let b = rand_matrix(n, k, 6);
+        g.throughput(Throughput::Elements((m * k * n) as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{k}x{n}")),
+            &(a, b),
+            |bench, (a, b)| {
+                let mut out = Matrix::zeros(m, n);
+                bench.iter(|| {
+                    ops::matmul_transb_into(black_box(a).view(), black_box(b).view(), &mut out)
+                })
+            },
+        );
+    }
+    g.finish();
+
+    // The sparsity-aware pre-transposed forward against the dot form on a
+    // training-like operand: ~40 % exact zeros in `A`, as produced by
+    // clamped image pixels or post-ReLU activations. `fwd` includes the
+    // per-call weight transpose, matching what a training step pays.
+    let mut g = c.benchmark_group("matmul_transb_fwd_sparse");
+    for &(m, k, n) in &[(16usize, 256usize, 100usize), (16, 100, 50)] {
+        let mut a = rand_matrix(m, k, 8);
+        for (i, v) in a.as_mut_slice().iter_mut().enumerate() {
+            if i % 5 < 2 {
+                *v = 0.0;
+            }
+        }
+        let b = rand_matrix(n, k, 9);
+        g.throughput(Throughput::Elements((m * k * n) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("dot", format!("{m}x{k}x{n}")),
+            &(a.clone(), b.clone()),
+            |bench, (a, b)| {
+                let mut out = Matrix::zeros(m, n);
+                bench.iter(|| {
+                    ops::matmul_transb_into(black_box(a).view(), black_box(b).view(), &mut out)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("pret_fwd", format!("{m}x{k}x{n}")),
+            &(a.clone(), b.clone()),
+            |bench, (a, b)| {
+                let mut wt = Matrix::zeros(0, 0);
+                let mut lanes = Matrix::zeros(0, 0);
+                let mut out = Matrix::zeros(m, n);
+                bench.iter(|| {
+                    ops::matmul_transb_fwd_into(
+                        black_box(a).view(),
+                        black_box(b).view(),
+                        &mut wt,
+                        &mut lanes,
+                        &mut out,
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+
+    // Mini-batch row gather into a reused buffer (one per SGD step).
+    let mut g = c.benchmark_group("select_rows_into");
+    let data = rand_matrix(1024, 256, 7);
+    for &b in &[8usize, 64] {
+        let idx: Vec<usize> = (0..b).map(|i| (i * 37) % 1024).collect();
+        g.throughput(Throughput::Elements((b * 256) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(b), &idx, |bench, idx| {
+            let mut out = Matrix::zeros(0, 0);
+            bench.iter(|| data.select_rows_into(black_box(idx), &mut out))
+        });
+    }
+    g.finish();
+}
+
 fn bench_softmax(c: &mut Criterion) {
     let mut g = c.benchmark_group("softmax_rows");
     for &rows in &[8usize, 64, 512] {
@@ -82,6 +163,7 @@ fn bench_aggregation(c: &mut Criterion) {
 criterion_group!(
     kernels,
     bench_matmul,
+    bench_workspace_kernels,
     bench_softmax,
     bench_simplex_projection,
     bench_aggregation

@@ -9,7 +9,7 @@ use hm_core::problem::FederatedProblem;
 use hm_data::generators::synthetic_images::ImageConfig;
 use hm_data::rng::{Purpose, StreamRng};
 use hm_data::scenarios::one_class_per_edge;
-use hm_nn::{Mlp, Model, MulticlassLogistic};
+use hm_nn::{Mlp, Model, MulticlassLogistic, SimpleCnn};
 use hm_optim::ProjectionOp;
 use hm_simnet::Parallelism;
 use std::hint::black_box;
@@ -57,6 +57,27 @@ fn bench_local_sgd(c: &mut Criterion) {
                 2,
                 0.05,
                 8,
+                &ProjectionOp::Unconstrained,
+                &mut rng,
+                None,
+            )
+        })
+    });
+
+    let cnn = SimpleCnn::new(16, 3, 4, 8, 32, 10);
+    let mut irng = StreamRng::new(3, Purpose::Init, 0, 0);
+    let w0 = cnn.init_params(&mut irng);
+    g.sample_size(10);
+    g.bench_function("cnn_16x16", |bench| {
+        bench.iter(|| {
+            let mut rng = StreamRng::new(1, Purpose::Batch, 0, 0);
+            local_sgd(
+                black_box(&cnn),
+                black_box(&data),
+                &w0,
+                2,
+                0.05,
+                4,
                 &ProjectionOp::Unconstrained,
                 &mut rng,
                 None,

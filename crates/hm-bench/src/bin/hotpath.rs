@@ -1,0 +1,136 @@
+//! Steady-state training throughput: `local_sgd` steps/sec for the three
+//! model families, written as machine-readable `results/BENCH_hotpath.json`.
+//!
+//! Unlike the criterion benches this is a plain binary so CI can run it as
+//! a smoke bench (`--quick`) and tooling can diff the JSON across commits.
+//! The `baseline` block is the pre-workspace-refactor measurement recorded
+//! on the reference machine; `ratio` is current / baseline.
+
+use hm_bench::results::{parse_scale_flags, write_result};
+use hm_core::localsgd::local_sgd;
+use hm_core::problem::FederatedProblem;
+use hm_data::generators::synthetic_images::ImageConfig;
+use hm_data::rng::{Purpose, StreamRng};
+use hm_data::scenarios::one_class_per_edge;
+use hm_data::Dataset;
+use hm_nn::{Mlp, Model, MulticlassLogistic, SimpleCnn};
+use hm_optim::ProjectionOp;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Pre-change throughput (steps/sec): the seed `local_sgd` path measured on
+/// the reference machine, averaged over full runs interleaved back-to-back
+/// with the post-change binary so both see the same machine state.
+const BASELINE_LOGISTIC: f64 = 57810.0;
+const BASELINE_MLP: f64 = 5367.0;
+const BASELINE_CNN: f64 = 4158.0;
+
+struct Case<'a> {
+    name: &'static str,
+    model: &'a dyn Model,
+    data: &'a Dataset,
+    batch: usize,
+    steps: usize,
+    reps: usize,
+    baseline: f64,
+}
+
+fn measure(case: &Case) -> f64 {
+    let mut irng = StreamRng::new(2, Purpose::Init, 0, 0);
+    let w0 = case.model.init_params(&mut irng);
+    // Warm-up rep: page in data, let any lazy buffers size themselves.
+    let mut rng = StreamRng::new(1, Purpose::Batch, 0, 0);
+    black_box(local_sgd(
+        case.model,
+        case.data,
+        &w0,
+        case.steps,
+        0.05,
+        case.batch,
+        &ProjectionOp::Unconstrained,
+        &mut rng,
+        None,
+    ));
+    let start = Instant::now();
+    for r in 0..case.reps {
+        let mut rng = StreamRng::new(1, Purpose::Batch, r as u64, 0);
+        black_box(local_sgd(
+            case.model,
+            case.data,
+            &w0,
+            case.steps,
+            0.05,
+            case.batch,
+            &ProjectionOp::Unconstrained,
+            &mut rng,
+            None,
+        ));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (case.steps * case.reps) as f64 / secs
+}
+
+fn main() {
+    let (quick, _full) = parse_scale_flags();
+    let cfg = ImageConfig::emnist_digits_like();
+    let sc = one_class_per_edge(cfg, 10, 3, 40, 20, 7);
+    let fp = FederatedProblem::logistic_from_scenario(&sc);
+    let data = fp.client_data(0, 0).clone();
+
+    let logistic = MulticlassLogistic::new(256, 10);
+    let mlp = Mlp::new(256, &[100, 50], 10);
+    let cnn = SimpleCnn::new(16, 3, 4, 8, 32, 10);
+
+    let scale = if quick { 1 } else { 10 };
+    let cases = [
+        Case {
+            name: "logistic",
+            model: &logistic,
+            data: &data,
+            batch: 16,
+            steps: 50,
+            reps: 20 * scale,
+            baseline: BASELINE_LOGISTIC,
+        },
+        Case {
+            name: "mlp",
+            model: &mlp,
+            data: &data,
+            batch: 16,
+            steps: 50,
+            reps: 4 * scale,
+            baseline: BASELINE_MLP,
+        },
+        Case {
+            name: "cnn",
+            model: &cnn,
+            data: &data,
+            batch: 8,
+            steps: 10,
+            reps: scale,
+            baseline: BASELINE_CNN,
+        },
+    ];
+
+    let mut entries = Vec::new();
+    for case in &cases {
+        let sps = measure(case);
+        let ratio = sps / case.baseline;
+        println!(
+            "{:<10} {:>12.1} steps/sec   baseline {:>10.1}   ratio {:.2}x",
+            case.name, sps, case.baseline, ratio
+        );
+        entries.push(format!(
+            "    \"{}\": {{\n      \"steps_per_sec\": {:.1},\n      \"baseline_steps_per_sec\": {:.1},\n      \"ratio\": {:.3}\n    }}",
+            case.name, sps, case.baseline, ratio
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"hotpath\",\n  \"quick\": {},\n  \"models\": {{\n{}\n  }}\n}}\n",
+        quick,
+        entries.join(",\n")
+    );
+    let path = write_result("BENCH_hotpath.json", &json);
+    println!("wrote {}", path.display());
+}

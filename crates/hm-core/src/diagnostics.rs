@@ -17,9 +17,10 @@
 //! the way the lemma says.
 
 use crate::problem::FederatedProblem;
-use hm_data::batch::sample_batch;
+use hm_data::batch::{sample_batch_into, BatchScratch};
 use hm_data::rng::{Purpose, StreamKey, StreamRng};
 use hm_data::Dataset;
+use hm_nn::Workspace;
 use hm_optim::sgd::projected_sgd_step;
 use hm_simnet::sampling::sample_edges_weighted;
 use hm_tensor::vecops;
@@ -48,15 +49,17 @@ pub fn estimate_constants(
     let d = problem.num_params();
     let n0 = problem.clients_per_edge();
     let mut grad = vec![0.0_f32; d];
+    let mut scratch = BatchScratch::new();
+    let mut ws = Workspace::new();
 
     // σ_w²: worst over clients of the batch-gradient variance.
     let mut sigma_w_sq = 0.0_f64;
     let topo = problem.topology();
+    let mut full = vec![0.0_f32; d];
     for e in 0..problem.num_edges() {
         for c in 0..n0 {
             let data = problem.client_data(e, c);
-            let mut full = vec![0.0_f32; d];
-            model.loss_grad(w, data, &mut full);
+            model.loss_grad_ws(w, data, &mut full, &mut ws);
             let mut acc = 0.0_f64;
             for t in 0..trials {
                 let mut rng = StreamRng::for_key(StreamKey::new(
@@ -65,8 +68,8 @@ pub fn estimate_constants(
                     t as u64,
                     topo.client_id(e, c) as u64,
                 ));
-                let batch = sample_batch(data, batch_size, &mut rng);
-                model.loss_grad(w, &batch, &mut grad);
+                sample_batch_into(data, batch_size, &mut rng, &mut scratch);
+                model.loss_grad_ws(w, &scratch.batch, &mut grad, &mut ws);
                 acc += vecops::dist2_sq(&grad, &full);
             }
             sigma_w_sq = sigma_w_sq.max(acc / trials as f64);
@@ -78,7 +81,7 @@ pub fn estimate_constants(
         .map(|e| {
             let data: Dataset = problem.scenario.edges[e].train_concat();
             let mut g = vec![0.0_f32; d];
-            model.loss_grad(w, &data, &mut g);
+            model.loss_grad_ws(w, &data, &mut g, &mut ws);
             g
         })
         .collect();
@@ -149,6 +152,8 @@ pub fn measure_divergence(
     let mut total = 0.0_f64;
     let mut slots = 0usize;
     let mut grad = vec![0.0_f32; d];
+    let mut scratch = BatchScratch::new();
+    let mut ws = Workspace::new();
     for k in 0..cfg.rounds {
         let mut e_rng =
             StreamRng::for_key(StreamKey::new(seed, Purpose::EdgeSampling, k as u64, 0));
@@ -174,9 +179,13 @@ pub fn measure_divergence(
                     let e = sampled[slot / n0];
                     let c = slot % n0;
                     let _ = topo; // data addressed via (e, c)
-                    let batch =
-                        sample_batch(problem.client_data(e, c), cfg.batch_size, &mut rngs[slot]);
-                    model.loss_grad(local, &batch, &mut grad);
+                    sample_batch_into(
+                        problem.client_data(e, c),
+                        cfg.batch_size,
+                        &mut rngs[slot],
+                        &mut scratch,
+                    );
+                    model.loss_grad_ws(local, &scratch.batch, &mut grad, &mut ws);
                     projected_sgd_step(local, &grad, cfg.eta_w, &problem.w_domain);
                 }
                 // Virtual global model and divergence at this slot.

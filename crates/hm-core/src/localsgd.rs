@@ -1,8 +1,12 @@
 //! Client-side local SGD (eq. 4) with optional checkpoint snapshot.
+//!
+//! All scratch memory (gradient buffer, mini-batch gather, model workspace)
+//! is allocated once per call and reused across the `steps` iterations, so
+//! the steady-state step loop performs no heap allocation.
 
-use hm_data::batch::sample_batch;
+use hm_data::batch::{sample_batch_into, BatchScratch};
 use hm_data::{Dataset, StreamRng};
-use hm_nn::Model;
+use hm_nn::{Model, Workspace};
 use hm_optim::sgd::projected_sgd_step;
 use hm_optim::ProjectionOp;
 
@@ -33,13 +37,15 @@ pub fn local_sgd(
     }
     let mut w = w0.to_vec();
     let mut grad = vec![0.0_f32; model.num_params()];
+    let mut scratch = BatchScratch::new();
+    let mut ws = Workspace::new();
     let mut checkpoint = match checkpoint_after {
         Some(0) => Some(w.clone()),
         _ => None,
     };
     for step in 0..steps {
-        let batch = sample_batch(data, batch_size, rng);
-        model.loss_grad(&w, &batch, &mut grad);
+        sample_batch_into(data, batch_size, rng, &mut scratch);
+        model.loss_grad_ws(&w, &scratch.batch, &mut grad, &mut ws);
         projected_sgd_step(&mut w, &grad, lr, proj);
         if checkpoint_after == Some(step + 1) {
             checkpoint = Some(w.clone());
@@ -67,9 +73,11 @@ pub fn local_sgd_prox(
     assert!(mu >= 0.0 && mu.is_finite(), "mu must be non-negative");
     let mut w = w0.to_vec();
     let mut grad = vec![0.0_f32; model.num_params()];
+    let mut scratch = BatchScratch::new();
+    let mut ws = Workspace::new();
     for _ in 0..steps {
-        let batch = sample_batch(data, batch_size, rng);
-        model.loss_grad(&w, &batch, &mut grad);
+        sample_batch_into(data, batch_size, rng, &mut scratch);
+        model.loss_grad_ws(&w, &scratch.batch, &mut grad, &mut ws);
         if mu > 0.0 {
             for ((g, &wi), &ai) in grad.iter_mut().zip(&w).zip(w0) {
                 *g += mu * (wi - ai);
@@ -89,8 +97,9 @@ pub fn estimate_loss(
     batch_size: usize,
     rng: &mut StreamRng,
 ) -> f64 {
-    let batch = sample_batch(data, batch_size, rng);
-    model.loss(w, &batch)
+    let mut scratch = BatchScratch::new();
+    sample_batch_into(data, batch_size, rng, &mut scratch);
+    model.loss(w, &scratch.batch)
 }
 
 #[cfg(test)]

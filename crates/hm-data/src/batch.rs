@@ -14,13 +14,64 @@ use crate::rng::StreamRng;
 /// # Panics
 /// Panics if `data` is empty or `batch_size == 0`.
 pub fn sample_batch(data: &Dataset, batch_size: usize, rng: &mut StreamRng) -> Dataset {
+    let mut scratch = BatchScratch::new();
+    sample_batch_into(data, batch_size, rng, &mut scratch);
+    scratch.batch
+}
+
+/// Reusable mini-batch storage: the sampled index buffer plus the gathered
+/// batch itself. One `BatchScratch` held across the τ1 local steps makes
+/// batch sampling allocation-free after the first draw.
+#[derive(Debug)]
+pub struct BatchScratch {
+    /// Index buffer refilled on every draw.
+    pub idx: Vec<usize>,
+    /// The gathered mini-batch (rows copied out of the source dataset).
+    pub batch: Dataset,
+}
+
+impl BatchScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self {
+            idx: Vec::new(),
+            batch: Dataset {
+                x: hm_tensor::Matrix::zeros(0, 0),
+                y: Vec::new(),
+                num_classes: 1,
+            },
+        }
+    }
+}
+
+impl Default for BatchScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Draw a mini-batch into `scratch.batch`, reusing its buffers. The RNG draw
+/// order matches [`sample_batch`] exactly, so both produce identical batches
+/// from identical streams.
+///
+/// # Panics
+/// Panics if `data` is empty or `batch_size == 0`.
+pub fn sample_batch_into(
+    data: &Dataset,
+    batch_size: usize,
+    rng: &mut StreamRng,
+    scratch: &mut BatchScratch,
+) {
     assert!(
         !data.is_empty(),
         "cannot sample a batch from an empty dataset"
     );
     assert!(batch_size > 0, "batch_size must be positive");
-    let idx: Vec<usize> = (0..batch_size).map(|_| rng.below(data.len())).collect();
-    data.subset(&idx)
+    scratch.idx.clear();
+    scratch
+        .idx
+        .extend((0..batch_size).map(|_| rng.below(data.len())));
+    data.subset_into(&scratch.idx, &mut scratch.batch);
 }
 
 /// A deterministic epoch-style batcher: shuffles once, then yields
@@ -49,14 +100,15 @@ impl EpochBatcher {
         }
     }
 
-    /// Next batch of indices; reshuffles when the epoch is exhausted.
-    pub fn next_batch(&mut self, rng: &mut StreamRng) -> Vec<usize> {
+    /// Next batch of indices, borrowed from the internal order buffer (valid
+    /// until the next call); reshuffles when the epoch is exhausted.
+    pub fn next_batch(&mut self, rng: &mut StreamRng) -> &[usize] {
         if self.cursor >= self.order.len() {
             rng.shuffle(&mut self.order);
             self.cursor = 0;
         }
         let end = (self.cursor + self.batch_size).min(self.order.len());
-        let batch = self.order[self.cursor..end].to_vec();
+        let batch = &self.order[self.cursor..end];
         self.cursor = end;
         batch
     }
@@ -103,7 +155,7 @@ mod tests {
     fn epoch_batcher_covers_every_index_once_per_epoch() {
         let mut rng = StreamRng::new(1, Purpose::Batch, 0, 0);
         let mut b = EpochBatcher::new(10, 3, &mut rng);
-        let mut seen = Vec::new();
+        let mut seen: Vec<usize> = Vec::new();
         for _ in 0..4 {
             seen.extend(b.next_batch(&mut rng));
         }

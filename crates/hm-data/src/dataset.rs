@@ -54,6 +54,16 @@ impl Dataset {
         }
     }
 
+    /// Gather the given sample indices into `out`, reusing its buffers.
+    /// Allocation-free once `out` has enough capacity, which makes it the
+    /// mini-batch primitive of the training hot path.
+    pub fn subset_into(&self, indices: &[usize], out: &mut Dataset) {
+        self.x.select_rows_into(indices, &mut out.x);
+        out.y.clear();
+        out.y.extend(indices.iter().map(|&i| self.y[i]));
+        out.num_classes = self.num_classes;
+    }
+
     /// Split into `(train, test)` with `test_fraction` of samples held out,
     /// after a deterministic shuffle driven by `rng`.
     ///

@@ -11,10 +11,11 @@
 //! loops (no im2col) with a finite-difference gradcheck in the tests. For
 //! the 16×16 inputs of this repository's experiments the cost is fine.
 
-use crate::losses::{cross_entropy_backward, cross_entropy_from_logits};
+use crate::losses::{cross_entropy_backward_into, cross_entropy_from_logits};
 use crate::model::Model;
+use crate::workspace::Workspace;
 use hm_data::{Dataset, StreamRng};
-use hm_tensor::{ops, Matrix};
+use hm_tensor::{ops, Matrix, MatrixView};
 
 /// Small two-conv-block CNN with a one-hidden-layer MLP head.
 #[derive(Debug, Clone)]
@@ -28,8 +29,8 @@ pub struct SimpleCnn {
 }
 
 /// Spatial sizes at each stage.
-#[derive(Debug, Clone, Copy)]
-struct Dims {
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Dims {
     conv1: usize,
     pool1: usize,
     conv2: usize,
@@ -161,25 +162,26 @@ impl SimpleCnn {
         }
     }
 
-    /// Per-sample forward through the two conv blocks, returning the flat
-    /// feature vector plus the intermediates backward needs.
-    fn conv_stack_forward(&self, x: &[f32]) -> ConvCache {
+    /// Size `cache`'s buffers for this model, reusing existing capacity.
+    /// The forward pass overwrites every element, so stale contents from a
+    /// previous batch (or model) cannot leak through.
+    fn ensure_cache(&self, cache: &mut ConvCache) {
         let d = self.dims();
-        ConvCache {
-            input: x.to_vec(),
-            a1: vec![0.0_f32; self.c1 * d.conv1 * d.conv1],
-            p1: vec![0.0_f32; self.c1 * d.pool1 * d.pool1],
-            m1: vec![0usize; self.c1 * d.pool1 * d.pool1],
-            a2: vec![0.0_f32; self.c2 * d.conv2 * d.conv2],
-            p2: vec![0.0_f32; self.c2 * d.pool2 * d.pool2],
-            m2: vec![0usize; self.c2 * d.pool2 * d.pool2],
-            off: self.offsets(),
-            d,
-            k: self.k,
-        }
+        cache.a1.resize(self.c1 * d.conv1 * d.conv1, 0.0);
+        cache.p1.resize(self.c1 * d.pool1 * d.pool1, 0.0);
+        cache.m1.resize(self.c1 * d.pool1 * d.pool1, 0);
+        cache.a2.resize(self.c2 * d.conv2 * d.conv2, 0.0);
+        cache.p2.resize(self.c2 * d.pool2 * d.pool2, 0.0);
+        cache.m2.resize(self.c2 * d.pool2 * d.pool2, 0);
+        cache.off = self.offsets();
+        cache.d = d;
+        cache.k = self.k;
     }
 
-    fn run_conv_stack(&self, params: &[f32], cache: &mut ConvCache) {
+    /// Forward through the two conv blocks. `input` is one sample's
+    /// `side × side` image, borrowed from the batch — the cache does not
+    /// keep a copy; backward reads the same batch row again.
+    fn run_conv_stack(&self, params: &[f32], input: &[f32], cache: &mut ConvCache) {
         let d = cache.d;
         let off = cache.off;
         // Block 1.
@@ -187,16 +189,7 @@ impl SimpleCnn {
             let wslice = &params[off[0] + c * self.k * self.k..];
             let bias = params[off[1] + c];
             let out = &mut cache.a1[c * d.conv1 * d.conv1..(c + 1) * d.conv1 * d.conv1];
-            Self::conv_forward(
-                &cache.input,
-                self.side,
-                1,
-                wslice,
-                bias,
-                self.k,
-                d.conv1,
-                out,
-            );
+            Self::conv_forward(input, self.side, 1, wslice, bias, self.k, d.conv1, out);
         }
         for v in cache.a1.iter_mut() {
             *v = v.max(0.0);
@@ -224,18 +217,20 @@ impl SimpleCnn {
     }
 }
 
-/// Per-sample intermediates of the conv stack.
-struct ConvCache {
-    input: Vec<f32>,
-    a1: Vec<f32>, // post-ReLU conv1 activations
-    p1: Vec<f32>, // pooled block-1 output
-    m1: Vec<usize>,
-    a2: Vec<f32>,
-    p2: Vec<f32>, // flat features
-    m2: Vec<usize>,
-    off: [usize; 9],
-    d: Dims,
-    k: usize,
+/// Per-sample intermediates of the conv stack. Lives in the
+/// [`Workspace`] so buffers survive across gradient calls; the input image
+/// itself is not cached — it stays borrowed from the batch.
+#[derive(Default)]
+pub(crate) struct ConvCache {
+    pub(crate) a1: Vec<f32>, // post-ReLU conv1 activations
+    pub(crate) p1: Vec<f32>, // pooled block-1 output
+    pub(crate) m1: Vec<usize>,
+    pub(crate) a2: Vec<f32>,
+    pub(crate) p2: Vec<f32>, // flat features
+    pub(crate) m2: Vec<usize>,
+    pub(crate) off: [usize; 9],
+    pub(crate) d: Dims,
+    pub(crate) k: usize,
 }
 
 impl Model for SimpleCnn {
@@ -265,49 +260,78 @@ impl Model for SimpleCnn {
         cross_entropy_from_logits(&logits, &batch.y)
     }
 
-    fn loss_grad(&self, params: &[f32], batch: &Dataset, grad: &mut [f32]) -> f64 {
+    fn loss_grad_ws(
+        &self,
+        params: &[f32],
+        batch: &Dataset,
+        grad: &mut [f32],
+        ws: &mut Workspace,
+    ) -> f64 {
         assert_eq!(grad.len(), self.num_params(), "bad gradient length");
         grad.iter_mut().for_each(|g| *g = 0.0);
         let n = batch.len();
         let d = self.dims();
         let off = self.offsets();
+        let Workspace {
+            logits,
+            delta,
+            delta2,
+            feats,
+            hid,
+            delta_feat,
+            conv,
+            da2,
+            dp1,
+            da1,
+            wt,
+            lanes,
+            ..
+        } = ws;
         // Forward (keeping per-sample caches) then manual backward; batch
         // loops are plain — clarity over speed for this extension model.
-        let mut caches: Vec<ConvCache> = Vec::with_capacity(n);
-        let mut feats = Matrix::zeros(n, d.flat);
-        for i in 0..n {
-            let mut cache = self.conv_stack_forward(batch.x.row(i));
-            self.run_conv_stack(params, &mut cache);
-            feats.row_mut(i).copy_from_slice(&cache.p2);
-            caches.push(cache);
+        while conv.len() < n {
+            conv.push(ConvCache::default());
         }
-        // Head: feats → fc(ReLU) → logits.
-        let fcw = Matrix::from_vec(self.hidden, d.flat, params[off[4]..off[5]].to_vec());
-        let mut hid = ops::matmul_transb(&feats, &fcw);
-        ops::add_row_inplace(&mut hid, &params[off[5]..off[6]]);
-        ops::relu_inplace(&mut hid);
-        let hw = Matrix::from_vec(self.classes, self.hidden, params[off[6]..off[7]].to_vec());
-        let mut logits = ops::matmul_transb(&hid, &hw);
-        ops::add_row_inplace(&mut logits, &params[off[7]..off[8]]);
-        let loss = cross_entropy_from_logits(&logits, &batch.y);
+        feats.resize(n, d.flat);
+        for i in 0..n {
+            let cache = &mut conv[i];
+            self.ensure_cache(cache);
+            self.run_conv_stack(params, batch.x.row(i), cache);
+            feats.row_mut(i).copy_from_slice(&cache.p2);
+        }
+        // Head: feats → fc(ReLU) → logits. Weights are viewed in place from
+        // the flat parameter slice.
+        let fcw = MatrixView::new(self.hidden, d.flat, &params[off[4]..off[5]]);
+        // Shape-dispatched forward (bit-identical to `matmul_transb_into`):
+        // post-pooling features are sparse, and the wide fc layer goes
+        // through the pre-transposed kernel whose streaming loop skips the
+        // zeros.
+        ops::matmul_transb_fwd_into(feats.view(), fcw, wt, lanes, hid);
+        ops::add_row_inplace(hid, &params[off[5]..off[6]]);
+        ops::relu_inplace(hid);
+        let hw = MatrixView::new(self.classes, self.hidden, &params[off[6]..off[7]]);
+        ops::matmul_transb_fwd_into(hid.view(), hw, wt, lanes, logits);
+        ops::add_row_inplace(logits, &params[off[7]..off[8]]);
+        let loss = cross_entropy_from_logits(logits, &batch.y);
 
-        // Backward through the head.
-        let delta_out = cross_entropy_backward(&logits, &batch.y); // n × classes
-        let ghw = ops::matmul_transa(&delta_out, &hid);
-        grad[off[6]..off[7]].copy_from_slice(ghw.as_slice());
-        grad[off[7]..off[8]].copy_from_slice(&ops::col_sums(&delta_out));
-        let mut delta_hid = ops::matmul(&delta_out, &hw); // n × hidden
-        ops::relu_backward_inplace(&mut delta_hid, &hid);
-        let gfcw = ops::matmul_transa(&delta_hid, &feats);
-        grad[off[4]..off[5]].copy_from_slice(gfcw.as_slice());
-        grad[off[5]..off[6]].copy_from_slice(&ops::col_sums(&delta_hid));
-        let delta_feat = ops::matmul(&delta_hid, &fcw); // n × flat
+        // Backward through the head (`delta` = ∂L/∂logits, `delta2` =
+        // ∂L/∂hidden), staging parameter gradients straight into `grad`.
+        cross_entropy_backward_into(logits, &batch.y, delta); // n × classes
+        ops::matmul_transa_slice(delta.view(), hid.view(), &mut grad[off[6]..off[7]]);
+        ops::col_sums_into(delta.view(), &mut grad[off[7]..off[8]]);
+        ops::matmul_into(delta.view(), hw, delta2); // n × hidden
+        ops::relu_backward_inplace(delta2, hid);
+        ops::matmul_transa_slice(delta2.view(), feats.view(), &mut grad[off[4]..off[5]]);
+        ops::col_sums_into(delta2.view(), &mut grad[off[5]..off[6]]);
+        ops::matmul_into(delta2.view(), fcw, delta_feat); // n × flat
 
         // Backward through the conv stack, per sample.
-        for (i, cache) in caches.iter().enumerate() {
+        for (i, cache) in conv[..n].iter().enumerate() {
+            let input = batch.x.row(i);
             let dfeat = delta_feat.row(i);
             // Unpool 2 (route gradient to argmax positions of conv2 act).
-            let mut da2 = vec![0.0_f32; self.c2 * d.conv2 * d.conv2];
+            da2.resize(self.c2 * d.conv2 * d.conv2, 0.0);
+            da2.iter_mut().for_each(|v| *v = 0.0);
             for (o, &src) in cache.m2.iter().enumerate() {
                 da2[src] += dfeat[o];
             }
@@ -318,7 +342,8 @@ impl Model for SimpleCnn {
                 }
             }
             // Conv2 gradients + gradient to p1.
-            let mut dp1 = vec![0.0_f32; self.c1 * d.pool1 * d.pool1];
+            dp1.resize(self.c1 * d.pool1 * d.pool1, 0.0);
+            dp1.iter_mut().for_each(|v| *v = 0.0);
             for c2i in 0..self.c2 {
                 let dout = &da2[c2i * d.conv2 * d.conv2..(c2i + 1) * d.conv2 * d.conv2];
                 let wbase = off[2] + c2i * self.c1 * cache.k * cache.k;
@@ -346,7 +371,8 @@ impl Model for SimpleCnn {
                 }
             }
             // Unpool 1 + ReLU 1 mask.
-            let mut da1 = vec![0.0_f32; self.c1 * d.conv1 * d.conv1];
+            da1.resize(self.c1 * d.conv1 * d.conv1, 0.0);
+            da1.iter_mut().for_each(|v| *v = 0.0);
             for (o, &src) in cache.m1.iter().enumerate() {
                 da1[src] += dp1[o];
             }
@@ -369,7 +395,7 @@ impl Model for SimpleCnn {
                         for ky in 0..cache.k {
                             for kx in 0..cache.k {
                                 let ii = (oy + ky) * self.side + ox + kx;
-                                grad[wbase + ky * cache.k + kx] += g * cache.input[ii];
+                                grad[wbase + ky * cache.k + kx] += g * input[ii];
                             }
                         }
                     }
@@ -386,25 +412,28 @@ impl Model for SimpleCnn {
 }
 
 impl SimpleCnn {
-    /// Batched forward to logits (no caches).
+    /// Batched forward to logits (one conv cache reused across samples).
     fn forward_batch(&self, params: &[f32], x: &Matrix) -> Matrix {
         assert_eq!(params.len(), self.num_params(), "bad parameter length");
         assert_eq!(x.cols(), self.side * self.side, "input dim mismatch");
         let d = self.dims();
         let off = self.offsets();
         let n = x.rows();
+        let mut cache = ConvCache::default();
+        self.ensure_cache(&mut cache);
         let mut feats = Matrix::zeros(n, d.flat);
         for i in 0..n {
-            let mut cache = self.conv_stack_forward(x.row(i));
-            self.run_conv_stack(params, &mut cache);
+            self.run_conv_stack(params, x.row(i), &mut cache);
             feats.row_mut(i).copy_from_slice(&cache.p2);
         }
-        let fcw = Matrix::from_vec(self.hidden, d.flat, params[off[4]..off[5]].to_vec());
-        let mut hid = ops::matmul_transb(&feats, &fcw);
+        let fcw = MatrixView::new(self.hidden, d.flat, &params[off[4]..off[5]]);
+        let mut hid = Matrix::zeros(0, 0);
+        ops::matmul_transb_into(feats.view(), fcw, &mut hid);
         ops::add_row_inplace(&mut hid, &params[off[5]..off[6]]);
         ops::relu_inplace(&mut hid);
-        let hw = Matrix::from_vec(self.classes, self.hidden, params[off[6]..off[7]].to_vec());
-        let mut logits = ops::matmul_transb(&hid, &hw);
+        let hw = MatrixView::new(self.classes, self.hidden, &params[off[6]..off[7]]);
+        let mut logits = Matrix::zeros(0, 0);
+        ops::matmul_transb_into(hid.view(), hw, &mut logits);
         ops::add_row_inplace(&mut logits, &params[off[7]..off[8]]);
         logits
     }

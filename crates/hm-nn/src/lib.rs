@@ -23,8 +23,10 @@ pub mod logistic;
 pub mod losses;
 pub mod mlp;
 pub mod model;
+pub mod workspace;
 
 pub use cnn::SimpleCnn;
 pub use logistic::MulticlassLogistic;
 pub use mlp::Mlp;
 pub use model::Model;
+pub use workspace::Workspace;

@@ -7,10 +7,11 @@
 //! The loss `CE(softmax(Wx + b), y)` is convex in `(W, b)`, which is what
 //! Theorem 1's duality-gap analysis requires.
 
-use crate::losses::{cross_entropy_backward, cross_entropy_from_logits};
+use crate::losses::{cross_entropy_backward_into, cross_entropy_from_logits};
 use crate::model::Model;
+use crate::workspace::Workspace;
 use hm_data::{Dataset, StreamRng};
-use hm_tensor::{ops, Matrix};
+use hm_tensor::{ops, Matrix, MatrixView};
 
 /// Multinomial (softmax) logistic regression.
 #[derive(Debug, Clone)]
@@ -45,14 +46,21 @@ impl MulticlassLogistic {
         params.split_at(self.classes * self.dim)
     }
 
-    /// Logits `X·Wᵀ + b` for a batch.
-    fn logits(&self, params: &[f32], x: &Matrix) -> Matrix {
+    /// Logits `X·Wᵀ + b` for a batch, written into `out`. The weight matrix
+    /// is viewed in place from the flat parameter slice — no copy.
+    fn logits_into(&self, params: &[f32], x: &Matrix, out: &mut Matrix) {
         assert_eq!(x.cols(), self.dim, "input dim mismatch");
         let (w_flat, b) = self.unpack(params);
-        let w = Matrix::from_vec(self.classes, self.dim, w_flat.to_vec());
-        let mut logits = ops::matmul_transb(x, &w);
-        ops::add_row_inplace(&mut logits, b);
-        logits
+        let w = MatrixView::new(self.classes, self.dim, w_flat);
+        ops::matmul_transb_into(x.view(), w, out);
+        ops::add_row_inplace(out, b);
+    }
+
+    /// Logits `X·Wᵀ + b` for a batch.
+    fn logits(&self, params: &[f32], x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.logits_into(params, x, &mut out);
+        out
     }
 }
 
@@ -72,17 +80,27 @@ impl Model for MulticlassLogistic {
         cross_entropy_from_logits(&logits, &batch.y)
     }
 
-    fn loss_grad(&self, params: &[f32], batch: &Dataset, grad: &mut [f32]) -> f64 {
+    fn loss_grad_ws(
+        &self,
+        params: &[f32],
+        batch: &Dataset,
+        grad: &mut [f32],
+        ws: &mut Workspace,
+    ) -> f64 {
         assert_eq!(grad.len(), self.num_params(), "bad gradient length");
-        let logits = self.logits(params, &batch.x);
-        let loss = cross_entropy_from_logits(&logits, &batch.y);
+        assert_eq!(batch.x.cols(), self.dim, "input dim mismatch");
+        // Same logits as `logits_into`, but through the shape-dispatched
+        // forward kernel (bit-identical, see `ops::matmul_transb_fwd_into`).
+        let (w_flat, b) = self.unpack(params);
+        let w = MatrixView::new(self.classes, self.dim, w_flat);
+        ops::matmul_transb_fwd_into(batch.x.view(), w, &mut ws.wt, &mut ws.lanes, &mut ws.logits);
+        ops::add_row_inplace(&mut ws.logits, b);
+        let loss = cross_entropy_from_logits(&ws.logits, &batch.y);
         // Δ = (softmax − onehot)/n;  gW = Δᵀ X;  gb = column sums of Δ.
-        let delta = cross_entropy_backward(&logits, &batch.y);
-        let gw = ops::matmul_transa(&delta, &batch.x); // classes × dim
-        let gb = ops::col_sums(&delta); // classes
+        cross_entropy_backward_into(&ws.logits, &batch.y, &mut ws.delta);
         let (gw_dst, gb_dst) = grad.split_at_mut(self.classes * self.dim);
-        gw_dst.copy_from_slice(gw.as_slice());
-        gb_dst.copy_from_slice(&gb);
+        ops::matmul_transa_slice(ws.delta.view(), batch.x.view(), gw_dst); // classes × dim
+        ops::col_sums_into(ws.delta.view(), gb_dst); // classes
         loss
     }
 

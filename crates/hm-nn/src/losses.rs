@@ -22,15 +22,26 @@ pub fn cross_entropy_from_logits(logits: &Matrix, labels: &[usize]) -> f64 {
 /// Gradient of the mean cross-entropy with respect to the logits:
 /// `(softmax(logits) − onehot(labels)) / n`, returned as a new matrix.
 pub fn cross_entropy_backward(logits: &Matrix, labels: &[usize]) -> Matrix {
+    let mut delta = Matrix::zeros(0, 0);
+    cross_entropy_backward_into(logits, labels, &mut delta);
+    delta
+}
+
+/// [`cross_entropy_backward`] written into `delta` (resized, capacity
+/// reused): copy the logits, softmax in place, subtract the one-hot labels,
+/// scale by `1/n` — the exact operation sequence of the allocating version,
+/// so results are bit-identical.
+pub fn cross_entropy_backward_into(logits: &Matrix, labels: &[usize], delta: &mut Matrix) {
     assert_eq!(logits.rows(), labels.len(), "logits/label count mismatch");
     let n = labels.len().max(1) as f32;
-    let mut delta = ops::softmax_rows(logits);
+    delta.resize(logits.rows(), logits.cols());
+    delta.as_mut_slice().copy_from_slice(logits.as_slice());
+    ops::softmax_rows_inplace(delta);
     for (i, &y) in labels.iter().enumerate() {
         delta[(i, y)] -= 1.0;
     }
     let inv = 1.0 / n;
     delta.map_inplace(|x| x * inv);
-    delta
 }
 
 #[cfg(test)]

@@ -8,16 +8,20 @@
 //! Parameters are packed flat, layer by layer: `[W1 (h1×in), b1 (h1),
 //! W2 (h2×h1), b2 (h2), ..., Wk (out×h_{k-1}), bk (out)]`.
 
-use crate::losses::{cross_entropy_backward, cross_entropy_from_logits};
+use crate::losses::{cross_entropy_backward_into, cross_entropy_from_logits};
 use crate::model::Model;
+use crate::workspace::Workspace;
 use hm_data::{Dataset, StreamRng};
-use hm_tensor::{ops, Matrix};
+use hm_tensor::{ops, Matrix, MatrixView};
 
 /// Multi-layer perceptron with ReLU activations and a linear head.
 #[derive(Debug, Clone)]
 pub struct Mlp {
     /// Layer widths including input and output: `[in, h1, ..., out]`.
     widths: Vec<usize>,
+    /// Per-layer `(w_offset, w_len, b_offset, b_len)` blocks in the flat
+    /// parameter vector, precomputed so the hot path never allocates.
+    layout: Vec<(usize, usize, usize, usize)>,
 }
 
 impl Mlp {
@@ -31,7 +35,15 @@ impl Mlp {
         widths.extend_from_slice(hidden);
         widths.push(classes);
         assert!(widths.iter().all(|&w| w > 0), "zero layer width");
-        Self { widths }
+        let mut layout = Vec::with_capacity(widths.len() - 1);
+        let mut off = 0;
+        for l in 0..widths.len() - 1 {
+            let (fan_in, fan_out) = (widths[l], widths[l + 1]);
+            let w_len = fan_out * fan_in;
+            layout.push((off, w_len, off + w_len, fan_out));
+            off += w_len + fan_out;
+        }
+        Self { widths, layout }
     }
 
     /// The paper's architecture: hidden layers of 300 and 100 neurons.
@@ -50,45 +62,49 @@ impl Mlp {
     }
 
     /// Offsets of each layer's `(W, b)` blocks in the flat vector.
-    fn layout(&self) -> Vec<(usize, usize, usize, usize)> {
-        // (w_offset, w_len, b_offset, b_len) per layer.
-        let mut out = Vec::with_capacity(self.num_layers());
-        let mut off = 0;
-        for l in 0..self.num_layers() {
-            let (fan_in, fan_out) = (self.widths[l], self.widths[l + 1]);
-            let w_len = fan_out * fan_in;
-            out.push((off, w_len, off + w_len, fan_out));
-            off += w_len + fan_out;
-        }
-        out
+    fn layout(&self) -> &[(usize, usize, usize, usize)] {
+        &self.layout
     }
 
-    /// Forward pass; returns the logits and (optionally) the per-layer
-    /// post-activation outputs needed by backprop (`acts[0]` is the input).
-    fn forward(&self, params: &[f32], x: &Matrix, keep: bool) -> (Matrix, Vec<Matrix>) {
+    /// Forward pass into the workspace: hidden post-activations land in
+    /// `ws.acts[0..L-1]` (layer `l`'s output at index `l`), logits in
+    /// `ws.logits`. The input itself is **not** copied — backward reads it
+    /// from the caller's batch. Weight matrices are viewed in place from the
+    /// flat parameter slice.
+    fn forward_ws(&self, params: &[f32], x: &Matrix, ws: &mut Workspace) {
         assert_eq!(params.len(), self.num_params(), "bad parameter length");
         assert_eq!(x.cols(), self.widths[0], "input dim mismatch");
         let layout = self.layout();
-        let mut acts: Vec<Matrix> = Vec::new();
-        if keep {
-            acts.push(x.clone());
-        }
-        let mut cur = x.clone();
+        let num_layers = self.num_layers();
+        ws.ensure_acts(num_layers - 1);
+        let Workspace {
+            acts,
+            logits,
+            wt,
+            lanes,
+            ..
+        } = ws;
         for (l, &(wo, wl, bo, bl)) in layout.iter().enumerate() {
             let (fan_in, fan_out) = (self.widths[l], self.widths[l + 1]);
-            let w = Matrix::from_vec(fan_out, fan_in, params[wo..wo + wl].to_vec());
-            let mut z = ops::matmul_transb(&cur, &w);
-            ops::add_row_inplace(&mut z, &params[bo..bo + bl]);
-            let last = l + 1 == self.num_layers();
-            if !last {
-                ops::relu_inplace(&mut z);
-                if keep {
-                    acts.push(z.clone());
-                }
+            let w = MatrixView::new(fan_out, fan_in, &params[wo..wo + wl]);
+            // Shape-dispatched forward (bit-identical to
+            // `matmul_transb_into`): wide layers go through the
+            // pre-transposed kernel, whose streaming inner loop skips
+            // exactly-zero inputs (clamped pixels, ReLU'd hidden units) —
+            // that dominates the step cost at training batch sizes.
+            if l + 1 == num_layers {
+                let input = if l == 0 { x.view() } else { acts[l - 1].view() };
+                ops::matmul_transb_fwd_into(input, w, wt, lanes, logits);
+                ops::add_row_inplace(logits, &params[bo..bo + bl]);
+            } else {
+                let (prev, rest) = acts.split_at_mut(l);
+                let z = &mut rest[0];
+                let input = if l == 0 { x.view() } else { prev[l - 1].view() };
+                ops::matmul_transb_fwd_into(input, w, wt, lanes, z);
+                ops::add_row_inplace(z, &params[bo..bo + bl]);
+                ops::relu_inplace(z);
             }
-            cur = z;
         }
-        (cur, acts)
     }
 }
 
@@ -100,7 +116,7 @@ impl Model for Mlp {
     fn init_params(&self, rng: &mut StreamRng) -> Vec<f32> {
         // He (Kaiming) initialisation for ReLU layers; zero biases.
         let mut params = vec![0.0_f32; self.num_params()];
-        for (l, (wo, wl, _, _)) in self.layout().into_iter().enumerate() {
+        for (l, &(wo, wl, _, _)) in self.layout().iter().enumerate() {
             let fan_in = self.widths[l] as f64;
             let std = (2.0 / fan_in).sqrt();
             for p in &mut params[wo..wo + wl] {
@@ -111,39 +127,58 @@ impl Model for Mlp {
     }
 
     fn loss(&self, params: &[f32], batch: &Dataset) -> f64 {
-        let (logits, _) = self.forward(params, &batch.x, false);
-        cross_entropy_from_logits(&logits, &batch.y)
+        let mut ws = Workspace::new();
+        self.forward_ws(params, &batch.x, &mut ws);
+        cross_entropy_from_logits(&ws.logits, &batch.y)
     }
 
-    fn loss_grad(&self, params: &[f32], batch: &Dataset, grad: &mut [f32]) -> f64 {
+    fn loss_grad_ws(
+        &self,
+        params: &[f32],
+        batch: &Dataset,
+        grad: &mut [f32],
+        ws: &mut Workspace,
+    ) -> f64 {
         assert_eq!(grad.len(), self.num_params(), "bad gradient length");
-        let (logits, acts) = self.forward(params, &batch.x, true);
-        let loss = cross_entropy_from_logits(&logits, &batch.y);
+        self.forward_ws(params, &batch.x, ws);
+        let loss = cross_entropy_from_logits(&ws.logits, &batch.y);
         let layout = self.layout();
-        // Backward through the linear head and the ReLU stack.
-        let mut delta = cross_entropy_backward(&logits, &batch.y); // n × out
+        // Backward through the linear head and the ReLU stack; `delta` and
+        // `delta2` ping-pong so no layer allocates.
+        cross_entropy_backward_into(&ws.logits, &batch.y, &mut ws.delta); // n × out
+        let Workspace {
+            acts,
+            delta,
+            delta2,
+            ..
+        } = ws;
         for l in (0..self.num_layers()).rev() {
             let (wo, wl, bo, bl) = layout[l];
             let (fan_in, fan_out) = (self.widths[l], self.widths[l + 1]);
-            let input = &acts[l]; // n × fan_in (post-activation of prev layer)
-                                  // Parameter gradients.
-            let gw = ops::matmul_transa(&delta, input); // Δᵀ·input: fan_out × fan_in
-            grad[wo..wo + wl].copy_from_slice(gw.as_slice());
-            grad[bo..bo + bl].copy_from_slice(&ops::col_sums(&delta));
+            // n × fan_in input (post-activation of the previous layer).
+            let input = if l == 0 {
+                batch.x.view()
+            } else {
+                acts[l - 1].view()
+            };
+            // Parameter gradients, staged straight into the flat vector.
+            ops::matmul_transa_slice(delta.view(), input, &mut grad[wo..wo + wl]); // Δᵀ·input
+            ops::col_sums_into(delta.view(), &mut grad[bo..bo + bl]);
             // Propagate to the previous layer (skip for the input layer).
             if l > 0 {
-                let w = Matrix::from_vec(fan_out, fan_in, params[wo..wo + wl].to_vec());
-                let mut prev = ops::matmul(&delta, &w); // n × fan_in
-                ops::relu_backward_inplace(&mut prev, &acts[l]);
-                delta = prev;
+                let w = MatrixView::new(fan_out, fan_in, &params[wo..wo + wl]);
+                ops::matmul_into(delta.view(), w, delta2); // n × fan_in
+                ops::relu_backward_inplace(delta2, &acts[l - 1]);
+                std::mem::swap(delta, delta2);
             }
         }
         loss
     }
 
     fn predict(&self, params: &[f32], x: &Matrix) -> Vec<usize> {
-        let (logits, _) = self.forward(params, x, false);
-        ops::argmax_rows(&logits)
+        let mut ws = Workspace::new();
+        self.forward_ws(params, x, &mut ws);
+        ops::argmax_rows(&ws.logits)
     }
 }
 

@@ -1,5 +1,6 @@
 //! The [`Model`] trait: a loss/gradient oracle over flat parameter vectors.
 
+use crate::workspace::Workspace;
 use hm_data::{Dataset, StreamRng};
 use hm_tensor::Matrix;
 
@@ -8,6 +9,12 @@ use hm_tensor::Matrix;
 /// Implementations must be pure functions of `(params, batch)`: calling
 /// `loss_grad` twice with the same inputs returns identical results. This is
 /// what lets the simulator replay clients deterministically and in parallel.
+///
+/// `loss_grad` and `loss_grad_ws` default to each other, so implementors
+/// override exactly one: `loss_grad_ws` when the model stages intermediates
+/// in the [`Workspace`] (the in-tree models do), `loss_grad` otherwise.
+/// The two must return bit-identical results — `loss_grad_ws` is the same
+/// computation minus the allocations, not an approximation.
 pub trait Model: Send + Sync {
     /// Total number of scalar parameters `d` (the dimension of `W`).
     fn num_params(&self) -> usize;
@@ -20,7 +27,28 @@ pub trait Model: Send + Sync {
 
     /// Mean loss and its gradient. `grad` is overwritten (not accumulated)
     /// and must have length [`Model::num_params`].
-    fn loss_grad(&self, params: &[f32], batch: &Dataset, grad: &mut [f32]) -> f64;
+    ///
+    /// Thin convenience wrapper: allocates a fresh [`Workspace`] per call.
+    /// Hot loops should hold a workspace and call
+    /// [`loss_grad_ws`](Self::loss_grad_ws) instead.
+    fn loss_grad(&self, params: &[f32], batch: &Dataset, grad: &mut [f32]) -> f64 {
+        let mut ws = Workspace::new();
+        self.loss_grad_ws(params, batch, grad, &mut ws)
+    }
+
+    /// [`loss_grad`](Self::loss_grad) with caller-owned scratch: all
+    /// intermediates live in `ws`, so a reused workspace makes repeated
+    /// calls allocation-free. Results are bit-identical to `loss_grad`.
+    fn loss_grad_ws(
+        &self,
+        params: &[f32],
+        batch: &Dataset,
+        grad: &mut [f32],
+        ws: &mut Workspace,
+    ) -> f64 {
+        let _ = ws;
+        self.loss_grad(params, batch, grad)
+    }
 
     /// Predicted class per row of `x`.
     fn predict(&self, params: &[f32], x: &Matrix) -> Vec<usize>;
@@ -49,6 +77,15 @@ impl<M: Model + ?Sized> Model for &M {
     }
     fn loss_grad(&self, params: &[f32], batch: &Dataset, grad: &mut [f32]) -> f64 {
         (**self).loss_grad(params, batch, grad)
+    }
+    fn loss_grad_ws(
+        &self,
+        params: &[f32],
+        batch: &Dataset,
+        grad: &mut [f32],
+        ws: &mut Workspace,
+    ) -> f64 {
+        (**self).loss_grad_ws(params, batch, grad, ws)
     }
     fn predict(&self, params: &[f32], x: &Matrix) -> Vec<usize> {
         (**self).predict(params, x)

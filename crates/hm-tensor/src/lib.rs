@@ -18,5 +18,7 @@
 pub mod matrix;
 pub mod ops;
 pub mod vecops;
+pub mod view;
 
 pub use matrix::Matrix;
+pub use view::MatrixView;

@@ -18,7 +18,7 @@ use std::ops::{Index, IndexMut};
 /// let y = ops::matmul(&x, &w);
 /// assert_eq!(y.row(1), &[4.0, 5.0, 6.0]);
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(Clone, Default, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -106,6 +106,22 @@ impl Matrix {
         self.data.is_empty()
     }
 
+    /// Borrowed [`MatrixView`](crate::MatrixView) of this matrix.
+    #[inline]
+    pub fn view(&self) -> crate::MatrixView<'_> {
+        crate::MatrixView::new(self.rows, self.cols, &self.data)
+    }
+
+    /// Reshape to `rows × cols`, reusing the existing allocation when the
+    /// capacity suffices. Element values after the call are unspecified
+    /// (old contents are retained where the buffers overlap); callers that
+    /// accumulate must [`fill`](Self::fill) with zero first.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Immutable view of the backing row-major buffer.
     #[inline]
     pub fn as_slice(&self) -> &[f32] {
@@ -178,10 +194,18 @@ impl Matrix {
     /// Duplicate indices are allowed (useful for bootstrap mini-batches).
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);
+        self.select_rows_into(indices, &mut out);
+        out
+    }
+
+    /// Gather the selected rows into `out`, resizing it (capacity reused)
+    /// to `indices.len() × self.cols`. Allocation-free once `out` has
+    /// enough capacity.
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.resize(indices.len(), self.cols);
         for (i, &r) in indices.iter().enumerate() {
             out.row_mut(i).copy_from_slice(self.row(r));
         }
-        out
     }
 
     /// Fill every element with `value`.

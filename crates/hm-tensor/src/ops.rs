@@ -6,7 +6,7 @@
 //! fork-join overhead. Per-element accumulation order inside each output
 //! element is fixed, so results are identical regardless of thread count.
 
-use crate::Matrix;
+use crate::{Matrix, MatrixView};
 use rayon::prelude::*;
 
 /// Minimum number of scalar multiply-adds before a product goes parallel.
@@ -33,6 +33,18 @@ fn go_parallel(total_work: usize, rows: usize) -> bool {
 /// # Panics
 /// Panics on inner-dimension mismatch.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    matmul_into(a.view(), b.view(), &mut out);
+    out
+}
+
+/// `C = A · B` written into `out` (resized, capacity reused). The borrowed
+/// operands let callers multiply straight out of flat parameter buffers;
+/// accumulation order matches [`matmul`] exactly.
+///
+/// # Panics
+/// Panics on inner-dimension mismatch.
+pub fn matmul_into(a: MatrixView, b: MatrixView, out: &mut Matrix) {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -44,7 +56,8 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     );
     let (m, k) = a.shape();
     let n = b.cols();
-    let mut out = Matrix::zeros(m, n);
+    out.resize(m, n);
+    out.fill(0.0);
     let work = m * k * n;
     let body = |(r, out_row): (usize, &mut [f32])| {
         let a_row = a.row(r);
@@ -64,17 +77,61 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
             .par_chunks_mut(n)
             .enumerate()
             .for_each(body);
+    } else if (PRET_MIN_COLS..=NZ_BUF).contains(&k) {
+        // Sequential wide-shape path: compact each row's nonzero positions
+        // branchlessly, then replay them unconditionally — same additions in
+        // the same ascending-i order as the branchy loop (bit-identical),
+        // but without a data-dependent branch per element. See
+        // `matmul_transb_pret_into` for why that matters on training deltas.
+        // Narrow inner dimensions keep the branchy skip: those operands
+        // (logits-layer deltas) are dense, so the branch predicts perfectly
+        // and the scan would be pure overhead.
+        let a_flat = a.as_slice();
+        let b_flat = b.as_slice();
+        let out_flat = out.as_mut_slice();
+        let mut nz = [0u32; NZ_BUF];
+        for r in 0..m {
+            let a_row = &a_flat[r * k..(r + 1) * k];
+            let out_row = &mut out_flat[r * n..(r + 1) * n];
+            let mut cnt = 0usize;
+            for (i, &aik) in a_row.iter().enumerate() {
+                nz[cnt] = i as u32;
+                cnt += (aik != 0.0) as usize;
+            }
+            for &i in &nz[..cnt] {
+                let i = i as usize;
+                let aik = a_row[i];
+                for (o, &bij) in out_row.iter_mut().zip(&b_flat[i * n..(i + 1) * n]) {
+                    *o += aik * bij;
+                }
+            }
+        }
     } else {
         out.as_mut_slice().chunks_mut(n).enumerate().for_each(body);
     }
-    out
 }
+
+/// Capacity of the stack-allocated nonzero-index buffers used by the
+/// branchless sparsity scans; shapes past it fall back to branchy skips.
+const NZ_BUF: usize = 1024;
 
 /// `C = A · Bᵀ` for `A (m×k)` and `B (n×k)`.
 ///
 /// This is the hot kernel in a forward pass (`X · Wᵀ` with row-major weight
 /// matrices); both operands are traversed row-contiguously.
 pub fn matmul_transb(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    matmul_transb_into(a.view(), b.view(), &mut out);
+    out
+}
+
+/// `C = A · Bᵀ` written into `out` (resized, capacity reused). Every output
+/// element is assigned, so no zeroing pass is needed; accumulation order
+/// matches [`matmul_transb`] exactly.
+///
+/// # Panics
+/// Panics on inner-dimension mismatch.
+pub fn matmul_transb_into(a: MatrixView, b: MatrixView, out: &mut Matrix) {
     assert_eq!(
         a.cols(),
         b.cols(),
@@ -86,10 +143,15 @@ pub fn matmul_transb(a: &Matrix, b: &Matrix) -> Matrix {
     );
     let (m, k) = a.shape();
     let n = b.rows();
-    let mut out = Matrix::zeros(m, n);
+    out.resize(m, n);
     let work = m * k * n;
     let body = |(r, out_row): (usize, &mut [f32])| {
         let a_row = a.row(r);
+        // One `dot_f32` per output element. Manually blocked variants (2 and
+        // 4 columns per pass, j-tiling for B-row reuse) all measured equal
+        // or slower here: the out-of-order window already overlaps adjacent
+        // column chains, and LLVM's SLP pass turns multi-accumulator blocks
+        // into shuffle-heavy code.
         for (j, o) in out_row.iter_mut().enumerate() {
             *o = dot_f32(a_row, b.row(j));
         }
@@ -102,13 +164,231 @@ pub fn matmul_transb(a: &Matrix, b: &Matrix) -> Matrix {
     } else {
         out.as_mut_slice().chunks_mut(n).enumerate().for_each(body);
     }
-    out
+}
+
+/// `dst = srcᵀ`, written into `dst` (resized, capacity reused).
+///
+/// Pure data movement, blocked eight source rows at a time: each pass
+/// streams eight rows in parallel and writes contiguous 8-element runs of
+/// the destination, so the store side vectorises and every destination
+/// cache line is touched once per pass. Leftover rows (< 8) fall back to a
+/// scalar strided copy.
+pub fn transpose_into(src: MatrixView, dst: &mut Matrix) {
+    let (r, c) = src.shape();
+    dst.resize(c, r);
+    let s = src.as_slice();
+    let d = dst.as_mut_slice();
+    let mut i0 = 0;
+    while i0 + 8 <= r {
+        let rows: [&[f32]; 8] = core::array::from_fn(|q| &s[(i0 + q) * c..(i0 + q + 1) * c]);
+        for j in 0..c {
+            let run = &mut d[j * r + i0..j * r + i0 + 8];
+            for (q, o) in run.iter_mut().enumerate() {
+                *o = rows[q][j];
+            }
+        }
+        i0 += 8;
+    }
+    for i in i0..r {
+        let row = &s[i * c..(i + 1) * c];
+        let mut idx = i;
+        for &v in row {
+            d[idx] = v;
+            idx += r;
+        }
+    }
+}
+
+/// One zero-skipping rank-1 row update: `lane += aik * b_row`.
+#[inline]
+fn lane_update(lane: &mut [f32], aik: f32, b_row: &[f32]) {
+    if aik == 0.0 {
+        return;
+    }
+    for (o, &bij) in lane.iter_mut().zip(b_row) {
+        *o += aik * bij;
+    }
+}
+
+/// `C = A · Bᵀ` given the **pre-transposed** operand `bt = Bᵀ` (`k × n`),
+/// bit-identical to [`matmul_transb_into`].
+///
+/// Instead of one serial dot chain per output element, this form streams the
+/// rows of `bt` and accumulates four k-interleaved partial output rows in
+/// `lanes`: lane `l` takes the products with `k ≡ l (mod 4)` — exactly the
+/// accumulator lanes of the dot kernel — then the lanes are combined as
+/// `(l0 + l1) + (l2 + l3)` and the scalar-tail products added in index
+/// order. Every output element therefore sees precisely the same additions
+/// in the same order as `matmul_transb_into`, so results are bit-identical
+/// (asserted by `pret_bit_identical_to_transb`), but the inner loop is a
+/// contiguous multiply-add that vectorises well, and rows of `bt` whose `A`
+/// coefficient is exactly `0.0` are skipped outright. The skip cannot
+/// change results: it removes `±0.0` addends, and a partial that starts at
+/// `+0.0` can never reach `-0.0` (the only value `±0.0` addends perturb) —
+/// the same finite-input argument as the sparsity fast path in
+/// [`matmul_into`]. Sparse inputs — clamped image pixels, post-ReLU
+/// activations — make this kernel proportionally faster.
+///
+/// Runs sequentially by design: it targets small-batch training forwards,
+/// where the row count is a mini-batch and rayon's dispatch overhead rivals
+/// the arithmetic; `lanes` is caller-provided scratch (resized to `4 × n`)
+/// so steady-state calls allocate nothing.
+///
+/// The zero test itself is done as a **branchless index scan**: for each
+/// lane the nonzero `k` positions are first compacted into a small stack
+/// buffer (`count += (x != 0) as usize` — no data-dependent branch), then
+/// replayed unconditionally. Training batches are resampled every step, so
+/// the sparsity pattern the branch predictor sees is fresh noise each call;
+/// a per-element skip branch mispredicts tens of microseconds per gradient
+/// step, which the scan form avoids. Within a lane the compacted indices
+/// stay ascending, and lanes are independent accumulators, so draining them
+/// one lane at a time is still bit-identical.
+///
+/// # Panics
+/// Panics on inner-dimension mismatch.
+pub fn matmul_transb_pret_into(
+    a: MatrixView,
+    bt: MatrixView,
+    lanes: &mut Matrix,
+    out: &mut Matrix,
+) {
+    assert_eq!(
+        a.cols(),
+        bt.rows(),
+        "matmul_transb_pret: inner dims {}x{} vs ({}x{})ᵀ",
+        a.rows(),
+        a.cols(),
+        bt.rows(),
+        bt.cols()
+    );
+    let (m, k) = a.shape();
+    let n = bt.cols();
+    out.resize(m, n);
+    lanes.resize(4, n);
+    let chunks = k / 4;
+    // Flat slices throughout: the inner loop runs once per (row, k) pair,
+    // so even a few nanoseconds of per-k accessor overhead is measurable.
+    let a_flat = a.as_slice();
+    let bt_flat = bt.as_slice();
+    let out_flat = out.as_mut_slice();
+    let lanes_flat = lanes.as_mut_slice();
+    // Nonzero-index buffer for the branchless scan (one lane's worth of a
+    // row). Stack-allocated so the kernel stays allocation-free; fan-ins
+    // beyond 4·NZ_BUF fall back to the branchy per-chunk walk.
+    const NZ_BUF: usize = 1024;
+    let mut nz = [0u32; NZ_BUF];
+    for r in 0..m {
+        let a_row = &a_flat[r * k..(r + 1) * k];
+        lanes_flat.iter_mut().for_each(|v| *v = 0.0);
+        {
+            // Lane `l` accumulates the `k ≡ l (mod 4)` products in
+            // increasing-k order; the lanes are independent partials, so
+            // draining them one at a time reorders nothing within a lane.
+            let (l0, rest) = lanes_flat.split_at_mut(n);
+            let (l1, rest) = rest.split_at_mut(n);
+            let (l2, l3) = rest.split_at_mut(n);
+            if chunks <= NZ_BUF {
+                for (q, lane) in [l0, l1, l2, l3].into_iter().enumerate() {
+                    let mut cnt = 0usize;
+                    let mut kk = q;
+                    while kk < chunks * 4 {
+                        nz[cnt] = kk as u32;
+                        cnt += (a_row[kk] != 0.0) as usize;
+                        kk += 4;
+                    }
+                    for &kk in &nz[..cnt] {
+                        let kk = kk as usize;
+                        let aik = a_row[kk];
+                        let b_row = &bt_flat[kk * n..(kk + 1) * n];
+                        for (o, &bij) in lane.iter_mut().zip(b_row) {
+                            *o += aik * bij;
+                        }
+                    }
+                }
+            } else {
+                let mut base = 0;
+                for _ in 0..chunks {
+                    lane_update(l0, a_row[base], &bt_flat[base * n..(base + 1) * n]);
+                    lane_update(l1, a_row[base + 1], &bt_flat[(base + 1) * n..(base + 2) * n]);
+                    lane_update(l2, a_row[base + 2], &bt_flat[(base + 2) * n..(base + 3) * n]);
+                    lane_update(l3, a_row[base + 3], &bt_flat[(base + 3) * n..(base + 4) * n]);
+                    base += 4;
+                }
+            }
+        }
+        let out_row = &mut out_flat[r * n..(r + 1) * n];
+        {
+            let (l0, rest) = lanes_flat.split_at(n);
+            let (l1, rest) = rest.split_at(n);
+            let (l2, l3) = rest.split_at(n);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = (l0[j] + l1[j]) + (l2[j] + l3[j]);
+            }
+        }
+        for kk in chunks * 4..k {
+            let aik = a_row[kk];
+            if aik == 0.0 {
+                continue;
+            }
+            for (o, &bij) in out_row.iter_mut().zip(&bt_flat[kk * n..(kk + 1) * n]) {
+                *o += aik * bij;
+            }
+        }
+    }
+}
+
+/// Minimum output width (`B` rows) at which the pre-transposed forward
+/// kernel beats the dot form: below it the per-k lane setup outweighs the
+/// streaming gain (measured crossover ≈ 30 columns on x86-64).
+pub const PRET_MIN_COLS: usize = 32;
+
+/// Linear-layer forward `C = A · Bᵀ` that picks the faster kernel for the
+/// shape: the pre-transposed streaming kernel for wide outputs (staging
+/// `Bᵀ` in `wt`), the dot-form [`matmul_transb_into`] for narrow ones.
+/// Results are bit-identical either way, so the choice is purely a
+/// performance dispatch.
+pub fn matmul_transb_fwd_into(
+    a: MatrixView,
+    b: MatrixView,
+    wt: &mut Matrix,
+    lanes: &mut Matrix,
+    out: &mut Matrix,
+) {
+    if b.rows() >= PRET_MIN_COLS {
+        transpose_into(b, wt);
+        matmul_transb_pret_into(a, wt.view(), lanes, out);
+    } else {
+        matmul_transb_into(a, b, out);
+    }
 }
 
 /// `C = Aᵀ · B` for `A (k×m)` and `B (k×n)`.
 ///
 /// This is the weight-gradient kernel (`Xᵀ · Δ` in backprop).
 pub fn matmul_transa(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    matmul_transa_into(a.view(), b.view(), &mut out);
+    out
+}
+
+/// `C = Aᵀ · B` written into `out` (resized, capacity reused), letting the
+/// backward pass stage weight gradients without allocating; accumulation
+/// order matches [`matmul_transa`] exactly.
+///
+/// # Panics
+/// Panics on inner-dimension mismatch.
+pub fn matmul_transa_into(a: MatrixView, b: MatrixView, out: &mut Matrix) {
+    out.resize(a.cols(), b.cols());
+    matmul_transa_slice(a, b, out.as_mut_slice());
+}
+
+/// `C = Aᵀ · B` written into the flat row-major slice `out` — the backward
+/// pass stages weight gradients straight into the caller's gradient vector
+/// (`&mut grad[wo..wo + wl]`) with no intermediate matrix.
+///
+/// # Panics
+/// Panics on inner-dimension mismatch or when `out.len() != a.cols() * b.cols()`.
+pub fn matmul_transa_slice(a: MatrixView, b: MatrixView, out: &mut [f32]) {
     assert_eq!(
         a.rows(),
         b.rows(),
@@ -121,12 +401,13 @@ pub fn matmul_transa(a: &Matrix, b: &Matrix) -> Matrix {
     let k = a.rows();
     let m = a.cols();
     let n = b.cols();
-    let mut out = Matrix::zeros(m, n);
+    assert_eq!(out.len(), m * n, "matmul_transa: output length mismatch");
+    out.iter_mut().for_each(|x| *x = 0.0);
     let work = m * k * n;
     let body = |(r, out_row): (usize, &mut [f32])| {
         // out[r, :] = sum_i A[i, r] * B[i, :]
         for i in 0..k {
-            let air = a[(i, r)];
+            let air = a.at(i, r);
             if air == 0.0 {
                 continue;
             }
@@ -137,14 +418,38 @@ pub fn matmul_transa(a: &Matrix, b: &Matrix) -> Matrix {
         }
     };
     if go_parallel(work, m) {
-        out.as_mut_slice()
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(body);
+        out.par_chunks_mut(n).enumerate().for_each(body);
+    } else if (PRET_MIN_COLS..=NZ_BUF).contains(&m) {
+        // Sequential wide-shape path with the batch dimension outermost:
+        // each `A` row (a training delta) is scanned for nonzeros once,
+        // branchlessly, instead of being probed once per output row. Every
+        // output element still receives its addends in ascending batch-row
+        // order, so the result is bit-identical to the branchy loop. Narrow
+        // `A` (logits-layer deltas) stays on the branchy loop — dense, so
+        // the skip branch predicts perfectly and a scan is pure overhead.
+        let a_flat = a.as_slice();
+        let b_flat = b.as_slice();
+        let mut nz = [0u32; NZ_BUF];
+        for i in 0..k {
+            let a_row = &a_flat[i * m..(i + 1) * m];
+            let b_row = &b_flat[i * n..(i + 1) * n];
+            let mut cnt = 0usize;
+            for (r, &air) in a_row.iter().enumerate() {
+                nz[cnt] = r as u32;
+                cnt += (air != 0.0) as usize;
+            }
+            for &r in &nz[..cnt] {
+                let r = r as usize;
+                let air = a_row[r];
+                let out_row = &mut out[r * n..(r + 1) * n];
+                for (o, &bij) in out_row.iter_mut().zip(b_row) {
+                    *o += air * bij;
+                }
+            }
+        }
     } else {
-        out.as_mut_slice().chunks_mut(n).enumerate().for_each(body);
+        out.chunks_mut(n).enumerate().for_each(body);
     }
-    out
 }
 
 /// Reference O(mkn) triple-loop product used as the test oracle.
@@ -199,13 +504,30 @@ pub fn add_row_inplace(m: &mut Matrix, row: &[f32]) {
 
 /// Column sums of `m`, accumulated in f64 (gradient of a broadcast bias).
 pub fn col_sums(m: &Matrix) -> Vec<f32> {
-    let mut acc = vec![0.0_f64; m.cols()];
-    for row in m.rows_iter() {
-        for (a, &x) in acc.iter_mut().zip(row) {
-            *a += f64::from(x);
+    let mut out = vec![0.0_f32; m.cols()];
+    col_sums_into(m.view(), &mut out);
+    out
+}
+
+/// Column sums of `m` written into `out`, accumulated in f64. Each column
+/// sums its rows top-to-bottom — the same per-column addition order as
+/// [`col_sums`], so results are bit-identical.
+///
+/// # Panics
+/// Panics when `out.len() != m.cols()`.
+pub fn col_sums_into(m: MatrixView, out: &mut [f32]) {
+    assert_eq!(out.len(), m.cols(), "col_sums: output length mismatch");
+    let data = m.as_slice();
+    let cols = m.cols();
+    for (c, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0_f64;
+        let mut i = c;
+        while i < data.len() {
+            acc += f64::from(data[i]);
+            i += cols;
         }
+        *o = acc as f32;
     }
-    acc.into_iter().map(|x| x as f32).collect()
 }
 
 /// In-place ReLU.
@@ -219,10 +541,11 @@ pub fn relu_inplace(m: &mut Matrix) {
 /// therefore treats `activated > 0` as the pass-through mask.
 pub fn relu_backward_inplace(grad: &mut Matrix, activated: &Matrix) {
     assert_eq!(grad.shape(), activated.shape());
+    // Unconditional select rather than a guarded store: the mask is fresh
+    // ~50/50 noise every training batch, and a data-dependent branch here
+    // mispredicts constantly; the select vectorises to cmp+and.
     for (g, &a) in grad.as_mut_slice().iter_mut().zip(activated.as_slice()) {
-        if a <= 0.0 {
-            *g = 0.0;
-        }
+        *g = if a > 0.0 { *g } else { 0.0 };
     }
 }
 
@@ -310,6 +633,88 @@ mod tests {
         let c = matmul(&a, &b);
         let r = matmul_naive(&a, &b);
         assert!(c.max_abs_diff(&r) < 1e-4, "diff {}", c.max_abs_diff(&r));
+    }
+
+    /// Sparse variant of `mat`: roughly `num/den` of entries forced to
+    /// exactly `0.0` (and a few to `-0.0`), the regime the pre-transposed
+    /// kernel's skip path targets.
+    fn sparse_mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut m = mat(rows, cols, seed);
+        let mut s = seed.wrapping_mul(0xD1B54A32D192ED03).wrapping_add(3);
+        for v in m.as_mut_slice() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            match s % 5 {
+                0 | 1 => *v = 0.0,
+                2 => *v = -0.0,
+                _ => {}
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn transpose_into_roundtrip() {
+        let a = mat(5, 9, 21);
+        let mut t = Matrix::zeros(0, 0);
+        transpose_into(a.view(), &mut t);
+        assert_eq!(t.shape(), (9, 5));
+        for i in 0..5 {
+            for j in 0..9 {
+                assert_eq!(t[(j, i)], a[(i, j)]);
+            }
+        }
+        // Round trip through a second transpose restores the original, and
+        // a tile-crossing shape exercises the blocked path.
+        let big = mat(37, 50, 22);
+        let mut bt = Matrix::zeros(0, 0);
+        let mut back = Matrix::zeros(0, 0);
+        transpose_into(big.view(), &mut bt);
+        transpose_into(bt.view(), &mut back);
+        assert_eq!(big.as_slice(), back.as_slice());
+    }
+
+    #[test]
+    fn pret_bit_identical_to_transb() {
+        // The pre-transposed forward kernel must reproduce the dot-form
+        // kernel bit for bit: dense and sparse (±0.0) inputs, inner dims
+        // covering every k % 4 tail, including k < 4.
+        let mut bt = Matrix::zeros(0, 0);
+        let mut lanes = Matrix::zeros(0, 0);
+        let mut got = Matrix::zeros(0, 0);
+        let mut want = Matrix::zeros(0, 0);
+        for (m, k, n) in [
+            (4usize, 16usize, 10usize),
+            (3, 17, 5),
+            (5, 18, 7),
+            (2, 19, 3),
+            (1, 3, 4),
+            (16, 256, 100),
+        ] {
+            for (seed, sparse) in [(31, false), (32, true), (33, true)] {
+                let a = if sparse {
+                    sparse_mat(m, k, seed)
+                } else {
+                    mat(m, k, seed)
+                };
+                let b = if sparse {
+                    sparse_mat(n, k, seed + 100)
+                } else {
+                    mat(n, k, seed + 100)
+                };
+                matmul_transb_into(a.view(), b.view(), &mut want);
+                transpose_into(b.view(), &mut bt);
+                matmul_transb_pret_into(a.view(), bt.view(), &mut lanes, &mut got);
+                assert_eq!(got.shape(), want.shape());
+                let same = got
+                    .as_slice()
+                    .iter()
+                    .zip(want.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits());
+                assert!(same, "bit mismatch at m={m} k={k} n={n} sparse={sparse}");
+            }
+        }
     }
 
     #[test]

@@ -162,6 +162,64 @@ fn parallel_matches_sequential_for_mlp() {
 }
 
 #[test]
+fn workspace_grad_is_bit_identical_to_legacy_path() {
+    // `loss_grad_ws` with a long-lived workspace must be bit-identical to
+    // `loss_grad` (which allocates fresh scratch every call), for every
+    // in-tree model. The workspace is REUSED across calls with varying
+    // batch sizes and parameters — exactly the hot-loop pattern of
+    // `local_sgd` — so stale-buffer bugs (undersized or leftover scratch
+    // contents influencing a later call) fail this test. Running the same
+    // comparison under `Parallelism::Rayon` exercises the kernels' parallel
+    // paths from worker threads.
+    use hierminimax::data::rng::{Purpose, StreamKey};
+    use hierminimax::data::{Dataset, StreamRng};
+    use hierminimax::nn::{Mlp, Model, MulticlassLogistic, SimpleCnn, Workspace};
+    use hierminimax::tensor::Matrix;
+
+    fn batch_of(dim: usize, classes: usize, n: usize, seed: u64) -> Dataset {
+        let mut rng = StreamRng::for_key(StreamKey::new(seed, Purpose::Misc, n as u64, 0));
+        let x = Matrix::from_fn(n, dim, |_, _| rng.normal() as f32 * 0.6);
+        let y = (0..n).map(|_| rng.below(classes)).collect();
+        Dataset::new(x, y, classes)
+    }
+
+    let models: Vec<(&str, Box<dyn Model>, usize, usize)> = vec![
+        ("logistic", Box::new(MulticlassLogistic::new(16, 4)), 16, 4),
+        ("mlp", Box::new(Mlp::new(16, &[12, 8], 4)), 16, 4),
+        ("cnn", Box::new(SimpleCnn::new(10, 3, 2, 3, 16, 3)), 100, 3),
+    ];
+
+    for par in [Parallelism::Sequential, Parallelism::Rayon] {
+        par.map(models.iter().collect::<Vec<_>>(), |(name, model, dim, classes)| {
+            let mut ws = Workspace::new(); // one workspace for all 5 calls
+            let mut g_ws = vec![0.0_f32; model.num_params()];
+            let mut g_legacy = vec![0.0_f32; model.num_params()];
+            // Batch sizes deliberately shrink and grow so buffer resizes in
+            // both directions are covered.
+            for (call, &n) in [5usize, 2, 7, 1, 4].iter().enumerate() {
+                let batch = batch_of(*dim, *classes, n, 31 + call as u64);
+                let mut rng =
+                    StreamRng::for_key(StreamKey::new(77, Purpose::Init, call as u64, 0));
+                let params: Vec<f32> = (0..model.num_params())
+                    .map(|_| rng.normal() as f32 * 0.3)
+                    .collect();
+                let l_ws = model.loss_grad_ws(&params, &batch, &mut g_ws, &mut ws);
+                let l_legacy = model.loss_grad(&params, &batch, &mut g_legacy);
+                assert_eq!(
+                    l_ws.to_bits(),
+                    l_legacy.to_bits(),
+                    "{name} ({par:?}): loss differs on call {call}"
+                );
+                assert_eq!(
+                    g_ws, g_legacy,
+                    "{name} ({par:?}): gradient differs on call {call}"
+                );
+            }
+        });
+    }
+}
+
+#[test]
 fn different_seeds_differ() {
     let sc = tiny_problem(3, 2, 14);
     let fp = FederatedProblem::logistic_from_scenario(&sc);
