@@ -137,3 +137,48 @@ fn csv_history_is_written() {
     assert!(body.lines().count() >= 5, "{body}");
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+// ---- Golden snapshots -----------------------------------------------------
+//
+// Byte-exact captures of user-facing output, committed under
+// `tests/golden/`. Unlike the substring assertions above, these fail on
+// *any* drift — wording, column widths, flag renames — so UI changes are
+// always deliberate: regenerate with
+// `hierminimax help > tests/golden/help.txt` (etc.) and review the diff.
+
+fn golden(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn help_matches_golden_snapshot() {
+    let out = bin().arg("help").output().expect("spawn");
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout), golden("help.txt"));
+}
+
+#[test]
+fn data_tiny_matches_golden_snapshot() {
+    // Deterministic: the tiny scenario is fully determined by
+    // (edges, clients, data seed), and `data` runs no training.
+    let out = bin()
+        .args([
+            "data",
+            "--scenario",
+            "tiny",
+            "--edges",
+            "3",
+            "--clients",
+            "2",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        golden("data_tiny_3x2.txt")
+    );
+}

@@ -165,6 +165,10 @@ impl Algorithm for Drfa {
             let mut w_checkpoint = vec![0.0_f32; d];
             vecops::weighted_average_into(&cps, &weights, &mut w_checkpoint);
             trace.record(|| Event::GlobalAggregation { round: k });
+            trace.record(|| Event::GlobalModel {
+                round: k,
+                w: w.clone(),
+            });
 
             // Round 2: uniform set evaluates the checkpoint model.
             let mut u_rng = StreamRng::for_key(StreamKey::new(

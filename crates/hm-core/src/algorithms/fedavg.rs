@@ -127,6 +127,10 @@ impl Algorithm for FedAvg {
             let models: Vec<&[f32]> = results.iter().map(|(m, _)| m.as_slice()).collect();
             vecops::weighted_average_into(&models, &weights, &mut w);
             trace.record(|| Event::GlobalAggregation { round: k });
+            trace.record(|| Event::GlobalModel {
+                round: k,
+                w: w.clone(),
+            });
 
             finish_round(
                 problem,

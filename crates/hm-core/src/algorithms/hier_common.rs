@@ -76,7 +76,10 @@ pub(crate) fn run_edge_blocks(p: EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
     let mut edge_models: Vec<Vec<f32>> = p.edges.iter().map(|_| p.w_start.to_vec()).collect();
     let mut edge_checkpoints: Vec<Option<Vec<f32>>> = vec![None; p.edges.len()];
 
-    assert!((0.0..1.0).contains(&p.dropout), "dropout must lie in [0,1)");
+    assert!(
+        (0.0..=1.0).contains(&p.dropout),
+        "dropout must lie in [0,1]"
+    );
     for t2 in 0..p.tau2 {
         let is_cp_block = p.checkpoint.map(|(_, c2)| c2 == t2).unwrap_or(false);
         let cp_after = p.checkpoint.and_then(|(c1, c2)| (c2 == t2).then_some(c1));
@@ -152,7 +155,14 @@ pub(crate) fn run_edge_blocks(p: EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
         // Scatter results back to (edge, client) slots; dropped slots None.
         let mut results: Vec<Option<ClientBlockResult>> =
             (0..p.edges.len() * n0).map(|_| None).collect();
-        for ((ei, c), r) in tasks.iter().zip(results_alive) {
+        for (&(ei, c), r) in tasks.iter().zip(results_alive) {
+            p.trace.record(|| Event::LocalSteps {
+                round: p.round,
+                t2,
+                edge: p.edges[ei],
+                client: topo.client_id(p.edges[ei], c),
+                steps: p.tau1,
+            });
             results[ei * n0 + c] = Some(r);
         }
 
@@ -191,6 +201,11 @@ pub(crate) fn run_edge_blocks(p: EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
                 let mut cp = vec![0.0_f32; cps[0].len()];
                 vecops::average_into(&cps, &mut cp);
                 edge_checkpoints[ei] = Some(cp);
+                p.trace.record(|| Event::CheckpointCaptured {
+                    round: p.round,
+                    edge: p.edges[ei],
+                    t2,
+                });
             }
             p.trace.record(|| Event::ClientEdgeAggregation {
                 round: p.round,

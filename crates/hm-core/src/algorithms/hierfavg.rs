@@ -14,7 +14,7 @@ use crate::problem::FederatedProblem;
 use hm_data::rng::{Purpose, StreamKey, StreamRng};
 use hm_simnet::sampling::sample_edges_uniform;
 use hm_simnet::trace::Event;
-use hm_simnet::{CommMeter, Link, Quantizer};
+use hm_simnet::{CommMeter, CommStats, Link, Quantizer};
 use hm_tensor::vecops;
 
 /// Configuration of a HierFAVG run.
@@ -103,6 +103,7 @@ impl Algorithm for HierFavg {
                 0,
                 0,
             )));
+        let mut comm_prev = CommStats::default();
 
         for k in 0..cfg.rounds {
             let mut e_rng =
@@ -114,6 +115,10 @@ impl Algorithm for HierFavg {
             });
 
             meter.record_broadcast(Link::EdgeCloud, d as u64, sampled.len() as u64);
+            trace.record(|| Event::CloudBroadcast {
+                round: k,
+                recipients: sampled.clone(),
+            });
 
             let outputs = run_edge_blocks(EdgeBlockParams {
                 problem,
@@ -176,6 +181,16 @@ impl Algorithm for HierFavg {
             let finals: Vec<&[f32]> = outputs.iter().map(|o| o.w_final.as_slice()).collect();
             vecops::weighted_average_into(&finals, &weights, &mut w);
             trace.record(|| Event::GlobalAggregation { round: k });
+            trace.record(|| Event::GlobalModel {
+                round: k,
+                w: w.clone(),
+            });
+            let comm_now = meter.snapshot();
+            trace.record(|| Event::RoundComm {
+                round: k,
+                delta: comm_now.since(&comm_prev),
+            });
+            comm_prev = comm_now;
 
             finish_round(
                 problem,
@@ -186,7 +201,7 @@ impl Algorithm for HierFavg {
                 k,
                 cfg.rounds,
                 cfg.tau1 * cfg.tau2,
-                meter.snapshot(),
+                comm_now,
                 &w,
                 uniform_p.clone(),
             );

@@ -26,7 +26,7 @@ use hm_data::rng::{Purpose, StreamKey, StreamRng};
 use hm_optim::sgd::projected_ascent_step;
 use hm_simnet::sampling::{sample_checkpoint, sample_edges_uniform, sample_edges_weighted};
 use hm_simnet::trace::Event;
-use hm_simnet::{CommMeter, Link, Quantizer};
+use hm_simnet::{CommMeter, CommStats, Link, Quantizer};
 use hm_tensor::vecops;
 
 /// Which model Phase 2 estimates losses on — the paper's randomly-indexed
@@ -167,6 +167,7 @@ impl Algorithm for HierMinimax {
                 0,
             )));
         let mut p = problem.initial_p();
+        let mut comm_prev = CommStats::default();
 
         for k in 0..cfg.rounds {
             // ---- Phase 1: model parameter update --------------------------
@@ -188,6 +189,10 @@ impl Algorithm for HierMinimax {
             // checkpoint index. Duplicated samples transmit once.
             let (distinct, counts) = multiplicities(&sampled);
             meter.record_broadcast(Link::EdgeCloud, d as u64 + 2, distinct.len() as u64);
+            trace.record(|| Event::CloudBroadcast {
+                round: k,
+                recipients: distinct.clone(),
+            });
 
             // Round-start model, kept for the RoundStart ablation variant.
             let w_start = if cfg.weight_update_model == WeightUpdateModel::RoundStart {
@@ -322,6 +327,10 @@ impl Algorithm for HierMinimax {
             let mut w_checkpoint = vec![0.0_f32; d];
             vecops::weighted_average_into(&cps, &weights, &mut w_checkpoint);
             trace.record(|| Event::GlobalAggregation { round: k });
+            trace.record(|| Event::GlobalModel {
+                round: k,
+                w: w.clone(),
+            });
             // Ablation hook: optionally estimate Phase-2 losses on a biased
             // model instead of the unbiased random checkpoint.
             let w_phase2: &[f32] = match cfg.weight_update_model {
@@ -395,6 +404,12 @@ impl Algorithm for HierMinimax {
                 round: k,
                 p: p.clone(),
             });
+            let comm_now = meter.snapshot();
+            trace.record(|| Event::RoundComm {
+                round: k,
+                delta: comm_now.since(&comm_prev),
+            });
+            comm_prev = comm_now;
 
             finish_round(
                 problem,
@@ -405,7 +420,7 @@ impl Algorithm for HierMinimax {
                 k,
                 cfg.rounds,
                 cfg.tau1 * max_tau2,
-                meter.snapshot(),
+                comm_now,
                 &w,
                 p.clone(),
             );

@@ -58,7 +58,10 @@ pub struct RunOpts {
     /// Evaluate on test data every `eval_every` rounds (`0` = only after
     /// the final round). The final round is always evaluated.
     pub eval_every: usize,
-    /// Client/edge execution mode.
+    /// Client/edge execution mode. The default resolves from the
+    /// `HM_PARALLELISM` environment variable (see
+    /// [`Parallelism::from_env`]), which is how CI runs the whole suite
+    /// under both executors.
     pub parallelism: Parallelism,
     /// Collect a protocol [`Trace`] (off by default; used by tests).
     pub trace: bool,
@@ -68,7 +71,7 @@ impl Default for RunOpts {
     fn default() -> Self {
         Self {
             eval_every: 10,
-            parallelism: Parallelism::Rayon,
+            parallelism: Parallelism::from_env(),
             trace: false,
         }
     }

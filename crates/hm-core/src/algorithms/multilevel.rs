@@ -29,7 +29,7 @@ use hm_optim::sgd::projected_ascent_step;
 use hm_simnet::sampling::{sample_edges_uniform, sample_edges_weighted};
 use hm_simnet::trace::Event;
 use hm_simnet::trace::Trace;
-use hm_simnet::{CommMeter, Link, Quantizer};
+use hm_simnet::{CommMeter, CommStats, Link, Quantizer};
 use hm_tensor::vecops;
 
 /// One intermediate aggregation level above the edge servers.
@@ -274,6 +274,7 @@ impl Algorithm for MultiLevelMinimax {
             .map(|g| (g * per_group..(g + 1) * per_group).collect())
             .collect();
         let total_tau = cfg.slots_per_round();
+        let mut comm_prev = CommStats::default();
 
         for k in 0..cfg.rounds {
             // --- Phase 1: weighted top-level sampling + recursive update.
@@ -295,12 +296,17 @@ impl Algorithm for MultiLevelMinimax {
             let c2 = c_rng.below(cfg.tau2);
             cp_index.push(c1);
             cp_index.push(c2);
+            trace.record(|| Event::CheckpointSampled { round: k, c1, c2 });
 
             meter.record_broadcast(
                 Link::EdgeCloud,
                 d as u64 + cp_index.len() as u64,
                 distinct.len() as u64,
             );
+            trace.record(|| Event::CloudBroadcast {
+                round: k,
+                recipients: distinct.clone(),
+            });
             let results: Vec<(Vec<f32>, Option<Vec<f32>>)> = distinct
                 .iter()
                 .map(|&g| {
@@ -333,6 +339,10 @@ impl Algorithm for MultiLevelMinimax {
             let mut w_checkpoint = vec![0.0_f32; d];
             vecops::weighted_average_into(&cps, &weights, &mut w_checkpoint);
             trace.record(|| Event::GlobalAggregation { round: k });
+            trace.record(|| Event::GlobalModel {
+                round: k,
+                w: w.clone(),
+            });
 
             // --- Phase 2: uniform group sampling, loss estimation, ascent.
             let mut u_rng = StreamRng::for_key(StreamKey::new(
@@ -389,6 +399,12 @@ impl Algorithm for MultiLevelMinimax {
                 round: k,
                 p: p.clone(),
             });
+            let comm_now = meter.snapshot();
+            trace.record(|| Event::RoundComm {
+                round: k,
+                delta: comm_now.since(&comm_prev),
+            });
+            comm_prev = comm_now;
 
             finish_round(
                 problem,
@@ -399,7 +415,7 @@ impl Algorithm for MultiLevelMinimax {
                 k,
                 cfg.rounds,
                 total_tau,
-                meter.snapshot(),
+                comm_now,
                 &w,
                 p.clone(),
             );

@@ -2,6 +2,47 @@
 
 use crate::rng::StreamRng;
 use hm_tensor::Matrix;
+use std::fmt;
+
+/// Why a [`Dataset`] could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// `x.rows() != y.len()`.
+    ShapeMismatch {
+        /// Rows of the feature matrix.
+        rows: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
+    /// `num_classes == 0`.
+    NoClasses,
+    /// A label falls outside `[0, num_classes)`.
+    LabelOutOfRange {
+        /// The offending label value.
+        label: usize,
+        /// The declared class count.
+        num_classes: usize,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DatasetError::ShapeMismatch { rows, labels } => {
+                write!(
+                    f,
+                    "feature/label count mismatch ({rows} rows, {labels} labels)"
+                )
+            }
+            DatasetError::NoClasses => write!(f, "need at least one class"),
+            DatasetError::LabelOutOfRange { label, num_classes } => {
+                write!(f, "label {label} out of range (num_classes {num_classes})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
 
 /// A supervised classification dataset: a row-major feature matrix and one
 /// integer label per row.
@@ -19,14 +60,34 @@ impl Dataset {
     /// Construct, validating shapes and label range.
     ///
     /// # Panics
-    /// Panics if `x.rows() != y.len()` or a label is out of range.
+    /// Panics if `x.rows() != y.len()` or a label is out of range. Callers
+    /// handling untrusted input should prefer [`Dataset::try_new`].
     pub fn new(x: Matrix, y: Vec<usize>, num_classes: usize) -> Self {
-        assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
-        assert!(num_classes > 0, "need at least one class");
-        if let Some(&bad) = y.iter().find(|&&l| l >= num_classes) {
-            panic!("label {} out of range (num_classes {})", bad, num_classes);
+        match Self::try_new(x, y, num_classes) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
         }
-        Self { x, y, num_classes }
+    }
+
+    /// Construct, returning a typed [`DatasetError`] instead of panicking
+    /// when the shapes or labels are invalid.
+    pub fn try_new(x: Matrix, y: Vec<usize>, num_classes: usize) -> Result<Self, DatasetError> {
+        if x.rows() != y.len() {
+            return Err(DatasetError::ShapeMismatch {
+                rows: x.rows(),
+                labels: y.len(),
+            });
+        }
+        if num_classes == 0 {
+            return Err(DatasetError::NoClasses);
+        }
+        if let Some(&bad) = y.iter().find(|&&l| l >= num_classes) {
+            return Err(DatasetError::LabelOutOfRange {
+                label: bad,
+                num_classes,
+            });
+        }
+        Ok(Self { x, y, num_classes })
     }
 
     /// Number of samples.
@@ -173,6 +234,31 @@ mod tests {
     #[should_panic(expected = "mismatch")]
     fn shape_mismatch_panics() {
         Dataset::new(Matrix::zeros(2, 1), vec![0], 1);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        assert_eq!(
+            Dataset::try_new(Matrix::zeros(2, 1), vec![0], 1).unwrap_err(),
+            DatasetError::ShapeMismatch { rows: 2, labels: 1 }
+        );
+        assert_eq!(
+            Dataset::try_new(Matrix::zeros(1, 1), vec![0], 0).unwrap_err(),
+            DatasetError::NoClasses
+        );
+        let err = Dataset::try_new(Matrix::zeros(1, 1), vec![5], 3).unwrap_err();
+        assert_eq!(
+            err,
+            DatasetError::LabelOutOfRange {
+                label: 5,
+                num_classes: 3
+            }
+        );
+        // Display strings match the legacy panic messages.
+        assert_eq!(err.to_string(), "label 5 out of range (num_classes 3)");
+        // Valid input round-trips.
+        let d = Dataset::try_new(Matrix::zeros(2, 1), vec![0, 1], 2).unwrap();
+        assert_eq!(d.len(), 2);
     }
 
     #[test]

@@ -24,5 +24,5 @@ pub mod persist;
 pub mod rng;
 pub mod scenarios;
 
-pub use dataset::Dataset;
+pub use dataset::{Dataset, DatasetError};
 pub use rng::StreamRng;

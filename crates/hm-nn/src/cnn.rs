@@ -293,8 +293,7 @@ impl Model for SimpleCnn {
             conv.push(ConvCache::default());
         }
         feats.resize(n, d.flat);
-        for i in 0..n {
-            let cache = &mut conv[i];
+        for (i, cache) in conv.iter_mut().enumerate().take(n) {
             self.ensure_cache(cache);
             self.run_conv_stack(params, batch.x.row(i), cache);
             feats.row_mut(i).copy_from_slice(&cache.p2);

@@ -47,6 +47,36 @@ pub enum ProjectionOp {
     },
 }
 
+impl ProjectionOp {
+    /// How far `x` lies outside the set, as the largest single constraint
+    /// violation (0.0 when feasible). Quantitative counterpart of
+    /// [`Projection::contains`]: conformance checks use it to assert the
+    /// post-projection iterate stays in `P` and to report *how badly* a
+    /// broken projection strayed.
+    pub fn feasibility_violation(&self, x: &[f32]) -> f64 {
+        let bound_violation = |lo: f64, hi: f64| -> f64 {
+            x.iter()
+                .map(|&v| (lo - f64::from(v)).max(f64::from(v) - hi).max(0.0))
+                .fold(0.0, f64::max)
+        };
+        let sum_violation = || -> f64 {
+            let sum: f64 = x.iter().map(|&v| f64::from(v)).sum();
+            (sum - 1.0).abs()
+        };
+        match *self {
+            ProjectionOp::Unconstrained => 0.0,
+            ProjectionOp::Simplex => bound_violation(0.0, f64::INFINITY).max(sum_violation()),
+            ProjectionOp::CappedSimplex { lo, hi } => {
+                bound_violation(f64::from(lo), f64::from(hi)).max(sum_violation())
+            }
+            ProjectionOp::L2Ball { radius } => {
+                (hm_tensor::vecops::norm2(x) - f64::from(radius)).max(0.0)
+            }
+            ProjectionOp::Box { lo, hi } => bound_violation(f64::from(lo), f64::from(hi)),
+        }
+    }
+}
+
 impl Projection for ProjectionOp {
     fn project(&self, x: &mut [f32]) {
         match *self {
@@ -310,6 +340,47 @@ mod tests {
         op.project(&mut x);
         assert_eq!(x, vec![-1.0, 0.5, 1.0]);
         assert!(op.contains(&x, 1e-6));
+    }
+
+    #[test]
+    fn feasibility_violation_is_zero_iff_contained() {
+        let simplex = ProjectionOp::Simplex;
+        assert_eq!(simplex.feasibility_violation(&[0.5, 0.5]), 0.0);
+        // Sum off by 0.5 → violation 0.5.
+        assert!((simplex.feasibility_violation(&[0.5, 1.0]) - 0.5).abs() < 1e-9);
+        // Negative coordinate dominates when larger than the sum gap.
+        assert!((simplex.feasibility_violation(&[-0.8, 1.8]) - 0.8).abs() < 1e-6);
+
+        let capped = ProjectionOp::CappedSimplex { lo: 0.0, hi: 0.6 };
+        // 0.4 + 0.6 is only ~1 up to f32 rounding, so allow float slack.
+        assert!(capped.feasibility_violation(&[0.4, 0.6]) < 1e-6);
+        assert!((capped.feasibility_violation(&[0.9, 0.1]) - 0.3).abs() < 1e-6);
+
+        let ball = ProjectionOp::L2Ball { radius: 1.0 };
+        assert!(ball.feasibility_violation(&[0.6, 0.8]) < 1e-6);
+        assert!((ball.feasibility_violation(&[3.0, 4.0]) - 4.0).abs() < 1e-9);
+
+        assert_eq!(
+            ProjectionOp::Unconstrained.feasibility_violation(&[1e9, -1e9]),
+            0.0
+        );
+        let boxed = ProjectionOp::Box { lo: -1.0, hi: 1.0 };
+        assert!((boxed.feasibility_violation(&[2.5, 0.0]) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_drives_violation_to_zero() {
+        for op in [
+            ProjectionOp::Simplex,
+            ProjectionOp::CappedSimplex { lo: 0.1, hi: 0.8 },
+            ProjectionOp::L2Ball { radius: 0.5 },
+            ProjectionOp::Box { lo: -0.2, hi: 0.2 },
+        ] {
+            let mut x = vec![3.0_f32, -2.0, 0.7];
+            assert!(op.feasibility_violation(&x) > 0.0, "{op:?}");
+            op.project(&mut x);
+            assert!(op.feasibility_violation(&x) < 1e-4, "{op:?}: {x:?}");
+        }
     }
 
     #[test]

@@ -21,6 +21,18 @@ pub enum Parallelism {
 }
 
 impl Parallelism {
+    /// Resolve the mode from the `HM_PARALLELISM` environment variable:
+    /// `"sequential"` (case-insensitive) selects [`Parallelism::Sequential`],
+    /// anything else — including an unset variable — selects the default
+    /// [`Parallelism::Rayon`]. CI uses this to run the whole test suite
+    /// under both executors without code changes.
+    pub fn from_env() -> Self {
+        match std::env::var("HM_PARALLELISM") {
+            Ok(v) if v.eq_ignore_ascii_case("sequential") => Parallelism::Sequential,
+            _ => Parallelism::Rayon,
+        }
+    }
+
     /// Map `f` over `items`, returning outputs in input order.
     pub fn map<T, U, F>(self, items: Vec<T>, f: F) -> Vec<U>
     where
@@ -74,6 +86,19 @@ mod tests {
         let seq = Parallelism::Sequential.map_indexed(64, work);
         let par = Parallelism::Rayon.map_indexed(64, work);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn from_env_selects_executor() {
+        // One test covers all cases serially: env vars are process-global,
+        // so spreading these asserts across tests would race.
+        std::env::remove_var("HM_PARALLELISM");
+        assert_eq!(Parallelism::from_env(), Parallelism::Rayon);
+        std::env::set_var("HM_PARALLELISM", "Sequential");
+        assert_eq!(Parallelism::from_env(), Parallelism::Sequential);
+        std::env::set_var("HM_PARALLELISM", "rayon");
+        assert_eq!(Parallelism::from_env(), Parallelism::Rayon);
+        std::env::remove_var("HM_PARALLELISM");
     }
 
     #[test]

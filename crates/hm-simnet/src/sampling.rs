@@ -80,6 +80,40 @@ mod tests {
     }
 
     #[test]
+    fn point_mass_on_boundary_edges() {
+        // Degenerate weights at the first and last index exercise the
+        // inverse-CDF fallback paths (rounding can push the scan past the
+        // last positive weight).
+        for (p, want) in [
+            (vec![1.0, 0.0, 0.0, 0.0], 0usize),
+            (vec![0.0, 0.0, 0.0, 1.0], 3usize),
+        ] {
+            let mut rng = StreamRng::new(6, Purpose::EdgeSampling, 0, 0);
+            let s = sample_edges_weighted(&p, 64, &mut rng);
+            assert!(s.iter().all(|&e| e == want), "{p:?} -> {s:?}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_entries_are_never_sampled() {
+        let p = [0.5, 0.0, 0.25, 0.0, 0.25];
+        let mut rng = StreamRng::new(7, Purpose::EdgeSampling, 0, 0);
+        let s = sample_edges_weighted(&p, 10_000, &mut rng);
+        assert!(s.iter().all(|&e| p[e] > 0.0), "zero-weight edge sampled");
+        // All positive-weight edges show up over a large sample.
+        for e in [0usize, 2, 4] {
+            assert!(s.contains(&e), "edge {e} never sampled");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "negative weight")]
+    fn negative_weight_panics() {
+        let mut rng = StreamRng::new(8, Purpose::EdgeSampling, 0, 0);
+        let _ = sample_edges_weighted(&[0.5, -0.1], 1, &mut rng);
+    }
+
+    #[test]
     fn uniform_inclusion_probability() {
         // Every edge should appear with probability m/n.
         let (n, m) = (10usize, 4usize);
@@ -122,6 +156,26 @@ mod tests {
         let expect = trials as f64 / (t1 * t2) as f64;
         for &c in &counts {
             assert!((c as f64 - expect).abs() < expect * 0.1, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_with_unit_periods_is_pinned() {
+        // τ = 1 leaves a single legal value on that axis; the draw must be
+        // exactly 0, never 1 (an off-by-one here would index past the
+        // block/step arrays).
+        for t in 0..200u64 {
+            let mut rng = StreamRng::new(9, Purpose::Checkpoint, t, 0);
+            let (c1, c2) = sample_checkpoint(1, 1, &mut rng);
+            assert_eq!((c1, c2), (0, 0));
+            let mut rng = StreamRng::new(10, Purpose::Checkpoint, t, 0);
+            let (c1, c2) = sample_checkpoint(1, 5, &mut rng);
+            assert_eq!(c1, 0);
+            assert!(c2 < 5);
+            let mut rng = StreamRng::new(11, Purpose::Checkpoint, t, 0);
+            let (c1, c2) = sample_checkpoint(5, 1, &mut rng);
+            assert!(c1 < 5);
+            assert_eq!(c2, 0);
         }
     }
 

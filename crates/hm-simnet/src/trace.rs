@@ -6,6 +6,7 @@
 //! Recording is behind a [`Trace`] handle that defaults to disabled, so
 //! production runs pay one branch per event.
 
+use crate::comm::CommStats;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -18,6 +19,37 @@ pub enum Event {
         round: usize,
         /// Sampled edge ids (with replacement; duplicates possible).
         edges: Vec<usize>,
+    },
+    /// Cloud broadcast the round-start global model to the participating
+    /// edges (or clients, for flat methods).
+    CloudBroadcast {
+        /// Training round.
+        round: usize,
+        /// Distinct recipient ids, in first-seen sample order.
+        recipients: Vec<usize>,
+    },
+    /// A surviving client finished its local SGD steps for one block.
+    LocalSteps {
+        /// Training round.
+        round: usize,
+        /// Aggregation-block index `t2` within the round.
+        t2: usize,
+        /// Edge id the client belongs to.
+        edge: usize,
+        /// Global client id.
+        client: usize,
+        /// Number of local SGD steps executed (`τ1`).
+        steps: usize,
+    },
+    /// An edge server captured its aggregated checkpoint model in block
+    /// `c2` (Phase 1, part (b)).
+    CheckpointCaptured {
+        /// Training round.
+        round: usize,
+        /// Edge id.
+        edge: usize,
+        /// The block index (`== c2`) in which the snapshot was taken.
+        t2: usize,
     },
     /// Cloud sampled the checkpoint index `(c1, c2)`.
     CheckpointSampled {
@@ -42,6 +74,14 @@ pub enum Event {
         /// Training round.
         round: usize,
     },
+    /// The global model produced by the cloud aggregation, in full — the
+    /// hook the differential oracle compares against bit-for-bit.
+    GlobalModel {
+        /// Training round.
+        round: usize,
+        /// The aggregated global model `w^(k+1)`.
+        w: Vec<f32>,
+    },
     /// Cloud sampled the Phase-2 loss-estimation set `U^(k)`.
     Phase2EdgesSampled {
         /// Training round.
@@ -55,6 +95,14 @@ pub enum Event {
         round: usize,
         /// The updated weight vector.
         p: Vec<f32>,
+    },
+    /// Communication-meter delta accumulated over exactly one training
+    /// round, validated against the closed-form accounting in `comm.rs`.
+    RoundComm {
+        /// Training round.
+        round: usize,
+        /// `snapshot_after.since(&snapshot_before)` for this round.
+        delta: CommStats,
     },
 }
 

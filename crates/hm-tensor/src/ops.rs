@@ -309,9 +309,21 @@ pub fn matmul_transb_pret_into(
                 let mut base = 0;
                 for _ in 0..chunks {
                     lane_update(l0, a_row[base], &bt_flat[base * n..(base + 1) * n]);
-                    lane_update(l1, a_row[base + 1], &bt_flat[(base + 1) * n..(base + 2) * n]);
-                    lane_update(l2, a_row[base + 2], &bt_flat[(base + 2) * n..(base + 3) * n]);
-                    lane_update(l3, a_row[base + 3], &bt_flat[(base + 3) * n..(base + 4) * n]);
+                    lane_update(
+                        l1,
+                        a_row[base + 1],
+                        &bt_flat[(base + 1) * n..(base + 2) * n],
+                    );
+                    lane_update(
+                        l2,
+                        a_row[base + 2],
+                        &bt_flat[(base + 2) * n..(base + 3) * n],
+                    );
+                    lane_update(
+                        l3,
+                        a_row[base + 3],
+                        &bt_flat[(base + 3) * n..(base + 4) * n],
+                    );
                     base += 4;
                 }
             }

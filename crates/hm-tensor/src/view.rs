@@ -128,7 +128,7 @@ mod tests {
 
     #[test]
     fn view_over_flat_slice() {
-        let flat = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let flat = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
         let v = MatrixView::new(2, 3, &flat[1..7]);
         assert_eq!(v.row(0), &[2.0, 3.0, 4.0]);
         assert_eq!(v.row(1), &[5.0, 6.0, 7.0]);

@@ -1,0 +1,1157 @@
+//! Trace conformance checking: an executable model of Algorithm 1.
+//!
+//! A checker replays the protocol alongside a recorded
+//! [`hm_simnet::trace::Event`] log and validates, round by round:
+//!
+//! - **Phase ordering** — events appear in exactly the order the paper's
+//!   pseudocode prescribes (Phase-1 sampling → checkpoint draw → broadcast
+//!   → `τ2` blocks of local steps and aggregations → cloud aggregation →
+//!   Phase-2 sampling → weight update → comm accounting).
+//! - **Sampling replay** — the Phase-1 multiset is re-drawn from the keyed
+//!   `EdgeSampling` stream proportionally to the *traced* `p^(k)`, the
+//!   checkpoint from the `Checkpoint` stream, and the Phase-2 set from the
+//!   `LossEstSampling` stream; the log must match the replay exactly.
+//! - **Checkpoint bounds** — `(c1, c2) ∈ [τ1] × [τ2]`, checked before the
+//!   equality so an off-by-one surfaces as
+//!   [`ConformanceError::CheckpointOutOfRange`].
+//! - **Participation structure** — which clients perform local steps in
+//!   each block is re-derived from the keyed `Dropout` stream (replicating
+//!   the `dropout == 0` no-draw fast path), and per-edge aggregation /
+//!   checkpoint-capture events must match the survivor sets.
+//! - **Communication accounting** — every [`Event::RoundComm`] delta is
+//!   compared counter-by-counter against a closed-form model of the
+//!   round's float/message/round costs on all three links.
+//! - **Feasibility** — every [`Event::WeightUpdate`] iterate must lie in
+//!   the constrained set `P` (via
+//!   [`ProjectionOp::feasibility_violation`]), and every
+//!   [`Event::GlobalModel`] must be finite and of dimension `d`.
+//!
+//! The multi-level checker validates the cloud-level protocol (sampling,
+//! checkpoint, aggregation order, exact comm accounting including the
+//! recursive intermediate-level costs); client-level events of inner
+//! subtrees are keyed by position tags rather than the round index and are
+//! deliberately skipped.
+
+use hm_core::algorithms::{HierFavgConfig, HierMinimaxConfig, MultiLevelConfig};
+use hm_core::problem::FederatedProblem;
+use hm_data::rng::{Purpose, StreamKey, StreamRng};
+use hm_simnet::sampling::{sample_checkpoint, sample_edges_uniform, sample_edges_weighted};
+use hm_simnet::trace::Event;
+use hm_simnet::{CommStats, Link};
+use std::fmt;
+
+/// Feasibility slack for traced weight iterates: the projections are exact
+/// up to f32 rounding, so anything beyond this is a protocol violation,
+/// not noise.
+const FEASIBILITY_TOL: f64 = 1e-4;
+
+/// A violation found while replaying a trace against the protocol model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConformanceError {
+    /// The log ended while the model still expected an event.
+    TraceEnded {
+        /// Round being checked.
+        round: usize,
+        /// The event kind the model expected next.
+        expected: &'static str,
+    },
+    /// The next event was not the one the protocol prescribes here.
+    UnexpectedEvent {
+        /// Round being checked.
+        round: usize,
+        /// The event kind the model expected.
+        expected: &'static str,
+        /// Debug rendering of the event actually found.
+        actual: String,
+    },
+    /// A sampled id set differs from the keyed-stream replay.
+    SamplingMismatch {
+        /// Round being checked.
+        round: usize,
+        /// Which draw: `"phase1"` or `"phase2"`.
+        phase: &'static str,
+        /// The replayed (correct) sample.
+        expected: Vec<usize>,
+        /// The traced sample.
+        actual: Vec<usize>,
+    },
+    /// A checkpoint index left `[τ1] × [τ2]`.
+    CheckpointOutOfRange {
+        /// Round being checked.
+        round: usize,
+        /// Traced local-step index.
+        c1: usize,
+        /// Traced block index.
+        c2: usize,
+        /// Local steps per block.
+        tau1: usize,
+        /// Blocks per round.
+        tau2: usize,
+    },
+    /// A checkpoint index differs from the keyed-stream replay.
+    CheckpointMismatch {
+        /// Round being checked.
+        round: usize,
+        /// The replayed (correct) index.
+        expected: (usize, usize),
+        /// The traced index.
+        actual: (usize, usize),
+    },
+    /// Broadcast recipients differ from the distinct sampled ids.
+    BroadcastMismatch {
+        /// Round being checked.
+        round: usize,
+        /// Expected recipients (first-seen order).
+        expected: Vec<usize>,
+        /// Traced recipients.
+        actual: Vec<usize>,
+    },
+    /// A local-step event contradicts the survivor replay.
+    LocalStepsMismatch {
+        /// Round being checked.
+        round: usize,
+        /// Block index within the round.
+        t2: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// An aggregation / checkpoint-capture event is out of order or
+    /// attributed to the wrong edge.
+    AggregationMismatch {
+        /// Round being checked.
+        round: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A global model iterate has the wrong dimension or non-finite
+    /// entries.
+    BadModel {
+        /// Round being checked.
+        round: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A weight iterate lies outside the constrained set `P`.
+    InfeasibleWeights {
+        /// Round being checked.
+        round: usize,
+        /// Largest constraint violation.
+        violation: f64,
+    },
+    /// A per-round communication counter differs from the closed form.
+    CommMismatch {
+        /// Round being checked.
+        round: usize,
+        /// Link the counter lives on.
+        link: &'static str,
+        /// Counter name.
+        counter: &'static str,
+        /// Closed-form value.
+        expected: u64,
+        /// Traced value.
+        actual: u64,
+    },
+    /// Events remained after the final round's accounting.
+    TrailingEvents {
+        /// Number of leftover events.
+        count: usize,
+    },
+}
+
+impl fmt::Display for ConformanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TraceEnded { round, expected } => {
+                write!(f, "round {round}: trace ended, expected {expected}")
+            }
+            Self::UnexpectedEvent {
+                round,
+                expected,
+                actual,
+            } => write!(f, "round {round}: expected {expected}, found {actual}"),
+            Self::SamplingMismatch {
+                round,
+                phase,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "round {round}: {phase} sample {actual:?} != replay {expected:?}"
+            ),
+            Self::CheckpointOutOfRange {
+                round,
+                c1,
+                c2,
+                tau1,
+                tau2,
+            } => write!(
+                f,
+                "round {round}: checkpoint ({c1}, {c2}) outside [{tau1}]x[{tau2}]"
+            ),
+            Self::CheckpointMismatch {
+                round,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "round {round}: checkpoint {actual:?} != replay {expected:?}"
+            ),
+            Self::BroadcastMismatch {
+                round,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "round {round}: broadcast to {actual:?}, expected {expected:?}"
+            ),
+            Self::LocalStepsMismatch { round, t2, detail } => {
+                write!(f, "round {round} block {t2}: {detail}")
+            }
+            Self::AggregationMismatch { round, detail } => {
+                write!(f, "round {round}: {detail}")
+            }
+            Self::BadModel { round, detail } => write!(f, "round {round}: {detail}"),
+            Self::InfeasibleWeights { round, violation } => {
+                write!(f, "round {round}: weights violate P by {violation}")
+            }
+            Self::CommMismatch {
+                round,
+                link,
+                counter,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "round {round}: {link} {counter} = {actual}, expected {expected}"
+            ),
+            Self::TrailingEvents { count } => {
+                write!(f, "{count} trailing events after the final round")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConformanceError {}
+
+/// Summary of a successful conformance check.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConformanceReport {
+    /// Training rounds validated.
+    pub rounds: usize,
+    /// Events consumed by the automaton.
+    pub events: usize,
+    /// Client local-step executions validated against the dropout replay.
+    pub local_steps: usize,
+    /// Checkpoint captures observed.
+    pub checkpoints: usize,
+}
+
+/// Strict event cursor: the automaton consumes the log front to back.
+struct Cursor<'a> {
+    events: &'a [Event],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(events: &'a [Event]) -> Self {
+        Self { events, pos: 0 }
+    }
+
+    fn next(
+        &mut self,
+        round: usize,
+        expected: &'static str,
+    ) -> Result<&'a Event, ConformanceError> {
+        match self.events.get(self.pos) {
+            Some(e) => {
+                self.pos += 1;
+                Ok(e)
+            }
+            None => Err(ConformanceError::TraceEnded { round, expected }),
+        }
+    }
+
+    fn finish(&self) -> Result<usize, ConformanceError> {
+        if self.pos < self.events.len() {
+            Err(ConformanceError::TrailingEvents {
+                count: self.events.len() - self.pos,
+            })
+        } else {
+            Ok(self.pos)
+        }
+    }
+}
+
+fn unexpected(round: usize, expected: &'static str, actual: &Event) -> ConformanceError {
+    ConformanceError::UnexpectedEvent {
+        round,
+        expected,
+        actual: format!("{actual:?}"),
+    }
+}
+
+/// First-seen-order multiplicity counting (mirrors the production helper,
+/// which is crate-private by design).
+fn multiplicities(sampled: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let mut distinct: Vec<usize> = Vec::new();
+    let mut counts: Vec<usize> = Vec::new();
+    for &e in sampled {
+        match distinct.iter().position(|&x| x == e) {
+            Some(i) => counts[i] += 1,
+            None => {
+                distinct.push(e);
+                counts.push(1);
+            }
+        }
+    }
+    (distinct, counts)
+}
+
+/// Replay the keyed dropout stream for one block over the given edges:
+/// `alive[ei * n0 + c]`, replicating the `dropout == 0` no-draw fast path.
+fn replay_alive(
+    problem: &FederatedProblem,
+    edges: &[usize],
+    round: usize,
+    tau2: usize,
+    t2: usize,
+    seed: u64,
+    dropout: f32,
+) -> Vec<bool> {
+    let n0 = problem.clients_per_edge();
+    let topo = problem.topology();
+    (0..edges.len() * n0)
+        .map(|slot| {
+            if dropout == 0.0 {
+                return true;
+            }
+            let edge = edges[slot / n0];
+            let client = topo.client_id(edge, slot % n0);
+            let mut drng = StreamRng::for_key(StreamKey::new(
+                seed,
+                Purpose::Dropout,
+                (round * tau2 + t2) as u64,
+                client as u64,
+            ));
+            drng.uniform() >= f64::from(dropout)
+        })
+        .collect()
+}
+
+fn check_finite_model(round: usize, w: &[f32], d: usize) -> Result<(), ConformanceError> {
+    if w.len() != d {
+        return Err(ConformanceError::BadModel {
+            round,
+            detail: format!("global model has dim {}, expected {d}", w.len()),
+        });
+    }
+    if let Some(i) = w.iter().position(|x| !x.is_finite()) {
+        return Err(ConformanceError::BadModel {
+            round,
+            detail: format!("global model non-finite at coordinate {i}"),
+        });
+    }
+    Ok(())
+}
+
+/// Closed-form expectation for one round's communication counters.
+#[derive(Debug, Clone, Copy, Default)]
+struct LinkCost {
+    down_floats: u64,
+    down_msgs: u64,
+    up_floats: u64,
+    up_msgs: u64,
+    rounds: u64,
+}
+
+fn check_link(
+    round: usize,
+    delta: &CommStats,
+    link: Link,
+    name: &'static str,
+    want: LinkCost,
+) -> Result<(), ConformanceError> {
+    let checks: [(&'static str, u64, u64); 5] = [
+        (
+            "downlink floats",
+            want.down_floats,
+            delta.downlink_floats(link),
+        ),
+        ("downlink msgs", want.down_msgs, delta.downlink_msgs(link)),
+        ("uplink floats", want.up_floats, delta.uplink_floats(link)),
+        ("uplink msgs", want.up_msgs, delta.uplink_msgs(link)),
+        ("rounds", want.rounds, delta.rounds(link)),
+    ];
+    for (counter, expected, actual) in checks {
+        if expected != actual {
+            return Err(ConformanceError::CommMismatch {
+                round,
+                link: name,
+                counter,
+                expected,
+                actual,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Validate the `run_edge_blocks` section of a round: `LocalSteps` events
+/// in edge-major survivor order, then per-edge checkpoint captures and
+/// aggregations. Returns per-block survivor counts.
+#[allow(clippy::too_many_arguments)]
+fn check_edge_blocks(
+    cur: &mut Cursor<'_>,
+    problem: &FederatedProblem,
+    edges: &[usize],
+    k: usize,
+    tau1: usize,
+    tau2: usize,
+    c2: Option<usize>,
+    seed: u64,
+    dropout: f32,
+    report: &mut ConformanceReport,
+) -> Result<Vec<u64>, ConformanceError> {
+    let n0 = problem.clients_per_edge();
+    let topo = problem.topology();
+    let mut survivors_per_block = Vec::with_capacity(tau2);
+    for t2 in 0..tau2 {
+        let alive = replay_alive(problem, edges, k, tau2, t2, seed, dropout);
+        survivors_per_block.push(alive.iter().filter(|&&a| a).count() as u64);
+        for (ei, &edge) in edges.iter().enumerate() {
+            for c in 0..n0 {
+                if !alive[ei * n0 + c] {
+                    continue;
+                }
+                let client = topo.client_id(edge, c);
+                match cur.next(k, "LocalSteps")? {
+                    Event::LocalSteps {
+                        round,
+                        t2: et2,
+                        edge: ee,
+                        client: ec,
+                        steps,
+                    } if *round == k
+                        && *et2 == t2
+                        && *ee == edge
+                        && *ec == client
+                        && *steps == tau1 =>
+                    {
+                        report.local_steps += 1;
+                    }
+                    other => {
+                        return Err(ConformanceError::LocalStepsMismatch {
+                            round: k,
+                            t2,
+                            detail: format!(
+                                "expected LocalSteps for client {client} of edge {edge} \
+                                 ({tau1} steps), found {other:?}"
+                            ),
+                        })
+                    }
+                }
+            }
+        }
+        // Per-edge aggregation over survivors; a fully-dropped edge emits
+        // nothing and keeps its block-start model.
+        for (ei, &edge) in edges.iter().enumerate() {
+            let any_alive = (0..n0).any(|c| alive[ei * n0 + c]);
+            if !any_alive {
+                continue;
+            }
+            if c2 == Some(t2) {
+                match cur.next(k, "CheckpointCaptured")? {
+                    Event::CheckpointCaptured {
+                        round,
+                        edge: ee,
+                        t2: et2,
+                    } if *round == k && *ee == edge && *et2 == t2 => {
+                        report.checkpoints += 1;
+                    }
+                    other => {
+                        return Err(ConformanceError::AggregationMismatch {
+                            round: k,
+                            detail: format!(
+                                "expected CheckpointCaptured at edge {edge} block {t2}, \
+                                 found {other:?}"
+                            ),
+                        })
+                    }
+                }
+            }
+            match cur.next(k, "ClientEdgeAggregation")? {
+                Event::ClientEdgeAggregation {
+                    round,
+                    edge: ee,
+                    t2: et2,
+                } if *round == k && *ee == edge && *et2 == t2 => {}
+                other => {
+                    return Err(ConformanceError::AggregationMismatch {
+                        round: k,
+                        detail: format!(
+                            "expected ClientEdgeAggregation at edge {edge} block {t2}, \
+                             found {other:?}"
+                        ),
+                    })
+                }
+            }
+        }
+    }
+    Ok(survivors_per_block)
+}
+
+/// Check a full HierMinimax trace against the Algorithm-1 model.
+///
+/// `events` must be the complete log of a traced run of
+/// `HierMinimax::new(cfg.clone()).run(problem, seed)` with
+/// `cfg.opts.trace = true`.
+///
+/// # Panics
+/// Panics on heterogeneous `tau2_per_edge` configs (not modelled).
+pub fn check_hierminimax_trace(
+    problem: &FederatedProblem,
+    cfg: &HierMinimaxConfig,
+    seed: u64,
+    events: &[Event],
+) -> Result<ConformanceReport, ConformanceError> {
+    assert!(
+        cfg.tau2_per_edge.is_none(),
+        "conformance model covers homogeneous rates only"
+    );
+    let n_edges = problem.num_edges();
+    let n0 = problem.clients_per_edge() as u64;
+    let d = problem.num_params();
+    let wire = cfg.quantizer.wire_floats(d);
+    let mut cur = Cursor::new(events);
+    let mut p = problem.initial_p();
+    let mut report = ConformanceReport::default();
+
+    for k in 0..cfg.rounds {
+        // Phase 1 (a): weighted edge sample from the traced p^(k).
+        let sampled = match cur.next(k, "Phase1EdgesSampled")? {
+            Event::Phase1EdgesSampled { round, edges } if *round == k => edges.clone(),
+            other => return Err(unexpected(k, "Phase1EdgesSampled", other)),
+        };
+        let mut e_rng =
+            StreamRng::for_key(StreamKey::new(seed, Purpose::EdgeSampling, k as u64, 0));
+        let p64: Vec<f64> = p.iter().map(|&x| f64::from(x).max(0.0)).collect();
+        let expect = sample_edges_weighted(&p64, cfg.m_edges, &mut e_rng);
+        if sampled != expect {
+            return Err(ConformanceError::SamplingMismatch {
+                round: k,
+                phase: "phase1",
+                expected: expect,
+                actual: sampled,
+            });
+        }
+
+        // Checkpoint draw: range first, then stream equality.
+        let (c1, c2) = match cur.next(k, "CheckpointSampled")? {
+            Event::CheckpointSampled { round, c1, c2 } if *round == k => (*c1, *c2),
+            other => return Err(unexpected(k, "CheckpointSampled", other)),
+        };
+        if c1 >= cfg.tau1 || c2 >= cfg.tau2 {
+            return Err(ConformanceError::CheckpointOutOfRange {
+                round: k,
+                c1,
+                c2,
+                tau1: cfg.tau1,
+                tau2: cfg.tau2,
+            });
+        }
+        let mut c_rng = StreamRng::for_key(StreamKey::new(seed, Purpose::Checkpoint, k as u64, 0));
+        let expect_cp = sample_checkpoint(cfg.tau1, cfg.tau2, &mut c_rng);
+        if (c1, c2) != expect_cp {
+            return Err(ConformanceError::CheckpointMismatch {
+                round: k,
+                expected: expect_cp,
+                actual: (c1, c2),
+            });
+        }
+
+        // Broadcast to the distinct sampled edges.
+        let (distinct, _counts) = multiplicities(&sampled);
+        match cur.next(k, "CloudBroadcast")? {
+            Event::CloudBroadcast { round, recipients } if *round == k => {
+                if *recipients != distinct {
+                    return Err(ConformanceError::BroadcastMismatch {
+                        round: k,
+                        expected: distinct.clone(),
+                        actual: recipients.clone(),
+                    });
+                }
+            }
+            other => return Err(unexpected(k, "CloudBroadcast", other)),
+        }
+
+        // τ2 blocks of local steps + aggregations.
+        let survivors = check_edge_blocks(
+            &mut cur,
+            problem,
+            &distinct,
+            k,
+            cfg.tau1,
+            cfg.tau2,
+            Some(c2),
+            seed,
+            cfg.dropout,
+            &mut report,
+        )?;
+
+        // Cloud aggregation.
+        match cur.next(k, "GlobalAggregation")? {
+            Event::GlobalAggregation { round } if *round == k => {}
+            other => return Err(unexpected(k, "GlobalAggregation", other)),
+        }
+        match cur.next(k, "GlobalModel")? {
+            Event::GlobalModel { round, w } if *round == k => check_finite_model(k, w, d)?,
+            other => return Err(unexpected(k, "GlobalModel", other)),
+        }
+
+        // Phase 2: uniform sample.
+        let u_set = match cur.next(k, "Phase2EdgesSampled")? {
+            Event::Phase2EdgesSampled { round, edges } if *round == k => edges.clone(),
+            other => return Err(unexpected(k, "Phase2EdgesSampled", other)),
+        };
+        let mut u_rng = StreamRng::for_key(StreamKey::new(
+            seed,
+            Purpose::LossEstSampling,
+            k as u64,
+            u64::MAX,
+        ));
+        let expect_u = sample_edges_uniform(n_edges, cfg.m_edges, &mut u_rng);
+        if u_set != expect_u {
+            return Err(ConformanceError::SamplingMismatch {
+                round: k,
+                phase: "phase2",
+                expected: expect_u,
+                actual: u_set,
+            });
+        }
+
+        // Weight update: dimension, finiteness, feasibility; the traced p
+        // becomes the next round's sampling distribution.
+        let p_new = match cur.next(k, "WeightUpdate")? {
+            Event::WeightUpdate { round, p } if *round == k => p.clone(),
+            other => return Err(unexpected(k, "WeightUpdate", other)),
+        };
+        if p_new.len() != n_edges || p_new.iter().any(|x| !x.is_finite()) {
+            return Err(ConformanceError::BadModel {
+                round: k,
+                detail: format!("weight vector malformed: {p_new:?}"),
+            });
+        }
+        let violation = problem.p_domain.feasibility_violation(&p_new);
+        if violation > FEASIBILITY_TOL {
+            return Err(ConformanceError::InfeasibleWeights {
+                round: k,
+                violation,
+            });
+        }
+
+        // Closed-form communication accounting for this round.
+        let delta = match cur.next(k, "RoundComm")? {
+            Event::RoundComm { round, delta } if *round == k => *delta,
+            other => return Err(unexpected(k, "RoundComm", other)),
+        };
+        let dl = distinct.len() as u64;
+        let m = cfg.m_edges as u64;
+        let du = d as u64;
+        let t2u = cfg.tau2 as u64;
+        check_link(
+            k,
+            &delta,
+            Link::EdgeCloud,
+            "EdgeCloud",
+            LinkCost {
+                down_floats: (du + 2) * dl + du * m,
+                down_msgs: dl + m,
+                up_floats: 2 * wire * dl + m,
+                up_msgs: dl + m,
+                rounds: 1,
+            },
+        )?;
+        let mut ce_up_f = m * n0;
+        let mut ce_up_m = m * n0;
+        for (t2, &s) in survivors.iter().enumerate() {
+            ce_up_f += if t2 == c2 { 2 * wire } else { wire } * s;
+            ce_up_m += s;
+        }
+        check_link(
+            k,
+            &delta,
+            Link::ClientEdge,
+            "ClientEdge",
+            LinkCost {
+                down_floats: t2u * dl * n0 * du + du * m * n0,
+                down_msgs: t2u * dl * n0 + m * n0,
+                up_floats: ce_up_f,
+                up_msgs: ce_up_m,
+                rounds: t2u + 1,
+            },
+        )?;
+        check_link(
+            k,
+            &delta,
+            Link::ClientCloud,
+            "ClientCloud",
+            LinkCost::default(),
+        )?;
+
+        p = p_new;
+        report.rounds += 1;
+    }
+    report.events = cur.finish()?;
+    Ok(report)
+}
+
+/// Check a full HierFAVG trace: Phase 1 only, uniform edge sampling,
+/// no checkpoint machinery and no weight update.
+pub fn check_hierfavg_trace(
+    problem: &FederatedProblem,
+    cfg: &HierFavgConfig,
+    seed: u64,
+    events: &[Event],
+) -> Result<ConformanceReport, ConformanceError> {
+    let n_edges = problem.num_edges();
+    let n0 = problem.clients_per_edge() as u64;
+    let d = problem.num_params();
+    let wire = cfg.quantizer.wire_floats(d);
+    let mut cur = Cursor::new(events);
+    let mut report = ConformanceReport::default();
+
+    for k in 0..cfg.rounds {
+        let sampled = match cur.next(k, "Phase1EdgesSampled")? {
+            Event::Phase1EdgesSampled { round, edges } if *round == k => edges.clone(),
+            other => return Err(unexpected(k, "Phase1EdgesSampled", other)),
+        };
+        let mut e_rng =
+            StreamRng::for_key(StreamKey::new(seed, Purpose::EdgeSampling, k as u64, 0));
+        let expect = sample_edges_uniform(n_edges, cfg.m_edges, &mut e_rng);
+        if sampled != expect {
+            return Err(ConformanceError::SamplingMismatch {
+                round: k,
+                phase: "phase1",
+                expected: expect,
+                actual: sampled,
+            });
+        }
+        match cur.next(k, "CloudBroadcast")? {
+            Event::CloudBroadcast { round, recipients } if *round == k => {
+                if *recipients != sampled {
+                    return Err(ConformanceError::BroadcastMismatch {
+                        round: k,
+                        expected: sampled.clone(),
+                        actual: recipients.clone(),
+                    });
+                }
+            }
+            other => return Err(unexpected(k, "CloudBroadcast", other)),
+        }
+        let survivors = check_edge_blocks(
+            &mut cur,
+            problem,
+            &sampled,
+            k,
+            cfg.tau1,
+            cfg.tau2,
+            None,
+            seed,
+            cfg.dropout,
+            &mut report,
+        )?;
+        match cur.next(k, "GlobalAggregation")? {
+            Event::GlobalAggregation { round } if *round == k => {}
+            other => return Err(unexpected(k, "GlobalAggregation", other)),
+        }
+        match cur.next(k, "GlobalModel")? {
+            Event::GlobalModel { round, w } if *round == k => check_finite_model(k, w, d)?,
+            other => return Err(unexpected(k, "GlobalModel", other)),
+        }
+        let delta = match cur.next(k, "RoundComm")? {
+            Event::RoundComm { round, delta } if *round == k => *delta,
+            other => return Err(unexpected(k, "RoundComm", other)),
+        };
+        let m = sampled.len() as u64;
+        let du = d as u64;
+        let t2u = cfg.tau2 as u64;
+        check_link(
+            k,
+            &delta,
+            Link::EdgeCloud,
+            "EdgeCloud",
+            LinkCost {
+                down_floats: du * m,
+                down_msgs: m,
+                up_floats: wire * m,
+                up_msgs: m,
+                rounds: 1,
+            },
+        )?;
+        let ce_up_f: u64 = survivors.iter().map(|&s| wire * s).sum();
+        let ce_up_m: u64 = survivors.iter().sum();
+        check_link(
+            k,
+            &delta,
+            Link::ClientEdge,
+            "ClientEdge",
+            LinkCost {
+                down_floats: t2u * m * n0 * du,
+                down_msgs: t2u * m * n0,
+                up_floats: ce_up_f,
+                up_msgs: ce_up_m,
+                rounds: t2u,
+            },
+        )?;
+        check_link(
+            k,
+            &delta,
+            Link::ClientCloud,
+            "ClientCloud",
+            LinkCost::default(),
+        )?;
+        report.rounds += 1;
+    }
+    report.events = cur.finish()?;
+    Ok(report)
+}
+
+/// Is this event one the multi-level cloud loop emits (as opposed to
+/// client/edge-level events of inner subtrees, whose `round` fields carry
+/// position tags that can collide with real round indices)?
+fn is_cloud_level(e: &Event) -> bool {
+    matches!(
+        e,
+        Event::Phase1EdgesSampled { .. }
+            | Event::CheckpointSampled { .. }
+            | Event::CloudBroadcast { .. }
+            | Event::GlobalAggregation { .. }
+            | Event::GlobalModel { .. }
+            | Event::Phase2EdgesSampled { .. }
+            | Event::WeightUpdate { .. }
+            | Event::RoundComm { .. }
+    )
+}
+
+/// Recursive closed-form `ClientEdge` cost of one group's subtree update
+/// (mirrors `MultiLevelMinimax::subtree_update`; base levels run with
+/// `Quantizer::Exact` and zero dropout).
+fn subtree_cost(cfg: &MultiLevelConfig, d: u64, n0: u64, li: usize, edges: u64) -> LinkCost {
+    if li == cfg.upper.len() {
+        // run_edge_blocks over `edges` edges, τ2 blocks, exactly one of
+        // which carries the doubled checkpoint payload.
+        let t2 = cfg.tau2 as u64;
+        return LinkCost {
+            down_floats: t2 * edges * n0 * d,
+            down_msgs: t2 * edges * n0,
+            up_floats: (t2 + 1) * d * edges * n0,
+            up_msgs: t2 * edges * n0,
+            rounds: t2,
+        };
+    }
+    let child_edges: u64 = cfg.upper[li + 1..]
+        .iter()
+        .map(|u| u.group_size as u64)
+        .product::<u64>()
+        .max(1);
+    let children = edges / child_edges;
+    let tau = cfg.upper[li].tau as u64;
+    let child = subtree_cost(cfg, d, n0, li + 1, child_edges);
+    LinkCost {
+        down_floats: tau * (d * children + children * child.down_floats),
+        down_msgs: tau * (children + children * child.down_msgs),
+        up_floats: tau * (2 * d * children + children * child.up_floats),
+        up_msgs: tau * (children + children * child.up_msgs),
+        rounds: tau * (1 + children * child.rounds),
+    }
+}
+
+/// Check the cloud-level protocol of a multi-level HierMinimax trace:
+/// sampling replay over top-level groups, the checkpoint draw (upper-level
+/// coordinates first, then `c1`, `c2`), aggregation order, weight
+/// feasibility, and the full closed-form communication accounting
+/// (including recursive intermediate-level costs). Inner subtree events
+/// are skipped (their round fields are position tags).
+pub fn check_multilevel_trace(
+    problem: &FederatedProblem,
+    cfg: &MultiLevelConfig,
+    seed: u64,
+    events: &[Event],
+) -> Result<ConformanceReport, ConformanceError> {
+    let per_group: usize = cfg.edges_per_group().max(1);
+    let n_edges = problem.num_edges();
+    assert!(
+        n_edges.is_multiple_of(per_group),
+        "{n_edges} edges do not divide into groups of {per_group}"
+    );
+    let num_groups = n_edges / per_group;
+    let n0 = problem.clients_per_edge() as u64;
+    let d = problem.num_params();
+    let cloud: Vec<&Event> = events.iter().filter(|e| is_cloud_level(e)).collect();
+    let mut cur = Cursor {
+        events: &[],
+        pos: 0,
+    };
+    // A cursor over references: rebuild a contiguous buffer instead.
+    let cloud_events: Vec<Event> = cloud.into_iter().cloned().collect();
+    cur.events = &cloud_events;
+
+    let mut p = vec![1.0_f32 / num_groups as f32; num_groups];
+    let mut report = ConformanceReport::default();
+
+    for k in 0..cfg.rounds {
+        let sampled = match cur.next(k, "Phase1EdgesSampled")? {
+            Event::Phase1EdgesSampled { round, edges } if *round == k => edges.clone(),
+            other => return Err(unexpected(k, "Phase1EdgesSampled", other)),
+        };
+        let mut e_rng =
+            StreamRng::for_key(StreamKey::new(seed, Purpose::EdgeSampling, k as u64, 0));
+        let p64: Vec<f64> = p.iter().map(|&x| f64::from(x).max(0.0)).collect();
+        let expect = sample_edges_weighted(&p64, cfg.m_groups, &mut e_rng);
+        if sampled != expect {
+            return Err(ConformanceError::SamplingMismatch {
+                round: k,
+                phase: "phase1",
+                expected: expect,
+                actual: sampled,
+            });
+        }
+        let (distinct, _counts) = multiplicities(&sampled);
+
+        let (c1, c2) = match cur.next(k, "CheckpointSampled")? {
+            Event::CheckpointSampled { round, c1, c2 } if *round == k => (*c1, *c2),
+            other => return Err(unexpected(k, "CheckpointSampled", other)),
+        };
+        if c1 >= cfg.tau1 || c2 >= cfg.tau2 {
+            return Err(ConformanceError::CheckpointOutOfRange {
+                round: k,
+                c1,
+                c2,
+                tau1: cfg.tau1,
+                tau2: cfg.tau2,
+            });
+        }
+        // Replay: upper-level coordinates are drawn before (c1, c2).
+        let mut c_rng = StreamRng::for_key(StreamKey::new(seed, Purpose::Checkpoint, k as u64, 0));
+        for u in &cfg.upper {
+            let _ = c_rng.below(u.tau);
+        }
+        let expect_cp = (c_rng.below(cfg.tau1), c_rng.below(cfg.tau2));
+        if (c1, c2) != expect_cp {
+            return Err(ConformanceError::CheckpointMismatch {
+                round: k,
+                expected: expect_cp,
+                actual: (c1, c2),
+            });
+        }
+
+        match cur.next(k, "CloudBroadcast")? {
+            Event::CloudBroadcast { round, recipients } if *round == k => {
+                if *recipients != distinct {
+                    return Err(ConformanceError::BroadcastMismatch {
+                        round: k,
+                        expected: distinct.clone(),
+                        actual: recipients.clone(),
+                    });
+                }
+            }
+            other => return Err(unexpected(k, "CloudBroadcast", other)),
+        }
+        match cur.next(k, "GlobalAggregation")? {
+            Event::GlobalAggregation { round } if *round == k => {}
+            other => return Err(unexpected(k, "GlobalAggregation", other)),
+        }
+        match cur.next(k, "GlobalModel")? {
+            Event::GlobalModel { round, w } if *round == k => check_finite_model(k, w, d)?,
+            other => return Err(unexpected(k, "GlobalModel", other)),
+        }
+        let u_set = match cur.next(k, "Phase2EdgesSampled")? {
+            Event::Phase2EdgesSampled { round, edges } if *round == k => edges.clone(),
+            other => return Err(unexpected(k, "Phase2EdgesSampled", other)),
+        };
+        let mut u_rng = StreamRng::for_key(StreamKey::new(
+            seed,
+            Purpose::LossEstSampling,
+            k as u64,
+            u64::MAX,
+        ));
+        let expect_u = sample_edges_uniform(num_groups, cfg.m_groups, &mut u_rng);
+        if u_set != expect_u {
+            return Err(ConformanceError::SamplingMismatch {
+                round: k,
+                phase: "phase2",
+                expected: expect_u,
+                actual: u_set,
+            });
+        }
+        let p_new = match cur.next(k, "WeightUpdate")? {
+            Event::WeightUpdate { round, p } if *round == k => p.clone(),
+            other => return Err(unexpected(k, "WeightUpdate", other)),
+        };
+        if p_new.len() != num_groups || p_new.iter().any(|x| !x.is_finite()) {
+            return Err(ConformanceError::BadModel {
+                round: k,
+                detail: format!("weight vector malformed: {p_new:?}"),
+            });
+        }
+        let violation = problem.p_domain.feasibility_violation(&p_new);
+        if violation > FEASIBILITY_TOL {
+            return Err(ConformanceError::InfeasibleWeights {
+                round: k,
+                violation,
+            });
+        }
+
+        let delta = match cur.next(k, "RoundComm")? {
+            Event::RoundComm { round, delta } if *round == k => *delta,
+            other => return Err(unexpected(k, "RoundComm", other)),
+        };
+        let dl = distinct.len() as u64;
+        let m = cfg.m_groups as u64;
+        let du = d as u64;
+        let cp_len = cfg.upper.len() as u64 + 2;
+        check_link(
+            k,
+            &delta,
+            Link::EdgeCloud,
+            "EdgeCloud",
+            LinkCost {
+                down_floats: (du + cp_len) * dl + du * m,
+                down_msgs: dl + m,
+                up_floats: 2 * du * dl + m,
+                up_msgs: dl + m,
+                rounds: 1,
+            },
+        )?;
+        let sub = subtree_cost(cfg, du, n0, 0, per_group as u64);
+        let phase2 = m * per_group as u64 * n0;
+        check_link(
+            k,
+            &delta,
+            Link::ClientEdge,
+            "ClientEdge",
+            LinkCost {
+                down_floats: dl * sub.down_floats + du * phase2,
+                down_msgs: dl * sub.down_msgs + phase2,
+                up_floats: dl * sub.up_floats + phase2,
+                up_msgs: dl * sub.up_msgs + phase2,
+                rounds: dl * sub.rounds + 1,
+            },
+        )?;
+        check_link(
+            k,
+            &delta,
+            Link::ClientCloud,
+            "ClientCloud",
+            LinkCost::default(),
+        )?;
+
+        p = p_new;
+        report.rounds += 1;
+    }
+    report.events = cur.finish()?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::traced_opts;
+    use hm_core::algorithms::{Algorithm, HierFavg, HierMinimax, MultiLevelMinimax, UpperLevel};
+    use hm_data::scenarios::tiny_problem;
+
+    fn problem(n_edges: usize, n0: usize, seed: u64) -> FederatedProblem {
+        FederatedProblem::logistic_from_scenario(&tiny_problem(n_edges, n0, seed))
+    }
+
+    #[test]
+    fn valid_hierminimax_trace_passes() {
+        let fp = problem(3, 2, 1);
+        let cfg = HierMinimaxConfig {
+            rounds: 3,
+            opts: traced_opts(),
+            ..Default::default()
+        };
+        let r = HierMinimax::new(cfg.clone()).run(&fp, 42);
+        let report = check_hierminimax_trace(&fp, &cfg, 42, &r.trace.events()).unwrap();
+        assert_eq!(report.rounds, 3);
+        // 3 rounds × τ2 blocks × 2 distinct-at-most edges × 2 clients…
+        assert!(report.local_steps > 0);
+        assert!(report.checkpoints > 0);
+    }
+
+    #[test]
+    fn valid_hierfavg_trace_passes() {
+        let fp = problem(3, 2, 2);
+        let cfg = HierFavgConfig {
+            rounds: 3,
+            opts: traced_opts(),
+            ..Default::default()
+        };
+        let r = HierFavg::new(cfg.clone()).run(&fp, 7);
+        let report = check_hierfavg_trace(&fp, &cfg, 7, &r.trace.events()).unwrap();
+        assert_eq!(report.rounds, 3);
+        assert_eq!(report.checkpoints, 0);
+    }
+
+    #[test]
+    fn valid_multilevel_trace_passes() {
+        let fp = problem(4, 2, 3);
+        let cfg = MultiLevelConfig {
+            rounds: 3,
+            upper: vec![UpperLevel {
+                group_size: 2,
+                tau: 2,
+            }],
+            m_groups: 2,
+            opts: traced_opts(),
+            ..Default::default()
+        };
+        let r = MultiLevelMinimax::new(cfg.clone()).run(&fp, 11);
+        let report = check_multilevel_trace(&fp, &cfg, 11, &r.trace.events()).unwrap();
+        assert_eq!(report.rounds, 3);
+    }
+
+    #[test]
+    fn truncated_trace_is_rejected() {
+        let fp = problem(3, 2, 1);
+        let cfg = HierMinimaxConfig {
+            rounds: 2,
+            opts: traced_opts(),
+            ..Default::default()
+        };
+        let r = HierMinimax::new(cfg.clone()).run(&fp, 5);
+        let mut events = r.trace.events();
+        events.pop();
+        let err = check_hierminimax_trace(&fp, &cfg, 5, &events).unwrap_err();
+        assert!(matches!(err, ConformanceError::TraceEnded { .. }), "{err}");
+    }
+
+    #[test]
+    fn trailing_events_are_rejected() {
+        let fp = problem(3, 2, 1);
+        let cfg = HierMinimaxConfig {
+            rounds: 2,
+            opts: traced_opts(),
+            ..Default::default()
+        };
+        let r = HierMinimax::new(cfg.clone()).run(&fp, 5);
+        let mut events = r.trace.events();
+        events.push(Event::GlobalAggregation { round: 2 });
+        let err = check_hierminimax_trace(&fp, &cfg, 5, &events).unwrap_err();
+        assert_eq!(err, ConformanceError::TrailingEvents { count: 1 });
+    }
+
+    #[test]
+    fn errors_render_without_panicking() {
+        let e = ConformanceError::CommMismatch {
+            round: 3,
+            link: "EdgeCloud",
+            counter: "uplink floats",
+            expected: 10,
+            actual: 12,
+        };
+        let s = e.to_string();
+        assert!(s.contains("EdgeCloud") && s.contains("12"), "{s}");
+    }
+}

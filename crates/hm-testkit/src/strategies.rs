@@ -1,0 +1,362 @@
+//! Property-based scenario generation.
+//!
+//! A [`ScenarioSpec`] is a plain, `Debug`-printable description of one
+//! end-to-end test case — topology, periods, participation, dropout,
+//! quantizer, constrained `P` set, and both seeds — from which the problem
+//! and every algorithm config can be built. Keeping the spec a value type
+//! (rather than generating problems directly) is what makes proptest's
+//! case reporting and regression pinning meaningful: a failing case prints
+//! and replays as a handful of integers.
+//!
+//! The strategies stick to the portable proptest core (unweighted
+//! `prop_oneof!`, `prop_map`, tuple and range strategies); weighting is
+//! expressed by duplicating arms, and dependent fields (`m ≤ n`) by
+//! mapping a free integer instead of `prop_flat_map`.
+
+use hm_core::algorithms::{
+    HierFavgConfig, HierMinimaxConfig, MultiLevelConfig, RunOpts, UpperLevel, WeightUpdateModel,
+};
+use hm_core::problem::FederatedProblem;
+use hm_data::scenarios::tiny_problem;
+use hm_optim::ProjectionOp;
+use hm_simnet::{Parallelism, Quantizer};
+use proptest::prelude::*;
+
+/// The constrained weight domain `P` of problem (3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PDomainSpec {
+    /// The full probability simplex (the paper's default).
+    Simplex,
+    /// A capped simplex `{p : lo ≤ p_e ≤ hi, Σ p = 1}` — the "constrained
+    /// `P`" extension exercised by the conformance checker's feasibility
+    /// invariant.
+    CappedSimplex {
+        /// Per-coordinate lower bound.
+        lo: f32,
+        /// Per-coordinate upper bound.
+        hi: f32,
+    },
+}
+
+impl PDomainSpec {
+    /// The projection operator for this domain.
+    pub fn projection(&self) -> ProjectionOp {
+        match *self {
+            PDomainSpec::Simplex => ProjectionOp::Simplex,
+            PDomainSpec::CappedSimplex { lo, hi } => ProjectionOp::CappedSimplex { lo, hi },
+        }
+    }
+}
+
+/// One generated three-layer scenario: everything needed to build the
+/// problem and run HierMinimax / HierFAVG on it deterministically.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Edge areas `N_E`.
+    pub n_edges: usize,
+    /// Clients per edge `N_0`.
+    pub clients_per_edge: usize,
+    /// Seed of the synthetic dataset generator.
+    pub data_seed: u64,
+    /// Master seed of the algorithm run.
+    pub run_seed: u64,
+    /// Training rounds `K`.
+    pub rounds: usize,
+    /// Local steps per block `τ1`.
+    pub tau1: usize,
+    /// Blocks per round `τ2`.
+    pub tau2: usize,
+    /// Participating edges per phase `m_E`.
+    pub m_edges: usize,
+    /// Per-block client dropout probability.
+    pub dropout: f32,
+    /// Uplink codec.
+    pub quantizer: Quantizer,
+    /// Constrained weight domain `P`.
+    pub p_domain: PDomainSpec,
+    /// Which model Phase 2 evaluates.
+    pub weight_update_model: WeightUpdateModel,
+}
+
+/// Runner options every generated case uses: sequential (the reference
+/// execution order), traced, no mid-run evaluation.
+pub fn traced_opts() -> RunOpts {
+    RunOpts {
+        eval_every: 0,
+        parallelism: Parallelism::Sequential,
+        trace: true,
+    }
+}
+
+impl ScenarioSpec {
+    /// Build the federated problem for this spec (multinomial logistic on
+    /// the one-class-per-edge `tiny` scenario, with the spec's `P`).
+    pub fn problem(&self) -> FederatedProblem {
+        let sc = tiny_problem(self.n_edges, self.clients_per_edge, self.data_seed);
+        let mut fp = FederatedProblem::logistic_from_scenario(&sc);
+        fp.p_domain = self.p_domain.projection();
+        fp
+    }
+
+    /// The HierMinimax config for this spec.
+    pub fn hierminimax_config(&self) -> HierMinimaxConfig {
+        HierMinimaxConfig {
+            rounds: self.rounds,
+            tau1: self.tau1,
+            tau2: self.tau2,
+            m_edges: self.m_edges,
+            eta_w: 0.1,
+            eta_p: 0.05,
+            batch_size: 2,
+            loss_batch: 3,
+            weight_update_model: self.weight_update_model,
+            quantizer: self.quantizer,
+            dropout: self.dropout,
+            tau2_per_edge: None,
+            opts: traced_opts(),
+        }
+    }
+
+    /// The HierFAVG config for this spec (fields without a HierFAVG
+    /// counterpart — `P` and the Phase-2 knobs — are simply unused).
+    pub fn hierfavg_config(&self) -> HierFavgConfig {
+        HierFavgConfig {
+            rounds: self.rounds,
+            tau1: self.tau1,
+            tau2: self.tau2,
+            m_edges: self.m_edges,
+            eta_w: 0.1,
+            batch_size: 2,
+            quantizer: self.quantizer,
+            dropout: self.dropout,
+            opts: traced_opts(),
+        }
+    }
+}
+
+/// One generated multi-level scenario (clients → edges → zero or one
+/// intermediate level → cloud).
+#[derive(Debug, Clone)]
+pub struct MultiLevelSpec {
+    /// Top-level (weighted) groups.
+    pub groups: usize,
+    /// Edges per group (forced to `1` when `with_upper` is false, which
+    /// degenerates to the plain three-layer HierMinimax).
+    pub group_size: usize,
+    /// Whether an intermediate level exists at all.
+    pub with_upper: bool,
+    /// Aggregations of the level below per intermediate-level sync.
+    pub tau_upper: usize,
+    /// Clients per edge.
+    pub clients_per_edge: usize,
+    /// Seed of the synthetic dataset generator.
+    pub data_seed: u64,
+    /// Master seed of the algorithm run.
+    pub run_seed: u64,
+    /// Training rounds.
+    pub rounds: usize,
+    /// Local steps per block.
+    pub tau1: usize,
+    /// Blocks per edge-level sync.
+    pub tau2: usize,
+    /// Sampled groups per phase.
+    pub m_groups: usize,
+}
+
+impl MultiLevelSpec {
+    /// Total edges of the underlying scenario.
+    pub fn n_edges(&self) -> usize {
+        self.groups * self.effective_group_size()
+    }
+
+    /// Group size after accounting for `with_upper`.
+    pub fn effective_group_size(&self) -> usize {
+        if self.with_upper {
+            self.group_size
+        } else {
+            1
+        }
+    }
+
+    /// Build the federated problem for this spec.
+    pub fn problem(&self) -> FederatedProblem {
+        let sc = tiny_problem(self.n_edges(), self.clients_per_edge, self.data_seed);
+        FederatedProblem::logistic_from_scenario(&sc)
+    }
+
+    /// The multi-level config for this spec.
+    pub fn config(&self) -> MultiLevelConfig {
+        let upper = if self.with_upper {
+            vec![UpperLevel {
+                group_size: self.group_size,
+                tau: self.tau_upper,
+            }]
+        } else {
+            Vec::new()
+        };
+        MultiLevelConfig {
+            rounds: self.rounds,
+            tau1: self.tau1,
+            tau2: self.tau2,
+            upper,
+            m_groups: self.m_groups,
+            eta_w: 0.1,
+            eta_p: 0.02,
+            batch_size: 2,
+            loss_batch: 3,
+            opts: traced_opts(),
+        }
+    }
+}
+
+/// Strategy over dropout rates: mostly failure-free, sometimes partial
+/// (rounded to two decimals so cases print cleanly), occasionally the
+/// total-blackout corner (`1.0`).
+pub fn arb_dropout() -> impl Strategy<Value = f32> {
+    let partial = || (0.05_f32..0.6).prop_map(|x| (x * 100.0).round() / 100.0);
+    prop_oneof![
+        Just(0.0_f32),
+        Just(0.0_f32),
+        Just(0.0_f32),
+        partial(),
+        partial(),
+        Just(1.0_f32),
+    ]
+}
+
+/// Strategy over uplink codecs: exact or stochastic at 2–8 bits.
+pub fn arb_quantizer() -> impl Strategy<Value = Quantizer> {
+    prop_oneof![
+        Just(Quantizer::Exact),
+        Just(Quantizer::Exact),
+        (2u8..=8).prop_map(|bits| Quantizer::Stochastic { bits }),
+    ]
+}
+
+/// Strategy over constrained `P` sets. The capped-simplex bounds admit the
+/// uniform initial `p` for every generated edge count.
+pub fn arb_p_domain() -> impl Strategy<Value = PDomainSpec> {
+    prop_oneof![
+        Just(PDomainSpec::Simplex),
+        Just(PDomainSpec::Simplex),
+        Just(PDomainSpec::CappedSimplex { lo: 0.02, hi: 0.75 }),
+    ]
+}
+
+/// Strategy over the Phase-2 model choice (paper default weighted highest).
+pub fn arb_weight_update_model() -> impl Strategy<Value = WeightUpdateModel> {
+    prop_oneof![
+        Just(WeightUpdateModel::RandomCheckpoint),
+        Just(WeightUpdateModel::RandomCheckpoint),
+        Just(WeightUpdateModel::FinalModel),
+        Just(WeightUpdateModel::RoundStart),
+    ]
+}
+
+/// Strategy over whole three-layer scenarios (see [`ScenarioSpec`]). The
+/// participation count is derived from a free integer (`m = 1 + raw mod
+/// n`) to keep `1 ≤ m_E ≤ N_E` without `prop_flat_map`.
+pub fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        (
+            2usize..=5,
+            1usize..=3,
+            0u64..10_000,
+            0u64..10_000,
+            0usize..64,
+        ),
+        (1usize..=3, 1usize..=3, 1usize..=3),
+        arb_dropout(),
+        arb_quantizer(),
+        (arb_p_domain(), arb_weight_update_model()),
+    )
+        .prop_map(
+            |(
+                (n_edges, clients_per_edge, data_seed, run_seed, m_raw),
+                (rounds, tau1, tau2),
+                dropout,
+                quantizer,
+                (p_domain, weight_update_model),
+            )| {
+                ScenarioSpec {
+                    n_edges,
+                    clients_per_edge,
+                    data_seed,
+                    run_seed,
+                    rounds,
+                    tau1,
+                    tau2,
+                    m_edges: 1 + m_raw % n_edges,
+                    dropout,
+                    quantizer,
+                    p_domain,
+                    weight_update_model,
+                }
+            },
+        )
+}
+
+/// Strategy over multi-level scenarios (zero or one intermediate level).
+pub fn arb_multilevel() -> impl Strategy<Value = MultiLevelSpec> {
+    (
+        (2usize..=3, 1usize..=2, any::<bool>(), 1usize..=3),
+        (1usize..=2, 0u64..10_000, 0u64..10_000),
+        (1usize..=3, 1usize..=2, 1usize..=2),
+        0usize..64,
+    )
+        .prop_map(
+            |(
+                (groups, group_size, with_upper, tau_upper),
+                (clients_per_edge, data_seed, run_seed),
+                (rounds, tau1, tau2),
+                m_raw,
+            )| {
+                MultiLevelSpec {
+                    groups,
+                    group_size,
+                    with_upper,
+                    tau_upper,
+                    clients_per_edge,
+                    data_seed,
+                    run_seed,
+                    rounds,
+                    tau1,
+                    tau2,
+                    m_groups: 1 + m_raw % groups,
+                }
+            },
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn generated_specs_are_well_formed(spec in arb_scenario()) {
+            prop_assert!(spec.m_edges >= 1 && spec.m_edges <= spec.n_edges);
+            prop_assert!((0.0..=1.0).contains(&spec.dropout));
+            let fp = spec.problem();
+            prop_assert_eq!(fp.num_edges(), spec.n_edges);
+            prop_assert_eq!(fp.clients_per_edge(), spec.clients_per_edge);
+            // Capped-simplex bounds admit the uniform initial p.
+            if let PDomainSpec::CappedSimplex { lo, hi } = spec.p_domain {
+                let u = 1.0 / spec.n_edges as f32;
+                prop_assert!(lo <= u && u <= hi);
+                prop_assert!(lo * spec.n_edges as f32 <= 1.0);
+                prop_assert!(hi * spec.n_edges as f32 >= 1.0);
+            }
+        }
+
+        #[test]
+        fn multilevel_specs_divide_evenly(spec in arb_multilevel()) {
+            prop_assert!(spec.m_groups >= 1 && spec.m_groups <= spec.groups);
+            let cfg = spec.config();
+            let per: usize = cfg.upper.iter().map(|u| u.group_size).product();
+            prop_assert_eq!(spec.n_edges() % per.max(1), 0);
+        }
+    }
+}

@@ -190,32 +190,35 @@ fn workspace_grad_is_bit_identical_to_legacy_path() {
     ];
 
     for par in [Parallelism::Sequential, Parallelism::Rayon] {
-        par.map(models.iter().collect::<Vec<_>>(), |(name, model, dim, classes)| {
-            let mut ws = Workspace::new(); // one workspace for all 5 calls
-            let mut g_ws = vec![0.0_f32; model.num_params()];
-            let mut g_legacy = vec![0.0_f32; model.num_params()];
-            // Batch sizes deliberately shrink and grow so buffer resizes in
-            // both directions are covered.
-            for (call, &n) in [5usize, 2, 7, 1, 4].iter().enumerate() {
-                let batch = batch_of(*dim, *classes, n, 31 + call as u64);
-                let mut rng =
-                    StreamRng::for_key(StreamKey::new(77, Purpose::Init, call as u64, 0));
-                let params: Vec<f32> = (0..model.num_params())
-                    .map(|_| rng.normal() as f32 * 0.3)
-                    .collect();
-                let l_ws = model.loss_grad_ws(&params, &batch, &mut g_ws, &mut ws);
-                let l_legacy = model.loss_grad(&params, &batch, &mut g_legacy);
-                assert_eq!(
-                    l_ws.to_bits(),
-                    l_legacy.to_bits(),
-                    "{name} ({par:?}): loss differs on call {call}"
-                );
-                assert_eq!(
-                    g_ws, g_legacy,
-                    "{name} ({par:?}): gradient differs on call {call}"
-                );
-            }
-        });
+        par.map(
+            models.iter().collect::<Vec<_>>(),
+            |(name, model, dim, classes)| {
+                let mut ws = Workspace::new(); // one workspace for all 5 calls
+                let mut g_ws = vec![0.0_f32; model.num_params()];
+                let mut g_legacy = vec![0.0_f32; model.num_params()];
+                // Batch sizes deliberately shrink and grow so buffer resizes in
+                // both directions are covered.
+                for (call, &n) in [5usize, 2, 7, 1, 4].iter().enumerate() {
+                    let batch = batch_of(*dim, *classes, n, 31 + call as u64);
+                    let mut rng =
+                        StreamRng::for_key(StreamKey::new(77, Purpose::Init, call as u64, 0));
+                    let params: Vec<f32> = (0..model.num_params())
+                        .map(|_| rng.normal() as f32 * 0.3)
+                        .collect();
+                    let l_ws = model.loss_grad_ws(&params, &batch, &mut g_ws, &mut ws);
+                    let l_legacy = model.loss_grad(&params, &batch, &mut g_legacy);
+                    assert_eq!(
+                        l_ws.to_bits(),
+                        l_legacy.to_bits(),
+                        "{name} ({par:?}): loss differs on call {call}"
+                    );
+                    assert_eq!(
+                        g_ws, g_legacy,
+                        "{name} ({par:?}): gradient differs on call {call}"
+                    );
+                }
+            },
+        );
     }
 }
 

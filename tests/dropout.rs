@@ -98,3 +98,28 @@ fn extreme_dropout_still_terminates() {
     assert!(r.final_w.iter().all(|x| x.is_finite()));
     assert!(r.final_p.iter().all(|x| x.is_finite()));
 }
+
+#[test]
+fn total_dropout_is_robust() {
+    // dropout = 1.0: every client drops every block, so no edge ever
+    // uploads and the global model can only stay at its initialization.
+    // The run must complete without panicking or dividing by zero, keep
+    // all parameters finite, and record zero client->edge uplink traffic.
+    let sc = tiny_problem(3, 2, 99);
+    let fp = FederatedProblem::logistic_from_scenario(&sc);
+    let init = hm_testkit::reference_init_w(&fp, 13);
+    let r = HierMinimax::new(cfg(1.0, 5)).run(&fp, 13);
+    assert!(r.final_w.iter().all(|x| x.is_finite()));
+    assert!(r.final_p.iter().all(|x| x.is_finite()));
+    assert_eq!(
+        r.final_w, init,
+        "with no surviving uploads the model must not move"
+    );
+    let up = r.comm.uplink_floats(Link::ClientEdge);
+    // Phase 2 still uploads one loss scalar per sampled client; block
+    // uploads (d floats each) must all be gone.
+    assert!(
+        up < 5 * 2 * 2 * fp.num_params() as u64,
+        "client->edge uplink should carry no model deltas, got {up} floats"
+    );
+}

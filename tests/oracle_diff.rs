@@ -1,0 +1,151 @@
+//! Differential tests: the optimized algorithm implementations must be
+//! **bit-identical** to the deliberately naive reference oracle in
+//! `hm-testkit` — same keyed RNG streams, same accumulation order, same
+//! projections, so every `assert_eq!` below is on raw `Vec<f32>` with no
+//! tolerance. Any refactor of the hot path (fused steps, workspaces,
+//! scratch reuse) that changes even one ULP anywhere fails here.
+
+use hierminimax::core::algorithms::{
+    Algorithm, Drfa, DrfaConfig, FedAvg, FedAvgConfig, HierMinimax,
+};
+use hierminimax::simnet::trace::Event;
+use hm_testkit::strategies::{arb_scenario, traced_opts};
+use hm_testkit::{
+    reference_drfa_round, reference_fedavg_round, reference_hierminimax_run, reference_init_w,
+    ReferenceRound,
+};
+use proptest::prelude::*;
+
+/// Per-round `(w, p)` iterates pulled out of a trace.
+fn traced_iterates(events: &[Event]) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+    let mut ws = Vec::new();
+    let mut ps = Vec::new();
+    for e in events {
+        match e {
+            Event::GlobalModel { w, .. } => ws.push(w.clone()),
+            Event::WeightUpdate { p, .. } => ps.push(p.clone()),
+            _ => {}
+        }
+    }
+    (ws, ps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// HierMinimax's per-round global model and edge weights match the
+    /// naive reference round-for-round, bit-for-bit.
+    #[test]
+    fn hierminimax_matches_reference(spec in arb_scenario()) {
+        let fp = spec.problem();
+        let cfg = spec.hierminimax_config();
+        let r = HierMinimax::new(cfg.clone()).run(&fp, spec.run_seed);
+        let (ws, ps) = traced_iterates(&r.trace.events());
+        let reference: Vec<ReferenceRound> =
+            reference_hierminimax_run(&fp, &cfg, spec.run_seed);
+
+        prop_assert_eq!(ws.len(), reference.len());
+        prop_assert_eq!(ps.len(), reference.len());
+        for (k, rr) in reference.iter().enumerate() {
+            prop_assert_eq!(&ws[k], &rr.w, "w diverged at round {} ({:?})", k, spec);
+            prop_assert_eq!(&ps[k], &rr.p, "p diverged at round {} ({:?})", k, spec);
+        }
+        let last = reference.last().unwrap();
+        prop_assert_eq!(&r.final_w, &last.w);
+        prop_assert_eq!(&r.final_p, &last.p);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// FedAvg's per-round global model matches the naive reference.
+    #[test]
+    fn fedavg_matches_reference(spec in arb_scenario()) {
+        let fp = spec.problem();
+        let n_clients = spec.n_edges * spec.clients_per_edge;
+        let cfg = FedAvgConfig {
+            rounds: spec.rounds,
+            tau1: spec.tau1,
+            m_clients: 1 + (spec.m_edges * spec.clients_per_edge) % n_clients,
+            eta_w: 0.1,
+            batch_size: 2,
+            opts: traced_opts(),
+        };
+        let r = FedAvg::new(cfg.clone()).run(&fp, spec.run_seed);
+        let (ws, _) = traced_iterates(&r.trace.events());
+        prop_assert_eq!(ws.len(), cfg.rounds);
+
+        let mut w = reference_init_w(&fp, spec.run_seed);
+        for (k, traced) in ws.iter().enumerate() {
+            w = reference_fedavg_round(&fp, &cfg, spec.run_seed, k, &w);
+            prop_assert_eq!(traced, &w, "w diverged at round {} ({:?})", k, spec);
+        }
+        prop_assert_eq!(&r.final_w, &w);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// DRFA's per-round global model and per-edge weight vector match the
+    /// naive reference, with the client-level `q` threaded between rounds.
+    #[test]
+    fn drfa_matches_reference(spec in arb_scenario()) {
+        let fp = spec.problem();
+        let n_clients = spec.n_edges * spec.clients_per_edge;
+        let cfg = DrfaConfig {
+            rounds: spec.rounds,
+            tau1: spec.tau1,
+            m_clients: 1 + (spec.m_edges * spec.clients_per_edge) % n_clients,
+            eta_w: 0.1,
+            eta_q: 0.05,
+            batch_size: 2,
+            loss_batch: 3,
+            opts: traced_opts(),
+        };
+        let r = Drfa::new(cfg.clone()).run(&fp, spec.run_seed);
+        let (ws, ps) = traced_iterates(&r.trace.events());
+        prop_assert_eq!(ws.len(), cfg.rounds);
+        prop_assert_eq!(ps.len(), cfg.rounds);
+
+        let mut w = reference_init_w(&fp, spec.run_seed);
+        let mut q = vec![1.0_f32 / n_clients as f32; n_clients];
+        for k in 0..cfg.rounds {
+            let (w_next, q_next, p_edge) =
+                reference_drfa_round(&fp, &cfg, spec.run_seed, k, &w, &q);
+            prop_assert_eq!(&ws[k], &w_next, "w diverged at round {} ({:?})", k, spec);
+            prop_assert_eq!(&ps[k], &p_edge, "p diverged at round {} ({:?})", k, spec);
+            w = w_next;
+            q = q_next;
+        }
+        prop_assert_eq!(&r.final_w, &w);
+    }
+}
+
+/// The reference oracle is itself deterministic and seed-sensitive: the
+/// cheapest smoke test that the differential suite can actually fail.
+#[test]
+fn reference_is_seed_sensitive() {
+    let spec = hm_testkit::ScenarioSpec {
+        n_edges: 3,
+        clients_per_edge: 2,
+        data_seed: 5,
+        run_seed: 11,
+        rounds: 1,
+        tau1: 2,
+        tau2: 2,
+        m_edges: 2,
+        dropout: 0.0,
+        quantizer: hierminimax::simnet::Quantizer::Exact,
+        p_domain: hm_testkit::PDomainSpec::Simplex,
+        weight_update_model: hierminimax::core::algorithms::WeightUpdateModel::RandomCheckpoint,
+    };
+    let fp = spec.problem();
+    let cfg = spec.hierminimax_config();
+    let a = reference_hierminimax_run(&fp, &cfg, 11);
+    let b = reference_hierminimax_run(&fp, &cfg, 11);
+    let c = reference_hierminimax_run(&fp, &cfg, 12);
+    assert_eq!(a, b);
+    assert_ne!(a, c, "different seeds must produce different runs");
+}
