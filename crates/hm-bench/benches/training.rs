@@ -112,6 +112,7 @@ fn bench_full_round(c: &mut Criterion) {
                 eval_every: 0,
                 parallelism: par,
                 trace: false,
+                ..Default::default()
             },
         };
         g.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |bench, cfg| {
@@ -157,6 +158,7 @@ fn bench_quantized_round(c: &mut Criterion) {
                 eval_every: 0,
                 parallelism: Parallelism::Rayon,
                 trace: false,
+                ..Default::default()
             },
         };
         g.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |bench, cfg| {
@@ -196,6 +198,7 @@ fn bench_multilevel_round(c: &mut Criterion) {
                 eval_every: 0,
                 parallelism: Parallelism::Rayon,
                 trace: false,
+                ..Default::default()
             },
         };
         g.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |bench, cfg| {

@@ -50,6 +50,15 @@ fn main() {
         loss_batch: 16,
         eval_every_slots: (total_slots / 100).max(4),
         parallelism: Parallelism::Rayon,
+        // --telemetry: write per-method JSONL event streams next to the
+        // CSV results (results/telemetry_<method>.jsonl).
+        telemetry_dir: if std::env::args().any(|a| a == "--telemetry") {
+            let dir = std::path::PathBuf::from(hm_bench::results::RESULTS_DIR);
+            std::fs::create_dir_all(&dir).expect("create results dir");
+            Some(dir)
+        } else {
+            None
+        },
     };
 
     println!("Fig. 3 reproduction: convex logistic regression, one class per edge");

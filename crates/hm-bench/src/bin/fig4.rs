@@ -68,6 +68,7 @@ fn main() {
         loss_batch: 16,
         eval_every_slots: (total_slots / 60).max(4),
         parallelism: Parallelism::Rayon,
+        telemetry_dir: None,
     };
 
     println!("Fig. 4 reproduction: non-convex MLP, 50% similarity split");

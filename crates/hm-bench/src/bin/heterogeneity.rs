@@ -29,6 +29,7 @@ fn pair(problem: &FederatedProblem, slots: usize) -> (EvalReport, EvalReport) {
         loss_batch: 16,
         eval_every_slots: usize::MAX,
         parallelism: Parallelism::Rayon,
+        telemetry_dir: None,
     };
     // Mean over three algorithm seeds: single-seed worst accuracy is noisy
     // at this scale.

@@ -57,6 +57,7 @@ fn main() {
                 eval_every: 0,
                 parallelism: Parallelism::Rayon,
                 trace: false,
+                ..Default::default()
             },
         };
         let (mut avg, mut worst, mut floats) = (0.0, 0.0, 0u64);

@@ -71,6 +71,7 @@ fn main() {
                 eval_every: 0,
                 parallelism: Parallelism::Rayon,
                 trace: false,
+                ..Default::default()
             },
         });
         let r = hm.run(&problem, 3);
@@ -125,6 +126,7 @@ fn main() {
                     eval_every: 0,
                     parallelism: Parallelism::Rayon,
                     trace: false,
+                    ..Default::default()
                 },
             });
             let r = hm.run(&problem, 3);
@@ -181,6 +183,7 @@ fn main() {
                     eval_every: 0,
                     parallelism: Parallelism::Rayon,
                     trace: false,
+                    ..Default::default()
                 },
             });
             let r = hm.run(&mlp_problem, 3);

@@ -46,6 +46,7 @@ fn main() {
                 loss_batch: 16,
                 eval_every_slots: usize::MAX,
                 parallelism: Parallelism::Rayon,
+                telemetry_dir: None,
             };
             for m in Method::all() {
                 let evals: Vec<EvalReport> = (0..3)

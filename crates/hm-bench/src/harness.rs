@@ -11,6 +11,7 @@ use hm_core::algorithms::{
 use hm_core::problem::FederatedProblem;
 use hm_core::RunResult;
 use hm_simnet::Parallelism;
+use hm_telemetry::Telemetry;
 
 /// The five methods of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,14 +86,29 @@ pub struct SuiteParams {
     pub eval_every_slots: usize,
     /// Execution mode.
     pub parallelism: Parallelism,
+    /// When set, each method writes structured run telemetry to
+    /// `<dir>/telemetry_<method>.jsonl` (see DESIGN.md §10).
+    pub telemetry_dir: Option<std::path::PathBuf>,
 }
 
 impl SuiteParams {
-    fn opts(&self, slots_per_round: usize) -> RunOpts {
+    fn opts(&self, slots_per_round: usize, method: Method) -> RunOpts {
+        let telemetry = match &self.telemetry_dir {
+            None => Telemetry::disabled(),
+            Some(dir) => {
+                let slug = method.name().to_lowercase().replace('-', "_");
+                let path = dir.join(format!("telemetry_{slug}.jsonl"));
+                Telemetry::jsonl(&path).unwrap_or_else(|e| {
+                    eprintln!("warning: cannot open {}: {e}", path.display());
+                    Telemetry::disabled()
+                })
+            }
+        };
         RunOpts {
             eval_every: (self.eval_every_slots / slots_per_round).max(1),
             parallelism: self.parallelism,
             trace: false,
+            telemetry,
         }
     }
 
@@ -112,7 +128,7 @@ pub fn run_method(
     let m_clients = (sp.m_edges * n0).min(problem.topology().total_clients());
     let spr = method.slots_per_round(sp);
     let rounds = sp.rounds(spr);
-    let opts = sp.opts(spr);
+    let opts = sp.opts(spr, method);
     match method {
         Method::FedAvg => FedAvg::new(FedAvgConfig {
             rounds,
@@ -207,6 +223,7 @@ mod tests {
             loss_batch: 4,
             eval_every_slots: 4,
             parallelism: Parallelism::Sequential,
+            telemetry_dir: None,
         }
     }
 
@@ -250,5 +267,32 @@ mod tests {
         assert_eq!(fedavg, 8);
         assert_eq!(drfa, 8);
         assert_eq!(afl, 16);
+    }
+
+    #[test]
+    fn telemetry_dir_writes_one_valid_stream_per_method() {
+        let dir = std::env::temp_dir().join(format!("hm-bench-tel-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sc = tiny_problem(3, 2, 9);
+        let fp = hm_core::FederatedProblem::logistic_from_scenario(&sc);
+        let mut params = sp();
+        params.telemetry_dir = Some(dir.clone());
+        let out = run_suite(&fp, &params, 42);
+        for (m, r) in &out {
+            let slug = m.name().to_lowercase().replace('-', "_");
+            let path = dir.join(format!("telemetry_{slug}.jsonl"));
+            let body = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            let summary = hm_telemetry::validate_stream(&body)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            assert_eq!(summary.runs, 1, "{}", m.name());
+            assert_eq!(
+                summary.events_by_kind.get("round_end"),
+                Some(&r.history.rounds.len()),
+                "{}",
+                m.name()
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -13,6 +13,7 @@ use hm_core::problem::FederatedProblem;
 use hm_core::RunResult;
 use hm_data::partition::label_skew;
 use hm_simnet::{LatencyModel, Link, Parallelism, Quantizer};
+use hm_telemetry::Telemetry;
 
 /// Dispatch a parsed command line. Returns the process exit code.
 pub fn dispatch(args: &Args) -> Result<(), ArgError> {
@@ -22,6 +23,7 @@ pub fn dispatch(args: &Args) -> Result<(), ArgError> {
         "gap" => gap(args),
         "data" => data(args),
         "eval" => eval_model(args),
+        "validate-telemetry" => validate_telemetry(args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -47,6 +49,8 @@ SUBCOMMANDS:
   gap       run HierMinimax and report the convex duality gap (Theorem 1)
   data      build a scenario and print its heterogeneity statistics
   eval      evaluate a saved model (--model PATH) on a scenario
+  validate-telemetry   check a telemetry JSONL file (--file PATH) against
+            the event schema (DESIGN.md par. 10) and print a summary
 
 SCENARIO FLAGS (all subcommands):
   --scenario tiny|emnist|mnist|fashion|dirichlet|adult|synthetic|idx|csv  (default emnist)
@@ -71,12 +75,21 @@ ALGORITHM FLAGS (run):
   --mlp W1,W2,...       use an MLP with these hidden widths
   --cnn                 use the SimpleCnn model (square inputs only)
   --seed N --eval-every N --sequential --csv PATH
+  --telemetry PATH      write structured run telemetry (JSONL, one event
+                        per line; see DESIGN.md par. 10)
   --save-model PATH     (run) save the final model
   --model PATH          (eval) model file to evaluate
 "
 }
 
 fn opts(args: &Args) -> Result<RunOpts, ArgError> {
+    let telemetry_path = args.str_or("telemetry", "");
+    let telemetry = if telemetry_path.is_empty() {
+        Telemetry::disabled()
+    } else {
+        Telemetry::jsonl(&telemetry_path)
+            .map_err(|e| ArgError(format!("--telemetry {telemetry_path}: {e}")))?
+    };
     Ok(RunOpts {
         eval_every: args.num_or("eval-every", 0)?,
         parallelism: if args.switch("sequential") {
@@ -85,6 +98,7 @@ fn opts(args: &Args) -> Result<RunOpts, ArgError> {
             Parallelism::Rayon
         },
         trace: false,
+        telemetry,
     })
 }
 
@@ -321,6 +335,26 @@ fn eval_model(args: &Args) -> Result<(), ArgError> {
         "average {:.4}   worst {:.4}   variance {:.2} pp^2",
         e.average, e.worst, e.variance_pp
     );
+    Ok(())
+}
+
+fn validate_telemetry(args: &Args) -> Result<(), ArgError> {
+    let path = args.str_or("file", "");
+    if path.is_empty() {
+        return Err(ArgError("validate-telemetry requires --file <path>".into()));
+    }
+    args.reject_unknown()?;
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| ArgError(format!("reading {path}: {e}")))?;
+    let summary =
+        hm_telemetry::validate_stream(&text).map_err(|e| ArgError(format!("{path}: {e}")))?;
+    println!(
+        "{path}: {} event line(s), {} run(s), schema OK",
+        summary.lines, summary.runs
+    );
+    for (kind, count) in &summary.events_by_kind {
+        println!("  {kind:<12} {count}");
+    }
     Ok(())
 }
 

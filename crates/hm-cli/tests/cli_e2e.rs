@@ -138,6 +138,75 @@ fn csv_history_is_written() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+#[test]
+fn telemetry_jsonl_written_and_validates() {
+    let dir = std::env::temp_dir().join(format!("hm-cli-tel-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let jsonl = dir.join("run.jsonl");
+    let out = bin()
+        .args([
+            "run",
+            "--scenario",
+            "tiny",
+            "--edges",
+            "3",
+            "--clients",
+            "2",
+            "--rounds",
+            "4",
+            "--m",
+            "2",
+            "--sequential",
+            "--telemetry",
+        ])
+        .arg(&jsonl)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = std::fs::read_to_string(&jsonl).unwrap();
+    assert!(body.starts_with("{\"ev\":\"run_start\""), "{body}");
+    assert!(body.contains("\"ev\":\"dual_update\""), "{body}");
+    assert_eq!(
+        body.lines()
+            .filter(|l| l.starts_with("{\"ev\":\"round_end\""))
+            .count(),
+        4,
+        "{body}"
+    );
+
+    // The stream passes the CLI's own schema validator.
+    let out = bin()
+        .args(["validate-telemetry", "--file"])
+        .arg(&jsonl)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("schema OK"), "{text}");
+    assert!(text.contains("1 run(s)"), "{text}");
+
+    // And a corrupted stream is rejected with a line number.
+    let bad = dir.join("bad.jsonl");
+    std::fs::write(&bad, format!("{body}{{\"ev\":\"nonsense\"}}\n")).unwrap();
+    let out = bin()
+        .args(["validate-telemetry", "--file"])
+        .arg(&bad)
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line"), "{err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 // ---- Golden snapshots -----------------------------------------------------
 //
 // Byte-exact captures of user-facing output, committed under

@@ -25,7 +25,8 @@ use hm_optim::sgd::projected_ascent_step;
 use hm_optim::ProjectionOp;
 use hm_simnet::sampling::{sample_edges_uniform, sample_edges_weighted};
 use hm_simnet::trace::Event;
-use hm_simnet::{CommMeter, Link};
+use hm_simnet::{CommMeter, CommStats, Link};
+use hm_telemetry::TelemetryEvent;
 use hm_tensor::vecops;
 
 /// Configuration of a Stochastic-AFL run.
@@ -107,8 +108,22 @@ impl Algorithm for StochasticAfl {
             )));
         let mut q = vec![1.0 / n as f32; n];
         let q_domain = ProjectionOp::Simplex;
+        let mut comm_prev = CommStats::default();
+
+        let tel = &cfg.opts.telemetry;
+        let run_timer = tel.timer();
+        tel.record(|| TelemetryEvent::RunStart {
+            algorithm: "Stochastic-AFL".into(),
+            rounds: cfg.rounds,
+            n_edges: problem.num_edges(),
+            num_params: d,
+            seed,
+        });
 
         for k in 0..cfg.rounds {
+            tel.record(|| TelemetryEvent::RoundStart { round: k });
+            let round_timer = tel.timer();
+            let phase1_timer = tel.timer();
             // Model step: clients sampled by q, single local SGD step.
             let mut e_rng =
                 StreamRng::for_key(StreamKey::new(seed, Purpose::EdgeSampling, k as u64, 0));
@@ -119,6 +134,12 @@ impl Algorithm for StochasticAfl {
                 edges: sampled.clone(),
             });
             let (distinct, counts) = multiplicities(&sampled);
+            // Two-layer method: "edges" are sampled client ids.
+            tel.record(|| TelemetryEvent::Phase1Sampled {
+                round: k,
+                edges: sampled.clone(),
+                checkpoint: None,
+            });
 
             // Loss-estimation set: uniform clients (unbiased q-gradient).
             let mut u_rng = StreamRng::for_key(StreamKey::new(
@@ -182,8 +203,13 @@ impl Algorithm for StochasticAfl {
             let models: Vec<&[f32]> = results.iter().map(|(m, _)| m.as_slice()).collect();
             vecops::weighted_average_into(&models, &weights, &mut w);
             trace.record(|| Event::GlobalAggregation { round: k });
+            tel.record(|| TelemetryEvent::Phase1Done {
+                round: k,
+                elapsed_s: phase1_timer.elapsed_s(),
+            });
 
             // Mixture-weight ascent on the unbiased estimate.
+            let phase2_timer = tel.timer();
             let mut v = vec![0.0_f32; n];
             let scale = n as f64 / cfg.m_clients as f64;
             for (&c, &l) in u_set.iter().zip(&losses) {
@@ -195,6 +221,24 @@ impl Algorithm for StochasticAfl {
                 round: k,
                 p: p_edge.clone(),
             });
+            tel.record(|| TelemetryEvent::DualUpdate {
+                round: k,
+                edges: u_set.clone(),
+                losses: losses.clone(),
+                p: p_edge.clone(),
+                elapsed_s: phase2_timer.elapsed_s(),
+            });
+            let comm_now = meter.snapshot();
+            let slots_done = k + 1;
+            tel.record(|| TelemetryEvent::RoundEnd {
+                round: k,
+                slots: slots_done,
+                comm_delta: comm_now.since(&comm_prev),
+                comm_total: comm_now,
+                sim_s: tel.sim_seconds(&comm_now, slots_done),
+                elapsed_s: round_timer.elapsed_s(),
+            });
+            comm_prev = comm_now;
 
             finish_round(
                 problem,
@@ -205,11 +249,21 @@ impl Algorithm for StochasticAfl {
                 k,
                 cfg.rounds,
                 1,
-                meter.snapshot(),
+                comm_now,
                 &w,
                 p_edge,
             );
         }
+
+        let comm_final = meter.snapshot();
+        tel.record(|| TelemetryEvent::RunEnd {
+            rounds: cfg.rounds,
+            slots: cfg.rounds,
+            comm_total: comm_final,
+            sim_s: tel.sim_seconds(&comm_final, cfg.rounds),
+            elapsed_s: run_timer.elapsed_s(),
+        });
+        tel.flush();
 
         let final_p = q_to_edge_p(problem, &q);
         RunResult {
@@ -218,7 +272,7 @@ impl Algorithm for StochasticAfl {
             final_p,
             avg_p: avg_p.mean(),
             history,
-            comm: meter.snapshot(),
+            comm: comm_final,
             trace,
         }
     }
@@ -242,6 +296,7 @@ mod tests {
                 eval_every: 1,
                 parallelism: Parallelism::Sequential,
                 trace: false,
+                ..Default::default()
             },
         }
     }

@@ -27,7 +27,8 @@ use hm_optim::sgd::projected_ascent_step;
 use hm_optim::ProjectionOp;
 use hm_simnet::sampling::{sample_edges_uniform, sample_edges_weighted};
 use hm_simnet::trace::Event;
-use hm_simnet::{CommMeter, Link};
+use hm_simnet::{CommMeter, CommStats, Link};
+use hm_telemetry::TelemetryEvent;
 use hm_tensor::vecops;
 
 /// Configuration of a DRFA run.
@@ -112,8 +113,22 @@ impl Algorithm for Drfa {
             )));
         let mut q = vec![1.0 / n as f32; n];
         let q_domain = ProjectionOp::Simplex;
+        let mut comm_prev = CommStats::default();
+
+        let tel = &cfg.opts.telemetry;
+        let run_timer = tel.timer();
+        tel.record(|| TelemetryEvent::RunStart {
+            algorithm: "DRFA".into(),
+            rounds: cfg.rounds,
+            n_edges: problem.num_edges(),
+            num_params: d,
+            seed,
+        });
 
         for k in 0..cfg.rounds {
+            tel.record(|| TelemetryEvent::RoundStart { round: k });
+            let round_timer = tel.timer();
+            let phase1_timer = tel.timer();
             // Sample clients by q and a checkpoint step t' ∈ [τ1].
             let mut e_rng =
                 StreamRng::for_key(StreamKey::new(seed, Purpose::EdgeSampling, k as u64, 0));
@@ -132,6 +147,13 @@ impl Algorithm for Drfa {
                 round: k,
                 c1: t_prime,
                 c2: 0,
+            });
+            // Two-layer method: "edges" are sampled client ids; the single
+            // checkpoint coordinate t' maps onto c1.
+            tel.record(|| TelemetryEvent::Phase1Sampled {
+                round: k,
+                edges: sampled.clone(),
+                checkpoint: Some((t_prime, 0)),
             });
 
             // Round 1: broadcast w + t', run τ1 local steps, gather model
@@ -169,8 +191,13 @@ impl Algorithm for Drfa {
                 round: k,
                 w: w.clone(),
             });
+            tel.record(|| TelemetryEvent::Phase1Done {
+                round: k,
+                elapsed_s: phase1_timer.elapsed_s(),
+            });
 
             // Round 2: uniform set evaluates the checkpoint model.
+            let phase2_timer = tel.timer();
             let mut u_rng = StreamRng::for_key(StreamKey::new(
                 seed,
                 Purpose::LossEstSampling,
@@ -211,6 +238,24 @@ impl Algorithm for Drfa {
                 round: k,
                 p: p_edge.clone(),
             });
+            tel.record(|| TelemetryEvent::DualUpdate {
+                round: k,
+                edges: u_set.clone(),
+                losses: losses.clone(),
+                p: p_edge.clone(),
+                elapsed_s: phase2_timer.elapsed_s(),
+            });
+            let comm_now = meter.snapshot();
+            let slots_done = (k + 1) * cfg.tau1;
+            tel.record(|| TelemetryEvent::RoundEnd {
+                round: k,
+                slots: slots_done,
+                comm_delta: comm_now.since(&comm_prev),
+                comm_total: comm_now,
+                sim_s: tel.sim_seconds(&comm_now, slots_done),
+                elapsed_s: round_timer.elapsed_s(),
+            });
+            comm_prev = comm_now;
 
             finish_round(
                 problem,
@@ -221,11 +266,22 @@ impl Algorithm for Drfa {
                 k,
                 cfg.rounds,
                 cfg.tau1,
-                meter.snapshot(),
+                comm_now,
                 &w,
                 p_edge,
             );
         }
+
+        let comm_final = meter.snapshot();
+        let total_slots = cfg.rounds * cfg.tau1;
+        tel.record(|| TelemetryEvent::RunEnd {
+            rounds: cfg.rounds,
+            slots: total_slots,
+            comm_total: comm_final,
+            sim_s: tel.sim_seconds(&comm_final, total_slots),
+            elapsed_s: run_timer.elapsed_s(),
+        });
+        tel.flush();
 
         let final_p = q_to_edge_p(problem, &q);
         RunResult {
@@ -234,7 +290,7 @@ impl Algorithm for Drfa {
             final_p,
             avg_p: avg_p.mean(),
             history,
-            comm: meter.snapshot(),
+            comm: comm_final,
             trace,
         }
     }
@@ -259,6 +315,7 @@ mod tests {
                 eval_every: 1,
                 parallelism: Parallelism::Sequential,
                 trace: false,
+                ..Default::default()
             },
         }
     }

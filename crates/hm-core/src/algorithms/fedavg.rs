@@ -12,7 +12,8 @@ use crate::problem::FederatedProblem;
 use hm_data::rng::{Purpose, StreamKey, StreamRng};
 use hm_simnet::sampling::sample_edges_uniform;
 use hm_simnet::trace::Event;
-use hm_simnet::{CommMeter, Link};
+use hm_simnet::{CommMeter, CommStats, Link};
+use hm_telemetry::TelemetryEvent;
 use hm_tensor::vecops;
 
 /// Configuration of a FedAvg run.
@@ -91,13 +92,33 @@ impl Algorithm for FedAvg {
                 0,
             )));
 
+        let mut comm_prev = CommStats::default();
+        let tel = &cfg.opts.telemetry;
+        let run_timer = tel.timer();
+        tel.record(|| TelemetryEvent::RunStart {
+            algorithm: "FedAvg".into(),
+            rounds: cfg.rounds,
+            n_edges: problem.num_edges(),
+            num_params: d,
+            seed,
+        });
+
         for k in 0..cfg.rounds {
+            tel.record(|| TelemetryEvent::RoundStart { round: k });
+            let round_timer = tel.timer();
+            let phase1_timer = tel.timer();
             let mut s_rng =
                 StreamRng::for_key(StreamKey::new(seed, Purpose::EdgeSampling, k as u64, 0));
             let sampled = sample_edges_uniform(n, cfg.m_clients, &mut s_rng);
             trace.record(|| Event::Phase1EdgesSampled {
                 round: k,
                 edges: sampled.clone(),
+            });
+            // Two-layer method: the "edges" here are sampled client ids.
+            tel.record(|| TelemetryEvent::Phase1Sampled {
+                round: k,
+                edges: sampled.clone(),
+                checkpoint: None,
             });
 
             meter.record_broadcast(Link::ClientCloud, d as u64, sampled.len() as u64);
@@ -131,6 +152,21 @@ impl Algorithm for FedAvg {
                 round: k,
                 w: w.clone(),
             });
+            tel.record(|| TelemetryEvent::Phase1Done {
+                round: k,
+                elapsed_s: phase1_timer.elapsed_s(),
+            });
+            let comm_now = meter.snapshot();
+            let slots_done = (k + 1) * cfg.tau1;
+            tel.record(|| TelemetryEvent::RoundEnd {
+                round: k,
+                slots: slots_done,
+                comm_delta: comm_now.since(&comm_prev),
+                comm_total: comm_now,
+                sim_s: tel.sim_seconds(&comm_now, slots_done),
+                elapsed_s: round_timer.elapsed_s(),
+            });
+            comm_prev = comm_now;
 
             finish_round(
                 problem,
@@ -141,11 +177,22 @@ impl Algorithm for FedAvg {
                 k,
                 cfg.rounds,
                 cfg.tau1,
-                meter.snapshot(),
+                comm_now,
                 &w,
                 uniform_p.clone(),
             );
         }
+
+        let comm_final = meter.snapshot();
+        let total_slots = cfg.rounds * cfg.tau1;
+        tel.record(|| TelemetryEvent::RunEnd {
+            rounds: cfg.rounds,
+            slots: total_slots,
+            comm_total: comm_final,
+            sim_s: tel.sim_seconds(&comm_final, total_slots),
+            elapsed_s: run_timer.elapsed_s(),
+        });
+        tel.flush();
 
         let final_p = q_to_edge_p(problem, &vec![1.0 / n as f32; n]);
         RunResult {
@@ -154,7 +201,7 @@ impl Algorithm for FedAvg {
             final_p,
             avg_p: avg_p.mean(),
             history,
-            comm: meter.snapshot(),
+            comm: comm_final,
             trace,
         }
     }
@@ -177,6 +224,7 @@ mod tests {
                 eval_every: 1,
                 parallelism: Parallelism::Sequential,
                 trace: false,
+                ..Default::default()
             },
         }
     }

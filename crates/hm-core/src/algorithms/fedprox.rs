@@ -182,6 +182,7 @@ mod tests {
                 eval_every: 0,
                 parallelism: Parallelism::Sequential,
                 trace: false,
+                ..Default::default()
             },
         }
     }

@@ -7,6 +7,7 @@ use crate::problem::FederatedProblem;
 use hm_data::rng::{Purpose, StreamKey, StreamRng};
 use hm_simnet::trace::{Event, Trace};
 use hm_simnet::{CommMeter, Link, Parallelism, Quantizer};
+use hm_telemetry::{Telemetry, TelemetryEvent};
 use hm_tensor::vecops;
 
 /// A client's block output: the updated model and, in the checkpoint
@@ -59,6 +60,7 @@ pub(crate) struct EdgeBlockParams<'a> {
     pub meter: &'a CommMeter,
     pub par: Parallelism,
     pub trace: &'a Trace,
+    pub telemetry: &'a Telemetry,
 }
 
 /// Run `τ2` client-edge aggregation blocks on each participating edge.
@@ -212,6 +214,12 @@ pub(crate) fn run_edge_blocks(p: EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
                 edge: p.edges[ei],
                 t2,
             });
+            p.telemetry.record(|| TelemetryEvent::BlockAggregated {
+                round: p.round,
+                edge: p.edges[ei],
+                t2,
+                survivors: client_ws.len(),
+            });
         }
     }
 
@@ -314,6 +322,7 @@ mod tests {
             meter: &meter,
             par: Parallelism::Sequential,
             trace: &trace,
+            telemetry: &Telemetry::disabled(),
         });
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].edge, 0);
@@ -366,6 +375,7 @@ mod tests {
             meter: &meter,
             par: Parallelism::Sequential,
             trace: &trace,
+            telemetry: &Telemetry::disabled(),
         });
         assert_eq!(out[0].checkpoint.as_deref(), Some(w0.as_slice()));
     }
@@ -394,6 +404,7 @@ mod tests {
                 meter: &meter,
                 par,
                 trace: &trace,
+                telemetry: &Telemetry::disabled(),
             })
         };
         let a = run(Parallelism::Sequential);

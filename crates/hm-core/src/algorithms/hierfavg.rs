@@ -15,6 +15,7 @@ use hm_data::rng::{Purpose, StreamKey, StreamRng};
 use hm_simnet::sampling::sample_edges_uniform;
 use hm_simnet::trace::Event;
 use hm_simnet::{CommMeter, CommStats, Link, Quantizer};
+use hm_telemetry::TelemetryEvent;
 use hm_tensor::vecops;
 
 /// Configuration of a HierFAVG run.
@@ -105,13 +106,31 @@ impl Algorithm for HierFavg {
             )));
         let mut comm_prev = CommStats::default();
 
+        let tel = &cfg.opts.telemetry;
+        let run_timer = tel.timer();
+        tel.record(|| TelemetryEvent::RunStart {
+            algorithm: "HierFAVG".into(),
+            rounds: cfg.rounds,
+            n_edges,
+            num_params: d,
+            seed,
+        });
+
         for k in 0..cfg.rounds {
+            tel.record(|| TelemetryEvent::RoundStart { round: k });
+            let round_timer = tel.timer();
+            let phase1_timer = tel.timer();
             let mut e_rng =
                 StreamRng::for_key(StreamKey::new(seed, Purpose::EdgeSampling, k as u64, 0));
             let sampled = sample_edges_uniform(n_edges, cfg.m_edges, &mut e_rng);
             trace.record(|| Event::Phase1EdgesSampled {
                 round: k,
                 edges: sampled.clone(),
+            });
+            tel.record(|| TelemetryEvent::Phase1Sampled {
+                round: k,
+                edges: sampled.clone(),
+                checkpoint: None,
             });
 
             meter.record_broadcast(Link::EdgeCloud, d as u64, sampled.len() as u64);
@@ -137,6 +156,7 @@ impl Algorithm for HierFavg {
                 meter: &meter,
                 par: cfg.opts.parallelism,
                 trace: &trace,
+                telemetry: tel,
             });
 
             let mut outputs = outputs;
@@ -185,10 +205,23 @@ impl Algorithm for HierFavg {
                 round: k,
                 w: w.clone(),
             });
+            tel.record(|| TelemetryEvent::Phase1Done {
+                round: k,
+                elapsed_s: phase1_timer.elapsed_s(),
+            });
             let comm_now = meter.snapshot();
             trace.record(|| Event::RoundComm {
                 round: k,
                 delta: comm_now.since(&comm_prev),
+            });
+            let slots_done = (k + 1) * cfg.tau1 * cfg.tau2;
+            tel.record(|| TelemetryEvent::RoundEnd {
+                round: k,
+                slots: slots_done,
+                comm_delta: comm_now.since(&comm_prev),
+                comm_total: comm_now,
+                sim_s: tel.sim_seconds(&comm_now, slots_done),
+                elapsed_s: round_timer.elapsed_s(),
             });
             comm_prev = comm_now;
 
@@ -207,13 +240,24 @@ impl Algorithm for HierFavg {
             );
         }
 
+        let comm_final = meter.snapshot();
+        let total_slots = cfg.rounds * cfg.tau1 * cfg.tau2;
+        tel.record(|| TelemetryEvent::RunEnd {
+            rounds: cfg.rounds,
+            slots: total_slots,
+            comm_total: comm_final,
+            sim_s: tel.sim_seconds(&comm_final, total_slots),
+            elapsed_s: run_timer.elapsed_s(),
+        });
+        tel.flush();
+
         RunResult {
             final_w: w,
             avg_w: avg_w.mean(),
             final_p: uniform_p.clone(),
             avg_p: avg_p.mean(),
             history,
-            comm: meter.snapshot(),
+            comm: comm_final,
             trace,
         }
     }
@@ -239,6 +283,7 @@ mod tests {
                 eval_every: 1,
                 parallelism: Parallelism::Sequential,
                 trace: false,
+                ..Default::default()
             },
         }
     }

@@ -27,6 +27,7 @@ use hm_optim::sgd::projected_ascent_step;
 use hm_simnet::sampling::{sample_checkpoint, sample_edges_uniform, sample_edges_weighted};
 use hm_simnet::trace::Event;
 use hm_simnet::{CommMeter, CommStats, Link, Quantizer};
+use hm_telemetry::TelemetryEvent;
 use hm_tensor::vecops;
 
 /// Which model Phase 2 estimates losses on — the paper's randomly-indexed
@@ -169,7 +170,20 @@ impl Algorithm for HierMinimax {
         let mut p = problem.initial_p();
         let mut comm_prev = CommStats::default();
 
+        let tel = &cfg.opts.telemetry;
+        let run_timer = tel.timer();
+        tel.record(|| TelemetryEvent::RunStart {
+            algorithm: "HierMinimax".into(),
+            rounds: cfg.rounds,
+            n_edges,
+            num_params: d,
+            seed,
+        });
+
         for k in 0..cfg.rounds {
+            tel.record(|| TelemetryEvent::RoundStart { round: k });
+            let round_timer = tel.timer();
+            let phase1_timer = tel.timer();
             // ---- Phase 1: model parameter update --------------------------
             let mut e_rng =
                 StreamRng::for_key(StreamKey::new(seed, Purpose::EdgeSampling, k as u64, 0));
@@ -184,6 +198,13 @@ impl Algorithm for HierMinimax {
                 StreamRng::for_key(StreamKey::new(seed, Purpose::Checkpoint, k as u64, 0));
             let (c1, c2) = sample_checkpoint(cfg.tau1, cfg.tau2, &mut c_rng);
             trace.record(|| Event::CheckpointSampled { round: k, c1, c2 });
+            // Under heterogeneous rates each edge resamples its own block
+            // index; the shared (c1, c2) reported here is the base draw.
+            tel.record(|| TelemetryEvent::Phase1Sampled {
+                round: k,
+                edges: sampled.clone(),
+                checkpoint: Some((c1, c2)),
+            });
 
             // Cloud → sampled edges: the global model and the (scalar)
             // checkpoint index. Duplicated samples transmit once.
@@ -219,6 +240,7 @@ impl Algorithm for HierMinimax {
                     meter: &meter,
                     par: cfg.opts.parallelism,
                     trace: &trace,
+                    telemetry: tel,
                 }),
                 Some(rates) => {
                     // Heterogeneous rates: each edge runs its own block
@@ -254,6 +276,7 @@ impl Algorithm for HierMinimax {
                             meter: &meter,
                             par: cfg.opts.parallelism,
                             trace: &trace,
+                            telemetry: tel,
                         });
                         outs.push(o.pop().expect("one edge per call"));
                     }
@@ -331,6 +354,10 @@ impl Algorithm for HierMinimax {
                 round: k,
                 w: w.clone(),
             });
+            tel.record(|| TelemetryEvent::Phase1Done {
+                round: k,
+                elapsed_s: phase1_timer.elapsed_s(),
+            });
             // Ablation hook: optionally estimate Phase-2 losses on a biased
             // model instead of the unbiased random checkpoint.
             let w_phase2: &[f32] = match cfg.weight_update_model {
@@ -340,6 +367,7 @@ impl Algorithm for HierMinimax {
             };
 
             // ---- Phase 2: edge weight update ------------------------------
+            let phase2_timer = tel.timer();
             let mut u_rng = StreamRng::for_key(StreamKey::new(
                 seed,
                 Purpose::LossEstSampling,
@@ -404,10 +432,26 @@ impl Algorithm for HierMinimax {
                 round: k,
                 p: p.clone(),
             });
+            tel.record(|| TelemetryEvent::DualUpdate {
+                round: k,
+                edges: u_set.clone(),
+                losses: edge_losses.clone(),
+                p: p.clone(),
+                elapsed_s: phase2_timer.elapsed_s(),
+            });
             let comm_now = meter.snapshot();
             trace.record(|| Event::RoundComm {
                 round: k,
                 delta: comm_now.since(&comm_prev),
+            });
+            let slots_done = (k + 1) * cfg.tau1 * max_tau2;
+            tel.record(|| TelemetryEvent::RoundEnd {
+                round: k,
+                slots: slots_done,
+                comm_delta: comm_now.since(&comm_prev),
+                comm_total: comm_now,
+                sim_s: tel.sim_seconds(&comm_now, slots_done),
+                elapsed_s: round_timer.elapsed_s(),
             });
             comm_prev = comm_now;
 
@@ -426,13 +470,24 @@ impl Algorithm for HierMinimax {
             );
         }
 
+        let comm_final = meter.snapshot();
+        let total_slots = cfg.rounds * cfg.tau1 * max_tau2;
+        tel.record(|| TelemetryEvent::RunEnd {
+            rounds: cfg.rounds,
+            slots: total_slots,
+            comm_total: comm_final,
+            sim_s: tel.sim_seconds(&comm_final, total_slots),
+            elapsed_s: run_timer.elapsed_s(),
+        });
+        tel.flush();
+
         RunResult {
             final_w: w,
             avg_w: avg_w.mean(),
             final_p: p.clone(),
             avg_p: avg_p.mean(),
             history,
-            comm: meter.snapshot(),
+            comm: comm_final,
             trace,
         }
     }
@@ -462,6 +517,7 @@ mod tests {
                 eval_every: 1,
                 parallelism: Parallelism::Sequential,
                 trace: true,
+                ..Default::default()
             },
         }
     }

@@ -48,6 +48,7 @@ use crate::metrics::evaluate;
 use crate::problem::FederatedProblem;
 use hm_simnet::trace::Trace;
 use hm_simnet::{CommStats, Parallelism};
+use hm_telemetry::{Telemetry, TelemetryEvent};
 
 mod afl;
 pub use afl::{AflConfig, StochasticAfl};
@@ -65,6 +66,10 @@ pub struct RunOpts {
     pub parallelism: Parallelism,
     /// Collect a protocol [`Trace`] (off by default; used by tests).
     pub trace: bool,
+    /// Structured run telemetry (disabled by default; see `hm-telemetry`
+    /// and DESIGN.md §10). A disabled handle costs one branch per
+    /// round-boundary event and cannot perturb the run.
+    pub telemetry: Telemetry,
 }
 
 impl Default for RunOpts {
@@ -73,6 +78,7 @@ impl Default for RunOpts {
             eval_every: 10,
             parallelism: Parallelism::from_env(),
             trace: false,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -178,6 +184,15 @@ pub(crate) fn finish_round(
     } else {
         None
     };
+    if let Some(e) = &eval {
+        opts.telemetry.record(|| TelemetryEvent::Eval {
+            round,
+            average: e.average,
+            worst: e.worst,
+            variance_pp: e.variance_pp,
+            per_edge_accuracy: e.per_edge_accuracy.clone(),
+        });
+    }
     history.push(crate::history::RoundRecord {
         round,
         slots_done: (round + 1) * slots_per_round,

@@ -30,6 +30,7 @@ use hm_simnet::sampling::{sample_edges_uniform, sample_edges_weighted};
 use hm_simnet::trace::Event;
 use hm_simnet::trace::Trace;
 use hm_simnet::{CommMeter, CommStats, Link, Quantizer};
+use hm_telemetry::TelemetryEvent;
 use hm_tensor::vecops;
 
 /// One intermediate aggregation level above the edge servers.
@@ -169,6 +170,7 @@ impl MultiLevelMinimax {
                 meter,
                 par: cfg.opts.parallelism,
                 trace,
+                telemetry: &cfg.opts.telemetry,
             });
             let finals: Vec<&[f32]> = outputs.iter().map(|o| o.w_final.as_slice()).collect();
             let mut w = vec![0.0_f32; w_start.len()];
@@ -276,7 +278,22 @@ impl Algorithm for MultiLevelMinimax {
         let total_tau = cfg.slots_per_round();
         let mut comm_prev = CommStats::default();
 
+        let tel = &cfg.opts.telemetry;
+        let run_timer = tel.timer();
+        // The weighted top-level groups play the edge-area role here, so
+        // they are what `n_edges` (and the `p` vectors below) count.
+        tel.record(|| TelemetryEvent::RunStart {
+            algorithm: "MultiLevelMinimax".into(),
+            rounds: cfg.rounds,
+            n_edges: num_groups,
+            num_params: d,
+            seed,
+        });
+
         for k in 0..cfg.rounds {
+            tel.record(|| TelemetryEvent::RoundStart { round: k });
+            let round_timer = tel.timer();
+            let phase1_timer = tel.timer();
             // --- Phase 1: weighted top-level sampling + recursive update.
             let mut e_rng =
                 StreamRng::for_key(StreamKey::new(seed, Purpose::EdgeSampling, k as u64, 0));
@@ -297,6 +314,13 @@ impl Algorithm for MultiLevelMinimax {
             cp_index.push(c1);
             cp_index.push(c2);
             trace.record(|| Event::CheckpointSampled { round: k, c1, c2 });
+            // The reported (c1, c2) is the base-level coordinate of the
+            // checkpoint; the upper-level coordinates stay internal.
+            tel.record(|| TelemetryEvent::Phase1Sampled {
+                round: k,
+                edges: sampled.clone(),
+                checkpoint: Some((c1, c2)),
+            });
 
             meter.record_broadcast(
                 Link::EdgeCloud,
@@ -343,8 +367,13 @@ impl Algorithm for MultiLevelMinimax {
                 round: k,
                 w: w.clone(),
             });
+            tel.record(|| TelemetryEvent::Phase1Done {
+                round: k,
+                elapsed_s: phase1_timer.elapsed_s(),
+            });
 
             // --- Phase 2: uniform group sampling, loss estimation, ascent.
+            let phase2_timer = tel.timer();
             let mut u_rng = StreamRng::for_key(StreamKey::new(
                 seed,
                 Purpose::LossEstSampling,
@@ -399,10 +428,26 @@ impl Algorithm for MultiLevelMinimax {
                 round: k,
                 p: p.clone(),
             });
+            tel.record(|| TelemetryEvent::DualUpdate {
+                round: k,
+                edges: u_set.clone(),
+                losses: group_losses.clone(),
+                p: p.clone(),
+                elapsed_s: phase2_timer.elapsed_s(),
+            });
             let comm_now = meter.snapshot();
             trace.record(|| Event::RoundComm {
                 round: k,
                 delta: comm_now.since(&comm_prev),
+            });
+            let slots_done = (k + 1) * total_tau;
+            tel.record(|| TelemetryEvent::RoundEnd {
+                round: k,
+                slots: slots_done,
+                comm_delta: comm_now.since(&comm_prev),
+                comm_total: comm_now,
+                sim_s: tel.sim_seconds(&comm_now, slots_done),
+                elapsed_s: round_timer.elapsed_s(),
             });
             comm_prev = comm_now;
 
@@ -421,13 +466,24 @@ impl Algorithm for MultiLevelMinimax {
             );
         }
 
+        let comm_final = meter.snapshot();
+        let total_slots = cfg.rounds * total_tau;
+        tel.record(|| TelemetryEvent::RunEnd {
+            rounds: cfg.rounds,
+            slots: total_slots,
+            comm_total: comm_final,
+            sim_s: tel.sim_seconds(&comm_final, total_slots),
+            elapsed_s: run_timer.elapsed_s(),
+        });
+        tel.flush();
+
         RunResult {
             final_w: w,
             avg_w: avg_w.mean(),
             final_p: p.clone(),
             avg_p: avg_p.mean(),
             history,
-            comm: meter.snapshot(),
+            comm: comm_final,
             trace,
         }
     }
@@ -454,6 +510,7 @@ mod tests {
                 eval_every: 1,
                 parallelism: Parallelism::Sequential,
                 trace: true,
+                ..Default::default()
             },
         }
     }

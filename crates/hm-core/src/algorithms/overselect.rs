@@ -170,6 +170,7 @@ impl OverselectMinimax {
                 meter: &meter,
                 par: cfg.opts.parallelism,
                 trace: &trace,
+                telemetry: &cfg.opts.telemetry,
             });
             meter.record_gather(Link::EdgeCloud, 2 * d as u64, distinct.len() as u64);
             meter.record_round(Link::EdgeCloud);
@@ -302,6 +303,7 @@ mod tests {
                 eval_every: 0,
                 parallelism: Parallelism::Rayon,
                 trace: true,
+                ..Default::default()
             },
         }
     }

@@ -229,6 +229,7 @@ mod tests {
                 eval_every: 0,
                 parallelism: Parallelism::Sequential,
                 trace: false,
+                ..Default::default()
             },
         }
     }

@@ -27,8 +27,15 @@ impl Parallelism {
     /// [`Parallelism::Rayon`]. CI uses this to run the whole test suite
     /// under both executors without code changes.
     pub fn from_env() -> Self {
-        match std::env::var("HM_PARALLELISM") {
-            Ok(v) if v.eq_ignore_ascii_case("sequential") => Parallelism::Sequential,
+        Self::from_env_value(std::env::var("HM_PARALLELISM").ok().as_deref())
+    }
+
+    /// Resolve the mode from an already-read `HM_PARALLELISM` value
+    /// (`None` = unset). Pure function of its argument, so tests can cover
+    /// every case without mutating the process-global environment.
+    pub fn from_env_value(value: Option<&str>) -> Self {
+        match value {
+            Some(v) if v.eq_ignore_ascii_case("sequential") => Parallelism::Sequential,
             _ => Parallelism::Rayon,
         }
     }
@@ -89,16 +96,27 @@ mod tests {
     }
 
     #[test]
-    fn from_env_selects_executor() {
-        // One test covers all cases serially: env vars are process-global,
-        // so spreading these asserts across tests would race.
-        std::env::remove_var("HM_PARALLELISM");
-        assert_eq!(Parallelism::from_env(), Parallelism::Rayon);
-        std::env::set_var("HM_PARALLELISM", "Sequential");
-        assert_eq!(Parallelism::from_env(), Parallelism::Sequential);
-        std::env::set_var("HM_PARALLELISM", "rayon");
-        assert_eq!(Parallelism::from_env(), Parallelism::Rayon);
-        std::env::remove_var("HM_PARALLELISM");
+    fn from_env_value_selects_executor() {
+        // Exercises the pure resolver rather than set_var/remove_var: env
+        // vars are process-global, and mutating them here would race with
+        // any parallel test that calls `from_env`.
+        assert_eq!(Parallelism::from_env_value(None), Parallelism::Rayon);
+        assert_eq!(
+            Parallelism::from_env_value(Some("Sequential")),
+            Parallelism::Sequential
+        );
+        assert_eq!(
+            Parallelism::from_env_value(Some("sequential")),
+            Parallelism::Sequential
+        );
+        assert_eq!(
+            Parallelism::from_env_value(Some("rayon")),
+            Parallelism::Rayon
+        );
+        assert_eq!(
+            Parallelism::from_env_value(Some("garbage")),
+            Parallelism::Rayon
+        );
     }
 
     #[test]

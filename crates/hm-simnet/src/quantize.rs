@@ -42,12 +42,22 @@ pub enum Quantizer {
 }
 
 impl Quantizer {
+    fn validate_bits(bits: u8) {
+        assert!((1..=16).contains(&bits), "bits must lie in 1..=16");
+    }
+
     /// Equivalent float32 count for transmitting `d` coordinates (the unit
     /// the communication meters count).
+    ///
+    /// # Panics
+    /// Panics if `bits` is 0 or above 16 (same contract as
+    /// [`Quantizer::apply`], so a misconfigured codec cannot silently meter
+    /// a cost it could never encode).
     pub fn wire_floats(&self, d: usize) -> u64 {
         match *self {
             Quantizer::Exact => d as u64,
             Quantizer::Stochastic { bits } => {
+                Self::validate_bits(bits);
                 // sign+level bits per coordinate, rounded up to whole
                 // f32-equivalents, plus the scale.
                 let payload_bits = d as u64 * (u64::from(bits) + 1);
@@ -65,21 +75,27 @@ impl Quantizer {
         match *self {
             Quantizer::Exact => {}
             Quantizer::Stochastic { bits } => {
-                assert!((1..=16).contains(&bits), "bits must lie in 1..=16");
+                Self::validate_bits(bits);
                 let scale = v.iter().map(|x| x.abs()).fold(0.0_f32, f32::max);
                 if scale == 0.0 {
                     return;
                 }
                 let s = ((1u32 << bits) - 1) as f32;
+                // The normalized position u and its fraction must be
+                // computed in f64: at bits = 16, u approaches 65535 where
+                // f32 spacing is ~2⁻⁷, so an f32 `u - floor(u)` is itself
+                // quantized and the codec becomes measurably biased.
+                let s64 = f64::from(s);
+                let scale64 = f64::from(scale);
                 for x in v.iter_mut() {
                     let sign = x.signum();
-                    let u = (x.abs() / scale) * s;
+                    let u = f64::from(x.abs()) / scale64 * s64;
                     let lo = u.floor();
                     // Round up with probability equal to the fraction, so
                     // the expectation equals u.
-                    let frac = f64::from(u - lo);
+                    let frac = u - lo;
                     let level = if rng.uniform() < frac { lo + 1.0 } else { lo };
-                    *x = sign * (level / s) * scale;
+                    *x = sign * (level as f32 / s) * scale;
                 }
             }
         }
@@ -188,11 +204,117 @@ mod tests {
     }
 
     #[test]
+    fn quantization_is_unbiased_at_16_bits() {
+        // Regression for the f32-fraction bug: at bits = 16 the normalized
+        // position u approaches 65535, where f32 spacing exceeds the
+        // fraction's resolution; computing the rounding probability in f32
+        // biased the codec. With f64 arithmetic the mean must match.
+        let q = Quantizer::Stochastic { bits: 16 };
+        let orig = [0.762_939_45_f32, -0.31, 0.05, 1.0];
+        let trials = 30_000;
+        let mut sums = [0.0_f64; 4];
+        for t in 0..trials {
+            let mut v = orig.to_vec();
+            let mut rng = StreamRng::for_key(StreamKey::new(t, Purpose::Misc, 1, 0));
+            q.apply(&mut v, &mut rng);
+            for (s, &x) in sums.iter_mut().zip(&v) {
+                *s += f64::from(x);
+            }
+        }
+        // One 16-bit level is ~1.5e-5; the empirical mean over 30k trials
+        // must land well inside one level of the input.
+        for (i, &s) in sums.iter().enumerate() {
+            let mean = s / trials as f64;
+            assert!(
+                (mean - f64::from(orig[i])).abs() < 1e-5,
+                "coordinate {i}: mean {mean} vs {}",
+                orig[i]
+            );
+        }
+    }
+
+    #[test]
+    fn high_bit_fraction_survives_f32_collapse() {
+        // At bits = 16 and u ≈ 50000, f32 spacing is 2⁻⁸, so any true
+        // fraction below half a ULP (~2⁻⁹) collapses to exactly 0 in the
+        // old f32 computation — the codec then *never* rounds that
+        // coordinate up, even though the true rate is ~2⁻⁹. Find such an
+        // input and assert the f64 codec still rounds up at the true rate.
+        let s32 = ((1u32 << 16) - 1) as f32;
+        let s64 = f64::from(s32);
+        let mut found = None;
+        'search: for k in 50_000..50_200u32 {
+            for j in 1..20 {
+                let x = ((f64::from(k) + f64::from(j) * 1e-4) / s64) as f32;
+                let f32_frac = {
+                    let u = x * s32; // the old code path
+                    f64::from(u - u.floor())
+                };
+                let u = f64::from(x) * s64; // exact: 24-bit × 16-bit mantissas
+                let f64_frac = u - u.floor();
+                if f32_frac == 0.0 && (1e-3..1.95e-3).contains(&f64_frac) {
+                    found = Some((x, u.floor(), f64_frac));
+                    break 'search;
+                }
+            }
+        }
+        let (x, lo, frac) = found.expect("an f32-collapse example exists in 50000..50200");
+
+        let q = Quantizer::Stochastic { bits: 16 };
+        let trials = 30_000;
+        let mut ups = 0usize;
+        for t in 0..trials {
+            // 1.0 pins the scale so x itself is the normalized value.
+            let mut v = vec![x, 1.0];
+            let mut rng = StreamRng::for_key(StreamKey::new(t, Purpose::Misc, 2, 0));
+            q.apply(&mut v, &mut rng);
+            let level = f64::from(v[0]) * s64;
+            if level > lo + 0.5 {
+                ups += 1;
+            }
+        }
+        // Expectation ≈ trials·frac ≥ 30; the old code gives exactly 0.
+        assert!(
+            ups >= 5,
+            "expected ~{:.0} round-ups at true fraction {frac}, got {ups}",
+            trials as f64 * frac
+        );
+        let rate = ups as f64 / trials as f64;
+        assert!(
+            rate < frac * 3.0,
+            "round-up rate {rate} far above the true fraction {frac}"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "bits must lie in 1..=16")]
     fn zero_bits_panics() {
         let q = Quantizer::Stochastic { bits: 0 };
         let mut v = vec![1.0_f32];
         let mut rng = StreamRng::new(5, Purpose::Misc, 0, 0);
         q.apply(&mut v, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must lie in 1..=16")]
+    fn seventeen_bits_panics() {
+        let q = Quantizer::Stochastic { bits: 17 };
+        let mut v = vec![1.0_f32];
+        let mut rng = StreamRng::new(5, Purpose::Misc, 0, 0);
+        q.apply(&mut v, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must lie in 1..=16")]
+    fn wire_floats_rejects_zero_bits() {
+        // Regression: wire_floats used to accept configurations that
+        // apply() panics on, silently metering an unencodable codec.
+        let _ = Quantizer::Stochastic { bits: 0 }.wire_floats(100);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must lie in 1..=16")]
+    fn wire_floats_rejects_oversized_bits() {
+        let _ = Quantizer::Stochastic { bits: 17 }.wire_floats(100);
     }
 }

@@ -1,0 +1,394 @@
+//! Telemetry event types and their JSONL serialization.
+//!
+//! One event = one JSON object = one line. Every object carries an `"ev"`
+//! kind tag; the rest of the fields are fixed per kind and documented in
+//! DESIGN.md §10. Serialization is deterministic (fixed key order), so
+//! streams can be compared textually in tests.
+
+use crate::json::ObjWriter;
+use hm_simnet::{CommStats, Link};
+
+/// A structured event emitted by an algorithm run.
+///
+/// All payloads except the `elapsed_s` wall-clock fields are pure functions
+/// of the run (deterministic under a fixed seed). Vectors are cloned at
+/// emission time — emission happens at round boundaries, never inside the
+/// allocation-free training hot path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryEvent {
+    /// Run preamble: which algorithm, over what problem, with what seed.
+    RunStart {
+        /// Algorithm display name (e.g. `"HierMinimax"`).
+        algorithm: String,
+        /// Planned number of rounds.
+        rounds: usize,
+        /// Number of edges (groups for flat methods).
+        n_edges: usize,
+        /// Model parameter count.
+        num_params: usize,
+        /// Run seed.
+        seed: u64,
+    },
+    /// A round began.
+    RoundStart {
+        /// Round index, 0-based.
+        round: usize,
+    },
+    /// Phase-1 sampling outcome: the participating edge multiset and, for
+    /// checkpoint-based methods, the sampled checkpoint `(c1, c2)`.
+    Phase1Sampled {
+        /// Round index.
+        round: usize,
+        /// Sampled edge indices (with multiplicity, in draw order). For
+        /// flat methods this is the sampled client/group set.
+        edges: Vec<usize>,
+        /// Sampled checkpoint `(c1, c2)`; `None` for methods without one.
+        checkpoint: Option<(usize, usize)>,
+    },
+    /// One client-edge aggregation block completed.
+    BlockAggregated {
+        /// Round index (for `MultiLevel`: a position tag, see DESIGN §10).
+        round: usize,
+        /// Edge that aggregated.
+        edge: usize,
+        /// Block index `t2` within the round, 0-based.
+        t2: usize,
+        /// Clients that survived dropout and contributed.
+        survivors: usize,
+    },
+    /// Phase 1 (primal work) of a round finished.
+    Phase1Done {
+        /// Round index.
+        round: usize,
+        /// Real elapsed seconds of phase 1 (monotonic clock; `0.0` when the
+        /// handle is disabled).
+        elapsed_s: f64,
+    },
+    /// Phase-2 dual update: loss estimates on the uniform set and the new
+    /// weight vector `p^(k+1)`.
+    DualUpdate {
+        /// Round index.
+        round: usize,
+        /// The uniformly sampled edge set `U^(k)`.
+        edges: Vec<usize>,
+        /// Loss estimates for each sampled edge, aligned with `edges`.
+        losses: Vec<f64>,
+        /// Post-projection weights `p^(k+1)` over all edges.
+        p: Vec<f32>,
+        /// Real elapsed seconds of phase 2.
+        elapsed_s: f64,
+    },
+    /// An evaluation snapshot was taken.
+    Eval {
+        /// Round index.
+        round: usize,
+        /// Average accuracy over edges.
+        average: f64,
+        /// Worst edge accuracy.
+        worst: f64,
+        /// Accuracy variance in percentage points.
+        variance_pp: f64,
+        /// Per-edge accuracies.
+        per_edge_accuracy: Vec<f64>,
+    },
+    /// A round finished.
+    RoundEnd {
+        /// Round index.
+        round: usize,
+        /// Cumulative local-SGD time slots through this round.
+        slots: usize,
+        /// Communication in this round alone.
+        comm_delta: CommStats,
+        /// Cumulative communication through this round.
+        comm_total: CommStats,
+        /// `LatencyModel` simulated seconds for the run prefix.
+        sim_s: f64,
+        /// Real elapsed seconds of this round.
+        elapsed_s: f64,
+    },
+    /// The run finished.
+    RunEnd {
+        /// Rounds actually executed.
+        rounds: usize,
+        /// Total local-SGD time slots.
+        slots: usize,
+        /// Final communication totals.
+        comm_total: CommStats,
+        /// `LatencyModel` simulated seconds for the whole run.
+        sim_s: f64,
+        /// Real elapsed seconds of the whole run.
+        elapsed_s: f64,
+    },
+}
+
+/// Canonical JSON form of a [`CommStats`] snapshot: five length-3 arrays in
+/// [`Link::all`] order (`[client_edge, edge_cloud, client_cloud]`).
+///
+/// Public so tests can compare snapshots from a telemetry stream against
+/// live meter snapshots without `CommStats` being constructible.
+pub fn comm_to_json(s: &CommStats) -> String {
+    let per_link = |f: &dyn Fn(Link) -> u64| -> [u64; 3] {
+        let [a, b, c] = Link::all();
+        [f(a), f(b), f(c)]
+    };
+    let mut w = ObjWriter::new();
+    w.arr_u64("up_floats", &per_link(&|l| s.uplink_floats(l)))
+        .arr_u64("down_floats", &per_link(&|l| s.downlink_floats(l)))
+        .arr_u64("up_msgs", &per_link(&|l| s.uplink_msgs(l)))
+        .arr_u64("down_msgs", &per_link(&|l| s.downlink_msgs(l)))
+        .arr_u64("rounds", &per_link(&|l| s.rounds(l)));
+    w.finish()
+}
+
+impl TelemetryEvent {
+    /// The `"ev"` kind tag this event serializes under.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TelemetryEvent::RunStart { .. } => "run_start",
+            TelemetryEvent::RoundStart { .. } => "round_start",
+            TelemetryEvent::Phase1Sampled { .. } => "phase1",
+            TelemetryEvent::BlockAggregated { .. } => "block_agg",
+            TelemetryEvent::Phase1Done { .. } => "phase1_done",
+            TelemetryEvent::DualUpdate { .. } => "dual_update",
+            TelemetryEvent::Eval { .. } => "eval",
+            TelemetryEvent::RoundEnd { .. } => "round_end",
+            TelemetryEvent::RunEnd { .. } => "run_end",
+        }
+    }
+
+    /// Serialize to a single JSON object (one JSONL line, no trailing
+    /// newline). Key order is fixed, so equal events serialize equally.
+    pub fn to_json(&self) -> String {
+        let mut w = ObjWriter::new();
+        w.str("ev", self.kind());
+        match self {
+            TelemetryEvent::RunStart {
+                algorithm,
+                rounds,
+                n_edges,
+                num_params,
+                seed,
+            } => {
+                w.str("algorithm", algorithm)
+                    .usize("rounds", *rounds)
+                    .usize("n_edges", *n_edges)
+                    .usize("num_params", *num_params)
+                    .u64("seed", *seed);
+            }
+            TelemetryEvent::RoundStart { round } => {
+                w.usize("round", *round);
+            }
+            TelemetryEvent::Phase1Sampled {
+                round,
+                edges,
+                checkpoint,
+            } => {
+                w.usize("round", *round).arr_usize("edges", edges);
+                match checkpoint {
+                    Some((c1, c2)) => {
+                        w.usize("c1", *c1).usize("c2", *c2);
+                    }
+                    None => {
+                        w.null("c1").null("c2");
+                    }
+                }
+            }
+            TelemetryEvent::BlockAggregated {
+                round,
+                edge,
+                t2,
+                survivors,
+            } => {
+                w.usize("round", *round)
+                    .usize("edge", *edge)
+                    .usize("t2", *t2)
+                    .usize("survivors", *survivors);
+            }
+            TelemetryEvent::Phase1Done { round, elapsed_s } => {
+                w.usize("round", *round).f64("elapsed_s", *elapsed_s);
+            }
+            TelemetryEvent::DualUpdate {
+                round,
+                edges,
+                losses,
+                p,
+                elapsed_s,
+            } => {
+                w.usize("round", *round)
+                    .arr_usize("edges", edges)
+                    .arr_f64("losses", losses)
+                    .arr_f32("p", p)
+                    .f64("elapsed_s", *elapsed_s);
+            }
+            TelemetryEvent::Eval {
+                round,
+                average,
+                worst,
+                variance_pp,
+                per_edge_accuracy,
+            } => {
+                w.usize("round", *round)
+                    .f64("average", *average)
+                    .f64("worst", *worst)
+                    .f64("variance_pp", *variance_pp)
+                    .arr_f64("per_edge_accuracy", per_edge_accuracy);
+            }
+            TelemetryEvent::RoundEnd {
+                round,
+                slots,
+                comm_delta,
+                comm_total,
+                sim_s,
+                elapsed_s,
+            } => {
+                w.usize("round", *round)
+                    .usize("slots", *slots)
+                    .raw("comm_delta", &comm_to_json(comm_delta))
+                    .raw("comm_total", &comm_to_json(comm_total))
+                    .f64("sim_s", *sim_s)
+                    .f64("elapsed_s", *elapsed_s);
+            }
+            TelemetryEvent::RunEnd {
+                rounds,
+                slots,
+                comm_total,
+                sim_s,
+                elapsed_s,
+            } => {
+                w.usize("rounds", *rounds)
+                    .usize("slots", *slots)
+                    .raw("comm_total", &comm_to_json(comm_total))
+                    .f64("sim_s", *sim_s)
+                    .f64("elapsed_s", *elapsed_s);
+            }
+        }
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use hm_simnet::CommMeter;
+
+    fn sample_stats() -> CommStats {
+        let m = CommMeter::new();
+        m.record_gather(Link::ClientEdge, 10, 4);
+        m.record_broadcast(Link::EdgeCloud, 100, 2);
+        m.record_round(Link::EdgeCloud);
+        m.snapshot()
+    }
+
+    #[test]
+    fn comm_json_matches_getters() {
+        let s = sample_stats();
+        let v = parse(&comm_to_json(&s)).unwrap();
+        for (i, link) in Link::all().into_iter().enumerate() {
+            let at = |key: &str| v.get(key).unwrap().as_arr().unwrap()[i].as_u64().unwrap();
+            assert_eq!(at("up_floats"), s.uplink_floats(link));
+            assert_eq!(at("down_floats"), s.downlink_floats(link));
+            assert_eq!(at("up_msgs"), s.uplink_msgs(link));
+            assert_eq!(at("down_msgs"), s.downlink_msgs(link));
+            assert_eq!(at("rounds"), s.rounds(link));
+        }
+    }
+
+    #[test]
+    fn every_kind_serializes_with_its_tag() {
+        let s = sample_stats();
+        let events = [
+            TelemetryEvent::RunStart {
+                algorithm: "HierMinimax".into(),
+                rounds: 5,
+                n_edges: 3,
+                num_params: 77,
+                seed: 42,
+            },
+            TelemetryEvent::RoundStart { round: 0 },
+            TelemetryEvent::Phase1Sampled {
+                round: 0,
+                edges: vec![2, 0, 2],
+                checkpoint: Some((1, 0)),
+            },
+            TelemetryEvent::BlockAggregated {
+                round: 0,
+                edge: 2,
+                t2: 1,
+                survivors: 4,
+            },
+            TelemetryEvent::Phase1Done {
+                round: 0,
+                elapsed_s: 0.01,
+            },
+            TelemetryEvent::DualUpdate {
+                round: 0,
+                edges: vec![1],
+                losses: vec![0.7],
+                p: vec![0.5, 0.25, 0.25],
+                elapsed_s: 0.002,
+            },
+            TelemetryEvent::Eval {
+                round: 0,
+                average: 0.9,
+                worst: 0.8,
+                variance_pp: 1.5,
+                per_edge_accuracy: vec![0.8, 0.95, 0.95],
+            },
+            TelemetryEvent::RoundEnd {
+                round: 0,
+                slots: 6,
+                comm_delta: s,
+                comm_total: s,
+                sim_s: 0.4,
+                elapsed_s: 0.02,
+            },
+            TelemetryEvent::RunEnd {
+                rounds: 1,
+                slots: 6,
+                comm_total: s,
+                sim_s: 0.4,
+                elapsed_s: 0.02,
+            },
+        ];
+        for e in &events {
+            let line = e.to_json();
+            let v = parse(&line).unwrap();
+            assert_eq!(v.get("ev").unwrap().as_str(), Some(e.kind()), "{line}");
+        }
+    }
+
+    #[test]
+    fn flat_method_checkpoint_serializes_null() {
+        let e = TelemetryEvent::Phase1Sampled {
+            round: 3,
+            edges: vec![0, 1],
+            checkpoint: None,
+        };
+        let v = parse(&e.to_json()).unwrap();
+        assert!(v.get("c1").unwrap().is_null());
+        assert!(v.get("c2").unwrap().is_null());
+    }
+
+    #[test]
+    fn dual_update_p_round_trips_to_f32() {
+        let p = vec![0.1f32, 0.333_333_34, 1.0 / 7.0];
+        let e = TelemetryEvent::DualUpdate {
+            round: 0,
+            edges: vec![],
+            losses: vec![],
+            p: p.clone(),
+            elapsed_s: 0.0,
+        };
+        let v = parse(&e.to_json()).unwrap();
+        let back: Vec<f32> = v
+            .get("p")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_f64().unwrap() as f32)
+            .collect();
+        assert_eq!(back, p);
+    }
+}

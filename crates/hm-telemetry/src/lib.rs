@@ -1,0 +1,37 @@
+//! Structured run telemetry.
+//!
+//! The paper's whole evaluation argument (Figs. 3–5, Table 2) is a
+//! *trajectory* story — loss, worst-edge accuracy, communication cost, and
+//! the dual weights `p^(k)` over rounds — yet end-of-run numbers alone
+//! cannot tell you why a seed diverged or where a round's wall-clock went.
+//! This crate is the observability layer: algorithms emit structured
+//! [`TelemetryEvent`]s through a [`Telemetry`] handle into a pluggable
+//! [`Sink`], one JSON object per line when written to disk.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost when off.** A disabled handle is a `None`; every
+//!    `record` call is one branch and the event payload is never built
+//!    (closure form, like `hm_simnet::trace::Trace`). Timers started on a
+//!    disabled handle never call `Instant::now`. The training hot path
+//!    (`local_sgd`) is not instrumented at all — telemetry observes round
+//!    boundaries, where the run already synchronises.
+//! 2. **No new dependencies.** The JSONL writer and the validating parser
+//!    in [`json`]/[`schema`] are hand-rolled; the event grammar is small
+//!    and fixed, so a serde dependency would buy nothing.
+//! 3. **Deterministic payloads.** Everything except the `elapsed_s` wall
+//!    -clock fields is a pure function of the run; enabling telemetry must
+//!    not (and does not — asserted by the workspace determinism tests)
+//!    change a single trained bit.
+//!
+//! The event schema is documented in `DESIGN.md` §10 and enforced by
+//! [`schema::validate_stream`], which CI runs on every smoke-test stream.
+
+pub mod event;
+pub mod json;
+pub mod schema;
+pub mod sink;
+
+pub use event::{comm_to_json, TelemetryEvent};
+pub use schema::{validate_line, validate_stream, SchemaError, StreamSummary};
+pub use sink::{JsonlSink, MemorySink, NoopSink, PhaseTimer, Sink, Telemetry};

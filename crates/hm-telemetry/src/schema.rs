@@ -1,0 +1,471 @@
+//! Schema validation for telemetry streams.
+//!
+//! [`validate_line`] checks one JSONL line against the fixed event grammar
+//! (DESIGN.md §10): known `"ev"` tag, every required field present with the
+//! right type, no unknown fields. [`validate_stream`] additionally enforces
+//! stream-level invariants — a `run_start` preamble, `round_end` indices
+//! consecutive from 0, a closing `run_end` whose round count matches.
+//! CI's telemetry smoke job runs this over every emitted stream.
+
+use crate::json::{parse, Json};
+use std::collections::BTreeMap;
+
+/// Field type expected by the schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ty {
+    /// JSON string.
+    Str,
+    /// Non-negative integer.
+    UInt,
+    /// Any number, or `null` (non-finite floats serialize as `null`).
+    Num,
+    /// Array of non-negative integers.
+    ArrUInt,
+    /// Array of numbers/nulls.
+    ArrNum,
+    /// Non-negative integer or `null` (checkpoint coordinates).
+    NullableUInt,
+    /// A `CommStats` object: five length-3 arrays of non-negative integers.
+    Comm,
+}
+
+/// Required fields (besides `"ev"`) for each event kind.
+fn fields_for(kind: &str) -> Option<&'static [(&'static str, Ty)]> {
+    Some(match kind {
+        "run_start" => &[
+            ("algorithm", Ty::Str),
+            ("rounds", Ty::UInt),
+            ("n_edges", Ty::UInt),
+            ("num_params", Ty::UInt),
+            ("seed", Ty::UInt),
+        ],
+        "round_start" => &[("round", Ty::UInt)],
+        "phase1" => &[
+            ("round", Ty::UInt),
+            ("edges", Ty::ArrUInt),
+            ("c1", Ty::NullableUInt),
+            ("c2", Ty::NullableUInt),
+        ],
+        "block_agg" => &[
+            ("round", Ty::UInt),
+            ("edge", Ty::UInt),
+            ("t2", Ty::UInt),
+            ("survivors", Ty::UInt),
+        ],
+        "phase1_done" => &[("round", Ty::UInt), ("elapsed_s", Ty::Num)],
+        "dual_update" => &[
+            ("round", Ty::UInt),
+            ("edges", Ty::ArrUInt),
+            ("losses", Ty::ArrNum),
+            ("p", Ty::ArrNum),
+            ("elapsed_s", Ty::Num),
+        ],
+        "eval" => &[
+            ("round", Ty::UInt),
+            ("average", Ty::Num),
+            ("worst", Ty::Num),
+            ("variance_pp", Ty::Num),
+            ("per_edge_accuracy", Ty::ArrNum),
+        ],
+        "round_end" => &[
+            ("round", Ty::UInt),
+            ("slots", Ty::UInt),
+            ("comm_delta", Ty::Comm),
+            ("comm_total", Ty::Comm),
+            ("sim_s", Ty::Num),
+            ("elapsed_s", Ty::Num),
+        ],
+        "run_end" => &[
+            ("rounds", Ty::UInt),
+            ("slots", Ty::UInt),
+            ("comm_total", Ty::Comm),
+            ("sim_s", Ty::Num),
+            ("elapsed_s", Ty::Num),
+        ],
+        _ => return None,
+    })
+}
+
+/// Why a line or stream failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError {
+    /// 1-based line number (0 for single-line validation).
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.msg)
+        } else {
+            write!(f, "{}", self.msg)
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+fn err(msg: impl Into<String>) -> SchemaError {
+    SchemaError {
+        line: 0,
+        msg: msg.into(),
+    }
+}
+
+fn check_ty(value: &Json, ty: Ty, field: &str) -> Result<(), SchemaError> {
+    let fail = |want: &str| {
+        Err(err(format!(
+            "field {field:?}: expected {want}, got {value:?}"
+        )))
+    };
+    match ty {
+        Ty::Str => match value {
+            Json::Str(_) => Ok(()),
+            _ => fail("a string"),
+        },
+        Ty::UInt => match value.as_u64() {
+            Some(_) => Ok(()),
+            None => fail("a non-negative integer"),
+        },
+        Ty::Num => match value {
+            Json::Num(_) | Json::Null => Ok(()),
+            _ => fail("a number or null"),
+        },
+        Ty::NullableUInt => match value {
+            Json::Null => Ok(()),
+            _ if value.as_u64().is_some() => Ok(()),
+            _ => fail("a non-negative integer or null"),
+        },
+        Ty::ArrUInt => match value.as_arr() {
+            Some(items) if items.iter().all(|x| x.as_u64().is_some()) => Ok(()),
+            _ => fail("an array of non-negative integers"),
+        },
+        Ty::ArrNum => match value.as_arr() {
+            Some(items) if items.iter().all(|x| matches!(x, Json::Num(_) | Json::Null)) => Ok(()),
+            _ => fail("an array of numbers"),
+        },
+        Ty::Comm => {
+            let obj = match value {
+                Json::Obj(_) => value,
+                _ => return fail("a comm object"),
+            };
+            const KEYS: [&str; 5] = ["up_floats", "down_floats", "up_msgs", "down_msgs", "rounds"];
+            for key in KEYS {
+                let arr = obj
+                    .get(key)
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| err(format!("field {field:?}: comm key {key:?} missing")))?;
+                if arr.len() != 3 || arr.iter().any(|x| x.as_u64().is_none()) {
+                    return Err(err(format!(
+                        "field {field:?}: comm key {key:?} must be 3 non-negative integers"
+                    )));
+                }
+            }
+            if let Json::Obj(fields) = obj {
+                if fields.len() != KEYS.len() {
+                    return Err(err(format!("field {field:?}: unknown comm keys")));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Validate one JSONL line. Returns the event kind on success.
+pub fn validate_line(line: &str) -> Result<String, SchemaError> {
+    let v = parse(line).map_err(|e| err(format!("not valid JSON: {e}")))?;
+    let fields = match &v {
+        Json::Obj(fields) => fields,
+        _ => return Err(err("not a JSON object")),
+    };
+    let kind = v
+        .get("ev")
+        .and_then(Json::as_str)
+        .ok_or_else(|| err("missing string field \"ev\""))?
+        .to_string();
+    let spec = fields_for(&kind).ok_or_else(|| err(format!("unknown event kind {kind:?}")))?;
+    for (name, ty) in spec {
+        let value = v
+            .get(name)
+            .ok_or_else(|| err(format!("{kind}: missing field {name:?}")))?;
+        check_ty(value, *ty, name).map_err(|e| err(format!("{kind}: {}", e.msg)))?;
+    }
+    // "ev" plus the spec'd fields — nothing else.
+    if fields.len() != spec.len() + 1 {
+        let known: Vec<&str> = spec.iter().map(|(n, _)| *n).collect();
+        let extra: Vec<&String> = fields
+            .iter()
+            .map(|(k, _)| k)
+            .filter(|k| k.as_str() != "ev" && !known.contains(&k.as_str()))
+            .collect();
+        return Err(err(format!("{kind}: unknown fields {extra:?}")));
+    }
+    Ok(kind)
+}
+
+/// Summary of a validated stream.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StreamSummary {
+    /// Non-empty lines validated.
+    pub lines: usize,
+    /// Complete `run_start` … `run_end` segments.
+    pub runs: usize,
+    /// Event counts by kind tag.
+    pub events_by_kind: BTreeMap<String, usize>,
+}
+
+/// Validate a whole JSONL stream (possibly several concatenated runs).
+///
+/// Every non-empty line must pass [`validate_line`]; additionally each run
+/// segment must open with `run_start`, close with `run_end`, and have
+/// `round_end` indices consecutive from 0 with a matching final count.
+pub fn validate_stream(text: &str) -> Result<StreamSummary, SchemaError> {
+    let mut summary = StreamSummary::default();
+    let mut in_run = false;
+    let mut rounds_seen = 0usize;
+    let at = |line_no: usize, msg: String| SchemaError { line: line_no, msg };
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let kind = validate_line(raw).map_err(|e| at(line_no, e.msg))?;
+        summary.lines += 1;
+        *summary.events_by_kind.entry(kind.clone()).or_insert(0) += 1;
+
+        match kind.as_str() {
+            "run_start" => {
+                if in_run {
+                    return Err(at(line_no, "run_start inside an open run".into()));
+                }
+                in_run = true;
+                rounds_seen = 0;
+            }
+            "run_end" => {
+                if !in_run {
+                    return Err(at(line_no, "run_end without run_start".into()));
+                }
+                let v = parse(raw).expect("validated above");
+                let declared = v.get("rounds").and_then(Json::as_u64).expect("validated") as usize;
+                if declared != rounds_seen {
+                    return Err(at(
+                        line_no,
+                        format!("run_end declares {declared} rounds but {rounds_seen} round_end events were seen"),
+                    ));
+                }
+                in_run = false;
+                summary.runs += 1;
+            }
+            "round_end" => {
+                if !in_run {
+                    return Err(at(line_no, "round_end outside a run".into()));
+                }
+                let v = parse(raw).expect("validated above");
+                let round = v.get("round").and_then(Json::as_u64).expect("validated") as usize;
+                if round != rounds_seen {
+                    return Err(at(
+                        line_no,
+                        format!("round_end index {round}, expected {rounds_seen}"),
+                    ));
+                }
+                rounds_seen += 1;
+            }
+            _ => {
+                if !in_run {
+                    return Err(at(line_no, format!("{kind} outside a run")));
+                }
+            }
+        }
+    }
+    if in_run {
+        return Err(err("stream ends inside an open run (no run_end)"));
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TelemetryEvent;
+    use hm_simnet::CommMeter;
+
+    fn stats() -> hm_simnet::CommStats {
+        CommMeter::new().snapshot()
+    }
+
+    fn tiny_stream() -> String {
+        let events = [
+            TelemetryEvent::RunStart {
+                algorithm: "HierMinimax".into(),
+                rounds: 2,
+                n_edges: 3,
+                num_params: 10,
+                seed: 1,
+            },
+            TelemetryEvent::RoundStart { round: 0 },
+            TelemetryEvent::Phase1Sampled {
+                round: 0,
+                edges: vec![0, 2],
+                checkpoint: Some((0, 1)),
+            },
+            TelemetryEvent::BlockAggregated {
+                round: 0,
+                edge: 0,
+                t2: 0,
+                survivors: 2,
+            },
+            TelemetryEvent::Phase1Done {
+                round: 0,
+                elapsed_s: 0.1,
+            },
+            TelemetryEvent::DualUpdate {
+                round: 0,
+                edges: vec![1],
+                losses: vec![0.5],
+                p: vec![0.4, 0.3, 0.3],
+                elapsed_s: 0.01,
+            },
+            TelemetryEvent::Eval {
+                round: 0,
+                average: 0.8,
+                worst: 0.7,
+                variance_pp: 2.0,
+                per_edge_accuracy: vec![0.7, 0.85, 0.85],
+            },
+            TelemetryEvent::RoundEnd {
+                round: 0,
+                slots: 4,
+                comm_delta: stats(),
+                comm_total: stats(),
+                sim_s: 0.2,
+                elapsed_s: 0.11,
+            },
+            TelemetryEvent::RoundStart { round: 1 },
+            TelemetryEvent::RoundEnd {
+                round: 1,
+                slots: 8,
+                comm_delta: stats(),
+                comm_total: stats(),
+                sim_s: 0.4,
+                elapsed_s: 0.1,
+            },
+            TelemetryEvent::RunEnd {
+                rounds: 2,
+                slots: 8,
+                comm_total: stats(),
+                sim_s: 0.4,
+                elapsed_s: 0.25,
+            },
+        ];
+        events
+            .iter()
+            .map(|e| e.to_json())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn every_emitted_event_validates() {
+        for line in tiny_stream().lines() {
+            validate_line(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn stream_of_a_well_formed_run_validates() {
+        let summary = validate_stream(&tiny_stream()).unwrap();
+        assert_eq!(summary.runs, 1);
+        assert_eq!(summary.lines, 11);
+        assert_eq!(summary.events_by_kind["round_end"], 2);
+        assert_eq!(summary.events_by_kind["dual_update"], 1);
+    }
+
+    #[test]
+    fn concatenated_runs_validate() {
+        let two = format!("{}\n{}", tiny_stream(), tiny_stream());
+        let summary = validate_stream(&two).unwrap();
+        assert_eq!(summary.runs, 2);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let spaced = tiny_stream().replace('\n', "\n\n");
+        let summary = validate_stream(&spaced).unwrap();
+        assert_eq!(summary.lines, 11);
+    }
+
+    #[test]
+    fn rejects_unknown_kind() {
+        let e = validate_line(r#"{"ev":"mystery","round":0}"#).unwrap_err();
+        assert!(e.msg.contains("unknown event kind"));
+    }
+
+    #[test]
+    fn rejects_missing_field() {
+        let e = validate_line(r#"{"ev":"round_start"}"#).unwrap_err();
+        assert!(e.msg.contains("missing field"));
+    }
+
+    #[test]
+    fn rejects_wrong_type() {
+        let e = validate_line(r#"{"ev":"round_start","round":"zero"}"#).unwrap_err();
+        assert!(e.msg.contains("expected a non-negative integer"));
+    }
+
+    #[test]
+    fn rejects_unknown_field() {
+        let e = validate_line(r#"{"ev":"round_start","round":0,"extra":1}"#).unwrap_err();
+        assert!(e.msg.contains("unknown fields"));
+    }
+
+    #[test]
+    fn rejects_negative_round() {
+        let e = validate_line(r#"{"ev":"round_start","round":-1}"#).unwrap_err();
+        assert!(e.msg.contains("non-negative"));
+    }
+
+    #[test]
+    fn rejects_malformed_comm_object() {
+        let line = r#"{"ev":"run_end","rounds":0,"slots":0,"comm_total":{"up_floats":[0,0]},"sim_s":0,"elapsed_s":0}"#;
+        let e = validate_line(line).unwrap_err();
+        assert!(e.msg.contains("comm key"), "{}", e.msg);
+    }
+
+    #[test]
+    fn stream_rejects_out_of_order_rounds() {
+        let stream = tiny_stream().replace(
+            "\"ev\":\"round_end\",\"round\":1",
+            "\"ev\":\"round_end\",\"round\":5",
+        );
+        let e = validate_stream(&stream).unwrap_err();
+        assert!(e.msg.contains("expected 1"), "{}", e.msg);
+        assert!(e.line > 0);
+    }
+
+    #[test]
+    fn stream_rejects_round_count_mismatch() {
+        let stream = tiny_stream().replace(
+            "\"ev\":\"run_end\",\"rounds\":2",
+            "\"ev\":\"run_end\",\"rounds\":3",
+        );
+        let e = validate_stream(&stream).unwrap_err();
+        assert!(e.msg.contains("declares 3 rounds"), "{}", e.msg);
+    }
+
+    #[test]
+    fn stream_rejects_events_outside_a_run() {
+        let e = validate_stream(r#"{"ev":"round_start","round":0}"#).unwrap_err();
+        assert!(e.msg.contains("outside a run"));
+    }
+
+    #[test]
+    fn stream_rejects_unclosed_run() {
+        let open = tiny_stream();
+        let open = open.rsplit_once('\n').unwrap().0;
+        let e = validate_stream(open).unwrap_err();
+        assert!(e.msg.contains("no run_end"));
+    }
+}

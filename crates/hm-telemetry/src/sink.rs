@@ -1,0 +1,337 @@
+//! Sinks and the [`Telemetry`] handle algorithms carry.
+//!
+//! The handle mirrors `hm_simnet::trace::Trace`: a disabled handle is a
+//! `None` inside, so `record` is one branch and the event-building closure
+//! is never called. Enabling telemetry therefore cannot perturb a run —
+//! payload construction (clones of `p`, loss vectors, comm snapshots)
+//! happens only when a sink is attached, and only at round boundaries.
+
+use crate::event::TelemetryEvent;
+use hm_simnet::{CommStats, LatencyModel};
+use parking_lot::Mutex;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Destination for telemetry events.
+///
+/// Implementations must be thread-safe: hierarchical algorithms emit
+/// block-level events from rayon workers.
+pub trait Sink: Send + Sync + std::fmt::Debug {
+    /// Consume one event.
+    fn emit(&self, event: &TelemetryEvent);
+
+    /// Flush any buffered output (called at run end and on drop of the
+    /// last handle). Default: nothing to flush.
+    fn flush(&self) {}
+}
+
+/// Sink that discards every event. Exists so "telemetry object present but
+/// off" costs one virtual call per round-boundary event and nothing more;
+/// prefer [`Telemetry::disabled`], which skips even payload construction.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn emit(&self, _event: &TelemetryEvent) {}
+}
+
+/// Sink that buffers events in memory, for tests.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TelemetryEvent>>,
+}
+
+impl MemorySink {
+    /// New empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of the events received so far, in emission order.
+    pub fn events(&self) -> Vec<TelemetryEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of events received so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// `true` when no events have been received.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&self, event: &TelemetryEvent) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+/// Sink that appends one JSON line per event to a file.
+///
+/// Writes are buffered; I/O errors after opening are swallowed (telemetry
+/// must never abort a training run) but latch a flag queryable via
+/// [`JsonlSink::had_errors`].
+#[derive(Debug)]
+pub struct JsonlSink {
+    path: PathBuf,
+    file: Mutex<BufWriter<File>>,
+    errored: std::sync::atomic::AtomicBool,
+}
+
+impl JsonlSink {
+    /// Create (truncate) `path` and return a sink writing to it.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(Self {
+            path,
+            file: Mutex::new(BufWriter::new(file)),
+            errored: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
+    /// The path this sink writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// `true` if any write or flush failed since creation.
+    pub fn had_errors(&self) -> bool {
+        self.errored.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, event: &TelemetryEvent) {
+        let mut f = self.file.lock();
+        if writeln!(f, "{}", event.to_json()).is_err() {
+            self.errored
+                .store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    fn flush(&self) {
+        if self.file.lock().flush().is_err() {
+            self.errored
+                .store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.file.lock().flush();
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    sink: Arc<dyn Sink>,
+    latency: LatencyModel,
+}
+
+/// Cheap, cloneable telemetry handle carried in `RunOpts`.
+///
+/// Disabled (the default) it is a `None`: recording is one branch, timers
+/// never read the clock, and simulated-seconds queries return `0.0`.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Telemetry {
+    /// The disabled handle (same as `Default`).
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Enabled handle emitting into `sink`, with the
+    /// [`LatencyModel::mobile_edge`] cost model.
+    pub fn with_sink(sink: Arc<dyn Sink>) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                sink,
+                latency: LatencyModel::mobile_edge(),
+            })),
+        }
+    }
+
+    /// Replace the latency model used for `sim_s` fields.
+    pub fn with_latency(self, latency: LatencyModel) -> Self {
+        Self {
+            inner: self.inner.map(|inner| {
+                Arc::new(Inner {
+                    sink: Arc::clone(&inner.sink),
+                    latency,
+                })
+            }),
+        }
+    }
+
+    /// Enabled handle writing JSONL to `path` (truncates).
+    pub fn jsonl(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self::with_sink(Arc::new(JsonlSink::create(path)?)))
+    }
+
+    /// `true` when a sink is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Emit an event. The closure runs only when enabled, so payload
+    /// clones cost nothing on the disabled path.
+    #[inline]
+    pub fn record(&self, make: impl FnOnce() -> TelemetryEvent) {
+        if let Some(inner) = &self.inner {
+            inner.sink.emit(&make());
+        }
+    }
+
+    /// Start a phase timer. Disabled handles return a timer that never
+    /// touched the clock and reports `0.0`.
+    #[inline]
+    pub fn timer(&self) -> PhaseTimer {
+        PhaseTimer(self.inner.as_ref().map(|_| Instant::now()))
+    }
+
+    /// Simulated deployment seconds for a run prefix under this handle's
+    /// latency model; `0.0` when disabled.
+    pub fn sim_seconds(&self, stats: &CommStats, slots: usize) -> f64 {
+        match &self.inner {
+            Some(inner) => inner.latency.simulated_seconds(stats, slots),
+            None => 0.0,
+        }
+    }
+
+    /// Flush the sink (no-op when disabled).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.flush();
+        }
+    }
+}
+
+/// Scoped monotonic timer handed out by [`Telemetry::timer`].
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseTimer(Option<Instant>);
+
+impl PhaseTimer {
+    /// Seconds since the timer was started; `0.0` if started disabled.
+    pub fn elapsed_s(&self) -> f64 {
+        match self.0 {
+            Some(t0) => t0.elapsed().as_secs_f64(),
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hm_simnet::{CommMeter, Link};
+
+    fn ev(round: usize) -> TelemetryEvent {
+        TelemetryEvent::RoundStart { round }
+    }
+
+    #[test]
+    fn disabled_handle_never_builds_payloads() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        t.record(|| unreachable!("closure must not run when disabled"));
+        assert_eq!(t.timer().elapsed_s(), 0.0);
+        let stats = CommMeter::new().snapshot();
+        assert_eq!(t.sim_seconds(&stats, 100), 0.0);
+        t.flush();
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let sink = Arc::new(MemorySink::new());
+        let t = Telemetry::with_sink(sink.clone());
+        assert!(t.is_enabled());
+        for k in 0..3 {
+            t.record(|| ev(k));
+        }
+        assert_eq!(sink.events(), vec![ev(0), ev(1), ev(2)]);
+        assert_eq!(sink.len(), 3);
+        assert!(!sink.is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let sink = Arc::new(MemorySink::new());
+        let t = Telemetry::with_sink(sink.clone());
+        let t2 = t.clone();
+        t.record(|| ev(0));
+        t2.record(|| ev(1));
+        assert_eq!(sink.len(), 2);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let dir = std::env::temp_dir().join("hm_telemetry_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let t = Telemetry::jsonl(&path).unwrap();
+        t.record(|| ev(0));
+        t.record(|| TelemetryEvent::RunEnd {
+            rounds: 1,
+            slots: 4,
+            comm_total: CommMeter::new().snapshot(),
+            sim_s: 0.0,
+            elapsed_s: 0.0,
+        });
+        t.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            crate::json::parse(line).unwrap();
+        }
+        assert!(lines[0].contains("\"ev\":\"round_start\""));
+        assert!(lines[1].contains("\"ev\":\"run_end\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn enabled_timer_reads_the_clock() {
+        let t = Telemetry::with_sink(Arc::new(NoopSink));
+        let timer = t.timer();
+        assert!(timer.elapsed_s() >= 0.0);
+    }
+
+    #[test]
+    fn latency_override_changes_sim_seconds() {
+        let t =
+            Telemetry::with_sink(Arc::new(NoopSink)).with_latency(LatencyModel::uniform(1.0, 1e9));
+        let m = CommMeter::new();
+        m.record_round(Link::EdgeCloud);
+        let s = m.snapshot();
+        let got = t.sim_seconds(&s, 0);
+        assert!((got - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sinks_are_thread_safe() {
+        let sink = Arc::new(MemorySink::new());
+        let t = Telemetry::with_sink(sink.clone());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let t = t.clone();
+                scope.spawn(move || {
+                    for k in 0..100 {
+                        t.record(|| ev(k));
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.len(), 400);
+    }
+}

@@ -85,6 +85,7 @@ pub fn traced_opts() -> RunOpts {
         eval_every: 0,
         parallelism: Parallelism::Sequential,
         trace: true,
+        ..Default::default()
     }
 }
 

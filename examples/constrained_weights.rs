@@ -47,6 +47,7 @@ fn main() {
                 eval_every: 0,
                 parallelism: Parallelism::Rayon,
                 trace: false,
+                ..Default::default()
             },
         });
         let r = hm.run(&problem, 17);

@@ -72,6 +72,7 @@ fn main() {
                 eval_every: 0,
                 parallelism: Parallelism::Rayon,
                 trace: false,
+                ..Default::default()
             },
         };
         let cfg = MultiLevelConfig {

@@ -26,6 +26,7 @@ fn main() {
         eval_every: 0,
         parallelism: Parallelism::Rayon,
         trace: false,
+        ..Default::default()
     };
 
     println!("training HierFAVG (minimization) ...");

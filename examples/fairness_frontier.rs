@@ -29,6 +29,7 @@ fn main() {
         eval_every: 0,
         parallelism: Parallelism::Rayon,
         trace: false,
+        ..Default::default()
     };
 
     println!(

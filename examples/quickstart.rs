@@ -46,6 +46,7 @@ fn main() {
             eval_every: 25,
             parallelism: Parallelism::Rayon,
             trace: false,
+            ..Default::default()
         },
     };
     let result = HierMinimax::new(cfg).run(&problem, 7);

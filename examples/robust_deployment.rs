@@ -27,6 +27,7 @@ fn main() {
         eval_every: 0,
         parallelism: Parallelism::Rayon,
         trace: false,
+        ..Default::default()
     };
     let rounds = 1500;
 

@@ -33,6 +33,7 @@ fn main() {
         loss_batch: 16,
         eval_every_slots: 120,
         parallelism: Parallelism::Rayon,
+        telemetry_dir: None,
     };
     let suite = run_suite(&problem, &sp, 19);
 

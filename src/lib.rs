@@ -14,6 +14,8 @@
 //!   communication metering.
 //! - [`core`] — the HierMinimax algorithm and all baselines, metrics, and
 //!   the duality-gap evaluator.
+//! - [`telemetry`] — structured run telemetry: JSONL event streams,
+//!   pluggable sinks, and the stream schema validator (DESIGN.md §10).
 //!
 //! ## Quickstart
 //!
@@ -37,4 +39,5 @@ pub use hm_data as data;
 pub use hm_nn as nn;
 pub use hm_optim as optim;
 pub use hm_simnet as simnet;
+pub use hm_telemetry as telemetry;
 pub use hm_tensor as tensor;

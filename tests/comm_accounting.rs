@@ -17,6 +17,7 @@ fn opts() -> RunOpts {
         eval_every: 1,
         parallelism: Parallelism::Sequential,
         trace: false,
+        ..Default::default()
     }
 }
 

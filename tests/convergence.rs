@@ -30,6 +30,7 @@ fn hm_cfg(rounds: usize) -> HierMinimaxConfig {
             eval_every: 0,
             parallelism: Parallelism::Rayon,
             trace: false,
+            ..Default::default()
         },
     }
 }
@@ -80,6 +81,7 @@ fn minimax_beats_minimization_on_worst_edge() {
         eval_every: 0,
         parallelism: Parallelism::Rayon,
         trace: false,
+        ..Default::default()
     };
     let rounds = 600;
     let favg = HierFavg::new(HierFavgConfig {
@@ -161,6 +163,7 @@ fn frozen_model_weights_climb_to_max_loss_vertex() {
             eval_every: 0,
             parallelism: Parallelism::Rayon,
             trace: false,
+            ..Default::default()
         },
     };
     let r = HierMinimax::new(cfg).run(&fp, 4);
@@ -212,6 +215,7 @@ fn all_methods_learn_tiny_problem_to_high_accuracy() {
         eval_every: 0,
         parallelism: Parallelism::Rayon,
         trace: false,
+        ..Default::default()
     };
     let algs: Vec<Box<dyn Algorithm>> = vec![
         Box::new(HierMinimax::new(HierMinimaxConfig {

@@ -16,6 +16,7 @@ fn opts(par: Parallelism) -> RunOpts {
         eval_every: 2,
         parallelism: par,
         trace: false,
+        ..Default::default()
     }
 }
 

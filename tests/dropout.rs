@@ -25,6 +25,7 @@ fn cfg(dropout: f32, rounds: usize) -> HierMinimaxConfig {
             eval_every: 0,
             parallelism: Parallelism::Rayon,
             trace: false,
+            ..Default::default()
         },
     }
 }

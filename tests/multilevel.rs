@@ -41,6 +41,7 @@ fn cfg(upper: Vec<UpperLevel>, rounds: usize) -> MultiLevelConfig {
             eval_every: 0,
             parallelism: Parallelism::Rayon,
             trace: false,
+            ..Default::default()
         },
     }
 }

@@ -38,6 +38,7 @@ fn traced_run(
             eval_every: 0,
             parallelism: Parallelism::Sequential,
             trace: true,
+            ..Default::default()
         },
     };
     let r = HierMinimax::new(cfg.clone()).run(&fp, seed);
@@ -227,6 +228,7 @@ fn heterogeneous_rates_still_learn_and_account_slots() {
             eval_every: 0,
             parallelism: Parallelism::Rayon,
             trace: false,
+            ..Default::default()
         },
     };
     let r = HierMinimax::new(cfg.clone()).run(&fp, 13);

@@ -26,6 +26,7 @@ fn cfg(quantizer: Quantizer, rounds: usize) -> HierMinimaxConfig {
             eval_every: 0,
             parallelism: Parallelism::Rayon,
             trace: false,
+            ..Default::default()
         },
     }
 }
