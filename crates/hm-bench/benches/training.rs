@@ -194,6 +194,7 @@ fn bench_multilevel_round(c: &mut Criterion) {
             eta_p: 0.01,
             batch_size: 4,
             loss_batch: 16,
+            dropout: 0.0,
             opts: RunOpts {
                 eval_every: 0,
                 parallelism: Parallelism::Rayon,

@@ -59,6 +59,7 @@ fn main() {
         } else {
             None
         },
+        fault: Default::default(),
     };
 
     println!("Fig. 3 reproduction: convex logistic regression, one class per edge");

@@ -69,6 +69,7 @@ fn main() {
         eval_every_slots: (total_slots / 60).max(4),
         parallelism: Parallelism::Rayon,
         telemetry_dir: None,
+        fault: Default::default(),
     };
 
     println!("Fig. 4 reproduction: non-convex MLP, 50% similarity split");

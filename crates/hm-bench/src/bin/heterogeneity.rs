@@ -30,6 +30,7 @@ fn pair(problem: &FederatedProblem, slots: usize) -> (EvalReport, EvalReport) {
         eval_every_slots: usize::MAX,
         parallelism: Parallelism::Rayon,
         telemetry_dir: None,
+        fault: Default::default(),
     };
     // Mean over three algorithm seeds: single-seed worst accuracy is noisy
     // at this scale.

@@ -44,6 +44,7 @@ fn suite_params(total_slots: usize, m_edges: usize, eta_w: f32, eta_p: f32) -> S
         eval_every_slots: usize::MAX, // final evaluation only
         parallelism: Parallelism::Rayon,
         telemetry_dir: None,
+        fault: Default::default(),
     }
 }
 

@@ -47,6 +47,7 @@ fn main() {
                 eval_every_slots: usize::MAX,
                 parallelism: Parallelism::Rayon,
                 telemetry_dir: None,
+                fault: Default::default(),
             };
             for m in Method::all() {
                 let evals: Vec<EvalReport> = (0..3)

@@ -10,7 +10,7 @@ use hm_core::algorithms::{
 };
 use hm_core::problem::FederatedProblem;
 use hm_core::RunResult;
-use hm_simnet::Parallelism;
+use hm_simnet::{FaultPlan, Parallelism};
 use hm_telemetry::Telemetry;
 
 /// The five methods of the paper's evaluation.
@@ -89,6 +89,9 @@ pub struct SuiteParams {
     /// When set, each method writes structured run telemetry to
     /// `<dir>/telemetry_<method>.jsonl` (see DESIGN.md §10).
     pub telemetry_dir: Option<std::path::PathBuf>,
+    /// Deterministic fault plan applied to the hierarchical methods (the
+    /// flat baselines ignore it; see `hm_simnet::fault`).
+    pub fault: FaultPlan,
 }
 
 impl SuiteParams {
@@ -109,6 +112,7 @@ impl SuiteParams {
             parallelism: self.parallelism,
             trace: false,
             telemetry,
+            fault: self.fault.clone(),
         }
     }
 
@@ -224,6 +228,7 @@ mod tests {
             eval_every_slots: 4,
             parallelism: Parallelism::Sequential,
             telemetry_dir: None,
+            fault: FaultPlan::default(),
         }
     }
 

@@ -12,7 +12,7 @@ use hm_core::metrics::evaluate;
 use hm_core::problem::FederatedProblem;
 use hm_core::RunResult;
 use hm_data::partition::label_skew;
-use hm_simnet::{LatencyModel, Link, Parallelism, Quantizer};
+use hm_simnet::{FaultPlan, LatencyModel, Link, Parallelism, Quantizer, FAULT_PRESETS};
 use hm_telemetry::Telemetry;
 
 /// Dispatch a parsed command line. Returns the process exit code.
@@ -72,6 +72,17 @@ ALGORITHM FLAGS (run):
   --group-size N --tau3 N   (multilevel) region grouping and period
   --quant-bits N        quantize uplinks at N bits (0 = exact)
   --dropout F           per-block client dropout probability (hier. methods)
+
+FAULT-INJECTION FLAGS (run, compare; deterministic per seed):
+  --fault-plan NAME     none|flaky-clients|edge-outages|lossy-wan|stragglers|chaos
+                        (default none; presets override --dropout)
+  --client-crash F --edge-outage F --msg-loss F
+                        per-block/round/attempt probabilities overriding the preset
+  --max-retries N --backoff-base F
+                        bounded retransmission of lost edge-cloud messages
+                        (exponential backoff in simulated seconds)
+  --straggler-rate F --straggler-slowdown F --deadline-factor F
+                        compute stragglers; slower than the deadline is cut
   --mlp W1,W2,...       use an MLP with these hidden widths
   --cnn                 use the SimpleCnn model (square inputs only)
   --seed N --eval-every N --sequential --csv PATH
@@ -80,6 +91,29 @@ ALGORITHM FLAGS (run):
   --save-model PATH     (run) save the final model
   --model PATH          (eval) model file to evaluate
 "
+}
+
+/// Resolve `--fault-plan` (a preset name) plus the per-knob override
+/// flags into a validated [`FaultPlan`].
+fn fault_plan(args: &Args) -> Result<FaultPlan, ArgError> {
+    let name = args.str_or("fault-plan", "none");
+    let mut plan = FaultPlan::preset(&name).ok_or_else(|| {
+        ArgError(format!(
+            "--fault-plan {name:?} unknown (one of {})",
+            FAULT_PRESETS.join("|")
+        ))
+    })?;
+    plan.client_crash = args.num_or("client-crash", plan.client_crash)?;
+    plan.edge_outage = args.num_or("edge-outage", plan.edge_outage)?;
+    plan.msg_loss = args.num_or("msg-loss", plan.msg_loss)?;
+    plan.max_retries = args.num_or("max-retries", plan.max_retries)?;
+    plan.backoff_base_s = args.num_or("backoff-base", plan.backoff_base_s)?;
+    plan.straggler_rate = args.num_or("straggler-rate", plan.straggler_rate)?;
+    plan.straggler_slowdown = args.num_or("straggler-slowdown", plan.straggler_slowdown)?;
+    plan.deadline_factor = args.num_or("deadline-factor", plan.deadline_factor)?;
+    plan.validate()
+        .map_err(|e| ArgError(format!("fault plan: {e}")))?;
+    Ok(plan)
 }
 
 fn opts(args: &Args) -> Result<RunOpts, ArgError> {
@@ -99,6 +133,7 @@ fn opts(args: &Args) -> Result<RunOpts, ArgError> {
         },
         trace: false,
         telemetry,
+        fault: fault_plan(args)?,
     })
 }
 
@@ -244,6 +279,7 @@ fn build_algorithm(args: &Args) -> Result<Box<dyn Algorithm>, ArgError> {
             eta_p,
             batch_size,
             loss_batch,
+            dropout: args.num_or("dropout", 0.0)?,
             opts,
         })),
         other => {
@@ -282,6 +318,20 @@ fn report(problem: &FederatedProblem, name: &str, r: &RunResult) {
         "simulated wall-clock (mobile-edge model): {:.1} s",
         mec.simulated_seconds(&r.comm, slots)
     );
+    let f = &r.faults;
+    if f.total() > 0 || f.straggler_slots > 0.0 {
+        println!(
+            "injected faults: {} crashes, {} outages, {} retries ({} gave up), \
+             {} deadline misses; +{:.2} s backoff, +{:.1} straggler slots",
+            f.crashes,
+            f.outages,
+            f.retries,
+            f.gave_up,
+            f.deadline_missed,
+            f.backoff_s,
+            f.straggler_slots
+        );
+    }
 }
 
 fn run(args: &Args) -> Result<(), ArgError> {
@@ -470,6 +520,7 @@ fn compare(args: &Args) -> Result<(), ArgError> {
                 eta_p,
                 batch_size,
                 loss_batch,
+                dropout: 0.0,
                 opts: opts.clone(),
             })));
         }

@@ -207,6 +207,120 @@ fn telemetry_jsonl_written_and_validates() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+#[test]
+fn fault_plan_run_reports_faults_and_is_deterministic() {
+    let run = || {
+        bin()
+            .args([
+                "run",
+                "--scenario",
+                "tiny",
+                "--edges",
+                "3",
+                "--clients",
+                "2",
+                "--rounds",
+                "6",
+                "--m",
+                "2",
+                "--fault-plan",
+                "chaos",
+                "--seed",
+                "11",
+                "--sequential",
+            ])
+            .output()
+            .expect("spawn")
+    };
+    let a = run();
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    let text = String::from_utf8_lossy(&a.stdout);
+    assert!(text.contains("injected faults:"), "{text}");
+    // Same seed, same plan: byte-identical report (keyed fault streams).
+    let b = run();
+    assert_eq!(a.stdout, b.stdout);
+}
+
+#[test]
+fn fault_flags_override_preset() {
+    // `none` preset plus one knob: only outages fire, and the report says
+    // so without any crash or retry counts.
+    let out = bin()
+        .args([
+            "run",
+            "--scenario",
+            "tiny",
+            "--edges",
+            "3",
+            "--clients",
+            "2",
+            "--rounds",
+            "6",
+            "--m",
+            "2",
+            "--edge-outage",
+            "0.5",
+            "--seed",
+            "3",
+            "--sequential",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("injected faults: 0 crashes"), "{text}");
+    assert!(!text.contains(" 0 outages"), "{text}");
+}
+
+#[test]
+fn unknown_fault_plan_is_rejected() {
+    let out = bin()
+        .args([
+            "run",
+            "--scenario",
+            "tiny",
+            "--edges",
+            "3",
+            "--clients",
+            "2",
+            "--fault-plan",
+            "mayhem",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--fault-plan") && err.contains("chaos"),
+        "{err}"
+    );
+}
+
+#[test]
+fn invalid_fault_rate_is_rejected() {
+    let out = bin()
+        .args([
+            "run",
+            "--scenario",
+            "tiny",
+            "--edges",
+            "3",
+            "--clients",
+            "2",
+            "--msg-loss",
+            "1.5",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("fault plan"), "{err}");
+}
+
 // ---- Golden snapshots -----------------------------------------------------
 //
 // Byte-exact captures of user-facing output, committed under

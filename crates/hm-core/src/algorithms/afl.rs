@@ -274,6 +274,7 @@ impl Algorithm for StochasticAfl {
             history,
             comm: comm_final,
             trace,
+            faults: Default::default(),
         }
     }
 }

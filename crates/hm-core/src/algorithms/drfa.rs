@@ -292,6 +292,7 @@ impl Algorithm for Drfa {
             history,
             comm: comm_final,
             trace,
+            faults: Default::default(),
         }
     }
 }

@@ -203,6 +203,7 @@ impl Algorithm for FedAvg {
             history,
             comm: comm_final,
             trace,
+            faults: Default::default(),
         }
     }
 }

@@ -160,6 +160,7 @@ impl Algorithm for FedProx {
             history,
             comm: meter.snapshot(),
             trace,
+            faults: Default::default(),
         }
     }
 }

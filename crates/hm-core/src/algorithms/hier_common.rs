@@ -6,7 +6,7 @@ use crate::localsgd::local_sgd;
 use crate::problem::FederatedProblem;
 use hm_data::rng::{Purpose, StreamKey, StreamRng};
 use hm_simnet::trace::{Event, Trace};
-use hm_simnet::{CommMeter, Link, Parallelism, Quantizer};
+use hm_simnet::{CommMeter, FaultInjector, Link, Parallelism, Quantizer, StragglerFate};
 use hm_telemetry::{Telemetry, TelemetryEvent};
 use hm_tensor::vecops;
 
@@ -42,11 +42,18 @@ pub(crate) struct EdgeBlockParams<'a> {
     /// Codec applied to client model uploads (the Hier-Local-QSGD
     /// extension); downlink broadcasts stay full precision.
     pub quantizer: Quantizer,
-    /// Per-block probability that a client drops out (crash/straggler cut
-    /// by the synchronisation deadline). A dropped client neither computes
-    /// nor uploads for that block; the edge averages the survivors, and an
-    /// edge whose clients all dropped keeps its block-start model.
-    pub dropout: f32,
+    /// Fault oracle deciding per-block client crashes and straggler fates
+    /// (keyed streams, so deterministic and independent of execution
+    /// order). A crashed client neither computes nor uploads for that
+    /// block; a straggler past the deadline computes but its late upload
+    /// is discarded and not metered. The edge averages the survivors, and
+    /// an edge whose clients all dropped keeps its block-start model.
+    pub fault: &'a FaultInjector,
+    /// Hierarchy level of these clients' subtree (0 = the three-layer
+    /// client-edge-cloud case, preserving the legacy dropout streams;
+    /// deeper multi-level trees pass their depth so equal block indices at
+    /// different levels draw independent fault bits).
+    pub level: usize,
     /// Whether this call records `ClientEdge` synchronisation rounds.
     /// Callers that invoke `run_edge_blocks` once per edge (the
     /// heterogeneous-rate path) set this false and record the round count
@@ -78,31 +85,38 @@ pub(crate) fn run_edge_blocks(p: EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
     let mut edge_models: Vec<Vec<f32>> = p.edges.iter().map(|_| p.w_start.to_vec()).collect();
     let mut edge_checkpoints: Vec<Option<Vec<f32>>> = vec![None; p.edges.len()];
 
-    assert!(
-        (0.0..=1.0).contains(&p.dropout),
-        "dropout must lie in [0,1]"
-    );
     for t2 in 0..p.tau2 {
         let is_cp_block = p.checkpoint.map(|(_, c2)| c2 == t2).unwrap_or(false);
         let cp_after = p.checkpoint.and_then(|(c1, c2)| (c2 == t2).then_some(c1));
-        // Which clients survive this block (keyed stream, so deterministic
-        // and independent of execution order).
+        let block_tag = (p.round * p.tau2 + t2) as u64;
+        // Which clients survive this block (keyed streams, so deterministic
+        // and independent of execution order): a client is cut by a crash
+        // or by straggling past the deadline; an in-deadline straggler
+        // contributes but stretches the block's shared sync window.
+        let mut max_slow = 1.0_f64;
         let alive: Vec<bool> = (0..p.edges.len() * n0)
             .map(|slot| {
-                if p.dropout == 0.0 {
-                    return true;
-                }
                 let edge = p.edges[slot / n0];
                 let client = topo.client_id(edge, slot % n0);
-                let mut drng = StreamRng::for_key(StreamKey::new(
-                    p.seed,
-                    Purpose::Dropout,
-                    (p.round * p.tau2 + t2) as u64,
-                    client as u64,
-                ));
-                drng.uniform() >= f64::from(p.dropout)
+                if !p.fault.client_alive(block_tag, p.level, client) {
+                    return false;
+                }
+                match p.fault.straggler(block_tag, p.level, client) {
+                    StragglerFate::Missed => false,
+                    StragglerFate::Slow(s) => {
+                        max_slow = max_slow.max(s);
+                        true
+                    }
+                    StragglerFate::OnTime => true,
+                }
             })
             .collect();
+        if max_slow > 1.0 {
+            // The synchronous block waits for its slowest in-deadline
+            // straggler: τ1 nominal slots stretch by the slowdown factor.
+            p.fault
+                .add_straggler_slots((max_slow - 1.0) * p.tau1 as f64);
+        }
         // Edge broadcasts its block-start model to its clients.
         p.meter
             .record_broadcast(Link::ClientEdge, d, (p.edges.len() * n0) as u64);
@@ -304,6 +318,7 @@ mod tests {
         let sc = tiny_problem(3, 2, 1);
         let fp = FederatedProblem::logistic_from_scenario(&sc);
         let (meter, trace) = meter_and_trace();
+        let fi = FaultInjector::none(42);
         let w0 = vec![0.0; fp.num_params()];
         let out = run_edge_blocks(EdgeBlockParams {
             problem: &fp,
@@ -315,7 +330,8 @@ mod tests {
             batch_size: 2,
             checkpoint: Some((1, 1)),
             quantizer: Quantizer::Exact,
-            dropout: 0.0,
+            fault: &fi,
+            level: 0,
             record_rounds: true,
             round: 0,
             seed: 42,
@@ -357,6 +373,7 @@ mod tests {
         let sc = tiny_problem(2, 2, 3);
         let fp = FederatedProblem::logistic_from_scenario(&sc);
         let (meter, trace) = (CommMeter::new(), Trace::disabled());
+        let fi = FaultInjector::none(7);
         let w0 = vec![0.25; fp.num_params()];
         let out = run_edge_blocks(EdgeBlockParams {
             problem: &fp,
@@ -368,7 +385,8 @@ mod tests {
             batch_size: 2,
             checkpoint: Some((0, 0)),
             quantizer: Quantizer::Exact,
-            dropout: 0.0,
+            fault: &fi,
+            level: 0,
             record_rounds: true,
             round: 0,
             seed: 7,
@@ -387,6 +405,7 @@ mod tests {
         let run = |par: Parallelism| {
             let meter = CommMeter::new();
             let trace = Trace::disabled();
+            let fi = FaultInjector::none(11);
             run_edge_blocks(EdgeBlockParams {
                 problem: &fp,
                 w_start: &vec![0.0; fp.num_params()],
@@ -397,7 +416,8 @@ mod tests {
                 batch_size: 2,
                 checkpoint: Some((1, 0)),
                 quantizer: Quantizer::Exact,
-                dropout: 0.0,
+                fault: &fi,
+                level: 0,
                 record_rounds: true,
                 round: 3,
                 seed: 11,

@@ -8,13 +8,16 @@
 //! client-edge aggregation remains a plain average.
 
 use super::hier_common::{run_edge_blocks, EdgeBlockParams};
+use super::hierminimax::{delivery_fault_kind, record_edge_fault};
 use super::{finish_round, Algorithm, IterateAverage, RunOpts, RunResult};
 use crate::history::History;
 use crate::problem::FederatedProblem;
 use hm_data::rng::{Purpose, StreamKey, StreamRng};
 use hm_simnet::sampling::sample_edges_uniform;
 use hm_simnet::trace::Event;
-use hm_simnet::{CommMeter, CommStats, Link, Quantizer};
+use hm_simnet::{
+    CommMeter, CommStats, FaultInjector, FaultKind, FaultStats, Link, MsgChannel, Quantizer,
+};
 use hm_telemetry::TelemetryEvent;
 use hm_tensor::vecops;
 
@@ -105,6 +108,8 @@ impl Algorithm for HierFavg {
                 0,
             )));
         let mut comm_prev = CommStats::default();
+        let fault = FaultInjector::new(seed, cfg.opts.fault.clone().with_dropout(cfg.dropout));
+        let mut faults_prev = FaultStats::default();
 
         let tel = &cfg.opts.telemetry;
         let run_timer = tel.timer();
@@ -133,23 +138,48 @@ impl Algorithm for HierFavg {
                 checkpoint: None,
             });
 
-            meter.record_broadcast(Link::EdgeCloud, d as u64, sampled.len() as u64);
+            // Outage filter + downlink deliveries mirror HierMinimax's
+            // Phase 1: an out edge never hears the broadcast, a lost
+            // downlink (after metered retries) sidelines its edge.
+            let mut active: Vec<usize> = Vec::with_capacity(sampled.len());
+            for &e in &sampled {
+                if fault.edge_out(k as u64, 0, e) {
+                    record_edge_fault(&trace, tel, k, 0, e, FaultKind::EdgeOutage, 0);
+                } else {
+                    active.push(e);
+                }
+            }
+            meter.record_broadcast(Link::EdgeCloud, d as u64, active.len() as u64);
             trace.record(|| Event::CloudBroadcast {
                 round: k,
-                recipients: sampled.clone(),
+                recipients: active.clone(),
             });
+            let mut participants: Vec<usize> = Vec::with_capacity(active.len());
+            for &e in &active {
+                let dv = fault.deliver(k as u64, 0, MsgChannel::Phase1Down, e);
+                if dv.attempts > 1 {
+                    meter.record_broadcast(Link::EdgeCloud, d as u64, u64::from(dv.attempts - 1));
+                }
+                if let Some(kind) = delivery_fault_kind(dv.delivered, dv.attempts) {
+                    record_edge_fault(&trace, tel, k, 0, e, kind, dv.attempts as usize);
+                }
+                if dv.delivered {
+                    participants.push(e);
+                }
+            }
 
             let outputs = run_edge_blocks(EdgeBlockParams {
                 problem,
                 w_start: &w,
-                edges: &sampled,
+                edges: &participants,
                 tau1: cfg.tau1,
                 tau2: cfg.tau2,
                 eta_w: cfg.eta_w,
                 batch_size: cfg.batch_size,
                 checkpoint: None,
                 quantizer: cfg.quantizer,
-                dropout: cfg.dropout,
+                fault: &fault,
+                level: 0,
                 record_rounds: true,
                 round: k,
                 seed,
@@ -178,28 +208,48 @@ impl Algorithm for HierFavg {
                     );
                 }
             }
-            meter.record_gather(
-                Link::EdgeCloud,
-                cfg.quantizer.wire_floats(d),
-                sampled.len() as u64,
-            );
+            // Uplink deliveries: every attempt transmits (first attempts
+            // in the base gather, retries here); only delivered reports
+            // join the aggregation.
+            let wire_up = cfg.quantizer.wire_floats(d);
+            let mut reported: Vec<usize> = Vec::with_capacity(outputs.len());
+            for (i, o) in outputs.iter().enumerate() {
+                let dv = fault.deliver(k as u64, 0, MsgChannel::Phase1Up, o.edge);
+                if dv.attempts > 1 {
+                    meter.record_gather(Link::EdgeCloud, wire_up, u64::from(dv.attempts - 1));
+                }
+                if let Some(kind) = delivery_fault_kind(dv.delivered, dv.attempts) {
+                    record_edge_fault(&trace, tel, k, 0, o.edge, kind, dv.attempts as usize);
+                }
+                if dv.delivered {
+                    reported.push(i);
+                }
+            }
+            meter.record_gather(Link::EdgeCloud, wire_up, outputs.len() as u64);
             meter.record_round(Link::EdgeCloud);
 
-            // Cloud aggregation weighted by edge data volume (q ∝ data).
-            let sizes: Vec<f64> = sampled
-                .iter()
-                .map(|&e| {
-                    problem.scenario.edges[e]
-                        .client_train
-                        .iter()
-                        .map(|d| d.len())
-                        .sum::<usize>() as f64
-                })
-                .collect();
-            let total: f64 = sizes.iter().sum();
-            let weights: Vec<f64> = sizes.iter().map(|s| s / total).collect();
-            let finals: Vec<&[f32]> = outputs.iter().map(|o| o.w_final.as_slice()).collect();
-            vecops::weighted_average_into(&finals, &weights, &mut w);
+            // Cloud aggregation weighted by edge data volume (q ∝ data),
+            // renormalized over the reports that arrived; a fully-failed
+            // round keeps w^(k) bit-identically.
+            if !reported.is_empty() {
+                let sizes: Vec<f64> = reported
+                    .iter()
+                    .map(|&i| {
+                        problem.scenario.edges[outputs[i].edge]
+                            .client_train
+                            .iter()
+                            .map(|d| d.len())
+                            .sum::<usize>() as f64
+                    })
+                    .collect();
+                let total: f64 = sizes.iter().sum();
+                let weights: Vec<f64> = sizes.iter().map(|s| s / total).collect();
+                let finals: Vec<&[f32]> = reported
+                    .iter()
+                    .map(|&i| outputs[i].w_final.as_slice())
+                    .collect();
+                vecops::weighted_average_into(&finals, &weights, &mut w);
+            }
             trace.record(|| Event::GlobalAggregation { round: k });
             trace.record(|| Event::GlobalModel {
                 round: k,
@@ -209,6 +259,21 @@ impl Algorithm for HierFavg {
                 round: k,
                 elapsed_s: phase1_timer.elapsed_s(),
             });
+            let fstats = fault.stats();
+            if fault.is_active() {
+                let fd = fstats.since(&faults_prev);
+                tel.record(|| TelemetryEvent::FaultSummary {
+                    round: k,
+                    crashes: fd.crashes,
+                    outages: fd.outages,
+                    retries: fd.retries,
+                    gave_up: fd.gave_up,
+                    deadline_missed: fd.deadline_missed,
+                    backoff_s: fd.backoff_s,
+                    straggler_slots: fd.straggler_slots,
+                });
+            }
+            faults_prev = fstats;
             let comm_now = meter.snapshot();
             trace.record(|| Event::RoundComm {
                 round: k,
@@ -220,7 +285,8 @@ impl Algorithm for HierFavg {
                 slots: slots_done,
                 comm_delta: comm_now.since(&comm_prev),
                 comm_total: comm_now,
-                sim_s: tel.sim_seconds(&comm_now, slots_done),
+                sim_s: tel.sim_seconds(&comm_now, slots_done)
+                    + tel.fault_seconds(fstats.straggler_slots, fstats.backoff_s),
                 elapsed_s: round_timer.elapsed_s(),
             });
             comm_prev = comm_now;
@@ -241,12 +307,14 @@ impl Algorithm for HierFavg {
         }
 
         let comm_final = meter.snapshot();
+        let faults_final = fault.stats();
         let total_slots = cfg.rounds * cfg.tau1 * cfg.tau2;
         tel.record(|| TelemetryEvent::RunEnd {
             rounds: cfg.rounds,
             slots: total_slots,
             comm_total: comm_final,
-            sim_s: tel.sim_seconds(&comm_final, total_slots),
+            sim_s: tel.sim_seconds(&comm_final, total_slots)
+                + tel.fault_seconds(faults_final.straggler_slots, faults_final.backoff_s),
             elapsed_s: run_timer.elapsed_s(),
         });
         tel.flush();
@@ -259,6 +327,7 @@ impl Algorithm for HierFavg {
             history,
             comm: comm_final,
             trace,
+            faults: faults_final,
         }
     }
 }

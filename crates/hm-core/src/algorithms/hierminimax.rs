@@ -25,10 +25,50 @@ use crate::problem::FederatedProblem;
 use hm_data::rng::{Purpose, StreamKey, StreamRng};
 use hm_optim::sgd::projected_ascent_step;
 use hm_simnet::sampling::{sample_checkpoint, sample_edges_uniform, sample_edges_weighted};
-use hm_simnet::trace::Event;
-use hm_simnet::{CommMeter, CommStats, Link, Quantizer};
-use hm_telemetry::TelemetryEvent;
+use hm_simnet::trace::{Event, Trace};
+use hm_simnet::{
+    CommMeter, CommStats, FaultInjector, FaultKind, FaultStats, Link, MsgChannel, Quantizer,
+};
+use hm_telemetry::{Telemetry, TelemetryEvent};
 use hm_tensor::vecops;
+
+/// Record one edge-level fault occurrence in both the protocol trace and
+/// the telemetry stream (shared by all hierarchical run loops).
+pub(crate) fn record_edge_fault(
+    trace: &Trace,
+    tel: &Telemetry,
+    round: usize,
+    level: usize,
+    edge: usize,
+    kind: FaultKind,
+    attempts: usize,
+) {
+    trace.record(|| Event::EdgeFault {
+        round,
+        level,
+        edge,
+        kind,
+        attempts,
+    });
+    tel.record(|| TelemetryEvent::Fault {
+        round,
+        kind: kind.as_str().into(),
+        level,
+        edge,
+        attempts,
+    });
+}
+
+/// Split a delivered-message outcome into its fault record (if any).
+pub(crate) fn delivery_fault_kind(delivered: bool, attempts: u32) -> Option<FaultKind> {
+    if !delivered {
+        Some(FaultKind::MsgGaveUp)
+    } else if attempts > 1 {
+        Some(FaultKind::MsgRetried)
+    } else {
+        None
+    }
+}
 
 /// Which model Phase 2 estimates losses on — the paper's randomly-indexed
 /// checkpoint, or two biased ablation variants used by the
@@ -169,6 +209,11 @@ impl Algorithm for HierMinimax {
             )));
         let mut p = problem.initial_p();
         let mut comm_prev = CommStats::default();
+        // Fault oracle: the run's plan with the legacy `dropout` knob
+        // folded into `client_crash`. An all-zero plan makes no RNG draws,
+        // so this path is bit-identical to the fault-free seed runs.
+        let fault = FaultInjector::new(seed, cfg.opts.fault.clone().with_dropout(cfg.dropout));
+        let mut faults_prev = FaultStats::default();
 
         let tel = &cfg.opts.telemetry;
         let run_timer = tel.timer();
@@ -207,13 +252,48 @@ impl Algorithm for HierMinimax {
             });
 
             // Cloud → sampled edges: the global model and the (scalar)
-            // checkpoint index. Duplicated samples transmit once.
+            // checkpoint index. Duplicated samples transmit once. A
+            // sampled edge that is out this round never receives or
+            // reports anything; the cloud proceeds with the others.
             let (distinct, counts) = multiplicities(&sampled);
-            meter.record_broadcast(Link::EdgeCloud, d as u64 + 2, distinct.len() as u64);
+            let mut active: Vec<usize> = Vec::with_capacity(distinct.len());
+            let mut active_counts: Vec<usize> = Vec::with_capacity(distinct.len());
+            for (&e, &c) in distinct.iter().zip(&counts) {
+                if fault.edge_out(k as u64, 0, e) {
+                    record_edge_fault(&trace, tel, k, 0, e, FaultKind::EdgeOutage, 0);
+                } else {
+                    active.push(e);
+                    active_counts.push(c);
+                }
+            }
+            meter.record_broadcast(Link::EdgeCloud, d as u64 + 2, active.len() as u64);
             trace.record(|| Event::CloudBroadcast {
                 round: k,
-                recipients: distinct.clone(),
+                recipients: active.clone(),
             });
+
+            // Phase-1 downlink deliveries: each retry retransmits the full
+            // payload (metered); an edge whose downlink never arrives sits
+            // the round out.
+            let mut participants: Vec<usize> = Vec::with_capacity(active.len());
+            let mut part_counts: Vec<usize> = Vec::with_capacity(active.len());
+            for (&e, &c) in active.iter().zip(&active_counts) {
+                let dv = fault.deliver(k as u64, 0, MsgChannel::Phase1Down, e);
+                if dv.attempts > 1 {
+                    meter.record_broadcast(
+                        Link::EdgeCloud,
+                        d as u64 + 2,
+                        u64::from(dv.attempts - 1),
+                    );
+                }
+                if let Some(kind) = delivery_fault_kind(dv.delivered, dv.attempts) {
+                    record_edge_fault(&trace, tel, k, 0, e, kind, dv.attempts as usize);
+                }
+                if dv.delivered {
+                    participants.push(e);
+                    part_counts.push(c);
+                }
+            }
 
             // Round-start model, kept for the RoundStart ablation variant.
             let w_start = if cfg.weight_update_model == WeightUpdateModel::RoundStart {
@@ -226,14 +306,15 @@ impl Algorithm for HierMinimax {
                 None => run_edge_blocks(EdgeBlockParams {
                     problem,
                     w_start: &w,
-                    edges: &distinct,
+                    edges: &participants,
                     tau1: cfg.tau1,
                     tau2: cfg.tau2,
                     eta_w: cfg.eta_w,
                     batch_size: cfg.batch_size,
                     checkpoint: Some((c1, c2)),
                     quantizer: cfg.quantizer,
-                    dropout: cfg.dropout,
+                    fault: &fault,
+                    level: 0,
                     record_rounds: true,
                     round: k,
                     seed,
@@ -249,8 +330,8 @@ impl Algorithm for HierMinimax {
                     // late blocks and never reach fast edges' extra blocks).
                     // Local (client-edge) rounds are metered per edge here,
                     // since each edge genuinely runs its own aggregations.
-                    let mut outs = Vec::with_capacity(distinct.len());
-                    for &e in &distinct {
+                    let mut outs = Vec::with_capacity(participants.len());
+                    for &e in &participants {
                         let tau2_e = rates[e];
                         let c2_e = StreamRng::for_key(StreamKey::new(
                             seed,
@@ -269,7 +350,8 @@ impl Algorithm for HierMinimax {
                             batch_size: cfg.batch_size,
                             checkpoint: Some((c1, c2_e)),
                             quantizer: cfg.quantizer,
-                            dropout: cfg.dropout,
+                            fault: &fault,
+                            level: 0,
                             record_rounds: false,
                             round: k,
                             seed,
@@ -281,13 +363,10 @@ impl Algorithm for HierMinimax {
                         outs.push(o.pop().expect("one edge per call"));
                     }
                     // Concurrent edges share synchronisation windows: the
-                    // round's local sync count is the slowest sampled
-                    // edge's block count, not the per-edge sum.
-                    let max_sampled = distinct
-                        .iter()
-                        .map(|&e| rates[e])
-                        .max()
-                        .expect("at least one sampled edge");
+                    // round's local sync count is the slowest participating
+                    // edge's block count, not the per-edge sum (zero when
+                    // every sampled edge failed before computing).
+                    let max_sampled = participants.iter().map(|&e| rates[e]).max().unwrap_or(0);
                     for _ in 0..max_sampled {
                         meter.record_round(Link::ClientEdge);
                     }
@@ -296,7 +375,7 @@ impl Algorithm for HierMinimax {
             };
 
             debug_assert!(
-                outputs.iter().zip(&distinct).all(|(o, &e)| o.edge == e),
+                outputs.iter().zip(&participants).all(|(o, &e)| o.edge == e),
                 "edge outputs out of order"
             );
 
@@ -324,31 +403,57 @@ impl Algorithm for HierMinimax {
                     }
                 }
             }
-            meter.record_gather(
-                Link::EdgeCloud,
-                2 * cfg.quantizer.wire_floats(d),
-                distinct.len() as u64,
-            );
+            // Phase-1 uplink deliveries: every attempt transmits the full
+            // payload (metered below: first attempts in the base gather,
+            // retries here); only delivered reports reach the aggregation.
+            let wire_up = 2 * cfg.quantizer.wire_floats(d);
+            let mut reported: Vec<usize> = Vec::with_capacity(outputs.len());
+            for (i, o) in outputs.iter().enumerate() {
+                let dv = fault.deliver(k as u64, 0, MsgChannel::Phase1Up, o.edge);
+                if dv.attempts > 1 {
+                    meter.record_gather(Link::EdgeCloud, wire_up, u64::from(dv.attempts - 1));
+                }
+                if let Some(kind) = delivery_fault_kind(dv.delivered, dv.attempts) {
+                    record_edge_fault(&trace, tel, k, 0, o.edge, kind, dv.attempts as usize);
+                }
+                if dv.delivered {
+                    reported.push(i);
+                }
+            }
+            meter.record_gather(Link::EdgeCloud, wire_up, outputs.len() as u64);
             meter.record_round(Link::EdgeCloud);
 
-            // Cloud aggregation over the m_E sampled slots (eqs. 5–6):
-            // duplicates in the with-replacement sample weight their edge.
-            let weights: Vec<f64> = counts
-                .iter()
-                .map(|&c| c as f64 / cfg.m_edges as f64)
-                .collect();
-            let finals: Vec<&[f32]> = outputs.iter().map(|o| o.w_final.as_slice()).collect();
-            vecops::weighted_average_into(&finals, &weights, &mut w);
-            let cps: Vec<&[f32]> = outputs
-                .iter()
-                .map(|o| {
-                    o.checkpoint
-                        .as_deref()
-                        .expect("phase 1 captures checkpoints")
-                })
-                .collect();
+            // Cloud aggregation over the surviving reports (eqs. 5–6):
+            // duplicates in the with-replacement sample weight their edge,
+            // and the weights renormalize over the reports that actually
+            // arrived (fault-free, the denominator is exactly m_E).
             let mut w_checkpoint = vec![0.0_f32; d];
-            vecops::weighted_average_into(&cps, &weights, &mut w_checkpoint);
+            if reported.is_empty() {
+                // Every sampled edge failed: the round is stale. The cloud
+                // keeps w^(k) bit-identically and Phase 2 evaluates it.
+                w_checkpoint.copy_from_slice(&w);
+            } else {
+                let m_reported: usize = reported.iter().map(|&i| part_counts[i]).sum();
+                let weights: Vec<f64> = reported
+                    .iter()
+                    .map(|&i| part_counts[i] as f64 / m_reported as f64)
+                    .collect();
+                let finals: Vec<&[f32]> = reported
+                    .iter()
+                    .map(|&i| outputs[i].w_final.as_slice())
+                    .collect();
+                vecops::weighted_average_into(&finals, &weights, &mut w);
+                let cps: Vec<&[f32]> = reported
+                    .iter()
+                    .map(|&i| {
+                        outputs[i]
+                            .checkpoint
+                            .as_deref()
+                            .expect("phase 1 captures checkpoints")
+                    })
+                    .collect();
+                vecops::weighted_average_into(&cps, &weights, &mut w_checkpoint);
+            }
             trace.record(|| Event::GlobalAggregation { round: k });
             trace.record(|| Event::GlobalModel {
                 round: k,
@@ -380,13 +485,37 @@ impl Algorithm for HierMinimax {
                 edges: u_set.clone(),
             });
 
-            // Cloud → U^(k): checkpoint model; edges relay to clients.
-            meter.record_broadcast(Link::EdgeCloud, d as u64, u_set.len() as u64);
-            meter.record_broadcast(Link::ClientEdge, d as u64, (u_set.len() * n0) as u64);
+            // Cloud → U^(k): checkpoint model; edges relay to clients. An
+            // edge that is out, or whose downlink is lost after retries,
+            // contributes v_e = 0 (graceful degradation: the estimate
+            // shrinks toward zero instead of aborting the update).
+            let mut live: Vec<usize> = Vec::with_capacity(u_set.len());
+            for &e in &u_set {
+                if fault.edge_out(k as u64, 0, e) {
+                    record_edge_fault(&trace, tel, k, 0, e, FaultKind::EdgeOutage, 0);
+                } else {
+                    live.push(e);
+                }
+            }
+            meter.record_broadcast(Link::EdgeCloud, d as u64, live.len() as u64);
+            let mut est: Vec<usize> = Vec::with_capacity(live.len());
+            for &e in &live {
+                let dv = fault.deliver(k as u64, 0, MsgChannel::Phase2Down, e);
+                if dv.attempts > 1 {
+                    meter.record_broadcast(Link::EdgeCloud, d as u64, u64::from(dv.attempts - 1));
+                }
+                if let Some(kind) = delivery_fault_kind(dv.delivered, dv.attempts) {
+                    record_edge_fault(&trace, tel, k, 0, e, kind, dv.attempts as usize);
+                }
+                if dv.delivered {
+                    est.push(e);
+                }
+            }
+            meter.record_broadcast(Link::ClientEdge, d as u64, (est.len() * n0) as u64);
 
             let topo = problem.topology();
             let model = &problem.model;
-            let edge_losses: Vec<f64> = cfg.opts.parallelism.map(u_set.clone(), |e| {
+            let edge_losses: Vec<f64> = cfg.opts.parallelism.map(est.clone(), |e| {
                 // f_e = (1/N_0) Σ_n f_n(checkpoint; ξ_n).
                 let mut total = 0.0_f64;
                 for c in 0..n0 {
@@ -409,19 +538,22 @@ impl Algorithm for HierMinimax {
             });
 
             // Clients → edges: scalar losses; edges → cloud: scalar f_e.
-            meter.record_gather(Link::ClientEdge, 1, (u_set.len() * n0) as u64);
+            // Scalars ride the reliable control channel (loss injection
+            // models the bulky model transfers), so every estimating edge
+            // reports.
+            meter.record_gather(Link::ClientEdge, 1, (est.len() * n0) as u64);
             meter.record_round(Link::ClientEdge);
             // Phase 2 piggybacks on the round's cloud exchange window: its
             // floats/messages are metered above, but it does not count as a
             // separate communication round (the paper's Table-1 complexity
             // is O(1) edge-cloud rounds per training round covering both
             // phases).
-            meter.record_gather(Link::EdgeCloud, 1, u_set.len() as u64);
+            meter.record_gather(Link::EdgeCloud, 1, est.len() as u64);
 
             // Unbiased gradient estimate v and projected ascent (eq. 7).
             let mut v = vec![0.0_f32; n_edges];
             let scale = n_edges as f64 / cfg.m_edges as f64;
-            for (&e, &fe) in u_set.iter().zip(&edge_losses) {
+            for (&e, &fe) in est.iter().zip(&edge_losses) {
                 v[e] = (scale * fe) as f32;
             }
             // Theorem 1's update applies η_p × (slots per round); under
@@ -434,11 +566,28 @@ impl Algorithm for HierMinimax {
             });
             tel.record(|| TelemetryEvent::DualUpdate {
                 round: k,
-                edges: u_set.clone(),
+                edges: est.clone(),
                 losses: edge_losses.clone(),
                 p: p.clone(),
                 elapsed_s: phase2_timer.elapsed_s(),
             });
+            // Per-round fault deltas, only when a fault class is live — a
+            // zero-rate plan leaves the stream byte-identical to fault-off.
+            let fstats = fault.stats();
+            if fault.is_active() {
+                let fd = fstats.since(&faults_prev);
+                tel.record(|| TelemetryEvent::FaultSummary {
+                    round: k,
+                    crashes: fd.crashes,
+                    outages: fd.outages,
+                    retries: fd.retries,
+                    gave_up: fd.gave_up,
+                    deadline_missed: fd.deadline_missed,
+                    backoff_s: fd.backoff_s,
+                    straggler_slots: fd.straggler_slots,
+                });
+            }
+            faults_prev = fstats;
             let comm_now = meter.snapshot();
             trace.record(|| Event::RoundComm {
                 round: k,
@@ -450,7 +599,8 @@ impl Algorithm for HierMinimax {
                 slots: slots_done,
                 comm_delta: comm_now.since(&comm_prev),
                 comm_total: comm_now,
-                sim_s: tel.sim_seconds(&comm_now, slots_done),
+                sim_s: tel.sim_seconds(&comm_now, slots_done)
+                    + tel.fault_seconds(fstats.straggler_slots, fstats.backoff_s),
                 elapsed_s: round_timer.elapsed_s(),
             });
             comm_prev = comm_now;
@@ -471,12 +621,14 @@ impl Algorithm for HierMinimax {
         }
 
         let comm_final = meter.snapshot();
+        let faults_final = fault.stats();
         let total_slots = cfg.rounds * cfg.tau1 * max_tau2;
         tel.record(|| TelemetryEvent::RunEnd {
             rounds: cfg.rounds,
             slots: total_slots,
             comm_total: comm_final,
-            sim_s: tel.sim_seconds(&comm_final, total_slots),
+            sim_s: tel.sim_seconds(&comm_final, total_slots)
+                + tel.fault_seconds(faults_final.straggler_slots, faults_final.backoff_s),
             elapsed_s: run_timer.elapsed_s(),
         });
         tel.flush();
@@ -489,6 +641,7 @@ impl Algorithm for HierMinimax {
             history,
             comm: comm_final,
             trace,
+            faults: faults_final,
         }
     }
 }

@@ -47,7 +47,7 @@ use crate::history::History;
 use crate::metrics::evaluate;
 use crate::problem::FederatedProblem;
 use hm_simnet::trace::Trace;
-use hm_simnet::{CommStats, Parallelism};
+use hm_simnet::{CommStats, FaultPlan, FaultStats, Parallelism};
 use hm_telemetry::{Telemetry, TelemetryEvent};
 
 mod afl;
@@ -70,6 +70,13 @@ pub struct RunOpts {
     /// and DESIGN.md §10). A disabled handle costs one branch per
     /// round-boundary event and cannot perturb the run.
     pub telemetry: Telemetry,
+    /// Deterministic fault injection (see `hm_simnet::fault` and
+    /// DESIGN.md §11). The default all-zero plan makes no RNG draws, so a
+    /// fault-capable run with zero rates is bit-identical to a fault-free
+    /// one. Hierarchical configs fold their legacy `dropout` knob into the
+    /// plan's `client_crash` (the plan wins when both are set); flat
+    /// two-layer baselines ignore the plan.
+    pub fault: FaultPlan,
 }
 
 impl Default for RunOpts {
@@ -79,6 +86,7 @@ impl Default for RunOpts {
             parallelism: Parallelism::from_env(),
             trace: false,
             telemetry: Telemetry::disabled(),
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -121,6 +129,9 @@ pub struct RunResult {
     pub comm: CommStats,
     /// Protocol trace (empty unless requested in [`RunOpts`]).
     pub trace: Trace,
+    /// Cumulative injected-fault bookkeeping (all zeros for fault-free
+    /// runs and for the flat baselines, which ignore the fault plan).
+    pub faults: FaultStats,
 }
 
 /// A distributed algorithm that solves (or approximates) problem (3).

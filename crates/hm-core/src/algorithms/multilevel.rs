@@ -20,6 +20,7 @@
 //! cost model where everything below the cloud is site-local.
 
 use super::hier_common::{multiplicities, run_edge_blocks, EdgeBlockParams};
+use super::hierminimax::{delivery_fault_kind, record_edge_fault};
 use super::{finish_round, Algorithm, IterateAverage, RunOpts, RunResult};
 use crate::history::History;
 use crate::localsgd::estimate_loss;
@@ -29,7 +30,9 @@ use hm_optim::sgd::projected_ascent_step;
 use hm_simnet::sampling::{sample_edges_uniform, sample_edges_weighted};
 use hm_simnet::trace::Event;
 use hm_simnet::trace::Trace;
-use hm_simnet::{CommMeter, CommStats, Link, Quantizer};
+use hm_simnet::{
+    CommMeter, CommStats, FaultInjector, FaultKind, FaultStats, Link, MsgChannel, Quantizer,
+};
 use hm_telemetry::TelemetryEvent;
 use hm_tensor::vecops;
 
@@ -65,6 +68,9 @@ pub struct MultiLevelConfig {
     pub batch_size: usize,
     /// Mini-batch size for loss estimation.
     pub loss_batch: usize,
+    /// Per-block client dropout probability (folded into the fault plan's
+    /// `client_crash`; `0.0` = the paper's failure-free protocol).
+    pub dropout: f32,
     /// Shared runner options.
     pub opts: RunOpts,
 }
@@ -84,6 +90,7 @@ impl Default for MultiLevelConfig {
             eta_p: 0.01,
             batch_size: 4,
             loss_batch: 16,
+            dropout: 0.0,
             opts: RunOpts::default(),
         }
     }
@@ -148,10 +155,15 @@ impl MultiLevelMinimax {
         seed: u64,
         meter: &CommMeter,
         trace: &Trace,
+        fault: &FaultInjector,
     ) -> (Vec<f32>, Option<Vec<f32>>) {
         let cfg = &self.cfg;
         if li == cfg.upper.len() {
-            // Base case: one edge-level block over these edges.
+            // Base case: one edge-level block over these edges. Client
+            // faults key on the tree depth as their level, so a deeper
+            // hierarchy draws survival bits independent of the three-layer
+            // case even when block indices coincide (with `upper: []` the
+            // depth is 0 and the legacy streams are preserved).
             let (c1, c2) = (cp_index[cp_index.len() - 2], cp_index[cp_index.len() - 1]);
             let outputs = run_edge_blocks(EdgeBlockParams {
                 problem,
@@ -163,7 +175,8 @@ impl MultiLevelMinimax {
                 batch_size: cfg.batch_size,
                 checkpoint: Some((c1, c2)),
                 quantizer: Quantizer::Exact,
-                dropout: 0.0,
+                fault,
+                level: cfg.upper.len(),
                 record_rounds: true,
                 round: round_tag,
                 seed,
@@ -218,6 +231,7 @@ impl MultiLevelMinimax {
                     seed,
                     meter,
                     trace,
+                    fault,
                 ));
             }
             // Gather child models (+ checkpoints when this is the
@@ -277,6 +291,12 @@ impl Algorithm for MultiLevelMinimax {
             .collect();
         let total_tau = cfg.slots_per_round();
         let mut comm_prev = CommStats::default();
+        // Cloud-link faults (outages, message loss) act on the top-level
+        // groups at level 0; client faults key on the tree depth inside
+        // `subtree_update`. Intermediate links are site-local and modeled
+        // as reliable.
+        let fault = FaultInjector::new(seed, cfg.opts.fault.clone().with_dropout(cfg.dropout));
+        let mut faults_prev = FaultStats::default();
 
         let tel = &cfg.opts.telemetry;
         let run_timer = tel.timer();
@@ -322,16 +342,44 @@ impl Algorithm for MultiLevelMinimax {
                 checkpoint: Some((c1, c2)),
             });
 
-            meter.record_broadcast(
-                Link::EdgeCloud,
-                d as u64 + cp_index.len() as u64,
-                distinct.len() as u64,
-            );
+            // Cloud-link fault pipeline on the sampled top-level groups:
+            // outage filter, then downlink deliveries with metered retries.
+            let payload_down = d as u64 + cp_index.len() as u64;
+            let mut active: Vec<usize> = Vec::with_capacity(distinct.len());
+            let mut active_counts: Vec<usize> = Vec::with_capacity(distinct.len());
+            for (&g, &c) in distinct.iter().zip(&counts) {
+                if fault.edge_out(k as u64, 0, g) {
+                    record_edge_fault(&trace, tel, k, 0, g, FaultKind::EdgeOutage, 0);
+                } else {
+                    active.push(g);
+                    active_counts.push(c);
+                }
+            }
+            meter.record_broadcast(Link::EdgeCloud, payload_down, active.len() as u64);
             trace.record(|| Event::CloudBroadcast {
                 round: k,
-                recipients: distinct.clone(),
+                recipients: active.clone(),
             });
-            let results: Vec<(Vec<f32>, Option<Vec<f32>>)> = distinct
+            let mut participants: Vec<usize> = Vec::with_capacity(active.len());
+            let mut part_counts: Vec<usize> = Vec::with_capacity(active.len());
+            for (&g, &c) in active.iter().zip(&active_counts) {
+                let dv = fault.deliver(k as u64, 0, MsgChannel::Phase1Down, g);
+                if dv.attempts > 1 {
+                    meter.record_broadcast(
+                        Link::EdgeCloud,
+                        payload_down,
+                        u64::from(dv.attempts - 1),
+                    );
+                }
+                if let Some(kind) = delivery_fault_kind(dv.delivered, dv.attempts) {
+                    record_edge_fault(&trace, tel, k, 0, g, kind, dv.attempts as usize);
+                }
+                if dv.delivered {
+                    participants.push(g);
+                    part_counts.push(c);
+                }
+            }
+            let results: Vec<(Vec<f32>, Option<Vec<f32>>)> = participants
                 .iter()
                 .map(|&g| {
                     self.subtree_update(
@@ -344,24 +392,49 @@ impl Algorithm for MultiLevelMinimax {
                         seed,
                         &meter,
                         &trace,
+                        &fault,
                     )
                 })
                 .collect();
-            meter.record_gather(Link::EdgeCloud, 2 * d as u64, distinct.len() as u64);
+            // Uplink deliveries: every attempt transmits (first attempts
+            // in the base gather, retries here).
+            let mut reported: Vec<usize> = Vec::with_capacity(participants.len());
+            for (i, &g) in participants.iter().enumerate() {
+                let dv = fault.deliver(k as u64, 0, MsgChannel::Phase1Up, g);
+                if dv.attempts > 1 {
+                    meter.record_gather(Link::EdgeCloud, 2 * d as u64, u64::from(dv.attempts - 1));
+                }
+                if let Some(kind) = delivery_fault_kind(dv.delivered, dv.attempts) {
+                    record_edge_fault(&trace, tel, k, 0, g, kind, dv.attempts as usize);
+                }
+                if dv.delivered {
+                    reported.push(i);
+                }
+            }
+            meter.record_gather(Link::EdgeCloud, 2 * d as u64, participants.len() as u64);
             meter.record_round(Link::EdgeCloud);
 
-            let weights: Vec<f64> = counts
-                .iter()
-                .map(|&c| c as f64 / cfg.m_groups as f64)
-                .collect();
-            let models: Vec<&[f32]> = results.iter().map(|(m, _)| m.as_slice()).collect();
-            vecops::weighted_average_into(&models, &weights, &mut w);
-            let cps: Vec<&[f32]> = results
-                .iter()
-                .map(|(_, cp)| cp.as_deref().expect("groups carry checkpoints"))
-                .collect();
+            // Aggregation over the surviving reports, weights renormalized
+            // (fault-free the denominator is exactly m_groups); a fully
+            // failed round keeps w^(k) bit-identically.
             let mut w_checkpoint = vec![0.0_f32; d];
-            vecops::weighted_average_into(&cps, &weights, &mut w_checkpoint);
+            if reported.is_empty() {
+                w_checkpoint.copy_from_slice(&w);
+            } else {
+                let m_reported: usize = reported.iter().map(|&i| part_counts[i]).sum();
+                let weights: Vec<f64> = reported
+                    .iter()
+                    .map(|&i| part_counts[i] as f64 / m_reported as f64)
+                    .collect();
+                let models: Vec<&[f32]> =
+                    reported.iter().map(|&i| results[i].0.as_slice()).collect();
+                vecops::weighted_average_into(&models, &weights, &mut w);
+                let cps: Vec<&[f32]> = reported
+                    .iter()
+                    .map(|&i| results[i].1.as_deref().expect("groups carry checkpoints"))
+                    .collect();
+                vecops::weighted_average_into(&cps, &weights, &mut w_checkpoint);
+            }
             trace.record(|| Event::GlobalAggregation { round: k });
             trace.record(|| Event::GlobalModel {
                 round: k,
@@ -385,14 +458,41 @@ impl Algorithm for MultiLevelMinimax {
                 round: k,
                 edges: u_set.clone(),
             });
-            meter.record_broadcast(Link::EdgeCloud, d as u64, u_set.len() as u64);
+            // Outage + downlink-delivery filter for the Phase-2 estimate
+            // request; the scalar uplink rides the reliable control channel.
+            let live: Vec<usize> = u_set
+                .iter()
+                .copied()
+                .filter(|&g| {
+                    if fault.edge_out(k as u64, 0, g) {
+                        record_edge_fault(&trace, tel, k, 0, g, FaultKind::EdgeOutage, 0);
+                        false
+                    } else {
+                        true
+                    }
+                })
+                .collect();
+            meter.record_broadcast(Link::EdgeCloud, d as u64, live.len() as u64);
+            let mut est: Vec<usize> = Vec::with_capacity(live.len());
+            for &g in &live {
+                let dv = fault.deliver(k as u64, 0, MsgChannel::Phase2Down, g);
+                if dv.attempts > 1 {
+                    meter.record_broadcast(Link::EdgeCloud, d as u64, u64::from(dv.attempts - 1));
+                }
+                if let Some(kind) = delivery_fault_kind(dv.delivered, dv.attempts) {
+                    record_edge_fault(&trace, tel, k, 0, g, kind, dv.attempts as usize);
+                }
+                if dv.delivered {
+                    est.push(g);
+                }
+            }
             meter.record_broadcast(
                 Link::ClientEdge,
                 d as u64,
-                (u_set.len() * per_group * n0) as u64,
+                (est.len() * per_group * n0) as u64,
             );
             let topo = problem.topology();
-            let group_losses: Vec<f64> = cfg.opts.parallelism.map(u_set.clone(), |g| {
+            let group_losses: Vec<f64> = cfg.opts.parallelism.map(est.clone(), |g| {
                 let mut total = 0.0_f64;
                 for &e in &group_edges[g] {
                     for c in 0..n0 {
@@ -414,13 +514,15 @@ impl Algorithm for MultiLevelMinimax {
                 }
                 total / (per_group * n0) as f64
             });
-            meter.record_gather(Link::ClientEdge, 1, (u_set.len() * per_group * n0) as u64);
+            meter.record_gather(Link::ClientEdge, 1, (est.len() * per_group * n0) as u64);
             meter.record_round(Link::ClientEdge);
-            meter.record_gather(Link::EdgeCloud, 1, u_set.len() as u64);
+            meter.record_gather(Link::EdgeCloud, 1, est.len() as u64);
 
+            // Failed groups contribute v_g = 0: their weight coordinate is
+            // simply not pushed this round; the projection keeps p ∈ P.
             let mut v = vec![0.0_f32; num_groups];
             let scale = num_groups as f64 / cfg.m_groups as f64;
-            for (&g, &l) in u_set.iter().zip(&group_losses) {
+            for (&g, &l) in est.iter().zip(&group_losses) {
                 v[g] = (scale * l) as f32;
             }
             projected_ascent_step(&mut p, &v, cfg.eta_p * total_tau as f32, &problem.p_domain);
@@ -430,23 +532,40 @@ impl Algorithm for MultiLevelMinimax {
             });
             tel.record(|| TelemetryEvent::DualUpdate {
                 round: k,
-                edges: u_set.clone(),
+                edges: est.clone(),
                 losses: group_losses.clone(),
                 p: p.clone(),
                 elapsed_s: phase2_timer.elapsed_s(),
             });
+            if fault.is_active() {
+                let fnow = fault.stats();
+                let fd = fnow.since(&faults_prev);
+                tel.record(|| TelemetryEvent::FaultSummary {
+                    round: k,
+                    crashes: fd.crashes,
+                    outages: fd.outages,
+                    retries: fd.retries,
+                    gave_up: fd.gave_up,
+                    deadline_missed: fd.deadline_missed,
+                    backoff_s: fd.backoff_s,
+                    straggler_slots: fd.straggler_slots,
+                });
+                faults_prev = fnow;
+            }
             let comm_now = meter.snapshot();
             trace.record(|| Event::RoundComm {
                 round: k,
                 delta: comm_now.since(&comm_prev),
             });
             let slots_done = (k + 1) * total_tau;
+            let fcum = fault.stats();
             tel.record(|| TelemetryEvent::RoundEnd {
                 round: k,
                 slots: slots_done,
                 comm_delta: comm_now.since(&comm_prev),
                 comm_total: comm_now,
-                sim_s: tel.sim_seconds(&comm_now, slots_done),
+                sim_s: tel.sim_seconds(&comm_now, slots_done)
+                    + tel.fault_seconds(fcum.straggler_slots, fcum.backoff_s),
                 elapsed_s: round_timer.elapsed_s(),
             });
             comm_prev = comm_now;
@@ -467,12 +586,14 @@ impl Algorithm for MultiLevelMinimax {
         }
 
         let comm_final = meter.snapshot();
+        let faults_final = fault.stats();
         let total_slots = cfg.rounds * total_tau;
         tel.record(|| TelemetryEvent::RunEnd {
             rounds: cfg.rounds,
             slots: total_slots,
             comm_total: comm_final,
-            sim_s: tel.sim_seconds(&comm_final, total_slots),
+            sim_s: tel.sim_seconds(&comm_final, total_slots)
+                + tel.fault_seconds(faults_final.straggler_slots, faults_final.backoff_s),
             elapsed_s: run_timer.elapsed_s(),
         });
         tel.flush();
@@ -485,6 +606,7 @@ impl Algorithm for MultiLevelMinimax {
             history,
             comm: comm_final,
             trace,
+            faults: faults_final,
         }
     }
 }
@@ -506,6 +628,7 @@ mod tests {
             eta_p: 0.01,
             batch_size: 2,
             loss_batch: 4,
+            dropout: 0.0,
             opts: RunOpts {
                 eval_every: 1,
                 parallelism: Parallelism::Sequential,

@@ -17,6 +17,7 @@
 //! [`RunResult`].
 
 use super::hier_common::{multiplicities, run_edge_blocks, EdgeBlockParams};
+use super::hierminimax::{delivery_fault_kind, record_edge_fault};
 use super::{finish_round, Algorithm, IterateAverage, RunOpts, RunResult};
 use crate::history::History;
 use crate::localsgd::estimate_loss;
@@ -25,7 +26,8 @@ use hm_data::rng::{Purpose, StreamKey, StreamRng};
 use hm_optim::sgd::projected_ascent_step;
 use hm_simnet::sampling::{sample_checkpoint, sample_edges_uniform, sample_edges_weighted};
 use hm_simnet::trace::Event;
-use hm_simnet::{CommMeter, Link};
+use hm_simnet::{CommMeter, FaultInjector, FaultKind, FaultStats, Link, MsgChannel};
+use hm_telemetry::TelemetryEvent;
 use hm_tensor::vecops;
 
 /// Configuration of an over-selecting HierMinimax run.
@@ -53,6 +55,9 @@ pub struct OverselectConfig {
     pub batch_size: usize,
     /// Mini-batch size for loss estimation.
     pub loss_batch: usize,
+    /// Per-block client dropout probability (folded into the fault plan's
+    /// `client_crash`; `0.0` = the paper's failure-free protocol).
+    pub dropout: f32,
     /// Shared runner options.
     pub opts: RunOpts,
 }
@@ -112,6 +117,9 @@ impl OverselectMinimax {
         let mut simulated_seconds = 0.0_f64;
         let mut discarded = 0usize;
         let slots_per_round = cfg.tau1 * cfg.tau2;
+        let fault = FaultInjector::new(seed, cfg.opts.fault.clone().with_dropout(cfg.dropout));
+        let mut faults_prev = FaultStats::default();
+        let tel = &cfg.opts.telemetry;
 
         let mut w = problem
             .model
@@ -151,19 +159,52 @@ impl OverselectMinimax {
                 StreamRng::for_key(StreamKey::new(seed, Purpose::Checkpoint, k as u64, 0));
             let (c1, c2) = sample_checkpoint(cfg.tau1, cfg.tau2, &mut c_rng);
             let (distinct, counts) = multiplicities(&sampled);
-            meter.record_broadcast(Link::EdgeCloud, d as u64 + 2, distinct.len() as u64);
+
+            // Fault pipeline on the kept (fastest) edges: outage filter,
+            // then downlink deliveries with metered retries.
+            let mut active: Vec<usize> = Vec::with_capacity(distinct.len());
+            let mut active_counts: Vec<usize> = Vec::with_capacity(distinct.len());
+            for (&e, &c) in distinct.iter().zip(&counts) {
+                if fault.edge_out(k as u64, 0, e) {
+                    record_edge_fault(&trace, tel, k, 0, e, FaultKind::EdgeOutage, 0);
+                } else {
+                    active.push(e);
+                    active_counts.push(c);
+                }
+            }
+            meter.record_broadcast(Link::EdgeCloud, d as u64 + 2, active.len() as u64);
+            let mut participants: Vec<usize> = Vec::with_capacity(active.len());
+            let mut part_counts: Vec<usize> = Vec::with_capacity(active.len());
+            for (&e, &c) in active.iter().zip(&active_counts) {
+                let dv = fault.deliver(k as u64, 0, MsgChannel::Phase1Down, e);
+                if dv.attempts > 1 {
+                    meter.record_broadcast(
+                        Link::EdgeCloud,
+                        d as u64 + 2,
+                        u64::from(dv.attempts - 1),
+                    );
+                }
+                if let Some(kind) = delivery_fault_kind(dv.delivered, dv.attempts) {
+                    record_edge_fault(&trace, tel, k, 0, e, kind, dv.attempts as usize);
+                }
+                if dv.delivered {
+                    participants.push(e);
+                    part_counts.push(c);
+                }
+            }
 
             let outputs = run_edge_blocks(EdgeBlockParams {
                 problem,
                 w_start: &w,
-                edges: &distinct,
+                edges: &participants,
                 tau1: cfg.tau1,
                 tau2: cfg.tau2,
                 eta_w: cfg.eta_w,
                 batch_size: cfg.batch_size,
                 checkpoint: Some((c1, c2)),
                 quantizer: Default::default(),
-                dropout: 0.0,
+                fault: &fault,
+                level: 0,
                 record_rounds: true,
                 round: k,
                 seed,
@@ -172,21 +213,49 @@ impl OverselectMinimax {
                 trace: &trace,
                 telemetry: &cfg.opts.telemetry,
             });
-            meter.record_gather(Link::EdgeCloud, 2 * d as u64, distinct.len() as u64);
+            let mut reported: Vec<usize> = Vec::with_capacity(participants.len());
+            for (i, &e) in participants.iter().enumerate() {
+                let dv = fault.deliver(k as u64, 0, MsgChannel::Phase1Up, e);
+                if dv.attempts > 1 {
+                    meter.record_gather(Link::EdgeCloud, 2 * d as u64, u64::from(dv.attempts - 1));
+                }
+                if let Some(kind) = delivery_fault_kind(dv.delivered, dv.attempts) {
+                    record_edge_fault(&trace, tel, k, 0, e, kind, dv.attempts as usize);
+                }
+                if dv.delivered {
+                    reported.push(i);
+                }
+            }
+            meter.record_gather(Link::EdgeCloud, 2 * d as u64, participants.len() as u64);
             meter.record_round(Link::EdgeCloud);
 
-            let weights: Vec<f64> = counts
-                .iter()
-                .map(|&c| c as f64 / cfg.m_edges as f64)
-                .collect();
-            let models: Vec<&[f32]> = outputs.iter().map(|o| o.w_final.as_slice()).collect();
-            vecops::weighted_average_into(&models, &weights, &mut w);
-            let cps: Vec<&[f32]> = outputs
-                .iter()
-                .map(|o| o.checkpoint.as_deref().expect("checkpoints captured"))
-                .collect();
+            // Survivor-renormalized aggregation (fault-free the denominator
+            // is exactly m_edges); a fully failed round keeps w^(k).
             let mut w_checkpoint = vec![0.0_f32; d];
-            vecops::weighted_average_into(&cps, &weights, &mut w_checkpoint);
+            if reported.is_empty() {
+                w_checkpoint.copy_from_slice(&w);
+            } else {
+                let m_reported: usize = reported.iter().map(|&i| part_counts[i]).sum();
+                let weights: Vec<f64> = reported
+                    .iter()
+                    .map(|&i| part_counts[i] as f64 / m_reported as f64)
+                    .collect();
+                let models: Vec<&[f32]> = reported
+                    .iter()
+                    .map(|&i| outputs[i].w_final.as_slice())
+                    .collect();
+                vecops::weighted_average_into(&models, &weights, &mut w);
+                let cps: Vec<&[f32]> = reported
+                    .iter()
+                    .map(|&i| {
+                        outputs[i]
+                            .checkpoint
+                            .as_deref()
+                            .expect("checkpoints captured")
+                    })
+                    .collect();
+                vecops::weighted_average_into(&cps, &weights, &mut w_checkpoint);
+            }
             trace.record(|| Event::GlobalAggregation { round: k });
 
             // Phase 2 unchanged (scalar losses are cheap; no over-selection).
@@ -197,10 +266,37 @@ impl OverselectMinimax {
                 u64::MAX,
             ));
             let u_set = sample_edges_uniform(n_edges, cfg.m_edges, &mut u_rng);
-            meter.record_broadcast(Link::EdgeCloud, d as u64, u_set.len() as u64);
-            meter.record_broadcast(Link::ClientEdge, d as u64, (u_set.len() * n0) as u64);
+            // Outage + downlink-delivery filter for the estimate request;
+            // the scalar uplink rides the reliable control channel.
+            let live: Vec<usize> = u_set
+                .iter()
+                .copied()
+                .filter(|&e| {
+                    if fault.edge_out(k as u64, 0, e) {
+                        record_edge_fault(&trace, tel, k, 0, e, FaultKind::EdgeOutage, 0);
+                        false
+                    } else {
+                        true
+                    }
+                })
+                .collect();
+            meter.record_broadcast(Link::EdgeCloud, d as u64, live.len() as u64);
+            let mut est: Vec<usize> = Vec::with_capacity(live.len());
+            for &e in &live {
+                let dv = fault.deliver(k as u64, 0, MsgChannel::Phase2Down, e);
+                if dv.attempts > 1 {
+                    meter.record_broadcast(Link::EdgeCloud, d as u64, u64::from(dv.attempts - 1));
+                }
+                if let Some(kind) = delivery_fault_kind(dv.delivered, dv.attempts) {
+                    record_edge_fault(&trace, tel, k, 0, e, kind, dv.attempts as usize);
+                }
+                if dv.delivered {
+                    est.push(e);
+                }
+            }
+            meter.record_broadcast(Link::ClientEdge, d as u64, (est.len() * n0) as u64);
             let topo = problem.topology();
-            let losses: Vec<f64> = cfg.opts.parallelism.map(u_set.clone(), |e| {
+            let losses: Vec<f64> = cfg.opts.parallelism.map(est.clone(), |e| {
                 let mut total = 0.0_f64;
                 for c in 0..n0 {
                     let client = topo.client_id(e, c);
@@ -220,13 +316,13 @@ impl OverselectMinimax {
                 }
                 total / n0 as f64
             });
-            meter.record_gather(Link::ClientEdge, 1, (u_set.len() * n0) as u64);
+            meter.record_gather(Link::ClientEdge, 1, (est.len() * n0) as u64);
             meter.record_round(Link::ClientEdge);
-            meter.record_gather(Link::EdgeCloud, 1, u_set.len() as u64);
+            meter.record_gather(Link::EdgeCloud, 1, est.len() as u64);
 
             let mut v = vec![0.0_f32; n_edges];
             let scale = n_edges as f64 / cfg.m_edges as f64;
-            for (&e, &l) in u_set.iter().zip(&losses) {
+            for (&e, &l) in est.iter().zip(&losses) {
                 v[e] = (scale * l) as f32;
             }
             projected_ascent_step(
@@ -239,6 +335,26 @@ impl OverselectMinimax {
                 round: k,
                 p: p.clone(),
             });
+            if fault.is_active() {
+                let fnow = fault.stats();
+                let fd = fnow.since(&faults_prev);
+                // Retry backoff extends the synchronous round directly;
+                // straggler slowdown slots are priced at the round's
+                // critical-path (slowest kept edge) rate.
+                simulated_seconds +=
+                    fd.backoff_s + fd.straggler_slots * round_secs / slots_per_round as f64;
+                tel.record(|| TelemetryEvent::FaultSummary {
+                    round: k,
+                    crashes: fd.crashes,
+                    outages: fd.outages,
+                    retries: fd.retries,
+                    gave_up: fd.gave_up,
+                    deadline_missed: fd.deadline_missed,
+                    backoff_s: fd.backoff_s,
+                    straggler_slots: fd.straggler_slots,
+                });
+                faults_prev = fnow;
+            }
 
             finish_round(
                 problem,
@@ -264,6 +380,7 @@ impl OverselectMinimax {
                 history,
                 comm: meter.snapshot(),
                 trace,
+                faults: fault.stats(),
             },
             simulated_seconds,
             discarded,
@@ -299,6 +416,7 @@ mod tests {
             eta_p: 0.005,
             batch_size: 2,
             loss_batch: 8,
+            dropout: 0.0,
             opts: RunOpts {
                 eval_every: 0,
                 parallelism: Parallelism::Rayon,

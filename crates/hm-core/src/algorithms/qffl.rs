@@ -206,6 +206,7 @@ impl Algorithm for QFedAvg {
             history,
             comm: meter.snapshot(),
             trace,
+            faults: Default::default(),
         }
     }
 }

@@ -47,6 +47,13 @@ pub enum Purpose {
     Quantize,
     /// Client dropout (crash/straggler) coin flips.
     Dropout,
+    /// Edge-server outage windows (fault injection).
+    EdgeOutage,
+    /// Edge↔cloud message-loss coin flips, one stream per message channel
+    /// (fault injection).
+    MsgLoss,
+    /// Per-client compute-slowdown draws (fault injection).
+    Straggler,
     /// Anything else (tests, ad-hoc tools).
     Misc,
 }
@@ -64,6 +71,9 @@ impl Purpose {
             Purpose::Misc => 8,
             Purpose::Quantize => 9,
             Purpose::Dropout => 10,
+            Purpose::EdgeOutage => 11,
+            Purpose::MsgLoss => 12,
+            Purpose::Straggler => 13,
         }
     }
 }

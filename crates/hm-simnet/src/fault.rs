@@ -1,0 +1,749 @@
+//! Deterministic fault injection.
+//!
+//! The paper's system model (§1) assumes flaky mobile clients and a slow,
+//! unreliable WAN to the cloud, but the base protocol is failure-free.
+//! This module injects four fault classes into the hierarchical run loops
+//! — client crashes, edge-server outage windows, edge↔cloud message loss
+//! with bounded retry + exponential backoff, and compute stragglers cut by
+//! a per-block deadline — all driven by keyed [`StreamRng`] streams, the
+//! same discipline as `Purpose::Dropout`:
+//!
+//! - every fault decision is a **pure function** of
+//!   `(seed, plan, purpose, round/block, level, entity)`, so runs are
+//!   bit-reproducible under rayon, across executors, and across reruns;
+//! - the conformance automaton (hm-testkit) replays the same streams from
+//!   the [`FaultPlan`] alone and validates survivor sets, retry
+//!   communication deltas, and stale-round invariants;
+//! - a plan whose rates are all zero makes **no draws at all**, so a
+//!   fault-enabled run with zero rates is bit-identical to a fault-free
+//!   run.
+//!
+//! The [`FaultInjector`] wraps the pure decision functions with atomic
+//! occurrence counters and simulated-time accumulators (backoff waits,
+//! straggler-stretched sync windows); the run loops surface those through
+//! telemetry as `fault` / `fault_summary` events rather than panicking.
+
+use hm_data::rng::{Purpose, StreamKey, StreamRng};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Mix a hierarchy level into a stream-entity id. Level 0 leaves the id
+/// unchanged, so three-layer runs keep the exact streams of the legacy
+/// `dropout` field (the pinned regression corpus depends on this).
+#[inline]
+fn entity(level: usize, id: usize) -> u64 {
+    ((level as u64) << 32) | id as u64
+}
+
+/// Which edge↔cloud message a delivery attempt belongs to. Each channel
+/// gets its own loss stream so e.g. a round's Phase-1 and Phase-2
+/// downlinks to the same edge fail independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgChannel {
+    /// Cloud → edge: round-start model (+ checkpoint index).
+    Phase1Down,
+    /// Edge → cloud: final model (+ checkpoint model).
+    Phase1Up,
+    /// Cloud → edge: Phase-2 checkpoint model for loss estimation.
+    Phase2Down,
+}
+
+impl MsgChannel {
+    fn tag(self) -> u64 {
+        match self {
+            MsgChannel::Phase1Down => 0,
+            MsgChannel::Phase1Up => 1,
+            MsgChannel::Phase2Down => 2,
+        }
+    }
+}
+
+/// The fault classes, as reported in traces and telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A sampled edge server is down for the whole round.
+    EdgeOutage,
+    /// An edge↔cloud message needed retransmissions (but got through).
+    MsgRetried,
+    /// An edge↔cloud message was lost and retries were exhausted.
+    MsgGaveUp,
+}
+
+impl FaultKind {
+    /// Stable string tag used in telemetry events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::EdgeOutage => "edge_outage",
+            FaultKind::MsgRetried => "msg_retried",
+            FaultKind::MsgGaveUp => "msg_gave_up",
+        }
+    }
+}
+
+/// Outcome of one client's straggler draw for one block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StragglerFate {
+    /// Not a straggler this block.
+    OnTime,
+    /// Slowed by the given factor but inside the deadline: the client
+    /// contributes, and the block's sync window stretches to wait for it.
+    Slow(f64),
+    /// Slowed past the deadline: the edge aggregates without the laggard.
+    Missed,
+}
+
+/// Outcome of delivering one edge↔cloud message under loss + retry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delivery {
+    /// Total transmissions (1 = first try succeeded; each retry adds one).
+    pub attempts: u32,
+    /// Whether any attempt got through before retries ran out.
+    pub delivered: bool,
+    /// Exponential-backoff wait accumulated before retries
+    /// (`backoff_base_s · (2^retries − 1)`).
+    pub backoff_s: f64,
+}
+
+/// Declarative fault configuration for a run. All decisions derived from a
+/// plan are keyed off the run's master seed, so a `(plan, seed)` pair fully
+/// determines every injected fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Per-block probability that a client crashes (neither computes nor
+    /// uploads for that block). Generalises the legacy `dropout` field.
+    pub client_crash: f32,
+    /// Per-round probability that a sampled edge server is out for the
+    /// whole round (never receives or reports anything, both phases).
+    pub edge_outage: f32,
+    /// Per-attempt loss probability of an edge↔cloud message.
+    pub msg_loss: f32,
+    /// Retransmissions allowed after the first attempt before the sender
+    /// gives up on a lost message.
+    pub max_retries: u32,
+    /// Wait before the first retry (seconds of simulated time); doubles on
+    /// every further retry.
+    pub backoff_base_s: f64,
+    /// Per-block probability that a client is a compute straggler.
+    pub straggler_rate: f32,
+    /// Maximum slowdown factor: a straggler's factor is drawn uniformly
+    /// from `(1, straggler_slowdown]`.
+    pub straggler_slowdown: f64,
+    /// Per-block deadline as a multiple of the nominal block time: a
+    /// straggler slower than this is cut from the block's aggregation.
+    pub deadline_factor: f64,
+}
+
+/// The failure-free plan.
+pub const NO_FAULTS: FaultPlan = FaultPlan {
+    client_crash: 0.0,
+    edge_outage: 0.0,
+    msg_loss: 0.0,
+    max_retries: 2,
+    backoff_base_s: 0.05,
+    straggler_rate: 0.0,
+    straggler_slowdown: 1.0,
+    deadline_factor: 2.0,
+};
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        NO_FAULTS
+    }
+}
+
+/// Names accepted by [`FaultPlan::preset`], in help order.
+pub const FAULT_PRESETS: [&str; 6] = [
+    "none",
+    "flaky-clients",
+    "edge-outages",
+    "lossy-wan",
+    "stragglers",
+    "chaos",
+];
+
+impl FaultPlan {
+    /// Whether every fault rate is zero (no streams are ever drawn).
+    pub fn is_none(&self) -> bool {
+        self.client_crash == 0.0
+            && self.edge_outage == 0.0
+            && self.msg_loss == 0.0
+            && self.straggler_rate == 0.0
+    }
+
+    /// Check parameter ranges, returning a description of the first
+    /// violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let prob = |name: &str, v: f32| -> Result<(), String> {
+            if (0.0..=1.0).contains(&v) {
+                Ok(())
+            } else {
+                Err(format!("{name} must lie in [0, 1], got {v}"))
+            }
+        };
+        prob("client_crash", self.client_crash)?;
+        prob("edge_outage", self.edge_outage)?;
+        prob("msg_loss", self.msg_loss)?;
+        prob("straggler_rate", self.straggler_rate)?;
+        if !(self.backoff_base_s >= 0.0 && self.backoff_base_s.is_finite()) {
+            return Err(format!(
+                "backoff_base_s must be finite and ≥ 0, got {}",
+                self.backoff_base_s
+            ));
+        }
+        if !(self.straggler_slowdown >= 1.0 && self.straggler_slowdown.is_finite()) {
+            return Err(format!(
+                "straggler_slowdown must be finite and ≥ 1, got {}",
+                self.straggler_slowdown
+            ));
+        }
+        if !(self.deadline_factor >= 1.0 && self.deadline_factor.is_finite()) {
+            return Err(format!(
+                "deadline_factor must be finite and ≥ 1, got {}",
+                self.deadline_factor
+            ));
+        }
+        Ok(())
+    }
+
+    /// A named preset (the `--fault-plan` vocabulary), or `None` for an
+    /// unknown name. See [`FAULT_PRESETS`].
+    pub fn preset(name: &str) -> Option<FaultPlan> {
+        match name {
+            "none" => Some(NO_FAULTS),
+            "flaky-clients" => Some(FaultPlan {
+                client_crash: 0.2,
+                ..NO_FAULTS
+            }),
+            "edge-outages" => Some(FaultPlan {
+                edge_outage: 0.15,
+                ..NO_FAULTS
+            }),
+            "lossy-wan" => Some(FaultPlan {
+                msg_loss: 0.15,
+                max_retries: 3,
+                backoff_base_s: 0.1,
+                ..NO_FAULTS
+            }),
+            "stragglers" => Some(FaultPlan {
+                straggler_rate: 0.25,
+                straggler_slowdown: 4.0,
+                deadline_factor: 2.5,
+                ..NO_FAULTS
+            }),
+            "chaos" => Some(FaultPlan {
+                client_crash: 0.1,
+                edge_outage: 0.1,
+                msg_loss: 0.1,
+                max_retries: 2,
+                backoff_base_s: 0.1,
+                straggler_rate: 0.15,
+                straggler_slowdown: 3.0,
+                deadline_factor: 2.0,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The legacy per-config `dropout` knob folded in: when the plan's
+    /// `client_crash` is zero, `dropout` takes its place (the plan wins if
+    /// both are set, so `--fault-plan` presets override `--dropout`).
+    pub fn with_dropout(mut self, dropout: f32) -> FaultPlan {
+        if self.client_crash == 0.0 {
+            self.client_crash = dropout;
+        }
+        self
+    }
+
+    // --- Pure decision functions -------------------------------------
+    //
+    // Everything below is a pure function of (plan, seed, indices): the
+    // injector and the conformance replayer both call these, which is
+    // what makes the degraded-round protocol checkable.
+
+    /// Whether a client crashed for the block keyed by `block_tag`
+    /// (`round·τ2 + t2`). At `level == 0` this draws the exact stream of
+    /// the legacy `dropout` field.
+    pub fn client_crashed(&self, seed: u64, block_tag: u64, level: usize, client: usize) -> bool {
+        if self.client_crash == 0.0 {
+            return false;
+        }
+        let mut rng = StreamRng::for_key(StreamKey::new(
+            seed,
+            Purpose::Dropout,
+            block_tag,
+            entity(level, client),
+        ));
+        rng.uniform() < f64::from(self.client_crash)
+    }
+
+    /// Whether an edge server is out for the given round.
+    pub fn edge_out(&self, seed: u64, round: u64, level: usize, edge: usize) -> bool {
+        if self.edge_outage == 0.0 {
+            return false;
+        }
+        let mut rng = StreamRng::for_key(StreamKey::new(
+            seed,
+            Purpose::EdgeOutage,
+            round,
+            entity(level, edge),
+        ));
+        rng.uniform() < f64::from(self.edge_outage)
+    }
+
+    /// A client's straggler fate for the block keyed by `block_tag`.
+    pub fn straggler(
+        &self,
+        seed: u64,
+        block_tag: u64,
+        level: usize,
+        client: usize,
+    ) -> StragglerFate {
+        if self.straggler_rate == 0.0 {
+            return StragglerFate::OnTime;
+        }
+        let mut rng = StreamRng::for_key(StreamKey::new(
+            seed,
+            Purpose::Straggler,
+            block_tag,
+            entity(level, client),
+        ));
+        if rng.uniform() >= f64::from(self.straggler_rate) {
+            return StragglerFate::OnTime;
+        }
+        let slowdown = 1.0 + rng.uniform() * (self.straggler_slowdown - 1.0);
+        if slowdown > self.deadline_factor {
+            StragglerFate::Missed
+        } else {
+            StragglerFate::Slow(slowdown)
+        }
+    }
+
+    /// Replay the delivery of one edge↔cloud message: sequential loss
+    /// draws from the message's own stream, up to `1 + max_retries`
+    /// attempts, doubling backoff between attempts.
+    pub fn delivery(
+        &self,
+        seed: u64,
+        round: u64,
+        level: usize,
+        channel: MsgChannel,
+        edge: usize,
+    ) -> Delivery {
+        if self.msg_loss == 0.0 {
+            return Delivery {
+                attempts: 1,
+                delivered: true,
+                backoff_s: 0.0,
+            };
+        }
+        let mut rng = StreamRng::for_key(StreamKey::new(
+            seed,
+            Purpose::MsgLoss,
+            round,
+            ((level as u64) << 34) | (channel.tag() << 32) | edge as u64,
+        ));
+        let loss = f64::from(self.msg_loss);
+        let mut backoff_s = 0.0;
+        let mut wait = self.backoff_base_s;
+        for attempt in 1..=(1 + self.max_retries) {
+            if rng.uniform() >= loss {
+                return Delivery {
+                    attempts: attempt,
+                    delivered: true,
+                    backoff_s,
+                };
+            }
+            if attempt <= self.max_retries {
+                backoff_s += wait;
+                wait *= 2.0;
+            }
+        }
+        Delivery {
+            attempts: 1 + self.max_retries,
+            delivered: false,
+            backoff_s,
+        }
+    }
+}
+
+/// Snapshot of a run's fault bookkeeping (all counters cumulative).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultStats {
+    /// Client-crash events (per block, per client).
+    pub crashes: u64,
+    /// Edge-outage observations (per phase that consulted the edge; an
+    /// edge out in both phases of a round counts twice).
+    pub outages: u64,
+    /// Message retransmissions (attempts beyond the first).
+    pub retries: u64,
+    /// Messages whose retries were exhausted.
+    pub gave_up: u64,
+    /// Clients cut from a block by the straggler deadline.
+    pub deadline_missed: u64,
+    /// Simulated seconds spent in retry backoff waits.
+    pub backoff_s: f64,
+    /// Extra local-SGD time slots spent waiting for in-deadline
+    /// stragglers (fractional; multiply by the latency model's
+    /// `client_step_s` for seconds).
+    pub straggler_slots: f64,
+}
+
+impl FaultStats {
+    /// Counter-wise difference `self − earlier` (per-round deltas).
+    pub fn since(&self, earlier: &FaultStats) -> FaultStats {
+        FaultStats {
+            crashes: self.crashes - earlier.crashes,
+            outages: self.outages - earlier.outages,
+            retries: self.retries - earlier.retries,
+            gave_up: self.gave_up - earlier.gave_up,
+            deadline_missed: self.deadline_missed - earlier.deadline_missed,
+            backoff_s: self.backoff_s - earlier.backoff_s,
+            straggler_slots: self.straggler_slots - earlier.straggler_slots,
+        }
+    }
+
+    /// Total fault occurrences of any class.
+    pub fn total(&self) -> u64 {
+        self.crashes + self.outages + self.retries + self.gave_up + self.deadline_missed
+    }
+}
+
+/// Run-scoped fault oracle: the pure [`FaultPlan`] decisions plus
+/// thread-safe occurrence counting and simulated-time accumulation.
+///
+/// Counting uses relaxed atomics (the same argument as `CommMeter`: no
+/// cross-counter invariant is read mid-run); the float accumulators sit
+/// behind a mutex and are only touched in sequential protocol sections.
+#[derive(Debug)]
+pub struct FaultInjector {
+    seed: u64,
+    plan: FaultPlan,
+    crashes: AtomicU64,
+    outages: AtomicU64,
+    retries: AtomicU64,
+    gave_up: AtomicU64,
+    deadline_missed: AtomicU64,
+    seconds: Mutex<(f64, f64)>, // (backoff_s, straggler_slots)
+}
+
+impl FaultInjector {
+    /// Bind a plan to a run's master seed.
+    ///
+    /// # Panics
+    /// Panics on an invalid plan (see [`FaultPlan::validate`]).
+    pub fn new(seed: u64, plan: FaultPlan) -> Self {
+        if let Err(e) = plan.validate() {
+            panic!("invalid fault plan: {e}");
+        }
+        Self {
+            seed,
+            plan,
+            crashes: AtomicU64::new(0),
+            outages: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            gave_up: AtomicU64::new(0),
+            deadline_missed: AtomicU64::new(0),
+            seconds: Mutex::new((0.0, 0.0)),
+        }
+    }
+
+    /// An injector that never faults (for fault-free callers).
+    pub fn none(seed: u64) -> Self {
+        Self::new(seed, NO_FAULTS)
+    }
+
+    /// The bound plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether any fault class has a nonzero rate.
+    pub fn is_active(&self) -> bool {
+        !self.plan.is_none()
+    }
+
+    /// Whether a client survives the block (not crashed); counts crashes.
+    pub fn client_alive(&self, block_tag: u64, level: usize, client: usize) -> bool {
+        let crashed = self
+            .plan
+            .client_crashed(self.seed, block_tag, level, client);
+        if crashed {
+            self.crashes.fetch_add(1, Ordering::Relaxed);
+        }
+        !crashed
+    }
+
+    /// Whether an edge is out this round; counts the observation.
+    pub fn edge_out(&self, round: u64, level: usize, edge: usize) -> bool {
+        let out = self.plan.edge_out(self.seed, round, level, edge);
+        if out {
+            self.outages.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// A client's straggler fate for a block; counts deadline misses.
+    pub fn straggler(&self, block_tag: u64, level: usize, client: usize) -> StragglerFate {
+        let fate = self.plan.straggler(self.seed, block_tag, level, client);
+        if fate == StragglerFate::Missed {
+            self.deadline_missed.fetch_add(1, Ordering::Relaxed);
+        }
+        fate
+    }
+
+    /// Deliver one edge↔cloud message; counts retries/give-ups and
+    /// accumulates backoff time.
+    pub fn deliver(&self, round: u64, level: usize, channel: MsgChannel, edge: usize) -> Delivery {
+        let d = self.plan.delivery(self.seed, round, level, channel, edge);
+        if d.attempts > 1 {
+            self.retries
+                .fetch_add(u64::from(d.attempts - 1), Ordering::Relaxed);
+        }
+        if !d.delivered {
+            self.gave_up.fetch_add(1, Ordering::Relaxed);
+        }
+        if d.backoff_s > 0.0 {
+            self.seconds.lock().0 += d.backoff_s;
+        }
+        d
+    }
+
+    /// Charge extra time slots spent waiting for in-deadline stragglers.
+    pub fn add_straggler_slots(&self, slots: f64) {
+        if slots > 0.0 {
+            self.seconds.lock().1 += slots;
+        }
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> FaultStats {
+        let (backoff_s, straggler_slots) = *self.seconds.lock();
+        FaultStats {
+            crashes: self.crashes.load(Ordering::Relaxed),
+            outages: self.outages.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            gave_up: self.gave_up.load(Ordering::Relaxed),
+            deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
+            backoff_s,
+            straggler_slots,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_plan_is_none_and_decides_nothing() {
+        assert!(NO_FAULTS.is_none());
+        assert!(!NO_FAULTS.client_crashed(1, 2, 0, 3));
+        assert!(!NO_FAULTS.edge_out(1, 2, 0, 3));
+        assert_eq!(NO_FAULTS.straggler(1, 2, 0, 3), StragglerFate::OnTime);
+        let d = NO_FAULTS.delivery(1, 2, 0, MsgChannel::Phase1Down, 3);
+        assert_eq!(
+            d,
+            Delivery {
+                attempts: 1,
+                delivered: true,
+                backoff_s: 0.0
+            }
+        );
+    }
+
+    #[test]
+    fn presets_resolve_and_validate() {
+        for name in FAULT_PRESETS {
+            let p = FaultPlan::preset(name).expect(name);
+            p.validate().expect(name);
+        }
+        assert!(FaultPlan::preset("nope").is_none());
+        assert!(FaultPlan::preset("none").unwrap().is_none());
+        assert!(!FaultPlan::preset("chaos").unwrap().is_none());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let mut p = NO_FAULTS;
+        p.client_crash = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = NO_FAULTS;
+        p.straggler_slowdown = 0.5;
+        assert!(p.validate().is_err());
+        let mut p = NO_FAULTS;
+        p.deadline_factor = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = NO_FAULTS;
+        p.backoff_base_s = f64::NAN;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn client_crash_matches_legacy_dropout_stream_at_level_zero() {
+        // The legacy hier_common draw was:
+        //   uniform() >= dropout  ⇔  alive
+        // from (seed, Dropout, block_tag, client). The plan must replicate
+        // it bit-for-bit at level 0 so the pinned corpus stays valid.
+        let plan = FaultPlan {
+            client_crash: 0.45,
+            ..NO_FAULTS
+        };
+        for (seed, tag, client) in [(42u64, 0u64, 0usize), (7, 13, 5), (9, 999, 31)] {
+            let mut legacy =
+                StreamRng::for_key(StreamKey::new(seed, Purpose::Dropout, tag, client as u64));
+            let legacy_alive = legacy.uniform() >= 0.45;
+            assert_eq!(!plan.client_crashed(seed, tag, 0, client), legacy_alive);
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_key_sensitive() {
+        let plan = FaultPlan::preset("chaos").unwrap();
+        assert_eq!(
+            plan.client_crashed(3, 5, 1, 7),
+            plan.client_crashed(3, 5, 1, 7)
+        );
+        assert_eq!(
+            plan.delivery(3, 5, 0, MsgChannel::Phase1Up, 7),
+            plan.delivery(3, 5, 0, MsgChannel::Phase1Up, 7)
+        );
+        // Channels decorrelate: collect outcomes over many rounds and
+        // check the two channels' loss patterns are not identical.
+        let a: Vec<u32> = (0..64)
+            .map(|r| plan.delivery(3, r, 0, MsgChannel::Phase1Down, 7).attempts)
+            .collect();
+        let b: Vec<u32> = (0..64)
+            .map(|r| plan.delivery(3, r, 0, MsgChannel::Phase2Down, 7).attempts)
+            .collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn levels_decorrelate_survival_bits() {
+        // Satellite regression: two levels with equal block indices must
+        // draw independent survival bits.
+        let plan = FaultPlan {
+            client_crash: 0.5,
+            ..NO_FAULTS
+        };
+        let seed = 11;
+        let l0: Vec<bool> = (0..256)
+            .map(|c| plan.client_crashed(seed, 3, 0, c))
+            .collect();
+        let l1: Vec<bool> = (0..256)
+            .map(|c| plan.client_crashed(seed, 3, 1, c))
+            .collect();
+        assert_ne!(l0, l1, "levels share a survival stream");
+        // And both levels actually flip coins (≈ half crash).
+        for v in [&l0, &l1] {
+            let crashed = v.iter().filter(|&&b| b).count();
+            assert!((64..192).contains(&crashed), "crashed {crashed}");
+        }
+    }
+
+    #[test]
+    fn delivery_respects_retry_bound_and_backoff_doubles() {
+        let plan = FaultPlan {
+            msg_loss: 1.0,
+            max_retries: 3,
+            backoff_base_s: 0.5,
+            ..NO_FAULTS
+        };
+        let d = plan.delivery(1, 0, 0, MsgChannel::Phase1Down, 0);
+        assert!(!d.delivered);
+        assert_eq!(d.attempts, 4);
+        // 0.5 + 1.0 + 2.0 (no wait after the final, abandoned attempt).
+        assert!((d.backoff_s - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delivery_statistics_track_loss_rate() {
+        let plan = FaultPlan {
+            msg_loss: 0.3,
+            max_retries: 5,
+            backoff_base_s: 0.0,
+            ..NO_FAULTS
+        };
+        let n = 10_000;
+        let first_try = (0..n)
+            .filter(|&r| plan.delivery(21, r, 0, MsgChannel::Phase1Up, 0).attempts == 1)
+            .count();
+        let frac = first_try as f64 / n as f64;
+        assert!((frac - 0.7).abs() < 0.02, "first-try rate {frac}");
+    }
+
+    #[test]
+    fn straggler_fates_partition_by_deadline() {
+        let plan = FaultPlan {
+            straggler_rate: 1.0,
+            straggler_slowdown: 4.0,
+            deadline_factor: 2.5,
+            ..NO_FAULTS
+        };
+        let mut slow = 0;
+        let mut missed = 0;
+        for c in 0..4_000 {
+            match plan.straggler(5, 0, 0, c) {
+                StragglerFate::OnTime => panic!("rate 1.0 cannot be on time"),
+                StragglerFate::Slow(s) => {
+                    assert!(s > 1.0 && s <= 2.5);
+                    slow += 1;
+                }
+                StragglerFate::Missed => missed += 1,
+            }
+        }
+        // Slowdown uniform on (1, 4]: P(≤ 2.5) = 0.5.
+        let frac = slow as f64 / (slow + missed) as f64;
+        assert!((frac - 0.5).abs() < 0.03, "in-deadline fraction {frac}");
+    }
+
+    #[test]
+    fn injector_counts_and_accumulates() {
+        let plan = FaultPlan {
+            client_crash: 1.0,
+            edge_outage: 1.0,
+            msg_loss: 1.0,
+            max_retries: 2,
+            backoff_base_s: 0.25,
+            straggler_rate: 0.0,
+            straggler_slowdown: 1.0,
+            deadline_factor: 2.0,
+        };
+        let fi = FaultInjector::new(9, plan);
+        assert!(fi.is_active());
+        assert!(!fi.client_alive(0, 0, 0));
+        assert!(fi.edge_out(0, 0, 1));
+        let d = fi.deliver(0, 0, MsgChannel::Phase1Down, 1);
+        assert!(!d.delivered);
+        fi.add_straggler_slots(1.5);
+        let s = fi.stats();
+        assert_eq!(s.crashes, 1);
+        assert_eq!(s.outages, 1);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.gave_up, 1);
+        assert!((s.backoff_s - 0.75).abs() < 1e-12);
+        assert!((s.straggler_slots - 1.5).abs() < 1e-12);
+        assert_eq!(s.total(), 5);
+        // Deltas telescope.
+        let d2 = fi.stats().since(&s);
+        assert_eq!(d2, FaultStats::default());
+    }
+
+    #[test]
+    fn with_dropout_fills_only_unset_crash_rate() {
+        assert_eq!(NO_FAULTS.with_dropout(0.3).client_crash, 0.3);
+        let plan = FaultPlan {
+            client_crash: 0.2,
+            ..NO_FAULTS
+        };
+        assert_eq!(plan.with_dropout(0.3).client_crash, 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn injector_rejects_invalid_plan() {
+        let mut p = NO_FAULTS;
+        p.msg_loss = -0.1;
+        let _ = FaultInjector::new(0, p);
+    }
+}

@@ -22,9 +22,14 @@
 //! - [`trace`] — an optional structured event log used by integration
 //!   tests to assert protocol-level behaviour (who was sampled, what was
 //!   aggregated when).
+//! - [`fault`] — deterministic fault injection (client crashes, edge
+//!   outages, message loss with retry/backoff, stragglers), keyed off the
+//!   same RNG-stream discipline so faulty runs stay bit-reproducible and
+//!   conformance-checkable.
 
 pub mod comm;
 pub mod executor;
+pub mod fault;
 pub mod latency;
 pub mod quantize;
 pub mod sampling;
@@ -33,6 +38,10 @@ pub mod trace;
 
 pub use comm::{CommMeter, CommStats, Link};
 pub use executor::Parallelism;
+pub use fault::{
+    Delivery, FaultInjector, FaultKind, FaultPlan, FaultStats, MsgChannel, StragglerFate,
+    FAULT_PRESETS, NO_FAULTS,
+};
 pub use latency::LatencyModel;
 pub use quantize::Quantizer;
 pub use topology::Topology;

@@ -7,6 +7,7 @@
 //! production runs pay one branch per event.
 
 use crate::comm::CommStats;
+use crate::fault::FaultKind;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -95,6 +96,23 @@ pub enum Event {
         round: usize,
         /// The updated weight vector.
         p: Vec<f32>,
+    },
+    /// An injected edge-level fault took effect at a cloud-link protocol
+    /// step (outage, retried delivery, or exhausted retries). Recorded in
+    /// protocol order so the conformance automaton can validate injected
+    /// faults against its own replay of the fault streams.
+    EdgeFault {
+        /// Training round.
+        round: usize,
+        /// Hierarchy level of the faulted entity (0 = the cloud's direct
+        /// children).
+        level: usize,
+        /// Edge (or top-level group) id.
+        edge: usize,
+        /// Which fault class took effect.
+        kind: FaultKind,
+        /// Delivery attempts made (0 for outages, which transmit nothing).
+        attempts: usize,
     },
     /// Communication-meter delta accumulated over exactly one training
     /// round, validated against the closed-form accounting in `comm.rs`.

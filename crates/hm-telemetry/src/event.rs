@@ -91,6 +91,42 @@ pub enum TelemetryEvent {
         /// Per-edge accuracies.
         per_edge_accuracy: Vec<f64>,
     },
+    /// An injected edge-level fault took effect at a cloud-link protocol
+    /// step (outage, retried delivery, exhausted retries). Client-level
+    /// faults (crashes, deadline misses) are high-volume and appear only
+    /// aggregated in [`TelemetryEvent::FaultSummary`].
+    Fault {
+        /// Round index.
+        round: usize,
+        /// Fault class tag (`hm_simnet::FaultKind::as_str`).
+        kind: String,
+        /// Hierarchy level of the faulted entity (0 = cloud's children).
+        level: usize,
+        /// Edge (or top-level group) id.
+        edge: usize,
+        /// Delivery attempts made (0 for outages).
+        attempts: usize,
+    },
+    /// Per-round fault bookkeeping deltas (emitted once per round by runs
+    /// with an active fault plan, before `round_end`).
+    FaultSummary {
+        /// Round index.
+        round: usize,
+        /// Client-crash events this round.
+        crashes: u64,
+        /// Edge-outage observations this round.
+        outages: u64,
+        /// Message retransmissions this round.
+        retries: u64,
+        /// Messages abandoned after exhausting retries this round.
+        gave_up: u64,
+        /// Clients cut by the straggler deadline this round.
+        deadline_missed: u64,
+        /// Simulated seconds of retry backoff this round.
+        backoff_s: f64,
+        /// Extra time slots waiting for in-deadline stragglers this round.
+        straggler_slots: f64,
+    },
     /// A round finished.
     RoundEnd {
         /// Round index.
@@ -151,6 +187,8 @@ impl TelemetryEvent {
             TelemetryEvent::Phase1Done { .. } => "phase1_done",
             TelemetryEvent::DualUpdate { .. } => "dual_update",
             TelemetryEvent::Eval { .. } => "eval",
+            TelemetryEvent::Fault { .. } => "fault",
+            TelemetryEvent::FaultSummary { .. } => "fault_summary",
             TelemetryEvent::RoundEnd { .. } => "round_end",
             TelemetryEvent::RunEnd { .. } => "run_end",
         }
@@ -232,6 +270,38 @@ impl TelemetryEvent {
                     .f64("worst", *worst)
                     .f64("variance_pp", *variance_pp)
                     .arr_f64("per_edge_accuracy", per_edge_accuracy);
+            }
+            TelemetryEvent::Fault {
+                round,
+                kind,
+                level,
+                edge,
+                attempts,
+            } => {
+                w.usize("round", *round)
+                    .str("kind", kind)
+                    .usize("level", *level)
+                    .usize("edge", *edge)
+                    .usize("attempts", *attempts);
+            }
+            TelemetryEvent::FaultSummary {
+                round,
+                crashes,
+                outages,
+                retries,
+                gave_up,
+                deadline_missed,
+                backoff_s,
+                straggler_slots,
+            } => {
+                w.usize("round", *round)
+                    .u64("crashes", *crashes)
+                    .u64("outages", *outages)
+                    .u64("retries", *retries)
+                    .u64("gave_up", *gave_up)
+                    .u64("deadline_missed", *deadline_missed)
+                    .f64("backoff_s", *backoff_s)
+                    .f64("straggler_slots", *straggler_slots);
             }
             TelemetryEvent::RoundEnd {
                 round,
@@ -334,6 +404,23 @@ mod tests {
                 worst: 0.8,
                 variance_pp: 1.5,
                 per_edge_accuracy: vec![0.8, 0.95, 0.95],
+            },
+            TelemetryEvent::Fault {
+                round: 0,
+                kind: "edge_outage".into(),
+                level: 0,
+                edge: 2,
+                attempts: 0,
+            },
+            TelemetryEvent::FaultSummary {
+                round: 0,
+                crashes: 3,
+                outages: 1,
+                retries: 2,
+                gave_up: 0,
+                deadline_missed: 1,
+                backoff_s: 0.3,
+                straggler_slots: 1.5,
             },
             TelemetryEvent::RoundEnd {
                 round: 0,

@@ -67,6 +67,23 @@ fn fields_for(kind: &str) -> Option<&'static [(&'static str, Ty)]> {
             ("variance_pp", Ty::Num),
             ("per_edge_accuracy", Ty::ArrNum),
         ],
+        "fault" => &[
+            ("round", Ty::UInt),
+            ("kind", Ty::Str),
+            ("level", Ty::UInt),
+            ("edge", Ty::UInt),
+            ("attempts", Ty::UInt),
+        ],
+        "fault_summary" => &[
+            ("round", Ty::UInt),
+            ("crashes", Ty::UInt),
+            ("outages", Ty::UInt),
+            ("retries", Ty::UInt),
+            ("gave_up", Ty::UInt),
+            ("deadline_missed", Ty::UInt),
+            ("backoff_s", Ty::Num),
+            ("straggler_slots", Ty::Num),
+        ],
         "round_end" => &[
             ("round", Ty::UInt),
             ("slots", Ty::UInt),
@@ -335,6 +352,23 @@ mod tests {
                 variance_pp: 2.0,
                 per_edge_accuracy: vec![0.7, 0.85, 0.85],
             },
+            TelemetryEvent::Fault {
+                round: 0,
+                kind: "msg_gave_up".into(),
+                level: 0,
+                edge: 1,
+                attempts: 3,
+            },
+            TelemetryEvent::FaultSummary {
+                round: 0,
+                crashes: 1,
+                outages: 0,
+                retries: 2,
+                gave_up: 1,
+                deadline_missed: 0,
+                backoff_s: 0.15,
+                straggler_slots: 0.0,
+            },
             TelemetryEvent::RoundEnd {
                 round: 0,
                 slots: 4,
@@ -378,9 +412,11 @@ mod tests {
     fn stream_of_a_well_formed_run_validates() {
         let summary = validate_stream(&tiny_stream()).unwrap();
         assert_eq!(summary.runs, 1);
-        assert_eq!(summary.lines, 11);
+        assert_eq!(summary.lines, 13);
         assert_eq!(summary.events_by_kind["round_end"], 2);
         assert_eq!(summary.events_by_kind["dual_update"], 1);
+        assert_eq!(summary.events_by_kind["fault"], 1);
+        assert_eq!(summary.events_by_kind["fault_summary"], 1);
     }
 
     #[test]
@@ -394,7 +430,7 @@ mod tests {
     fn blank_lines_are_skipped() {
         let spaced = tiny_stream().replace('\n', "\n\n");
         let summary = validate_stream(&spaced).unwrap();
-        assert_eq!(summary.lines, 11);
+        assert_eq!(summary.lines, 13);
     }
 
     #[test]

@@ -209,6 +209,17 @@ impl Telemetry {
         }
     }
 
+    /// Extra simulated seconds caused by injected faults: straggler wait
+    /// slots priced at the latency model's per-slot client step time, plus
+    /// retry backoff (already in seconds). `0.0` when disabled, matching
+    /// [`Telemetry::sim_seconds`].
+    pub fn fault_seconds(&self, extra_slots: f64, backoff_s: f64) -> f64 {
+        match &self.inner {
+            Some(inner) => extra_slots * inner.latency.client_step_s + backoff_s,
+            None => 0.0,
+        }
+    }
+
     /// Flush the sink (no-op when disabled).
     pub fn flush(&self) {
         if let Some(inner) = &self.inner {
@@ -316,6 +327,15 @@ mod tests {
         let s = m.snapshot();
         let got = t.sim_seconds(&s, 0);
         assert!((got - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_seconds_prices_slots_and_backoff() {
+        let t =
+            Telemetry::with_sink(Arc::new(NoopSink)).with_latency(LatencyModel::uniform(0.0, 1e9));
+        // uniform() sets client_step_s = 1e-3.
+        assert!((t.fault_seconds(3.0, 0.25) - (3.0 * 1e-3 + 0.25)).abs() < 1e-12);
+        assert_eq!(Telemetry::disabled().fault_seconds(3.0, 0.25), 0.0);
     }
 
     #[test]

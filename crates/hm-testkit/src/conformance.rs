@@ -18,9 +18,18 @@
 //!   each block is re-derived from the keyed `Dropout` stream (replicating
 //!   the `dropout == 0` no-draw fast path), and per-edge aggregation /
 //!   checkpoint-capture events must match the survivor sets.
+//! - **Fault replay** — the run's [`hm_simnet::FaultPlan`] streams
+//!   (edge outages, per-channel message loss with bounded retries, client
+//!   crashes and straggler deadlines) are re-drawn alongside the log:
+//!   every injected fault must appear as an [`Event::EdgeFault`] in
+//!   protocol order with the replayed kind and attempt count, broadcast
+//!   recipients must equal the post-outage active set, and survivor-only
+//!   participation must match the delivery replay. A fully-failed round
+//!   must still emit its aggregation events (the stale-round path).
 //! - **Communication accounting** — every [`Event::RoundComm`] delta is
 //!   compared counter-by-counter against a closed-form model of the
-//!   round's float/message/round costs on all three links.
+//!   round's float/message/round costs on all three links, including the
+//!   per-attempt retransmission costs of retried and given-up deliveries.
 //! - **Feasibility** — every [`Event::WeightUpdate`] iterate must lie in
 //!   the constrained set `P` (via
 //!   [`ProjectionOp::feasibility_violation`]), and every
@@ -37,7 +46,7 @@ use hm_core::problem::FederatedProblem;
 use hm_data::rng::{Purpose, StreamKey, StreamRng};
 use hm_simnet::sampling::{sample_checkpoint, sample_edges_uniform, sample_edges_weighted};
 use hm_simnet::trace::Event;
-use hm_simnet::{CommStats, Link};
+use hm_simnet::{CommStats, FaultKind, FaultPlan, Link, MsgChannel, StragglerFate};
 use std::fmt;
 
 /// Feasibility slack for traced weight iterates: the projections are exact
@@ -138,6 +147,14 @@ pub enum ConformanceError {
         /// Largest constraint violation.
         violation: f64,
     },
+    /// An injected-fault event contradicts the keyed fault-stream replay
+    /// (wrong kind, wrong entity, wrong attempt count, or missing).
+    FaultMismatch {
+        /// Round being checked.
+        round: usize,
+        /// What went wrong.
+        detail: String,
+    },
     /// A per-round communication counter differs from the closed form.
     CommMismatch {
         /// Round being checked.
@@ -214,6 +231,9 @@ impl fmt::Display for ConformanceError {
             Self::InfeasibleWeights { round, violation } => {
                 write!(f, "round {round}: weights violate P by {violation}")
             }
+            Self::FaultMismatch { round, detail } => {
+                write!(f, "round {round}: {detail}")
+            }
             Self::CommMismatch {
                 round,
                 link,
@@ -244,6 +264,8 @@ pub struct ConformanceReport {
     pub local_steps: usize,
     /// Checkpoint captures observed.
     pub checkpoints: usize,
+    /// Injected-fault events validated against the fault-stream replay.
+    pub faults: usize,
 }
 
 /// Strict event cursor: the automaton consumes the log front to back.
@@ -307,8 +329,10 @@ fn multiplicities(sampled: &[usize]) -> (Vec<usize>, Vec<usize>) {
     (distinct, counts)
 }
 
-/// Replay the keyed dropout stream for one block over the given edges:
-/// `alive[ei * n0 + c]`, replicating the `dropout == 0` no-draw fast path.
+/// Replay the keyed client-fault streams for one block over the given
+/// edges: `alive[ei * n0 + c]`. A client is cut by a crash (the legacy
+/// dropout stream) or by straggling past the deadline; zero-rate plans
+/// make no draws, replicating the production fast path.
 fn replay_alive(
     problem: &FederatedProblem,
     edges: &[usize],
@@ -316,26 +340,123 @@ fn replay_alive(
     tau2: usize,
     t2: usize,
     seed: u64,
-    dropout: f32,
+    plan: &FaultPlan,
 ) -> Vec<bool> {
     let n0 = problem.clients_per_edge();
     let topo = problem.topology();
+    let block_tag = (round * tau2 + t2) as u64;
     (0..edges.len() * n0)
         .map(|slot| {
-            if dropout == 0.0 {
-                return true;
-            }
             let edge = edges[slot / n0];
             let client = topo.client_id(edge, slot % n0);
-            let mut drng = StreamRng::for_key(StreamKey::new(
-                seed,
-                Purpose::Dropout,
-                (round * tau2 + t2) as u64,
-                client as u64,
-            ));
-            drng.uniform() >= f64::from(dropout)
+            !plan.client_crashed(seed, block_tag, 0, client)
+                && !matches!(
+                    plan.straggler(seed, block_tag, 0, client),
+                    StragglerFate::Missed
+                )
         })
         .collect()
+}
+
+/// Consume one [`Event::EdgeFault`] and match it against the replayed
+/// fault occurrence.
+fn expect_edge_fault(
+    cur: &mut Cursor<'_>,
+    round: usize,
+    edge: usize,
+    kind: FaultKind,
+    attempts: usize,
+    report: &mut ConformanceReport,
+) -> Result<(), ConformanceError> {
+    match cur.next(round, "EdgeFault")? {
+        Event::EdgeFault {
+            round: er,
+            level,
+            edge: ee,
+            kind: ek,
+            attempts: ea,
+        } if *er == round && *level == 0 && *ee == edge && *ek == kind && *ea == attempts => {
+            report.faults += 1;
+            Ok(())
+        }
+        other => Err(ConformanceError::FaultMismatch {
+            round,
+            detail: format!(
+                "expected {} fault at edge {edge} ({attempts} attempts), found {other:?}",
+                kind.as_str()
+            ),
+        }),
+    }
+}
+
+/// Replay the per-round outage stream over sampled ids (paired with their
+/// sample multiplicities), consuming one fault event per outed id, and
+/// return the surviving `(ids, counts)`.
+fn replay_outages(
+    cur: &mut Cursor<'_>,
+    plan: &FaultPlan,
+    seed: u64,
+    round: usize,
+    ids: &[usize],
+    counts: &[usize],
+    report: &mut ConformanceReport,
+) -> Result<(Vec<usize>, Vec<usize>), ConformanceError> {
+    let mut ok_ids = Vec::with_capacity(ids.len());
+    let mut ok_counts = Vec::with_capacity(ids.len());
+    for (&e, &c) in ids.iter().zip(counts) {
+        if plan.edge_out(seed, round as u64, 0, e) {
+            expect_edge_fault(cur, round, e, FaultKind::EdgeOutage, 0, report)?;
+        } else {
+            ok_ids.push(e);
+            ok_counts.push(c);
+        }
+    }
+    Ok((ok_ids, ok_counts))
+}
+
+/// Replay of one batch of per-edge cloud-link deliveries.
+struct DeliveryReplay {
+    /// Positions (into the input id list) whose message got through.
+    delivered: Vec<usize>,
+    /// `Σ (attempts − 1)` across all messages, delivered or not — each
+    /// retransmission is metered at the full payload.
+    extra_attempts: u64,
+}
+
+/// Replay the delivery stream of one channel over the given ids, consuming
+/// one fault event per retried or given-up message.
+fn replay_deliveries(
+    cur: &mut Cursor<'_>,
+    plan: &FaultPlan,
+    seed: u64,
+    round: usize,
+    channel: MsgChannel,
+    ids: &[usize],
+    report: &mut ConformanceReport,
+) -> Result<DeliveryReplay, ConformanceError> {
+    let mut delivered = Vec::with_capacity(ids.len());
+    let mut extra_attempts = 0_u64;
+    for (i, &e) in ids.iter().enumerate() {
+        let dv = plan.delivery(seed, round as u64, 0, channel, e);
+        extra_attempts += u64::from(dv.attempts - 1);
+        let kind = if !dv.delivered {
+            Some(FaultKind::MsgGaveUp)
+        } else if dv.attempts > 1 {
+            Some(FaultKind::MsgRetried)
+        } else {
+            None
+        };
+        if let Some(kind) = kind {
+            expect_edge_fault(cur, round, e, kind, dv.attempts as usize, report)?;
+        }
+        if dv.delivered {
+            delivered.push(i);
+        }
+    }
+    Ok(DeliveryReplay {
+        delivered,
+        extra_attempts,
+    })
 }
 
 fn check_finite_model(round: usize, w: &[f32], d: usize) -> Result<(), ConformanceError> {
@@ -409,14 +530,14 @@ fn check_edge_blocks(
     tau2: usize,
     c2: Option<usize>,
     seed: u64,
-    dropout: f32,
+    plan: &FaultPlan,
     report: &mut ConformanceReport,
 ) -> Result<Vec<u64>, ConformanceError> {
     let n0 = problem.clients_per_edge();
     let topo = problem.topology();
     let mut survivors_per_block = Vec::with_capacity(tau2);
     for t2 in 0..tau2 {
-        let alive = replay_alive(problem, edges, k, tau2, t2, seed, dropout);
+        let alive = replay_alive(problem, edges, k, tau2, t2, seed, plan);
         survivors_per_block.push(alive.iter().filter(|&&a| a).count() as u64);
         for (ei, &edge) in edges.iter().enumerate() {
             for c in 0..n0 {
@@ -522,6 +643,9 @@ pub fn check_hierminimax_trace(
     let n0 = problem.clients_per_edge() as u64;
     let d = problem.num_params();
     let wire = cfg.quantizer.wire_floats(d);
+    // The effective fault plan: the run folds the legacy `dropout` knob
+    // into `client_crash` exactly like this (plan wins when nonzero).
+    let plan = cfg.opts.fault.clone().with_dropout(cfg.dropout);
     let mut cur = Cursor::new(events);
     let mut p = problem.initial_p();
     let mut report = ConformanceReport::default();
@@ -569,14 +693,17 @@ pub fn check_hierminimax_trace(
             });
         }
 
-        // Broadcast to the distinct sampled edges.
-        let (distinct, _counts) = multiplicities(&sampled);
+        // Outage filter over the distinct sampled edges (one fault event
+        // per outed edge), then the broadcast to the survivors.
+        let (distinct, counts) = multiplicities(&sampled);
+        let (active, _active_counts) =
+            replay_outages(&mut cur, &plan, seed, k, &distinct, &counts, &mut report)?;
         match cur.next(k, "CloudBroadcast")? {
             Event::CloudBroadcast { round, recipients } if *round == k => {
-                if *recipients != distinct {
+                if *recipients != active {
                     return Err(ConformanceError::BroadcastMismatch {
                         round: k,
-                        expected: distinct.clone(),
+                        expected: active.clone(),
                         actual: recipients.clone(),
                     });
                 }
@@ -584,17 +711,42 @@ pub fn check_hierminimax_trace(
             other => return Err(unexpected(k, "CloudBroadcast", other)),
         }
 
+        // Phase-1 downlink deliveries decide which active edges take part.
+        let p1_down = replay_deliveries(
+            &mut cur,
+            &plan,
+            seed,
+            k,
+            MsgChannel::Phase1Down,
+            &active,
+            &mut report,
+        )?;
+        let participants: Vec<usize> = p1_down.delivered.iter().map(|&i| active[i]).collect();
+
         // τ2 blocks of local steps + aggregations.
         let survivors = check_edge_blocks(
             &mut cur,
             problem,
-            &distinct,
+            &participants,
             k,
             cfg.tau1,
             cfg.tau2,
             Some(c2),
             seed,
-            cfg.dropout,
+            &plan,
+            &mut report,
+        )?;
+
+        // Phase-1 uplink deliveries decide which reports the cloud
+        // aggregates (an empty report set is the stale-round path — the
+        // aggregation events must still appear).
+        let p1_up = replay_deliveries(
+            &mut cur,
+            &plan,
+            seed,
+            k,
+            MsgChannel::Phase1Up,
+            &participants,
             &mut report,
         )?;
 
@@ -629,6 +781,21 @@ pub fn check_hierminimax_trace(
             });
         }
 
+        // Phase-2 fault pipeline: outed edges, then lost estimate-request
+        // downlinks; a failed edge contributes v_e = 0.
+        let ones = vec![1_usize; u_set.len()];
+        let (live, _) = replay_outages(&mut cur, &plan, seed, k, &u_set, &ones, &mut report)?;
+        let p2_down = replay_deliveries(
+            &mut cur,
+            &plan,
+            seed,
+            k,
+            MsgChannel::Phase2Down,
+            &live,
+            &mut report,
+        )?;
+        let est = p2_down.delivered.len() as u64;
+
         // Weight update: dimension, finiteness, feasibility; the traced p
         // becomes the next round's sampling distribution.
         let p_new = match cur.next(k, "WeightUpdate")? {
@@ -649,13 +816,16 @@ pub fn check_hierminimax_trace(
             });
         }
 
-        // Closed-form communication accounting for this round.
+        // Closed-form communication accounting for this round: base costs
+        // over the surviving sets, plus one full payload per replayed
+        // retransmission (retried and given-up deliveries alike).
         let delta = match cur.next(k, "RoundComm")? {
             Event::RoundComm { round, delta } if *round == k => *delta,
             other => return Err(unexpected(k, "RoundComm", other)),
         };
-        let dl = distinct.len() as u64;
-        let m = cfg.m_edges as u64;
+        let act = active.len() as u64;
+        let prt = participants.len() as u64;
+        let liv = live.len() as u64;
         let du = d as u64;
         let t2u = cfg.tau2 as u64;
         check_link(
@@ -664,15 +834,16 @@ pub fn check_hierminimax_trace(
             Link::EdgeCloud,
             "EdgeCloud",
             LinkCost {
-                down_floats: (du + 2) * dl + du * m,
-                down_msgs: dl + m,
-                up_floats: 2 * wire * dl + m,
-                up_msgs: dl + m,
+                down_floats: (du + 2) * (act + p1_down.extra_attempts)
+                    + du * (liv + p2_down.extra_attempts),
+                down_msgs: act + p1_down.extra_attempts + liv + p2_down.extra_attempts,
+                up_floats: 2 * wire * (prt + p1_up.extra_attempts) + est,
+                up_msgs: prt + p1_up.extra_attempts + est,
                 rounds: 1,
             },
         )?;
-        let mut ce_up_f = m * n0;
-        let mut ce_up_m = m * n0;
+        let mut ce_up_f = est * n0;
+        let mut ce_up_m = est * n0;
         for (t2, &s) in survivors.iter().enumerate() {
             ce_up_f += if t2 == c2 { 2 * wire } else { wire } * s;
             ce_up_m += s;
@@ -683,8 +854,8 @@ pub fn check_hierminimax_trace(
             Link::ClientEdge,
             "ClientEdge",
             LinkCost {
-                down_floats: t2u * dl * n0 * du + du * m * n0,
-                down_msgs: t2u * dl * n0 + m * n0,
+                down_floats: t2u * prt * n0 * du + du * est * n0,
+                down_msgs: t2u * prt * n0 + est * n0,
                 up_floats: ce_up_f,
                 up_msgs: ce_up_m,
                 rounds: t2u + 1,
@@ -717,6 +888,7 @@ pub fn check_hierfavg_trace(
     let n0 = problem.clients_per_edge() as u64;
     let d = problem.num_params();
     let wire = cfg.quantizer.wire_floats(d);
+    let plan = cfg.opts.fault.clone().with_dropout(cfg.dropout);
     let mut cur = Cursor::new(events);
     let mut report = ConformanceReport::default();
 
@@ -736,28 +908,51 @@ pub fn check_hierfavg_trace(
                 actual: sampled,
             });
         }
+        // Uniform sampling is without replacement, so `sampled` is already
+        // the distinct set (multiplicity one each).
+        let ones = vec![1_usize; sampled.len()];
+        let (active, _) = replay_outages(&mut cur, &plan, seed, k, &sampled, &ones, &mut report)?;
         match cur.next(k, "CloudBroadcast")? {
             Event::CloudBroadcast { round, recipients } if *round == k => {
-                if *recipients != sampled {
+                if *recipients != active {
                     return Err(ConformanceError::BroadcastMismatch {
                         round: k,
-                        expected: sampled.clone(),
+                        expected: active.clone(),
                         actual: recipients.clone(),
                     });
                 }
             }
             other => return Err(unexpected(k, "CloudBroadcast", other)),
         }
+        let p1_down = replay_deliveries(
+            &mut cur,
+            &plan,
+            seed,
+            k,
+            MsgChannel::Phase1Down,
+            &active,
+            &mut report,
+        )?;
+        let participants: Vec<usize> = p1_down.delivered.iter().map(|&i| active[i]).collect();
         let survivors = check_edge_blocks(
             &mut cur,
             problem,
-            &sampled,
+            &participants,
             k,
             cfg.tau1,
             cfg.tau2,
             None,
             seed,
-            cfg.dropout,
+            &plan,
+            &mut report,
+        )?;
+        let p1_up = replay_deliveries(
+            &mut cur,
+            &plan,
+            seed,
+            k,
+            MsgChannel::Phase1Up,
+            &participants,
             &mut report,
         )?;
         match cur.next(k, "GlobalAggregation")? {
@@ -772,7 +967,8 @@ pub fn check_hierfavg_trace(
             Event::RoundComm { round, delta } if *round == k => *delta,
             other => return Err(unexpected(k, "RoundComm", other)),
         };
-        let m = sampled.len() as u64;
+        let act = active.len() as u64;
+        let prt = participants.len() as u64;
         let du = d as u64;
         let t2u = cfg.tau2 as u64;
         check_link(
@@ -781,10 +977,10 @@ pub fn check_hierfavg_trace(
             Link::EdgeCloud,
             "EdgeCloud",
             LinkCost {
-                down_floats: du * m,
-                down_msgs: m,
-                up_floats: wire * m,
-                up_msgs: m,
+                down_floats: du * (act + p1_down.extra_attempts),
+                down_msgs: act + p1_down.extra_attempts,
+                up_floats: wire * (prt + p1_up.extra_attempts),
+                up_msgs: prt + p1_up.extra_attempts,
                 rounds: 1,
             },
         )?;
@@ -796,8 +992,8 @@ pub fn check_hierfavg_trace(
             Link::ClientEdge,
             "ClientEdge",
             LinkCost {
-                down_floats: t2u * m * n0 * du,
-                down_msgs: t2u * m * n0,
+                down_floats: t2u * prt * n0 * du,
+                down_msgs: t2u * prt * n0,
                 up_floats: ce_up_f,
                 up_msgs: ce_up_m,
                 rounds: t2u,
@@ -830,6 +1026,10 @@ fn is_cloud_level(e: &Event) -> bool {
             | Event::Phase2EdgesSampled { .. }
             | Event::WeightUpdate { .. }
             | Event::RoundComm { .. }
+            // Cloud-link fault events; the multi-level loop models
+            // intermediate links as reliable, so every `EdgeFault` in the
+            // trace is the cloud loop's (level 0, real round index).
+            | Event::EdgeFault { .. }
     )
 }
 
@@ -887,6 +1087,15 @@ pub fn check_multilevel_trace(
     let num_groups = n_edges / per_group;
     let n0 = problem.clients_per_edge() as u64;
     let d = problem.num_params();
+    let plan = cfg.opts.fault.clone().with_dropout(cfg.dropout);
+    // The checker replays cloud-link fault classes only: client crashes and
+    // stragglers inside subtrees key their streams on position tags the
+    // closed-form subtree cost does not model.
+    assert!(
+        plan.client_crash == 0.0 && plan.straggler_rate == 0.0,
+        "check_multilevel_trace replays cloud-link faults only \
+         (client_crash and straggler_rate must be zero)"
+    );
     let cloud: Vec<&Event> = events.iter().filter(|e| is_cloud_level(e)).collect();
     let mut cur = Cursor {
         events: &[],
@@ -916,7 +1125,7 @@ pub fn check_multilevel_trace(
                 actual: sampled,
             });
         }
-        let (distinct, _counts) = multiplicities(&sampled);
+        let (distinct, counts) = multiplicities(&sampled);
 
         let (c1, c2) = match cur.next(k, "CheckpointSampled")? {
             Event::CheckpointSampled { round, c1, c2 } if *round == k => (*c1, *c2),
@@ -945,18 +1154,39 @@ pub fn check_multilevel_trace(
             });
         }
 
+        let (active, _active_counts) =
+            replay_outages(&mut cur, &plan, seed, k, &distinct, &counts, &mut report)?;
         match cur.next(k, "CloudBroadcast")? {
             Event::CloudBroadcast { round, recipients } if *round == k => {
-                if *recipients != distinct {
+                if *recipients != active {
                     return Err(ConformanceError::BroadcastMismatch {
                         round: k,
-                        expected: distinct.clone(),
+                        expected: active.clone(),
                         actual: recipients.clone(),
                     });
                 }
             }
             other => return Err(unexpected(k, "CloudBroadcast", other)),
         }
+        let p1_down = replay_deliveries(
+            &mut cur,
+            &plan,
+            seed,
+            k,
+            MsgChannel::Phase1Down,
+            &active,
+            &mut report,
+        )?;
+        let participants: Vec<usize> = p1_down.delivered.iter().map(|&i| active[i]).collect();
+        let p1_up = replay_deliveries(
+            &mut cur,
+            &plan,
+            seed,
+            k,
+            MsgChannel::Phase1Up,
+            &participants,
+            &mut report,
+        )?;
         match cur.next(k, "GlobalAggregation")? {
             Event::GlobalAggregation { round } if *round == k => {}
             other => return Err(unexpected(k, "GlobalAggregation", other)),
@@ -984,6 +1214,18 @@ pub fn check_multilevel_trace(
                 actual: u_set,
             });
         }
+        let ones = vec![1_usize; u_set.len()];
+        let (live, _) = replay_outages(&mut cur, &plan, seed, k, &u_set, &ones, &mut report)?;
+        let p2_down = replay_deliveries(
+            &mut cur,
+            &plan,
+            seed,
+            k,
+            MsgChannel::Phase2Down,
+            &live,
+            &mut report,
+        )?;
+        let est = p2_down.delivered.len() as u64;
         let p_new = match cur.next(k, "WeightUpdate")? {
             Event::WeightUpdate { round, p } if *round == k => p.clone(),
             other => return Err(unexpected(k, "WeightUpdate", other)),
@@ -1006,8 +1248,9 @@ pub fn check_multilevel_trace(
             Event::RoundComm { round, delta } if *round == k => *delta,
             other => return Err(unexpected(k, "RoundComm", other)),
         };
-        let dl = distinct.len() as u64;
-        let m = cfg.m_groups as u64;
+        let act = active.len() as u64;
+        let prt = participants.len() as u64;
+        let liv = live.len() as u64;
         let du = d as u64;
         let cp_len = cfg.upper.len() as u64 + 2;
         check_link(
@@ -1016,26 +1259,27 @@ pub fn check_multilevel_trace(
             Link::EdgeCloud,
             "EdgeCloud",
             LinkCost {
-                down_floats: (du + cp_len) * dl + du * m,
-                down_msgs: dl + m,
-                up_floats: 2 * du * dl + m,
-                up_msgs: dl + m,
+                down_floats: (du + cp_len) * (act + p1_down.extra_attempts)
+                    + du * (liv + p2_down.extra_attempts),
+                down_msgs: act + p1_down.extra_attempts + liv + p2_down.extra_attempts,
+                up_floats: 2 * du * (prt + p1_up.extra_attempts) + est,
+                up_msgs: prt + p1_up.extra_attempts + est,
                 rounds: 1,
             },
         )?;
         let sub = subtree_cost(cfg, du, n0, 0, per_group as u64);
-        let phase2 = m * per_group as u64 * n0;
+        let phase2 = est * per_group as u64 * n0;
         check_link(
             k,
             &delta,
             Link::ClientEdge,
             "ClientEdge",
             LinkCost {
-                down_floats: dl * sub.down_floats + du * phase2,
-                down_msgs: dl * sub.down_msgs + phase2,
-                up_floats: dl * sub.up_floats + phase2,
-                up_msgs: dl * sub.up_msgs + phase2,
-                rounds: dl * sub.rounds + 1,
+                down_floats: prt * sub.down_floats + du * phase2,
+                down_msgs: prt * sub.down_msgs + phase2,
+                up_floats: prt * sub.up_floats + phase2,
+                up_msgs: prt * sub.up_msgs + phase2,
+                rounds: prt * sub.rounds + 1,
             },
         )?;
         check_link(
@@ -1057,7 +1301,9 @@ pub fn check_multilevel_trace(
 mod tests {
     use super::*;
     use crate::strategies::traced_opts;
-    use hm_core::algorithms::{Algorithm, HierFavg, HierMinimax, MultiLevelMinimax, UpperLevel};
+    use hm_core::algorithms::{
+        Algorithm, HierFavg, HierMinimax, MultiLevelMinimax, RunOpts, UpperLevel,
+    };
     use hm_data::scenarios::tiny_problem;
 
     fn problem(n_edges: usize, n0: usize, seed: u64) -> FederatedProblem {
@@ -1110,6 +1356,165 @@ mod tests {
         let r = MultiLevelMinimax::new(cfg.clone()).run(&fp, 11);
         let report = check_multilevel_trace(&fp, &cfg, 11, &r.trace.events()).unwrap();
         assert_eq!(report.rounds, 3);
+    }
+
+    /// A fault plan hitting every class replays cleanly: the checker
+    /// consumes the interleaved `EdgeFault` events, recomputes survivor
+    /// sets, and the retry-aware comm closed form matches the meter.
+    #[test]
+    fn faulty_hierminimax_trace_passes_and_counts_faults() {
+        let fp = problem(3, 2, 4);
+        let cfg = HierMinimaxConfig {
+            rounds: 6,
+            opts: RunOpts {
+                fault: FaultPlan {
+                    client_crash: 0.3,
+                    edge_outage: 0.4,
+                    msg_loss: 0.35,
+                    max_retries: 1,
+                    straggler_rate: 0.3,
+                    straggler_slowdown: 3.0,
+                    deadline_factor: 1.5,
+                    ..FaultPlan::default()
+                },
+                ..traced_opts()
+            },
+            ..Default::default()
+        };
+        let r = HierMinimax::new(cfg.clone()).run(&fp, 42);
+        let report = check_hierminimax_trace(&fp, &cfg, 42, &r.trace.events()).unwrap();
+        assert_eq!(report.rounds, 6);
+        assert!(report.faults > 0, "plan rates high enough to always fire");
+        // Every EdgeFault event in the trace was consumed by the replay.
+        let traced_faults = r
+            .trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::EdgeFault { .. }))
+            .count();
+        assert_eq!(report.faults, traced_faults);
+        assert!(r.faults.outages > 0 || r.faults.gave_up > 0);
+    }
+
+    #[test]
+    fn faulty_hierfavg_trace_passes() {
+        let fp = problem(3, 2, 5);
+        let cfg = HierFavgConfig {
+            rounds: 5,
+            dropout: 0.25,
+            opts: RunOpts {
+                fault: FaultPlan {
+                    edge_outage: 0.4,
+                    msg_loss: 0.3,
+                    max_retries: 0,
+                    ..FaultPlan::default()
+                },
+                ..traced_opts()
+            },
+            ..Default::default()
+        };
+        let r = HierFavg::new(cfg.clone()).run(&fp, 19);
+        let report = check_hierfavg_trace(&fp, &cfg, 19, &r.trace.events()).unwrap();
+        assert_eq!(report.rounds, 5);
+        assert!(report.faults > 0);
+    }
+
+    #[test]
+    fn faulty_multilevel_trace_passes_cloud_replay() {
+        let fp = problem(4, 2, 6);
+        let cfg = MultiLevelConfig {
+            rounds: 5,
+            upper: vec![UpperLevel {
+                group_size: 2,
+                tau: 2,
+            }],
+            m_groups: 2,
+            opts: RunOpts {
+                fault: FaultPlan {
+                    edge_outage: 0.35,
+                    msg_loss: 0.3,
+                    max_retries: 2,
+                    ..FaultPlan::default()
+                },
+                ..traced_opts()
+            },
+            ..Default::default()
+        };
+        let r = MultiLevelMinimax::new(cfg.clone()).run(&fp, 13);
+        let report = check_multilevel_trace(&fp, &cfg, 13, &r.trace.events()).unwrap();
+        assert_eq!(report.rounds, 5);
+        assert!(report.faults > 0);
+    }
+
+    /// Dropping a fault event desynchronizes the replay: the checker must
+    /// reject the trace rather than silently mis-attribute survivors.
+    #[test]
+    fn missing_fault_event_is_rejected() {
+        let fp = problem(3, 2, 4);
+        let cfg = HierMinimaxConfig {
+            rounds: 6,
+            opts: RunOpts {
+                fault: FaultPlan {
+                    edge_outage: 0.5,
+                    ..FaultPlan::default()
+                },
+                ..traced_opts()
+            },
+            ..Default::default()
+        };
+        let r = HierMinimax::new(cfg.clone()).run(&fp, 42);
+        let mut events = r.trace.events();
+        let idx = events
+            .iter()
+            .position(|e| matches!(e, Event::EdgeFault { .. }))
+            .expect("outage rate 0.5 over 6 rounds fires");
+        events.remove(idx);
+        let err = check_hierminimax_trace(&fp, &cfg, 42, &events).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ConformanceError::FaultMismatch { .. }
+                    | ConformanceError::UnexpectedEvent { .. }
+                    | ConformanceError::BroadcastMismatch { .. }
+            ),
+            "expected replay desync, got {err}"
+        );
+    }
+
+    /// A forged fault event (claiming an outage the keyed stream never
+    /// drew) is caught as a fault mismatch.
+    #[test]
+    fn forged_fault_event_is_rejected() {
+        let fp = problem(3, 2, 4);
+        let cfg = HierMinimaxConfig {
+            rounds: 2,
+            opts: traced_opts(),
+            ..Default::default()
+        };
+        let r = HierMinimax::new(cfg.clone()).run(&fp, 5);
+        let mut events = r.trace.events();
+        let idx = events
+            .iter()
+            .position(|e| matches!(e, Event::CloudBroadcast { .. }))
+            .unwrap();
+        events.insert(
+            idx,
+            Event::EdgeFault {
+                round: 0,
+                level: 0,
+                edge: 0,
+                kind: FaultKind::EdgeOutage,
+                attempts: 0,
+            },
+        );
+        let err = check_hierminimax_trace(&fp, &cfg, 5, &events).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ConformanceError::FaultMismatch { .. } | ConformanceError::UnexpectedEvent { .. }
+            ),
+            "expected fault mismatch, got {err}"
+        );
     }
 
     #[test]

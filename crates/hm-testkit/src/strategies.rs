@@ -19,7 +19,7 @@ use hm_core::algorithms::{
 use hm_core::problem::FederatedProblem;
 use hm_data::scenarios::tiny_problem;
 use hm_optim::ProjectionOp;
-use hm_simnet::{Parallelism, Quantizer};
+use hm_simnet::{FaultPlan, Parallelism, Quantizer};
 use proptest::prelude::*;
 
 /// The constrained weight domain `P` of problem (3).
@@ -70,6 +70,9 @@ pub struct ScenarioSpec {
     pub m_edges: usize,
     /// Per-block client dropout probability.
     pub dropout: f32,
+    /// Injected-fault plan (outages, message loss, stragglers); the
+    /// conformance automaton replays its keyed streams alongside the run.
+    pub fault: FaultPlan,
     /// Uplink codec.
     pub quantizer: Quantizer,
     /// Constrained weight domain `P`.
@@ -114,7 +117,10 @@ impl ScenarioSpec {
             quantizer: self.quantizer,
             dropout: self.dropout,
             tau2_per_edge: None,
-            opts: traced_opts(),
+            opts: RunOpts {
+                fault: self.fault.clone(),
+                ..traced_opts()
+            },
         }
     }
 
@@ -130,7 +136,10 @@ impl ScenarioSpec {
             batch_size: 2,
             quantizer: self.quantizer,
             dropout: self.dropout,
-            opts: traced_opts(),
+            opts: RunOpts {
+                fault: self.fault.clone(),
+                ..traced_opts()
+            },
         }
     }
 }
@@ -162,6 +171,11 @@ pub struct MultiLevelSpec {
     pub tau2: usize,
     /// Sampled groups per phase.
     pub m_groups: usize,
+    /// Injected cloud-link fault plan (the multi-level conformance model
+    /// covers edge outages and message loss; client-level classes stay
+    /// zero here because inner subtrees key their streams by position
+    /// tags the checker does not model).
+    pub fault: FaultPlan,
 }
 
 impl MultiLevelSpec {
@@ -205,7 +219,11 @@ impl MultiLevelSpec {
             eta_p: 0.02,
             batch_size: 2,
             loss_batch: 3,
-            opts: traced_opts(),
+            dropout: 0.0,
+            opts: RunOpts {
+                fault: self.fault.clone(),
+                ..traced_opts()
+            },
         }
     }
 }
@@ -222,6 +240,64 @@ pub fn arb_dropout() -> impl Strategy<Value = f32> {
         partial(),
         partial(),
         Just(1.0_f32),
+    ]
+}
+
+/// Strategy over injected-fault plans: mostly fault-free, with arms for
+/// each cloud-link fault class (outages, lossy deliveries with bounded
+/// retries, in/out-of-deadline stragglers), the all-out corner that forces
+/// stale rounds, and a combined "chaos" mix. Rates are rounded to two
+/// decimals so failing cases print and replay cleanly.
+pub fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    let rate = || (0.05_f32..0.5).prop_map(|x| (x * 100.0).round() / 100.0);
+    prop_oneof![
+        Just(FaultPlan::default()),
+        Just(FaultPlan::default()),
+        Just(FaultPlan::default()),
+        rate().prop_map(|r| FaultPlan {
+            edge_outage: r,
+            ..FaultPlan::default()
+        }),
+        (rate(), 0u32..=3).prop_map(|(r, max_retries)| FaultPlan {
+            msg_loss: r,
+            max_retries,
+            ..FaultPlan::default()
+        }),
+        rate().prop_map(|r| FaultPlan {
+            straggler_rate: r,
+            straggler_slowdown: 3.0,
+            deadline_factor: 1.5,
+            ..FaultPlan::default()
+        }),
+        Just(FaultPlan {
+            edge_outage: 1.0,
+            ..FaultPlan::default()
+        }),
+        (rate(), rate()).prop_map(|(o, l)| FaultPlan {
+            edge_outage: o,
+            msg_loss: l,
+            max_retries: 1,
+            ..FaultPlan::default()
+        }),
+    ]
+}
+
+/// Strategy over cloud-link-only fault plans (for the multi-level checker,
+/// which models outages and message loss but not subtree client faults).
+pub fn arb_cloud_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    let rate = || (0.05_f32..0.5).prop_map(|x| (x * 100.0).round() / 100.0);
+    prop_oneof![
+        Just(FaultPlan::default()),
+        Just(FaultPlan::default()),
+        rate().prop_map(|r| FaultPlan {
+            edge_outage: r,
+            ..FaultPlan::default()
+        }),
+        (rate(), 0u32..=2).prop_map(|(r, max_retries)| FaultPlan {
+            msg_loss: r,
+            max_retries,
+            ..FaultPlan::default()
+        }),
     ]
 }
 
@@ -268,7 +344,7 @@ pub fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
         ),
         (1usize..=3, 1usize..=3, 1usize..=3),
         arb_dropout(),
-        arb_quantizer(),
+        (arb_fault_plan(), arb_quantizer()),
         (arb_p_domain(), arb_weight_update_model()),
     )
         .prop_map(
@@ -276,7 +352,7 @@ pub fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
                 (n_edges, clients_per_edge, data_seed, run_seed, m_raw),
                 (rounds, tau1, tau2),
                 dropout,
-                quantizer,
+                (fault, quantizer),
                 (p_domain, weight_update_model),
             )| {
                 ScenarioSpec {
@@ -289,6 +365,7 @@ pub fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
                     tau2,
                     m_edges: 1 + m_raw % n_edges,
                     dropout,
+                    fault,
                     quantizer,
                     p_domain,
                     weight_update_model,
@@ -304,6 +381,7 @@ pub fn arb_multilevel() -> impl Strategy<Value = MultiLevelSpec> {
         (1usize..=2, 0u64..10_000, 0u64..10_000),
         (1usize..=3, 1usize..=2, 1usize..=2),
         0usize..64,
+        arb_cloud_fault_plan(),
     )
         .prop_map(
             |(
@@ -311,6 +389,7 @@ pub fn arb_multilevel() -> impl Strategy<Value = MultiLevelSpec> {
                 (clients_per_edge, data_seed, run_seed),
                 (rounds, tau1, tau2),
                 m_raw,
+                fault,
             )| {
                 MultiLevelSpec {
                     groups,
@@ -324,6 +403,7 @@ pub fn arb_multilevel() -> impl Strategy<Value = MultiLevelSpec> {
                     tau1,
                     tau2,
                     m_groups: 1 + m_raw % groups,
+                    fault,
                 }
             },
         )
@@ -340,6 +420,7 @@ mod tests {
         fn generated_specs_are_well_formed(spec in arb_scenario()) {
             prop_assert!(spec.m_edges >= 1 && spec.m_edges <= spec.n_edges);
             prop_assert!((0.0..=1.0).contains(&spec.dropout));
+            prop_assert!(spec.fault.validate().is_ok());
             let fp = spec.problem();
             prop_assert_eq!(fp.num_edges(), spec.n_edges);
             prop_assert_eq!(fp.clients_per_edge(), spec.clients_per_edge);

@@ -82,6 +82,7 @@ fn main() {
         eta_p: 0.005,
         batch_size: 1,
         loss_batch: 16,
+        dropout: 0.0,
         opts,
     })
     .run_timed(&problem, 3);

@@ -34,6 +34,7 @@ fn main() {
         eval_every_slots: 120,
         parallelism: Parallelism::Rayon,
         telemetry_dir: None,
+        fault: Default::default(),
     };
     let suite = run_suite(&problem, &sp, 19);
 

@@ -3,18 +3,18 @@
 //! must be rejected with the right error.
 //!
 //! The property tests sweep generated scenarios (topology, periods,
-//! participation, dropout, quantizers, constrained `P` sets); the pinned
-//! corpus below re-checks specs that exercised tricky corners when first
-//! generated (total blackout, capped simplex, quantized uploads,
-//! degenerate `τ = 1`), so they stay covered regardless of how the
-//! generator evolves.
+//! participation, dropout, fault plans, quantizers, constrained `P` sets);
+//! the pinned corpus below re-checks specs that exercised tricky corners
+//! when first generated (total blackout, capped simplex, quantized
+//! uploads, degenerate `τ = 1`, lossy links with retries, outage-heavy
+//! rounds), so they stay covered regardless of how the generator evolves.
 
 use hierminimax::core::algorithms::{
     Algorithm, HierFavg, HierMinimax, MultiLevelMinimax, WeightUpdateModel,
 };
 use hierminimax::simnet::sampling::sample_edges_uniform;
 use hierminimax::simnet::trace::Event;
-use hierminimax::simnet::{CommStats, Quantizer};
+use hierminimax::simnet::{CommStats, FaultPlan, Quantizer};
 use hm_testkit::strategies::{arb_multilevel, arb_scenario};
 use hm_testkit::{
     check_hierfavg_trace, check_hierminimax_trace, check_multilevel_trace, ConformanceError,
@@ -86,6 +86,7 @@ fn regression_corpus() -> Vec<ScenarioSpec> {
         quantizer: Quantizer::Exact,
         p_domain: PDomainSpec::Simplex,
         weight_update_model: WeightUpdateModel::RandomCheckpoint,
+        fault: FaultPlan::default(),
     };
     vec![
         // Total blackout: every client drops every block.
@@ -123,6 +124,52 @@ fn regression_corpus() -> Vec<ScenarioSpec> {
         ScenarioSpec {
             weight_update_model: WeightUpdateModel::RoundStart,
             quantizer: Quantizer::Stochastic { bits: 4 },
+            ..base.clone()
+        },
+        // Lossy WAN: retried and given-up deliveries on every channel, so
+        // the replay must consume interleaved fault events and the comm
+        // check must account every retransmission.
+        ScenarioSpec {
+            run_seed: 515,
+            rounds: 3,
+            fault: FaultPlan {
+                msg_loss: 0.45,
+                max_retries: 2,
+                ..FaultPlan::default()
+            },
+            ..base.clone()
+        },
+        // Outage-heavy round mix, including all-sampled-edges-out rounds
+        // (stale `w^(k)` reuse) plus zero-retry message loss (gave-up at
+        // attempt one) and crash/straggler thinning of the edge blocks.
+        ScenarioSpec {
+            run_seed: 909,
+            rounds: 4,
+            fault: FaultPlan {
+                client_crash: 0.3,
+                edge_outage: 0.5,
+                msg_loss: 0.25,
+                max_retries: 0,
+                straggler_rate: 0.3,
+                straggler_slowdown: 3.0,
+                deadline_factor: 1.5,
+                ..FaultPlan::default()
+            },
+            ..base.clone()
+        },
+        // Faults stacked on quantized uplinks and legacy dropout: the plan
+        // absorbs `dropout` into its crash rate, which the replay must
+        // mirror.
+        ScenarioSpec {
+            run_seed: 1717,
+            dropout: 0.4,
+            quantizer: Quantizer::Stochastic { bits: 3 },
+            fault: FaultPlan {
+                edge_outage: 0.3,
+                msg_loss: 0.2,
+                max_retries: 1,
+                ..FaultPlan::default()
+            },
             ..base
         },
     ]
@@ -164,6 +211,7 @@ fn valid_run() -> (
         quantizer: Quantizer::Exact,
         p_domain: PDomainSpec::Simplex,
         weight_update_model: WeightUpdateModel::RandomCheckpoint,
+        fault: FaultPlan::default(),
     };
     let fp = spec.problem();
     let cfg = spec.hierminimax_config();

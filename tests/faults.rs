@@ -1,0 +1,269 @@
+//! Fault-injection semantics across every hierarchical path: graceful
+//! degradation (stale models, survivor renormalization), retry/timeout
+//! accounting against the closed form, and strict determinism — the same
+//! seeded plan produces bit-identical runs across execution modes.
+
+use hierminimax::core::algorithms::{
+    Algorithm, HierFavg, HierFavgConfig, HierMinimax, HierMinimaxConfig, MultiLevelConfig,
+    MultiLevelMinimax, OverselectConfig, OverselectMinimax, RunOpts, UpperLevel,
+};
+use hierminimax::core::problem::FederatedProblem;
+use hierminimax::data::scenarios::tiny_problem;
+use hierminimax::simnet::{FaultPlan, Link, MsgChannel, Parallelism};
+use hm_testkit::{check_hierminimax_trace, reference_init_w};
+
+fn opts(fault: FaultPlan, par: Parallelism, trace: bool) -> RunOpts {
+    RunOpts {
+        eval_every: 0,
+        parallelism: par,
+        trace,
+        fault,
+        ..Default::default()
+    }
+}
+
+fn cfg(fault: FaultPlan, rounds: usize, trace: bool) -> HierMinimaxConfig {
+    HierMinimaxConfig {
+        rounds,
+        tau1: 2,
+        tau2: 2,
+        m_edges: 2,
+        eta_w: 0.1,
+        eta_p: 0.01,
+        batch_size: 2,
+        loss_batch: 4,
+        weight_update_model: Default::default(),
+        quantizer: Default::default(),
+        dropout: 0.0,
+        tau2_per_edge: None,
+        opts: opts(fault, Parallelism::Sequential, trace),
+    }
+}
+
+/// A plan whose rates are all zero must not perturb the run at all, even
+/// with every non-rate knob (retries, backoff, deadlines) cranked: the
+/// zero-rate fast paths make no RNG draws, so iterates, communication and
+/// sampling stay bit-identical to the fault-off default.
+#[test]
+fn zero_rate_plan_is_bit_identical_to_fault_off() {
+    let sc = tiny_problem(3, 2, 41);
+    let fp = FederatedProblem::logistic_from_scenario(&sc);
+    let off = HierMinimax::new(cfg(FaultPlan::default(), 8, false)).run(&fp, 3);
+    let zeroed = FaultPlan {
+        max_retries: 7,
+        backoff_base_s: 1.5,
+        straggler_slowdown: 5.0,
+        deadline_factor: 9.0,
+        ..FaultPlan::default()
+    };
+    let on = HierMinimax::new(cfg(zeroed, 8, false)).run(&fp, 3);
+    assert_eq!(off.final_w, on.final_w);
+    assert_eq!(off.final_p, on.final_p);
+    assert_eq!(off.avg_w, on.avg_w);
+    assert_eq!(off.comm, on.comm);
+    assert_eq!(on.faults, Default::default());
+}
+
+/// Every sampled edge out every round: the cloud never receives an
+/// update, so `w^(k)` must stay bit-identical to the initialization, and
+/// the dual weights must remain a feasible distribution throughout (the
+/// traced run replays through the conformance automaton, which checks
+/// feasibility round by round).
+#[test]
+fn all_sampled_edges_out_keeps_model_stale_and_p_feasible() {
+    let sc = tiny_problem(3, 2, 42);
+    let fp = FederatedProblem::logistic_from_scenario(&sc);
+    let blackout = FaultPlan {
+        edge_outage: 1.0,
+        ..FaultPlan::default()
+    };
+    let c = cfg(blackout, 4, true);
+    let r = HierMinimax::new(c.clone()).run(&fp, 7);
+    let init = reference_init_w(&fp, 7);
+    assert_eq!(r.final_w, init, "no surviving edge may move the model");
+    let report = check_hierminimax_trace(&fp, &c, 7, &r.trace.events())
+        .unwrap_or_else(|e| panic!("conformance under blackout: {e}"));
+    assert_eq!(report.rounds, 4);
+    assert!(report.faults > 0);
+    let sum: f32 = r.final_p.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-4, "p left the simplex: {sum}");
+    assert!(r.faults.outages > 0);
+}
+
+/// Survivor-only averaging renormalizes the aggregation weights to sum to
+/// one: with `η_w = 0` every surviving client reports the broadcast model
+/// unchanged, so any weight mass lost to crashed clients would show up as
+/// the average drifting off the initialization.
+#[test]
+fn survivor_renormalization_sums_to_one() {
+    let sc = tiny_problem(3, 2, 43);
+    let fp = FederatedProblem::logistic_from_scenario(&sc);
+    let crashy = FaultPlan {
+        client_crash: 0.4,
+        ..FaultPlan::default()
+    };
+    let mut c = cfg(crashy, 6, false);
+    c.eta_w = 0.0;
+    let r = HierMinimax::new(c).run(&fp, 11);
+    assert!(r.faults.crashes > 0, "crash rate 0.4 must fire");
+    let init = reference_init_w(&fp, 11);
+    let drift = r
+        .final_w
+        .iter()
+        .zip(&init)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0_f32, f32::max);
+    assert!(
+        drift < 1e-5,
+        "renormalized survivor weights must sum to 1 (drift {drift})"
+    );
+}
+
+/// Retry-exhausted rounds match the closed-form meter deltas: on a
+/// single-edge topology the whole WAN exchange is three messages per
+/// round, so the expected `EdgeCloud` totals can be recomputed exactly
+/// from the plan's own delivery streams (every attempt retransmits the
+/// full payload; a gave-up uplink still consumed its attempts).
+#[test]
+fn retry_exhausted_rounds_match_closed_form_comm() {
+    let sc = tiny_problem(1, 2, 44);
+    let fp = FederatedProblem::logistic_from_scenario(&sc);
+    let lossy = FaultPlan {
+        msg_loss: 0.4,
+        max_retries: 1,
+        ..FaultPlan::default()
+    };
+    let rounds = 12;
+    let seed = 23;
+    let mut c = cfg(lossy.clone(), rounds, false);
+    c.m_edges = 1;
+    let r = HierMinimax::new(c).run(&fp, seed);
+    assert!(r.faults.retries > 0, "loss 0.4 over 36 messages must retry");
+    assert!(r.faults.gave_up > 0, "max_retries 1 must exhaust sometimes");
+
+    let d = fp.num_params() as u64;
+    let (mut down_f, mut down_m, mut up_f, mut up_m) = (0_u64, 0_u64, 0_u64, 0_u64);
+    for k in 0..rounds as u64 {
+        // Phase 1 down: model + (c1, c2), one attempt per transmission.
+        let dv = lossy.delivery(seed, k, 0, MsgChannel::Phase1Down, 0);
+        down_f += (d + 2) * u64::from(dv.attempts);
+        down_m += u64::from(dv.attempts);
+        if dv.delivered {
+            // Phase 1 up: (w_final, w_checkpoint), metered per attempt
+            // whether or not the message ultimately arrives.
+            let dv = lossy.delivery(seed, k, 0, MsgChannel::Phase1Up, 0);
+            up_f += 2 * d * u64::from(dv.attempts);
+            up_m += u64::from(dv.attempts);
+        }
+        // Phase 2 down: checkpoint model to the estimate edge; the scalar
+        // reply rides the reliable control channel (one float, no retry).
+        let dv = lossy.delivery(seed, k, 0, MsgChannel::Phase2Down, 0);
+        down_f += d * u64::from(dv.attempts);
+        down_m += u64::from(dv.attempts);
+        if dv.delivered {
+            up_f += 1;
+            up_m += 1;
+        }
+    }
+    assert_eq!(r.comm.downlink_floats(Link::EdgeCloud), down_f);
+    assert_eq!(r.comm.downlink_msgs(Link::EdgeCloud), down_m);
+    assert_eq!(r.comm.uplink_floats(Link::EdgeCloud), up_f);
+    assert_eq!(r.comm.uplink_msgs(Link::EdgeCloud), up_m);
+}
+
+/// The chaos preset — every fault class at once — is bit-identical across
+/// execution modes and reruns: fault draws key on (seed, purpose, round,
+/// entity), never on scheduling.
+#[test]
+fn chaos_preset_is_deterministic_across_parallelism() {
+    let sc = tiny_problem(3, 2, 45);
+    let fp = FederatedProblem::logistic_from_scenario(&sc);
+    let chaos = FaultPlan::preset("chaos").expect("chaos preset exists");
+    let seq = HierMinimax::new(cfg(chaos.clone(), 10, false)).run(&fp, 17);
+    let mut rc = cfg(chaos.clone(), 10, false);
+    rc.opts.parallelism = Parallelism::Rayon;
+    let par = HierMinimax::new(rc).run(&fp, 17);
+    assert_eq!(seq.final_w, par.final_w);
+    assert_eq!(seq.final_p, par.final_p);
+    assert_eq!(seq.comm, par.comm);
+    assert_eq!(seq.faults, par.faults);
+    // And a rerun of the same mode reproduces itself exactly.
+    let again = HierMinimax::new(cfg(chaos, 10, false)).run(&fp, 17);
+    assert_eq!(seq.final_w, again.final_w);
+    assert_eq!(seq.faults, again.faults);
+}
+
+/// Every hierarchical path degrades gracefully under heavy faults: runs
+/// terminate, parameters stay finite, dual weights stay distributions,
+/// and the injector's books record the damage.
+#[test]
+fn all_hierarchical_paths_survive_heavy_faults() {
+    let sc = tiny_problem(4, 2, 46);
+    let fp = FederatedProblem::logistic_from_scenario(&sc);
+    let chaos = FaultPlan::preset("chaos").expect("chaos preset exists");
+
+    let hf = HierFavg::new(HierFavgConfig {
+        rounds: 8,
+        tau1: 2,
+        tau2: 2,
+        m_edges: 2,
+        eta_w: 0.1,
+        batch_size: 2,
+        quantizer: Default::default(),
+        dropout: 0.1,
+        opts: opts(chaos.clone(), Parallelism::Rayon, false),
+    })
+    .run(&fp, 29);
+    assert!(hf.final_w.iter().all(|x| x.is_finite()));
+    let hf_hits = hf.faults.crashes + hf.faults.outages + hf.faults.gave_up;
+    assert!(hf_hits > 0, "chaos preset must hit HierFAVG");
+
+    // Multi-level: cloud-link faults plus legacy dropout inside subtrees.
+    let cloud_faults = FaultPlan {
+        edge_outage: 0.3,
+        msg_loss: 0.3,
+        max_retries: 1,
+        ..FaultPlan::default()
+    };
+    let ml = MultiLevelMinimax::new(MultiLevelConfig {
+        rounds: 6,
+        tau1: 2,
+        tau2: 2,
+        upper: vec![UpperLevel {
+            group_size: 2,
+            tau: 2,
+        }],
+        m_groups: 2,
+        eta_w: 0.1,
+        eta_p: 0.01,
+        batch_size: 2,
+        loss_batch: 4,
+        dropout: 0.2,
+        opts: opts(cloud_faults, Parallelism::Sequential, false),
+    })
+    .run(&fp, 31);
+    assert!(ml.final_w.iter().all(|x| x.is_finite()));
+    let psum: f32 = ml.final_p.iter().sum();
+    assert!((psum - 1.0).abs() < 1e-4, "multi-level p left P: {psum}");
+    assert!(ml.faults.outages + ml.faults.gave_up + ml.faults.crashes > 0);
+
+    let ov = OverselectMinimax::new(OverselectConfig {
+        rounds: 6,
+        tau1: 2,
+        tau2: 2,
+        m_edges: 2,
+        m_over: 3,
+        seconds_per_slot: vec![1.0, 1.5, 2.0, 4.0],
+        eta_w: 0.1,
+        eta_p: 0.01,
+        batch_size: 2,
+        loss_batch: 4,
+        dropout: 0.0,
+        opts: opts(chaos, Parallelism::Sequential, false),
+    })
+    .run_timed(&fp, 37);
+    assert!(ov.run.final_w.iter().all(|x| x.is_finite()));
+    let osum: f32 = ov.run.final_p.iter().sum();
+    assert!((osum - 1.0).abs() < 1e-4, "overselect p left P: {osum}");
+    assert!(ov.run.faults.crashes + ov.run.faults.deadline_missed > 0);
+}

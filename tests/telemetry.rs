@@ -31,6 +31,7 @@ fn opts_with(telemetry: Telemetry, trace: bool) -> RunOpts {
         parallelism: Parallelism::Sequential,
         trace,
         telemetry,
+        ..Default::default()
     }
 }
 
@@ -309,6 +310,7 @@ fn all_algorithms_emit_consistent_streams() {
             eta_p: 0.01,
             batch_size: 2,
             loss_batch: 4,
+            dropout: 0.0,
             opts,
         })
         .run(&fp, 7)
