@@ -60,6 +60,7 @@ fn main() {
             None
         },
         fault: Default::default(),
+        engine: Default::default(),
     };
 
     println!("Fig. 3 reproduction: convex logistic regression, one class per edge");

@@ -1,0 +1,232 @@
+//! Round-level training throughput: full HierMinimax rounds/sec under the
+//! chained execution engine vs the pre-chain barrier engine, written as
+//! machine-readable `results/BENCH_roundtime.json`.
+//!
+//! Both engines are bit-identical (tests/determinism.rs), so this measures
+//! pure scheduling overhead: the barrier engine forks and joins the thread
+//! pool once per `τ2` aggregation block and allocates fresh training
+//! scratch per client-block, while the chained engine runs each edge's
+//! blocks as one task with pooled scratch — one fork/join per round.
+//!
+//! Shapes cover three regimes: `balanced` (few edges, several clients
+//! each, chunky per-block work), `wide` (many edges, one client each,
+//! high `τ2` — every join gates on the pool for a sliver of work), and
+//! `deep` (high `τ2`, single local step, tiny model — per-round overhead
+//! is almost entirely scheduling and scratch allocation).
+//!
+//! Flags:
+//! - `--quick`: CI-scale round counts.
+//! - `--check`: measure, then compare the geometric-mean engine speedup
+//!   across all cases against the committed
+//!   `results/BENCH_roundtime.json` and exit non-zero on a >10%
+//!   regression (the file is left untouched). The aggregate is the gate —
+//!   per-case numbers on a shared CI box are too noisy to gate on — but
+//!   per-case results are still printed for diagnosis.
+
+use hm_bench::results::{parse_scale_flags, write_result, RESULTS_DIR};
+use hm_core::algorithms::{Algorithm, HierMinimax, HierMinimaxConfig, RunOpts};
+use hm_core::problem::FederatedProblem;
+use hm_data::generators::synthetic_images::ImageConfig;
+use hm_data::scenarios::{dirichlet_split, tiny_problem, HierScenario};
+use hm_nn::SimpleCnn;
+use hm_optim::ProjectionOp;
+use hm_simnet::ExecEngine;
+use hm_telemetry::Telemetry;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn cnn_problem(sc: &HierScenario) -> FederatedProblem {
+    let side = (sc.dim as f64).sqrt() as usize;
+    assert_eq!(side * side, sc.dim, "CNN needs square inputs");
+    let model = SimpleCnn::new(side, 3, 2, 4, 16, sc.num_classes);
+    FederatedProblem::new(
+        sc.clone(),
+        Arc::new(model),
+        ProjectionOp::Unconstrained,
+        ProjectionOp::Simplex,
+    )
+}
+
+struct Case {
+    name: &'static str,
+    problem: FederatedProblem,
+    tau1: usize,
+    tau2: usize,
+    m_edges: usize,
+    batch: usize,
+    rounds: usize,
+}
+
+fn config(case: &Case, rounds: usize, engine: ExecEngine) -> HierMinimaxConfig {
+    HierMinimaxConfig {
+        rounds,
+        tau1: case.tau1,
+        tau2: case.tau2,
+        m_edges: case.m_edges,
+        eta_w: 0.05,
+        eta_p: 0.01,
+        batch_size: case.batch,
+        loss_batch: 4,
+        weight_update_model: Default::default(),
+        quantizer: Default::default(),
+        dropout: 0.0,
+        tau2_per_edge: None,
+        opts: RunOpts {
+            eval_every: 0, // only the final round is evaluated
+            parallelism: Default::default(),
+            trace: false,
+            telemetry: Telemetry::disabled(),
+            fault: Default::default(),
+            engine,
+        },
+    }
+}
+
+fn rounds_per_sec(case: &Case, engine: ExecEngine, reps: usize) -> f64 {
+    // Warm-up run: page in data, spin up the pool, size lazy buffers.
+    black_box(HierMinimax::new(config(case, 1, engine)).run(&case.problem, 11));
+    let alg = HierMinimax::new(config(case, case.rounds, engine));
+    // Best of `reps`: the minimum elapsed time is the least-interference
+    // estimate of the engine's cost (runs are deterministic, so the work
+    // is identical across repetitions).
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        black_box(alg.run(&case.problem, 11));
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    case.rounds as f64 / best
+}
+
+/// Pull `"geomean_speedup": <x>` out of the committed JSON (the format
+/// this binary writes, so a flat substring scan suffices).
+fn committed_geomean(json: &str) -> Option<f64> {
+    let key = "\"geomean_speedup\":";
+    let at = json.find(key)?;
+    let num = json[at + key.len()..].trim_start();
+    let end = num
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(num.len());
+    num[..end].parse().ok()
+}
+
+fn main() {
+    let (quick, _full) = parse_scale_flags();
+    let check = std::env::args().any(|a| a == "--check");
+    // Per-rep times must be long enough to dominate timer and scheduler
+    // noise, so even quick mode keeps rounds high and instead takes the
+    // best of more repetitions (the gate has a 10% tolerance on top).
+    let scale = if quick { 1 } else { 6 };
+    let reps = if quick { 5 } else { 3 };
+
+    let img = ImageConfig::emnist_digits_like();
+    let cases = [
+        Case {
+            name: "logistic/balanced",
+            problem: FederatedProblem::logistic_from_scenario(&tiny_problem(4, 4, 7)),
+            tau1: 2,
+            tau2: 4,
+            m_edges: 4,
+            batch: 4,
+            rounds: 600 * scale,
+        },
+        Case {
+            name: "logistic/deep",
+            problem: FederatedProblem::logistic_from_scenario(&tiny_problem(4, 4, 7)),
+            tau1: 1,
+            tau2: 16,
+            m_edges: 4,
+            batch: 1,
+            rounds: 200 * scale,
+        },
+        Case {
+            name: "logistic/wide",
+            problem: FederatedProblem::logistic_from_scenario(&tiny_problem(24, 1, 7)),
+            tau1: 2,
+            tau2: 8,
+            m_edges: 24,
+            batch: 4,
+            rounds: 150 * scale,
+        },
+        Case {
+            name: "mlp/balanced",
+            problem: FederatedProblem::mlp_from_scenario(&tiny_problem(4, 4, 8), &[32, 16]),
+            tau1: 2,
+            tau2: 4,
+            m_edges: 4,
+            batch: 4,
+            rounds: 150 * scale,
+        },
+        Case {
+            name: "mlp/wide",
+            problem: FederatedProblem::mlp_from_scenario(&tiny_problem(24, 1, 8), &[32, 16]),
+            tau1: 2,
+            tau2: 8,
+            m_edges: 24,
+            batch: 4,
+            rounds: 60 * scale,
+        },
+        Case {
+            name: "cnn/balanced",
+            problem: cnn_problem(&dirichlet_split(img.clone(), 4, 4, 32, 0.5, 0.25, 9)),
+            tau1: 1,
+            tau2: 4,
+            m_edges: 4,
+            batch: 4,
+            rounds: 24 * scale,
+        },
+        Case {
+            name: "cnn/wide",
+            problem: cnn_problem(&dirichlet_split(img, 16, 1, 16, 0.5, 0.25, 9)),
+            tau1: 1,
+            tau2: 8,
+            m_edges: 16,
+            batch: 4,
+            rounds: 15 * scale,
+        },
+    ];
+
+    let mut entries = Vec::new();
+    let mut rows = Vec::new();
+    for case in &cases {
+        let barrier = rounds_per_sec(case, ExecEngine::Barrier, reps);
+        let chained = rounds_per_sec(case, ExecEngine::Chained, reps);
+        let speedup = chained / barrier;
+        println!(
+            "{:<20} chained {:>9.2} rounds/sec   barrier {:>9.2} rounds/sec   speedup {:.2}x",
+            case.name, chained, barrier, speedup
+        );
+        entries.push(format!(
+            "    \"{}\": {{\n      \"rounds_per_sec_chained\": {:.2},\n      \"rounds_per_sec_barrier\": {:.2},\n      \"speedup\": {:.3}\n    }}",
+            case.name, chained, barrier, speedup
+        ));
+        rows.push((case.name, speedup));
+    }
+
+    let geomean = (rows.iter().map(|(_, s)| s.ln()).sum::<f64>() / rows.len() as f64).exp();
+    println!("geomean speedup over {} cases: {geomean:.3}x", rows.len());
+
+    if check {
+        let path = std::path::Path::new(RESULTS_DIR).join("BENCH_roundtime.json");
+        let committed = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("--check needs committed {}: {e}", path.display()));
+        let base = committed_geomean(&committed)
+            .unwrap_or_else(|| panic!("no geomean_speedup in {}", path.display()));
+        if geomean < 0.9 * base {
+            eprintln!("REGRESSION: geomean speedup {geomean:.3}x < 90% of committed {base:.3}x");
+            std::process::exit(1);
+        }
+        println!("round-throughput check passed ({geomean:.3}x vs committed {base:.3}x)");
+        return;
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"roundtime\",\n  \"quick\": {},\n  \"geomean_speedup\": {:.3},\n  \"cases\": {{\n{}\n  }}\n}}\n",
+        quick,
+        geomean,
+        entries.join(",\n")
+    );
+    let path = write_result("BENCH_roundtime.json", &json);
+    println!("wrote {}", path.display());
+}

@@ -12,7 +12,7 @@ use hm_core::metrics::evaluate;
 use hm_core::problem::FederatedProblem;
 use hm_core::RunResult;
 use hm_data::partition::label_skew;
-use hm_simnet::{FaultPlan, LatencyModel, Link, Parallelism, Quantizer, FAULT_PRESETS};
+use hm_simnet::{ExecEngine, FaultPlan, LatencyModel, Link, Parallelism, Quantizer, FAULT_PRESETS};
 use hm_telemetry::Telemetry;
 
 /// Dispatch a parsed command line. Returns the process exit code.
@@ -86,6 +86,8 @@ FAULT-INJECTION FLAGS (run, compare; deterministic per seed):
   --mlp W1,W2,...       use an MLP with these hidden widths
   --cnn                 use the SimpleCnn model (square inputs only)
   --seed N --eval-every N --sequential --csv PATH
+  --engine chained|barrier  round scheduling engine (default chained; both
+                        bit-identical — barrier is the benchmark baseline)
   --telemetry PATH      write structured run telemetry (JSONL, one event
                         per line; see DESIGN.md par. 10)
   --save-model PATH     (run) save the final model
@@ -134,6 +136,15 @@ fn opts(args: &Args) -> Result<RunOpts, ArgError> {
         trace: false,
         telemetry,
         fault: fault_plan(args)?,
+        engine: match args.str_or("engine", "chained").as_str() {
+            "chained" => ExecEngine::Chained,
+            "barrier" => ExecEngine::Barrier,
+            other => {
+                return Err(ArgError(format!(
+                    "--engine {other:?} unknown (chained|barrier)"
+                )))
+            }
+        },
     })
 }
 

@@ -177,7 +177,7 @@ impl Algorithm for StochasticAfl {
             );
             meter.record_gather(Link::ClientCloud, d as u64, distinct.len() as u64);
 
-            let losses: Vec<f64> = cfg.opts.parallelism.map(u_set.clone(), |c| {
+            let losses: Vec<f64> = cfg.opts.parallelism.map_ref(&u_set, |&c| {
                 let mut rng = StreamRng::for_key(StreamKey::new(
                     seed,
                     Purpose::LossEstSampling,

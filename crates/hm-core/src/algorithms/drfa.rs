@@ -210,7 +210,7 @@ impl Algorithm for Drfa {
                 edges: u_set.clone(),
             });
             meter.record_broadcast(Link::ClientCloud, d as u64, u_set.len() as u64);
-            let losses: Vec<f64> = cfg.opts.parallelism.map(u_set.clone(), |c| {
+            let losses: Vec<f64> = cfg.opts.parallelism.map_ref(&u_set, |&c| {
                 let mut rng = StreamRng::for_key(StreamKey::new(
                     seed,
                     Purpose::LossEstSampling,

@@ -110,7 +110,7 @@ impl Algorithm for FedProx {
             });
 
             meter.record_broadcast(Link::ClientCloud, d as u64, sampled.len() as u64);
-            let results: Vec<Vec<f32>> = cfg.opts.parallelism.map(sampled.clone(), |client| {
+            let results: Vec<Vec<f32>> = cfg.opts.parallelism.map_ref(&sampled, |&client| {
                 let mut rng = StreamRng::for_key(StreamKey::new(
                     seed,
                     Purpose::Batch,

@@ -33,7 +33,7 @@ pub(crate) fn run_flat_clients(
     par: Parallelism,
     checkpoint_after: Option<usize>,
 ) -> Vec<(Vec<f32>, Option<Vec<f32>>)> {
-    par.map(clients.to_vec(), |client| {
+    par.map_ref(clients, |&client| {
         let mut rng = StreamRng::for_key(StreamKey::new(
             seed,
             Purpose::Batch,

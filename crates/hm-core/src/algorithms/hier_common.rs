@@ -1,12 +1,36 @@
 //! Shared machinery for the three-layer algorithms (HierMinimax and
 //! HierFAVG): the `ModelUpdate` procedure — `τ2` client-edge aggregation
 //! blocks of `τ1` local SGD steps each — with optional checkpoint capture.
+//!
+//! Two execution engines produce bit-identical results (asserted by
+//! `tests/determinism.rs`):
+//!
+//! - [`ExecEngine::Chained`] (default) — one parallel task **per edge**
+//!   runs that edge's `τ2` blocks sequentially with its clients fanned
+//!   out inside, so a round costs a single fork/join instead of `τ2` of
+//!   them. Client training reuses thread-local scratch
+//!   ([`hm_nn::with_scratch`]), fault/metering decisions are hoisted into
+//!   a sequential prepass (keyed fault streams make them independent of
+//!   execution order), and trace/telemetry events are replayed after the
+//!   join in the exact legacy order.
+//! - [`ExecEngine::Barrier`] — the pre-chain engine, kept as the frozen
+//!   reference: a global fork/join per block with per-call workspace
+//!   allocation. Benchmarks (`hm-bench`, `results/BENCH_roundtime.json`)
+//!   measure the chained engine against this baseline.
+//!
+//! Bit-identity holds because every reduction runs in the same slot order
+//! in both engines (DESIGN.md §7), the per-client RNG streams are keyed by
+//! `(seed, purpose, block, client)` rather than execution order, and the
+//! straggler-slot accumulator is fed per block in `t2` order by both
+//! engines.
 
-use crate::localsgd::local_sgd;
+use crate::localsgd::{local_sgd_fresh, local_sgd_into};
 use crate::problem::FederatedProblem;
 use hm_data::rng::{Purpose, StreamKey, StreamRng};
 use hm_simnet::trace::{Event, Trace};
-use hm_simnet::{CommMeter, FaultInjector, Link, Parallelism, Quantizer, StragglerFate};
+use hm_simnet::{
+    CommMeter, ExecEngine, FaultInjector, Link, Parallelism, Quantizer, StragglerFate,
+};
 use hm_telemetry::{Telemetry, TelemetryEvent};
 use hm_tensor::vecops;
 
@@ -66,8 +90,159 @@ pub(crate) struct EdgeBlockParams<'a> {
     pub seed: u64,
     pub meter: &'a CommMeter,
     pub par: Parallelism,
+    /// Round scheduling strategy (see module docs). Both engines are
+    /// bit-identical; `Barrier` exists as the benchmark baseline and as a
+    /// cross-check in the determinism suite.
+    pub engine: ExecEngine,
     pub trace: &'a Trace,
     pub telemetry: &'a Telemetry,
+}
+
+/// Per-round fault and survivor schedule, computed before any client work.
+///
+/// The fault oracle draws from keyed streams, so its decisions depend only
+/// on `(block, level, client)` — hoisting them out of the parallel region
+/// changes nothing about the outcome but lets the chained engine run whole
+/// edges without synchronising, and lets communication be metered in
+/// closed form. Oracle queries and the straggler-slot accumulator are
+/// driven in the same `(t2, slot)` order the barrier engine uses, so
+/// fault statistics stay bit-identical.
+struct RoundSchedule {
+    /// `alive[t2 * n_slots + ei * n0 + c]` — does that client's upload
+    /// survive block `t2`?
+    alive: Vec<bool>,
+    /// Surviving uploads per block (`[t2]`).
+    block_survivors: Vec<u64>,
+}
+
+impl RoundSchedule {
+    fn survivors_of_edge(&self, n0: usize, ne: usize, t2: usize, ei: usize) -> usize {
+        let base = t2 * ne * n0 + ei * n0;
+        self.alive[base..base + n0].iter().filter(|&&a| a).count()
+    }
+}
+
+fn compute_schedule(p: &EdgeBlockParams<'_>) -> RoundSchedule {
+    let n0 = p.problem.clients_per_edge();
+    let ne = p.edges.len();
+    let topo = p.problem.topology();
+    let n_slots = ne * n0;
+    let mut alive = vec![false; p.tau2 * n_slots];
+    let mut block_survivors = vec![0u64; p.tau2];
+    for t2 in 0..p.tau2 {
+        let block_tag = (p.round * p.tau2 + t2) as u64;
+        // Which clients survive this block: a client is cut by a crash or
+        // by straggling past the deadline; an in-deadline straggler
+        // contributes but stretches the block's shared sync window.
+        let mut max_slow = 1.0_f64;
+        for slot in 0..n_slots {
+            let edge = p.edges[slot / n0];
+            let client = topo.client_id(edge, slot % n0);
+            let a = if !p.fault.client_alive(block_tag, p.level, client) {
+                false
+            } else {
+                match p.fault.straggler(block_tag, p.level, client) {
+                    StragglerFate::Missed => false,
+                    StragglerFate::Slow(s) => {
+                        max_slow = max_slow.max(s);
+                        true
+                    }
+                    StragglerFate::OnTime => true,
+                }
+            };
+            alive[t2 * n_slots + slot] = a;
+            block_survivors[t2] += u64::from(a);
+        }
+        if max_slow > 1.0 {
+            // The synchronous block waits for its slowest in-deadline
+            // straggler: τ1 nominal slots stretch by the slowdown factor.
+            p.fault
+                .add_straggler_slots((max_slow - 1.0) * p.tau1 as f64);
+        }
+    }
+    RoundSchedule {
+        alive,
+        block_survivors,
+    }
+}
+
+/// Meter the whole round's client-edge traffic in closed form: one
+/// broadcast to every client per block, one upload per surviving client
+/// per block (doubled in the checkpoint block, whose model is piggybacked
+/// on the gather), and `τ2` synchronisation rounds. Byte-for-byte the
+/// same totals as the barrier engine's per-block calls, in a handful of
+/// atomic updates.
+fn meter_round(p: &EdgeBlockParams<'_>, schedule: &RoundSchedule) {
+    let d = p.problem.num_params() as u64;
+    let n_slots = (p.edges.len() * p.problem.clients_per_edge()) as u64;
+    p.meter
+        .record_broadcast(Link::ClientEdge, d, p.tau2 as u64 * n_slots);
+    let unit = p.quantizer.wire_floats(d as usize);
+    let cp_block = p.checkpoint.map(|(_, c2)| c2);
+    let mut plain_survivors = 0u64;
+    for (t2, &s) in schedule.block_survivors.iter().enumerate() {
+        if cp_block == Some(t2) {
+            p.meter.record_gather(Link::ClientEdge, 2 * unit, s);
+        } else {
+            plain_survivors += s;
+        }
+    }
+    p.meter
+        .record_gather(Link::ClientEdge, unit, plain_survivors);
+    if p.record_rounds {
+        p.meter.record_rounds(Link::ClientEdge, p.tau2 as u64);
+    }
+}
+
+/// Replay the round's protocol events after the parallel join, in the
+/// exact order the barrier engine emits them while running: per block,
+/// `LocalSteps` for every survivor in slot order, then per edge (with at
+/// least one survivor) the checkpoint capture, the aggregation event, and
+/// the telemetry record.
+fn replay_events(p: &EdgeBlockParams<'_>, schedule: &RoundSchedule) {
+    let n0 = p.problem.clients_per_edge();
+    let ne = p.edges.len();
+    let topo = p.problem.topology();
+    for t2 in 0..p.tau2 {
+        let is_cp_block = p.checkpoint.map(|(_, c2)| c2 == t2).unwrap_or(false);
+        for ei in 0..ne {
+            for c in 0..n0 {
+                if schedule.alive[t2 * ne * n0 + ei * n0 + c] {
+                    p.trace.record(|| Event::LocalSteps {
+                        round: p.round,
+                        t2,
+                        edge: p.edges[ei],
+                        client: topo.client_id(p.edges[ei], c),
+                        steps: p.tau1,
+                    });
+                }
+            }
+        }
+        for ei in 0..ne {
+            let survivors = schedule.survivors_of_edge(n0, ne, t2, ei);
+            if survivors == 0 {
+                continue;
+            }
+            if is_cp_block {
+                p.trace.record(|| Event::CheckpointCaptured {
+                    round: p.round,
+                    edge: p.edges[ei],
+                    t2,
+                });
+            }
+            p.trace.record(|| Event::ClientEdgeAggregation {
+                round: p.round,
+                edge: p.edges[ei],
+                t2,
+            });
+            p.telemetry.record(|| TelemetryEvent::BlockAggregated {
+                round: p.round,
+                edge: p.edges[ei],
+                t2,
+                survivors,
+            });
+        }
+    }
 }
 
 /// Run `τ2` client-edge aggregation blocks on each participating edge.
@@ -79,6 +254,143 @@ pub(crate) struct EdgeBlockParams<'a> {
 /// piggybacked on the gather of block `c2` (doubling that block's uplink
 /// payload, as in the paper where clients "send along" the checkpoint).
 pub(crate) fn run_edge_blocks(p: EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
+    match p.engine {
+        ExecEngine::Chained => run_edge_blocks_chained(&p),
+        ExecEngine::Barrier => run_edge_blocks_barrier(&p),
+    }
+}
+
+/// The chained engine: fault schedule and metering up front, then one
+/// task per edge running all `τ2` blocks back to back, then event replay.
+fn run_edge_blocks_chained(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
+    let n0 = p.problem.clients_per_edge();
+    let ne = p.edges.len();
+    let topo = p.problem.topology();
+    let schedule = compute_schedule(p);
+    meter_round(p, &schedule);
+
+    let outputs: Vec<(Vec<f32>, Option<Vec<f32>>)> = {
+        let schedule = &schedule;
+        p.par.map_chains(ne, |ei| {
+            hm_nn::with_scratch(|scratch| {
+                let edge = p.edges[ei];
+                let mut model = p.w_start.to_vec();
+                let mut checkpoint: Option<Vec<f32>> = None;
+                // Per-client upload buffers, reused across blocks. An
+                // empty model slot means "dropped this block" (models are
+                // never zero-length), which is what the aggregation's
+                // presence test reads.
+                let mut client_w: Vec<Vec<f32>> = vec![Vec::new(); n0];
+                let mut client_cp: Vec<Option<Vec<f32>>> = vec![None; n0];
+                for t2 in 0..p.tau2 {
+                    let is_cp_block = p.checkpoint.map(|(_, c2)| c2 == t2).unwrap_or(false);
+                    let cp_after = p.checkpoint.and_then(|(c1, c2)| (c2 == t2).then_some(c1));
+                    let base = t2 * ne * n0 + ei * n0;
+                    for c in 0..n0 {
+                        client_cp[c] = None;
+                        if !schedule.alive[base + c] {
+                            client_w[c].clear();
+                            continue;
+                        }
+                        let client = topo.client_id(edge, c);
+                        let mut rng = StreamRng::for_key(StreamKey::new(
+                            p.seed,
+                            Purpose::Batch,
+                            (p.round * p.tau2 + t2) as u64,
+                            client as u64,
+                        ));
+                        let mut cp_out = local_sgd_into(
+                            &*p.problem.model,
+                            p.problem.client_data(edge, c),
+                            &model,
+                            &mut client_w[c],
+                            p.tau1,
+                            p.eta_w,
+                            p.batch_size,
+                            &p.problem.w_domain,
+                            &mut rng,
+                            cp_after,
+                            scratch,
+                        );
+                        // Uplink codec: quantize the *update delta* against
+                        // the block-start model the edge already holds (as
+                        // in Hier-Local-QSGD — deltas are small, so coarse
+                        // grids stay accurate), then reconstruct the model
+                        // the edge decodes.
+                        if p.quantizer != Quantizer::Exact {
+                            let mut qrng = StreamRng::for_key(StreamKey::new(
+                                p.seed,
+                                Purpose::Quantize,
+                                (p.round * p.tau2 + t2) as u64,
+                                client as u64,
+                            ));
+                            quantize_delta(&p.quantizer, &model, &mut client_w[c], &mut qrng);
+                            if let Some(cp) = cp_out.as_mut() {
+                                quantize_delta(&p.quantizer, &model, cp, &mut qrng);
+                            }
+                        }
+                        client_cp[c] = cp_out;
+                    }
+                    // Edge-side aggregation over survivors, in slot order
+                    // (the bit-exact fold order of DESIGN.md §7). With no
+                    // survivors the edge keeps its block-start model (and
+                    // captures no checkpoint).
+                    let survivors = vecops::average_present_into(
+                        &client_w,
+                        |w| (!w.is_empty()).then_some(w.as_slice()),
+                        &mut model,
+                    );
+                    if survivors == 0 {
+                        continue;
+                    }
+                    if is_cp_block {
+                        let mut cp = vec![0.0_f32; model.len()];
+                        let got =
+                            vecops::average_present_into(&client_cp, Option::as_deref, &mut cp);
+                        assert_eq!(got, survivors, "checkpoint block must return checkpoints");
+                        checkpoint = Some(cp);
+                    }
+                }
+                (model, checkpoint)
+            })
+        })
+    };
+
+    replay_events(p, &schedule);
+
+    p.edges
+        .iter()
+        .zip(outputs)
+        .map(|(&edge, (w_final, checkpoint))| finish_edge(p, edge, w_final, checkpoint))
+        .collect()
+}
+
+/// Checkpoint fallback shared by both engines: if every client of an edge
+/// dropped during the checkpoint block, fall back to the edge's final
+/// model so Phase 2 still has an estimate to evaluate (slightly biased,
+/// but only in a failure corner the paper's protocol does not define).
+fn finish_edge(
+    p: &EdgeBlockParams<'_>,
+    edge: usize,
+    w_final: Vec<f32>,
+    checkpoint: Option<Vec<f32>>,
+) -> EdgeBlockOutput {
+    let checkpoint = match (checkpoint, p.checkpoint) {
+        (None, Some(_)) => Some(w_final.clone()),
+        (cp, _) => cp,
+    };
+    EdgeBlockOutput {
+        edge,
+        w_final,
+        checkpoint,
+    }
+}
+
+/// The barrier engine: the pre-chain scheduler, frozen as the reference
+/// implementation the chained engine is benchmarked and cross-checked
+/// against. One global fork/join per block, per-call training scratch
+/// ([`local_sgd_fresh`]), per-block result and survivor vectors.
+fn run_edge_blocks_barrier(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
     let n0 = p.problem.clients_per_edge();
     let d = p.problem.num_params() as u64;
     let topo = p.problem.topology();
@@ -89,10 +401,6 @@ pub(crate) fn run_edge_blocks(p: EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
         let is_cp_block = p.checkpoint.map(|(_, c2)| c2 == t2).unwrap_or(false);
         let cp_after = p.checkpoint.and_then(|(c1, c2)| (c2 == t2).then_some(c1));
         let block_tag = (p.round * p.tau2 + t2) as u64;
-        // Which clients survive this block (keyed streams, so deterministic
-        // and independent of execution order): a client is cut by a crash
-        // or by straggling past the deadline; an in-deadline straggler
-        // contributes but stretches the block's shared sync window.
         let mut max_slow = 1.0_f64;
         let alive: Vec<bool> = (0..p.edges.len() * n0)
             .map(|slot| {
@@ -112,8 +420,6 @@ pub(crate) fn run_edge_blocks(p: EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
             })
             .collect();
         if max_slow > 1.0 {
-            // The synchronous block waits for its slowest in-deadline
-            // straggler: τ1 nominal slots stretch by the slowdown factor.
             p.fault
                 .add_straggler_slots((max_slow - 1.0) * p.tau1 as f64);
         }
@@ -121,14 +427,15 @@ pub(crate) fn run_edge_blocks(p: EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
         p.meter
             .record_broadcast(Link::ClientEdge, d, (p.edges.len() * n0) as u64);
 
-        // All (edge, client) pairs run τ1 local steps concurrently.
+        // All (edge, client) pairs run τ1 local steps concurrently, with a
+        // full join before the edge aggregations.
         let tasks: Vec<(usize, usize)> = (0..p.edges.len())
             .flat_map(|ei| (0..n0).map(move |c| (ei, c)))
             .filter(|&(ei, c)| alive[ei * n0 + c])
             .collect();
         let results_alive: Vec<ClientBlockResult> = {
             let edge_models = &edge_models;
-            p.par.map(tasks.clone(), |(ei, c)| {
+            p.par.map_ref(&tasks, |&(ei, c)| {
                 let edge = p.edges[ei];
                 let client = topo.client_id(edge, c);
                 let mut rng = StreamRng::for_key(StreamKey::new(
@@ -137,7 +444,7 @@ pub(crate) fn run_edge_blocks(p: EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
                     (p.round * p.tau2 + t2) as u64,
                     client as u64,
                 ));
-                let (mut w_out, mut cp_out) = local_sgd(
+                let (mut w_out, mut cp_out) = local_sgd_fresh(
                     &*p.problem.model,
                     p.problem.client_data(edge, c),
                     &edge_models[ei],
@@ -148,10 +455,6 @@ pub(crate) fn run_edge_blocks(p: EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
                     &mut rng,
                     cp_after,
                 );
-                // Uplink codec: quantize the *update delta* against the
-                // block-start model the edge already holds (as in
-                // Hier-Local-QSGD — deltas are small, so coarse grids stay
-                // accurate), then reconstruct the model the edge decodes.
                 if p.quantizer != Quantizer::Exact {
                     let mut qrng = StreamRng::for_key(StreamKey::new(
                         p.seed,
@@ -241,21 +544,7 @@ pub(crate) fn run_edge_blocks(p: EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
         .iter()
         .zip(edge_models)
         .zip(edge_checkpoints)
-        .map(|((&edge, w_final), checkpoint)| {
-            // If every client of this edge dropped during the checkpoint
-            // block, fall back to the edge's final model so Phase 2 still
-            // has an estimate to evaluate (slightly biased, but only in a
-            // failure corner the paper's protocol does not define).
-            let checkpoint = match (checkpoint, p.checkpoint) {
-                (None, Some(_)) => Some(w_final.clone()),
-                (cp, _) => cp,
-            };
-            EdgeBlockOutput {
-                edge,
-                w_final,
-                checkpoint,
-            }
-        })
+        .map(|((&edge, w_final), checkpoint)| finish_edge(p, edge, w_final, checkpoint))
         .collect()
 }
 
@@ -300,6 +589,7 @@ pub(crate) fn multiplicities(sampled: &[usize]) -> (Vec<usize>, Vec<usize>) {
 mod tests {
     use super::*;
     use hm_data::scenarios::tiny_problem;
+    use hm_simnet::FaultPlan;
 
     fn meter_and_trace() -> (CommMeter, Trace) {
         (CommMeter::new(), Trace::enabled())
@@ -337,6 +627,7 @@ mod tests {
             seed: 42,
             meter: &meter,
             par: Parallelism::Sequential,
+            engine: ExecEngine::Chained,
             trace: &trace,
             telemetry: &Telemetry::disabled(),
         });
@@ -392,46 +683,101 @@ mod tests {
             seed: 7,
             meter: &meter,
             par: Parallelism::Sequential,
+            engine: ExecEngine::Chained,
             trace: &trace,
             telemetry: &Telemetry::disabled(),
         });
         assert_eq!(out[0].checkpoint.as_deref(), Some(w0.as_slice()));
     }
 
+    /// Run the same round under a given engine/parallelism pair, returning
+    /// outputs plus the observables both engines must agree on.
+    fn run_one(
+        fp: &FederatedProblem,
+        fault: FaultPlan,
+        engine: ExecEngine,
+        par: Parallelism,
+        quantizer: Quantizer,
+    ) -> (Vec<EdgeBlockOutput>, hm_simnet::CommStats, Vec<Event>) {
+        let meter = CommMeter::new();
+        let trace = Trace::enabled();
+        let fi = FaultInjector::new(11, fault);
+        let out = run_edge_blocks(EdgeBlockParams {
+            problem: fp,
+            w_start: &vec![0.0; fp.num_params()],
+            edges: &[0, 1, 2],
+            tau1: 2,
+            tau2: 3,
+            eta_w: 0.1,
+            batch_size: 2,
+            checkpoint: Some((1, 1)),
+            quantizer,
+            fault: &fi,
+            level: 0,
+            record_rounds: true,
+            round: 3,
+            seed: 11,
+            meter: &meter,
+            par,
+            engine,
+            trace: &trace,
+            telemetry: &Telemetry::disabled(),
+        });
+        (out, meter.snapshot(), trace.events())
+    }
+
     #[test]
     fn parallel_and_sequential_agree() {
         let sc = tiny_problem(3, 3, 9);
         let fp = FederatedProblem::logistic_from_scenario(&sc);
-        let run = |par: Parallelism| {
-            let meter = CommMeter::new();
-            let trace = Trace::disabled();
-            let fi = FaultInjector::none(11);
-            run_edge_blocks(EdgeBlockParams {
-                problem: &fp,
-                w_start: &vec![0.0; fp.num_params()],
-                edges: &[0, 1, 2],
-                tau1: 2,
-                tau2: 2,
-                eta_w: 0.1,
-                batch_size: 2,
-                checkpoint: Some((1, 0)),
-                quantizer: Quantizer::Exact,
-                fault: &fi,
-                level: 0,
-                record_rounds: true,
-                round: 3,
-                seed: 11,
-                meter: &meter,
-                par,
-                trace: &trace,
-                telemetry: &Telemetry::disabled(),
-            })
-        };
-        let a = run(Parallelism::Sequential);
-        let b = run(Parallelism::Rayon);
-        for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.w_final, y.w_final);
-            assert_eq!(x.checkpoint, y.checkpoint);
+        for engine in [ExecEngine::Chained, ExecEngine::Barrier] {
+            let (a, am, ae) = run_one(
+                &fp,
+                FaultPlan::default(),
+                engine,
+                Parallelism::Sequential,
+                Quantizer::Exact,
+            );
+            let (b, bm, be) = run_one(
+                &fp,
+                FaultPlan::default(),
+                engine,
+                Parallelism::Rayon,
+                Quantizer::Exact,
+            );
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.w_final, y.w_final);
+                assert_eq!(x.checkpoint, y.checkpoint);
+            }
+            assert_eq!(am, bm);
+            assert_eq!(ae, be);
+        }
+    }
+
+    #[test]
+    fn chained_and_barrier_engines_are_bit_identical() {
+        // The tentpole invariant at the unit level: identical models,
+        // checkpoints, meter totals, and trace event *order* across
+        // engines, under faults and quantization too.
+        let sc = tiny_problem(3, 3, 9);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let chaotic = FaultPlan::preset("chaos").unwrap();
+        for (fault, quantizer) in [
+            (FaultPlan::default(), Quantizer::Exact),
+            (chaotic.clone(), Quantizer::Exact),
+            (chaotic, Quantizer::Stochastic { bits: 4 }),
+        ] {
+            for par in [Parallelism::Sequential, Parallelism::Rayon] {
+                let (a, am, ae) = run_one(&fp, fault.clone(), ExecEngine::Chained, par, quantizer);
+                let (b, bm, be) = run_one(&fp, fault.clone(), ExecEngine::Barrier, par, quantizer);
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.edge, y.edge);
+                    assert_eq!(x.w_final, y.w_final);
+                    assert_eq!(x.checkpoint, y.checkpoint);
+                }
+                assert_eq!(am, bm, "meter totals diverged");
+                assert_eq!(ae, be, "trace event order diverged");
+            }
         }
     }
 }

@@ -155,17 +155,21 @@ impl Algorithm for HierFavg {
                 recipients: active.clone(),
             });
             let mut participants: Vec<usize> = Vec::with_capacity(active.len());
+            let mut retries = 0u64;
             for &e in &active {
                 let dv = fault.deliver(k as u64, 0, MsgChannel::Phase1Down, e);
-                if dv.attempts > 1 {
-                    meter.record_broadcast(Link::EdgeCloud, d as u64, u64::from(dv.attempts - 1));
-                }
+                retries += u64::from(dv.attempts - 1);
                 if let Some(kind) = delivery_fault_kind(dv.delivered, dv.attempts) {
                     record_edge_fault(&trace, tel, k, 0, e, kind, dv.attempts as usize);
                 }
                 if dv.delivered {
                     participants.push(e);
                 }
+            }
+            // Retried downlinks, metered once for the whole loop (every
+            // retry carries the same payload, so the totals are exact).
+            if retries > 0 {
+                meter.record_broadcast(Link::EdgeCloud, d as u64, retries);
             }
 
             let outputs = run_edge_blocks(EdgeBlockParams {
@@ -185,6 +189,7 @@ impl Algorithm for HierFavg {
                 seed,
                 meter: &meter,
                 par: cfg.opts.parallelism,
+                engine: cfg.opts.engine,
                 trace: &trace,
                 telemetry: tel,
             });
@@ -213,17 +218,19 @@ impl Algorithm for HierFavg {
             // join the aggregation.
             let wire_up = cfg.quantizer.wire_floats(d);
             let mut reported: Vec<usize> = Vec::with_capacity(outputs.len());
+            let mut retries = 0u64;
             for (i, o) in outputs.iter().enumerate() {
                 let dv = fault.deliver(k as u64, 0, MsgChannel::Phase1Up, o.edge);
-                if dv.attempts > 1 {
-                    meter.record_gather(Link::EdgeCloud, wire_up, u64::from(dv.attempts - 1));
-                }
+                retries += u64::from(dv.attempts - 1);
                 if let Some(kind) = delivery_fault_kind(dv.delivered, dv.attempts) {
                     record_edge_fault(&trace, tel, k, 0, o.edge, kind, dv.attempts as usize);
                 }
                 if dv.delivered {
                     reported.push(i);
                 }
+            }
+            if retries > 0 {
+                meter.record_gather(Link::EdgeCloud, wire_up, retries);
             }
             meter.record_gather(Link::EdgeCloud, wire_up, outputs.len() as u64);
             meter.record_round(Link::EdgeCloud);

@@ -277,15 +277,10 @@ impl Algorithm for HierMinimax {
             // the round out.
             let mut participants: Vec<usize> = Vec::with_capacity(active.len());
             let mut part_counts: Vec<usize> = Vec::with_capacity(active.len());
+            let mut retries = 0u64;
             for (&e, &c) in active.iter().zip(&active_counts) {
                 let dv = fault.deliver(k as u64, 0, MsgChannel::Phase1Down, e);
-                if dv.attempts > 1 {
-                    meter.record_broadcast(
-                        Link::EdgeCloud,
-                        d as u64 + 2,
-                        u64::from(dv.attempts - 1),
-                    );
-                }
+                retries += u64::from(dv.attempts - 1);
                 if let Some(kind) = delivery_fault_kind(dv.delivered, dv.attempts) {
                     record_edge_fault(&trace, tel, k, 0, e, kind, dv.attempts as usize);
                 }
@@ -293,6 +288,11 @@ impl Algorithm for HierMinimax {
                     participants.push(e);
                     part_counts.push(c);
                 }
+            }
+            // Retried downlinks, metered once for the whole loop (every
+            // retry carries the same payload, so the totals are exact).
+            if retries > 0 {
+                meter.record_broadcast(Link::EdgeCloud, d as u64 + 2, retries);
             }
 
             // Round-start model, kept for the RoundStart ablation variant.
@@ -320,6 +320,7 @@ impl Algorithm for HierMinimax {
                     seed,
                     meter: &meter,
                     par: cfg.opts.parallelism,
+                    engine: cfg.opts.engine,
                     trace: &trace,
                     telemetry: tel,
                 }),
@@ -357,6 +358,7 @@ impl Algorithm for HierMinimax {
                             seed,
                             meter: &meter,
                             par: cfg.opts.parallelism,
+                            engine: cfg.opts.engine,
                             trace: &trace,
                             telemetry: tel,
                         });
@@ -408,17 +410,19 @@ impl Algorithm for HierMinimax {
             // retries here); only delivered reports reach the aggregation.
             let wire_up = 2 * cfg.quantizer.wire_floats(d);
             let mut reported: Vec<usize> = Vec::with_capacity(outputs.len());
+            let mut retries = 0u64;
             for (i, o) in outputs.iter().enumerate() {
                 let dv = fault.deliver(k as u64, 0, MsgChannel::Phase1Up, o.edge);
-                if dv.attempts > 1 {
-                    meter.record_gather(Link::EdgeCloud, wire_up, u64::from(dv.attempts - 1));
-                }
+                retries += u64::from(dv.attempts - 1);
                 if let Some(kind) = delivery_fault_kind(dv.delivered, dv.attempts) {
                     record_edge_fault(&trace, tel, k, 0, o.edge, kind, dv.attempts as usize);
                 }
                 if dv.delivered {
                     reported.push(i);
                 }
+            }
+            if retries > 0 {
+                meter.record_gather(Link::EdgeCloud, wire_up, retries);
             }
             meter.record_gather(Link::EdgeCloud, wire_up, outputs.len() as u64);
             meter.record_round(Link::EdgeCloud);
@@ -499,11 +503,10 @@ impl Algorithm for HierMinimax {
             }
             meter.record_broadcast(Link::EdgeCloud, d as u64, live.len() as u64);
             let mut est: Vec<usize> = Vec::with_capacity(live.len());
+            let mut retries = 0u64;
             for &e in &live {
                 let dv = fault.deliver(k as u64, 0, MsgChannel::Phase2Down, e);
-                if dv.attempts > 1 {
-                    meter.record_broadcast(Link::EdgeCloud, d as u64, u64::from(dv.attempts - 1));
-                }
+                retries += u64::from(dv.attempts - 1);
                 if let Some(kind) = delivery_fault_kind(dv.delivered, dv.attempts) {
                     record_edge_fault(&trace, tel, k, 0, e, kind, dv.attempts as usize);
                 }
@@ -511,11 +514,14 @@ impl Algorithm for HierMinimax {
                     est.push(e);
                 }
             }
+            if retries > 0 {
+                meter.record_broadcast(Link::EdgeCloud, d as u64, retries);
+            }
             meter.record_broadcast(Link::ClientEdge, d as u64, (est.len() * n0) as u64);
 
             let topo = problem.topology();
             let model = &problem.model;
-            let edge_losses: Vec<f64> = cfg.opts.parallelism.map(est.clone(), |e| {
+            let edge_losses: Vec<f64> = cfg.opts.parallelism.map_ref(&est, |&e| {
                 // f_e = (1/N_0) Σ_n f_n(checkpoint; ξ_n).
                 let mut total = 0.0_f64;
                 for c in 0..n0 {

@@ -47,7 +47,7 @@ use crate::history::History;
 use crate::metrics::evaluate;
 use crate::problem::FederatedProblem;
 use hm_simnet::trace::Trace;
-use hm_simnet::{CommStats, FaultPlan, FaultStats, Parallelism};
+use hm_simnet::{CommStats, ExecEngine, FaultPlan, FaultStats, Parallelism};
 use hm_telemetry::{Telemetry, TelemetryEvent};
 
 mod afl;
@@ -77,6 +77,14 @@ pub struct RunOpts {
     /// plan's `client_crash` (the plan wins when both are set); flat
     /// two-layer baselines ignore the plan.
     pub fault: FaultPlan,
+    /// Round scheduling engine for the hierarchical algorithms (see
+    /// `hm_simnet::ExecEngine` and DESIGN.md §7). [`ExecEngine::Chained`]
+    /// (the default) runs each edge's `τ2` blocks as one task chain;
+    /// [`ExecEngine::Barrier`] is the pre-chain per-block fork/join
+    /// scheduler, kept as the benchmarking baseline. Both are bit-identical
+    /// (asserted by `tests/determinism.rs`). Flat baselines, which have no
+    /// block structure, ignore this.
+    pub engine: ExecEngine,
 }
 
 impl Default for RunOpts {
@@ -87,6 +95,7 @@ impl Default for RunOpts {
             trace: false,
             telemetry: Telemetry::disabled(),
             fault: FaultPlan::default(),
+            engine: ExecEngine::default(),
         }
     }
 }

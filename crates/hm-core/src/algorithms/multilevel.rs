@@ -182,6 +182,7 @@ impl MultiLevelMinimax {
                 seed,
                 meter,
                 par: cfg.opts.parallelism,
+                engine: cfg.opts.engine,
                 trace,
                 telemetry: &cfg.opts.telemetry,
             });
@@ -362,15 +363,10 @@ impl Algorithm for MultiLevelMinimax {
             });
             let mut participants: Vec<usize> = Vec::with_capacity(active.len());
             let mut part_counts: Vec<usize> = Vec::with_capacity(active.len());
+            let mut retries = 0u64;
             for (&g, &c) in active.iter().zip(&active_counts) {
                 let dv = fault.deliver(k as u64, 0, MsgChannel::Phase1Down, g);
-                if dv.attempts > 1 {
-                    meter.record_broadcast(
-                        Link::EdgeCloud,
-                        payload_down,
-                        u64::from(dv.attempts - 1),
-                    );
-                }
+                retries += u64::from(dv.attempts - 1);
                 if let Some(kind) = delivery_fault_kind(dv.delivered, dv.attempts) {
                     record_edge_fault(&trace, tel, k, 0, g, kind, dv.attempts as usize);
                 }
@@ -378,6 +374,11 @@ impl Algorithm for MultiLevelMinimax {
                     participants.push(g);
                     part_counts.push(c);
                 }
+            }
+            // Retried downlinks, metered once for the whole loop (every
+            // retry carries the same payload, so the totals are exact).
+            if retries > 0 {
+                meter.record_broadcast(Link::EdgeCloud, payload_down, retries);
             }
             let results: Vec<(Vec<f32>, Option<Vec<f32>>)> = participants
                 .iter()
@@ -399,17 +400,19 @@ impl Algorithm for MultiLevelMinimax {
             // Uplink deliveries: every attempt transmits (first attempts
             // in the base gather, retries here).
             let mut reported: Vec<usize> = Vec::with_capacity(participants.len());
+            let mut retries = 0u64;
             for (i, &g) in participants.iter().enumerate() {
                 let dv = fault.deliver(k as u64, 0, MsgChannel::Phase1Up, g);
-                if dv.attempts > 1 {
-                    meter.record_gather(Link::EdgeCloud, 2 * d as u64, u64::from(dv.attempts - 1));
-                }
+                retries += u64::from(dv.attempts - 1);
                 if let Some(kind) = delivery_fault_kind(dv.delivered, dv.attempts) {
                     record_edge_fault(&trace, tel, k, 0, g, kind, dv.attempts as usize);
                 }
                 if dv.delivered {
                     reported.push(i);
                 }
+            }
+            if retries > 0 {
+                meter.record_gather(Link::EdgeCloud, 2 * d as u64, retries);
             }
             meter.record_gather(Link::EdgeCloud, 2 * d as u64, participants.len() as u64);
             meter.record_round(Link::EdgeCloud);
@@ -474,11 +477,10 @@ impl Algorithm for MultiLevelMinimax {
                 .collect();
             meter.record_broadcast(Link::EdgeCloud, d as u64, live.len() as u64);
             let mut est: Vec<usize> = Vec::with_capacity(live.len());
+            let mut retries = 0u64;
             for &g in &live {
                 let dv = fault.deliver(k as u64, 0, MsgChannel::Phase2Down, g);
-                if dv.attempts > 1 {
-                    meter.record_broadcast(Link::EdgeCloud, d as u64, u64::from(dv.attempts - 1));
-                }
+                retries += u64::from(dv.attempts - 1);
                 if let Some(kind) = delivery_fault_kind(dv.delivered, dv.attempts) {
                     record_edge_fault(&trace, tel, k, 0, g, kind, dv.attempts as usize);
                 }
@@ -486,13 +488,16 @@ impl Algorithm for MultiLevelMinimax {
                     est.push(g);
                 }
             }
+            if retries > 0 {
+                meter.record_broadcast(Link::EdgeCloud, d as u64, retries);
+            }
             meter.record_broadcast(
                 Link::ClientEdge,
                 d as u64,
                 (est.len() * per_group * n0) as u64,
             );
             let topo = problem.topology();
-            let group_losses: Vec<f64> = cfg.opts.parallelism.map(est.clone(), |g| {
+            let group_losses: Vec<f64> = cfg.opts.parallelism.map_ref(&est, |&g| {
                 let mut total = 0.0_f64;
                 for &e in &group_edges[g] {
                     for c in 0..n0 {

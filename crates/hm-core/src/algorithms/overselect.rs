@@ -175,15 +175,10 @@ impl OverselectMinimax {
             meter.record_broadcast(Link::EdgeCloud, d as u64 + 2, active.len() as u64);
             let mut participants: Vec<usize> = Vec::with_capacity(active.len());
             let mut part_counts: Vec<usize> = Vec::with_capacity(active.len());
+            let mut retries = 0u64;
             for (&e, &c) in active.iter().zip(&active_counts) {
                 let dv = fault.deliver(k as u64, 0, MsgChannel::Phase1Down, e);
-                if dv.attempts > 1 {
-                    meter.record_broadcast(
-                        Link::EdgeCloud,
-                        d as u64 + 2,
-                        u64::from(dv.attempts - 1),
-                    );
-                }
+                retries += u64::from(dv.attempts - 1);
                 if let Some(kind) = delivery_fault_kind(dv.delivered, dv.attempts) {
                     record_edge_fault(&trace, tel, k, 0, e, kind, dv.attempts as usize);
                 }
@@ -191,6 +186,11 @@ impl OverselectMinimax {
                     participants.push(e);
                     part_counts.push(c);
                 }
+            }
+            // Retried downlinks, metered once for the whole loop (every
+            // retry carries the same payload, so the totals are exact).
+            if retries > 0 {
+                meter.record_broadcast(Link::EdgeCloud, d as u64 + 2, retries);
             }
 
             let outputs = run_edge_blocks(EdgeBlockParams {
@@ -210,21 +210,24 @@ impl OverselectMinimax {
                 seed,
                 meter: &meter,
                 par: cfg.opts.parallelism,
+                engine: cfg.opts.engine,
                 trace: &trace,
                 telemetry: &cfg.opts.telemetry,
             });
             let mut reported: Vec<usize> = Vec::with_capacity(participants.len());
+            let mut retries = 0u64;
             for (i, &e) in participants.iter().enumerate() {
                 let dv = fault.deliver(k as u64, 0, MsgChannel::Phase1Up, e);
-                if dv.attempts > 1 {
-                    meter.record_gather(Link::EdgeCloud, 2 * d as u64, u64::from(dv.attempts - 1));
-                }
+                retries += u64::from(dv.attempts - 1);
                 if let Some(kind) = delivery_fault_kind(dv.delivered, dv.attempts) {
                     record_edge_fault(&trace, tel, k, 0, e, kind, dv.attempts as usize);
                 }
                 if dv.delivered {
                     reported.push(i);
                 }
+            }
+            if retries > 0 {
+                meter.record_gather(Link::EdgeCloud, 2 * d as u64, retries);
             }
             meter.record_gather(Link::EdgeCloud, 2 * d as u64, participants.len() as u64);
             meter.record_round(Link::EdgeCloud);
@@ -282,11 +285,10 @@ impl OverselectMinimax {
                 .collect();
             meter.record_broadcast(Link::EdgeCloud, d as u64, live.len() as u64);
             let mut est: Vec<usize> = Vec::with_capacity(live.len());
+            let mut retries = 0u64;
             for &e in &live {
                 let dv = fault.deliver(k as u64, 0, MsgChannel::Phase2Down, e);
-                if dv.attempts > 1 {
-                    meter.record_broadcast(Link::EdgeCloud, d as u64, u64::from(dv.attempts - 1));
-                }
+                retries += u64::from(dv.attempts - 1);
                 if let Some(kind) = delivery_fault_kind(dv.delivered, dv.attempts) {
                     record_edge_fault(&trace, tel, k, 0, e, kind, dv.attempts as usize);
                 }
@@ -294,9 +296,12 @@ impl OverselectMinimax {
                     est.push(e);
                 }
             }
+            if retries > 0 {
+                meter.record_broadcast(Link::EdgeCloud, d as u64, retries);
+            }
             meter.record_broadcast(Link::ClientEdge, d as u64, (est.len() * n0) as u64);
             let topo = problem.topology();
-            let losses: Vec<f64> = cfg.opts.parallelism.map(est.clone(), |e| {
+            let losses: Vec<f64> = cfg.opts.parallelism.map_ref(&est, |&e| {
                 let mut total = 0.0_f64;
                 for c in 0..n0 {
                     let client = topo.client_id(e, c);

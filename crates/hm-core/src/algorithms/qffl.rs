@@ -141,7 +141,7 @@ impl Algorithm for QFedAvg {
                 None,
             );
             // Each client also reports its loss F_k at the broadcast model.
-            let losses: Vec<f64> = cfg.opts.parallelism.map(sampled.clone(), |c| {
+            let losses: Vec<f64> = cfg.opts.parallelism.map_ref(&sampled, |&c| {
                 let mut rng = StreamRng::for_key(StreamKey::new(
                     seed,
                     Purpose::LossEstSampling,

@@ -103,6 +103,7 @@ pub fn duality_gap(
     let mut w = w_hat.to_vec();
     let mut grad = vec![0.0_f32; d];
     let mut weighted_grad = vec![0.0_f32; d];
+    let mut ws = hm_nn::Workspace::new();
     let mut best = f64::INFINITY;
     for _ in 0..cfg.gd_iters {
         weighted_grad.iter_mut().for_each(|g| *g = 0.0);
@@ -112,7 +113,7 @@ pub fn duality_gap(
             if pe == 0.0 {
                 continue;
             }
-            let loss = model.loss_grad(&w, data, &mut grad);
+            let loss = model.loss_grad_ws(&w, data, &mut grad, &mut ws);
             obj += pe * loss;
             vecops::axpy(pe as f32, &grad, &mut weighted_grad);
         }

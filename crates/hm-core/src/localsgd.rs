@@ -1,17 +1,58 @@
 //! Client-side local SGD (eq. 4) with optional checkpoint snapshot.
 //!
 //! All scratch memory (gradient buffer, mini-batch gather, model workspace)
-//! is allocated once per call and reused across the `steps` iterations, so
-//! the steady-state step loop performs no heap allocation.
+//! comes from the thread-local [`hm_nn::pool`], so across the thousands of
+//! client-blocks a worker thread runs per experiment, the steady-state step
+//! loop performs no heap allocation at all — not even at call boundaries.
+//! The pooled and fresh-scratch paths are bit-identical (every buffer is
+//! overwrite-on-use); [`local_sgd_fresh`] keeps the allocate-per-call
+//! behaviour available as the measurement baseline for the `roundtime`
+//! bench's barrier engine.
 
-use hm_data::batch::{sample_batch_into, BatchScratch};
+use hm_data::batch::sample_batch_into;
 use hm_data::{Dataset, StreamRng};
-use hm_nn::{Model, Workspace};
+use hm_nn::{with_scratch, Model, TrainScratch};
 use hm_optim::sgd::projected_sgd_step;
 use hm_optim::ProjectionOp;
 
+/// The step loop shared by every entry point: `w` arrives holding the start
+/// iterate and leaves holding the final one; scratch buffers are resized in
+/// place. Returns the checkpoint copy, if one was requested.
+#[allow(clippy::too_many_arguments)]
+fn local_sgd_core(
+    model: &dyn Model,
+    data: &Dataset,
+    w: &mut [f32],
+    steps: usize,
+    lr: f32,
+    batch_size: usize,
+    proj: &ProjectionOp,
+    rng: &mut StreamRng,
+    checkpoint_after: Option<usize>,
+    scratch: &mut TrainScratch,
+) -> Option<Vec<f32>> {
+    if let Some(c) = checkpoint_after {
+        assert!(c <= steps, "checkpoint step {c} beyond {steps} steps");
+    }
+    scratch.grad.resize(model.num_params(), 0.0);
+    let mut checkpoint = match checkpoint_after {
+        Some(0) => Some(w.to_vec()),
+        _ => None,
+    };
+    for step in 0..steps {
+        sample_batch_into(data, batch_size, rng, &mut scratch.batch);
+        model.loss_grad_ws(w, &scratch.batch.batch, &mut scratch.grad, &mut scratch.ws);
+        projected_sgd_step(w, &scratch.grad, lr, proj);
+        if checkpoint_after == Some(step + 1) {
+            checkpoint = Some(w.to_vec());
+        }
+    }
+    checkpoint
+}
+
 /// Run `steps` projected-SGD steps from `w0` on a client's local data,
-/// drawing one mini-batch per step from `rng`.
+/// drawing one mini-batch per step from `rng`. Scratch comes from the
+/// thread-local pool.
 ///
 /// When `checkpoint_after = Some(c)`, also returns a copy of the iterate
 /// after exactly `c` steps (`c = 0` returns `w0` projected state, i.e. the
@@ -32,26 +73,89 @@ pub fn local_sgd(
     rng: &mut StreamRng,
     checkpoint_after: Option<usize>,
 ) -> (Vec<f32>, Option<Vec<f32>>) {
-    if let Some(c) = checkpoint_after {
-        assert!(c <= steps, "checkpoint step {c} beyond {steps} steps");
-    }
+    with_scratch(|scratch| {
+        let mut w = w0.to_vec();
+        let cp = local_sgd_core(
+            model,
+            data,
+            &mut w,
+            steps,
+            lr,
+            batch_size,
+            proj,
+            rng,
+            checkpoint_after,
+            scratch,
+        );
+        (w, cp)
+    })
+}
+
+/// [`local_sgd`] writing the final iterate into a caller-owned buffer with
+/// caller-owned scratch — the chained engine's slot-reuse entry point: one
+/// `w` buffer and one [`TrainScratch`] per (chain, client slot) serve every
+/// block of the round with zero allocation.
+#[allow(clippy::too_many_arguments)]
+pub fn local_sgd_into(
+    model: &dyn Model,
+    data: &Dataset,
+    w0: &[f32],
+    w: &mut Vec<f32>,
+    steps: usize,
+    lr: f32,
+    batch_size: usize,
+    proj: &ProjectionOp,
+    rng: &mut StreamRng,
+    checkpoint_after: Option<usize>,
+    scratch: &mut TrainScratch,
+) -> Option<Vec<f32>> {
+    w.clear();
+    w.extend_from_slice(w0);
+    local_sgd_core(
+        model,
+        data,
+        w,
+        steps,
+        lr,
+        batch_size,
+        proj,
+        rng,
+        checkpoint_after,
+        scratch,
+    )
+}
+
+/// [`local_sgd`] with freshly allocated scratch on every call — the pre-pool
+/// allocation profile, kept so the barrier reference engine measures what
+/// the system actually cost before chaining and pooling landed. Results are
+/// bit-identical to [`local_sgd`].
+#[allow(clippy::too_many_arguments)]
+pub fn local_sgd_fresh(
+    model: &dyn Model,
+    data: &Dataset,
+    w0: &[f32],
+    steps: usize,
+    lr: f32,
+    batch_size: usize,
+    proj: &ProjectionOp,
+    rng: &mut StreamRng,
+    checkpoint_after: Option<usize>,
+) -> (Vec<f32>, Option<Vec<f32>>) {
+    let mut scratch = TrainScratch::default();
     let mut w = w0.to_vec();
-    let mut grad = vec![0.0_f32; model.num_params()];
-    let mut scratch = BatchScratch::new();
-    let mut ws = Workspace::new();
-    let mut checkpoint = match checkpoint_after {
-        Some(0) => Some(w.clone()),
-        _ => None,
-    };
-    for step in 0..steps {
-        sample_batch_into(data, batch_size, rng, &mut scratch);
-        model.loss_grad_ws(&w, &scratch.batch, &mut grad, &mut ws);
-        projected_sgd_step(&mut w, &grad, lr, proj);
-        if checkpoint_after == Some(step + 1) {
-            checkpoint = Some(w.clone());
-        }
-    }
-    (w, checkpoint)
+    let cp = local_sgd_core(
+        model,
+        data,
+        &mut w,
+        steps,
+        lr,
+        batch_size,
+        proj,
+        rng,
+        checkpoint_after,
+        &mut scratch,
+    );
+    (w, cp)
 }
 
 /// Proximal local SGD (FedProx, Li et al., MLSys 2020): each step adds the
@@ -71,21 +175,21 @@ pub fn local_sgd_prox(
     rng: &mut StreamRng,
 ) -> Vec<f32> {
     assert!(mu >= 0.0 && mu.is_finite(), "mu must be non-negative");
-    let mut w = w0.to_vec();
-    let mut grad = vec![0.0_f32; model.num_params()];
-    let mut scratch = BatchScratch::new();
-    let mut ws = Workspace::new();
-    for _ in 0..steps {
-        sample_batch_into(data, batch_size, rng, &mut scratch);
-        model.loss_grad_ws(&w, &scratch.batch, &mut grad, &mut ws);
-        if mu > 0.0 {
-            for ((g, &wi), &ai) in grad.iter_mut().zip(&w).zip(w0) {
-                *g += mu * (wi - ai);
+    with_scratch(|scratch| {
+        let mut w = w0.to_vec();
+        scratch.grad.resize(model.num_params(), 0.0);
+        for _ in 0..steps {
+            sample_batch_into(data, batch_size, rng, &mut scratch.batch);
+            model.loss_grad_ws(&w, &scratch.batch.batch, &mut scratch.grad, &mut scratch.ws);
+            if mu > 0.0 {
+                for ((g, &wi), &ai) in scratch.grad.iter_mut().zip(&w).zip(w0) {
+                    *g += mu * (wi - ai);
+                }
             }
+            projected_sgd_step(&mut w, &scratch.grad, lr, proj);
         }
-        projected_sgd_step(&mut w, &grad, lr, proj);
-    }
-    w
+        w
+    })
 }
 
 /// Estimate a client's local loss `f_n(w; ξ)` on one mini-batch — the
@@ -97,9 +201,10 @@ pub fn estimate_loss(
     batch_size: usize,
     rng: &mut StreamRng,
 ) -> f64 {
-    let mut scratch = BatchScratch::new();
-    sample_batch_into(data, batch_size, rng, &mut scratch);
-    model.loss(w, &scratch.batch)
+    with_scratch(|scratch| {
+        sample_batch_into(data, batch_size, rng, &mut scratch.batch);
+        model.loss(w, &scratch.batch.batch)
+    })
 }
 
 #[cfg(test)]
@@ -281,6 +386,69 @@ mod tests {
             tethered < free * 0.7,
             "prox term did not limit drift: {tethered} vs {free}"
         );
+    }
+
+    #[test]
+    fn pooled_into_and_fresh_paths_are_bit_identical() {
+        // The three entry points differ only in where scratch lives; the
+        // arithmetic must be the same to the bit. `local_sgd_into` is run
+        // with a dirty slot buffer and dirty scratch to mimic cross-block
+        // reuse inside a chain.
+        let (model, data) = toy();
+        let w0 = vec![0.05; model.num_params()];
+        let run_pooled = || {
+            let mut rng = StreamRng::new(8, Purpose::Batch, 3, 1);
+            local_sgd(
+                &model,
+                &data,
+                &w0,
+                7,
+                0.3,
+                3,
+                &ProjectionOp::Unconstrained,
+                &mut rng,
+                Some(4),
+            )
+        };
+        let (w_a, cp_a) = run_pooled();
+        let (w_b, cp_b) = run_pooled(); // second call reuses the pooled bundle
+        assert_eq!(w_a, w_b);
+        assert_eq!(cp_a, cp_b);
+
+        let mut rng = StreamRng::new(8, Purpose::Batch, 3, 1);
+        let (w_f, cp_f) = local_sgd_fresh(
+            &model,
+            &data,
+            &w0,
+            7,
+            0.3,
+            3,
+            &ProjectionOp::Unconstrained,
+            &mut rng,
+            Some(4),
+        );
+        assert_eq!(w_a, w_f);
+        assert_eq!(cp_a, cp_f);
+
+        let mut rng = StreamRng::new(8, Purpose::Batch, 3, 1);
+        let mut slot = vec![f32::NAN; 3]; // wrong size AND garbage contents
+        let mut scratch = hm_nn::TrainScratch::default();
+        scratch.grad.resize(99, f32::NAN);
+        let cp_i = local_sgd_into(
+            &model,
+            &data,
+            &w0,
+            &mut slot,
+            7,
+            0.3,
+            3,
+            &ProjectionOp::Unconstrained,
+            &mut rng,
+            Some(4),
+            &mut scratch,
+        );
+        assert_eq!(slot, w_a);
+        assert_eq!(cp_i, cp_a);
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub fn moreau_grad_norm(problem: &FederatedProblem, w: &[f32], cfg: &MoreauConfi
     let mut x = w.to_vec();
     let mut grad = vec![0.0_f32; d];
     let mut step = vec![0.0_f32; d];
+    let mut ws = hm_nn::Workspace::new();
     let inv_lambda = (1.0 / cfg.lambda) as f32;
     let mut best_obj = f64::INFINITY;
     let mut best_x = x.clone();
@@ -74,7 +75,7 @@ pub fn moreau_grad_norm(problem: &FederatedProblem, w: &[f32], cfg: &MoreauConfi
             best_obj = obj;
             best_x.copy_from_slice(&x);
         }
-        model.loss_grad(&x, &edge_data[e_star], &mut grad);
+        model.loss_grad_ws(&x, &edge_data[e_star], &mut grad, &mut ws);
         // step = ∇f_{e*}(x) + (x − w)/λ
         step.copy_from_slice(&grad);
         for ((s, &xi), &wi) in step.iter_mut().zip(&x).zip(w) {

@@ -23,10 +23,12 @@ pub mod logistic;
 pub mod losses;
 pub mod mlp;
 pub mod model;
+pub mod pool;
 pub mod workspace;
 
 pub use cnn::SimpleCnn;
 pub use logistic::MulticlassLogistic;
 pub use mlp::Mlp;
 pub use model::Model;
+pub use pool::{with_scratch, TrainScratch};
 pub use workspace::Workspace;

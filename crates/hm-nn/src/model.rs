@@ -28,9 +28,13 @@ pub trait Model: Send + Sync {
     /// Mean loss and its gradient. `grad` is overwritten (not accumulated)
     /// and must have length [`Model::num_params`].
     ///
-    /// Thin convenience wrapper: allocates a fresh [`Workspace`] per call.
-    /// Hot loops should hold a workspace and call
-    /// [`loss_grad_ws`](Self::loss_grad_ws) instead.
+    /// **Test/oracle use only.** This wrapper allocates a fresh
+    /// [`Workspace`] on every call, which is exactly the per-call cost the
+    /// training path exists to avoid. Production code holds scratch — via
+    /// [`crate::pool::with_scratch`] or a long-lived [`Workspace`] — and
+    /// calls [`loss_grad_ws`](Self::loss_grad_ws); the only in-tree callers
+    /// of this wrapper are tests, gradient checks, and the deliberately
+    /// naive reference oracle, where an extra allocation buys obviousness.
     fn loss_grad(&self, params: &[f32], batch: &Dataset, grad: &mut [f32]) -> f64 {
         let mut ws = Workspace::new();
         self.loss_grad_ws(params, batch, grad, &mut ws)

@@ -183,6 +183,14 @@ impl CommMeter {
         self.rounds[link.idx()].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record `n` synchronisation rounds at once — for callers that know
+    /// the round count in closed form (e.g. `τ2` aggregation blocks) and
+    /// want one atomic update instead of `n`. Equivalent to calling
+    /// [`CommMeter::record_round`] `n` times.
+    pub fn record_rounds(&self, link: Link, n: u64) {
+        self.rounds[link.idx()].fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Snapshot the counters.
     pub fn snapshot(&self) -> CommStats {
         let read = |a: &[AtomicU64; 3]| -> [u64; 3] {

@@ -37,7 +37,7 @@ pub mod topology;
 pub mod trace;
 
 pub use comm::{CommMeter, CommStats, Link};
-pub use executor::Parallelism;
+pub use executor::{ExecEngine, Parallelism};
 pub use fault::{
     Delivery, FaultInjector, FaultKind, FaultPlan, FaultStats, MsgChannel, StragglerFate,
     FAULT_PRESETS, NO_FAULTS,

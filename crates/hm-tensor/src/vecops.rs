@@ -90,44 +90,118 @@ pub fn mean(x: &[f32]) -> f64 {
     }
 }
 
+/// Accumulation chunk width for the averaging kernels: the f64 accumulator
+/// tile (4 KiB) plus one f32 source tile per pass stay resident in L1 while
+/// a source is streamed through, instead of re-touching every source's full
+/// cache footprint once per element.
+const AVG_CHUNK: usize = 512;
+
 /// Deterministic average of several equally-weighted parameter vectors.
 ///
 /// Accumulates in f64 in a fixed order, so the result is independent of how
 /// the sources were produced (e.g. in parallel by rayon workers). This is the
 /// model-aggregation primitive used at both the edge (client models) and the
 /// cloud (edge models).
+///
+/// Internally chunked: a stack tile of [`AVG_CHUNK`] f64 accumulators is
+/// zeroed, every source's chunk is added in source order, and the tile is
+/// divided out. Per element the fold order across sources is exactly the
+/// unchunked `for s in sources { acc += s[i] }`, so results are bit-identical
+/// to the straightforward loop while touching each source once per chunk
+/// instead of once per element.
 pub fn average_into(sources: &[&[f32]], out: &mut [f32]) {
     assert!(!sources.is_empty(), "average of zero vectors");
     let n = sources.len() as f64;
     for s in sources {
         assert_eq!(s.len(), out.len(), "average length mismatch");
     }
-    for (i, o) in out.iter_mut().enumerate() {
-        let mut acc = 0.0_f64;
+    let mut acc = [0.0_f64; AVG_CHUNK];
+    let mut start = 0;
+    while start < out.len() {
+        let len = AVG_CHUNK.min(out.len() - start);
+        acc[..len].fill(0.0);
         for s in sources {
-            acc += f64::from(s[i]);
+            for (a, &v) in acc[..len].iter_mut().zip(&s[start..start + len]) {
+                *a += f64::from(v);
+            }
         }
-        *o = (acc / n) as f32;
+        for (o, &a) in out[start..start + len].iter_mut().zip(&acc[..len]) {
+            *o = (a / n) as f32;
+        }
+        start += len;
     }
 }
 
 /// Weighted average `out[i] = Σ_j weights[j] * sources[j][i]`.
 ///
 /// Weights need not sum to one (callers normalise when they need a convex
-/// combination).
+/// combination). Chunked like [`average_into`], with the identical
+/// per-element fold order (source order) and hence bit-identical results.
 pub fn weighted_average_into(sources: &[&[f32]], weights: &[f64], out: &mut [f32]) {
     assert_eq!(sources.len(), weights.len(), "weights/sources mismatch");
     assert!(!sources.is_empty(), "weighted average of zero vectors");
     for s in sources {
         assert_eq!(s.len(), out.len(), "average length mismatch");
     }
-    for (i, o) in out.iter_mut().enumerate() {
-        let mut acc = 0.0_f64;
+    let mut acc = [0.0_f64; AVG_CHUNK];
+    let mut start = 0;
+    while start < out.len() {
+        let len = AVG_CHUNK.min(out.len() - start);
+        acc[..len].fill(0.0);
         for (s, &w) in sources.iter().zip(weights) {
-            acc += w * f64::from(s[i]);
+            for (a, &v) in acc[..len].iter_mut().zip(&s[start..start + len]) {
+                *a += w * f64::from(v);
+            }
         }
-        *o = acc as f32;
+        for (o, &a) in out[start..start + len].iter_mut().zip(&acc[..len]) {
+            *o = a as f32;
+        }
+        start += len;
     }
+}
+
+/// Fused fixed-shape average over the *present* entries of a slot array:
+/// `out = mean_{j : get(slots[j]) = Some(v_j)} v_j`, folding slots in index
+/// order. Returns the number of present entries.
+///
+/// This is the survivor-aggregation primitive of the round engine: client
+/// results live in fixed per-slot `Option`s (absent = crashed / missed
+/// deadline), and aggregation walks the slots directly instead of first
+/// compacting the survivors into a `Vec<&[f32]>`. The fold order equals the
+/// slot order, which equals the source order the compacting path fed to
+/// [`average_into`] — so the two are bit-identical.
+///
+/// `out` is untouched (and the count is 0) when no entry is present;
+/// callers keep the previous model in that case.
+pub fn average_present_into<S>(
+    slots: &[S],
+    get: impl Fn(&S) -> Option<&[f32]>,
+    out: &mut [f32],
+) -> usize {
+    let count = slots.iter().filter(|s| get(s).is_some()).count();
+    if count == 0 {
+        return 0;
+    }
+    let n = count as f64;
+    let mut acc = [0.0_f64; AVG_CHUNK];
+    let mut start = 0;
+    while start < out.len() {
+        let len = AVG_CHUNK.min(out.len() - start);
+        acc[..len].fill(0.0);
+        for s in slots {
+            if let Some(v) = get(s) {
+                assert_eq!(v.len(), out.len(), "average length mismatch");
+                for (a, &x) in acc[..len].iter_mut().zip(&v[start..start + len]) {
+                    *a += f64::from(x);
+                }
+            }
+        }
+        for (o, &a) in out[start..start + len].iter_mut().zip(&acc[..len]) {
+            *o = (a / n) as f32;
+        }
+        start += len;
+    }
+    count
 }
 
 /// Largest absolute element (0 for an empty slice).
@@ -290,5 +364,103 @@ mod tests {
     fn max_abs_works() {
         assert_eq!(max_abs(&[-3.0, 2.0]), 3.0);
         assert_eq!(max_abs(&[]), 0.0);
+    }
+
+    /// Reference (unchunked) implementations the chunked kernels must match
+    /// bit-for-bit, including across the AVG_CHUNK boundary.
+    fn naive_average(sources: &[&[f32]], out: &mut [f32]) {
+        let n = sources.len() as f64;
+        for (i, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0_f64;
+            for s in sources {
+                acc += f64::from(s[i]);
+            }
+            *o = (acc / n) as f32;
+        }
+    }
+
+    fn naive_weighted(sources: &[&[f32]], weights: &[f64], out: &mut [f32]) {
+        for (i, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0_f64;
+            for (s, &w) in sources.iter().zip(weights) {
+                acc += w * f64::from(s[i]);
+            }
+            *o = acc as f32;
+        }
+    }
+
+    #[test]
+    fn chunked_average_matches_naive_bitwise() {
+        // Lengths straddling the chunk width: below, at, just above, and
+        // multiple chunks with a ragged tail.
+        for n in [
+            1usize,
+            7,
+            AVG_CHUNK - 1,
+            AVG_CHUNK,
+            AVG_CHUNK + 1,
+            3 * AVG_CHUNK + 13,
+        ] {
+            let a = arb_vec(n, 1);
+            let b = arb_vec(n, 2);
+            let c = arb_vec(n, 3);
+            let sources: Vec<&[f32]> = vec![&a, &b, &c];
+            let mut got = vec![0.0_f32; n];
+            let mut want = vec![0.0_f32; n];
+            average_into(&sources, &mut got);
+            naive_average(&sources, &mut want);
+            assert!(
+                got.iter()
+                    .zip(&want)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "average_into diverged from naive at n={n}"
+            );
+            let w = [0.2_f64, 0.5, 0.3];
+            weighted_average_into(&sources, &w, &mut got);
+            naive_weighted(&sources, &w, &mut want);
+            assert!(
+                got.iter()
+                    .zip(&want)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "weighted_average_into diverged from naive at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn average_present_matches_compacted_average() {
+        // Slot array with holes: the fused path over Option slots must equal
+        // compact-then-average bit for bit, for any hole pattern.
+        let n = AVG_CHUNK + 37;
+        let vecs: Vec<Vec<f32>> = (0..5).map(|s| arb_vec(n, 10 + s as u64)).collect();
+        for mask in 1u32..32 {
+            let slots: Vec<Option<Vec<f32>>> = vecs
+                .iter()
+                .enumerate()
+                .map(|(j, v)| {
+                    if (mask >> j) & 1 == 1 {
+                        Some(v.clone())
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            let mut fused = vec![0.0_f32; n];
+            let count = average_present_into(&slots, |s| s.as_deref(), &mut fused);
+            assert_eq!(count as u32, mask.count_ones());
+            let compact: Vec<&[f32]> = slots.iter().filter_map(|s| s.as_deref()).collect();
+            let mut want = vec![0.0_f32; n];
+            average_into(&compact, &mut want);
+            assert_eq!(fused, want, "mask {mask:05b}");
+        }
+    }
+
+    #[test]
+    fn average_present_all_absent_leaves_out_untouched() {
+        let slots: Vec<Option<Vec<f32>>> = vec![None, None];
+        let mut out = vec![7.0_f32; 4];
+        let count = average_present_into(&slots, |s| s.as_deref(), &mut out);
+        assert_eq!(count, 0);
+        assert_eq!(out, vec![7.0_f32; 4]);
     }
 }

@@ -1,15 +1,17 @@
 //! Workspace-level determinism guarantees (DESIGN.md §7): every algorithm
-//! produces bit-identical results across (a) repeated runs, and (b)
-//! sequential vs rayon-parallel client execution.
+//! produces bit-identical results across (a) repeated runs, (b) sequential
+//! vs rayon-parallel client execution, and (c) the barrier vs chained
+//! round-scheduling engines — including under injected faults.
 
 use hierminimax::core::algorithms::{
     AflConfig, Algorithm, Drfa, DrfaConfig, FedAvg, FedAvgConfig, HierFavg, HierFavgConfig,
-    HierMinimax, HierMinimaxConfig, RunOpts, StochasticAfl,
+    HierMinimax, HierMinimaxConfig, MultiLevelConfig, MultiLevelMinimax, OverselectConfig,
+    OverselectMinimax, RunOpts, StochasticAfl,
 };
 use hierminimax::core::problem::FederatedProblem;
 use hierminimax::core::RunResult;
 use hierminimax::data::scenarios::tiny_problem;
-use hierminimax::simnet::Parallelism;
+use hierminimax::simnet::{ExecEngine, FaultPlan, Parallelism};
 
 fn opts(par: Parallelism) -> RunOpts {
     RunOpts {
@@ -98,6 +100,7 @@ fn assert_identical(name: &str, a: &RunResult, b: &RunResult) {
     assert_eq!(a.final_p, b.final_p, "{name}: final_p differs");
     assert_eq!(a.avg_w, b.avg_w, "{name}: avg_w differs");
     assert_eq!(a.comm, b.comm, "{name}: comm stats differ");
+    assert_eq!(a.faults, b.faults, "{name}: fault stats differ");
     for (ra, rb) in a.history.rounds.iter().zip(&b.history.rounds) {
         assert_eq!(
             ra.p, rb.p,
@@ -191,35 +194,142 @@ fn workspace_grad_is_bit_identical_to_legacy_path() {
     ];
 
     for par in [Parallelism::Sequential, Parallelism::Rayon] {
-        par.map(
-            models.iter().collect::<Vec<_>>(),
-            |(name, model, dim, classes)| {
-                let mut ws = Workspace::new(); // one workspace for all 5 calls
-                let mut g_ws = vec![0.0_f32; model.num_params()];
-                let mut g_legacy = vec![0.0_f32; model.num_params()];
-                // Batch sizes deliberately shrink and grow so buffer resizes in
-                // both directions are covered.
-                for (call, &n) in [5usize, 2, 7, 1, 4].iter().enumerate() {
-                    let batch = batch_of(*dim, *classes, n, 31 + call as u64);
-                    let mut rng =
-                        StreamRng::for_key(StreamKey::new(77, Purpose::Init, call as u64, 0));
-                    let params: Vec<f32> = (0..model.num_params())
-                        .map(|_| rng.normal() as f32 * 0.3)
-                        .collect();
-                    let l_ws = model.loss_grad_ws(&params, &batch, &mut g_ws, &mut ws);
-                    let l_legacy = model.loss_grad(&params, &batch, &mut g_legacy);
-                    assert_eq!(
-                        l_ws.to_bits(),
-                        l_legacy.to_bits(),
-                        "{name} ({par:?}): loss differs on call {call}"
-                    );
-                    assert_eq!(
-                        g_ws, g_legacy,
-                        "{name} ({par:?}): gradient differs on call {call}"
-                    );
-                }
-            },
-        );
+        par.map_ref(&models, |(name, model, dim, classes)| {
+            let mut ws = Workspace::new(); // one workspace for all 5 calls
+            let mut g_ws = vec![0.0_f32; model.num_params()];
+            let mut g_legacy = vec![0.0_f32; model.num_params()];
+            // Batch sizes deliberately shrink and grow so buffer resizes in
+            // both directions are covered.
+            for (call, &n) in [5usize, 2, 7, 1, 4].iter().enumerate() {
+                let batch = batch_of(*dim, *classes, n, 31 + call as u64);
+                let mut rng = StreamRng::for_key(StreamKey::new(77, Purpose::Init, call as u64, 0));
+                let params: Vec<f32> = (0..model.num_params())
+                    .map(|_| rng.normal() as f32 * 0.3)
+                    .collect();
+                let l_ws = model.loss_grad_ws(&params, &batch, &mut g_ws, &mut ws);
+                let l_legacy = model.loss_grad(&params, &batch, &mut g_legacy);
+                assert_eq!(
+                    l_ws.to_bits(),
+                    l_legacy.to_bits(),
+                    "{name} ({par:?}): loss differs on call {call}"
+                );
+                assert_eq!(
+                    g_ws, g_legacy,
+                    "{name} ({par:?}): gradient differs on call {call}"
+                );
+            }
+        });
+    }
+}
+
+/// The four hierarchical algorithms (the ones with a `τ2`-block structure,
+/// i.e. the ones the execution engine applies to), parameterised by
+/// parallelism × engine.
+fn hierarchical_algorithms(
+    par: Parallelism,
+    engine: ExecEngine,
+    fault: &FaultPlan,
+) -> Vec<(&'static str, Box<dyn Algorithm>)> {
+    let opts = RunOpts {
+        eval_every: 2,
+        parallelism: par,
+        engine,
+        fault: fault.clone(),
+        ..Default::default()
+    };
+    vec![
+        (
+            "HierMinimax",
+            Box::new(HierMinimax::new(HierMinimaxConfig {
+                rounds: 4,
+                tau1: 2,
+                tau2: 3,
+                m_edges: 2,
+                eta_w: 0.1,
+                eta_p: 0.05,
+                batch_size: 2,
+                loss_batch: 4,
+                weight_update_model: Default::default(),
+                quantizer: Default::default(),
+                dropout: 0.0,
+                tau2_per_edge: None,
+                opts: opts.clone(),
+            })),
+        ),
+        (
+            "HierFAVG",
+            Box::new(HierFavg::new(HierFavgConfig {
+                rounds: 4,
+                tau1: 2,
+                tau2: 3,
+                m_edges: 2,
+                eta_w: 0.1,
+                batch_size: 2,
+                quantizer: Default::default(),
+                dropout: 0.0,
+                opts: opts.clone(),
+            })),
+        ),
+        (
+            "MultiLevelMinimax",
+            Box::new(MultiLevelMinimax::new(MultiLevelConfig {
+                rounds: 3,
+                tau1: 2,
+                tau2: 2,
+                upper: Default::default(),
+                m_groups: 2,
+                eta_w: 0.05,
+                eta_p: 0.02,
+                batch_size: 2,
+                loss_batch: 4,
+                dropout: 0.0,
+                opts: opts.clone(),
+            })),
+        ),
+        (
+            "Overselect",
+            Box::new(OverselectMinimax::new(OverselectConfig {
+                rounds: 3,
+                tau1: 2,
+                tau2: 2,
+                m_edges: 2,
+                m_over: 3,
+                seconds_per_slot: vec![1.0, 1.5, 2.0, 1.2],
+                eta_w: 0.1,
+                eta_p: 0.05,
+                batch_size: 2,
+                loss_batch: 4,
+                dropout: 0.0,
+                opts,
+            })),
+        ),
+    ]
+}
+
+#[test]
+fn chained_engine_matches_barrier_for_every_hierarchical_algorithm() {
+    // The tentpole invariant at the full-run level: the chained scheduler
+    // (one task chain per edge, pooled scratch, fused aggregation, batched
+    // metering) is bit-identical to the legacy per-block barrier engine —
+    // models, weights, comm totals, history — for every hierarchical
+    // algorithm, fault-free and under the chaos preset, under both
+    // executors.
+    let sc = tiny_problem(4, 2, 21);
+    let fp = FederatedProblem::logistic_from_scenario(&sc);
+    let plans = [
+        ("none", FaultPlan::preset("none").unwrap()),
+        ("chaos", FaultPlan::preset("chaos").unwrap()),
+    ];
+    for (plan_name, plan) in &plans {
+        for par in [Parallelism::Sequential, Parallelism::Rayon] {
+            let chained = hierarchical_algorithms(par, ExecEngine::Chained, plan);
+            let barrier = hierarchical_algorithms(par, ExecEngine::Barrier, plan);
+            for ((name, a), (_, b)) in chained.into_iter().zip(barrier) {
+                let ra = a.run(&fp, 17);
+                let rb = b.run(&fp, 17);
+                assert_identical(&format!("{name} [{plan_name}, {par:?}]"), &ra, &rb);
+            }
+        }
     }
 }
 

@@ -1,0 +1,752 @@
+//! Offline shim for `proptest`: the strategy/macro surface this workspace
+//! uses, with deterministic generation and no shrinking (see
+//! `vendor/README.md`).
+//!
+//! Determinism: each test derives a base seed from its `module_path!()`
+//! plus function name, and case `i` uses `base + i·φ` — so a failure
+//! reproduces by rerunning the same test binary, and the failure message
+//! prints the generated inputs (the shim's substitute for shrinking).
+
+pub mod test_runner {
+    /// Run configuration. Only `cases` is consulted; the struct mirrors
+    /// the real crate's name so `ProptestConfig::with_cases(n)` works.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of *accepted* cases each property must pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real crate defaults to 256; 64 keeps offline CI fast
+            // while every in-tree property that cares sets its own count.
+            Self { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The property is false for these inputs (test failure).
+        Fail(String),
+        /// The inputs don't satisfy a precondition (`prop_assume!`);
+        /// the case is skipped, not failed.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self::Reject(msg.into())
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic splitmix64 generator used for all value generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            Self {
+                state: seed ^ 0x6A09_E667_F3BC_C909,
+            }
+        }
+
+        /// RNG for case `index` of a test whose name hashed to `base`.
+        pub fn for_case(base: u64, index: u64) -> Self {
+            Self::new(base.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, n)`. Modulo bias is irrelevant at test scales.
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0, "below(0)");
+            (self.next_u64() % n as u64) as usize
+        }
+
+        /// Uniform in `[0, 1)` with 53-bit resolution.
+        pub fn unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// FNV-1a hash of the test's full path: the per-test seed base.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value: Debug;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    impl<T: Debug> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternative strategies
+    /// (what `prop_oneof!` builds; unweighted).
+    pub struct Union<T: Debug> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T: Debug> Union<T> {
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Self { arms }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let arm = rng.below(self.arms.len());
+            self.arms[arm].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128) - (self.start as i128);
+                    let off = (rng.next_u64() as i128).rem_euclid(span);
+                    ((self.start as i128) + off) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128) - (lo as i128) + 1;
+                    let off = (rng.next_u64() as i128).rem_euclid(span);
+                    ((lo as i128) + off) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let v = self.start + (self.end - self.start) * (rng.unit() as $t);
+                    // f32 rounding can land exactly on the excluded end.
+                    if v >= self.end { self.start } else { v }
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    lo + (hi - lo) * (rng.unit() as $t)
+                }
+            }
+        )+};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, G);
+    tuple_strategy!(A, B, C, D, E, G, H);
+    tuple_strategy!(A, B, C, D, E, G, H, I);
+
+    /// String-literal strategies: a small regex subset (see
+    /// [`crate::string_gen`]).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string_gen::generate(self, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized + Debug {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T` (full value range for integers).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_incl: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi_incl: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self {
+                lo: *r.start(),
+                hi_incl: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi_incl: n }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Strategy for `Vec`s whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.lo + rng.below(self.size.hi_incl - self.size.lo + 1);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Generator for string-literal strategies: supports the regex subset
+/// `atom{lo,hi}` / `atom{n}` / `atom?` / `atom*` / `atom+` where `atom`
+/// is a literal char, an escape, or a char class `[...]` of literals,
+/// escapes, and `a-z` ranges. Unsupported syntax panics loudly rather
+/// than generating something subtly wrong.
+pub mod string_gen {
+    use crate::test_runner::TestRng;
+
+    struct Piece {
+        /// Inclusive char ranges the atom may produce.
+        choices: Vec<(char, char)>,
+        lo: usize,
+        hi: usize,
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            '0' => '\0',
+            other => other,
+        }
+    }
+
+    fn parse(pattern: &str) -> Option<Vec<Piece>> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let choices = match c {
+                '[' => {
+                    let mut items = Vec::new();
+                    loop {
+                        let c = chars.next()?;
+                        if c == ']' {
+                            break;
+                        }
+                        let start = if c == '\\' {
+                            unescape(chars.next()?)
+                        } else {
+                            c
+                        };
+                        // `a-b` range (a trailing '-' is a literal).
+                        if chars.peek() == Some(&'-') {
+                            let mut ahead = chars.clone();
+                            ahead.next();
+                            match ahead.peek() {
+                                Some(&']') | None => items.push((start, start)),
+                                Some(_) => {
+                                    chars.next();
+                                    let e = chars.next()?;
+                                    let end = if e == '\\' {
+                                        unescape(chars.next()?)
+                                    } else {
+                                        e
+                                    };
+                                    if end < start {
+                                        return None;
+                                    }
+                                    items.push((start, end));
+                                }
+                            }
+                        } else {
+                            items.push((start, start));
+                        }
+                    }
+                    if items.is_empty() {
+                        return None;
+                    }
+                    items
+                }
+                '\\' => {
+                    let c = unescape(chars.next()?);
+                    vec![(c, c)]
+                }
+                '(' | ')' | '|' | '.' | '^' | '$' => return None,
+                lit => vec![(lit, lit)],
+            };
+            let (lo, hi) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    loop {
+                        let c = chars.next()?;
+                        if c == '}' {
+                            break;
+                        }
+                        spec.push(c);
+                    }
+                    match spec.split_once(',') {
+                        Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+                        None => {
+                            let n = spec.trim().parse().ok()?;
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 32)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 32)
+                }
+                _ => (1, 1),
+            };
+            if hi < lo {
+                return None;
+            }
+            pieces.push(Piece { choices, lo, hi });
+        }
+        Some(pieces)
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let pieces = parse(pattern).unwrap_or_else(|| {
+            panic!("proptest shim: unsupported regex strategy {pattern:?} (see vendor/README.md)")
+        });
+        let mut out = String::new();
+        for piece in &pieces {
+            let count = piece.lo + rng.below(piece.hi - piece.lo + 1);
+            let total: u32 = piece
+                .choices
+                .iter()
+                .map(|&(a, b)| b as u32 - a as u32 + 1)
+                .sum();
+            for _ in 0..count {
+                let mut pick = rng.below(total as usize) as u32;
+                for &(a, b) in &piece.choices {
+                    let width = b as u32 - a as u32 + 1;
+                    if pick < width {
+                        out.push(char::from_u32(a as u32 + pick).expect("valid char range"));
+                        break;
+                    }
+                    pick -= width;
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Map, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// Namespace mirror of the real crate's `prop::` re-exports.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a test that runs `config.cases` accepted cases with
+/// deterministic per-case seeds. An optional leading
+/// `#![proptest_config(expr)]` overrides the default configuration.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __seed_base = $crate::test_runner::seed_for(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut __passed: u32 = 0;
+            let mut __rejected: u32 = 0;
+            let mut __case: u64 = 0;
+            while __passed < __config.cases {
+                assert!(
+                    __rejected < __config.cases.saturating_mul(16) + 256,
+                    "proptest '{}': too many rejected cases ({})",
+                    stringify!($name),
+                    __rejected,
+                );
+                let mut __rng = $crate::test_runner::TestRng::for_case(__seed_base, __case);
+                __case += 1;
+                let mut __inputs = ::std::string::String::new();
+                let __result: $crate::test_runner::TestCaseResult = (|| {
+                    $(
+                        let __value =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                        __inputs.push_str(&::std::format!(
+                            "{} = {:?}; ",
+                            stringify!($pat),
+                            __value,
+                        ));
+                        let $pat = __value;
+                    )+
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match __result {
+                    ::std::result::Result::Ok(()) => __passed += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        __rejected += 1;
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        ::std::panic!(
+                            "proptest '{}' failed at case {}: {}\n  inputs: {}",
+                            stringify!($name),
+                            __case - 1,
+                            __msg,
+                            __inputs,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Build a [`strategy::Union`] over the listed strategies (uniform pick).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let __arms: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = ::std::vec![$(::std::boxed::Box::new($strat)),+];
+        $crate::strategy::Union::new(__arms)
+    }};
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            __l,
+            __r,
+            ::std::format!($($fmt)+),
+        );
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            __l,
+            __r,
+            ::std::format!($($fmt)+),
+        );
+    }};
+}
+
+/// Skip (don't fail) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_respect_bounds(a in 3usize..10, b in 0u64..=4, x in -2.0f32..2.0) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!(b <= 4);
+            prop_assert!((-2.0..2.0).contains(&x));
+        }
+
+        #[test]
+        fn tuples_maps_and_oneof_compose(
+            v in prop::collection::vec((0usize..5, Just(7u8)).prop_map(|(a, b)| a + b as usize), 2..6),
+            pick in prop_oneof![Just(1u8), Just(2u8), (5u8..=6).prop_map(|x| x)],
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for x in &v {
+                prop_assert!((7..12).contains(x), "x = {}", x);
+            }
+            prop_assert!(matches!(pick, 1 | 2 | 5 | 6));
+        }
+
+        #[test]
+        fn regex_strings_match_class_and_count(s in "[ -~\n]{0,20}") {
+            prop_assert!(s.chars().count() <= 20);
+            for c in s.chars() {
+                prop_assert!(c == '\n' || (' '..='~').contains(&c));
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n, 1);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let base = crate::test_runner::seed_for("some::test");
+        let mut r1 = crate::test_runner::TestRng::for_case(base, 3);
+        let mut r2 = crate::test_runner::TestRng::for_case(base, 3);
+        let s = (0usize..100, 0.0f64..=1.0);
+        assert_eq!(format!("{:?}", s.generate(&mut r1)), format!("{:?}", s.generate(&mut r2)));
+    }
+
+    #[test]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(n in 0usize..3) {
+                prop_assert!(n > 100, "n was {}", n);
+            }
+        }
+        let err = std::panic::catch_unwind(always_fails).expect_err("must fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("inputs:"), "message: {msg}");
+    }
+}

@@ -1,0 +1,477 @@
+//! Offline shim for `rayon`: the parallel-iterator surface this workspace
+//! uses, executed on `std::thread::scope` (see `vendor/README.md`).
+//!
+//! Execution model:
+//!
+//! - Each parallel call splits its input into `min(threads, len)`
+//!   contiguous parts, runs one OS thread per part, and concatenates the
+//!   results **in input order** — so `collect()` is order-identical to the
+//!   sequential loop, which is what the workspace's determinism contract
+//!   relies on.
+//! - A parallel call made from *inside* a worker runs sequentially on
+//!   that worker (no work stealing, no nested thread explosion). This
+//!   mirrors how the engine uses rayon: outer task chains fan out, inner
+//!   per-client loops stay on the chain's thread.
+//! - Worker panics are re-raised on the caller via
+//!   [`std::panic::resume_unwind`], like the real crate.
+//!
+//! Thread count: `RAYON_NUM_THREADS` if set and positive, else
+//! [`std::thread::available_parallelism`].
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+thread_local! {
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+fn pool_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Number of worker threads a top-level parallel call will use.
+pub fn current_num_threads() -> usize {
+    pool_threads()
+}
+
+/// How many contiguous parts to split a `len`-item input into: 1 when
+/// already on a worker (nested call) or when there is nothing to split.
+fn parts_for(len: usize) -> usize {
+    if len <= 1 || IN_POOL.with(Cell::get) {
+        1
+    } else {
+        pool_threads().min(len)
+    }
+}
+
+/// Part sizes for splitting `n` items into `parts` contiguous runs
+/// (first `n % parts` runs get one extra item).
+fn part_len(n: usize, parts: usize, p: usize) -> usize {
+    n / parts + usize::from(p < n % parts)
+}
+
+fn join_in_order<U>(out: &mut Vec<U>, handles: Vec<std::thread::ScopedJoinHandle<'_, Vec<U>>>) {
+    for h in handles {
+        match h.join() {
+            Ok(part) => out.extend(part),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
+fn run_owned<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: F) -> Vec<U> {
+    let n = items.len();
+    let parts = parts_for(n);
+    if parts <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(parts);
+    let mut iter = items.into_iter();
+    for p in 0..parts {
+        chunks.push(iter.by_ref().take(part_len(n, parts, p)).collect());
+    }
+    let f = &f;
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move || {
+                    IN_POOL.with(|c| c.set(true));
+                    chunk.into_iter().map(f).collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        join_in_order(&mut out, handles);
+    });
+    out
+}
+
+fn run_indexed<U: Send, F: Fn(usize) -> U + Sync>(range: Range<usize>, f: F) -> Vec<U> {
+    let n = range.len();
+    let parts = parts_for(n);
+    if parts <= 1 {
+        return range.map(f).collect();
+    }
+    let f = &f;
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(parts);
+        let mut start = range.start;
+        for p in 0..parts {
+            let len_p = part_len(n, parts, p);
+            let sub = start..start + len_p;
+            start += len_p;
+            handles.push(s.spawn(move || {
+                IN_POOL.with(|c| c.set(true));
+                sub.map(f).collect::<Vec<U>>()
+            }));
+        }
+        join_in_order(&mut out, handles);
+    });
+    out
+}
+
+fn run_slice<'a, T: Sync, U: Send, F: Fn(&'a T) -> U + Sync>(slice: &'a [T], f: F) -> Vec<U> {
+    let n = slice.len();
+    let parts = parts_for(n);
+    if parts <= 1 {
+        return slice.iter().map(f).collect();
+    }
+    let f = &f;
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(parts);
+        let mut start = 0;
+        for p in 0..parts {
+            let len_p = part_len(n, parts, p);
+            let sub = &slice[start..start + len_p];
+            start += len_p;
+            handles.push(s.spawn(move || {
+                IN_POOL.with(|c| c.set(true));
+                sub.iter().map(f).collect::<Vec<U>>()
+            }));
+        }
+        join_in_order(&mut out, handles);
+    });
+    out
+}
+
+/// Run `f(global_chunk_index, chunk)` over `chunks_mut(size)`, splitting
+/// work on chunk boundaries.
+fn run_mut_chunks<T: Send, F: Fn(usize, &mut [T]) + Sync>(slice: &mut [T], size: usize, f: F) {
+    assert!(size > 0, "chunk size must be positive");
+    let num_chunks = slice.len().div_ceil(size);
+    let parts = parts_for(num_chunks);
+    if parts <= 1 {
+        for (i, chunk) in slice.chunks_mut(size).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(parts);
+        let mut rest = slice;
+        let mut chunk_base = 0;
+        for p in 0..parts {
+            let chunks_here = part_len(num_chunks, parts, p);
+            let elems = (chunks_here * size).min(rest.len());
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut(elems);
+            rest = tail;
+            let base = chunk_base;
+            chunk_base += chunks_here;
+            handles.push(s.spawn(move || {
+                IN_POOL.with(|c| c.set(true));
+                for (j, chunk) in head.chunks_mut(size).enumerate() {
+                    f(base + j, chunk);
+                }
+            }));
+        }
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
+/// Conversion into a parallel iterator (`Vec<T>` and `Range<usize>`).
+pub trait IntoParallelIterator {
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = IntoParIter<T>;
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// `par_iter` on slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self }
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        ParChunksMut {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+}
+
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParIter<T> {
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+    pub fn map<U, F: Fn(T) -> U + Sync>(self, f: F) -> MapVec<T, F> {
+        MapVec {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+pub struct MapVec<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> MapVec<T, F> {
+    pub fn collect<U: Send>(self) -> Vec<U>
+    where
+        F: Fn(T) -> U + Sync,
+    {
+        run_owned(self.items, self.f)
+    }
+}
+
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// No-op: the shim always splits into contiguous per-thread runs, so
+    /// task granularity hints have nothing to adjust.
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+    pub fn map<U, F: Fn(usize) -> U + Sync>(self, f: F) -> MapRange<F> {
+        MapRange {
+            range: self.range,
+            f,
+        }
+    }
+}
+
+pub struct MapRange<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> MapRange<F> {
+    pub fn collect<U: Send>(self) -> Vec<U>
+    where
+        F: Fn(usize) -> U + Sync,
+    {
+        run_indexed(self.range, self.f)
+    }
+}
+
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<U, F: Fn(&'a T) -> U + Sync>(self, f: F) -> MapSlice<'a, T, F> {
+        MapSlice {
+            slice: self.slice,
+            f,
+        }
+    }
+}
+
+pub struct MapSlice<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> MapSlice<'a, T, F> {
+    pub fn collect<U: Send>(self) -> Vec<U>
+    where
+        F: Fn(&'a T) -> U + Sync,
+    {
+        run_slice(self.slice, self.f)
+    }
+}
+
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    pub fn enumerate(self) -> EnumIterMut<'a, T> {
+        EnumIterMut { slice: self.slice }
+    }
+    pub fn for_each<F: Fn(&mut T) + Sync>(self, f: F) {
+        run_mut_chunks(self.slice, 1, |_, chunk| f(&mut chunk[0]));
+    }
+}
+
+pub struct EnumIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> EnumIterMut<'a, T> {
+    pub fn for_each<F: Fn((usize, &mut T)) + Sync>(self, f: F) {
+        run_mut_chunks(self.slice, 1, |i, chunk| f((i, &mut chunk[0])));
+    }
+}
+
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    pub fn enumerate(self) -> EnumChunksMut<'a, T> {
+        EnumChunksMut {
+            slice: self.slice,
+            size: self.size,
+        }
+    }
+    pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F) {
+        run_mut_chunks(self.slice, self.size, |_, chunk| f(chunk));
+    }
+}
+
+pub struct EnumChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> EnumChunksMut<'a, T> {
+    pub fn for_each<F: Fn((usize, &mut [T])) + Sync>(self, f: F) {
+        run_mut_chunks(self.slice, self.size, |i, chunk| f((i, chunk)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn owned_map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_map_with_max_len_preserves_order() {
+        let out: Vec<usize> = (0..257).into_par_iter().with_max_len(1).map(|i| i + 1).collect();
+        assert_eq!(out, (1..258).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_map_borrows() {
+        let v = vec![String::from("a"), String::from("bb"), String::from("ccc")];
+        let out: Vec<usize> = v.par_iter().map(|s| s.len()).collect();
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn chunks_mut_covers_every_chunk_once() {
+        let mut v = vec![0u32; 103];
+        v.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x += i as u32 + 1;
+            }
+        });
+        for (j, &x) in v.iter().enumerate() {
+            assert_eq!(x, (j / 10) as u32 + 1, "element {j}");
+        }
+    }
+
+    #[test]
+    fn iter_mut_enumerate_touches_all() {
+        let mut v = vec![0usize; 77];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i * i);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * i);
+        }
+    }
+
+    #[test]
+    fn nested_calls_run_inline_and_agree() {
+        let out: Vec<Vec<usize>> = (0..8)
+            .into_par_iter()
+            .with_max_len(1)
+            .map(|i| (0..5).into_par_iter().map(move |j| i * 10 + j).collect())
+            .collect();
+        for (i, inner) in out.iter().enumerate() {
+            assert_eq!(*inner, (0..5).map(|j| i * 10 + j).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let caught = std::panic::catch_unwind(|| {
+            let v: Vec<usize> = (0..64).collect();
+            let _ = v
+                .into_par_iter()
+                .map(|x| {
+                    if x == 63 {
+                        panic!("boom 63");
+                    }
+                    x
+                })
+                .collect::<Vec<usize>>();
+        });
+        let payload = caught.expect_err("should panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("boom 63"), "payload: {msg}");
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let out: Vec<usize> = Vec::<usize>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let mut v: Vec<usize> = vec![];
+        v.par_iter_mut().enumerate().for_each(|(_, _)| unreachable!());
+        let out: Vec<usize> = (0..0).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+    }
+}
