@@ -78,6 +78,7 @@ fn config(case: &Case, rounds: usize, engine: ExecEngine) -> HierMinimaxConfig {
             trace: false,
             telemetry: Telemetry::disabled(),
             fault: Default::default(),
+            checkpoint: Default::default(),
             engine,
         },
     }

@@ -117,6 +117,7 @@ impl SuiteParams {
             trace: false,
             telemetry,
             fault: self.fault.clone(),
+            checkpoint: Default::default(),
             engine: self.engine,
         }
     }

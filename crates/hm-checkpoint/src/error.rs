@@ -1,0 +1,75 @@
+//! Typed failure modes of snapshot loading and writing.
+//!
+//! Every way a checkpoint file can be unusable maps to a distinct variant,
+//! so callers (the CLI, the resume tests) can distinguish "file damaged in
+//! transit" from "you pointed a resumed run at the wrong snapshot" without
+//! string matching. Loading never panics and never returns a partially
+//! populated snapshot: any defect surfaces here.
+
+use std::fmt;
+
+/// Why a checkpoint could not be written, read, or used.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem failure (open, read, write, rename).
+    Io(std::io::Error),
+    /// The file does not start with the `HMCK` magic — not a checkpoint.
+    BadMagic,
+    /// The format version is newer (or older) than this build understands.
+    UnsupportedVersion(u32),
+    /// The CRC32 over the header and payload does not match the stored
+    /// checksum: the file was corrupted or tampered with.
+    CrcMismatch {
+        /// Checksum stored in the file.
+        stored: u32,
+        /// Checksum computed over the file contents.
+        computed: u32,
+    },
+    /// The file ends before the declared payload does.
+    Truncated,
+    /// The payload passed the checksum but decoded inconsistently (e.g.
+    /// trailing bytes, impossible lengths). Should not happen for files we
+    /// wrote; guards against hand-crafted input.
+    Malformed(String),
+    /// The snapshot is valid but belongs to a different run (wrong
+    /// algorithm, seed, round budget, or RNG stream fingerprint).
+    Mismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::BadMagic => {
+                write!(f, "not a checkpoint file (missing HMCK magic)")
+            }
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint format version {v}")
+            }
+            CheckpointError::CrcMismatch { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ),
+            CheckpointError::Truncated => write!(f, "checkpoint file is truncated"),
+            CheckpointError::Malformed(why) => write!(f, "malformed checkpoint payload: {why}"),
+            CheckpointError::Mismatch(why) => {
+                write!(f, "checkpoint does not match this run: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}

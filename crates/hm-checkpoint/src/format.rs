@@ -1,0 +1,276 @@
+//! Little-endian binary primitives shared by the snapshot codec.
+//!
+//! The writer/reader pair is deliberately dumb: fixed-width scalars,
+//! length-prefixed strings and vectors, nothing self-describing. Schema
+//! evolution happens through the file-level format version, not through
+//! per-field tags. `ByteReader` returns typed errors instead of panicking,
+//! so a corrupted payload can never crash a resuming process.
+//!
+//! The reader and writer are public because `hm-core` serialises its own
+//! types (training history, eval reports) into a snapshot's opaque named
+//! sections using the same primitives.
+
+use crate::error::CheckpointError;
+
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte slice.
+///
+/// Hand-rolled table-based implementation — the workspace has no
+/// checksum dependency, and 20 lines beat a new crate.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const fn table() -> [u32; 256] {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    }
+    const TABLE: [u32; 256] = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Append-only little-endian byte writer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume the writer, returning the bytes written.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f32` as its IEEE-754 bit pattern.
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Append an `f64` as its IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Append a length-prefixed raw byte blob.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u64(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Append a length-prefixed `f32` vector.
+    pub fn put_vec_f32(&mut self, v: &[f32]) {
+        self.put_u64(v.len() as u64);
+        for &x in v {
+            self.put_f32(x);
+        }
+    }
+
+    /// Append a length-prefixed `f64` vector.
+    pub fn put_vec_f64(&mut self, v: &[f64]) {
+        self.put_u64(v.len() as u64);
+        for &x in v {
+            self.put_f64(x);
+        }
+    }
+}
+
+/// Cap on any single length prefix: decoded lengths above this are treated
+/// as malformed rather than attempted (guards allocation on corrupt input
+/// that happens to pass earlier checks, e.g. hand-crafted files).
+const MAX_LEN: u64 = 1 << 32;
+
+/// Cursor-based little-endian reader over a byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes left unread.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.remaining() < n {
+            return Err(CheckpointError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn checked_len(&self, raw: u64, elem_size: usize) -> Result<usize, CheckpointError> {
+        if raw > MAX_LEN || (raw as usize).saturating_mul(elem_size) > self.remaining() {
+            return Err(CheckpointError::Malformed(format!(
+                "length prefix {raw} exceeds remaining payload"
+            )));
+        }
+        Ok(raw as usize)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CheckpointError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CheckpointError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Read an `f32` bit pattern.
+    pub fn get_f32(&mut self) -> Result<f32, CheckpointError> {
+        Ok(f32::from_bits(self.get_u32()?))
+    }
+
+    /// Read an `f64` bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, CheckpointError> {
+        let len = self.get_u64()?;
+        let len = self.checked_len(len, 1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CheckpointError::Malformed("string is not UTF-8".into()))
+    }
+
+    /// Read a length-prefixed raw byte blob.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, CheckpointError> {
+        let len = self.get_u64()?;
+        let len = self.checked_len(len, 1)?;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Read a length-prefixed `f32` vector.
+    pub fn get_vec_f32(&mut self) -> Result<Vec<f32>, CheckpointError> {
+        let len = self.get_u64()?;
+        let len = self.checked_len(len, 4)?;
+        (0..len).map(|_| self.get_f32()).collect()
+    }
+
+    /// Read a length-prefixed `f64` vector.
+    pub fn get_vec_f64(&mut self) -> Result<Vec<f64>, CheckpointError> {
+        let len = self.get_u64()?;
+        let len = self.checked_len(len, 8)?;
+        (0..len).map(|_| self.get_f64()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_scalars_and_vectors() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_f32(-1.5);
+        w.put_f64(std::f64::consts::PI);
+        w.put_str("HierMinimax");
+        w.put_bytes(&[1, 2, 3]);
+        w.put_vec_f32(&[0.0, -0.0, f32::MIN_POSITIVE]);
+        w.put_vec_f64(&[1e-300, 2.0]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_f32().unwrap(), -1.5);
+        assert_eq!(r.get_f64().unwrap(), std::f64::consts::PI);
+        assert_eq!(r.get_str().unwrap(), "HierMinimax");
+        assert_eq!(r.get_bytes().unwrap(), vec![1, 2, 3]);
+        let v = r.get_vec_f32().unwrap();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[1].to_bits(), (-0.0_f32).to_bits(), "bit-exact floats");
+        assert_eq!(r.get_vec_f64().unwrap(), vec![1e-300, 2.0]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_reads_are_typed_errors() {
+        let mut w = ByteWriter::new();
+        w.put_u64(42);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..5]);
+        assert!(matches!(r.get_u64(), Err(CheckpointError::Truncated)));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_malformed() {
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX); // absurd vector length
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            r.get_vec_f32(),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,212 @@
+//! On-disk container: `HMCK` magic, format version, payload, trailing CRC.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"HMCK"
+//! 4       4     format version (currently 1)
+//! 8       n     payload (see Snapshot::encode)
+//! 8+n     4     CRC32 over bytes [0, 8+n)  — header AND payload
+//! ```
+//!
+//! Writes are crash-consistent: the file is written to a `.tmp` sibling,
+//! fsynced, then atomically renamed into place, so a reader never observes
+//! a half-written checkpoint under POSIX rename semantics.
+//!
+//! Reads validate in a fixed order — magic, checksum, version, payload —
+//! chosen so the most likely defects produce the most specific errors:
+//! a non-checkpoint file fails on magic before the CRC is even computed,
+//! any bit flip or truncation fails the checksum, and only a structurally
+//! intact file of a foreign version reaches the version check.
+
+use crate::error::CheckpointError;
+use crate::format::crc32;
+use crate::snapshot::Snapshot;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// File magic: first four bytes of every checkpoint.
+pub const MAGIC: [u8; 4] = *b"HMCK";
+
+/// Current (and only) format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Serialize `snap` into the full file image (header + payload + CRC).
+pub fn to_file_bytes(snap: &Snapshot) -> Vec<u8> {
+    let payload = snap.encode();
+    let mut bytes = Vec::with_capacity(payload.len() + 12);
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    let crc = crc32(&bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    bytes
+}
+
+/// Parse a full file image produced by [`to_file_bytes`].
+pub fn from_file_bytes(bytes: &[u8]) -> Result<Snapshot, CheckpointError> {
+    if bytes.len() < 4 || bytes[..4] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    if bytes.len() < 12 {
+        return Err(CheckpointError::Truncated);
+    }
+    let body = &bytes[..bytes.len() - 4];
+    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(CheckpointError::CrcMismatch { stored, computed });
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    Snapshot::decode(&body[8..])
+}
+
+/// Write `snap` to `path` atomically (tmp file + fsync + rename).
+pub fn write_snapshot(path: &Path, snap: &Snapshot) -> Result<(), CheckpointError> {
+    let bytes = to_file_bytes(snap);
+    let tmp = path.with_extension("hmck.tmp");
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read and fully validate a snapshot from `path`.
+pub fn read_snapshot(path: &Path) -> Result<Snapshot, CheckpointError> {
+    let bytes = fs::read(path)?;
+    from_file_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::rng_cursors_for;
+    use hm_simnet::{CommStats, FaultStats};
+    use proptest::prelude::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            algorithm: "HierMinimax".into(),
+            seed: 42,
+            total_rounds: 10,
+            next_round: 4,
+            w: vec![0.5, -1.25, 3.0],
+            p: vec![0.25, 0.75],
+            avg_w_sum: vec![1.0, 2.0, 3.0],
+            avg_w_count: 4,
+            avg_p_sum: vec![0.5, 3.5],
+            avg_p_count: 4,
+            comm: CommStats::from_parts([
+                [1, 2, 3],
+                [4, 5, 6],
+                [7, 8, 9],
+                [10, 11, 12],
+                [13, 14, 15],
+            ]),
+            faults: FaultStats::default(),
+            telemetry_seq: 99,
+            rng_cursors: rng_cursors_for(42, 4),
+            extras: vec![("history".into(), vec![9, 8, 7])],
+        }
+    }
+
+    #[test]
+    fn file_roundtrip_via_disk() {
+        let dir = std::env::temp_dir().join("hmck-io-test");
+        let path = dir.join("snap.hmck");
+        let snap = sample();
+        write_snapshot(&path, &snap).unwrap();
+        let back = read_snapshot(&path).unwrap();
+        assert_eq!(back, snap);
+        // The tmp sibling must not linger after a successful write.
+        assert!(!path.with_extension("hmck.tmp").exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_magic_detected_before_anything_else() {
+        let mut bytes = to_file_bytes(&sample());
+        bytes[0] = b'X';
+        assert!(matches!(
+            from_file_bytes(&bytes),
+            Err(CheckpointError::BadMagic)
+        ));
+        assert!(matches!(
+            from_file_bytes(b"no"),
+            Err(CheckpointError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn version_bump_is_unsupported_not_crc_garbage() {
+        // A future version with a correct checksum must fail on the
+        // version check, not decode as garbage.
+        let payload = sample().encode();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            from_file_bytes(&bytes),
+            Err(CheckpointError::UnsupportedVersion(2))
+        ));
+    }
+
+    #[test]
+    fn truncation_never_loads() {
+        let bytes = to_file_bytes(&sample());
+        for cut in [4, 8, 11, bytes.len() / 2, bytes.len() - 1] {
+            let err = from_file_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Truncated | CheckpointError::CrcMismatch { .. }
+                ),
+                "cut at {cut} gave {err}"
+            );
+        }
+    }
+
+    proptest! {
+        /// Any single flipped byte anywhere in the file is caught — the
+        /// CRC covers header and payload alike, and a flip inside the
+        /// trailing CRC itself also mismatches.
+        #[test]
+        fn any_single_byte_flip_is_caught(offset in 0usize..1024, xor in 1u8..=255) {
+            let mut bytes = to_file_bytes(&sample());
+            let offset = offset % bytes.len();
+            bytes[offset] ^= xor;
+            let res = from_file_bytes(&bytes);
+            prop_assert!(
+                matches!(
+                    res,
+                    Err(CheckpointError::BadMagic
+                        | CheckpointError::CrcMismatch { .. })
+                ),
+                "flip at {offset} gave {res:?}"
+            );
+        }
+
+        /// Any truncation point yields a typed error, never a partial load.
+        #[test]
+        fn any_truncation_is_caught(cut in 0usize..1024) {
+            let bytes = to_file_bytes(&sample());
+            let cut = cut % bytes.len(); // strictly shorter than the file
+            let res = from_file_bytes(&bytes[..cut]);
+            prop_assert!(res.is_err(), "cut at {cut} gave {res:?}");
+        }
+    }
+}

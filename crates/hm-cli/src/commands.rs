@@ -10,7 +10,7 @@ use hm_core::algorithms::{
 use hm_core::duality::{duality_gap, GapConfig};
 use hm_core::metrics::evaluate;
 use hm_core::problem::FederatedProblem;
-use hm_core::RunResult;
+use hm_core::{CheckpointOpts, RunResult};
 use hm_data::partition::label_skew;
 use hm_simnet::{ExecEngine, FaultPlan, LatencyModel, Link, Parallelism, Quantizer, FAULT_PRESETS};
 use hm_telemetry::Telemetry;
@@ -83,6 +83,14 @@ FAULT-INJECTION FLAGS (run, compare; deterministic per seed):
                         (exponential backoff in simulated seconds)
   --straggler-rate F --straggler-slowdown F --deadline-factor F
                         compute stragglers; slower than the deadline is cut
+
+CHECKPOINT/RESUME FLAGS (run; see DESIGN.md par. 12):
+  --checkpoint-dir P    write crash-consistent snapshots (atomic rename +
+                        CRC32) at cloud-round boundaries
+  --checkpoint-every N  snapshot cadence in cloud rounds (default 1)
+  --resume PATH         resume from a snapshot; must match the run's
+                        method, --seed and --rounds, and continues
+                        bit-identically to the uninterrupted run
   --mlp W1,W2,...       use an MLP with these hidden widths
   --cnn                 use the SimpleCnn model (square inputs only)
   --seed N --eval-every N --sequential --csv PATH
@@ -118,6 +126,64 @@ fn fault_plan(args: &Args) -> Result<FaultPlan, ArgError> {
     Ok(plan)
 }
 
+/// The algorithm display name a `--method` value runs as — what a resume
+/// snapshot's `algorithm` field must match.
+fn method_algorithm_name(method: &str) -> &str {
+    match method {
+        "hierminimax" => "HierMinimax",
+        "hierfavg" => "HierFAVG",
+        "fedavg" => "FedAvg",
+        "fedprox" => "FedProx",
+        "afl" => "Stochastic-AFL",
+        "drfa" => "DRFA",
+        "qffl" => "q-FedAvg",
+        "multilevel" => "MultiLevelMinimax",
+        other => other, // rejected later by build_algorithm
+    }
+}
+
+/// Resolve `--checkpoint-dir`, `--checkpoint-every` and `--resume` into
+/// [`CheckpointOpts`]. A resume snapshot is read and validated here so
+/// corruption or a run-identity mismatch is a clean CLI error instead of
+/// a panic inside the run loop.
+fn checkpoint_opts(args: &Args) -> Result<CheckpointOpts, ArgError> {
+    let dir = args.str_or("checkpoint-dir", "");
+    let every_raw = args.str_or("checkpoint-every", "");
+    let resume = args.str_or("resume", "");
+    let mut ck = CheckpointOpts::default();
+    if dir.is_empty() {
+        if !every_raw.is_empty() {
+            return Err(ArgError(
+                "--checkpoint-every requires --checkpoint-dir".into(),
+            ));
+        }
+    } else {
+        let every: usize = if every_raw.is_empty() {
+            1
+        } else {
+            every_raw
+                .parse()
+                .map_err(|_| ArgError(format!("--checkpoint-every: cannot parse {every_raw:?}")))?
+        };
+        if every == 0 {
+            return Err(ArgError("--checkpoint-every must be at least 1".into()));
+        }
+        ck = CheckpointOpts::writing(&dir, every);
+    }
+    if !resume.is_empty() {
+        let snap = hm_checkpoint::read_snapshot(std::path::Path::new(&resume))
+            .map_err(|e| ArgError(format!("--resume {resume}: {e}")))?;
+        let method = args.str_or("method", "hierminimax");
+        let algorithm = method_algorithm_name(&method).to_string();
+        let seed = args.num_or("seed", 7_u64)?;
+        let rounds = args.num_or("rounds", 500_usize)?;
+        snap.validate_for(&algorithm, seed, rounds)
+            .map_err(|e| ArgError(format!("--resume {resume}: {e}")))?;
+        ck.resume = Some(std::sync::Arc::new(snap));
+    }
+    Ok(ck)
+}
+
 fn opts(args: &Args) -> Result<RunOpts, ArgError> {
     let telemetry_path = args.str_or("telemetry", "");
     let telemetry = if telemetry_path.is_empty() {
@@ -136,6 +202,7 @@ fn opts(args: &Args) -> Result<RunOpts, ArgError> {
         trace: false,
         telemetry,
         fault: fault_plan(args)?,
+        checkpoint: checkpoint_opts(args)?,
         engine: match args.str_or("engine", "chained").as_str() {
             "chained" => ExecEngine::Chained,
             "barrier" => ExecEngine::Barrier,
@@ -420,6 +487,11 @@ fn validate_telemetry(args: &Args) -> Result<(), ArgError> {
 }
 
 fn compare(args: &Args) -> Result<(), ArgError> {
+    if !args.str_or("resume", "").is_empty() {
+        return Err(ArgError(
+            "--resume applies to a single run; use the run subcommand".into(),
+        ));
+    }
     let problem = build_problem(args)?;
     let seed = args.num_or("seed", 7_u64)?;
     let rounds = args.num_or("rounds", 500)?;
@@ -694,6 +766,48 @@ mod tests {
         ));
         assert!(dispatch(&c).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_every_requires_dir() {
+        let err = checkpoint_opts(&args("run --checkpoint-every 2")).unwrap_err();
+        assert!(err.0.contains("--checkpoint-dir"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_every_zero_rejected() {
+        let err =
+            checkpoint_opts(&args("run --checkpoint-dir /tmp/x --checkpoint-every 0")).unwrap_err();
+        assert!(err.0.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn resume_missing_file_is_clean_error() {
+        let err = checkpoint_opts(&args("run --resume /nonexistent/snap.hmck")).unwrap_err();
+        assert!(err.0.contains("--resume"), "{err}");
+    }
+
+    #[test]
+    fn resume_rejected_by_compare() {
+        let a = args("compare --scenario tiny --edges 3 --clients 2 --resume x.hmck");
+        let err = dispatch(&a).unwrap_err();
+        assert!(err.0.contains("run subcommand"), "{err}");
+    }
+
+    #[test]
+    fn every_method_maps_to_an_algorithm_name() {
+        for (m, name) in [
+            ("hierminimax", "HierMinimax"),
+            ("hierfavg", "HierFAVG"),
+            ("fedavg", "FedAvg"),
+            ("fedprox", "FedProx"),
+            ("afl", "Stochastic-AFL"),
+            ("drfa", "DRFA"),
+            ("qffl", "q-FedAvg"),
+            ("multilevel", "MultiLevelMinimax"),
+        ] {
+            assert_eq!(method_algorithm_name(m), name);
+        }
     }
 
     #[test]

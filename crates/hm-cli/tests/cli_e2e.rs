@@ -321,6 +321,117 @@ fn invalid_fault_rate_is_rejected() {
     assert!(err.contains("fault plan"), "{err}");
 }
 
+#[test]
+fn checkpoint_then_resume_reproduces_uninterrupted_run() {
+    let dir = std::env::temp_dir().join(format!("hm-cli-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("snaps");
+    let base = [
+        "run",
+        "--scenario",
+        "tiny",
+        "--edges",
+        "3",
+        "--clients",
+        "2",
+        "--rounds",
+        "6",
+        "--m",
+        "2",
+        "--seed",
+        "11",
+        "--eval-every",
+        "2",
+        "--sequential",
+    ];
+
+    let full = bin().args(base).output().expect("spawn");
+    assert!(
+        full.status.success(),
+        "{}",
+        String::from_utf8_lossy(&full.stderr)
+    );
+
+    // Same run, writing a snapshot every 2 cloud rounds. Checkpointing
+    // must not perturb the results.
+    let written = bin()
+        .args(base)
+        .args(["--checkpoint-dir"])
+        .arg(&ckpt)
+        .args(["--checkpoint-every", "2"])
+        .output()
+        .expect("spawn");
+    assert!(
+        written.status.success(),
+        "{}",
+        String::from_utf8_lossy(&written.stderr)
+    );
+    assert_eq!(full.stdout, written.stdout);
+
+    // "Crash" after round 4 and resume from its snapshot: bit-identical
+    // final report.
+    let snap = ckpt.join("hierminimax-round-000004.hmck");
+    assert!(snap.exists(), "missing {}", snap.display());
+    let resumed = bin()
+        .args(base)
+        .args(["--resume"])
+        .arg(&snap)
+        .output()
+        .expect("spawn");
+    assert!(
+        resumed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(full.stdout, resumed.stdout);
+
+    // A mismatched run identity is a clean typed error, not a panic.
+    let wrong_seed = bin()
+        .args([
+            "run",
+            "--scenario",
+            "tiny",
+            "--edges",
+            "3",
+            "--clients",
+            "2",
+            "--rounds",
+            "6",
+            "--m",
+            "2",
+            "--seed",
+            "12",
+            "--eval-every",
+            "2",
+            "--sequential",
+            "--resume",
+        ])
+        .arg(&snap)
+        .output()
+        .expect("spawn");
+    assert!(!wrong_seed.status.success());
+    let err = String::from_utf8_lossy(&wrong_seed.stderr);
+    assert!(err.contains("seed"), "{err}");
+
+    // Corruption is caught by the CRC before anything runs.
+    let bad = dir.join("bad.hmck");
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&bad, &bytes).unwrap();
+    let corrupt = bin()
+        .args(base)
+        .args(["--resume"])
+        .arg(&bad)
+        .output()
+        .expect("spawn");
+    assert!(!corrupt.status.success());
+    let err = String::from_utf8_lossy(&corrupt.stderr);
+    assert!(err.contains("checksum") || err.contains("CRC"), "{err}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 // ---- Golden snapshots -----------------------------------------------------
 //
 // Byte-exact captures of user-facing output, committed under

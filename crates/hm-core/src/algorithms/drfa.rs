@@ -19,6 +19,7 @@
 use super::flat_common::{client_dataset, q_to_edge_p, run_flat_clients};
 use super::hier_common::multiplicities;
 use super::{finish_round, Algorithm, IterateAverage, RunOpts, RunResult};
+use crate::checkpoint::{emit_preamble, CheckpointCtx, ResumedRun};
 use crate::history::History;
 use crate::localsgd::estimate_loss;
 use crate::problem::FederatedProblem;
@@ -27,7 +28,7 @@ use hm_optim::sgd::projected_ascent_step;
 use hm_optim::ProjectionOp;
 use hm_simnet::sampling::{sample_edges_uniform, sample_edges_weighted};
 use hm_simnet::trace::Event;
-use hm_simnet::{CommMeter, CommStats, Link};
+use hm_simnet::{CommMeter, Link};
 use hm_telemetry::TelemetryEvent;
 use hm_tensor::vecops;
 
@@ -113,19 +114,36 @@ impl Algorithm for Drfa {
             )));
         let mut q = vec![1.0 / n as f32; n];
         let q_domain = ProjectionOp::Simplex;
-        let mut comm_prev = CommStats::default();
+
+        let resumed = ResumedRun::from_opts(&cfg.opts, "DRFA", seed, cfg.rounds);
+        let start_round = match &resumed {
+            Some(rr) => {
+                w.clone_from(&rr.w);
+                q.clone_from(&rr.p);
+                avg_w = rr.avg_w.clone();
+                avg_p = rr.avg_p.clone();
+                history = rr.history.clone();
+                meter.restore(&rr.comm);
+                rr.start_round
+            }
+            None => 0,
+        };
+        let mut comm_prev = meter.snapshot();
 
         let tel = &cfg.opts.telemetry;
         let run_timer = tel.timer();
-        tel.record(|| TelemetryEvent::RunStart {
-            algorithm: "DRFA".into(),
-            rounds: cfg.rounds,
-            n_edges: problem.num_edges(),
-            num_params: d,
+        emit_preamble(
+            tel,
+            resumed.as_ref(),
+            "DRFA",
+            cfg.rounds,
+            problem.num_edges(),
+            d,
             seed,
-        });
+        );
+        let ckpt = CheckpointCtx::new(&cfg.opts, "DRFA", seed, cfg.rounds, true);
 
-        for k in 0..cfg.rounds {
+        for k in start_round..cfg.rounds {
             tel.record(|| TelemetryEvent::RoundStart { round: k });
             let round_timer = tel.timer();
             let phase1_timer = tel.timer();
@@ -269,6 +287,17 @@ impl Algorithm for Drfa {
                 comm_now,
                 &w,
                 p_edge,
+            );
+            ckpt.after_round(
+                k,
+                &w,
+                &q,
+                &avg_w,
+                &avg_p,
+                &history,
+                comm_now,
+                Default::default(),
+                vec![],
             );
         }
 

@@ -7,12 +7,13 @@
 
 use super::flat_common::{client_dataset, q_to_edge_p, run_flat_clients};
 use super::{finish_round, Algorithm, IterateAverage, RunOpts, RunResult};
+use crate::checkpoint::{emit_preamble, CheckpointCtx, ResumedRun};
 use crate::history::History;
 use crate::problem::FederatedProblem;
 use hm_data::rng::{Purpose, StreamKey, StreamRng};
 use hm_simnet::sampling::sample_edges_uniform;
 use hm_simnet::trace::Event;
-use hm_simnet::{CommMeter, CommStats, Link};
+use hm_simnet::{CommMeter, Link};
 use hm_telemetry::TelemetryEvent;
 use hm_tensor::vecops;
 
@@ -92,18 +93,33 @@ impl Algorithm for FedAvg {
                 0,
             )));
 
-        let mut comm_prev = CommStats::default();
+        let resumed = ResumedRun::from_opts(&cfg.opts, "FedAvg", seed, cfg.rounds);
+        let start_round = match &resumed {
+            Some(rr) => {
+                w.clone_from(&rr.w);
+                avg_w = rr.avg_w.clone();
+                avg_p = rr.avg_p.clone();
+                history = rr.history.clone();
+                meter.restore(&rr.comm);
+                rr.start_round
+            }
+            None => 0,
+        };
+        let mut comm_prev = meter.snapshot();
         let tel = &cfg.opts.telemetry;
         let run_timer = tel.timer();
-        tel.record(|| TelemetryEvent::RunStart {
-            algorithm: "FedAvg".into(),
-            rounds: cfg.rounds,
-            n_edges: problem.num_edges(),
-            num_params: d,
+        emit_preamble(
+            tel,
+            resumed.as_ref(),
+            "FedAvg",
+            cfg.rounds,
+            problem.num_edges(),
+            d,
             seed,
-        });
+        );
+        let ckpt = CheckpointCtx::new(&cfg.opts, "FedAvg", seed, cfg.rounds, true);
 
-        for k in 0..cfg.rounds {
+        for k in start_round..cfg.rounds {
             tel.record(|| TelemetryEvent::RoundStart { round: k });
             let round_timer = tel.timer();
             let phase1_timer = tel.timer();
@@ -180,6 +196,17 @@ impl Algorithm for FedAvg {
                 comm_now,
                 &w,
                 uniform_p.clone(),
+            );
+            ckpt.after_round(
+                k,
+                &w,
+                &uniform_p,
+                &avg_w,
+                &avg_p,
+                &history,
+                comm_now,
+                Default::default(),
+                vec![],
             );
         }
 

@@ -8,6 +8,7 @@
 
 use super::flat_common::{client_dataset, q_to_edge_p};
 use super::{finish_round, Algorithm, IterateAverage, RunOpts, RunResult};
+use crate::checkpoint::{CheckpointCtx, ResumedRun};
 use crate::history::History;
 use crate::localsgd::local_sgd_prox;
 use crate::problem::FederatedProblem;
@@ -100,7 +101,22 @@ impl Algorithm for FedProx {
                 0,
             )));
 
-        for k in 0..cfg.rounds {
+        let resumed = ResumedRun::from_opts(&cfg.opts, "FedProx", seed, cfg.rounds);
+        let start_round = match &resumed {
+            Some(rr) => {
+                w.clone_from(&rr.w);
+                avg_w = rr.avg_w.clone();
+                avg_p = rr.avg_p.clone();
+                history = rr.history.clone();
+                meter.restore(&rr.comm);
+                rr.start_round
+            }
+            None => 0,
+        };
+        // FedProx emits no telemetry, so checkpoint events are suppressed.
+        let ckpt = CheckpointCtx::new(&cfg.opts, "FedProx", seed, cfg.rounds, false);
+
+        for k in start_round..cfg.rounds {
             let mut s_rng =
                 StreamRng::for_key(StreamKey::new(seed, Purpose::EdgeSampling, k as u64, 0));
             let sampled = sample_edges_uniform(n, cfg.m_clients, &mut s_rng);
@@ -148,6 +164,17 @@ impl Algorithm for FedProx {
                 meter.snapshot(),
                 &w,
                 uniform_p.clone(),
+            );
+            ckpt.after_round(
+                k,
+                &w,
+                &uniform_p,
+                &avg_w,
+                &avg_p,
+                &history,
+                meter.snapshot(),
+                Default::default(),
+                vec![],
             );
         }
 

@@ -10,14 +10,13 @@
 use super::hier_common::{run_edge_blocks, EdgeBlockParams};
 use super::hierminimax::{delivery_fault_kind, record_edge_fault};
 use super::{finish_round, Algorithm, IterateAverage, RunOpts, RunResult};
+use crate::checkpoint::{emit_preamble, CheckpointCtx, ResumedRun};
 use crate::history::History;
 use crate::problem::FederatedProblem;
 use hm_data::rng::{Purpose, StreamKey, StreamRng};
 use hm_simnet::sampling::sample_edges_uniform;
 use hm_simnet::trace::Event;
-use hm_simnet::{
-    CommMeter, CommStats, FaultInjector, FaultKind, FaultStats, Link, MsgChannel, Quantizer,
-};
+use hm_simnet::{CommMeter, FaultInjector, FaultKind, FaultStats, Link, MsgChannel, Quantizer};
 use hm_telemetry::TelemetryEvent;
 use hm_tensor::vecops;
 
@@ -107,21 +106,39 @@ impl Algorithm for HierFavg {
                 0,
                 0,
             )));
-        let mut comm_prev = CommStats::default();
         let fault = FaultInjector::new(seed, cfg.opts.fault.clone().with_dropout(cfg.dropout));
         let mut faults_prev = FaultStats::default();
 
+        let resumed = ResumedRun::from_opts(&cfg.opts, "HierFAVG", seed, cfg.rounds);
+        let start_round = match &resumed {
+            Some(rr) => {
+                w.clone_from(&rr.w);
+                avg_w = rr.avg_w.clone();
+                avg_p = rr.avg_p.clone();
+                history = rr.history.clone();
+                meter.restore(&rr.comm);
+                fault.restore(&rr.faults);
+                faults_prev = rr.faults;
+                rr.start_round
+            }
+            None => 0,
+        };
+        let mut comm_prev = meter.snapshot();
+
         let tel = &cfg.opts.telemetry;
         let run_timer = tel.timer();
-        tel.record(|| TelemetryEvent::RunStart {
-            algorithm: "HierFAVG".into(),
-            rounds: cfg.rounds,
+        emit_preamble(
+            tel,
+            resumed.as_ref(),
+            "HierFAVG",
+            cfg.rounds,
             n_edges,
-            num_params: d,
+            d,
             seed,
-        });
+        );
+        let ckpt = CheckpointCtx::new(&cfg.opts, "HierFAVG", seed, cfg.rounds, true);
 
-        for k in 0..cfg.rounds {
+        for k in start_round..cfg.rounds {
             tel.record(|| TelemetryEvent::RoundStart { round: k });
             let round_timer = tel.timer();
             let phase1_timer = tel.timer();
@@ -310,6 +327,17 @@ impl Algorithm for HierFavg {
                 comm_now,
                 &w,
                 uniform_p.clone(),
+            );
+            ckpt.after_round(
+                k,
+                &w,
+                &uniform_p,
+                &avg_w,
+                &avg_p,
+                &history,
+                comm_now,
+                fstats,
+                vec![],
             );
         }
 

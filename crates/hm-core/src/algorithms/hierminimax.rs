@@ -19,6 +19,7 @@
 
 use super::hier_common::{multiplicities, run_edge_blocks, EdgeBlockParams};
 use super::{finish_round, Algorithm, IterateAverage, RunOpts, RunResult};
+use crate::checkpoint::{emit_preamble, CheckpointCtx, ResumedRun};
 use crate::history::History;
 use crate::localsgd::estimate_loss;
 use crate::problem::FederatedProblem;
@@ -26,9 +27,7 @@ use hm_data::rng::{Purpose, StreamKey, StreamRng};
 use hm_optim::sgd::projected_ascent_step;
 use hm_simnet::sampling::{sample_checkpoint, sample_edges_uniform, sample_edges_weighted};
 use hm_simnet::trace::{Event, Trace};
-use hm_simnet::{
-    CommMeter, CommStats, FaultInjector, FaultKind, FaultStats, Link, MsgChannel, Quantizer,
-};
+use hm_simnet::{CommMeter, FaultInjector, FaultKind, FaultStats, Link, MsgChannel, Quantizer};
 use hm_telemetry::{Telemetry, TelemetryEvent};
 use hm_tensor::vecops;
 
@@ -208,24 +207,46 @@ impl Algorithm for HierMinimax {
                 0,
             )));
         let mut p = problem.initial_p();
-        let mut comm_prev = CommStats::default();
         // Fault oracle: the run's plan with the legacy `dropout` knob
         // folded into `client_crash`. An all-zero plan makes no RNG draws,
         // so this path is bit-identical to the fault-free seed runs.
         let fault = FaultInjector::new(seed, cfg.opts.fault.clone().with_dropout(cfg.dropout));
         let mut faults_prev = FaultStats::default();
 
+        // Resuming restores every piece of round-boundary state; all
+        // randomness is keyed by (seed, round), so re-entering the loop at
+        // `start_round` replays the uninterrupted run bit for bit.
+        let resumed = ResumedRun::from_opts(&cfg.opts, "HierMinimax", seed, cfg.rounds);
+        let start_round = match &resumed {
+            Some(rr) => {
+                w.clone_from(&rr.w);
+                p.clone_from(&rr.p);
+                avg_w = rr.avg_w.clone();
+                avg_p = rr.avg_p.clone();
+                history = rr.history.clone();
+                meter.restore(&rr.comm);
+                fault.restore(&rr.faults);
+                faults_prev = rr.faults;
+                rr.start_round
+            }
+            None => 0,
+        };
+        let mut comm_prev = meter.snapshot();
+
         let tel = &cfg.opts.telemetry;
         let run_timer = tel.timer();
-        tel.record(|| TelemetryEvent::RunStart {
-            algorithm: "HierMinimax".into(),
-            rounds: cfg.rounds,
+        emit_preamble(
+            tel,
+            resumed.as_ref(),
+            "HierMinimax",
+            cfg.rounds,
             n_edges,
-            num_params: d,
+            d,
             seed,
-        });
+        );
+        let ckpt = CheckpointCtx::new(&cfg.opts, "HierMinimax", seed, cfg.rounds, true);
 
-        for k in 0..cfg.rounds {
+        for k in start_round..cfg.rounds {
             tel.record(|| TelemetryEvent::RoundStart { round: k });
             let round_timer = tel.timer();
             let phase1_timer = tel.timer();
@@ -623,6 +644,17 @@ impl Algorithm for HierMinimax {
                 comm_now,
                 &w,
                 p.clone(),
+            );
+            ckpt.after_round(
+                k,
+                &w,
+                &p,
+                &avg_w,
+                &avg_p,
+                &history,
+                comm_now,
+                fstats,
+                vec![],
             );
         }
 

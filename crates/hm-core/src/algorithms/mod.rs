@@ -85,6 +85,10 @@ pub struct RunOpts {
     /// (asserted by `tests/determinism.rs`). Flat baselines, which have no
     /// block structure, ignore this.
     pub engine: ExecEngine,
+    /// Crash-consistent checkpointing: where/how often to write snapshots
+    /// and, optionally, a snapshot to resume from (see `hm-checkpoint` and
+    /// DESIGN.md §12). The default neither writes nor resumes.
+    pub checkpoint: crate::checkpoint::CheckpointOpts,
 }
 
 impl Default for RunOpts {
@@ -96,6 +100,7 @@ impl Default for RunOpts {
             telemetry: Telemetry::disabled(),
             fault: FaultPlan::default(),
             engine: ExecEngine::default(),
+            checkpoint: crate::checkpoint::CheckpointOpts::default(),
         }
     }
 }
@@ -178,6 +183,19 @@ impl IterateAverage {
     pub(crate) fn mean(&self) -> Vec<f32> {
         let n = self.count.max(1) as f64;
         self.sum.iter().map(|&s| (s / n) as f32).collect()
+    }
+
+    /// Raw accumulator state `(sum, count)`, for checkpointing.
+    pub(crate) fn parts(&self) -> (&[f64], u64) {
+        (&self.sum, self.count as u64)
+    }
+
+    /// Rebuild from checkpointed accumulator state.
+    pub(crate) fn from_parts(sum: Vec<f64>, count: u64) -> Self {
+        Self {
+            sum,
+            count: count as usize,
+        }
     }
 }
 

@@ -22,6 +22,7 @@
 use super::hier_common::{multiplicities, run_edge_blocks, EdgeBlockParams};
 use super::hierminimax::{delivery_fault_kind, record_edge_fault};
 use super::{finish_round, Algorithm, IterateAverage, RunOpts, RunResult};
+use crate::checkpoint::{emit_preamble, CheckpointCtx, ResumedRun};
 use crate::history::History;
 use crate::localsgd::estimate_loss;
 use crate::problem::FederatedProblem;
@@ -30,9 +31,7 @@ use hm_optim::sgd::projected_ascent_step;
 use hm_simnet::sampling::{sample_edges_uniform, sample_edges_weighted};
 use hm_simnet::trace::Event;
 use hm_simnet::trace::Trace;
-use hm_simnet::{
-    CommMeter, CommStats, FaultInjector, FaultKind, FaultStats, Link, MsgChannel, Quantizer,
-};
+use hm_simnet::{CommMeter, FaultInjector, FaultKind, FaultStats, Link, MsgChannel, Quantizer};
 use hm_telemetry::TelemetryEvent;
 use hm_tensor::vecops;
 
@@ -291,7 +290,6 @@ impl Algorithm for MultiLevelMinimax {
             .map(|g| (g * per_group..(g + 1) * per_group).collect())
             .collect();
         let total_tau = cfg.slots_per_round();
-        let mut comm_prev = CommStats::default();
         // Cloud-link faults (outages, message loss) act on the top-level
         // groups at level 0; client faults key on the tree depth inside
         // `subtree_update`. Intermediate links are site-local and modeled
@@ -299,19 +297,39 @@ impl Algorithm for MultiLevelMinimax {
         let fault = FaultInjector::new(seed, cfg.opts.fault.clone().with_dropout(cfg.dropout));
         let mut faults_prev = FaultStats::default();
 
+        let resumed = ResumedRun::from_opts(&cfg.opts, "MultiLevelMinimax", seed, cfg.rounds);
+        let start_round = match &resumed {
+            Some(rr) => {
+                w.clone_from(&rr.w);
+                p.clone_from(&rr.p);
+                avg_w = rr.avg_w.clone();
+                avg_p = rr.avg_p.clone();
+                history = rr.history.clone();
+                meter.restore(&rr.comm);
+                fault.restore(&rr.faults);
+                faults_prev = rr.faults;
+                rr.start_round
+            }
+            None => 0,
+        };
+        let mut comm_prev = meter.snapshot();
+
         let tel = &cfg.opts.telemetry;
         let run_timer = tel.timer();
         // The weighted top-level groups play the edge-area role here, so
         // they are what `n_edges` (and the `p` vectors below) count.
-        tel.record(|| TelemetryEvent::RunStart {
-            algorithm: "MultiLevelMinimax".into(),
-            rounds: cfg.rounds,
-            n_edges: num_groups,
-            num_params: d,
+        emit_preamble(
+            tel,
+            resumed.as_ref(),
+            "MultiLevelMinimax",
+            cfg.rounds,
+            num_groups,
+            d,
             seed,
-        });
+        );
+        let ckpt = CheckpointCtx::new(&cfg.opts, "MultiLevelMinimax", seed, cfg.rounds, true);
 
-        for k in 0..cfg.rounds {
+        for k in start_round..cfg.rounds {
             tel.record(|| TelemetryEvent::RoundStart { round: k });
             let round_timer = tel.timer();
             let phase1_timer = tel.timer();
@@ -588,6 +606,7 @@ impl Algorithm for MultiLevelMinimax {
                 &w,
                 p.clone(),
             );
+            ckpt.after_round(k, &w, &p, &avg_w, &avg_p, &history, comm_now, fcum, vec![]);
         }
 
         let comm_final = meter.snapshot();

@@ -19,9 +19,11 @@
 use super::hier_common::{multiplicities, run_edge_blocks, EdgeBlockParams};
 use super::hierminimax::{delivery_fault_kind, record_edge_fault};
 use super::{finish_round, Algorithm, IterateAverage, RunOpts, RunResult};
+use crate::checkpoint::{CheckpointCtx, ResumedRun};
 use crate::history::History;
 use crate::localsgd::estimate_loss;
 use crate::problem::FederatedProblem;
+use hm_checkpoint::format::{ByteReader, ByteWriter};
 use hm_data::rng::{Purpose, StreamKey, StreamRng};
 use hm_optim::sgd::projected_ascent_step;
 use hm_simnet::sampling::{sample_checkpoint, sample_edges_uniform, sample_edges_weighted};
@@ -29,6 +31,9 @@ use hm_simnet::trace::Event;
 use hm_simnet::{CommMeter, FaultInjector, FaultKind, FaultStats, Link, MsgChannel};
 use hm_telemetry::TelemetryEvent;
 use hm_tensor::vecops;
+
+/// Snapshot extras section holding `(simulated_seconds, discarded)`.
+const OVERSELECT_SECTION: &str = "overselect";
 
 /// Configuration of an over-selecting HierMinimax run.
 #[derive(Debug, Clone)]
@@ -131,7 +136,34 @@ impl OverselectMinimax {
             )));
         let mut p = problem.initial_p();
 
-        for k in 0..cfg.rounds {
+        // Resume path. Over-selection has no run-level telemetry stream
+        // (only fault events), so checkpoint events are suppressed; the
+        // simulated clock and discard counter ride the snapshot's extras.
+        let resumed = ResumedRun::from_opts(&cfg.opts, "Overselect", seed, cfg.rounds);
+        let start_round = match &resumed {
+            Some(rr) => {
+                w.clone_from(&rr.w);
+                p.clone_from(&rr.p);
+                avg_w = rr.avg_w.clone();
+                avg_p = rr.avg_p.clone();
+                history = rr.history.clone();
+                meter.restore(&rr.comm);
+                fault.restore(&rr.faults);
+                faults_prev = rr.faults;
+                let extra = rr
+                    .snap
+                    .extra(OVERSELECT_SECTION)
+                    .expect("overselect snapshot carries its clock section");
+                let mut r = ByteReader::new(extra);
+                simulated_seconds = r.get_f64().expect("clock");
+                discarded = r.get_u64().expect("discard count") as usize;
+                rr.start_round
+            }
+            None => 0,
+        };
+        let ckpt = CheckpointCtx::new(&cfg.opts, "Overselect", seed, cfg.rounds, false);
+
+        for k in start_round..cfg.rounds {
             // Over-sample by p, then keep the m_E fastest sampled slots.
             let mut e_rng =
                 StreamRng::for_key(StreamKey::new(seed, Purpose::EdgeSampling, k as u64, 0));
@@ -373,6 +405,20 @@ impl OverselectMinimax {
                 meter.snapshot(),
                 &w,
                 p.clone(),
+            );
+            let mut section = ByteWriter::new();
+            section.put_f64(simulated_seconds);
+            section.put_u64(discarded as u64);
+            ckpt.after_round(
+                k,
+                &w,
+                &p,
+                &avg_w,
+                &avg_p,
+                &history,
+                meter.snapshot(),
+                fault.stats(),
+                vec![(OVERSELECT_SECTION.to_string(), section.into_bytes())],
             );
         }
 

@@ -6,7 +6,7 @@ use hm_simnet::CommStats;
 use std::fmt::Write as _;
 
 /// Snapshot taken at the end of one training round.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoundRecord {
     /// Training round index `k` (0-based).
     pub round: usize,
@@ -22,7 +22,7 @@ pub struct RoundRecord {
 }
 
 /// The full per-round history of a run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct History {
     /// One record per training round, in order.
     pub rounds: Vec<RoundRecord>,

@@ -23,6 +23,7 @@
 //!   bound (lockstep instrumentation + problem-constant estimation).
 
 pub mod algorithms;
+pub mod checkpoint;
 pub mod diagnostics;
 pub mod duality;
 pub mod history;
@@ -32,6 +33,7 @@ pub mod problem;
 pub mod stationarity;
 
 pub use algorithms::{Algorithm, RunOpts, RunResult};
+pub use checkpoint::CheckpointOpts;
 pub use history::History;
 pub use metrics::EvalReport;
 pub use problem::FederatedProblem;

@@ -110,6 +110,32 @@ impl CommStats {
             + self.downlink_floats[c]
     }
 
+    /// Decompose into the five raw counter arrays, ordered
+    /// `[uplink_floats, downlink_floats, uplink_msgs, downlink_msgs,
+    /// rounds]` with [`Link::idx`] ordering inside each. The inverse of
+    /// [`CommStats::from_parts`]; used by `hm-checkpoint` to serialise a
+    /// snapshot without exposing the private fields.
+    pub fn parts(&self) -> [[u64; Link::COUNT]; 5] {
+        [
+            self.uplink_floats,
+            self.downlink_floats,
+            self.uplink_msgs,
+            self.downlink_msgs,
+            self.rounds,
+        ]
+    }
+
+    /// Rebuild a snapshot from [`CommStats::parts`].
+    pub fn from_parts(parts: [[u64; Link::COUNT]; 5]) -> Self {
+        CommStats {
+            uplink_floats: parts[0],
+            downlink_floats: parts[1],
+            uplink_msgs: parts[2],
+            downlink_msgs: parts[3],
+            rounds: parts[4],
+        }
+    }
+
     /// Counter-wise difference `self − earlier` (for per-round deltas).
     ///
     /// # Panics
@@ -189,6 +215,30 @@ impl CommMeter {
     /// [`CommMeter::record_round`] `n` times.
     pub fn record_rounds(&self, link: Link, n: u64) {
         self.rounds[link.idx()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite every counter with the values of a [`CommStats`]
+    /// snapshot. Used when resuming a checkpointed run: the fresh meter is
+    /// fast-forwarded to the totals the interrupted run had accumulated, so
+    /// subsequent deltas and final totals are bit-identical to an
+    /// uninterrupted run.
+    ///
+    /// Callers must ensure no concurrent recording is in flight (resume
+    /// happens before any client work is spawned).
+    pub fn restore(&self, stats: &CommStats) {
+        let parts = stats.parts();
+        let arrays = [
+            &self.uplink_floats,
+            &self.downlink_floats,
+            &self.uplink_msgs,
+            &self.downlink_msgs,
+            &self.rounds,
+        ];
+        for (dst, src) in arrays.iter().zip(&parts) {
+            for (d, &s) in dst.iter().zip(src) {
+                d.store(s, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Snapshot the counters.

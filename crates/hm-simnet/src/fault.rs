@@ -515,6 +515,22 @@ impl FaultInjector {
         }
     }
 
+    /// Overwrite every counter with the values of a [`FaultStats`]
+    /// snapshot. Used when resuming a checkpointed run: the injector's
+    /// decision streams are pure functions of `(seed, round, entity)` and
+    /// need no restoration, but the cumulative bookkeeping must be
+    /// fast-forwarded so per-round deltas and the final stats match an
+    /// uninterrupted run bit-for-bit.
+    pub fn restore(&self, stats: &FaultStats) {
+        self.crashes.store(stats.crashes, Ordering::Relaxed);
+        self.outages.store(stats.outages, Ordering::Relaxed);
+        self.retries.store(stats.retries, Ordering::Relaxed);
+        self.gave_up.store(stats.gave_up, Ordering::Relaxed);
+        self.deadline_missed
+            .store(stats.deadline_missed, Ordering::Relaxed);
+        *self.seconds.lock() = (stats.backoff_s, stats.straggler_slots);
+    }
+
     /// Snapshot the counters.
     pub fn stats(&self) -> FaultStats {
         let (backoff_s, straggler_slots) = *self.seconds.lock();

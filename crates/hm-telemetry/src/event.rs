@@ -142,6 +142,35 @@ pub enum TelemetryEvent {
         /// Real elapsed seconds of this round.
         elapsed_s: f64,
     },
+    /// A crash-consistent snapshot was written after a round completed.
+    ///
+    /// `seq` is the number of telemetry events emitted by this run *up to
+    /// and including this event* — the same value stored in the snapshot —
+    /// so a validator can check sequence continuity across a crash/resume
+    /// splice point.
+    Checkpoint {
+        /// Round index (0-based) the snapshot covers through.
+        round: usize,
+        /// Events emitted so far, including this one.
+        seq: u64,
+    },
+    /// Preamble of a run resumed from a snapshot, in place of
+    /// [`TelemetryEvent::RunStart`]. Emitted *unsequenced* (it does not
+    /// advance the event counter), so the seq values of later `checkpoint`
+    /// events are bit-identical to the uninterrupted run's.
+    RunResume {
+        /// Algorithm display name.
+        algorithm: String,
+        /// Planned number of rounds (total, not remaining).
+        rounds: usize,
+        /// First round this resumed run executes.
+        next_round: usize,
+        /// Run seed.
+        seed: u64,
+        /// Event count inherited from the snapshot (the writing run's
+        /// count through its `checkpoint` event).
+        seq: u64,
+    },
     /// The run finished.
     RunEnd {
         /// Rounds actually executed.
@@ -189,6 +218,8 @@ impl TelemetryEvent {
             TelemetryEvent::Eval { .. } => "eval",
             TelemetryEvent::Fault { .. } => "fault",
             TelemetryEvent::FaultSummary { .. } => "fault_summary",
+            TelemetryEvent::Checkpoint { .. } => "checkpoint",
+            TelemetryEvent::RunResume { .. } => "run_resume",
             TelemetryEvent::RoundEnd { .. } => "round_end",
             TelemetryEvent::RunEnd { .. } => "run_end",
         }
@@ -302,6 +333,22 @@ impl TelemetryEvent {
                     .u64("deadline_missed", *deadline_missed)
                     .f64("backoff_s", *backoff_s)
                     .f64("straggler_slots", *straggler_slots);
+            }
+            TelemetryEvent::Checkpoint { round, seq } => {
+                w.usize("round", *round).u64("seq", *seq);
+            }
+            TelemetryEvent::RunResume {
+                algorithm,
+                rounds,
+                next_round,
+                seed,
+                seq,
+            } => {
+                w.str("algorithm", algorithm)
+                    .usize("rounds", *rounds)
+                    .usize("next_round", *next_round)
+                    .u64("seed", *seed)
+                    .u64("seq", *seq);
             }
             TelemetryEvent::RoundEnd {
                 round,
@@ -421,6 +468,14 @@ mod tests {
                 deadline_missed: 1,
                 backoff_s: 0.3,
                 straggler_slots: 1.5,
+            },
+            TelemetryEvent::Checkpoint { round: 0, seq: 11 },
+            TelemetryEvent::RunResume {
+                algorithm: "HierMinimax".into(),
+                rounds: 5,
+                next_round: 1,
+                seed: 42,
+                seq: 11,
             },
             TelemetryEvent::RoundEnd {
                 round: 0,

@@ -84,6 +84,14 @@ fn fields_for(kind: &str) -> Option<&'static [(&'static str, Ty)]> {
             ("backoff_s", Ty::Num),
             ("straggler_slots", Ty::Num),
         ],
+        "checkpoint" => &[("round", Ty::UInt), ("seq", Ty::UInt)],
+        "run_resume" => &[
+            ("algorithm", Ty::Str),
+            ("rounds", Ty::UInt),
+            ("next_round", Ty::UInt),
+            ("seed", Ty::UInt),
+            ("seq", Ty::UInt),
+        ],
         "round_end" => &[
             ("round", Ty::UInt),
             ("slots", Ty::UInt),
@@ -236,12 +244,27 @@ pub struct StreamSummary {
 /// Validate a whole JSONL stream (possibly several concatenated runs).
 ///
 /// Every non-empty line must pass [`validate_line`]; additionally each run
-/// segment must open with `run_start`, close with `run_end`, and have
-/// `round_end` indices consecutive from 0 with a matching final count.
+/// segment must open with `run_start` (or `run_resume`, see below), close
+/// with `run_end`, and have `round_end` indices consecutive from the
+/// segment's starting round with a matching final count.
+///
+/// Crash/resume support: a `run_resume` line either *opens* a segment (a
+/// resumed run's own stream, validated standalone) or *continues* an open
+/// one (a spliced stream: pre-crash prefix cut at its last `checkpoint`
+/// event, then the resumed suffix). In both cases continuity is enforced —
+/// `next_round` must equal the rounds completed so far and `seq` must
+/// equal the running event count, so a forged splice that skips or
+/// repeats a round is rejected. `checkpoint` events themselves must carry
+/// a `seq` matching the running count and cover the round that just
+/// ended.
 pub fn validate_stream(text: &str) -> Result<StreamSummary, SchemaError> {
     let mut summary = StreamSummary::default();
     let mut in_run = false;
     let mut rounds_seen = 0usize;
+    // Sequenced events in the logical run so far (a resumed segment
+    // inherits the count from its run_resume preamble, which — like the
+    // emitter — does not count itself).
+    let mut seq_count = 0u64;
     let at = |line_no: usize, msg: String| SchemaError { line: line_no, msg };
 
     for (i, raw) in text.lines().enumerate() {
@@ -260,11 +283,72 @@ pub fn validate_stream(text: &str) -> Result<StreamSummary, SchemaError> {
                 }
                 in_run = true;
                 rounds_seen = 0;
+                seq_count = 1; // run_start counts itself
+            }
+            "run_resume" => {
+                let v = parse(raw).expect("validated above");
+                let next_round = v
+                    .get("next_round")
+                    .and_then(Json::as_u64)
+                    .expect("validated") as usize;
+                let seq = v.get("seq").and_then(Json::as_u64).expect("validated");
+                if in_run {
+                    // Splice point: the prefix must end exactly at the
+                    // checkpoint this resume was loaded from.
+                    if next_round != rounds_seen {
+                        return Err(at(
+                            line_no,
+                            format!(
+                                "run_resume next_round {next_round} but {rounds_seen} rounds completed before the splice"
+                            ),
+                        ));
+                    }
+                    if seq != seq_count {
+                        return Err(at(
+                            line_no,
+                            format!(
+                                "run_resume seq {seq} but {seq_count} events precede the splice"
+                            ),
+                        ));
+                    }
+                } else {
+                    if next_round == 0 {
+                        return Err(at(line_no, "run_resume with next_round 0".into()));
+                    }
+                    in_run = true;
+                    rounds_seen = next_round;
+                    seq_count = seq;
+                }
+                // Unsequenced either way: seq_count unchanged.
+            }
+            "checkpoint" => {
+                if !in_run {
+                    return Err(at(line_no, "checkpoint outside a run".into()));
+                }
+                seq_count += 1;
+                let v = parse(raw).expect("validated above");
+                let round = v.get("round").and_then(Json::as_u64).expect("validated") as usize;
+                let seq = v.get("seq").and_then(Json::as_u64).expect("validated");
+                if rounds_seen == 0 || round != rounds_seen - 1 {
+                    return Err(at(
+                        line_no,
+                        format!(
+                            "checkpoint covers round {round} but {rounds_seen} rounds completed"
+                        ),
+                    ));
+                }
+                if seq != seq_count {
+                    return Err(at(
+                        line_no,
+                        format!("checkpoint seq {seq}, expected {seq_count}"),
+                    ));
+                }
             }
             "run_end" => {
                 if !in_run {
                     return Err(at(line_no, "run_end without run_start".into()));
                 }
+                seq_count += 1;
                 let v = parse(raw).expect("validated above");
                 let declared = v.get("rounds").and_then(Json::as_u64).expect("validated") as usize;
                 if declared != rounds_seen {
@@ -280,6 +364,7 @@ pub fn validate_stream(text: &str) -> Result<StreamSummary, SchemaError> {
                 if !in_run {
                     return Err(at(line_no, "round_end outside a run".into()));
                 }
+                seq_count += 1;
                 let v = parse(raw).expect("validated above");
                 let round = v.get("round").and_then(Json::as_u64).expect("validated") as usize;
                 if round != rounds_seen {
@@ -294,6 +379,7 @@ pub fn validate_stream(text: &str) -> Result<StreamSummary, SchemaError> {
                 if !in_run {
                     return Err(at(line_no, format!("{kind} outside a run")));
                 }
+                seq_count += 1;
             }
         }
     }
@@ -489,6 +575,114 @@ mod tests {
         );
         let e = validate_stream(&stream).unwrap_err();
         assert!(e.msg.contains("declares 3 rounds"), "{}", e.msg);
+    }
+
+    /// `tiny_stream` with a `checkpoint` inserted after round 0's
+    /// `round_end` (which is the stream's 10th event, so the checkpoint is
+    /// the 11th).
+    fn checkpointed_stream() -> String {
+        let mut lines: Vec<String> = tiny_stream().lines().map(String::from).collect();
+        let ckpt = TelemetryEvent::Checkpoint { round: 0, seq: 11 };
+        lines.insert(10, ckpt.to_json());
+        lines.join("\n")
+    }
+
+    /// The suffix a run resumed from that checkpoint emits: an unsequenced
+    /// `run_resume`, then round 1 and the closing `run_end`.
+    fn resumed_suffix() -> String {
+        let mut lines = vec![TelemetryEvent::RunResume {
+            algorithm: "HierMinimax".into(),
+            rounds: 2,
+            next_round: 1,
+            seed: 1,
+            seq: 11,
+        }
+        .to_json()];
+        // Rounds 1.. of tiny_stream (events 11..13).
+        lines.extend(tiny_stream().lines().skip(10).map(String::from));
+        lines.join("\n")
+    }
+
+    #[test]
+    fn stream_with_checkpoints_validates() {
+        let summary = validate_stream(&checkpointed_stream()).unwrap();
+        assert_eq!(summary.runs, 1);
+        assert_eq!(summary.events_by_kind["checkpoint"], 1);
+    }
+
+    #[test]
+    fn stream_rejects_checkpoint_with_wrong_seq() {
+        let stream = checkpointed_stream().replace("\"seq\":11", "\"seq\":12");
+        let e = validate_stream(&stream).unwrap_err();
+        assert!(
+            e.msg.contains("checkpoint seq 12, expected 11"),
+            "{}",
+            e.msg
+        );
+    }
+
+    #[test]
+    fn stream_rejects_checkpoint_for_wrong_round() {
+        let stream = checkpointed_stream().replace(
+            "{\"ev\":\"checkpoint\",\"round\":0",
+            "{\"ev\":\"checkpoint\",\"round\":1",
+        );
+        let e = validate_stream(&stream).unwrap_err();
+        assert!(e.msg.contains("checkpoint covers round 1"), "{}", e.msg);
+    }
+
+    #[test]
+    fn resumed_stream_validates_standalone() {
+        let summary = validate_stream(&resumed_suffix()).unwrap();
+        assert_eq!(summary.runs, 1);
+        assert_eq!(summary.events_by_kind["run_resume"], 1);
+    }
+
+    #[test]
+    fn spliced_stream_validates() {
+        // Prefix cut right after the checkpoint + resumed suffix.
+        let prefix = checkpointed_stream()
+            .lines()
+            .take(11)
+            .collect::<Vec<_>>()
+            .join("\n");
+        let spliced = format!("{prefix}\n{}", resumed_suffix());
+        let summary = validate_stream(&spliced).unwrap();
+        assert_eq!(summary.runs, 1);
+        assert_eq!(summary.events_by_kind["round_end"], 2);
+    }
+
+    #[test]
+    fn forged_splice_round_skip_is_rejected() {
+        let prefix = checkpointed_stream()
+            .lines()
+            .take(11)
+            .collect::<Vec<_>>()
+            .join("\n");
+        let forged = resumed_suffix().replace("\"next_round\":1", "\"next_round\":2");
+        let e = validate_stream(&format!("{prefix}\n{forged}")).unwrap_err();
+        assert!(e.msg.contains("run_resume next_round 2"), "{}", e.msg);
+    }
+
+    #[test]
+    fn forged_splice_seq_gap_is_rejected() {
+        let prefix = checkpointed_stream()
+            .lines()
+            .take(11)
+            .collect::<Vec<_>>()
+            .join("\n");
+        let forged = resumed_suffix().replace("\"seq\":11", "\"seq\":13");
+        let e = validate_stream(&format!("{prefix}\n{forged}")).unwrap_err();
+        assert!(e.msg.contains("run_resume seq 13"), "{}", e.msg);
+    }
+
+    #[test]
+    fn standalone_resume_from_round_zero_is_rejected() {
+        let bogus = resumed_suffix().replace("\"next_round\":1", "\"next_round\":0");
+        // next_round 0 makes no sense standalone (nothing was completed)
+        // and mismatches the suffix rounds anyway.
+        let e = validate_stream(&bogus).unwrap_err();
+        assert!(e.msg.contains("next_round 0"), "{}", e.msg);
     }
 
     #[test]

@@ -134,6 +134,9 @@ impl Drop for JsonlSink {
 struct Inner {
     sink: Arc<dyn Sink>,
     latency: LatencyModel,
+    /// Events emitted through this handle (and its clones). Checkpoint
+    /// snapshots store it so a resumed run can continue the sequence.
+    seq: std::sync::atomic::AtomicU64,
 }
 
 /// Cheap, cloneable telemetry handle carried in `RunOpts`.
@@ -158,6 +161,7 @@ impl Telemetry {
             inner: Some(Arc::new(Inner {
                 sink,
                 latency: LatencyModel::mobile_edge(),
+                seq: std::sync::atomic::AtomicU64::new(0),
             })),
         }
     }
@@ -169,6 +173,9 @@ impl Telemetry {
                 Arc::new(Inner {
                     sink: Arc::clone(&inner.sink),
                     latency,
+                    seq: std::sync::atomic::AtomicU64::new(
+                        inner.seq.load(std::sync::atomic::Ordering::Relaxed),
+                    ),
                 })
             }),
         }
@@ -184,12 +191,42 @@ impl Telemetry {
         self.inner.is_some()
     }
 
-    /// Emit an event. The closure runs only when enabled, so payload
-    /// clones cost nothing on the disabled path.
+    /// Emit an event and advance the sequence counter. The closure runs
+    /// only when enabled, so payload clones cost nothing on the disabled
+    /// path.
     #[inline]
     pub fn record(&self, make: impl FnOnce() -> TelemetryEvent) {
         if let Some(inner) = &self.inner {
             inner.sink.emit(&make());
+            inner.seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Emit an event *without* advancing the sequence counter. Used for
+    /// the `run_resume` preamble: the resumed run must produce later
+    /// `checkpoint` events with the same seq values as the uninterrupted
+    /// run, so the preamble itself stays outside the count.
+    #[inline]
+    pub fn record_unsequenced(&self, make: impl FnOnce() -> TelemetryEvent) {
+        if let Some(inner) = &self.inner {
+            inner.sink.emit(&make());
+        }
+    }
+
+    /// Events emitted so far through this handle and its clones (`0` when
+    /// disabled).
+    pub fn seq(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.seq.load(std::sync::atomic::Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Set the sequence counter, inheriting a checkpointed run's position
+    /// on resume. No-op when disabled.
+    pub fn set_seq(&self, seq: u64) {
+        if let Some(inner) = &self.inner {
+            inner.seq.store(seq, std::sync::atomic::Ordering::Relaxed);
         }
     }
 
@@ -336,6 +373,29 @@ mod tests {
         // uniform() sets client_step_s = 1e-3.
         assert!((t.fault_seconds(3.0, 0.25) - (3.0 * 1e-3 + 0.25)).abs() < 1e-12);
         assert_eq!(Telemetry::disabled().fault_seconds(3.0, 0.25), 0.0);
+    }
+
+    #[test]
+    fn seq_counts_sequenced_emissions_only() {
+        let sink = Arc::new(MemorySink::new());
+        let t = Telemetry::with_sink(sink.clone());
+        assert_eq!(t.seq(), 0);
+        t.record(|| ev(0));
+        t.record(|| ev(1));
+        assert_eq!(t.seq(), 2);
+        t.record_unsequenced(|| ev(2));
+        assert_eq!(t.seq(), 2, "unsequenced emission must not count");
+        assert_eq!(sink.len(), 3, "but it still reaches the sink");
+        t.set_seq(50);
+        assert_eq!(t.seq(), 50);
+        t.record(|| ev(3));
+        assert_eq!(t.seq(), 51);
+        // Clones share the counter; disabled handles report 0 and ignore
+        // set_seq.
+        assert_eq!(t.clone().seq(), 51);
+        let off = Telemetry::disabled();
+        off.set_seq(9);
+        assert_eq!(off.seq(), 0);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 pub mod conformance;
 pub mod oracle;
+pub mod splice;
 pub mod strategies;
 
 pub use conformance::{
@@ -34,4 +35,5 @@ pub use oracle::{
     reference_drfa_round, reference_fedavg_round, reference_hierminimax_round,
     reference_hierminimax_run, reference_init_w, ReferenceRound,
 };
+pub use splice::{round_start_index, splice_traces};
 pub use strategies::{MultiLevelSpec, PDomainSpec, ScenarioSpec};

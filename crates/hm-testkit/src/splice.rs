@@ -1,0 +1,73 @@
+//! Trace splicing for resumed runs.
+//!
+//! A checkpoint snapshot does not carry the protocol trace (DESIGN.md
+//! §12): the killed run's trace covers rounds `0..k` and the resumed run's
+//! trace covers `k..K`. Reconstructing the full-run view is an external
+//! concatenation at the round boundary — which these helpers perform — and
+//! the conformance automaton then validates the spliced log exactly as it
+//! would an uninterrupted one. Because resume is bit-identical, a correct
+//! splice *is* the uninterrupted trace; a forged splice (a skipped or
+//! repeated round) desynchronizes the round-indexed replay and is
+//! rejected.
+
+use hm_simnet::trace::Event;
+
+/// Index of the first event belonging to `round` in a hierarchical
+/// (HierMinimax / HierFAVG / multi-level cloud) trace — each round opens
+/// with its `Phase1EdgesSampled` draw. Returns `events.len()` when the
+/// trace ends before `round`.
+pub fn round_start_index(events: &[Event], round: usize) -> usize {
+    events
+        .iter()
+        .position(|e| matches!(e, Event::Phase1EdgesSampled { round: r, .. } if *r == round))
+        .unwrap_or(events.len())
+}
+
+/// Splice a checkpointed run's trace with the trace of the run resumed at
+/// `resume_round`: everything before that round from `prefix`, then
+/// `suffix` verbatim. `suffix` must start at `resume_round` (the resumed
+/// run's first event) for the result to be a coherent full-run log.
+pub fn splice_traces(prefix: &[Event], suffix: &[Event], resume_round: usize) -> Vec<Event> {
+    let cut = round_start_index(prefix, resume_round);
+    let mut out = Vec::with_capacity(cut + suffix.len());
+    out.extend_from_slice(&prefix[..cut]);
+    out.extend_from_slice(suffix);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p1(round: usize) -> Event {
+        Event::Phase1EdgesSampled {
+            round,
+            edges: vec![round],
+        }
+    }
+
+    #[test]
+    fn cut_lands_on_round_open() {
+        let trace = vec![
+            p1(0),
+            Event::GlobalAggregation { round: 0 },
+            p1(1),
+            Event::GlobalAggregation { round: 1 },
+        ];
+        assert_eq!(round_start_index(&trace, 0), 0);
+        assert_eq!(round_start_index(&trace, 1), 2);
+        assert_eq!(round_start_index(&trace, 2), 4);
+    }
+
+    #[test]
+    fn splice_reconstructs_full_trace() {
+        let full = vec![
+            p1(0),
+            Event::GlobalAggregation { round: 0 },
+            p1(1),
+            Event::GlobalAggregation { round: 1 },
+        ];
+        let suffix = &full[2..];
+        assert_eq!(splice_traces(&full, suffix, 1), full);
+    }
+}

@@ -34,6 +34,7 @@
 //! assert_eq!(run.history.rounds.len(), 5);
 //! ```
 
+pub use hm_checkpoint as checkpoint;
 pub use hm_core as core;
 pub use hm_data as data;
 pub use hm_nn as nn;

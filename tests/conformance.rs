@@ -9,18 +9,21 @@
 //! uploads, degenerate `τ = 1`, lossy links with retries, outage-heavy
 //! rounds), so they stay covered regardless of how the generator evolves.
 
+use hierminimax::checkpoint::{read_snapshot, snapshot_path};
 use hierminimax::core::algorithms::{
     Algorithm, HierFavg, HierMinimax, MultiLevelMinimax, WeightUpdateModel,
 };
+use hierminimax::core::CheckpointOpts;
 use hierminimax::simnet::sampling::sample_edges_uniform;
 use hierminimax::simnet::trace::Event;
 use hierminimax::simnet::{CommStats, FaultPlan, Quantizer};
 use hm_testkit::strategies::{arb_multilevel, arb_scenario};
 use hm_testkit::{
-    check_hierfavg_trace, check_hierminimax_trace, check_multilevel_trace, ConformanceError,
-    PDomainSpec, ScenarioSpec,
+    check_hierfavg_trace, check_hierminimax_trace, check_multilevel_trace, splice_traces,
+    ConformanceError, PDomainSpec, ScenarioSpec,
 };
 use proptest::prelude::*;
+use std::sync::Arc;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -321,4 +324,175 @@ fn reordered_phases_are_caught() {
         matches!(err, ConformanceError::UnexpectedEvent { .. }),
         "expected UnexpectedEvent, got {err}"
     );
+}
+
+// ---- Resumed-run splices (DESIGN.md §12). -------------------------------
+//
+// A snapshot does not carry the trace: the killed run logged rounds
+// `0..k`, the resumed run logs `k..K`, and the full-run view is the
+// splice at the round-`k` boundary. The conformance automaton replays a
+// spliced log exactly like an uninterrupted one, so an honest splice must
+// pass (and, by bit-identity, *equal* the uninterrupted trace), while a
+// forged splice — a skipped or repeated round — must be rejected.
+
+/// Run `spec` once with per-round checkpoints in a throwaway dir, then
+/// resume from the round-`kill_round` snapshot. Returns the checkpointed
+/// run's trace (the "killed" run's log is its prefix before `kill_round`)
+/// and the resumed run's trace.
+fn checkpointed_and_resumed(
+    spec: &ScenarioSpec,
+    kill_round: usize,
+    tag: &str,
+) -> (Vec<Event>, Vec<Event>) {
+    let fp = spec.problem();
+    let dir = std::env::temp_dir().join(format!("hm-splice-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut ck_cfg = spec.hierminimax_config();
+    ck_cfg.opts.checkpoint = CheckpointOpts::writing(&dir, 1);
+    let prefix = HierMinimax::new(ck_cfg)
+        .run(&fp, spec.run_seed)
+        .trace
+        .events();
+
+    let snap = read_snapshot(&snapshot_path(&dir, "HierMinimax", kill_round))
+        .unwrap_or_else(|e| panic!("{tag}: reading round-{kill_round} snapshot: {e}"));
+    let mut rs_cfg = spec.hierminimax_config();
+    rs_cfg.opts.checkpoint = CheckpointOpts::resuming(Arc::new(snap));
+    let suffix = HierMinimax::new(rs_cfg)
+        .run(&fp, spec.run_seed)
+        .trace
+        .events();
+
+    let _ = std::fs::remove_dir_all(&dir);
+    (prefix, suffix)
+}
+
+fn splice_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        n_edges: 3,
+        clients_per_edge: 2,
+        data_seed: 23,
+        run_seed: 77,
+        rounds: 4,
+        tau1: 2,
+        tau2: 2,
+        m_edges: 2,
+        dropout: 0.0,
+        quantizer: Quantizer::Exact,
+        p_domain: PDomainSpec::Simplex,
+        weight_update_model: WeightUpdateModel::RandomCheckpoint,
+        fault: FaultPlan::default(),
+    }
+}
+
+#[test]
+fn spliced_resumed_trace_conforms_and_matches_uninterrupted() {
+    let spec = splice_spec();
+    let fp = spec.problem();
+    let cfg = spec.hierminimax_config();
+    let full = HierMinimax::new(cfg.clone())
+        .run(&fp, spec.run_seed)
+        .trace
+        .events();
+
+    for kill_round in 1..spec.rounds {
+        let (prefix, suffix) = checkpointed_and_resumed(&spec, kill_round, "honest");
+        let spliced = splice_traces(&prefix, &suffix, kill_round);
+        assert_eq!(
+            spliced, full,
+            "splice at round {kill_round} diverges from the uninterrupted trace"
+        );
+        let report = check_hierminimax_trace(&fp, &cfg, spec.run_seed, &spliced)
+            .unwrap_or_else(|e| panic!("splice at round {kill_round}: {e}"));
+        assert_eq!(report.rounds, spec.rounds);
+    }
+}
+
+#[test]
+fn forged_splice_skipping_a_round_is_rejected() {
+    let spec = splice_spec();
+    let fp = spec.problem();
+    let cfg = spec.hierminimax_config();
+    // Prefix cut before round 1, suffix resumed at round 2: round 1 is
+    // missing from the spliced log.
+    let (prefix, suffix) = checkpointed_and_resumed(&spec, 2, "skip");
+    let forged = splice_traces(&prefix, &suffix, 1);
+    let err = check_hierminimax_trace(&fp, &cfg, spec.run_seed, &forged).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ConformanceError::UnexpectedEvent { .. } | ConformanceError::SamplingMismatch { .. }
+        ),
+        "expected the skipped round to desync the replay, got {err}"
+    );
+}
+
+#[test]
+fn forged_splice_repeating_a_round_is_rejected() {
+    let spec = splice_spec();
+    let fp = spec.problem();
+    let cfg = spec.hierminimax_config();
+    // Prefix kept through round 1, suffix resumed at round 1: round 1
+    // appears twice in the spliced log.
+    let (prefix, suffix) = checkpointed_and_resumed(&spec, 1, "repeat");
+    let forged = splice_traces(&prefix, &suffix, 2);
+    let err = check_hierminimax_trace(&fp, &cfg, spec.run_seed, &forged).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ConformanceError::UnexpectedEvent { .. } | ConformanceError::SamplingMismatch { .. }
+        ),
+        "expected the repeated round to desync the replay, got {err}"
+    );
+}
+
+/// Pinned resumed-run corpus: scenario + kill-round pairs whose spliced
+/// traces must keep replaying cleanly. One entry stresses the fault
+/// machinery across the resume boundary (lossy links with retries), the
+/// other stresses quantized uplinks plus legacy dropout.
+fn resumed_regression_corpus() -> Vec<(ScenarioSpec, usize)> {
+    vec![
+        (
+            ScenarioSpec {
+                run_seed: 515,
+                rounds: 3,
+                fault: FaultPlan {
+                    msg_loss: 0.45,
+                    max_retries: 2,
+                    ..FaultPlan::default()
+                },
+                ..splice_spec()
+            },
+            1,
+        ),
+        (
+            ScenarioSpec {
+                run_seed: 1717,
+                rounds: 3,
+                dropout: 0.4,
+                quantizer: Quantizer::Stochastic { bits: 3 },
+                ..splice_spec()
+            },
+            2,
+        ),
+    ]
+}
+
+#[test]
+fn resumed_regression_corpus_conforms() {
+    for (i, (spec, kill_round)) in resumed_regression_corpus().into_iter().enumerate() {
+        let fp = spec.problem();
+        let cfg = spec.hierminimax_config();
+        let full = HierMinimax::new(cfg.clone())
+            .run(&fp, spec.run_seed)
+            .trace
+            .events();
+        let tag = format!("corpus-{i}");
+        let (prefix, suffix) = checkpointed_and_resumed(&spec, kill_round, &tag);
+        let spliced = splice_traces(&prefix, &suffix, kill_round);
+        assert_eq!(spliced, full, "{spec:?} kill {kill_round}: splice diverges");
+        check_hierminimax_trace(&fp, &cfg, spec.run_seed, &spliced)
+            .unwrap_or_else(|e| panic!("{spec:?} kill {kill_round}: {e}"));
+    }
 }

@@ -1,0 +1,434 @@
+//! Checkpoint/resume bit-identity matrix (DESIGN.md §12).
+//!
+//! The headline guarantee of the checkpoint subsystem, enforced here
+//! rather than in prose: a run killed at **any** cloud round and resumed
+//! from its snapshot is bit-identical to the uninterrupted run — same
+//! `RunResult` (model, weights, history, comm totals), same `FaultStats`,
+//! and the same telemetry stream once the killed run's prefix and the
+//! resumed run's suffix are spliced at the `checkpoint` event.
+//!
+//! HierMinimax runs the full `{Sequential, Rayon} × {Chained, Barrier} ×
+//! {none, chaos}` grid with a kill at every checkpointed round; the other
+//! eight algorithms run the kill-at-every-round sweep on the reduced grid
+//! (the flat baselines ignore the engine and the fault plan by design),
+//! with a chaos × Rayon × engine spot-check for the remaining
+//! hierarchical ones.
+
+use hierminimax::checkpoint::{read_snapshot, snapshot_path, Snapshot};
+use hierminimax::core::algorithms::{
+    AflConfig, Algorithm, Drfa, DrfaConfig, FedAvg, FedAvgConfig, FedProx, FedProxConfig, HierFavg,
+    HierFavgConfig, HierMinimax, HierMinimaxConfig, MultiLevelConfig, MultiLevelMinimax,
+    OverselectConfig, OverselectMinimax, QFedAvg, QfflConfig, RunOpts, StochasticAfl,
+};
+use hierminimax::core::problem::FederatedProblem;
+use hierminimax::core::{CheckpointOpts, RunResult};
+use hierminimax::data::scenarios::tiny_problem;
+use hierminimax::simnet::{ExecEngine, FaultPlan, Parallelism};
+use hierminimax::telemetry::{MemorySink, Telemetry, TelemetryEvent};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const SEED: u64 = 17;
+const ROUNDS: usize = 4;
+
+fn problem() -> FederatedProblem {
+    let sc = tiny_problem(3, 2, 11);
+    FederatedProblem::logistic_from_scenario(&sc)
+}
+
+/// Fresh scratch directory under the system temp dir; removed by the
+/// caller when the matrix cell is done.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hm-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+type Factory = Box<dyn Fn(RunOpts) -> Box<dyn Algorithm>>;
+
+/// Every algorithm in the workspace, as a factory over `RunOpts` so the
+/// same config can be instantiated for the writer, plain, and resumed
+/// legs. The bool marks algorithms that emit a telemetry stream (the
+/// minimization-only FedProx/q-FedAvg/Overselect paths do not).
+fn all_algorithms() -> Vec<(&'static str, bool, Factory)> {
+    vec![
+        (
+            "HierMinimax",
+            true,
+            Box::new(|opts| {
+                Box::new(HierMinimax::new(HierMinimaxConfig {
+                    rounds: ROUNDS,
+                    tau1: 2,
+                    tau2: 3,
+                    m_edges: 2,
+                    eta_w: 0.1,
+                    eta_p: 0.05,
+                    batch_size: 2,
+                    loss_batch: 4,
+                    weight_update_model: Default::default(),
+                    quantizer: Default::default(),
+                    dropout: 0.0,
+                    tau2_per_edge: None,
+                    opts,
+                })) as Box<dyn Algorithm>
+            }),
+        ),
+        (
+            "HierFAVG",
+            true,
+            Box::new(|opts| {
+                Box::new(HierFavg::new(HierFavgConfig {
+                    rounds: ROUNDS,
+                    tau1: 2,
+                    tau2: 3,
+                    m_edges: 2,
+                    eta_w: 0.1,
+                    batch_size: 2,
+                    quantizer: Default::default(),
+                    dropout: 0.0,
+                    opts,
+                })) as Box<dyn Algorithm>
+            }),
+        ),
+        (
+            "MultiLevelMinimax",
+            true,
+            Box::new(|opts| {
+                Box::new(MultiLevelMinimax::new(MultiLevelConfig {
+                    rounds: ROUNDS,
+                    tau1: 2,
+                    tau2: 2,
+                    upper: Default::default(),
+                    m_groups: 2,
+                    eta_w: 0.05,
+                    eta_p: 0.02,
+                    batch_size: 2,
+                    loss_batch: 4,
+                    dropout: 0.0,
+                    opts,
+                })) as Box<dyn Algorithm>
+            }),
+        ),
+        (
+            "Overselect",
+            false,
+            Box::new(|opts| {
+                Box::new(OverselectMinimax::new(OverselectConfig {
+                    rounds: ROUNDS,
+                    tau1: 2,
+                    tau2: 2,
+                    m_edges: 2,
+                    m_over: 3,
+                    seconds_per_slot: vec![1.0, 1.5, 2.0],
+                    eta_w: 0.1,
+                    eta_p: 0.05,
+                    batch_size: 2,
+                    loss_batch: 4,
+                    dropout: 0.0,
+                    opts,
+                })) as Box<dyn Algorithm>
+            }),
+        ),
+        (
+            "FedAvg",
+            true,
+            Box::new(|opts| {
+                Box::new(FedAvg::new(FedAvgConfig {
+                    rounds: ROUNDS,
+                    tau1: 2,
+                    m_clients: 4,
+                    eta_w: 0.1,
+                    batch_size: 2,
+                    opts,
+                })) as Box<dyn Algorithm>
+            }),
+        ),
+        (
+            "FedProx",
+            false,
+            Box::new(|opts| {
+                Box::new(FedProx::new(FedProxConfig {
+                    rounds: ROUNDS,
+                    tau1: 2,
+                    m_clients: 4,
+                    mu: 0.1,
+                    eta_w: 0.1,
+                    batch_size: 2,
+                    opts,
+                })) as Box<dyn Algorithm>
+            }),
+        ),
+        (
+            "Stochastic-AFL",
+            true,
+            Box::new(|opts| {
+                Box::new(StochasticAfl::new(AflConfig {
+                    rounds: ROUNDS,
+                    m_clients: 4,
+                    eta_w: 0.1,
+                    eta_q: 0.05,
+                    batch_size: 2,
+                    loss_batch: 4,
+                    opts,
+                })) as Box<dyn Algorithm>
+            }),
+        ),
+        (
+            "DRFA",
+            true,
+            Box::new(|opts| {
+                Box::new(Drfa::new(DrfaConfig {
+                    rounds: ROUNDS,
+                    tau1: 2,
+                    m_clients: 4,
+                    eta_w: 0.1,
+                    eta_q: 0.05,
+                    batch_size: 2,
+                    loss_batch: 4,
+                    opts,
+                })) as Box<dyn Algorithm>
+            }),
+        ),
+        (
+            "q-FedAvg",
+            false,
+            Box::new(|opts| {
+                Box::new(QFedAvg::new(QfflConfig {
+                    rounds: ROUNDS,
+                    tau1: 2,
+                    m_clients: 4,
+                    q: 1.0,
+                    eta_w: 0.1,
+                    batch_size: 2,
+                    loss_batch: 4,
+                    opts,
+                })) as Box<dyn Algorithm>
+            }),
+        ),
+    ]
+}
+
+fn assert_identical(tag: &str, a: &RunResult, b: &RunResult) {
+    assert_eq!(a.final_w, b.final_w, "{tag}: final_w differs");
+    assert_eq!(a.avg_w, b.avg_w, "{tag}: avg_w differs");
+    assert_eq!(a.final_p, b.final_p, "{tag}: final_p differs");
+    assert_eq!(a.avg_p, b.avg_p, "{tag}: avg_p differs");
+    assert_eq!(a.history, b.history, "{tag}: history differs");
+    assert_eq!(a.comm, b.comm, "{tag}: comm stats differ");
+    assert_eq!(a.faults, b.faults, "{tag}: fault stats differ");
+}
+
+/// Zero the wall-clock fields — the only payloads that are not a pure
+/// function of the run — so streams can be compared bit-for-bit.
+fn scrub(mut ev: TelemetryEvent) -> TelemetryEvent {
+    match &mut ev {
+        TelemetryEvent::Phase1Done { elapsed_s, .. }
+        | TelemetryEvent::DualUpdate { elapsed_s, .. }
+        | TelemetryEvent::RoundEnd { elapsed_s, .. }
+        | TelemetryEvent::RunEnd { elapsed_s, .. } => *elapsed_s = 0.0,
+        _ => {}
+    }
+    ev
+}
+
+/// Canonical JSONL digest of a stream with wall-clock scrubbed; equal
+/// digests = equal streams (serialization has fixed key order).
+fn stream_digest(events: &[TelemetryEvent]) -> String {
+    events
+        .iter()
+        .map(|e| scrub(e.clone()).to_json())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Splice the killed run's telemetry prefix (everything through the
+/// `checkpoint` event the resume is based on) with the resumed run's
+/// stream (its unsequenced `run_resume` preamble dropped).
+fn spliced_stream(
+    writer: &[TelemetryEvent],
+    resumed: &[TelemetryEvent],
+    kill: usize,
+) -> Vec<TelemetryEvent> {
+    let cut = writer
+        .iter()
+        .position(|e| matches!(e, TelemetryEvent::Checkpoint { round, .. } if *round + 1 == kill))
+        .unwrap_or_else(|| panic!("writer stream lacks the round-{kill} checkpoint event"))
+        + 1;
+    match resumed.first() {
+        Some(TelemetryEvent::RunResume { next_round, .. }) if *next_round == kill => {}
+        other => panic!("resumed stream must open with run_resume at round {kill}, got {other:?}"),
+    }
+    let mut out = writer[..cut].to_vec();
+    out.extend_from_slice(&resumed[1..]);
+    out
+}
+
+/// One matrix cell: run `factory` uninterrupted with per-round
+/// checkpoints, then for every snapshot on disk resume from it and assert
+/// the `RunResult` (and, when the algorithm emits telemetry, the spliced
+/// stream) is bit-identical to the uninterrupted run.
+fn assert_resume_bit_identity(
+    tag: &str,
+    name: &str,
+    has_telemetry: bool,
+    factory: &Factory,
+    base: &RunOpts,
+) {
+    let fp = problem();
+    let dir = scratch_dir(&format!("{tag}-w"));
+    let dir_r = scratch_dir(&format!("{tag}-r"));
+
+    // Uninterrupted run, writing a snapshot after every round.
+    let writer_sink = Arc::new(MemorySink::new());
+    let mut writer_opts = base.clone();
+    writer_opts.checkpoint = CheckpointOpts::writing(&dir, 1);
+    if has_telemetry {
+        writer_opts.telemetry = Telemetry::with_sink(writer_sink.clone());
+    }
+    let full = factory(writer_opts).run(&fp, SEED);
+
+    // Checkpointing must not perturb the run.
+    let plain = factory(base.clone()).run(&fp, SEED);
+    assert_identical(
+        &format!("{tag}: checkpointing perturbed the run"),
+        &plain,
+        &full,
+    );
+
+    // Kill at every checkpointed round (the final round is never
+    // snapshotted — resuming it would be a no-op run).
+    for kill in 1..ROUNDS {
+        let snap = read_snapshot(&snapshot_path(&dir, name, kill))
+            .unwrap_or_else(|e| panic!("{tag}: reading round-{kill} snapshot: {e}"));
+        let resumed_sink = Arc::new(MemorySink::new());
+        let mut resumed_opts = base.clone();
+        // Keep writing snapshots after the resume so the spliced stream
+        // carries the same `checkpoint` events as the uninterrupted one.
+        resumed_opts.checkpoint = CheckpointOpts::writing(&dir_r, 1);
+        resumed_opts.checkpoint.resume = Some(Arc::new(snap));
+        if has_telemetry {
+            resumed_opts.telemetry = Telemetry::with_sink(resumed_sink.clone());
+        }
+        let resumed = factory(resumed_opts).run(&fp, SEED);
+        assert_identical(&format!("{tag}: kill at round {kill}"), &full, &resumed);
+        if has_telemetry {
+            let spliced = spliced_stream(&writer_sink.events(), &resumed_sink.events(), kill);
+            assert_eq!(
+                stream_digest(&spliced),
+                stream_digest(&writer_sink.events()),
+                "{tag}: spliced telemetry differs at kill round {kill}"
+            );
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir_r);
+}
+
+fn opts(par: Parallelism, engine: ExecEngine, fault: &FaultPlan) -> RunOpts {
+    RunOpts {
+        eval_every: 2,
+        parallelism: par,
+        trace: false,
+        fault: fault.clone(),
+        engine,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn hierminimax_resume_matrix_full_grid() {
+    let (name, has_tel, factory) = all_algorithms().swap_remove(0);
+    assert_eq!(name, "HierMinimax");
+    let plans = [
+        ("none", FaultPlan::preset("none").unwrap()),
+        ("chaos", FaultPlan::preset("chaos").unwrap()),
+    ];
+    for (plan_name, plan) in &plans {
+        for par in [Parallelism::Sequential, Parallelism::Rayon] {
+            for engine in [ExecEngine::Chained, ExecEngine::Barrier] {
+                let tag = format!("hmx-{plan_name}-{par:?}-{engine:?}").to_lowercase();
+                assert_resume_bit_identity(&tag, name, has_tel, &factory, &opts(par, engine, plan));
+            }
+        }
+    }
+}
+
+#[test]
+fn every_algorithm_resumes_bit_identically() {
+    // Reduced grid: the default executor cell, kill at every round, for
+    // all nine algorithms (flat baselines ignore engine and fault plan).
+    let none = FaultPlan::preset("none").unwrap();
+    for (name, has_tel, factory) in all_algorithms() {
+        let tag = format!("all-{}", name.to_lowercase().replace('-', "_"));
+        assert_resume_bit_identity(
+            &tag,
+            name,
+            has_tel,
+            &factory,
+            &opts(Parallelism::Sequential, ExecEngine::Chained, &none),
+        );
+    }
+}
+
+#[test]
+fn hierarchical_algorithms_resume_under_chaos_on_rayon() {
+    // Chaos spot-check for the hierarchical algorithms beyond HierMinimax
+    // (which already runs the full grid): faults must restore across the
+    // resume boundary under both engines on the rayon executor.
+    let chaos = FaultPlan::preset("chaos").unwrap();
+    for (name, has_tel, factory) in all_algorithms() {
+        if !matches!(name, "HierFAVG" | "MultiLevelMinimax" | "Overselect") {
+            continue;
+        }
+        for engine in [ExecEngine::Chained, ExecEngine::Barrier] {
+            let tag = format!("chaos-{}-{engine:?}", name.to_lowercase()).to_lowercase();
+            assert_resume_bit_identity(
+                &tag,
+                name,
+                has_tel,
+                &factory,
+                &opts(Parallelism::Rayon, engine, &chaos),
+            );
+        }
+    }
+}
+
+// ---- Negatives: a snapshot must only resume the run it came from. -------
+
+fn sample_snapshot() -> Snapshot {
+    let fp = problem();
+    let dir = scratch_dir("negative");
+    let (_, _, factory) = all_algorithms().swap_remove(0);
+    let mut w_opts = opts(
+        Parallelism::Sequential,
+        ExecEngine::Chained,
+        &FaultPlan::preset("none").unwrap(),
+    );
+    w_opts.checkpoint = CheckpointOpts::writing(&dir, 1);
+    factory(w_opts).run(&fp, SEED);
+    let snap = read_snapshot(&snapshot_path(&dir, "HierMinimax", 2)).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    snap
+}
+
+#[test]
+fn snapshot_validation_rejects_mismatched_runs() {
+    let snap = sample_snapshot();
+    snap.validate_for("HierMinimax", SEED, ROUNDS).unwrap();
+    let cases = [
+        ("DRFA", SEED, ROUNDS, "algorithm"),
+        ("HierMinimax", SEED + 1, ROUNDS, "seed"),
+        ("HierMinimax", SEED, ROUNDS + 1, "round"),
+    ];
+    for (alg, seed, rounds, what) in cases {
+        let err = snap
+            .validate_for(alg, seed, rounds)
+            .expect_err("mismatched run must be rejected");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("does not match this run"),
+            "expected a typed mismatch error for {what}, got: {msg}"
+        );
+    }
+}
