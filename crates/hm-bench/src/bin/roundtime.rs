@@ -31,7 +31,7 @@ use hm_data::scenarios::{dirichlet_split, tiny_problem, HierScenario};
 use hm_nn::SimpleCnn;
 use hm_optim::ProjectionOp;
 use hm_simnet::ExecEngine;
-use hm_telemetry::Telemetry;
+use hm_telemetry::{Profiler, Telemetry};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
@@ -80,6 +80,7 @@ fn config(case: &Case, rounds: usize, engine: ExecEngine) -> HierMinimaxConfig {
             fault: Default::default(),
             checkpoint: Default::default(),
             engine,
+            profile: Default::default(),
         },
     }
 }
@@ -98,6 +99,37 @@ fn rounds_per_sec(case: &Case, engine: ExecEngine, reps: usize) -> f64 {
         best = best.min(start.elapsed().as_secs_f64());
     }
     case.rounds as f64 / best
+}
+
+/// Per-phase share of round wall-clock from one short profiled run on the
+/// chained engine. Profiling is provably inert (`tests/profile.rs`) and
+/// runs *outside* the timed repetitions, so the breakdown column cannot
+/// disturb the geomean gate. Returns `(phase, percent-of-round)` pairs in
+/// descending share order plus a final `other` remainder (scheduling,
+/// bookkeeping, and measurement skew).
+fn phase_breakdown(case: &Case) -> Vec<(String, f64)> {
+    let rounds = case.rounds.clamp(10, 60);
+    let mut cfg = config(case, rounds, ExecEngine::Chained);
+    cfg.opts.profile = Profiler::enabled();
+    let prof = cfg.opts.profile.clone();
+    black_box(HierMinimax::new(cfg).run(&case.problem, 11));
+    let summary = prof.summary();
+    let round_total = summary
+        .iter()
+        .find(|p| p.phase == "round")
+        .map_or(0.0, |p| p.total_s);
+    if round_total <= 0.0 {
+        return Vec::new();
+    }
+    let mut shares: Vec<(String, f64)> = summary
+        .iter()
+        .filter(|p| p.phase != "round")
+        .map(|p| (p.phase.clone(), 100.0 * p.total_s / round_total))
+        .collect();
+    let covered: f64 = shares.iter().map(|(_, pct)| pct).sum();
+    shares.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    shares.push(("other".to_string(), (100.0 - covered).max(0.0)));
+    shares
 }
 
 /// Pull `"geomean_speedup": <x>` out of the committed JSON (the format
@@ -194,13 +226,25 @@ fn main() {
         let barrier = rounds_per_sec(case, ExecEngine::Barrier, reps);
         let chained = rounds_per_sec(case, ExecEngine::Chained, reps);
         let speedup = chained / barrier;
+        let phases = phase_breakdown(case);
+        let phase_col = phases
+            .iter()
+            .map(|(tag, pct)| format!("{tag} {pct:.1}%"))
+            .collect::<Vec<_>>()
+            .join("  ");
         println!(
             "{:<20} chained {:>9.2} rounds/sec   barrier {:>9.2} rounds/sec   speedup {:.2}x",
             case.name, chained, barrier, speedup
         );
+        println!("{:<20} phases: {phase_col}", "");
+        let phase_json = phases
+            .iter()
+            .map(|(tag, pct)| format!("\"{tag}\": {pct:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         entries.push(format!(
-            "    \"{}\": {{\n      \"rounds_per_sec_chained\": {:.2},\n      \"rounds_per_sec_barrier\": {:.2},\n      \"speedup\": {:.3}\n    }}",
-            case.name, chained, barrier, speedup
+            "    \"{}\": {{\n      \"rounds_per_sec_chained\": {:.2},\n      \"rounds_per_sec_barrier\": {:.2},\n      \"speedup\": {:.3},\n      \"phase_pct\": {{ {} }}\n    }}",
+            case.name, chained, barrier, speedup, phase_json
         ));
         rows.push((case.name, speedup));
     }

@@ -119,6 +119,7 @@ impl SuiteParams {
             fault: self.fault.clone(),
             checkpoint: Default::default(),
             engine: self.engine,
+            profile: Default::default(),
         }
     }
 

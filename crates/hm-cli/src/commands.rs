@@ -13,7 +13,7 @@ use hm_core::problem::FederatedProblem;
 use hm_core::{CheckpointOpts, RunResult};
 use hm_data::partition::label_skew;
 use hm_simnet::{ExecEngine, FaultPlan, LatencyModel, Link, Parallelism, Quantizer, FAULT_PRESETS};
-use hm_telemetry::Telemetry;
+use hm_telemetry::{PhaseAgg, Profiler, SpanAggregator, Telemetry};
 
 /// Dispatch a parsed command line. Returns the process exit code.
 pub fn dispatch(args: &Args) -> Result<(), ArgError> {
@@ -24,6 +24,7 @@ pub fn dispatch(args: &Args) -> Result<(), ArgError> {
         "data" => data(args),
         "eval" => eval_model(args),
         "validate-telemetry" => validate_telemetry(args),
+        "report" => report_stream(args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -40,7 +41,7 @@ pub fn usage() -> &'static str {
     "hierminimax — distributed minimax fair optimization over hierarchical networks
 
 USAGE:
-  hierminimax <run|compare|gap|data|help> [flags]
+  hierminimax <run|compare|gap|data|eval|report|help> [flags]
 
 SUBCOMMANDS:
   run       run one algorithm and report fairness + communication
@@ -51,6 +52,10 @@ SUBCOMMANDS:
   eval      evaluate a saved model (--model PATH) on a scenario
   validate-telemetry   check a telemetry JSONL file (--file PATH) against
             the event schema (DESIGN.md par. 10) and print a summary
+            (--strict rejects event kinds unknown to this build)
+  report    render a telemetry JSONL file (--file PATH) into a run report:
+            per-phase profile, per-link communication, fault/retry totals,
+            simulated vs wall-clock time (DESIGN.md par. 13)
 
 SCENARIO FLAGS (all subcommands):
   --scenario tiny|emnist|mnist|fashion|dirichlet|adult|synthetic|idx|csv  (default emnist)
@@ -98,6 +103,9 @@ CHECKPOINT/RESUME FLAGS (run; see DESIGN.md par. 12):
                         bit-identical — barrier is the benchmark baseline)
   --telemetry PATH      write structured run telemetry (JSONL, one event
                         per line; see DESIGN.md par. 10)
+  --profile             collect per-phase wall-clock spans and print the
+                        summary table; with --telemetry also writes span
+                        events for later `report` (never perturbs the run)
   --save-model PATH     (run) save the final model
   --model PATH          (eval) model file to evaluate
 "
@@ -212,6 +220,11 @@ fn opts(args: &Args) -> Result<RunOpts, ArgError> {
                 )))
             }
         },
+        profile: if args.switch("profile") {
+            Profiler::enabled()
+        } else {
+            Profiler::disabled()
+        },
     })
 }
 
@@ -258,8 +271,11 @@ fn quantizer(args: &Args) -> Result<Quantizer, ArgError> {
     })
 }
 
+/// Build the selected algorithm. Also returns a clone of the shared
+/// [`RunOpts`] so the caller keeps live handles (telemetry, profiler)
+/// into the run it is about to start.
 #[allow(clippy::too_many_lines)]
-fn build_algorithm(args: &Args) -> Result<Box<dyn Algorithm>, ArgError> {
+fn build_algorithm(args: &Args) -> Result<(Box<dyn Algorithm>, RunOpts), ArgError> {
     let method = args.str_or("method", "hierminimax");
     let rounds = args.num_or("rounds", 500)?;
     let tau1 = args.num_or("tau1", 2)?;
@@ -270,8 +286,9 @@ fn build_algorithm(args: &Args) -> Result<Box<dyn Algorithm>, ArgError> {
     let batch_size = args.num_or("batch", 2)?;
     let loss_batch = args.num_or("loss-batch", 16)?;
     let opts = opts(args)?;
+    let handles = opts.clone();
     let quant = quantizer(args)?;
-    Ok(match method.as_str() {
+    let alg: Box<dyn Algorithm> = match method.as_str() {
         "hierminimax" => Box::new(HierMinimax::new(HierMinimaxConfig {
             rounds,
             tau1,
@@ -365,7 +382,8 @@ fn build_algorithm(args: &Args) -> Result<Box<dyn Algorithm>, ArgError> {
                 "unknown method {other:?} (hierminimax|hierfavg|fedavg|fedprox|afl|drfa|qffl|multilevel)"
             )))
         }
-    })
+    };
+    Ok((alg, handles))
 }
 
 fn report(problem: &FederatedProblem, name: &str, r: &RunResult) {
@@ -391,6 +409,10 @@ fn report(problem: &FederatedProblem, name: &str, r: &RunResult) {
         r.comm.total_floats() as f64,
         slots
     );
+    // Serial accounting (edge_areas = 1): the CLI summary does not know how
+    // many edge areas the method ran in parallel, so it reports the
+    // conservative bound. Telemetry `round_end.sim_s` uses the per-method
+    // edge-parallel accounting (see `LatencyModel::simulated_seconds_parallel`).
     let mec = LatencyModel::mobile_edge();
     println!(
         "simulated wall-clock (mobile-edge model): {:.1} s",
@@ -414,7 +436,7 @@ fn report(problem: &FederatedProblem, name: &str, r: &RunResult) {
 
 fn run(args: &Args) -> Result<(), ArgError> {
     let problem = build_problem(args)?;
-    let alg = build_algorithm(args)?;
+    let (alg, handles) = build_algorithm(args)?;
     let seed = args.num_or("seed", 7_u64)?;
     let csv = args.str_or("csv", "");
     let save_model = args.str_or("save-model", "");
@@ -428,6 +450,9 @@ fn run(args: &Args) -> Result<(), ArgError> {
     );
     let r = alg.run(&problem, seed);
     report(&problem, alg.name(), &r);
+    if handles.profile.is_enabled() {
+        print_phase_table(&handles.profile.summary());
+    }
     if !csv.is_empty() {
         std::fs::write(&csv, r.history.to_csv())
             .map_err(|e| ArgError(format!("writing {csv}: {e}")))?;
@@ -471,17 +496,238 @@ fn validate_telemetry(args: &Args) -> Result<(), ArgError> {
     if path.is_empty() {
         return Err(ArgError("validate-telemetry requires --file <path>".into()));
     }
+    let strict = args.switch("strict");
     args.reject_unknown()?;
     let text =
         std::fs::read_to_string(&path).map_err(|e| ArgError(format!("reading {path}: {e}")))?;
-    let summary =
-        hm_telemetry::validate_stream(&text).map_err(|e| ArgError(format!("{path}: {e}")))?;
+    let summary = if strict {
+        hm_telemetry::validate_stream_strict(&text)
+    } else {
+        hm_telemetry::validate_stream(&text)
+    }
+    .map_err(|e| ArgError(format!("{path}: {e}")))?;
     println!(
-        "{path}: {} event line(s), {} run(s), schema OK",
-        summary.lines, summary.runs
+        "{path}: {} event line(s), {} run(s), schema OK{}",
+        summary.lines,
+        summary.runs,
+        if strict { " (strict)" } else { "" }
     );
     for (kind, count) in &summary.events_by_kind {
         println!("  {kind:<12} {count}");
+    }
+    Ok(())
+}
+
+/// Print a per-phase wall-clock table (`run --profile` and `report`).
+fn print_phase_table(phases: &[PhaseAgg]) {
+    println!("\nper-phase wall-clock profile:");
+    if phases.is_empty() {
+        println!("  (no spans recorded)");
+        return;
+    }
+    println!(
+        "{:<18}{:>8}{:>12}{:>12}{:>12}{:>12}{:>12}",
+        "phase", "count", "total s", "mean s", "p50 s", "p90 s", "max s"
+    );
+    for p in phases {
+        let mean = p.total_s / p.count.max(1) as f64;
+        println!(
+            "{:<18}{:>8}{:>12.6}{:>12.6}{:>12.6}{:>12.6}{:>12.6}",
+            p.phase, p.count, p.total_s, mean, p.p50_s, p.p90_s, p.max_s
+        );
+    }
+}
+
+/// Everything `report` extracts from one pass over a telemetry stream.
+#[derive(Default)]
+struct StreamDigest {
+    header: Option<String>,
+    resumes: usize,
+    rounds: usize,
+    wall_rounds_s: f64,
+    run_elapsed_s: f64,
+    sim_s: f64,
+    comm_total: Option<hm_telemetry::json::Json>,
+    spans: SpanAggregator,
+    summary_phases: Vec<PhaseAgg>,
+    crashes: u64,
+    outages: u64,
+    retries: u64,
+    gave_up: u64,
+    deadline_missed: u64,
+    backoff_s: f64,
+    straggler_slots: f64,
+    fault_events: usize,
+}
+
+impl StreamDigest {
+    fn fault_total(&self) -> u64 {
+        self.crashes + self.outages + self.retries + self.gave_up + self.deadline_missed
+    }
+}
+
+/// Fold one validated telemetry event line into the digest.
+fn digest_line(d: &mut StreamDigest, v: &hm_telemetry::json::Json) {
+    let f = |key: &str| v.get(key).and_then(|x| x.as_f64()).unwrap_or(0.0);
+    let u = |key: &str| v.get(key).and_then(|x| x.as_u64()).unwrap_or(0);
+    match v.get("ev").and_then(|k| k.as_str()).unwrap_or("") {
+        "run_start" => {
+            let alg = v.get("algorithm").and_then(|a| a.as_str()).unwrap_or("?");
+            d.header.get_or_insert_with(|| {
+                format!(
+                    "{alg}  seed {}  rounds {}  ({} edges, {} params)",
+                    u("seed"),
+                    u("rounds"),
+                    u("n_edges"),
+                    u("num_params")
+                )
+            });
+        }
+        "run_resume" => d.resumes += 1,
+        "round_end" => {
+            d.rounds += 1;
+            d.wall_rounds_s += f("elapsed_s");
+            // Keep the latest totals so truncated streams still report.
+            d.sim_s = f("sim_s");
+            d.comm_total = v.get("comm_total").cloned();
+        }
+        "run_end" => {
+            d.sim_s = f("sim_s");
+            d.run_elapsed_s = f("elapsed_s");
+            d.comm_total = v.get("comm_total").cloned();
+        }
+        "span" => {
+            if let Some(phase) = v.get("phase").and_then(|p| p.as_str()) {
+                d.spans.add(phase, f("elapsed_s"));
+            }
+        }
+        "profile_summary" => {
+            // Kept only as a fallback: re-aggregating raw spans also covers
+            // spliced streams whose summary spans just the resumed suffix.
+            if let Some(arr) = v.get("phases").and_then(|p| p.as_arr()) {
+                d.summary_phases = arr
+                    .iter()
+                    .map(|p| {
+                        let pf = |key: &str| p.get(key).and_then(|x| x.as_f64()).unwrap_or(0.0);
+                        PhaseAgg {
+                            phase: p
+                                .get("phase")
+                                .and_then(|x| x.as_str())
+                                .unwrap_or("?")
+                                .to_string(),
+                            count: p.get("count").and_then(|x| x.as_u64()).unwrap_or(0),
+                            total_s: pf("total_s"),
+                            min_s: pf("min_s"),
+                            max_s: pf("max_s"),
+                            p50_s: pf("p50_s"),
+                            p90_s: pf("p90_s"),
+                            p99_s: pf("p99_s"),
+                        }
+                    })
+                    .collect();
+            }
+        }
+        "fault" => d.fault_events += 1,
+        "fault_summary" => {
+            d.crashes += u("crashes");
+            d.outages += u("outages");
+            d.retries += u("retries");
+            d.gave_up += u("gave_up");
+            d.deadline_missed += u("deadline_missed");
+            d.backoff_s += f("backoff_s");
+            d.straggler_slots += f("straggler_slots");
+        }
+        _ => {}
+    }
+}
+
+/// Render a telemetry JSONL stream into a human-readable run report.
+fn report_stream(args: &Args) -> Result<(), ArgError> {
+    let path = args.str_or("file", "");
+    if path.is_empty() {
+        return Err(ArgError("report requires --file <path>".into()));
+    }
+    args.reject_unknown()?;
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| ArgError(format!("reading {path}: {e}")))?;
+    // Tolerant validation: a report must render streams from newer builds
+    // (unknown kinds are unsequenced observers) and spliced resume streams.
+    let summary =
+        hm_telemetry::validate_stream(&text).map_err(|e| ArgError(format!("{path}: {e}")))?;
+    let mut d = StreamDigest::default();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let v = hm_telemetry::json::parse(line).map_err(|e| ArgError(format!("{path}: {e}")))?;
+        digest_line(&mut d, &v);
+    }
+
+    println!("telemetry report: {path}");
+    println!(
+        "run: {}",
+        d.header.as_deref().unwrap_or("(no run_start in stream)")
+    );
+    println!(
+        "  {} event line(s), {} run(s), {} resume splice(s), {} round(s) recorded",
+        summary.lines, summary.runs, d.resumes, d.rounds
+    );
+
+    // Per-phase profile: re-aggregated from raw spans when present (robust
+    // across crash/resume splices), else the stream's own summary event.
+    let phases = if d.spans.is_empty() {
+        d.summary_phases.clone()
+    } else {
+        d.spans.summary()
+    };
+    print_phase_table(&phases);
+
+    println!("\ncommunication by link:");
+    match &d.comm_total {
+        None => println!("  (no round_end/run_end in stream)"),
+        Some(comm) => {
+            println!(
+                "{:<14}{:>14}{:>14}{:>10}{:>10}{:>8}",
+                "link", "up floats", "down floats", "up msgs", "down msgs", "rounds"
+            );
+            let names = ["client-edge", "edge-cloud", "client-cloud"];
+            let col = |key: &str, i: usize| -> u64 {
+                comm.get(key)
+                    .and_then(|a| a.as_arr())
+                    .and_then(|a| a.get(i))
+                    .and_then(|x| x.as_u64())
+                    .unwrap_or(0)
+            };
+            for (i, name) in names.iter().enumerate() {
+                println!(
+                    "{:<14}{:>14}{:>14}{:>10}{:>10}{:>8}",
+                    name,
+                    col("up_floats", i),
+                    col("down_floats", i),
+                    col("up_msgs", i),
+                    col("down_msgs", i),
+                    col("rounds", i)
+                );
+            }
+        }
+    }
+
+    println!("\nfault/retry summary:");
+    if d.fault_total() == 0 && d.straggler_slots == 0.0 && d.fault_events == 0 {
+        println!("  no injected faults");
+    } else {
+        println!(
+            "  {} crashes, {} outages, {} retries ({} gave up), {} deadline misses",
+            d.crashes, d.outages, d.retries, d.gave_up, d.deadline_missed
+        );
+        println!(
+            "  {} edge-level fault event(s); +{:.3} s backoff, +{:.1} straggler slots",
+            d.fault_events, d.backoff_s, d.straggler_slots
+        );
+    }
+
+    println!("\nsimulated vs wall-clock:");
+    println!("  simulated (latency model)    {:>12.3} s", d.sim_s);
+    println!("  wall-clock (sum of rounds)   {:>12.3} s", d.wall_rounds_s);
+    if d.run_elapsed_s > 0.0 {
+        println!("  wall-clock (final segment)   {:>12.3} s", d.run_elapsed_s);
     }
     Ok(())
 }
@@ -639,7 +885,7 @@ fn gap(args: &Args) -> Result<(), ArgError> {
             "gap: multilevel reports group-level weights; use --method hierminimax".into(),
         ));
     }
-    let alg = build_algorithm(args)?;
+    let (alg, _) = build_algorithm(args)?;
     let seed = args.num_or("seed", 7_u64)?;
     args.reject_unknown()?;
     let r = alg.run(&problem, seed);

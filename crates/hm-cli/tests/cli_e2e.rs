@@ -193,7 +193,8 @@ fn telemetry_jsonl_written_and_validates() {
     assert!(text.contains("schema OK"), "{text}");
     assert!(text.contains("1 run(s)"), "{text}");
 
-    // And a corrupted stream is rejected with a line number.
+    // An unknown event kind is tolerated by default (forward-compatible:
+    // new kinds are unsequenced observers) but rejected under --strict.
     let bad = dir.join("bad.jsonl");
     std::fs::write(&bad, format!("{body}{{\"ev\":\"nonsense\"}}\n")).unwrap();
     let out = bin()
@@ -201,9 +202,208 @@ fn telemetry_jsonl_written_and_validates() {
         .arg(&bad)
         .output()
         .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("nonsense"), "{text}");
+    let out = bin()
+        .args(["validate-telemetry", "--strict", "--file"])
+        .arg(&bad)
+        .output()
+        .expect("spawn");
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("line"), "{err}");
+
+    // A malformed line (not even JSON) is rejected in both modes.
+    let garbage = dir.join("garbage.jsonl");
+    std::fs::write(&garbage, format!("{body}not json\n")).unwrap();
+    let out = bin()
+        .args(["validate-telemetry", "--file"])
+        .arg(&garbage)
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line"), "{err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn profile_run_prints_table_and_report_renders_stream() {
+    let dir = std::env::temp_dir().join(format!("hm-cli-prof-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let jsonl = dir.join("prof.jsonl");
+    let out = bin()
+        .args([
+            "run",
+            "--scenario",
+            "tiny",
+            "--edges",
+            "3",
+            "--clients",
+            "2",
+            "--rounds",
+            "4",
+            "--m",
+            "2",
+            "--seed",
+            "11",
+            "--sequential",
+            "--profile",
+            "--telemetry",
+        ])
+        .arg(&jsonl)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("per-phase wall-clock profile:"), "{text}");
+    for phase in ["round", "phase1_sampling", "local_sgd_chain", "dual_update"] {
+        assert!(text.contains(phase), "missing {phase} row: {text}");
+    }
+
+    // The stream carries unsequenced span events and stays strict-valid.
+    let body = std::fs::read_to_string(&jsonl).unwrap();
+    assert!(body.contains("\"ev\":\"span\""), "{body}");
+    assert!(body.contains("\"ev\":\"profile_summary\""), "{body}");
+    let strict = bin()
+        .args(["validate-telemetry", "--strict", "--file"])
+        .arg(&jsonl)
+        .output()
+        .expect("spawn");
+    assert!(
+        strict.status.success(),
+        "{}",
+        String::from_utf8_lossy(&strict.stderr)
+    );
+
+    // `report` renders the same per-phase totals plus comm + sim/wall.
+    let rep = bin()
+        .args(["report", "--file"])
+        .arg(&jsonl)
+        .output()
+        .expect("spawn");
+    assert!(
+        rep.status.success(),
+        "{}",
+        String::from_utf8_lossy(&rep.stderr)
+    );
+    let rep = String::from_utf8_lossy(&rep.stdout);
+    assert!(rep.contains("run: HierMinimax"), "{rep}");
+    assert!(rep.contains("4 round(s) recorded"), "{rep}");
+    assert!(rep.contains("per-phase wall-clock profile:"), "{rep}");
+    assert!(rep.contains("local_sgd_chain"), "{rep}");
+    assert!(rep.contains("client-edge"), "{rep}");
+    assert!(rep.contains("no injected faults"), "{rep}");
+    assert!(rep.contains("simulated (latency model)"), "{rep}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn report_renders_spliced_resumed_stream() {
+    // Crash/resume e2e for the report: a profiled run checkpointed every
+    // round, "killed" after round 2, resumed profiled; the spliced stream
+    // (writer prefix cut at the checkpoint + resumed suffix) must render
+    // with full round coverage and a re-aggregated phase table.
+    let dir = std::env::temp_dir().join(format!("hm-cli-prof-splice-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("snaps");
+    let w_jsonl = dir.join("writer.jsonl");
+    let r_jsonl = dir.join("resumed.jsonl");
+    let base = [
+        "run",
+        "--scenario",
+        "tiny",
+        "--edges",
+        "3",
+        "--clients",
+        "2",
+        "--rounds",
+        "4",
+        "--m",
+        "2",
+        "--seed",
+        "11",
+        "--sequential",
+        "--profile",
+    ];
+
+    let writer = bin()
+        .args(base)
+        .args(["--checkpoint-dir"])
+        .arg(&ckpt)
+        .args(["--checkpoint-every", "1", "--telemetry"])
+        .arg(&w_jsonl)
+        .output()
+        .expect("spawn");
+    assert!(
+        writer.status.success(),
+        "{}",
+        String::from_utf8_lossy(&writer.stderr)
+    );
+
+    let snap = ckpt.join("hierminimax-round-000002.hmck");
+    assert!(snap.exists(), "missing {}", snap.display());
+    let resumed = bin()
+        .args(base)
+        .args(["--resume"])
+        .arg(&snap)
+        .args(["--telemetry"])
+        .arg(&r_jsonl)
+        .output()
+        .expect("spawn");
+    assert!(
+        resumed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+
+    // Splice: writer prefix through its round-1 (0-based) checkpoint event,
+    // then the resumed stream (which opens with its run_resume preamble).
+    let w_body = std::fs::read_to_string(&w_jsonl).unwrap();
+    let cut = w_body
+        .lines()
+        .position(|l| l.starts_with("{\"ev\":\"checkpoint\",\"round\":1,"))
+        .expect("writer stream lacks the round-1 checkpoint event");
+    let mut spliced: Vec<&str> = w_body.lines().take(cut + 1).collect();
+    let r_body = std::fs::read_to_string(&r_jsonl).unwrap();
+    spliced.extend(r_body.lines());
+    let s_jsonl = dir.join("spliced.jsonl");
+    std::fs::write(&s_jsonl, spliced.join("\n") + "\n").unwrap();
+
+    let rep = bin()
+        .args(["report", "--file"])
+        .arg(&s_jsonl)
+        .output()
+        .expect("spawn");
+    assert!(
+        rep.status.success(),
+        "{}",
+        String::from_utf8_lossy(&rep.stderr)
+    );
+    let rep = String::from_utf8_lossy(&rep.stdout);
+    assert!(rep.contains("1 resume splice(s)"), "{rep}");
+    assert!(rep.contains("4 round(s) recorded"), "{rep}");
+    // The phase table is re-aggregated from raw spans, so it covers all 4
+    // rounds even though the stream's profile_summary event only spans the
+    // resumed suffix.
+    let round_row = rep
+        .lines()
+        .find(|l| l.starts_with("round "))
+        .unwrap_or_else(|| panic!("no round row: {rep}"));
+    assert_eq!(
+        round_row.split_whitespace().nth(1),
+        Some("4"),
+        "spliced round span count: {round_row}"
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

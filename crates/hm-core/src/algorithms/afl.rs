@@ -27,7 +27,7 @@ use hm_optim::ProjectionOp;
 use hm_simnet::sampling::{sample_edges_uniform, sample_edges_weighted};
 use hm_simnet::trace::Event;
 use hm_simnet::{CommMeter, Link};
-use hm_telemetry::TelemetryEvent;
+use hm_telemetry::{Phase, TelemetryEvent};
 use hm_tensor::vecops;
 
 /// Configuration of a Stochastic-AFL run.
@@ -138,10 +138,13 @@ impl Algorithm for StochasticAfl {
         );
         let ckpt = CheckpointCtx::new(&cfg.opts, "Stochastic-AFL", seed, cfg.rounds, true);
 
+        let prof = &cfg.opts.profile;
         for k in start_round..cfg.rounds {
             tel.record(|| TelemetryEvent::RoundStart { round: k });
             let round_timer = tel.timer();
             let phase1_timer = tel.timer();
+            let round_span = prof.start();
+            let sampling_span = prof.start();
             // Model step: clients sampled by q, single local SGD step.
             let mut e_rng =
                 StreamRng::for_key(StreamKey::new(seed, Purpose::EdgeSampling, k as u64, 0));
@@ -171,6 +174,7 @@ impl Algorithm for StochasticAfl {
                 round: k,
                 edges: u_set.clone(),
             });
+            prof.record(tel, Phase::Phase1Sampling, Some(k), None, sampling_span);
 
             // One broadcast serves both sets; meter the union.
             let mut union = distinct.clone();
@@ -181,6 +185,7 @@ impl Algorithm for StochasticAfl {
             }
             meter.record_broadcast(Link::ClientCloud, d as u64, union.len() as u64);
 
+            let sgd_span = prof.start();
             let results = run_flat_clients(
                 problem,
                 &w,
@@ -193,6 +198,7 @@ impl Algorithm for StochasticAfl {
                 cfg.opts.parallelism,
                 None,
             );
+            prof.record(tel, Phase::LocalSgdChain, Some(k), None, sgd_span);
             meter.record_gather(Link::ClientCloud, d as u64, distinct.len() as u64);
 
             let losses: Vec<f64> = cfg.opts.parallelism.map_ref(&u_set, |&c| {
@@ -214,12 +220,14 @@ impl Algorithm for StochasticAfl {
             meter.record_round(Link::ClientCloud);
 
             // Aggregate the model over the m sampled slots.
+            let agg_span = prof.start();
             let weights: Vec<f64> = counts
                 .iter()
                 .map(|&c| c as f64 / cfg.m_clients as f64)
                 .collect();
             let models: Vec<&[f32]> = results.iter().map(|(m, _)| m.as_slice()).collect();
             vecops::weighted_average_into(&models, &weights, &mut w);
+            prof.record(tel, Phase::Aggregation, Some(k), None, agg_span);
             trace.record(|| Event::GlobalAggregation { round: k });
             tel.record(|| TelemetryEvent::Phase1Done {
                 round: k,
@@ -228,12 +236,14 @@ impl Algorithm for StochasticAfl {
 
             // Mixture-weight ascent on the unbiased estimate.
             let phase2_timer = tel.timer();
+            let dual_span = prof.start();
             let mut v = vec![0.0_f32; n];
             let scale = n as f64 / cfg.m_clients as f64;
             for (&c, &l) in u_set.iter().zip(&losses) {
                 v[c] = (scale * l) as f32;
             }
             projected_ascent_step(&mut q, &v, cfg.eta_q, &q_domain);
+            prof.record(tel, Phase::DualUpdate, Some(k), None, dual_span);
             let p_edge = q_to_edge_p(problem, &q);
             trace.record(|| Event::WeightUpdate {
                 round: k,
@@ -253,10 +263,11 @@ impl Algorithm for StochasticAfl {
                 slots: slots_done,
                 comm_delta: comm_now.since(&comm_prev),
                 comm_total: comm_now,
-                sim_s: tel.sim_seconds(&comm_now, slots_done),
+                sim_s: tel.sim_seconds(&comm_now, slots_done, 1),
                 elapsed_s: round_timer.elapsed_s(),
             });
             comm_prev = comm_now;
+            prof.record(tel, Phase::Round, Some(k), None, round_span);
 
             finish_round(
                 problem,
@@ -285,11 +296,12 @@ impl Algorithm for StochasticAfl {
         }
 
         let comm_final = meter.snapshot();
+        prof.emit_summary(tel);
         tel.record(|| TelemetryEvent::RunEnd {
             rounds: cfg.rounds,
             slots: cfg.rounds,
             comm_total: comm_final,
-            sim_s: tel.sim_seconds(&comm_final, cfg.rounds),
+            sim_s: tel.sim_seconds(&comm_final, cfg.rounds, 1),
             elapsed_s: run_timer.elapsed_s(),
         });
         tel.flush();

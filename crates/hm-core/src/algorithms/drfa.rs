@@ -29,7 +29,7 @@ use hm_optim::ProjectionOp;
 use hm_simnet::sampling::{sample_edges_uniform, sample_edges_weighted};
 use hm_simnet::trace::Event;
 use hm_simnet::{CommMeter, Link};
-use hm_telemetry::TelemetryEvent;
+use hm_telemetry::{Phase, TelemetryEvent};
 use hm_tensor::vecops;
 
 /// Configuration of a DRFA run.
@@ -143,10 +143,13 @@ impl Algorithm for Drfa {
         );
         let ckpt = CheckpointCtx::new(&cfg.opts, "DRFA", seed, cfg.rounds, true);
 
+        let prof = &cfg.opts.profile;
         for k in start_round..cfg.rounds {
             tel.record(|| TelemetryEvent::RoundStart { round: k });
             let round_timer = tel.timer();
             let phase1_timer = tel.timer();
+            let round_span = prof.start();
+            let sampling_span = prof.start();
             // Sample clients by q and a checkpoint step t' ∈ [τ1].
             let mut e_rng =
                 StreamRng::for_key(StreamKey::new(seed, Purpose::EdgeSampling, k as u64, 0));
@@ -173,10 +176,12 @@ impl Algorithm for Drfa {
                 edges: sampled.clone(),
                 checkpoint: Some((t_prime, 0)),
             });
+            prof.record(tel, Phase::Phase1Sampling, Some(k), None, sampling_span);
 
             // Round 1: broadcast w + t', run τ1 local steps, gather model
             // and checkpoint.
             meter.record_broadcast(Link::ClientCloud, d as u64 + 1, distinct.len() as u64);
+            let sgd_span = prof.start();
             let results = run_flat_clients(
                 problem,
                 &w,
@@ -189,9 +194,11 @@ impl Algorithm for Drfa {
                 cfg.opts.parallelism,
                 Some(t_prime),
             );
+            prof.record(tel, Phase::LocalSgdChain, Some(k), None, sgd_span);
             meter.record_gather(Link::ClientCloud, 2 * d as u64, distinct.len() as u64);
             meter.record_round(Link::ClientCloud);
 
+            let agg_span = prof.start();
             let weights: Vec<f64> = counts
                 .iter()
                 .map(|&c| c as f64 / cfg.m_clients as f64)
@@ -204,6 +211,7 @@ impl Algorithm for Drfa {
                 .collect();
             let mut w_checkpoint = vec![0.0_f32; d];
             vecops::weighted_average_into(&cps, &weights, &mut w_checkpoint);
+            prof.record(tel, Phase::Aggregation, Some(k), None, agg_span);
             trace.record(|| Event::GlobalAggregation { round: k });
             trace.record(|| Event::GlobalModel {
                 round: k,
@@ -216,6 +224,7 @@ impl Algorithm for Drfa {
 
             // Round 2: uniform set evaluates the checkpoint model.
             let phase2_timer = tel.timer();
+            let dual_span = prof.start();
             let mut u_rng = StreamRng::for_key(StreamKey::new(
                 seed,
                 Purpose::LossEstSampling,
@@ -251,6 +260,7 @@ impl Algorithm for Drfa {
                 v[c] = (scale * l) as f32;
             }
             projected_ascent_step(&mut q, &v, cfg.eta_q * cfg.tau1 as f32, &q_domain);
+            prof.record(tel, Phase::DualUpdate, Some(k), None, dual_span);
             let p_edge = q_to_edge_p(problem, &q);
             trace.record(|| Event::WeightUpdate {
                 round: k,
@@ -270,10 +280,11 @@ impl Algorithm for Drfa {
                 slots: slots_done,
                 comm_delta: comm_now.since(&comm_prev),
                 comm_total: comm_now,
-                sim_s: tel.sim_seconds(&comm_now, slots_done),
+                sim_s: tel.sim_seconds(&comm_now, slots_done, 1),
                 elapsed_s: round_timer.elapsed_s(),
             });
             comm_prev = comm_now;
+            prof.record(tel, Phase::Round, Some(k), None, round_span);
 
             finish_round(
                 problem,
@@ -303,11 +314,12 @@ impl Algorithm for Drfa {
 
         let comm_final = meter.snapshot();
         let total_slots = cfg.rounds * cfg.tau1;
+        prof.emit_summary(tel);
         tel.record(|| TelemetryEvent::RunEnd {
             rounds: cfg.rounds,
             slots: total_slots,
             comm_total: comm_final,
-            sim_s: tel.sim_seconds(&comm_final, total_slots),
+            sim_s: tel.sim_seconds(&comm_final, total_slots, 1),
             elapsed_s: run_timer.elapsed_s(),
         });
         tel.flush();

@@ -14,7 +14,7 @@ use hm_data::rng::{Purpose, StreamKey, StreamRng};
 use hm_simnet::sampling::sample_edges_uniform;
 use hm_simnet::trace::Event;
 use hm_simnet::{CommMeter, Link};
-use hm_telemetry::TelemetryEvent;
+use hm_telemetry::{Phase, TelemetryEvent};
 use hm_tensor::vecops;
 
 /// Configuration of a FedAvg run.
@@ -119,10 +119,13 @@ impl Algorithm for FedAvg {
         );
         let ckpt = CheckpointCtx::new(&cfg.opts, "FedAvg", seed, cfg.rounds, true);
 
+        let prof = &cfg.opts.profile;
         for k in start_round..cfg.rounds {
             tel.record(|| TelemetryEvent::RoundStart { round: k });
             let round_timer = tel.timer();
             let phase1_timer = tel.timer();
+            let round_span = prof.start();
+            let sampling_span = prof.start();
             let mut s_rng =
                 StreamRng::for_key(StreamKey::new(seed, Purpose::EdgeSampling, k as u64, 0));
             let sampled = sample_edges_uniform(n, cfg.m_clients, &mut s_rng);
@@ -136,8 +139,10 @@ impl Algorithm for FedAvg {
                 edges: sampled.clone(),
                 checkpoint: None,
             });
+            prof.record(tel, Phase::Phase1Sampling, Some(k), None, sampling_span);
 
             meter.record_broadcast(Link::ClientCloud, d as u64, sampled.len() as u64);
+            let sgd_span = prof.start();
             let results = run_flat_clients(
                 problem,
                 &w,
@@ -150,11 +155,13 @@ impl Algorithm for FedAvg {
                 cfg.opts.parallelism,
                 None,
             );
+            prof.record(tel, Phase::LocalSgdChain, Some(k), None, sgd_span);
             meter.record_gather(Link::ClientCloud, d as u64, sampled.len() as u64);
             meter.record_round(Link::ClientCloud);
 
             // Aggregate weighted by local data size (q_n ∝ |D_n|,
             // normalised over the sampled set).
+            let agg_span = prof.start();
             let sizes: Vec<f64> = sampled
                 .iter()
                 .map(|&c| client_dataset(problem, c).len() as f64)
@@ -163,6 +170,7 @@ impl Algorithm for FedAvg {
             let weights: Vec<f64> = sizes.iter().map(|s| s / total).collect();
             let models: Vec<&[f32]> = results.iter().map(|(m, _)| m.as_slice()).collect();
             vecops::weighted_average_into(&models, &weights, &mut w);
+            prof.record(tel, Phase::Aggregation, Some(k), None, agg_span);
             trace.record(|| Event::GlobalAggregation { round: k });
             trace.record(|| Event::GlobalModel {
                 round: k,
@@ -179,10 +187,11 @@ impl Algorithm for FedAvg {
                 slots: slots_done,
                 comm_delta: comm_now.since(&comm_prev),
                 comm_total: comm_now,
-                sim_s: tel.sim_seconds(&comm_now, slots_done),
+                sim_s: tel.sim_seconds(&comm_now, slots_done, 1),
                 elapsed_s: round_timer.elapsed_s(),
             });
             comm_prev = comm_now;
+            prof.record(tel, Phase::Round, Some(k), None, round_span);
 
             finish_round(
                 problem,
@@ -212,11 +221,12 @@ impl Algorithm for FedAvg {
 
         let comm_final = meter.snapshot();
         let total_slots = cfg.rounds * cfg.tau1;
+        prof.emit_summary(tel);
         tel.record(|| TelemetryEvent::RunEnd {
             rounds: cfg.rounds,
             slots: total_slots,
             comm_total: comm_final,
-            sim_s: tel.sim_seconds(&comm_final, total_slots),
+            sim_s: tel.sim_seconds(&comm_final, total_slots, 1),
             elapsed_s: run_timer.elapsed_s(),
         });
         tel.flush();

@@ -16,6 +16,7 @@ use hm_data::rng::{Purpose, StreamKey, StreamRng};
 use hm_simnet::sampling::sample_edges_uniform;
 use hm_simnet::trace::Event;
 use hm_simnet::{CommMeter, Link};
+use hm_telemetry::Phase;
 use hm_tensor::vecops;
 
 /// Configuration of a FedProx run.
@@ -115,8 +116,12 @@ impl Algorithm for FedProx {
         };
         // FedProx emits no telemetry, so checkpoint events are suppressed.
         let ckpt = CheckpointCtx::new(&cfg.opts, "FedProx", seed, cfg.rounds, false);
+        let prof = &cfg.opts.profile;
+        let tel = &cfg.opts.telemetry;
 
         for k in start_round..cfg.rounds {
+            let round_span = prof.start();
+            let sampling_span = prof.start();
             let mut s_rng =
                 StreamRng::for_key(StreamKey::new(seed, Purpose::EdgeSampling, k as u64, 0));
             let sampled = sample_edges_uniform(n, cfg.m_clients, &mut s_rng);
@@ -124,8 +129,10 @@ impl Algorithm for FedProx {
                 round: k,
                 edges: sampled.clone(),
             });
+            prof.record(tel, Phase::Phase1Sampling, Some(k), None, sampling_span);
 
             meter.record_broadcast(Link::ClientCloud, d as u64, sampled.len() as u64);
+            let sgd_span = prof.start();
             let results: Vec<Vec<f32>> = cfg.opts.parallelism.map_ref(&sampled, |&client| {
                 let mut rng = StreamRng::for_key(StreamKey::new(
                     seed,
@@ -145,11 +152,14 @@ impl Algorithm for FedProx {
                     &mut rng,
                 )
             });
+            prof.record(tel, Phase::LocalSgdChain, Some(k), None, sgd_span);
             meter.record_gather(Link::ClientCloud, d as u64, sampled.len() as u64);
             meter.record_round(Link::ClientCloud);
 
+            let agg_span = prof.start();
             let models: Vec<&[f32]> = results.iter().map(|m| m.as_slice()).collect();
             vecops::average_into(&models, &mut w);
+            prof.record(tel, Phase::Aggregation, Some(k), None, agg_span);
             trace.record(|| Event::GlobalAggregation { round: k });
 
             finish_round(
@@ -176,7 +186,9 @@ impl Algorithm for FedProx {
                 Default::default(),
                 vec![],
             );
+            prof.record(tel, Phase::Round, Some(k), None, round_span);
         }
+        prof.emit_summary(tel);
 
         let final_p = q_to_edge_p(problem, &vec![1.0 / n as f32; n]);
         RunResult {

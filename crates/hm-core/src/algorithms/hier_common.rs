@@ -31,7 +31,7 @@ use hm_simnet::trace::{Event, Trace};
 use hm_simnet::{
     CommMeter, ExecEngine, FaultInjector, Link, Parallelism, Quantizer, StragglerFate,
 };
-use hm_telemetry::{Telemetry, TelemetryEvent};
+use hm_telemetry::{Phase, Profiler, Telemetry, TelemetryEvent};
 use hm_tensor::vecops;
 
 /// A client's block output: the updated model and, in the checkpoint
@@ -96,6 +96,11 @@ pub(crate) struct EdgeBlockParams<'a> {
     pub engine: ExecEngine,
     pub trace: &'a Trace,
     pub telemetry: &'a Telemetry,
+    /// Span profiler. Per-edge chain durations are measured inside the
+    /// workers (wall-clock only — never consulted by the computation) and
+    /// recorded after the join, in edge order, so profiled span streams
+    /// are identical in shape across engines and parallelism modes.
+    pub profile: &'a Profiler,
 }
 
 /// Per-round fault and survivor schedule, computed before any client work.
@@ -269,10 +274,11 @@ fn run_edge_blocks_chained(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
     let schedule = compute_schedule(p);
     meter_round(p, &schedule);
 
-    let outputs: Vec<(Vec<f32>, Option<Vec<f32>>)> = {
+    let outputs: Vec<(Vec<f32>, Option<Vec<f32>>, f64)> = {
         let schedule = &schedule;
         p.par.map_chains(ne, |ei| {
             hm_nn::with_scratch(|scratch| {
+                let chain_timer = p.profile.start();
                 let edge = p.edges[ei];
                 let mut model = p.w_start.to_vec();
                 let mut checkpoint: Option<Vec<f32>> = None;
@@ -351,17 +357,26 @@ fn run_edge_blocks_chained(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
                         checkpoint = Some(cp);
                     }
                 }
-                (model, checkpoint)
+                (model, checkpoint, chain_timer.elapsed_s())
             })
         })
     };
 
     replay_events(p, &schedule);
+    for (ei, (_, _, chain_s)) in outputs.iter().enumerate() {
+        p.profile.record_secs(
+            p.telemetry,
+            Phase::LocalSgdChain,
+            Some(p.round),
+            Some(p.edges[ei]),
+            *chain_s,
+        );
+    }
 
     p.edges
         .iter()
         .zip(outputs)
-        .map(|(&edge, (w_final, checkpoint))| finish_edge(p, edge, w_final, checkpoint))
+        .map(|(&edge, (w_final, checkpoint, _))| finish_edge(p, edge, w_final, checkpoint))
         .collect()
 }
 
@@ -396,6 +411,10 @@ fn run_edge_blocks_barrier(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
     let topo = p.problem.topology();
     let mut edge_models: Vec<Vec<f32>> = p.edges.iter().map(|_| p.w_start.to_vec()).collect();
     let mut edge_checkpoints: Vec<Option<Vec<f32>>> = vec![None; p.edges.len()];
+    // Per-edge accumulated work time across blocks (client tasks + the
+    // edge's aggregation fold), so the barrier engine emits the same
+    // one-span-per-edge stream as the chained engine's whole-chain timer.
+    let mut chain_s = vec![0.0_f64; p.edges.len()];
 
     for t2 in 0..p.tau2 {
         let is_cp_block = p.checkpoint.map(|(_, c2)| c2 == t2).unwrap_or(false);
@@ -433,9 +452,10 @@ fn run_edge_blocks_barrier(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
             .flat_map(|ei| (0..n0).map(move |c| (ei, c)))
             .filter(|&(ei, c)| alive[ei * n0 + c])
             .collect();
-        let results_alive: Vec<ClientBlockResult> = {
+        let results_alive: Vec<(Vec<f32>, Option<Vec<f32>>, f64)> = {
             let edge_models = &edge_models;
             p.par.map_ref(&tasks, |&(ei, c)| {
+                let task_timer = p.profile.start();
                 let edge = p.edges[ei];
                 let client = topo.client_id(edge, c);
                 let mut rng = StreamRng::for_key(StreamKey::new(
@@ -468,13 +488,13 @@ fn run_edge_blocks_barrier(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
                         quantize_delta(&p.quantizer, base, cp, &mut qrng);
                     }
                 }
-                (w_out, cp_out)
+                (w_out, cp_out, task_timer.elapsed_s())
             })
         };
         // Scatter results back to (edge, client) slots; dropped slots None.
         let mut results: Vec<Option<ClientBlockResult>> =
             (0..p.edges.len() * n0).map(|_| None).collect();
-        for (&(ei, c), r) in tasks.iter().zip(results_alive) {
+        for (&(ei, c), (w_out, cp_out, secs)) in tasks.iter().zip(results_alive) {
             p.trace.record(|| Event::LocalSteps {
                 round: p.round,
                 t2,
@@ -482,7 +502,8 @@ fn run_edge_blocks_barrier(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
                 client: topo.client_id(p.edges[ei], c),
                 steps: p.tau1,
             });
-            results[ei * n0 + c] = Some(r);
+            chain_s[ei] += secs;
+            results[ei * n0 + c] = Some((w_out, cp_out));
         }
 
         // Surviving clients upload their (possibly quantized) models, plus
@@ -499,45 +520,56 @@ fn run_edge_blocks_barrier(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
         // Edge-side aggregation over survivors (deterministic order:
         // clients are indexed).
         for (ei, model) in edge_models.iter_mut().enumerate() {
+            let agg_timer = p.profile.start();
             let client_ws: Vec<&[f32]> = (0..n0)
                 .filter_map(|c| results[ei * n0 + c].as_ref().map(|(w, _)| w.as_slice()))
                 .collect();
-            if client_ws.is_empty() {
-                // All clients of this edge dropped: the edge keeps its
-                // block-start model (no checkpoint from this edge either).
-                continue;
-            }
-            vecops::average_into(&client_ws, model);
-            if is_cp_block {
-                let cps: Vec<&[f32]> = (0..n0)
-                    .filter_map(|c| {
-                        results[ei * n0 + c].as_ref().map(|(_, cp)| {
-                            cp.as_deref()
-                                .expect("checkpoint block must return checkpoints")
+            // An edge with no surviving clients keeps its block-start
+            // model (and captures no checkpoint from this block).
+            if !client_ws.is_empty() {
+                vecops::average_into(&client_ws, model);
+                if is_cp_block {
+                    let cps: Vec<&[f32]> = (0..n0)
+                        .filter_map(|c| {
+                            results[ei * n0 + c].as_ref().map(|(_, cp)| {
+                                cp.as_deref()
+                                    .expect("checkpoint block must return checkpoints")
+                            })
                         })
-                    })
-                    .collect();
-                let mut cp = vec![0.0_f32; cps[0].len()];
-                vecops::average_into(&cps, &mut cp);
-                edge_checkpoints[ei] = Some(cp);
-                p.trace.record(|| Event::CheckpointCaptured {
+                        .collect();
+                    let mut cp = vec![0.0_f32; cps[0].len()];
+                    vecops::average_into(&cps, &mut cp);
+                    edge_checkpoints[ei] = Some(cp);
+                    p.trace.record(|| Event::CheckpointCaptured {
+                        round: p.round,
+                        edge: p.edges[ei],
+                        t2,
+                    });
+                }
+                p.trace.record(|| Event::ClientEdgeAggregation {
                     round: p.round,
                     edge: p.edges[ei],
                     t2,
                 });
+                p.telemetry.record(|| TelemetryEvent::BlockAggregated {
+                    round: p.round,
+                    edge: p.edges[ei],
+                    t2,
+                    survivors: client_ws.len(),
+                });
             }
-            p.trace.record(|| Event::ClientEdgeAggregation {
-                round: p.round,
-                edge: p.edges[ei],
-                t2,
-            });
-            p.telemetry.record(|| TelemetryEvent::BlockAggregated {
-                round: p.round,
-                edge: p.edges[ei],
-                t2,
-                survivors: client_ws.len(),
-            });
+            chain_s[ei] += agg_timer.elapsed_s();
         }
+    }
+
+    for (ei, &edge) in p.edges.iter().enumerate() {
+        p.profile.record_secs(
+            p.telemetry,
+            Phase::LocalSgdChain,
+            Some(p.round),
+            Some(edge),
+            chain_s[ei],
+        );
     }
 
     p.edges
@@ -630,6 +662,7 @@ mod tests {
             engine: ExecEngine::Chained,
             trace: &trace,
             telemetry: &Telemetry::disabled(),
+            profile: &Profiler::disabled(),
         });
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].edge, 0);
@@ -686,6 +719,7 @@ mod tests {
             engine: ExecEngine::Chained,
             trace: &trace,
             telemetry: &Telemetry::disabled(),
+            profile: &Profiler::disabled(),
         });
         assert_eq!(out[0].checkpoint.as_deref(), Some(w0.as_slice()));
     }
@@ -722,6 +756,7 @@ mod tests {
             engine,
             trace: &trace,
             telemetry: &Telemetry::disabled(),
+            profile: &Profiler::disabled(),
         });
         (out, meter.snapshot(), trace.events())
     }

@@ -17,7 +17,7 @@ use hm_data::rng::{Purpose, StreamKey, StreamRng};
 use hm_simnet::sampling::sample_edges_uniform;
 use hm_simnet::trace::Event;
 use hm_simnet::{CommMeter, FaultInjector, FaultKind, FaultStats, Link, MsgChannel, Quantizer};
-use hm_telemetry::TelemetryEvent;
+use hm_telemetry::{Phase, TelemetryEvent};
 use hm_tensor::vecops;
 
 /// Configuration of a HierFAVG run.
@@ -138,10 +138,13 @@ impl Algorithm for HierFavg {
         );
         let ckpt = CheckpointCtx::new(&cfg.opts, "HierFAVG", seed, cfg.rounds, true);
 
+        let prof = &cfg.opts.profile;
         for k in start_round..cfg.rounds {
             tel.record(|| TelemetryEvent::RoundStart { round: k });
             let round_timer = tel.timer();
             let phase1_timer = tel.timer();
+            let round_span = prof.start();
+            let sampling_span = prof.start();
             let mut e_rng =
                 StreamRng::for_key(StreamKey::new(seed, Purpose::EdgeSampling, k as u64, 0));
             let sampled = sample_edges_uniform(n_edges, cfg.m_edges, &mut e_rng);
@@ -154,6 +157,7 @@ impl Algorithm for HierFavg {
                 edges: sampled.clone(),
                 checkpoint: None,
             });
+            prof.record(tel, Phase::Phase1Sampling, Some(k), None, sampling_span);
 
             // Outage filter + downlink deliveries mirror HierMinimax's
             // Phase 1: an out edge never hears the broadcast, a lost
@@ -173,6 +177,7 @@ impl Algorithm for HierFavg {
             });
             let mut participants: Vec<usize> = Vec::with_capacity(active.len());
             let mut retries = 0u64;
+            let retry_span = prof.start();
             for &e in &active {
                 let dv = fault.deliver(k as u64, 0, MsgChannel::Phase1Down, e);
                 retries += u64::from(dv.attempts - 1);
@@ -187,6 +192,7 @@ impl Algorithm for HierFavg {
             // retry carries the same payload, so the totals are exact).
             if retries > 0 {
                 meter.record_broadcast(Link::EdgeCloud, d as u64, retries);
+                prof.record(tel, Phase::FaultRetry, Some(k), None, retry_span);
             }
 
             let outputs = run_edge_blocks(EdgeBlockParams {
@@ -209,6 +215,7 @@ impl Algorithm for HierFavg {
                 engine: cfg.opts.engine,
                 trace: &trace,
                 telemetry: tel,
+                profile: prof,
             });
 
             let mut outputs = outputs;
@@ -236,6 +243,7 @@ impl Algorithm for HierFavg {
             let wire_up = cfg.quantizer.wire_floats(d);
             let mut reported: Vec<usize> = Vec::with_capacity(outputs.len());
             let mut retries = 0u64;
+            let retry_span = prof.start();
             for (i, o) in outputs.iter().enumerate() {
                 let dv = fault.deliver(k as u64, 0, MsgChannel::Phase1Up, o.edge);
                 retries += u64::from(dv.attempts - 1);
@@ -248,6 +256,7 @@ impl Algorithm for HierFavg {
             }
             if retries > 0 {
                 meter.record_gather(Link::EdgeCloud, wire_up, retries);
+                prof.record(tel, Phase::FaultRetry, Some(k), None, retry_span);
             }
             meter.record_gather(Link::EdgeCloud, wire_up, outputs.len() as u64);
             meter.record_round(Link::EdgeCloud);
@@ -255,6 +264,7 @@ impl Algorithm for HierFavg {
             // Cloud aggregation weighted by edge data volume (q ∝ data),
             // renormalized over the reports that arrived; a fully-failed
             // round keeps w^(k) bit-identically.
+            let agg_span = prof.start();
             if !reported.is_empty() {
                 let sizes: Vec<f64> = reported
                     .iter()
@@ -274,6 +284,7 @@ impl Algorithm for HierFavg {
                     .collect();
                 vecops::weighted_average_into(&finals, &weights, &mut w);
             }
+            prof.record(tel, Phase::Aggregation, Some(k), None, agg_span);
             trace.record(|| Event::GlobalAggregation { round: k });
             trace.record(|| Event::GlobalModel {
                 round: k,
@@ -309,11 +320,12 @@ impl Algorithm for HierFavg {
                 slots: slots_done,
                 comm_delta: comm_now.since(&comm_prev),
                 comm_total: comm_now,
-                sim_s: tel.sim_seconds(&comm_now, slots_done)
+                sim_s: tel.sim_seconds(&comm_now, slots_done, cfg.m_edges.max(1))
                     + tel.fault_seconds(fstats.straggler_slots, fstats.backoff_s),
                 elapsed_s: round_timer.elapsed_s(),
             });
             comm_prev = comm_now;
+            prof.record(tel, Phase::Round, Some(k), None, round_span);
 
             finish_round(
                 problem,
@@ -344,11 +356,12 @@ impl Algorithm for HierFavg {
         let comm_final = meter.snapshot();
         let faults_final = fault.stats();
         let total_slots = cfg.rounds * cfg.tau1 * cfg.tau2;
+        prof.emit_summary(tel);
         tel.record(|| TelemetryEvent::RunEnd {
             rounds: cfg.rounds,
             slots: total_slots,
             comm_total: comm_final,
-            sim_s: tel.sim_seconds(&comm_final, total_slots)
+            sim_s: tel.sim_seconds(&comm_final, total_slots, cfg.m_edges.max(1))
                 + tel.fault_seconds(faults_final.straggler_slots, faults_final.backoff_s),
             elapsed_s: run_timer.elapsed_s(),
         });

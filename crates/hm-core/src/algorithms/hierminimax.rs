@@ -28,7 +28,7 @@ use hm_optim::sgd::projected_ascent_step;
 use hm_simnet::sampling::{sample_checkpoint, sample_edges_uniform, sample_edges_weighted};
 use hm_simnet::trace::{Event, Trace};
 use hm_simnet::{CommMeter, FaultInjector, FaultKind, FaultStats, Link, MsgChannel, Quantizer};
-use hm_telemetry::{Telemetry, TelemetryEvent};
+use hm_telemetry::{Phase, Telemetry, TelemetryEvent};
 use hm_tensor::vecops;
 
 /// Record one edge-level fault occurrence in both the protocol trace and
@@ -246,10 +246,13 @@ impl Algorithm for HierMinimax {
         );
         let ckpt = CheckpointCtx::new(&cfg.opts, "HierMinimax", seed, cfg.rounds, true);
 
+        let prof = &cfg.opts.profile;
         for k in start_round..cfg.rounds {
             tel.record(|| TelemetryEvent::RoundStart { round: k });
             let round_timer = tel.timer();
             let phase1_timer = tel.timer();
+            let round_span = prof.start();
+            let sampling_span = prof.start();
             // ---- Phase 1: model parameter update --------------------------
             let mut e_rng =
                 StreamRng::for_key(StreamKey::new(seed, Purpose::EdgeSampling, k as u64, 0));
@@ -271,6 +274,7 @@ impl Algorithm for HierMinimax {
                 edges: sampled.clone(),
                 checkpoint: Some((c1, c2)),
             });
+            prof.record(tel, Phase::Phase1Sampling, Some(k), None, sampling_span);
 
             // Cloud → sampled edges: the global model and the (scalar)
             // checkpoint index. Duplicated samples transmit once. A
@@ -299,6 +303,7 @@ impl Algorithm for HierMinimax {
             let mut participants: Vec<usize> = Vec::with_capacity(active.len());
             let mut part_counts: Vec<usize> = Vec::with_capacity(active.len());
             let mut retries = 0u64;
+            let retry_span = prof.start();
             for (&e, &c) in active.iter().zip(&active_counts) {
                 let dv = fault.deliver(k as u64, 0, MsgChannel::Phase1Down, e);
                 retries += u64::from(dv.attempts - 1);
@@ -314,6 +319,7 @@ impl Algorithm for HierMinimax {
             // retry carries the same payload, so the totals are exact).
             if retries > 0 {
                 meter.record_broadcast(Link::EdgeCloud, d as u64 + 2, retries);
+                prof.record(tel, Phase::FaultRetry, Some(k), None, retry_span);
             }
 
             // Round-start model, kept for the RoundStart ablation variant.
@@ -344,6 +350,7 @@ impl Algorithm for HierMinimax {
                     engine: cfg.opts.engine,
                     trace: &trace,
                     telemetry: tel,
+                    profile: prof,
                 }),
                 Some(rates) => {
                     // Heterogeneous rates: each edge runs its own block
@@ -382,6 +389,7 @@ impl Algorithm for HierMinimax {
                             engine: cfg.opts.engine,
                             trace: &trace,
                             telemetry: tel,
+                            profile: prof,
                         });
                         outs.push(o.pop().expect("one edge per call"));
                     }
@@ -432,6 +440,7 @@ impl Algorithm for HierMinimax {
             let wire_up = 2 * cfg.quantizer.wire_floats(d);
             let mut reported: Vec<usize> = Vec::with_capacity(outputs.len());
             let mut retries = 0u64;
+            let retry_span = prof.start();
             for (i, o) in outputs.iter().enumerate() {
                 let dv = fault.deliver(k as u64, 0, MsgChannel::Phase1Up, o.edge);
                 retries += u64::from(dv.attempts - 1);
@@ -444,6 +453,7 @@ impl Algorithm for HierMinimax {
             }
             if retries > 0 {
                 meter.record_gather(Link::EdgeCloud, wire_up, retries);
+                prof.record(tel, Phase::FaultRetry, Some(k), None, retry_span);
             }
             meter.record_gather(Link::EdgeCloud, wire_up, outputs.len() as u64);
             meter.record_round(Link::EdgeCloud);
@@ -452,6 +462,7 @@ impl Algorithm for HierMinimax {
             // duplicates in the with-replacement sample weight their edge,
             // and the weights renormalize over the reports that actually
             // arrived (fault-free, the denominator is exactly m_E).
+            let agg_span = prof.start();
             let mut w_checkpoint = vec![0.0_f32; d];
             if reported.is_empty() {
                 // Every sampled edge failed: the round is stale. The cloud
@@ -479,6 +490,7 @@ impl Algorithm for HierMinimax {
                     .collect();
                 vecops::weighted_average_into(&cps, &weights, &mut w_checkpoint);
             }
+            prof.record(tel, Phase::Aggregation, Some(k), None, agg_span);
             trace.record(|| Event::GlobalAggregation { round: k });
             trace.record(|| Event::GlobalModel {
                 round: k,
@@ -498,6 +510,7 @@ impl Algorithm for HierMinimax {
 
             // ---- Phase 2: edge weight update ------------------------------
             let phase2_timer = tel.timer();
+            let dual_span = prof.start();
             let mut u_rng = StreamRng::for_key(StreamKey::new(
                 seed,
                 Purpose::LossEstSampling,
@@ -525,6 +538,7 @@ impl Algorithm for HierMinimax {
             meter.record_broadcast(Link::EdgeCloud, d as u64, live.len() as u64);
             let mut est: Vec<usize> = Vec::with_capacity(live.len());
             let mut retries = 0u64;
+            let retry_span = prof.start();
             for &e in &live {
                 let dv = fault.deliver(k as u64, 0, MsgChannel::Phase2Down, e);
                 retries += u64::from(dv.attempts - 1);
@@ -537,6 +551,7 @@ impl Algorithm for HierMinimax {
             }
             if retries > 0 {
                 meter.record_broadcast(Link::EdgeCloud, d as u64, retries);
+                prof.record(tel, Phase::FaultRetry, Some(k), None, retry_span);
             }
             meter.record_broadcast(Link::ClientEdge, d as u64, (est.len() * n0) as u64);
 
@@ -587,6 +602,7 @@ impl Algorithm for HierMinimax {
             // heterogeneous rates the round spans τ1 · max τ2_e slots.
             let lr = cfg.eta_p * (cfg.tau1 * max_tau2) as f32;
             projected_ascent_step(&mut p, &v, lr, &problem.p_domain);
+            prof.record(tel, Phase::DualUpdate, Some(k), None, dual_span);
             trace.record(|| Event::WeightUpdate {
                 round: k,
                 p: p.clone(),
@@ -626,11 +642,12 @@ impl Algorithm for HierMinimax {
                 slots: slots_done,
                 comm_delta: comm_now.since(&comm_prev),
                 comm_total: comm_now,
-                sim_s: tel.sim_seconds(&comm_now, slots_done)
+                sim_s: tel.sim_seconds(&comm_now, slots_done, cfg.m_edges.max(1))
                     + tel.fault_seconds(fstats.straggler_slots, fstats.backoff_s),
                 elapsed_s: round_timer.elapsed_s(),
             });
             comm_prev = comm_now;
+            prof.record(tel, Phase::Round, Some(k), None, round_span);
 
             finish_round(
                 problem,
@@ -661,11 +678,12 @@ impl Algorithm for HierMinimax {
         let comm_final = meter.snapshot();
         let faults_final = fault.stats();
         let total_slots = cfg.rounds * cfg.tau1 * max_tau2;
+        prof.emit_summary(tel);
         tel.record(|| TelemetryEvent::RunEnd {
             rounds: cfg.rounds,
             slots: total_slots,
             comm_total: comm_final,
-            sim_s: tel.sim_seconds(&comm_final, total_slots)
+            sim_s: tel.sim_seconds(&comm_final, total_slots, cfg.m_edges.max(1))
                 + tel.fault_seconds(faults_final.straggler_slots, faults_final.backoff_s),
             elapsed_s: run_timer.elapsed_s(),
         });

@@ -48,7 +48,7 @@ use crate::metrics::evaluate;
 use crate::problem::FederatedProblem;
 use hm_simnet::trace::Trace;
 use hm_simnet::{CommStats, ExecEngine, FaultPlan, FaultStats, Parallelism};
-use hm_telemetry::{Telemetry, TelemetryEvent};
+use hm_telemetry::{Phase, Profiler, Telemetry, TelemetryEvent};
 
 mod afl;
 pub use afl::{AflConfig, StochasticAfl};
@@ -89,6 +89,12 @@ pub struct RunOpts {
     /// and, optionally, a snapshot to resume from (see `hm-checkpoint` and
     /// DESIGN.md §12). The default neither writes nor resumes.
     pub checkpoint: crate::checkpoint::CheckpointOpts,
+    /// Per-phase wall-clock profiling (disabled by default; see
+    /// `hm_telemetry::profile` and DESIGN.md §13). Spans and the end-of-run
+    /// summary are emitted *unsequenced* through the telemetry handle, so
+    /// enabling profiling cannot perturb the sequenced event stream, the
+    /// trained bits, or checkpoint/resume splices (`tests/profile.rs`).
+    pub profile: Profiler,
 }
 
 impl Default for RunOpts {
@@ -101,6 +107,7 @@ impl Default for RunOpts {
             fault: FaultPlan::default(),
             engine: ExecEngine::default(),
             checkpoint: crate::checkpoint::CheckpointOpts::default(),
+            profile: Profiler::disabled(),
         }
     }
 }
@@ -218,7 +225,11 @@ pub(crate) fn finish_round(
     avg_w.add(w);
     avg_p.add(&p_per_edge);
     let eval = if opts.should_eval(round, rounds_total) {
-        Some(evaluate(problem, w, opts.parallelism))
+        let eval_timer = opts.profile.start();
+        let e = evaluate(problem, w, opts.parallelism);
+        opts.profile
+            .record(&opts.telemetry, Phase::Eval, Some(round), None, eval_timer);
+        Some(e)
     } else {
         None
     };

@@ -32,7 +32,7 @@ use hm_simnet::sampling::{sample_edges_uniform, sample_edges_weighted};
 use hm_simnet::trace::Event;
 use hm_simnet::trace::Trace;
 use hm_simnet::{CommMeter, FaultInjector, FaultKind, FaultStats, Link, MsgChannel, Quantizer};
-use hm_telemetry::TelemetryEvent;
+use hm_telemetry::{Phase, TelemetryEvent};
 use hm_tensor::vecops;
 
 /// One intermediate aggregation level above the edge servers.
@@ -184,6 +184,7 @@ impl MultiLevelMinimax {
                 engine: cfg.opts.engine,
                 trace,
                 telemetry: &cfg.opts.telemetry,
+                profile: &cfg.opts.profile,
             });
             let finals: Vec<&[f32]> = outputs.iter().map(|o| o.w_final.as_slice()).collect();
             let mut w = vec![0.0_f32; w_start.len()];
@@ -329,10 +330,16 @@ impl Algorithm for MultiLevelMinimax {
         );
         let ckpt = CheckpointCtx::new(&cfg.opts, "MultiLevelMinimax", seed, cfg.rounds, true);
 
+        let prof = &cfg.opts.profile;
+        // ClientEdge traffic spreads over every disjoint bottom-level
+        // network: one per edge area across all sampled groups.
+        let edge_areas = (cfg.m_groups * per_group).max(1);
         for k in start_round..cfg.rounds {
             tel.record(|| TelemetryEvent::RoundStart { round: k });
             let round_timer = tel.timer();
             let phase1_timer = tel.timer();
+            let round_span = prof.start();
+            let sampling_span = prof.start();
             // --- Phase 1: weighted top-level sampling + recursive update.
             let mut e_rng =
                 StreamRng::for_key(StreamKey::new(seed, Purpose::EdgeSampling, k as u64, 0));
@@ -360,6 +367,7 @@ impl Algorithm for MultiLevelMinimax {
                 edges: sampled.clone(),
                 checkpoint: Some((c1, c2)),
             });
+            prof.record(tel, Phase::Phase1Sampling, Some(k), None, sampling_span);
 
             // Cloud-link fault pipeline on the sampled top-level groups:
             // outage filter, then downlink deliveries with metered retries.
@@ -382,6 +390,7 @@ impl Algorithm for MultiLevelMinimax {
             let mut participants: Vec<usize> = Vec::with_capacity(active.len());
             let mut part_counts: Vec<usize> = Vec::with_capacity(active.len());
             let mut retries = 0u64;
+            let retry_span = prof.start();
             for (&g, &c) in active.iter().zip(&active_counts) {
                 let dv = fault.deliver(k as u64, 0, MsgChannel::Phase1Down, g);
                 retries += u64::from(dv.attempts - 1);
@@ -397,6 +406,7 @@ impl Algorithm for MultiLevelMinimax {
             // retry carries the same payload, so the totals are exact).
             if retries > 0 {
                 meter.record_broadcast(Link::EdgeCloud, payload_down, retries);
+                prof.record(tel, Phase::FaultRetry, Some(k), None, retry_span);
             }
             let results: Vec<(Vec<f32>, Option<Vec<f32>>)> = participants
                 .iter()
@@ -419,6 +429,7 @@ impl Algorithm for MultiLevelMinimax {
             // in the base gather, retries here).
             let mut reported: Vec<usize> = Vec::with_capacity(participants.len());
             let mut retries = 0u64;
+            let retry_span = prof.start();
             for (i, &g) in participants.iter().enumerate() {
                 let dv = fault.deliver(k as u64, 0, MsgChannel::Phase1Up, g);
                 retries += u64::from(dv.attempts - 1);
@@ -431,6 +442,7 @@ impl Algorithm for MultiLevelMinimax {
             }
             if retries > 0 {
                 meter.record_gather(Link::EdgeCloud, 2 * d as u64, retries);
+                prof.record(tel, Phase::FaultRetry, Some(k), None, retry_span);
             }
             meter.record_gather(Link::EdgeCloud, 2 * d as u64, participants.len() as u64);
             meter.record_round(Link::EdgeCloud);
@@ -438,6 +450,7 @@ impl Algorithm for MultiLevelMinimax {
             // Aggregation over the surviving reports, weights renormalized
             // (fault-free the denominator is exactly m_groups); a fully
             // failed round keeps w^(k) bit-identically.
+            let agg_span = prof.start();
             let mut w_checkpoint = vec![0.0_f32; d];
             if reported.is_empty() {
                 w_checkpoint.copy_from_slice(&w);
@@ -456,6 +469,7 @@ impl Algorithm for MultiLevelMinimax {
                     .collect();
                 vecops::weighted_average_into(&cps, &weights, &mut w_checkpoint);
             }
+            prof.record(tel, Phase::Aggregation, Some(k), None, agg_span);
             trace.record(|| Event::GlobalAggregation { round: k });
             trace.record(|| Event::GlobalModel {
                 round: k,
@@ -468,6 +482,7 @@ impl Algorithm for MultiLevelMinimax {
 
             // --- Phase 2: uniform group sampling, loss estimation, ascent.
             let phase2_timer = tel.timer();
+            let dual_span = prof.start();
             let mut u_rng = StreamRng::for_key(StreamKey::new(
                 seed,
                 Purpose::LossEstSampling,
@@ -496,6 +511,7 @@ impl Algorithm for MultiLevelMinimax {
             meter.record_broadcast(Link::EdgeCloud, d as u64, live.len() as u64);
             let mut est: Vec<usize> = Vec::with_capacity(live.len());
             let mut retries = 0u64;
+            let retry_span = prof.start();
             for &g in &live {
                 let dv = fault.deliver(k as u64, 0, MsgChannel::Phase2Down, g);
                 retries += u64::from(dv.attempts - 1);
@@ -508,6 +524,7 @@ impl Algorithm for MultiLevelMinimax {
             }
             if retries > 0 {
                 meter.record_broadcast(Link::EdgeCloud, d as u64, retries);
+                prof.record(tel, Phase::FaultRetry, Some(k), None, retry_span);
             }
             meter.record_broadcast(
                 Link::ClientEdge,
@@ -549,6 +566,7 @@ impl Algorithm for MultiLevelMinimax {
                 v[g] = (scale * l) as f32;
             }
             projected_ascent_step(&mut p, &v, cfg.eta_p * total_tau as f32, &problem.p_domain);
+            prof.record(tel, Phase::DualUpdate, Some(k), None, dual_span);
             trace.record(|| Event::WeightUpdate {
                 round: k,
                 p: p.clone(),
@@ -587,11 +605,12 @@ impl Algorithm for MultiLevelMinimax {
                 slots: slots_done,
                 comm_delta: comm_now.since(&comm_prev),
                 comm_total: comm_now,
-                sim_s: tel.sim_seconds(&comm_now, slots_done)
+                sim_s: tel.sim_seconds(&comm_now, slots_done, edge_areas)
                     + tel.fault_seconds(fcum.straggler_slots, fcum.backoff_s),
                 elapsed_s: round_timer.elapsed_s(),
             });
             comm_prev = comm_now;
+            prof.record(tel, Phase::Round, Some(k), None, round_span);
 
             finish_round(
                 problem,
@@ -612,12 +631,16 @@ impl Algorithm for MultiLevelMinimax {
         let comm_final = meter.snapshot();
         let faults_final = fault.stats();
         let total_slots = cfg.rounds * total_tau;
+        cfg.opts.profile.emit_summary(tel);
         tel.record(|| TelemetryEvent::RunEnd {
             rounds: cfg.rounds,
             slots: total_slots,
             comm_total: comm_final,
-            sim_s: tel.sim_seconds(&comm_final, total_slots)
-                + tel.fault_seconds(faults_final.straggler_slots, faults_final.backoff_s),
+            sim_s: tel.sim_seconds(
+                &comm_final,
+                total_slots,
+                (cfg.m_groups * cfg.edges_per_group()).max(1),
+            ) + tel.fault_seconds(faults_final.straggler_slots, faults_final.backoff_s),
             elapsed_s: run_timer.elapsed_s(),
         });
         tel.flush();

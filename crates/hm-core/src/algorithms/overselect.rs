@@ -29,7 +29,7 @@ use hm_optim::sgd::projected_ascent_step;
 use hm_simnet::sampling::{sample_checkpoint, sample_edges_uniform, sample_edges_weighted};
 use hm_simnet::trace::Event;
 use hm_simnet::{CommMeter, FaultInjector, FaultKind, FaultStats, Link, MsgChannel};
-use hm_telemetry::TelemetryEvent;
+use hm_telemetry::{Phase, TelemetryEvent};
 use hm_tensor::vecops;
 
 /// Snapshot extras section holding `(simulated_seconds, discarded)`.
@@ -163,7 +163,10 @@ impl OverselectMinimax {
         };
         let ckpt = CheckpointCtx::new(&cfg.opts, "Overselect", seed, cfg.rounds, false);
 
+        let prof = &cfg.opts.profile;
         for k in start_round..cfg.rounds {
+            let round_span = prof.start();
+            let sampling_span = prof.start();
             // Over-sample by p, then keep the m_E fastest sampled slots.
             let mut e_rng =
                 StreamRng::for_key(StreamKey::new(seed, Purpose::EdgeSampling, k as u64, 0));
@@ -191,6 +194,7 @@ impl OverselectMinimax {
                 StreamRng::for_key(StreamKey::new(seed, Purpose::Checkpoint, k as u64, 0));
             let (c1, c2) = sample_checkpoint(cfg.tau1, cfg.tau2, &mut c_rng);
             let (distinct, counts) = multiplicities(&sampled);
+            prof.record(tel, Phase::Phase1Sampling, Some(k), None, sampling_span);
 
             // Fault pipeline on the kept (fastest) edges: outage filter,
             // then downlink deliveries with metered retries.
@@ -208,6 +212,7 @@ impl OverselectMinimax {
             let mut participants: Vec<usize> = Vec::with_capacity(active.len());
             let mut part_counts: Vec<usize> = Vec::with_capacity(active.len());
             let mut retries = 0u64;
+            let retry_span = prof.start();
             for (&e, &c) in active.iter().zip(&active_counts) {
                 let dv = fault.deliver(k as u64, 0, MsgChannel::Phase1Down, e);
                 retries += u64::from(dv.attempts - 1);
@@ -223,6 +228,7 @@ impl OverselectMinimax {
             // retry carries the same payload, so the totals are exact).
             if retries > 0 {
                 meter.record_broadcast(Link::EdgeCloud, d as u64 + 2, retries);
+                prof.record(tel, Phase::FaultRetry, Some(k), None, retry_span);
             }
 
             let outputs = run_edge_blocks(EdgeBlockParams {
@@ -245,9 +251,11 @@ impl OverselectMinimax {
                 engine: cfg.opts.engine,
                 trace: &trace,
                 telemetry: &cfg.opts.telemetry,
+                profile: prof,
             });
             let mut reported: Vec<usize> = Vec::with_capacity(participants.len());
             let mut retries = 0u64;
+            let retry_span = prof.start();
             for (i, &e) in participants.iter().enumerate() {
                 let dv = fault.deliver(k as u64, 0, MsgChannel::Phase1Up, e);
                 retries += u64::from(dv.attempts - 1);
@@ -260,12 +268,14 @@ impl OverselectMinimax {
             }
             if retries > 0 {
                 meter.record_gather(Link::EdgeCloud, 2 * d as u64, retries);
+                prof.record(tel, Phase::FaultRetry, Some(k), None, retry_span);
             }
             meter.record_gather(Link::EdgeCloud, 2 * d as u64, participants.len() as u64);
             meter.record_round(Link::EdgeCloud);
 
             // Survivor-renormalized aggregation (fault-free the denominator
             // is exactly m_edges); a fully failed round keeps w^(k).
+            let agg_span = prof.start();
             let mut w_checkpoint = vec![0.0_f32; d];
             if reported.is_empty() {
                 w_checkpoint.copy_from_slice(&w);
@@ -291,9 +301,11 @@ impl OverselectMinimax {
                     .collect();
                 vecops::weighted_average_into(&cps, &weights, &mut w_checkpoint);
             }
+            prof.record(tel, Phase::Aggregation, Some(k), None, agg_span);
             trace.record(|| Event::GlobalAggregation { round: k });
 
             // Phase 2 unchanged (scalar losses are cheap; no over-selection).
+            let dual_span = prof.start();
             let mut u_rng = StreamRng::for_key(StreamKey::new(
                 seed,
                 Purpose::LossEstSampling,
@@ -318,6 +330,7 @@ impl OverselectMinimax {
             meter.record_broadcast(Link::EdgeCloud, d as u64, live.len() as u64);
             let mut est: Vec<usize> = Vec::with_capacity(live.len());
             let mut retries = 0u64;
+            let retry_span = prof.start();
             for &e in &live {
                 let dv = fault.deliver(k as u64, 0, MsgChannel::Phase2Down, e);
                 retries += u64::from(dv.attempts - 1);
@@ -330,6 +343,7 @@ impl OverselectMinimax {
             }
             if retries > 0 {
                 meter.record_broadcast(Link::EdgeCloud, d as u64, retries);
+                prof.record(tel, Phase::FaultRetry, Some(k), None, retry_span);
             }
             meter.record_broadcast(Link::ClientEdge, d as u64, (est.len() * n0) as u64);
             let topo = problem.topology();
@@ -368,6 +382,7 @@ impl OverselectMinimax {
                 cfg.eta_p * slots_per_round as f32,
                 &problem.p_domain,
             );
+            prof.record(tel, Phase::DualUpdate, Some(k), None, dual_span);
             trace.record(|| Event::WeightUpdate {
                 round: k,
                 p: p.clone(),
@@ -420,7 +435,9 @@ impl OverselectMinimax {
                 fault.stats(),
                 vec![(OVERSELECT_SECTION.to_string(), section.into_bytes())],
             );
+            prof.record(tel, Phase::Round, Some(k), None, round_span);
         }
+        prof.emit_summary(tel);
 
         OverselectResult {
             run: RunResult {

@@ -30,6 +30,7 @@ use hm_data::rng::{Purpose, StreamKey, StreamRng};
 use hm_simnet::sampling::sample_edges_uniform;
 use hm_simnet::trace::Event;
 use hm_simnet::{CommMeter, Link};
+use hm_telemetry::Phase;
 use hm_tensor::vecops;
 
 /// Configuration of a q-FedAvg run.
@@ -133,8 +134,12 @@ impl Algorithm for QFedAvg {
         };
         // q-FedAvg emits no telemetry, so checkpoint events are suppressed.
         let ckpt = CheckpointCtx::new(&cfg.opts, "q-FedAvg", seed, cfg.rounds, false);
+        let prof = &cfg.opts.profile;
+        let tel = &cfg.opts.telemetry;
 
         for k in start_round..cfg.rounds {
+            let round_span = prof.start();
+            let sampling_span = prof.start();
             let mut s_rng =
                 StreamRng::for_key(StreamKey::new(seed, Purpose::EdgeSampling, k as u64, 0));
             let sampled = sample_edges_uniform(n, cfg.m_clients, &mut s_rng);
@@ -142,8 +147,10 @@ impl Algorithm for QFedAvg {
                 round: k,
                 edges: sampled.clone(),
             });
+            prof.record(tel, Phase::Phase1Sampling, Some(k), None, sampling_span);
 
             meter.record_broadcast(Link::ClientCloud, d as u64, sampled.len() as u64);
+            let sgd_span = prof.start();
             let results = run_flat_clients(
                 problem,
                 &w,
@@ -173,10 +180,12 @@ impl Algorithm for QFedAvg {
                 )
                 .max(1e-10) // F_k^q-1 must stay finite for q < 1
             });
+            prof.record(tel, Phase::LocalSgdChain, Some(k), None, sgd_span);
             meter.record_gather(Link::ClientCloud, d as u64 + 1, sampled.len() as u64);
             meter.record_round(Link::ClientCloud);
 
             // q-FedAvg aggregation.
+            let agg_span = prof.start();
             let mut delta_sum = vec![0.0_f64; d];
             let mut h_sum = 0.0_f64;
             for ((w_k, _), &f_k) in results.iter().zip(&losses) {
@@ -196,6 +205,7 @@ impl Algorithm for QFedAvg {
                 use hm_optim::projection::Projection;
                 problem.w_domain.project(&mut w);
             }
+            prof.record(tel, Phase::Aggregation, Some(k), None, agg_span);
             trace.record(|| Event::GlobalAggregation { round: k });
 
             finish_round(
@@ -222,7 +232,9 @@ impl Algorithm for QFedAvg {
                 Default::default(),
                 vec![],
             );
+            prof.record(tel, Phase::Round, Some(k), None, round_span);
         }
+        prof.emit_summary(tel);
 
         let final_p = q_to_edge_p(problem, &vec![1.0 / n as f32; n]);
         RunResult {

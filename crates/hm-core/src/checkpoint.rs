@@ -318,12 +318,20 @@ impl<'a> CheckpointCtx<'a> {
             extras,
         };
         let path = snapshot_path(dir, self.algorithm, round + 1);
+        let write_timer = self.opts.profile.start();
         if let Err(e) = write_snapshot(&path, &snap) {
             eprintln!(
                 "warning: failed to write checkpoint {}: {e}",
                 path.display()
             );
         }
+        self.opts.profile.record(
+            tel,
+            hm_telemetry::Phase::CheckpointWrite,
+            Some(round),
+            None,
+            write_timer,
+        );
     }
 }
 

@@ -8,10 +8,24 @@
 //! argument for the hierarchy, quantified.
 //!
 //! The model is synchronous (like the protocol): each synchronisation round
-//! pays one round-trip on its link, every transferred float pays serial
-//! bandwidth on its link, and every local SGD time slot pays one compute
-//! step (clients within a slot run in parallel, so slots — not client-steps
-//! — count).
+//! pays one round-trip on its link, transferred floats pay bandwidth on
+//! their link, and every local SGD time slot pays one compute step (clients
+//! within a slot run in parallel, so slots — not client-steps — count).
+//!
+//! Bandwidth semantics per link:
+//!
+//! - **EdgeCloud / ClientCloud** floats share one aggregate cloud pipe —
+//!   the cloud's ingress is the bottleneck, so their transfer time is
+//!   `floats / floats_per_s` over the link totals.
+//! - **ClientEdge** floats flow over *distinct per-edge-area networks* that
+//!   transfer concurrently in the synchronous protocol. The round waits for
+//!   the bottleneck edge; with the meter's aggregate counters (no per-edge
+//!   breakdown) the model approximates that bottleneck as `totals /
+//!   edge_areas` — exact for balanced fleets, a lower bound under skew.
+//!   [`LatencyModel::simulated_seconds`] takes the concurrency as an
+//!   explicit argument; passing `1` reproduces the historical serial
+//!   charge, which is what flat (two-layer) methods want, since they have
+//!   no client-edge tier at all.
 
 use crate::comm::CommStats;
 use crate::Link;
@@ -33,7 +47,10 @@ pub struct LatencyModel {
     pub client_step_s: f64,
     /// Round-trip latency per synchronisation round, per link (seconds).
     pub rtt_s: [f64; 3],
-    /// Bandwidth per link (floats per second, aggregated over the link).
+    /// Bandwidth per link in floats per second. For the cloud links this
+    /// is the aggregate pipe; for `ClientEdge` it is the bandwidth of *one*
+    /// edge area's local network (areas transfer concurrently — see the
+    /// module docs and [`LatencyModel::simulated_seconds_parallel`]).
     pub floats_per_s: [f64; 3],
 }
 
@@ -71,14 +88,44 @@ impl LatencyModel {
 
     /// Simulated seconds for a run (or run prefix) that executed
     /// `slots` local-SGD time slots and produced the communication
-    /// counters `stats`.
+    /// counters `stats`, with all `ClientEdge` floats charged against a
+    /// single serial pipe (equivalent to
+    /// [`LatencyModel::simulated_seconds_parallel`] with one edge area).
+    ///
+    /// Correct for flat two-layer methods (which never meter `ClientEdge`
+    /// floats); hierarchical callers should pass their edge-area count to
+    /// the parallel form instead, or simulated client-edge transfer time
+    /// grows linearly in fleet size even though the areas are disjoint
+    /// networks.
     pub fn simulated_seconds(&self, stats: &CommStats, slots: usize) -> f64 {
+        self.simulated_seconds_parallel(stats, slots, 1)
+    }
+
+    /// Simulated seconds with `ClientEdge` floats transferred concurrently
+    /// across `edge_areas` disjoint edge-area networks: the synchronous
+    /// round waits for the bottleneck area, approximated as the aggregate
+    /// float count divided by the area count (exact when traffic is
+    /// balanced across areas). `edge_areas == 0` is treated as `1`.
+    ///
+    /// RTT and cloud-link terms are unchanged — synchronisation rounds
+    /// overlap across areas already (one RTT per protocol round, not per
+    /// area), and the cloud links share one aggregate pipe.
+    pub fn simulated_seconds_parallel(
+        &self,
+        stats: &CommStats,
+        slots: usize,
+        edge_areas: usize,
+    ) -> f64 {
         let mut t = slots as f64 * self.client_step_s;
         for link in Link::all() {
             let i = Self::idx(link);
             t += stats.rounds(link) as f64 * self.rtt_s[i];
-            let floats = stats.uplink_floats(link) + stats.downlink_floats(link);
-            t += floats as f64 / self.floats_per_s[i];
+            let floats = (stats.uplink_floats(link) + stats.downlink_floats(link)) as f64;
+            let concurrency = match link {
+                Link::ClientEdge => edge_areas.max(1) as f64,
+                Link::EdgeCloud | Link::ClientCloud => 1.0,
+            };
+            t += floats / (self.floats_per_s[i] * concurrency);
         }
         t
     }
@@ -126,6 +173,52 @@ mod tests {
         m.record_uplink(Link::ClientCloud, 2_000_000);
         let t = model.simulated_seconds(&m.snapshot(), 0);
         assert!((t - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn doubling_edges_at_fixed_per_edge_traffic_does_not_double_client_edge_time() {
+        // Per-edge traffic fixed at 1M floats up the client-edge link;
+        // 1e6 floats/s per area ⇒ each area needs exactly 1 s.
+        let model = LatencyModel::uniform(0.0, 1e6);
+        let fleet = |edges: u64| {
+            let m = CommMeter::new();
+            for _ in 0..edges {
+                m.record_uplink(Link::ClientEdge, 1_000_000);
+            }
+            m.snapshot()
+        };
+        let one = model.simulated_seconds_parallel(&fleet(1), 0, 1);
+        let two = model.simulated_seconds_parallel(&fleet(2), 0, 2);
+        let four = model.simulated_seconds_parallel(&fleet(4), 0, 4);
+        assert!((one - 1.0).abs() < 1e-9);
+        assert!(
+            (two - one).abs() < 1e-9 && (four - one).abs() < 1e-9,
+            "disjoint areas transfer concurrently: {one} vs {two} vs {four}"
+        );
+        // The historical serial form still charges one shared pipe.
+        assert!((model.simulated_seconds(&fleet(2), 0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cloud_links_stay_serial_under_edge_parallelism() {
+        let model = LatencyModel::uniform(0.0, 1e6);
+        let m = CommMeter::new();
+        m.record_uplink(Link::EdgeCloud, 2_000_000);
+        m.record_uplink(Link::ClientCloud, 1_000_000);
+        let t = model.simulated_seconds_parallel(&m.snapshot(), 0, 8);
+        assert!((t - 3.0).abs() < 1e-9, "cloud pipes are aggregate: {t}");
+    }
+
+    #[test]
+    fn zero_edge_areas_is_treated_as_one() {
+        let model = LatencyModel::uniform(0.0, 1e6);
+        let m = CommMeter::new();
+        m.record_uplink(Link::ClientEdge, 1_000_000);
+        let s = m.snapshot();
+        assert_eq!(
+            model.simulated_seconds_parallel(&s, 5, 0),
+            model.simulated_seconds_parallel(&s, 5, 1)
+        );
     }
 
     #[test]

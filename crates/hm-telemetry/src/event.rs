@@ -6,6 +6,7 @@
 //! streams can be compared textually in tests.
 
 use crate::json::ObjWriter;
+use crate::profile::{phases_to_json, PhaseAgg};
 use hm_simnet::{CommStats, Link};
 
 /// A structured event emitted by an algorithm run.
@@ -171,6 +172,26 @@ pub enum TelemetryEvent {
         /// count through its `checkpoint` event).
         seq: u64,
     },
+    /// A profiled wall-clock span (see `crate::profile`). Emitted
+    /// *unsequenced*, like [`TelemetryEvent::RunResume`]: spans are pure
+    /// measurement, so a profiled run's sequenced stream stays
+    /// bit-identical to the unprofiled run's.
+    Span {
+        /// Phase tag (`crate::profile::Phase::as_str`).
+        phase: String,
+        /// Round the span belongs to; `None` for run-scoped spans.
+        round: Option<usize>,
+        /// Entity (edge index) the span belongs to, when per-entity.
+        entity: Option<usize>,
+        /// Measured wall-clock seconds (monotonic).
+        elapsed_s: f64,
+    },
+    /// End-of-run per-phase aggregate of every recorded span, emitted
+    /// *unsequenced* immediately before [`TelemetryEvent::RunEnd`].
+    ProfileSummary {
+        /// One aggregate per phase, in canonical phase order.
+        phases: Vec<PhaseAgg>,
+    },
     /// The run finished.
     RunEnd {
         /// Rounds actually executed.
@@ -220,6 +241,8 @@ impl TelemetryEvent {
             TelemetryEvent::FaultSummary { .. } => "fault_summary",
             TelemetryEvent::Checkpoint { .. } => "checkpoint",
             TelemetryEvent::RunResume { .. } => "run_resume",
+            TelemetryEvent::Span { .. } => "span",
+            TelemetryEvent::ProfileSummary { .. } => "profile_summary",
             TelemetryEvent::RoundEnd { .. } => "round_end",
             TelemetryEvent::RunEnd { .. } => "run_end",
         }
@@ -350,6 +373,26 @@ impl TelemetryEvent {
                     .u64("seed", *seed)
                     .u64("seq", *seq);
             }
+            TelemetryEvent::Span {
+                phase,
+                round,
+                entity,
+                elapsed_s,
+            } => {
+                w.str("phase", phase);
+                match round {
+                    Some(r) => w.usize("round", *r),
+                    None => w.null("round"),
+                };
+                match entity {
+                    Some(e) => w.usize("entity", *e),
+                    None => w.null("entity"),
+                };
+                w.f64("elapsed_s", *elapsed_s);
+            }
+            TelemetryEvent::ProfileSummary { phases } => {
+                w.raw("phases", &phases_to_json(phases));
+            }
             TelemetryEvent::RoundEnd {
                 round,
                 slots,
@@ -476,6 +519,24 @@ mod tests {
                 next_round: 1,
                 seed: 42,
                 seq: 11,
+            },
+            TelemetryEvent::Span {
+                phase: "local_sgd_chain".into(),
+                round: Some(0),
+                entity: Some(2),
+                elapsed_s: 0.003,
+            },
+            TelemetryEvent::ProfileSummary {
+                phases: vec![PhaseAgg {
+                    phase: "round".into(),
+                    count: 1,
+                    total_s: 0.02,
+                    min_s: 0.02,
+                    max_s: 0.02,
+                    p50_s: 0.02,
+                    p90_s: 0.02,
+                    p99_s: 0.02,
+                }],
             },
             TelemetryEvent::RoundEnd {
                 round: 0,

@@ -26,12 +26,19 @@
 //!
 //! The event schema is documented in `DESIGN.md` §10 and enforced by
 //! [`schema::validate_stream`], which CI runs on every smoke-test stream.
+//! Per-phase wall-clock profiling (span timers, fixed-bucket histograms,
+//! the `span`/`profile_summary` events) lives in [`profile`] and is
+//! documented in `DESIGN.md` §13.
 
 pub mod event;
 pub mod json;
+pub mod profile;
 pub mod schema;
 pub mod sink;
 
 pub use event::{comm_to_json, TelemetryEvent};
-pub use schema::{validate_line, validate_stream, SchemaError, StreamSummary};
+pub use profile::{Phase, PhaseAgg, Profiler, SpanAggregator, SpanTimer};
+pub use schema::{
+    validate_line, validate_stream, validate_stream_strict, SchemaError, StreamSummary,
+};
 pub use sink::{JsonlSink, MemorySink, NoopSink, PhaseTimer, Sink, Telemetry};

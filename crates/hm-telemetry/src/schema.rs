@@ -4,8 +4,10 @@
 //! (DESIGN.md §10): known `"ev"` tag, every required field present with the
 //! right type, no unknown fields. [`validate_stream`] additionally enforces
 //! stream-level invariants — a `run_start` preamble, `round_end` indices
-//! consecutive from 0, a closing `run_end` whose round count matches.
-//! CI's telemetry smoke job runs this over every emitted stream.
+//! consecutive from 0, a closing `run_end` whose round count matches —
+//! while tolerating unknown (future) event kinds as unsequenced lines;
+//! [`validate_stream_strict`] rejects them. CI's telemetry smoke job runs
+//! the strict form over every emitted stream.
 
 use crate::json::{parse, Json};
 use std::collections::BTreeMap;
@@ -27,6 +29,9 @@ enum Ty {
     NullableUInt,
     /// A `CommStats` object: five length-3 arrays of non-negative integers.
     Comm,
+    /// A `profile_summary` phase list: array of per-phase aggregate
+    /// objects (see `crate::profile::PhaseAgg`).
+    Phases,
 }
 
 /// Required fields (besides `"ev"`) for each event kind.
@@ -85,6 +90,13 @@ fn fields_for(kind: &str) -> Option<&'static [(&'static str, Ty)]> {
             ("straggler_slots", Ty::Num),
         ],
         "checkpoint" => &[("round", Ty::UInt), ("seq", Ty::UInt)],
+        "span" => &[
+            ("phase", Ty::Str),
+            ("round", Ty::NullableUInt),
+            ("entity", Ty::NullableUInt),
+            ("elapsed_s", Ty::Num),
+        ],
+        "profile_summary" => &[("phases", Ty::Phases)],
         "run_resume" => &[
             ("algorithm", Ty::Str),
             ("rounds", Ty::UInt),
@@ -195,6 +207,38 @@ fn check_ty(value: &Json, ty: Ty, field: &str) -> Result<(), SchemaError> {
             }
             Ok(())
         }
+        Ty::Phases => {
+            let items = match value.as_arr() {
+                Some(items) => items,
+                None => return fail("an array of phase aggregates"),
+            };
+            const KEYS: [(&str, Ty); 8] = [
+                ("phase", Ty::Str),
+                ("count", Ty::UInt),
+                ("total_s", Ty::Num),
+                ("min_s", Ty::Num),
+                ("max_s", Ty::Num),
+                ("p50_s", Ty::Num),
+                ("p90_s", Ty::Num),
+                ("p99_s", Ty::Num),
+            ];
+            for item in items {
+                let fields = match item {
+                    Json::Obj(fields) => fields,
+                    _ => return fail("an array of phase aggregate objects"),
+                };
+                for (key, ty) in KEYS {
+                    let v = item.get(key).ok_or_else(|| {
+                        err(format!("field {field:?}: phase key {key:?} missing"))
+                    })?;
+                    check_ty(v, ty, key).map_err(|e| err(format!("field {field:?}: {}", e.msg)))?;
+                }
+                if fields.len() != KEYS.len() {
+                    return Err(err(format!("field {field:?}: unknown phase keys")));
+                }
+            }
+            Ok(())
+        }
     }
 }
 
@@ -257,7 +301,43 @@ pub struct StreamSummary {
 /// repeats a round is rejected. `checkpoint` events themselves must carry
 /// a `seq` matching the running count and cover the round that just
 /// ended.
+///
+/// Version tolerance: an *unknown* event kind is accepted as long as the
+/// line is a well-formed JSON object with a string `"ev"` tag. Unknown
+/// kinds are counted in the summary but treated as **unsequenced** — they
+/// do not advance the running event count, so sequence continuity checks
+/// still hold across them. This makes new event kinds a non-breaking
+/// schema change, with one emitter-side obligation: new kinds must be
+/// emitted unsequenced (as `run_resume`, `span`, and `profile_summary`
+/// are), otherwise older validators would flag a seq gap at the next
+/// checkpoint. Use [`validate_stream_strict`] to reject unknown kinds.
 pub fn validate_stream(text: &str) -> Result<StreamSummary, SchemaError> {
+    validate_stream_impl(text, false)
+}
+
+/// [`validate_stream`] in strict mode: every line must additionally pass
+/// [`validate_line`] — unknown event kinds are rejected instead of being
+/// skipped as unsequenced. Use this to pin a stream to exactly the event
+/// grammar this build knows about (CI does, via
+/// `validate-telemetry --strict`).
+pub fn validate_stream_strict(text: &str) -> Result<StreamSummary, SchemaError> {
+    validate_stream_impl(text, true)
+}
+
+/// Accept `raw` as a tolerated unknown-kind line: a well-formed JSON
+/// object whose `"ev"` is a string *not* in the known-kind table. Known
+/// kinds return `None` (their field errors must surface).
+fn tolerated_unknown_kind(raw: &str) -> Option<String> {
+    let v = parse(raw).ok()?;
+    let kind = v.get("ev")?.as_str()?.to_string();
+    if fields_for(&kind).is_none() {
+        Some(kind)
+    } else {
+        None
+    }
+}
+
+fn validate_stream_impl(text: &str, strict: bool) -> Result<StreamSummary, SchemaError> {
     let mut summary = StreamSummary::default();
     let mut in_run = false;
     let mut rounds_seen = 0usize;
@@ -272,9 +352,20 @@ pub fn validate_stream(text: &str) -> Result<StreamSummary, SchemaError> {
         if raw.trim().is_empty() {
             continue;
         }
-        let kind = validate_line(raw).map_err(|e| at(line_no, e.msg))?;
+        let (kind, known) = match validate_line(raw) {
+            Ok(kind) => (kind, true),
+            Err(e) if !strict => match tolerated_unknown_kind(raw) {
+                Some(kind) => (kind, false),
+                None => return Err(at(line_no, e.msg)),
+            },
+            Err(e) => return Err(at(line_no, e.msg)),
+        };
         summary.lines += 1;
         *summary.events_by_kind.entry(kind.clone()).or_insert(0) += 1;
+        if !known {
+            // Forward-compat: unknown kinds are unsequenced observers.
+            continue;
+        }
 
         match kind.as_str() {
             "run_start" => {
@@ -374,6 +465,12 @@ pub fn validate_stream(text: &str) -> Result<StreamSummary, SchemaError> {
                     ));
                 }
                 rounds_seen += 1;
+            }
+            "span" | "profile_summary" => {
+                if !in_run {
+                    return Err(at(line_no, format!("{kind} outside a run")));
+                }
+                // Unsequenced, like run_resume: seq_count unchanged.
             }
             _ => {
                 if !in_run {
@@ -523,6 +620,116 @@ mod tests {
     fn rejects_unknown_kind() {
         let e = validate_line(r#"{"ev":"mystery","round":0}"#).unwrap_err();
         assert!(e.msg.contains("unknown event kind"));
+    }
+
+    #[test]
+    fn stream_tolerates_unknown_kinds_by_default() {
+        let mut lines: Vec<String> = tiny_stream().lines().map(String::from).collect();
+        lines.insert(3, r#"{"ev":"gpu_util","round":0,"pct":93.5}"#.into());
+        let text = lines.join("\n");
+        let summary = validate_stream(&text).unwrap();
+        assert_eq!(summary.runs, 1);
+        assert_eq!(summary.events_by_kind["gpu_util"], 1);
+        assert_eq!(summary.lines, 14);
+    }
+
+    #[test]
+    fn strict_stream_rejects_unknown_kinds() {
+        let mut lines: Vec<String> = tiny_stream().lines().map(String::from).collect();
+        lines.insert(3, r#"{"ev":"gpu_util","round":0,"pct":93.5}"#.into());
+        let e = validate_stream_strict(&lines.join("\n")).unwrap_err();
+        assert!(e.msg.contains("unknown event kind"), "{}", e.msg);
+        assert_eq!(e.line, 4);
+    }
+
+    #[test]
+    fn tolerant_stream_still_rejects_malformed_lines() {
+        // Bad JSON is never tolerated.
+        let e = validate_stream("{\"ev\":\"future").unwrap_err();
+        assert!(e.msg.contains("not valid JSON"), "{}", e.msg);
+        // Nor is a missing/non-string "ev" tag.
+        let e = validate_stream(r#"{"round":0}"#).unwrap_err();
+        assert!(e.msg.contains("\"ev\""), "{}", e.msg);
+        // Nor a *known* kind with a field error — tolerance is only for
+        // kinds this build has never heard of.
+        let stream = tiny_stream().replace(
+            "\"ev\":\"round_start\",\"round\":0",
+            "\"ev\":\"round_start\",\"round\":\"zero\"",
+        );
+        let e = validate_stream(&stream).unwrap_err();
+        assert!(e.msg.contains("non-negative integer"), "{}", e.msg);
+    }
+
+    #[test]
+    fn unknown_kinds_do_not_break_seq_continuity() {
+        // Insert an unknown event *before* the checkpoint: the checkpoint's
+        // seq must still match, i.e. the unknown line counted as
+        // unsequenced.
+        let mut lines: Vec<String> = checkpointed_stream().lines().map(String::from).collect();
+        lines.insert(9, r#"{"ev":"gpu_util","pct":50}"#.into());
+        let summary = validate_stream(&lines.join("\n")).unwrap();
+        assert_eq!(summary.runs, 1);
+        assert_eq!(summary.events_by_kind["checkpoint"], 1);
+    }
+
+    #[test]
+    fn span_and_profile_summary_are_unsequenced() {
+        // Same continuity argument for the known unsequenced kinds: spans
+        // before a checkpoint must not perturb its expected seq.
+        let span = TelemetryEvent::Span {
+            phase: "round".into(),
+            round: Some(0),
+            entity: None,
+            elapsed_s: 0.125,
+        };
+        let summary = TelemetryEvent::ProfileSummary {
+            phases: vec![crate::profile::PhaseAgg {
+                phase: "round".into(),
+                count: 1,
+                total_s: 0.125,
+                min_s: 0.125,
+                max_s: 0.125,
+                p50_s: 0.125,
+                p90_s: 0.125,
+                p99_s: 0.125,
+            }],
+        };
+        let mut lines: Vec<String> = checkpointed_stream().lines().map(String::from).collect();
+        lines.insert(9, span.to_json());
+        let end = lines.len() - 1;
+        lines.insert(end, summary.to_json());
+        let text = lines.join("\n");
+        for validate in [validate_stream, validate_stream_strict] {
+            let s = validate(&text).unwrap();
+            assert_eq!(s.runs, 1);
+            assert_eq!(s.events_by_kind["span"], 1);
+            assert_eq!(s.events_by_kind["profile_summary"], 1);
+        }
+    }
+
+    #[test]
+    fn span_outside_a_run_is_rejected() {
+        let line = TelemetryEvent::Span {
+            phase: "round".into(),
+            round: None,
+            entity: None,
+            elapsed_s: 0.0,
+        }
+        .to_json();
+        let e = validate_stream(&line).unwrap_err();
+        assert!(e.msg.contains("outside a run"), "{}", e.msg);
+    }
+
+    #[test]
+    fn rejects_malformed_phase_aggregates() {
+        let missing = r#"{"ev":"profile_summary","phases":[{"phase":"round"}]}"#;
+        let e = validate_line(missing).unwrap_err();
+        assert!(e.msg.contains("phase key"), "{}", e.msg);
+        let extra = r#"{"ev":"profile_summary","phases":[{"phase":"round","count":1,"total_s":1,"min_s":1,"max_s":1,"p50_s":1,"p90_s":1,"p99_s":1,"zz":0}]}"#;
+        let e = validate_line(extra).unwrap_err();
+        assert!(e.msg.contains("unknown phase keys"), "{}", e.msg);
+        let not_obj = r#"{"ev":"profile_summary","phases":[3]}"#;
+        assert!(validate_line(not_obj).is_err());
     }
 
     #[test]

@@ -239,9 +239,17 @@ impl Telemetry {
 
     /// Simulated deployment seconds for a run prefix under this handle's
     /// latency model; `0.0` when disabled.
-    pub fn sim_seconds(&self, stats: &CommStats, slots: usize) -> f64 {
+    ///
+    /// `edge_areas` is the number of disjoint client-edge networks
+    /// transferring concurrently per round (the participating edge count
+    /// for hierarchical methods, `1` for flat methods, which meter no
+    /// `ClientEdge` floats anyway) — see
+    /// [`LatencyModel::simulated_seconds_parallel`].
+    pub fn sim_seconds(&self, stats: &CommStats, slots: usize, edge_areas: usize) -> f64 {
         match &self.inner {
-            Some(inner) => inner.latency.simulated_seconds(stats, slots),
+            Some(inner) => inner
+                .latency
+                .simulated_seconds_parallel(stats, slots, edge_areas),
             None => 0.0,
         }
     }
@@ -295,7 +303,7 @@ mod tests {
         t.record(|| unreachable!("closure must not run when disabled"));
         assert_eq!(t.timer().elapsed_s(), 0.0);
         let stats = CommMeter::new().snapshot();
-        assert_eq!(t.sim_seconds(&stats, 100), 0.0);
+        assert_eq!(t.sim_seconds(&stats, 100, 1), 0.0);
         t.flush();
     }
 
@@ -362,7 +370,7 @@ mod tests {
         let m = CommMeter::new();
         m.record_round(Link::EdgeCloud);
         let s = m.snapshot();
-        let got = t.sim_seconds(&s, 0);
+        let got = t.sim_seconds(&s, 0, 1);
         assert!((got - 1.0).abs() < 1e-12);
     }
 

@@ -394,6 +394,42 @@ fn hierarchical_algorithms_resume_under_chaos_on_rayon() {
     }
 }
 
+// ---- Cadence contract: the final round is never snapshotted. -------------
+
+#[test]
+fn final_round_snapshot_is_never_written() {
+    // `--checkpoint-every N` writes a snapshot after every N-th completed
+    // cloud round EXCEPT the final one: a run that finished has nothing
+    // left to resume, so a final-round snapshot would only waste I/O and
+    // invite a no-op resume. Pin the contract with a cadence that lands
+    // exactly on the final round.
+    let fp = problem();
+    let (name, _, factory) = all_algorithms().swap_remove(0);
+    for every in [1, 2] {
+        // ROUNDS = 4: cadence 1 is due after rounds 1..=4, cadence 2 after
+        // rounds 2 and 4 — in both cases round 4 is due AND final.
+        let dir = scratch_dir(&format!("final-round-{every}"));
+        let mut w_opts = opts(
+            Parallelism::Sequential,
+            ExecEngine::Chained,
+            &FaultPlan::preset("none").unwrap(),
+        );
+        w_opts.checkpoint = CheckpointOpts::writing(&dir, every);
+        factory(w_opts).run(&fp, SEED);
+        for completed in 1..=ROUNDS {
+            let path = snapshot_path(&dir, name, completed);
+            let due = completed % every == 0;
+            let last = completed == ROUNDS;
+            assert_eq!(
+                path.exists(),
+                due && !last,
+                "cadence {every}: snapshot after round {completed} (due={due}, final={last})"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 // ---- Negatives: a snapshot must only resume the run it came from. -------
 
 fn sample_snapshot() -> Snapshot {
