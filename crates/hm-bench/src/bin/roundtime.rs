@@ -81,6 +81,9 @@ fn config(case: &Case, rounds: usize, engine: ExecEngine) -> HierMinimaxConfig {
             checkpoint: Default::default(),
             engine,
             profile: Default::default(),
+            aggregator: Default::default(),
+            quarantine_z: 0.0,
+            quarantine_window: 0,
         },
     }
 }

@@ -120,6 +120,9 @@ impl SuiteParams {
             checkpoint: Default::default(),
             engine: self.engine,
             profile: Default::default(),
+            aggregator: Default::default(),
+            quarantine_z: 0.0,
+            quarantine_window: 0,
         }
     }
 

@@ -12,8 +12,12 @@ use hm_core::metrics::evaluate;
 use hm_core::problem::FederatedProblem;
 use hm_core::{CheckpointOpts, RunResult};
 use hm_data::partition::label_skew;
-use hm_simnet::{ExecEngine, FaultPlan, LatencyModel, Link, Parallelism, Quantizer, FAULT_PRESETS};
+use hm_simnet::{
+    AttackModel, ExecEngine, FaultPlan, LatencyModel, Link, Parallelism, Quantizer, ATTACK_MODELS,
+    FAULT_PRESETS,
+};
 use hm_telemetry::{PhaseAgg, Profiler, SpanAggregator, Telemetry};
+use hm_tensor::{Aggregator, AGGREGATORS};
 
 /// Dispatch a parsed command line. Returns the process exit code.
 pub fn dispatch(args: &Args) -> Result<(), ArgError> {
@@ -79,15 +83,28 @@ ALGORITHM FLAGS (run):
   --dropout F           per-block client dropout probability (hier. methods)
 
 FAULT-INJECTION FLAGS (run, compare; deterministic per seed):
-  --fault-plan NAME     none|flaky-clients|edge-outages|lossy-wan|stragglers|chaos
+  --fault-plan NAME     none|flaky-clients|edge-outages|lossy-wan|stragglers|chaos|byzantine
                         (default none; presets override --dropout)
   --client-crash F --edge-outage F --msg-loss F
                         per-block/round/attempt probabilities overriding the preset
   --max-retries N --backoff-base F
                         bounded retransmission of lost edge-cloud messages
                         (exponential backoff in simulated seconds)
+  --backoff-jitter F    keyed multiplicative jitter on retry backoff (0 = off)
   --straggler-rate F --straggler-slowdown F --deadline-factor F
                         compute stragglers; slower than the deadline is cut
+
+BYZANTINE-ADVERSARY FLAGS (run, compare; deterministic per seed):
+  --corrupt-rate F      per-client per-block corruption probability
+  --attack NAME         sign-flip|scale|noise|zero|collude (default sign-flip)
+  --attack-scale F      attack magnitude kappa (sign-flip/scale/noise)
+  --aggregator NAME     mean|trimmed-mean|coordinate-median|norm-clip
+                        robust client->edge and edge->cloud reduction
+  --trim-beta F         (trimmed-mean) per-side trim fraction in [0, 0.5)
+  --clip-tau F          (norm-clip) clipping radius on update norms
+  --quarantine-z F      update-norm z-score threshold; outliers sit out
+                        (0 = quarantine off)
+  --quarantine-window N rounds a quarantined client is excluded (default 5)
 
 CHECKPOINT/RESUME FLAGS (run; see DESIGN.md par. 12):
   --checkpoint-dir P    write crash-consistent snapshots (atomic rename +
@@ -129,9 +146,46 @@ fn fault_plan(args: &Args) -> Result<FaultPlan, ArgError> {
     plan.straggler_rate = args.num_or("straggler-rate", plan.straggler_rate)?;
     plan.straggler_slowdown = args.num_or("straggler-slowdown", plan.straggler_slowdown)?;
     plan.deadline_factor = args.num_or("deadline-factor", plan.deadline_factor)?;
+    plan.corrupt_rate = args.num_or("corrupt-rate", plan.corrupt_rate)?;
+    let attack = args.str_or("attack", "");
+    if !attack.is_empty() {
+        plan.attack = AttackModel::parse(&attack).ok_or_else(|| {
+            ArgError(format!(
+                "--attack {attack:?} unknown (one of {})",
+                ATTACK_MODELS.join("|")
+            ))
+        })?;
+    }
+    plan.attack_scale = args.num_or("attack-scale", plan.attack_scale)?;
+    plan.backoff_jitter = args.num_or("backoff-jitter", plan.backoff_jitter)?;
     plan.validate()
         .map_err(|e| ArgError(format!("fault plan: {e}")))?;
     Ok(plan)
+}
+
+/// Resolve `--aggregator` plus its per-variant knob flags into a
+/// validated [`Aggregator`].
+fn aggregator(args: &Args) -> Result<Aggregator, ArgError> {
+    let name = args.str_or("aggregator", "mean");
+    let agg = match name.as_str() {
+        "mean" => Aggregator::Mean,
+        "trimmed-mean" => Aggregator::TrimmedMean {
+            beta: args.num_or("trim-beta", 0.1_f32)?,
+        },
+        "coordinate-median" => Aggregator::CoordinateMedian,
+        "norm-clip" => Aggregator::NormClip {
+            tau: args.num_or("clip-tau", 1.0_f32)?,
+        },
+        other => {
+            return Err(ArgError(format!(
+                "--aggregator {other:?} unknown (one of {})",
+                AGGREGATORS.join("|")
+            )))
+        }
+    };
+    agg.validate()
+        .map_err(|e| ArgError(format!("aggregator: {e}")))?;
+    Ok(agg)
 }
 
 /// The algorithm display name a `--method` value runs as — what a resume
@@ -225,6 +279,9 @@ fn opts(args: &Args) -> Result<RunOpts, ArgError> {
         } else {
             Profiler::disabled()
         },
+        aggregator: aggregator(args)?,
+        quarantine_z: args.num_or("quarantine-z", 0.0_f64)?,
+        quarantine_window: args.num_or("quarantine-window", 5_usize)?,
     })
 }
 
@@ -430,6 +487,14 @@ fn report(problem: &FederatedProblem, name: &str, r: &RunResult) {
             f.deadline_missed,
             f.backoff_s,
             f.straggler_slots
+        );
+    }
+    let q = &r.quarantine;
+    if q.total() > 0 {
+        println!(
+            "adversary: {} corrupted updates, {} clients quarantined, \
+             {} uploads excluded",
+            q.corrupted_updates, q.quarantined_clients, q.excluded_uploads
         );
     }
 }

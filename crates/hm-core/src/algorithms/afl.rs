@@ -316,6 +316,7 @@ impl Algorithm for StochasticAfl {
             comm: comm_final,
             trace,
             faults: Default::default(),
+            quarantine: Default::default(),
         }
     }
 }

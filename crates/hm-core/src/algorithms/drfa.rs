@@ -334,6 +334,7 @@ impl Algorithm for Drfa {
             comm: comm_final,
             trace,
             faults: Default::default(),
+            quarantine: Default::default(),
         }
     }
 }

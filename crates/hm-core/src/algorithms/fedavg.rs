@@ -241,6 +241,7 @@ impl Algorithm for FedAvg {
             comm: comm_final,
             trace,
             faults: Default::default(),
+            quarantine: Default::default(),
         }
     }
 }

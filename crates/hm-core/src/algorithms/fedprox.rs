@@ -200,6 +200,7 @@ impl Algorithm for FedProx {
             comm: meter.snapshot(),
             trace,
             faults: Default::default(),
+            quarantine: Default::default(),
         }
     }
 }

@@ -32,7 +32,7 @@ use hm_simnet::{
     CommMeter, ExecEngine, FaultInjector, Link, Parallelism, Quantizer, StragglerFate,
 };
 use hm_telemetry::{Phase, Profiler, Telemetry, TelemetryEvent};
-use hm_tensor::vecops;
+use hm_tensor::{vecops, Aggregator};
 
 /// A client's block output: the updated model and, in the checkpoint
 /// block, the checkpoint snapshot.
@@ -48,6 +48,12 @@ pub(crate) struct EdgeBlockOutput {
     /// `w_e^{(k, c2, c1)}` — the aggregated checkpoint model, when a
     /// checkpoint index was supplied.
     pub checkpoint: Option<Vec<f32>>,
+    /// Per local client slot `c`: `(Σ blocks ‖upload − block-start‖₂,
+    /// blocks participated)`, measured on the decoded upload (after
+    /// quantization and any Byzantine corruption) — the observable the
+    /// quarantine pass z-scores. Empty unless
+    /// [`EdgeBlockParams::track_norms`] is set.
+    pub client_norms: Vec<(f64, u32)>,
 }
 
 /// Parameters of one round's `ModelUpdate` across the participating edges.
@@ -101,6 +107,20 @@ pub(crate) struct EdgeBlockParams<'a> {
     /// recorded after the join, in edge order, so profiled span streams
     /// are identical in shape across engines and parallelism modes.
     pub profile: &'a Profiler,
+    /// Client→edge reduction rule. [`Aggregator::Mean`] is the frozen
+    /// reference path (bit-identical to the historical
+    /// `average_present_into` fold); the robust rules defend against
+    /// Byzantine uploads at the cost of statistical efficiency.
+    pub aggregator: Aggregator,
+    /// Per-global-client quarantine horizon: client `i` sits out every
+    /// block of the round while `round < quarantined[i]` (it neither
+    /// computes nor uploads, and makes no fault-stream draws). An empty
+    /// slice disables the check at zero cost.
+    pub quarantined: &'a [u64],
+    /// Collect [`EdgeBlockOutput::client_norms`] for the quarantine pass.
+    /// Off by default — norm tracking costs one `dist2_sq` per surviving
+    /// upload but never perturbs the trained bits.
+    pub track_norms: bool,
 }
 
 /// Per-round fault and survivor schedule, computed before any client work.
@@ -116,6 +136,11 @@ struct RoundSchedule {
     /// `alive[t2 * n_slots + ei * n0 + c]` — does that client's upload
     /// survive block `t2`?
     alive: Vec<bool>,
+    /// `corrupt[t2 * n_slots + ei * n0 + c]` — is that surviving upload
+    /// Byzantine-corrupted? (Same indexing; always `false` for dead
+    /// slots, and drawn from the dedicated `Purpose::Adversary` stream
+    /// so a zero corruption rate makes no draws at all.)
+    corrupt: Vec<bool>,
     /// Surviving uploads per block (`[t2]`).
     block_survivors: Vec<u64>,
 }
@@ -133,17 +158,24 @@ fn compute_schedule(p: &EdgeBlockParams<'_>) -> RoundSchedule {
     let topo = p.problem.topology();
     let n_slots = ne * n0;
     let mut alive = vec![false; p.tau2 * n_slots];
+    let mut corrupt = vec![false; p.tau2 * n_slots];
     let mut block_survivors = vec![0u64; p.tau2];
     for t2 in 0..p.tau2 {
         let block_tag = (p.round * p.tau2 + t2) as u64;
-        // Which clients survive this block: a client is cut by a crash or
-        // by straggling past the deadline; an in-deadline straggler
-        // contributes but stretches the block's shared sync window.
+        // Which clients survive this block: a quarantined client sits the
+        // round out (no fault-stream draws at all); otherwise a client is
+        // cut by a crash or by straggling past the deadline; an
+        // in-deadline straggler contributes but stretches the block's
+        // shared sync window. Surviving uploads then draw their
+        // Byzantine-corruption bit from the dedicated adversary stream.
         let mut max_slow = 1.0_f64;
         for slot in 0..n_slots {
             let edge = p.edges[slot / n0];
             let client = topo.client_id(edge, slot % n0);
-            let a = if !p.fault.client_alive(block_tag, p.level, client) {
+            let a = if quarantine_excludes(p.quarantined, client, p.round) {
+                p.fault.add_excluded(1);
+                false
+            } else if !p.fault.client_alive(block_tag, p.level, client) {
                 false
             } else {
                 match p.fault.straggler(block_tag, p.level, client) {
@@ -156,6 +188,7 @@ fn compute_schedule(p: &EdgeBlockParams<'_>) -> RoundSchedule {
                 }
             };
             alive[t2 * n_slots + slot] = a;
+            corrupt[t2 * n_slots + slot] = a && p.fault.client_corrupt(block_tag, p.level, client);
             block_survivors[t2] += u64::from(a);
         }
         if max_slow > 1.0 {
@@ -167,8 +200,17 @@ fn compute_schedule(p: &EdgeBlockParams<'_>) -> RoundSchedule {
     }
     RoundSchedule {
         alive,
+        corrupt,
         block_survivors,
     }
+}
+
+/// Is `client` quarantined for `round`? An empty horizon table (the
+/// disabled state) never excludes anybody.
+fn quarantine_excludes(quarantined: &[u64], client: usize, round: usize) -> bool {
+    quarantined
+        .get(client)
+        .is_some_and(|&until| (round as u64) < until)
 }
 
 /// Meter the whole round's client-edge traffic in closed form: one
@@ -265,6 +307,11 @@ pub(crate) fn run_edge_blocks(p: EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
     }
 }
 
+/// Per-edge chain result: final edge model, checkpoint model, per-client
+/// `(summed update norm, block count)` samples for the quarantine pass,
+/// and the chain's wall-clock seconds for the profiler.
+type ChainOutput = (Vec<f32>, Option<Vec<f32>>, Vec<(f64, u32)>, f64);
+
 /// The chained engine: fault schedule and metering up front, then one
 /// task per edge running all `τ2` blocks back to back, then event replay.
 fn run_edge_blocks_chained(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
@@ -274,7 +321,7 @@ fn run_edge_blocks_chained(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
     let schedule = compute_schedule(p);
     meter_round(p, &schedule);
 
-    let outputs: Vec<(Vec<f32>, Option<Vec<f32>>, f64)> = {
+    let outputs: Vec<ChainOutput> = {
         let schedule = &schedule;
         p.par.map_chains(ne, |ei| {
             hm_nn::with_scratch(|scratch| {
@@ -288,6 +335,18 @@ fn run_edge_blocks_chained(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
                 // presence test reads.
                 let mut client_w: Vec<Vec<f32>> = vec![Vec::new(); n0];
                 let mut client_cp: Vec<Option<Vec<f32>>> = vec![None; n0];
+                // Robust-aggregation workspace, reused across blocks. The
+                // base snapshot is only cloned for rules that need the
+                // block-start model (NormClip), so the Mean path stays
+                // allocation-free beyond the buffers above.
+                let needs_base = p.aggregator.needs_base();
+                let mut agg_scratch: Vec<f32> = Vec::new();
+                let mut base_buf: Vec<f32> = Vec::new();
+                let mut norms: Vec<(f64, u32)> = if p.track_norms {
+                    vec![(0.0, 0); n0]
+                } else {
+                    Vec::new()
+                };
                 for t2 in 0..p.tau2 {
                     let is_cp_block = p.checkpoint.map(|(_, c2)| c2 == t2).unwrap_or(false);
                     let cp_after = p.checkpoint.and_then(|(c1, c2)| (c2 == t2).then_some(c1));
@@ -318,6 +377,24 @@ fn run_edge_blocks_chained(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
                             cp_after,
                             scratch,
                         );
+                        // A Byzantine client corrupts its honest update
+                        // before the (honest, edge-side-decoded) uplink
+                        // codec sees it. The checkpoint rides the same
+                        // gather, so it is forged too.
+                        if schedule.corrupt[base + c] {
+                            let block_tag = (p.round * p.tau2 + t2) as u64;
+                            p.fault.corrupt_update(
+                                block_tag,
+                                p.level,
+                                client,
+                                &model,
+                                &mut client_w[c],
+                            );
+                            if let Some(cp) = cp_out.as_mut() {
+                                p.fault
+                                    .corrupt_update(block_tag, p.level, client, &model, cp);
+                            }
+                        }
                         // Uplink codec: quantize the *update delta* against
                         // the block-start model the edge already holds (as
                         // in Hier-Local-QSGD — deltas are small, so coarse
@@ -335,15 +412,27 @@ fn run_edge_blocks_chained(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
                                 quantize_delta(&p.quantizer, &model, cp, &mut qrng);
                             }
                         }
+                        if p.track_norms {
+                            let entry = &mut norms[c];
+                            entry.0 += vecops::dist2_sq(&client_w[c], &model).sqrt();
+                            entry.1 += 1;
+                        }
                         client_cp[c] = cp_out;
                     }
                     // Edge-side aggregation over survivors, in slot order
-                    // (the bit-exact fold order of DESIGN.md §7). With no
-                    // survivors the edge keeps its block-start model (and
-                    // captures no checkpoint).
-                    let survivors = vecops::average_present_into(
+                    // (the bit-exact fold order of DESIGN.md §7) — Mean is
+                    // the historical `average_present_into` fold; the
+                    // robust rules share its presence test and fold order.
+                    // With no survivors the edge keeps its block-start
+                    // model (and captures no checkpoint).
+                    if needs_base {
+                        base_buf.clone_from(&model);
+                    }
+                    let survivors = p.aggregator.aggregate_present_into(
                         &client_w,
                         |w| (!w.is_empty()).then_some(w.as_slice()),
+                        needs_base.then_some(base_buf.as_slice()),
+                        &mut agg_scratch,
                         &mut model,
                     );
                     if survivors == 0 {
@@ -351,19 +440,24 @@ fn run_edge_blocks_chained(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
                     }
                     if is_cp_block {
                         let mut cp = vec![0.0_f32; model.len()];
-                        let got =
-                            vecops::average_present_into(&client_cp, Option::as_deref, &mut cp);
+                        let got = p.aggregator.aggregate_present_into(
+                            &client_cp,
+                            Option::as_deref,
+                            needs_base.then_some(base_buf.as_slice()),
+                            &mut agg_scratch,
+                            &mut cp,
+                        );
                         assert_eq!(got, survivors, "checkpoint block must return checkpoints");
                         checkpoint = Some(cp);
                     }
                 }
-                (model, checkpoint, chain_timer.elapsed_s())
+                (model, checkpoint, norms, chain_timer.elapsed_s())
             })
         })
     };
 
     replay_events(p, &schedule);
-    for (ei, (_, _, chain_s)) in outputs.iter().enumerate() {
+    for (ei, (_, _, _, chain_s)) in outputs.iter().enumerate() {
         p.profile.record_secs(
             p.telemetry,
             Phase::LocalSgdChain,
@@ -376,7 +470,9 @@ fn run_edge_blocks_chained(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
     p.edges
         .iter()
         .zip(outputs)
-        .map(|(&edge, (w_final, checkpoint, _))| finish_edge(p, edge, w_final, checkpoint))
+        .map(|(&edge, (w_final, checkpoint, client_norms, _))| {
+            finish_edge(p, edge, w_final, checkpoint, client_norms)
+        })
         .collect()
 }
 
@@ -389,6 +485,7 @@ fn finish_edge(
     edge: usize,
     w_final: Vec<f32>,
     checkpoint: Option<Vec<f32>>,
+    client_norms: Vec<(f64, u32)>,
 ) -> EdgeBlockOutput {
     let checkpoint = match (checkpoint, p.checkpoint) {
         (None, Some(_)) => Some(w_final.clone()),
@@ -398,6 +495,7 @@ fn finish_edge(
         edge,
         w_final,
         checkpoint,
+        client_norms,
     }
 }
 
@@ -415,27 +513,44 @@ fn run_edge_blocks_barrier(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
     // edge's aggregation fold), so the barrier engine emits the same
     // one-span-per-edge stream as the chained engine's whole-chain timer.
     let mut chain_s = vec![0.0_f64; p.edges.len()];
+    // Robust-aggregation workspace and quarantine observables, mirroring
+    // the chained engine (flat `[ei * n0 + c]` norm slots here).
+    let needs_base = p.aggregator.needs_base();
+    let mut agg_scratch: Vec<f32> = Vec::new();
+    let mut base_buf: Vec<f32> = Vec::new();
+    let mut norms: Vec<(f64, u32)> = if p.track_norms {
+        vec![(0.0, 0); p.edges.len() * n0]
+    } else {
+        Vec::new()
+    };
 
     for t2 in 0..p.tau2 {
         let is_cp_block = p.checkpoint.map(|(_, c2)| c2 == t2).unwrap_or(false);
         let cp_after = p.checkpoint.and_then(|(c1, c2)| (c2 == t2).then_some(c1));
         let block_tag = (p.round * p.tau2 + t2) as u64;
         let mut max_slow = 1.0_f64;
+        let mut corrupt = vec![false; p.edges.len() * n0];
         let alive: Vec<bool> = (0..p.edges.len() * n0)
             .map(|slot| {
                 let edge = p.edges[slot / n0];
                 let client = topo.client_id(edge, slot % n0);
-                if !p.fault.client_alive(block_tag, p.level, client) {
-                    return false;
-                }
-                match p.fault.straggler(block_tag, p.level, client) {
-                    StragglerFate::Missed => false,
-                    StragglerFate::Slow(s) => {
-                        max_slow = max_slow.max(s);
-                        true
+                let a = if quarantine_excludes(p.quarantined, client, p.round) {
+                    p.fault.add_excluded(1);
+                    false
+                } else if !p.fault.client_alive(block_tag, p.level, client) {
+                    false
+                } else {
+                    match p.fault.straggler(block_tag, p.level, client) {
+                        StragglerFate::Missed => false,
+                        StragglerFate::Slow(s) => {
+                            max_slow = max_slow.max(s);
+                            true
+                        }
+                        StragglerFate::OnTime => true,
                     }
-                    StragglerFate::OnTime => true,
-                }
+                };
+                corrupt[slot] = a && p.fault.client_corrupt(block_tag, p.level, client);
+                a
             })
             .collect();
         if max_slow > 1.0 {
@@ -454,6 +569,7 @@ fn run_edge_blocks_barrier(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
             .collect();
         let results_alive: Vec<(Vec<f32>, Option<Vec<f32>>, f64)> = {
             let edge_models = &edge_models;
+            let corrupt = &corrupt;
             p.par.map_ref(&tasks, |&(ei, c)| {
                 let task_timer = p.profile.start();
                 let edge = p.edges[ei];
@@ -475,6 +591,14 @@ fn run_edge_blocks_barrier(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
                     &mut rng,
                     cp_after,
                 );
+                if corrupt[ei * n0 + c] {
+                    let base = &edge_models[ei];
+                    p.fault
+                        .corrupt_update(block_tag, p.level, client, base, &mut w_out);
+                    if let Some(cp) = cp_out.as_mut() {
+                        p.fault.corrupt_update(block_tag, p.level, client, base, cp);
+                    }
+                }
                 if p.quantizer != Quantizer::Exact {
                     let mut qrng = StreamRng::for_key(StreamKey::new(
                         p.seed,
@@ -503,6 +627,11 @@ fn run_edge_blocks_barrier(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
                 steps: p.tau1,
             });
             chain_s[ei] += secs;
+            if p.track_norms {
+                let entry = &mut norms[ei * n0 + c];
+                entry.0 += vecops::dist2_sq(&w_out, &edge_models[ei]).sqrt();
+                entry.1 += 1;
+            }
             results[ei * n0 + c] = Some((w_out, cp_out));
         }
 
@@ -518,27 +647,41 @@ fn run_edge_blocks_barrier(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
         }
 
         // Edge-side aggregation over survivors (deterministic order:
-        // clients are indexed).
+        // clients are indexed). The aggregator's Mean arm is the
+        // historical `average_present_into` fold over the result slots —
+        // bit-identical to the frozen `average_into(compacted)` reference
+        // (asserted in `hm_tensor::vecops` tests).
         for (ei, model) in edge_models.iter_mut().enumerate() {
             let agg_timer = p.profile.start();
-            let client_ws: Vec<&[f32]> = (0..n0)
-                .filter_map(|c| results[ei * n0 + c].as_ref().map(|(w, _)| w.as_slice()))
-                .collect();
+            let slots = &results[ei * n0..(ei + 1) * n0];
             // An edge with no surviving clients keeps its block-start
             // model (and captures no checkpoint from this block).
-            if !client_ws.is_empty() {
-                vecops::average_into(&client_ws, model);
+            if slots.iter().any(|s| s.is_some()) {
+                if needs_base {
+                    base_buf.clone_from(model);
+                }
+                let survivors = p.aggregator.aggregate_present_into(
+                    slots,
+                    |s| s.as_ref().map(|(w, _)| w.as_slice()),
+                    needs_base.then_some(base_buf.as_slice()),
+                    &mut agg_scratch,
+                    model,
+                );
                 if is_cp_block {
-                    let cps: Vec<&[f32]> = (0..n0)
-                        .filter_map(|c| {
-                            results[ei * n0 + c].as_ref().map(|(_, cp)| {
+                    let mut cp = vec![0.0_f32; model.len()];
+                    let got = p.aggregator.aggregate_present_into(
+                        slots,
+                        |s| {
+                            s.as_ref().map(|(_, cp)| {
                                 cp.as_deref()
                                     .expect("checkpoint block must return checkpoints")
                             })
-                        })
-                        .collect();
-                    let mut cp = vec![0.0_f32; cps[0].len()];
-                    vecops::average_into(&cps, &mut cp);
+                        },
+                        needs_base.then_some(base_buf.as_slice()),
+                        &mut agg_scratch,
+                        &mut cp,
+                    );
+                    assert_eq!(got, survivors, "checkpoint block must return checkpoints");
                     edge_checkpoints[ei] = Some(cp);
                     p.trace.record(|| Event::CheckpointCaptured {
                         round: p.round,
@@ -555,7 +698,7 @@ fn run_edge_blocks_barrier(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
                     round: p.round,
                     edge: p.edges[ei],
                     t2,
-                    survivors: client_ws.len(),
+                    survivors,
                 });
             }
             chain_s[ei] += agg_timer.elapsed_s();
@@ -574,9 +717,17 @@ fn run_edge_blocks_barrier(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
 
     p.edges
         .iter()
+        .enumerate()
         .zip(edge_models)
         .zip(edge_checkpoints)
-        .map(|((&edge, w_final), checkpoint)| finish_edge(p, edge, w_final, checkpoint))
+        .map(|(((ei, &edge), w_final), checkpoint)| {
+            let client_norms = if p.track_norms {
+                norms[ei * n0..(ei + 1) * n0].to_vec()
+            } else {
+                Vec::new()
+            };
+            finish_edge(p, edge, w_final, checkpoint, client_norms)
+        })
         .collect()
 }
 
@@ -597,6 +748,173 @@ pub(crate) fn quantize_delta(
     q.apply(v, rng);
     for (x, &b) in v.iter_mut().zip(base) {
         *x += b;
+    }
+}
+
+/// Cloud-side reduction of edge (or checkpoint) models under the
+/// configured aggregator. `Aggregator::Mean` takes the frozen reference
+/// paths — [`vecops::weighted_average_into`] when sampling weights are
+/// supplied, [`vecops::average_into`] otherwise — so robust-off runs stay
+/// bit-identical to historical behaviour. The robust rules are unweighted
+/// by construction (a weighted trimmed mean would let an adversary buy
+/// influence through the sampler), so they ignore `weights`; `base` is the
+/// pre-aggregation global model NormClip measures deviations against.
+pub(crate) fn robust_reduce_into(
+    agg: &Aggregator,
+    inputs: &[&[f32]],
+    weights: Option<&[f64]>,
+    base: &[f32],
+    scratch: &mut Vec<f32>,
+    out: &mut [f32],
+) {
+    match (agg, weights) {
+        (Aggregator::Mean, Some(ws)) => vecops::weighted_average_into(inputs, ws, out),
+        (Aggregator::Mean, None) => vecops::average_into(inputs, out),
+        _ => {
+            let got = agg.aggregate_present_into(
+                inputs,
+                |v| Some(*v),
+                agg.needs_base().then_some(base),
+                scratch,
+                out,
+            );
+            debug_assert_eq!(got, inputs.len());
+        }
+    }
+}
+
+/// Per-round quarantine controller: z-scores each reporting client's mean
+/// per-block update norm against the cohort and benches outliers for a
+/// fixed window of rounds. Driven by the run loops between rounds —
+/// entirely outside the parallel region, so it cannot perturb execution
+/// order — and keyed off *observed* uploads only, which makes it a pure
+/// function of the round's outputs (checkpoint/resume serializes just the
+/// horizon table).
+pub(crate) struct QuarantineCtl {
+    /// Trigger threshold in standard deviations (`0` = disabled).
+    z: f64,
+    /// Rounds a flagged client sits out.
+    window: u64,
+    /// Per-global-client exclusion horizon: quarantined while
+    /// `round < until[client]`.
+    until: Vec<u64>,
+    /// This round's summed update norms / block counts per global client.
+    sums: Vec<f64>,
+    blocks: Vec<u32>,
+}
+
+impl QuarantineCtl {
+    pub(crate) fn new(z: f64, window: usize, n_clients: usize) -> Self {
+        let n = if z > 0.0 { n_clients } else { 0 };
+        Self {
+            z,
+            window: window as u64,
+            until: vec![0; n],
+            sums: vec![0.0; n],
+            blocks: vec![0; n],
+        }
+    }
+
+    pub(crate) fn active(&self) -> bool {
+        self.z > 0.0
+    }
+
+    /// The horizon table to pass as [`EdgeBlockParams::quarantined`]
+    /// (empty when disabled, which turns the per-slot check off).
+    pub(crate) fn exclusions(&self) -> &[u64] {
+        &self.until
+    }
+
+    pub(crate) fn begin_round(&mut self) {
+        self.sums.fill(0.0);
+        self.blocks.fill(0);
+    }
+
+    /// Fold one `run_edge_blocks` output batch into this round's
+    /// observations.
+    pub(crate) fn observe(&mut self, problem: &FederatedProblem, outputs: &[EdgeBlockOutput]) {
+        if !self.active() {
+            return;
+        }
+        let topo = problem.topology();
+        for o in outputs {
+            for (c, &(norm, blocks)) in o.client_norms.iter().enumerate() {
+                if blocks > 0 {
+                    let id = topo.client_id(o.edge, c);
+                    self.sums[id] += norm;
+                    self.blocks[id] += blocks;
+                }
+            }
+        }
+    }
+
+    /// Close the round: z-score the reporters, bench fresh outliers until
+    /// `round + 1 + window`, and emit one unsequenced `Quarantine`
+    /// telemetry event per newly benched client (global-id order).
+    /// Returns how many clients were newly quarantined.
+    pub(crate) fn end_round(
+        &mut self,
+        round: usize,
+        fault: &FaultInjector,
+        telemetry: &Telemetry,
+    ) -> usize {
+        if !self.active() {
+            return 0;
+        }
+        let reporters: Vec<(usize, f64)> = (0..self.until.len())
+            .filter(|&id| self.blocks[id] > 0)
+            .map(|id| (id, self.sums[id] / f64::from(self.blocks[id])))
+            .collect();
+        // A z-score over fewer than three points is meaningless, and a
+        // degenerate (all-equal) cohort has no outliers.
+        if reporters.len() < 3 {
+            return 0;
+        }
+        let n = reporters.len() as f64;
+        let mean = reporters.iter().map(|&(_, x)| x).sum::<f64>() / n;
+        let var = reporters
+            .iter()
+            .map(|&(_, x)| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / n;
+        let std = var.sqrt();
+        if std <= 1e-12 {
+            return 0;
+        }
+        let mut newly = 0u64;
+        for &(id, x) in &reporters {
+            if (x - mean) / std > self.z {
+                let until = (round + 1) as u64 + self.window;
+                self.until[id] = until;
+                newly += 1;
+                telemetry.record_unsequenced(|| TelemetryEvent::Quarantine {
+                    round,
+                    client: id,
+                    until: until as usize,
+                });
+            }
+        }
+        if newly > 0 {
+            fault.add_quarantined(newly);
+        }
+        newly as usize
+    }
+
+    /// Raw horizon table for the checkpoint extras section.
+    pub(crate) fn state(&self) -> &[u64] {
+        &self.until
+    }
+
+    /// Restore a checkpointed horizon table (no-op when disabled).
+    pub(crate) fn restore(&mut self, until: Vec<u64>) {
+        if self.active() {
+            assert_eq!(
+                until.len(),
+                self.until.len(),
+                "quarantine state size mismatch on resume"
+            );
+            self.until = until;
+        }
     }
 }
 
@@ -663,6 +981,9 @@ mod tests {
             trace: &trace,
             telemetry: &Telemetry::disabled(),
             profile: &Profiler::disabled(),
+            aggregator: Aggregator::Mean,
+            quarantined: &[],
+            track_norms: false,
         });
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].edge, 0);
@@ -720,6 +1041,9 @@ mod tests {
             trace: &trace,
             telemetry: &Telemetry::disabled(),
             profile: &Profiler::disabled(),
+            aggregator: Aggregator::Mean,
+            quarantined: &[],
+            track_norms: false,
         });
         assert_eq!(out[0].checkpoint.as_deref(), Some(w0.as_slice()));
     }
@@ -732,6 +1056,17 @@ mod tests {
         engine: ExecEngine,
         par: Parallelism,
         quantizer: Quantizer,
+    ) -> (Vec<EdgeBlockOutput>, hm_simnet::CommStats, Vec<Event>) {
+        run_one_agg(fp, fault, engine, par, quantizer, Aggregator::Mean)
+    }
+
+    fn run_one_agg(
+        fp: &FederatedProblem,
+        fault: FaultPlan,
+        engine: ExecEngine,
+        par: Parallelism,
+        quantizer: Quantizer,
+        aggregator: Aggregator,
     ) -> (Vec<EdgeBlockOutput>, hm_simnet::CommStats, Vec<Event>) {
         let meter = CommMeter::new();
         let trace = Trace::enabled();
@@ -757,6 +1092,9 @@ mod tests {
             trace: &trace,
             telemetry: &Telemetry::disabled(),
             profile: &Profiler::disabled(),
+            aggregator,
+            quarantined: &[],
+            track_norms: true,
         });
         (out, meter.snapshot(), trace.events())
     }
@@ -797,22 +1135,193 @@ mod tests {
         let sc = tiny_problem(3, 3, 9);
         let fp = FederatedProblem::logistic_from_scenario(&sc);
         let chaotic = FaultPlan::preset("chaos").unwrap();
-        for (fault, quantizer) in [
-            (FaultPlan::default(), Quantizer::Exact),
-            (chaotic.clone(), Quantizer::Exact),
-            (chaotic, Quantizer::Stochastic { bits: 4 }),
+        let byzantine = FaultPlan::preset("byzantine").unwrap();
+        for (fault, quantizer, aggregator) in [
+            (FaultPlan::default(), Quantizer::Exact, Aggregator::Mean),
+            (chaotic.clone(), Quantizer::Exact, Aggregator::Mean),
+            (
+                chaotic.clone(),
+                Quantizer::Stochastic { bits: 4 },
+                Aggregator::Mean,
+            ),
+            (
+                byzantine.clone(),
+                Quantizer::Exact,
+                Aggregator::TrimmedMean { beta: 0.25 },
+            ),
+            (
+                byzantine.clone(),
+                Quantizer::Stochastic { bits: 4 },
+                Aggregator::CoordinateMedian,
+            ),
+            (
+                FaultPlan {
+                    attack: hm_simnet::AttackModel::Collude,
+                    ..byzantine
+                },
+                Quantizer::Exact,
+                Aggregator::NormClip { tau: 0.5 },
+            ),
         ] {
             for par in [Parallelism::Sequential, Parallelism::Rayon] {
-                let (a, am, ae) = run_one(&fp, fault.clone(), ExecEngine::Chained, par, quantizer);
-                let (b, bm, be) = run_one(&fp, fault.clone(), ExecEngine::Barrier, par, quantizer);
+                let (a, am, ae) = run_one_agg(
+                    &fp,
+                    fault.clone(),
+                    ExecEngine::Chained,
+                    par,
+                    quantizer,
+                    aggregator,
+                );
+                let (b, bm, be) = run_one_agg(
+                    &fp,
+                    fault.clone(),
+                    ExecEngine::Barrier,
+                    par,
+                    quantizer,
+                    aggregator,
+                );
                 for (x, y) in a.iter().zip(&b) {
                     assert_eq!(x.edge, y.edge);
                     assert_eq!(x.w_final, y.w_final);
                     assert_eq!(x.checkpoint, y.checkpoint);
+                    assert_eq!(x.client_norms, y.client_norms, "norm observables diverged");
                 }
                 assert_eq!(am, bm, "meter totals diverged");
                 assert_eq!(ae, be, "trace event order diverged");
             }
         }
+    }
+
+    #[test]
+    fn quarantined_clients_sit_out_and_are_counted() {
+        let sc = tiny_problem(2, 2, 4);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let topo = fp.topology();
+        let n_clients = topo.total_clients();
+        // Bench client 0 of edge 0 beyond this round; everyone else free.
+        let mut until = vec![0u64; n_clients];
+        let benched = topo.client_id(0, 0);
+        until[benched] = 10;
+        for engine in [ExecEngine::Chained, ExecEngine::Barrier] {
+            let meter = CommMeter::new();
+            let trace = Trace::enabled();
+            let fi = FaultInjector::none(5);
+            let out = run_edge_blocks(EdgeBlockParams {
+                problem: &fp,
+                w_start: &vec![0.0; fp.num_params()],
+                edges: &[0, 1],
+                tau1: 1,
+                tau2: 2,
+                eta_w: 0.1,
+                batch_size: 2,
+                checkpoint: None,
+                quantizer: Quantizer::Exact,
+                fault: &fi,
+                level: 0,
+                record_rounds: true,
+                round: 3,
+                seed: 5,
+                meter: &meter,
+                par: Parallelism::Sequential,
+                engine,
+                trace: &trace,
+                telemetry: &Telemetry::disabled(),
+                profile: &Profiler::disabled(),
+                aggregator: Aggregator::Mean,
+                quarantined: &until,
+                track_norms: true,
+            });
+            // The benched client never ran (no LocalSteps events) and was
+            // counted once per block.
+            assert!(trace.events().iter().all(|e| !matches!(
+                e,
+                Event::LocalSteps { client, .. } if *client == benched
+            )));
+            assert_eq!(fi.adversary_stats().excluded_uploads, 2);
+            assert_eq!(out[0].client_norms[0], (0.0, 0));
+            assert!(out[0].client_norms[1].1 > 0);
+        }
+    }
+
+    #[test]
+    fn quarantine_ctl_benches_the_outlier() {
+        let sc = tiny_problem(3, 2, 2);
+        let fp = FederatedProblem::logistic_from_scenario(&sc);
+        let n = fp.topology().total_clients();
+        assert_eq!(n, 6);
+        let mut ctl = QuarantineCtl::new(1.5, 4, n);
+        assert!(ctl.active());
+        ctl.begin_round();
+        // Clients report ~1.0 except global client 3, a screaming outlier.
+        let mk = |edge: usize, norms: Vec<(f64, u32)>| EdgeBlockOutput {
+            edge,
+            w_final: vec![0.0],
+            checkpoint: None,
+            client_norms: norms,
+        };
+        let outputs = vec![
+            mk(0, vec![(1.0, 1), (1.1, 1)]),
+            mk(1, vec![(0.9, 1), (50.0, 1)]),
+            mk(2, vec![(1.0, 1), (1.05, 1)]),
+        ];
+        ctl.observe(&fp, &outputs);
+        let fi = FaultInjector::none(1);
+        let newly = ctl.end_round(7, &fi, &Telemetry::disabled());
+        assert_eq!(newly, 1);
+        let outlier = fp.topology().client_id(1, 1);
+        assert_eq!(ctl.exclusions()[outlier], 7 + 1 + 4);
+        assert!(quarantine_excludes(ctl.exclusions(), outlier, 9));
+        assert!(!quarantine_excludes(ctl.exclusions(), outlier, 12));
+        assert_eq!(fi.adversary_stats().quarantined_clients, 1);
+        // Round-trip through the checkpoint state.
+        let saved = ctl.state().to_vec();
+        let mut ctl2 = QuarantineCtl::new(1.5, 4, n);
+        ctl2.restore(saved);
+        assert_eq!(ctl2.exclusions(), ctl.exclusions());
+        // Disabled controller: no exclusions, no draws, no state.
+        let off = QuarantineCtl::new(0.0, 4, n);
+        assert!(!off.active());
+        assert!(off.exclusions().is_empty());
+    }
+
+    #[test]
+    fn robust_reduce_mean_matches_reference() {
+        let a = vec![1.0_f32, 2.0, 3.0];
+        let b = vec![3.0_f32, 0.0, 1.0];
+        let base = vec![0.0_f32; 3];
+        let mut scratch = Vec::new();
+        let mut got = vec![0.0_f32; 3];
+        let mut want = vec![0.0_f32; 3];
+        robust_reduce_into(
+            &Aggregator::Mean,
+            &[&a, &b],
+            None,
+            &base,
+            &mut scratch,
+            &mut got,
+        );
+        vecops::average_into(&[&a, &b], &mut want);
+        assert_eq!(got, want);
+        let weights = [0.25_f64, 0.75];
+        robust_reduce_into(
+            &Aggregator::Mean,
+            &[&a, &b],
+            Some(&weights),
+            &base,
+            &mut scratch,
+            &mut got,
+        );
+        vecops::weighted_average_into(&[&a, &b], &weights, &mut want);
+        assert_eq!(got, want);
+        // A robust rule routes through the aggregator kernels.
+        robust_reduce_into(
+            &Aggregator::CoordinateMedian,
+            &[&a, &b],
+            Some(&weights),
+            &base,
+            &mut scratch,
+            &mut got,
+        );
+        assert_eq!(got, vec![2.0, 1.0, 2.0]);
     }
 }

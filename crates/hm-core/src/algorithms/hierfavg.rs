@@ -7,7 +7,7 @@
 //! shards within an edge are equal-sized in every scenario here, so the
 //! client-edge aggregation remains a plain average.
 
-use super::hier_common::{run_edge_blocks, EdgeBlockParams};
+use super::hier_common::{robust_reduce_into, run_edge_blocks, EdgeBlockParams, QuarantineCtl};
 use super::hierminimax::{delivery_fault_kind, record_edge_fault};
 use super::{finish_round, Algorithm, IterateAverage, RunOpts, RunResult};
 use crate::checkpoint::{emit_preamble, CheckpointCtx, ResumedRun};
@@ -18,7 +18,6 @@ use hm_simnet::sampling::sample_edges_uniform;
 use hm_simnet::trace::Event;
 use hm_simnet::{CommMeter, FaultInjector, FaultKind, FaultStats, Link, MsgChannel, Quantizer};
 use hm_telemetry::{Phase, TelemetryEvent};
-use hm_tensor::vecops;
 
 /// Configuration of a HierFAVG run.
 #[derive(Debug, Clone)]
@@ -108,6 +107,12 @@ impl Algorithm for HierFavg {
             )));
         let fault = FaultInjector::new(seed, cfg.opts.fault.clone().with_dropout(cfg.dropout));
         let mut faults_prev = FaultStats::default();
+        let mut adv_prev = hm_simnet::QuarantineStats::default();
+        let mut quarantine = QuarantineCtl::new(
+            cfg.opts.quarantine_z,
+            cfg.opts.quarantine_window,
+            problem.topology().total_clients(),
+        );
 
         let resumed = ResumedRun::from_opts(&cfg.opts, "HierFAVG", seed, cfg.rounds);
         let start_round = match &resumed {
@@ -119,6 +124,13 @@ impl Algorithm for HierFavg {
                 meter.restore(&rr.comm);
                 fault.restore(&rr.faults);
                 faults_prev = rr.faults;
+                if let Some(bytes) = rr.snap.extra(crate::checkpoint::QUARANTINE_SECTION) {
+                    let (until, adv) = crate::checkpoint::decode_quarantine(bytes)
+                        .unwrap_or_else(|e| panic!("cannot resume: {e}"));
+                    quarantine.restore(until);
+                    fault.restore_adversary(&adv);
+                    adv_prev = adv;
+                }
                 rr.start_round
             }
             None => 0,
@@ -136,6 +148,7 @@ impl Algorithm for HierFavg {
             d,
             seed,
         );
+        cfg.opts.emit_aggregator_summary();
         let ckpt = CheckpointCtx::new(&cfg.opts, "HierFAVG", seed, cfg.rounds, true);
 
         let prof = &cfg.opts.profile;
@@ -195,6 +208,7 @@ impl Algorithm for HierFavg {
                 prof.record(tel, Phase::FaultRetry, Some(k), None, retry_span);
             }
 
+            quarantine.begin_round();
             let outputs = run_edge_blocks(EdgeBlockParams {
                 problem,
                 w_start: &w,
@@ -216,7 +230,11 @@ impl Algorithm for HierFavg {
                 trace: &trace,
                 telemetry: tel,
                 profile: prof,
+                aggregator: cfg.opts.aggregator,
+                quarantined: quarantine.exclusions(),
+                track_norms: quarantine.active(),
             });
+            quarantine.observe(problem, &outputs);
 
             let mut outputs = outputs;
             if cfg.quantizer != Quantizer::Exact {
@@ -282,7 +300,20 @@ impl Algorithm for HierFavg {
                     .iter()
                     .map(|&i| outputs[i].w_final.as_slice())
                     .collect();
-                vecops::weighted_average_into(&finals, &weights, &mut w);
+                let base_w = if cfg.opts.aggregator.needs_base() {
+                    w.clone()
+                } else {
+                    Vec::new()
+                };
+                let mut agg_scratch: Vec<f32> = Vec::new();
+                robust_reduce_into(
+                    &cfg.opts.aggregator,
+                    &finals,
+                    Some(&weights),
+                    &base_w,
+                    &mut agg_scratch,
+                    &mut w,
+                );
             }
             prof.record(tel, Phase::Aggregation, Some(k), None, agg_span);
             trace.record(|| Event::GlobalAggregation { round: k });
@@ -309,6 +340,22 @@ impl Algorithm for HierFavg {
                 });
             }
             faults_prev = fstats;
+            let adv_now = fault.adversary_stats();
+            if fault.has_adversary() {
+                let ad = adv_now.since(&adv_prev);
+                trace.record(|| Event::AdversaryRound {
+                    round: k,
+                    corrupted: ad.corrupted_updates,
+                    attack: cfg.opts.fault.attack.as_str(),
+                });
+                tel.record_unsequenced(|| TelemetryEvent::Adversary {
+                    round: k,
+                    corrupted: ad.corrupted_updates,
+                    attack: cfg.opts.fault.attack.as_str().to_string(),
+                });
+            }
+            quarantine.end_round(k, &fault, tel);
+            adv_prev = adv_now;
             let comm_now = meter.snapshot();
             trace.record(|| Event::RoundComm {
                 round: k,
@@ -349,7 +396,20 @@ impl Algorithm for HierFavg {
                 &history,
                 comm_now,
                 fstats,
-                vec![],
+                if quarantine.active() || fault.has_adversary() {
+                    vec![(
+                        crate::checkpoint::QUARANTINE_SECTION.to_string(),
+                        // Read the counters fresh: `end_round` has added
+                        // this round's quarantine sentences since `adv_now`
+                        // was captured for the telemetry delta.
+                        crate::checkpoint::encode_quarantine(
+                            quarantine.state(),
+                            &fault.adversary_stats(),
+                        ),
+                    )]
+                } else {
+                    vec![]
+                },
             );
         }
 
@@ -376,6 +436,7 @@ impl Algorithm for HierFavg {
             comm: comm_final,
             trace,
             faults: faults_final,
+            quarantine: fault.adversary_stats(),
         }
     }
 }

@@ -17,7 +17,9 @@
 //! unbiased for `∇_p F(w^{(k,c2,c1)}, ·)` — and updates
 //! `p^{(k+1)} = Π_P(p^(k) + η_p τ1 τ2 v)` (eq. 7).
 
-use super::hier_common::{multiplicities, run_edge_blocks, EdgeBlockParams};
+use super::hier_common::{
+    multiplicities, robust_reduce_into, run_edge_blocks, EdgeBlockParams, QuarantineCtl,
+};
 use super::{finish_round, Algorithm, IterateAverage, RunOpts, RunResult};
 use crate::checkpoint::{emit_preamble, CheckpointCtx, ResumedRun};
 use crate::history::History;
@@ -29,7 +31,6 @@ use hm_simnet::sampling::{sample_checkpoint, sample_edges_uniform, sample_edges_
 use hm_simnet::trace::{Event, Trace};
 use hm_simnet::{CommMeter, FaultInjector, FaultKind, FaultStats, Link, MsgChannel, Quantizer};
 use hm_telemetry::{Phase, Telemetry, TelemetryEvent};
-use hm_tensor::vecops;
 
 /// Record one edge-level fault occurrence in both the protocol trace and
 /// the telemetry stream (shared by all hierarchical run loops).
@@ -212,6 +213,13 @@ impl Algorithm for HierMinimax {
         // so this path is bit-identical to the fault-free seed runs.
         let fault = FaultInjector::new(seed, cfg.opts.fault.clone().with_dropout(cfg.dropout));
         let mut faults_prev = FaultStats::default();
+        let mut adv_prev = hm_simnet::QuarantineStats::default();
+        // Update-norm quarantine pass (inert at the default z = 0).
+        let mut quarantine = QuarantineCtl::new(
+            cfg.opts.quarantine_z,
+            cfg.opts.quarantine_window,
+            problem.topology().total_clients(),
+        );
 
         // Resuming restores every piece of round-boundary state; all
         // randomness is keyed by (seed, round), so re-entering the loop at
@@ -227,6 +235,13 @@ impl Algorithm for HierMinimax {
                 meter.restore(&rr.comm);
                 fault.restore(&rr.faults);
                 faults_prev = rr.faults;
+                if let Some(bytes) = rr.snap.extra(crate::checkpoint::QUARANTINE_SECTION) {
+                    let (until, adv) = crate::checkpoint::decode_quarantine(bytes)
+                        .unwrap_or_else(|e| panic!("cannot resume: {e}"));
+                    quarantine.restore(until);
+                    fault.restore_adversary(&adv);
+                    adv_prev = adv;
+                }
                 rr.start_round
             }
             None => 0,
@@ -244,6 +259,7 @@ impl Algorithm for HierMinimax {
             d,
             seed,
         );
+        cfg.opts.emit_aggregator_summary();
         let ckpt = CheckpointCtx::new(&cfg.opts, "HierMinimax", seed, cfg.rounds, true);
 
         let prof = &cfg.opts.profile;
@@ -329,6 +345,7 @@ impl Algorithm for HierMinimax {
                 Vec::new()
             };
 
+            quarantine.begin_round();
             let outputs = match &cfg.tau2_per_edge {
                 None => run_edge_blocks(EdgeBlockParams {
                     problem,
@@ -351,6 +368,9 @@ impl Algorithm for HierMinimax {
                     trace: &trace,
                     telemetry: tel,
                     profile: prof,
+                    aggregator: cfg.opts.aggregator,
+                    quarantined: quarantine.exclusions(),
+                    track_norms: quarantine.active(),
                 }),
                 Some(rates) => {
                     // Heterogeneous rates: each edge runs its own block
@@ -390,6 +410,9 @@ impl Algorithm for HierMinimax {
                             trace: &trace,
                             telemetry: tel,
                             profile: prof,
+                            aggregator: cfg.opts.aggregator,
+                            quarantined: quarantine.exclusions(),
+                            track_norms: quarantine.active(),
                         });
                         outs.push(o.pop().expect("one edge per call"));
                     }
@@ -409,6 +432,7 @@ impl Algorithm for HierMinimax {
                 outputs.iter().zip(&participants).all(|(o, &e)| o.edge == e),
                 "edge outputs out of order"
             );
+            quarantine.observe(problem, &outputs);
 
             // Edges → cloud: final model + checkpoint model (quantized
             // when the codec is active), one round.
@@ -478,7 +502,20 @@ impl Algorithm for HierMinimax {
                     .iter()
                     .map(|&i| outputs[i].w_final.as_slice())
                     .collect();
-                vecops::weighted_average_into(&finals, &weights, &mut w);
+                let base_w = if cfg.opts.aggregator.needs_base() {
+                    w.clone()
+                } else {
+                    Vec::new()
+                };
+                let mut agg_scratch: Vec<f32> = Vec::new();
+                robust_reduce_into(
+                    &cfg.opts.aggregator,
+                    &finals,
+                    Some(&weights),
+                    &base_w,
+                    &mut agg_scratch,
+                    &mut w,
+                );
                 let cps: Vec<&[f32]> = reported
                     .iter()
                     .map(|&i| {
@@ -488,7 +525,14 @@ impl Algorithm for HierMinimax {
                             .expect("phase 1 captures checkpoints")
                     })
                     .collect();
-                vecops::weighted_average_into(&cps, &weights, &mut w_checkpoint);
+                robust_reduce_into(
+                    &cfg.opts.aggregator,
+                    &cps,
+                    Some(&weights),
+                    &base_w,
+                    &mut agg_scratch,
+                    &mut w_checkpoint,
+                );
             }
             prof.record(tel, Phase::Aggregation, Some(k), None, agg_span);
             trace.record(|| Event::GlobalAggregation { round: k });
@@ -631,6 +675,24 @@ impl Algorithm for HierMinimax {
                 });
             }
             faults_prev = fstats;
+            // Adversary delta + quarantine sweep, only when the plan has a
+            // live adversary — zero-rate plans emit nothing (bit-compat).
+            let adv_now = fault.adversary_stats();
+            if fault.has_adversary() {
+                let ad = adv_now.since(&adv_prev);
+                trace.record(|| Event::AdversaryRound {
+                    round: k,
+                    corrupted: ad.corrupted_updates,
+                    attack: cfg.opts.fault.attack.as_str(),
+                });
+                tel.record_unsequenced(|| TelemetryEvent::Adversary {
+                    round: k,
+                    corrupted: ad.corrupted_updates,
+                    attack: cfg.opts.fault.attack.as_str().to_string(),
+                });
+            }
+            quarantine.end_round(k, &fault, tel);
+            adv_prev = adv_now;
             let comm_now = meter.snapshot();
             trace.record(|| Event::RoundComm {
                 round: k,
@@ -671,7 +733,20 @@ impl Algorithm for HierMinimax {
                 &history,
                 comm_now,
                 fstats,
-                vec![],
+                if quarantine.active() || fault.has_adversary() {
+                    vec![(
+                        crate::checkpoint::QUARANTINE_SECTION.to_string(),
+                        // Read the counters fresh: `end_round` has added
+                        // this round's quarantine sentences since `adv_now`
+                        // was captured for the telemetry delta.
+                        crate::checkpoint::encode_quarantine(
+                            quarantine.state(),
+                            &fault.adversary_stats(),
+                        ),
+                    )]
+                } else {
+                    vec![]
+                },
             );
         }
 
@@ -698,6 +773,7 @@ impl Algorithm for HierMinimax {
             comm: comm_final,
             trace,
             faults: faults_final,
+            quarantine: fault.adversary_stats(),
         }
     }
 }

@@ -47,8 +47,9 @@ use crate::history::History;
 use crate::metrics::evaluate;
 use crate::problem::FederatedProblem;
 use hm_simnet::trace::Trace;
-use hm_simnet::{CommStats, ExecEngine, FaultPlan, FaultStats, Parallelism};
+use hm_simnet::{CommStats, ExecEngine, FaultPlan, FaultStats, Parallelism, QuarantineStats};
 use hm_telemetry::{Phase, Profiler, Telemetry, TelemetryEvent};
+use hm_tensor::Aggregator;
 
 mod afl;
 pub use afl::{AflConfig, StochasticAfl};
@@ -95,6 +96,20 @@ pub struct RunOpts {
     /// enabling profiling cannot perturb the sequenced event stream, the
     /// trained bits, or checkpoint/resume splices (`tests/profile.rs`).
     pub profile: Profiler,
+    /// Client→edge (and edge→cloud) reduction rule (see
+    /// `hm_tensor::robust` and DESIGN.md §14). The default
+    /// [`Aggregator::Mean`] is the frozen historical path, bit-identical
+    /// to pre-robust builds; the robust rules bound the influence of
+    /// Byzantine uploads. Flat two-layer baselines ignore this.
+    pub aggregator: Aggregator,
+    /// Update-norm quarantine trigger threshold in standard deviations
+    /// (`0.0` = disabled, the default). When positive, the hierarchical
+    /// runs z-score each reporting client's mean per-block upload norm
+    /// every round and bench outliers for [`RunOpts::quarantine_window`]
+    /// rounds.
+    pub quarantine_z: f64,
+    /// Rounds a quarantined client sits out after being flagged.
+    pub quarantine_window: usize,
 }
 
 impl Default for RunOpts {
@@ -108,6 +123,9 @@ impl Default for RunOpts {
             engine: ExecEngine::default(),
             checkpoint: crate::checkpoint::CheckpointOpts::default(),
             profile: Profiler::disabled(),
+            aggregator: Aggregator::Mean,
+            quarantine_z: 0.0,
+            quarantine_window: 0,
         }
     }
 }
@@ -125,6 +143,19 @@ impl RunOpts {
             Trace::enabled()
         } else {
             Trace::disabled()
+        }
+    }
+
+    /// Emit the one-shot unsequenced `aggregator_summary` telemetry event.
+    /// A no-op for the default `mean` rule, so robust-off streams are
+    /// byte-identical to historical ones.
+    pub(crate) fn emit_aggregator_summary(&self) {
+        if self.aggregator != Aggregator::Mean {
+            self.telemetry
+                .record_unsequenced(|| TelemetryEvent::AggregatorSummary {
+                    aggregator: self.aggregator.as_str().to_string(),
+                    param: self.aggregator.param(),
+                });
         }
     }
 }
@@ -153,6 +184,10 @@ pub struct RunResult {
     /// Cumulative injected-fault bookkeeping (all zeros for fault-free
     /// runs and for the flat baselines, which ignore the fault plan).
     pub faults: FaultStats,
+    /// Cumulative Byzantine-adversary bookkeeping: corrupted uploads,
+    /// quarantined clients, and quarantine-excluded upload slots (all
+    /// zeros when the adversary and quarantine are off).
+    pub quarantine: QuarantineStats,
 }
 
 /// A distributed algorithm that solves (or approximates) problem (3).

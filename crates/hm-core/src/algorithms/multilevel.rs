@@ -19,7 +19,7 @@
 //! exchange with the cloud on `EdgeCloud` (WAN class), consistent with the
 //! cost model where everything below the cloud is site-local.
 
-use super::hier_common::{multiplicities, run_edge_blocks, EdgeBlockParams};
+use super::hier_common::{multiplicities, robust_reduce_into, run_edge_blocks, EdgeBlockParams};
 use super::hierminimax::{delivery_fault_kind, record_edge_fault};
 use super::{finish_round, Algorithm, IterateAverage, RunOpts, RunResult};
 use crate::checkpoint::{emit_preamble, CheckpointCtx, ResumedRun};
@@ -33,7 +33,6 @@ use hm_simnet::trace::Event;
 use hm_simnet::trace::Trace;
 use hm_simnet::{CommMeter, FaultInjector, FaultKind, FaultStats, Link, MsgChannel, Quantizer};
 use hm_telemetry::{Phase, TelemetryEvent};
-use hm_tensor::vecops;
 
 /// One intermediate aggregation level above the edge servers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,10 +184,15 @@ impl MultiLevelMinimax {
                 trace,
                 telemetry: &cfg.opts.telemetry,
                 profile: &cfg.opts.profile,
+                aggregator: cfg.opts.aggregator,
+                quarantined: &[],
+                track_norms: false,
             });
+            let agg = &cfg.opts.aggregator;
+            let mut agg_scratch: Vec<f32> = Vec::new();
             let finals: Vec<&[f32]> = outputs.iter().map(|o| o.w_final.as_slice()).collect();
             let mut w = vec![0.0_f32; w_start.len()];
-            vecops::average_into(&finals, &mut w);
+            robust_reduce_into(agg, &finals, None, w_start, &mut agg_scratch, &mut w);
             let cps: Vec<&[f32]> = outputs
                 .iter()
                 .map(|o| {
@@ -198,7 +202,7 @@ impl MultiLevelMinimax {
                 })
                 .collect();
             let mut cp = vec![0.0_f32; w_start.len()];
-            vecops::average_into(&cps, &mut cp);
+            robust_reduce_into(agg, &cps, None, w_start, &mut agg_scratch, &mut cp);
             // The edge→aggregator upload is metered by the parent level's
             // gather (every recursion level records one gather over its
             // children), so nothing extra is recorded here.
@@ -239,15 +243,22 @@ impl MultiLevelMinimax {
             // checkpointed sub-block) and aggregate.
             meter.record_gather(Link::ClientEdge, 2 * w.len() as u64, children.len() as u64);
             meter.record_round(Link::ClientEdge);
+            let agg = &cfg.opts.aggregator;
+            let mut agg_scratch: Vec<f32> = Vec::new();
+            let base = if agg.needs_base() {
+                w.clone()
+            } else {
+                Vec::new()
+            };
             let models: Vec<&[f32]> = child_results.iter().map(|(m, _)| m.as_slice()).collect();
-            vecops::average_into(&models, &mut w);
+            robust_reduce_into(agg, &models, None, &base, &mut agg_scratch, &mut w);
             if t == cp_index[li] {
                 let cps: Vec<&[f32]> = child_results
                     .iter()
                     .map(|(_, cp)| cp.as_deref().expect("children carry checkpoints"))
                     .collect();
                 let mut cp = vec![0.0_f32; w.len()];
-                vecops::average_into(&cps, &mut cp);
+                robust_reduce_into(agg, &cps, None, &base, &mut agg_scratch, &mut cp);
                 checkpoint = Some(cp);
             }
         }
@@ -297,6 +308,7 @@ impl Algorithm for MultiLevelMinimax {
         // as reliable.
         let fault = FaultInjector::new(seed, cfg.opts.fault.clone().with_dropout(cfg.dropout));
         let mut faults_prev = FaultStats::default();
+        let mut adv_prev = hm_simnet::QuarantineStats::default();
 
         let resumed = ResumedRun::from_opts(&cfg.opts, "MultiLevelMinimax", seed, cfg.rounds);
         let start_round = match &resumed {
@@ -309,6 +321,12 @@ impl Algorithm for MultiLevelMinimax {
                 meter.restore(&rr.comm);
                 fault.restore(&rr.faults);
                 faults_prev = rr.faults;
+                if let Some(bytes) = rr.snap.extra(crate::checkpoint::QUARANTINE_SECTION) {
+                    let (_, adv) = crate::checkpoint::decode_quarantine(bytes)
+                        .unwrap_or_else(|e| panic!("cannot resume: {e}"));
+                    fault.restore_adversary(&adv);
+                    adv_prev = adv;
+                }
                 rr.start_round
             }
             None => 0,
@@ -328,6 +346,7 @@ impl Algorithm for MultiLevelMinimax {
             d,
             seed,
         );
+        cfg.opts.emit_aggregator_summary();
         let ckpt = CheckpointCtx::new(&cfg.opts, "MultiLevelMinimax", seed, cfg.rounds, true);
 
         let prof = &cfg.opts.profile;
@@ -462,12 +481,32 @@ impl Algorithm for MultiLevelMinimax {
                     .collect();
                 let models: Vec<&[f32]> =
                     reported.iter().map(|&i| results[i].0.as_slice()).collect();
-                vecops::weighted_average_into(&models, &weights, &mut w);
+                let base_w = if cfg.opts.aggregator.needs_base() {
+                    w.clone()
+                } else {
+                    Vec::new()
+                };
+                let mut agg_scratch: Vec<f32> = Vec::new();
+                robust_reduce_into(
+                    &cfg.opts.aggregator,
+                    &models,
+                    Some(&weights),
+                    &base_w,
+                    &mut agg_scratch,
+                    &mut w,
+                );
                 let cps: Vec<&[f32]> = reported
                     .iter()
                     .map(|&i| results[i].1.as_deref().expect("groups carry checkpoints"))
                     .collect();
-                vecops::weighted_average_into(&cps, &weights, &mut w_checkpoint);
+                robust_reduce_into(
+                    &cfg.opts.aggregator,
+                    &cps,
+                    Some(&weights),
+                    &base_w,
+                    &mut agg_scratch,
+                    &mut w_checkpoint,
+                );
             }
             prof.record(tel, Phase::Aggregation, Some(k), None, agg_span);
             trace.record(|| Event::GlobalAggregation { round: k });
@@ -593,6 +632,21 @@ impl Algorithm for MultiLevelMinimax {
                 });
                 faults_prev = fnow;
             }
+            let adv_now = fault.adversary_stats();
+            if fault.has_adversary() {
+                let ad = adv_now.since(&adv_prev);
+                trace.record(|| Event::AdversaryRound {
+                    round: k,
+                    corrupted: ad.corrupted_updates,
+                    attack: cfg.opts.fault.attack.as_str(),
+                });
+                tel.record_unsequenced(|| TelemetryEvent::Adversary {
+                    round: k,
+                    corrupted: ad.corrupted_updates,
+                    attack: cfg.opts.fault.attack.as_str().to_string(),
+                });
+            }
+            adv_prev = adv_now;
             let comm_now = meter.snapshot();
             trace.record(|| Event::RoundComm {
                 round: k,
@@ -625,7 +679,24 @@ impl Algorithm for MultiLevelMinimax {
                 &w,
                 p.clone(),
             );
-            ckpt.after_round(k, &w, &p, &avg_w, &avg_p, &history, comm_now, fcum, vec![]);
+            ckpt.after_round(
+                k,
+                &w,
+                &p,
+                &avg_w,
+                &avg_p,
+                &history,
+                comm_now,
+                fcum,
+                if fault.has_adversary() {
+                    vec![(
+                        crate::checkpoint::QUARANTINE_SECTION.to_string(),
+                        crate::checkpoint::encode_quarantine(&[], &adv_now),
+                    )]
+                } else {
+                    vec![]
+                },
+            );
         }
 
         let comm_final = meter.snapshot();
@@ -654,6 +725,7 @@ impl Algorithm for MultiLevelMinimax {
             comm: comm_final,
             trace,
             faults: faults_final,
+            quarantine: fault.adversary_stats(),
         }
     }
 }

@@ -16,7 +16,7 @@
 //! [`OverselectResult::simulated_seconds`], alongside the usual
 //! [`RunResult`].
 
-use super::hier_common::{multiplicities, run_edge_blocks, EdgeBlockParams};
+use super::hier_common::{multiplicities, robust_reduce_into, run_edge_blocks, EdgeBlockParams};
 use super::hierminimax::{delivery_fault_kind, record_edge_fault};
 use super::{finish_round, Algorithm, IterateAverage, RunOpts, RunResult};
 use crate::checkpoint::{CheckpointCtx, ResumedRun};
@@ -30,7 +30,6 @@ use hm_simnet::sampling::{sample_checkpoint, sample_edges_uniform, sample_edges_
 use hm_simnet::trace::Event;
 use hm_simnet::{CommMeter, FaultInjector, FaultKind, FaultStats, Link, MsgChannel};
 use hm_telemetry::{Phase, TelemetryEvent};
-use hm_tensor::vecops;
 
 /// Snapshot extras section holding `(simulated_seconds, discarded)`.
 const OVERSELECT_SECTION: &str = "overselect";
@@ -124,6 +123,7 @@ impl OverselectMinimax {
         let slots_per_round = cfg.tau1 * cfg.tau2;
         let fault = FaultInjector::new(seed, cfg.opts.fault.clone().with_dropout(cfg.dropout));
         let mut faults_prev = FaultStats::default();
+        let mut adv_prev = hm_simnet::QuarantineStats::default();
         let tel = &cfg.opts.telemetry;
 
         let mut w = problem
@@ -252,6 +252,9 @@ impl OverselectMinimax {
                 trace: &trace,
                 telemetry: &cfg.opts.telemetry,
                 profile: prof,
+                aggregator: cfg.opts.aggregator,
+                quarantined: &[],
+                track_norms: false,
             });
             let mut reported: Vec<usize> = Vec::with_capacity(participants.len());
             let mut retries = 0u64;
@@ -289,7 +292,20 @@ impl OverselectMinimax {
                     .iter()
                     .map(|&i| outputs[i].w_final.as_slice())
                     .collect();
-                vecops::weighted_average_into(&models, &weights, &mut w);
+                let base_w = if cfg.opts.aggregator.needs_base() {
+                    w.clone()
+                } else {
+                    Vec::new()
+                };
+                let mut agg_scratch: Vec<f32> = Vec::new();
+                robust_reduce_into(
+                    &cfg.opts.aggregator,
+                    &models,
+                    Some(&weights),
+                    &base_w,
+                    &mut agg_scratch,
+                    &mut w,
+                );
                 let cps: Vec<&[f32]> = reported
                     .iter()
                     .map(|&i| {
@@ -299,7 +315,14 @@ impl OverselectMinimax {
                             .expect("checkpoints captured")
                     })
                     .collect();
-                vecops::weighted_average_into(&cps, &weights, &mut w_checkpoint);
+                robust_reduce_into(
+                    &cfg.opts.aggregator,
+                    &cps,
+                    Some(&weights),
+                    &base_w,
+                    &mut agg_scratch,
+                    &mut w_checkpoint,
+                );
             }
             prof.record(tel, Phase::Aggregation, Some(k), None, agg_span);
             trace.record(|| Event::GlobalAggregation { round: k });
@@ -407,6 +430,21 @@ impl OverselectMinimax {
                 });
                 faults_prev = fnow;
             }
+            let adv_now = fault.adversary_stats();
+            if fault.has_adversary() {
+                let ad = adv_now.since(&adv_prev);
+                trace.record(|| Event::AdversaryRound {
+                    round: k,
+                    corrupted: ad.corrupted_updates,
+                    attack: cfg.opts.fault.attack.as_str(),
+                });
+                tel.record_unsequenced(|| TelemetryEvent::Adversary {
+                    round: k,
+                    corrupted: ad.corrupted_updates,
+                    attack: cfg.opts.fault.attack.as_str().to_string(),
+                });
+            }
+            adv_prev = adv_now;
 
             finish_round(
                 problem,
@@ -449,6 +487,7 @@ impl OverselectMinimax {
                 comm: meter.snapshot(),
                 trace,
                 faults: fault.stats(),
+                quarantine: fault.adversary_stats(),
             },
             simulated_seconds,
             discarded,

@@ -246,6 +246,7 @@ impl Algorithm for QFedAvg {
             comm: meter.snapshot(),
             trace,
             faults: Default::default(),
+            quarantine: Default::default(),
         }
     }
 }

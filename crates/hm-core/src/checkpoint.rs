@@ -26,13 +26,56 @@ use hm_checkpoint::format::{ByteReader, ByteWriter};
 use hm_checkpoint::{
     rng_cursors_for, snapshot_path, write_snapshot, Cadence, CheckpointError, Snapshot,
 };
-use hm_simnet::{CommStats, FaultStats};
+use hm_simnet::{CommStats, FaultStats, QuarantineStats};
 use hm_telemetry::{Telemetry, TelemetryEvent};
 use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Extras section name holding the serialised round history.
 const HISTORY_SECTION: &str = "history";
+
+/// Extras section name holding the quarantine horizon table and the
+/// cumulative adversary counters. Written only by runs with an active
+/// adversary or quarantine pass, so adversary-off snapshots stay
+/// byte-identical to pre-robust builds.
+pub(crate) const QUARANTINE_SECTION: &str = "quarantine";
+
+/// Serialise the quarantine horizon table (per-global-client first
+/// re-admission round) plus the cumulative adversary counters.
+pub(crate) fn encode_quarantine(until: &[u64], adv: &QuarantineStats) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(adv.corrupted_updates);
+    w.put_u64(adv.quarantined_clients);
+    w.put_u64(adv.excluded_uploads);
+    w.put_u64(until.len() as u64);
+    for &u in until {
+        w.put_u64(u);
+    }
+    w.into_bytes()
+}
+
+/// Inverse of [`encode_quarantine`].
+pub(crate) fn decode_quarantine(
+    bytes: &[u8],
+) -> Result<(Vec<u64>, QuarantineStats), CheckpointError> {
+    let mut r = ByteReader::new(bytes);
+    let adv = QuarantineStats {
+        corrupted_updates: r.get_u64()?,
+        quarantined_clients: r.get_u64()?,
+        excluded_uploads: r.get_u64()?,
+    };
+    let n = r.get_u64()? as usize;
+    let mut until = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        until.push(r.get_u64()?);
+    }
+    if r.remaining() != 0 {
+        return Err(CheckpointError::Malformed(
+            "trailing bytes after quarantine state".into(),
+        ));
+    }
+    Ok((until, adv))
+}
 
 /// Checkpoint settings carried in [`RunOpts`].
 #[derive(Debug, Clone, Default)]
@@ -383,5 +426,22 @@ mod tests {
         bytes.truncate(bytes.len() - 1);
         assert!(decode_history(&bytes).is_err());
         assert!(decode_history(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn quarantine_roundtrip() {
+        let until = vec![0u64, 7, 0, 12];
+        let adv = QuarantineStats {
+            corrupted_updates: 31,
+            quarantined_clients: 2,
+            excluded_uploads: 9,
+        };
+        let bytes = encode_quarantine(&until, &adv);
+        let (u2, a2) = decode_quarantine(&bytes).unwrap();
+        assert_eq!(u2, until);
+        assert_eq!(a2, adv);
+        // Truncated state is a typed error, not a panic.
+        assert!(decode_quarantine(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode_quarantine(&[1, 2]).is_err());
     }
 }

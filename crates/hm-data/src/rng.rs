@@ -54,6 +54,13 @@ pub enum Purpose {
     MsgLoss,
     /// Per-client compute-slowdown draws (fault injection).
     Straggler,
+    /// Per-client Byzantine-corruption coin flips (adversary injection).
+    Adversary,
+    /// Adversarial payload material: noise vectors, colluding directions
+    /// (adversary injection).
+    AdversaryPayload,
+    /// Retry-backoff jitter draws on lossy links (fault injection).
+    BackoffJitter,
     /// Anything else (tests, ad-hoc tools).
     Misc,
 }
@@ -74,6 +81,9 @@ impl Purpose {
             Purpose::EdgeOutage => 11,
             Purpose::MsgLoss => 12,
             Purpose::Straggler => 13,
+            Purpose::Adversary => 14,
+            Purpose::AdversaryPayload => 15,
+            Purpose::BackoffJitter => 16,
         }
     }
 }

@@ -80,6 +80,55 @@ impl FaultKind {
     }
 }
 
+/// How a Byzantine client corrupts the update it uploads. Every model is a
+/// deterministic transform of `(honest update, block-start model)` plus, for
+/// the stochastic variants, draws from `Purpose::AdversaryPayload` streams —
+/// so corrupted runs replay bit-identically across executors and engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackModel {
+    /// Upload `base − κ·(w − base)`: the honest delta reversed and scaled
+    /// by `attack_scale` (κ = 1 is a pure sign flip).
+    SignFlip,
+    /// Upload `base + κ·(w − base)`: the honest delta inflated by κ.
+    Scale,
+    /// Add `κ·N(0, 1)` keyed noise per coordinate to the honest update.
+    Noise,
+    /// Upload the block-start model unchanged (a constant/zero update).
+    Zero,
+    /// Colluding block: every corrupted client in a block uploads
+    /// `base + κ·dir` for one shared keyed direction `dir`, so the
+    /// corruptions reinforce instead of cancelling.
+    Collude,
+}
+
+/// Names accepted by [`AttackModel::parse`], in help order.
+pub const ATTACK_MODELS: [&str; 5] = ["sign-flip", "scale", "noise", "zero", "collude"];
+
+impl AttackModel {
+    /// Stable string tag used in telemetry events and CLI flags.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AttackModel::SignFlip => "sign-flip",
+            AttackModel::Scale => "scale",
+            AttackModel::Noise => "noise",
+            AttackModel::Zero => "zero",
+            AttackModel::Collude => "collude",
+        }
+    }
+
+    /// Parse a CLI name (see [`ATTACK_MODELS`]).
+    pub fn parse(name: &str) -> Option<AttackModel> {
+        match name {
+            "sign-flip" => Some(AttackModel::SignFlip),
+            "scale" => Some(AttackModel::Scale),
+            "noise" => Some(AttackModel::Noise),
+            "zero" => Some(AttackModel::Zero),
+            "collude" => Some(AttackModel::Collude),
+            _ => None,
+        }
+    }
+}
+
 /// Outcome of one client's straggler draw for one block.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum StragglerFate {
@@ -131,6 +180,21 @@ pub struct FaultPlan {
     /// Per-block deadline as a multiple of the nominal block time: a
     /// straggler slower than this is cut from the block's aggregation.
     pub deadline_factor: f64,
+    /// Per-block probability that a surviving client uploads a corrupted
+    /// (Byzantine) update instead of its honest one.
+    pub corrupt_rate: f32,
+    /// Which corruption a Byzantine client applies (see [`AttackModel`]).
+    pub attack: AttackModel,
+    /// Attack magnitude κ: delta multiplier for `sign-flip`/`scale`/
+    /// `collude`, per-coordinate noise stddev for `noise`; unused by
+    /// `zero`.
+    pub attack_scale: f64,
+    /// Multiplicative jitter on retry-backoff waits, as a fraction in
+    /// `[0, 1]`: each wait is scaled by `1 + jitter·(u − ½)` with `u`
+    /// drawn from a per-message `Purpose::BackoffJitter` stream, so retry
+    /// latencies desynchronise across edges. Zero makes no draws and
+    /// keeps the exact doubling schedule.
+    pub backoff_jitter: f64,
 }
 
 /// The failure-free plan.
@@ -143,6 +207,10 @@ pub const NO_FAULTS: FaultPlan = FaultPlan {
     straggler_rate: 0.0,
     straggler_slowdown: 1.0,
     deadline_factor: 2.0,
+    corrupt_rate: 0.0,
+    attack: AttackModel::SignFlip,
+    attack_scale: 1.0,
+    backoff_jitter: 0.0,
 };
 
 impl Default for FaultPlan {
@@ -152,17 +220,22 @@ impl Default for FaultPlan {
 }
 
 /// Names accepted by [`FaultPlan::preset`], in help order.
-pub const FAULT_PRESETS: [&str; 6] = [
+pub const FAULT_PRESETS: [&str; 7] = [
     "none",
     "flaky-clients",
     "edge-outages",
     "lossy-wan",
     "stragglers",
+    "byzantine",
     "chaos",
 ];
 
 impl FaultPlan {
-    /// Whether every fault rate is zero (no streams are ever drawn).
+    /// Whether every crash/outage/loss/straggler rate is zero (none of
+    /// those streams are ever drawn). Deliberately ignores the adversary
+    /// knobs: adversarial activity is gated by [`FaultPlan::has_adversary`]
+    /// and reported through `QuarantineStats`, so the legacy
+    /// `fault_summary` gating stays bit-identical.
     pub fn is_none(&self) -> bool {
         self.client_crash == 0.0
             && self.edge_outage == 0.0
@@ -170,20 +243,41 @@ impl FaultPlan {
             && self.straggler_rate == 0.0
     }
 
+    /// Whether the plan injects Byzantine clients (corruption streams are
+    /// drawn for surviving clients).
+    pub fn has_adversary(&self) -> bool {
+        self.corrupt_rate > 0.0
+    }
+
     /// Check parameter ranges, returning a description of the first
-    /// violation.
+    /// violation. Non-finite values are rejected everywhere: NaN fails
+    /// the explicit `is_finite` guard rather than sliding through a
+    /// range comparison.
     pub fn validate(&self) -> Result<(), String> {
         let prob = |name: &str, v: f32| -> Result<(), String> {
-            if (0.0..=1.0).contains(&v) {
+            if v.is_finite() && (0.0..=1.0).contains(&v) {
                 Ok(())
             } else {
-                Err(format!("{name} must lie in [0, 1], got {v}"))
+                Err(format!("{name} must be finite in [0, 1], got {v}"))
             }
         };
         prob("client_crash", self.client_crash)?;
         prob("edge_outage", self.edge_outage)?;
         prob("msg_loss", self.msg_loss)?;
         prob("straggler_rate", self.straggler_rate)?;
+        prob("corrupt_rate", self.corrupt_rate)?;
+        if !(self.attack_scale >= 0.0 && self.attack_scale.is_finite()) {
+            return Err(format!(
+                "attack_scale must be finite and ≥ 0, got {}",
+                self.attack_scale
+            ));
+        }
+        if !(self.backoff_jitter.is_finite() && (0.0..=1.0).contains(&self.backoff_jitter)) {
+            return Err(format!(
+                "backoff_jitter must be finite in [0, 1], got {}",
+                self.backoff_jitter
+            ));
+        }
         if !(self.backoff_base_s >= 0.0 && self.backoff_base_s.is_finite()) {
             return Err(format!(
                 "backoff_base_s must be finite and ≥ 0, got {}",
@@ -230,6 +324,12 @@ impl FaultPlan {
                 deadline_factor: 2.5,
                 ..NO_FAULTS
             }),
+            "byzantine" => Some(FaultPlan {
+                corrupt_rate: 0.2,
+                attack: AttackModel::SignFlip,
+                attack_scale: 8.0,
+                ..NO_FAULTS
+            }),
             "chaos" => Some(FaultPlan {
                 client_crash: 0.1,
                 edge_outage: 0.1,
@@ -239,6 +339,7 @@ impl FaultPlan {
                 straggler_rate: 0.15,
                 straggler_slowdown: 3.0,
                 deadline_factor: 2.0,
+                ..NO_FAULTS
             }),
             _ => None,
         }
@@ -318,6 +419,81 @@ impl FaultPlan {
         }
     }
 
+    /// Whether a surviving client is Byzantine for the block keyed by
+    /// `block_tag`. Drawn from its own `Purpose::Adversary` stream, so
+    /// corruption coins never shift crash/straggler draws (and a zero
+    /// rate makes no draws at all).
+    pub fn client_corrupt(&self, seed: u64, block_tag: u64, level: usize, client: usize) -> bool {
+        if self.corrupt_rate == 0.0 {
+            return false;
+        }
+        let mut rng = StreamRng::for_key(StreamKey::new(
+            seed,
+            Purpose::Adversary,
+            block_tag,
+            entity(level, client),
+        ));
+        rng.uniform() < f64::from(self.corrupt_rate)
+    }
+
+    /// Apply the plan's attack to an update in place. `base` is the
+    /// block-start model the honest update was computed from; `w` holds
+    /// the honest update on entry and the corrupted upload on exit. Pure:
+    /// stochastic attacks draw fresh `Purpose::AdversaryPayload` streams
+    /// keyed by `(block_tag, level, client-or-block)`, so applying the
+    /// same corruption twice (e.g. to a client's model and its
+    /// checkpoint) yields the same transform and runs replay
+    /// bit-identically from any executor.
+    pub fn corrupt_update(
+        &self,
+        seed: u64,
+        block_tag: u64,
+        level: usize,
+        client: usize,
+        base: &[f32],
+        w: &mut [f32],
+    ) {
+        debug_assert_eq!(base.len(), w.len());
+        let k = self.attack_scale as f32;
+        match self.attack {
+            AttackModel::SignFlip => {
+                for (wj, &bj) in w.iter_mut().zip(base) {
+                    *wj = bj - k * (*wj - bj);
+                }
+            }
+            AttackModel::Scale => {
+                for (wj, &bj) in w.iter_mut().zip(base) {
+                    *wj = bj + k * (*wj - bj);
+                }
+            }
+            AttackModel::Noise => {
+                let mut rng = StreamRng::for_key(StreamKey::new(
+                    seed,
+                    Purpose::AdversaryPayload,
+                    block_tag,
+                    entity(level, client),
+                ));
+                for wj in w.iter_mut() {
+                    *wj += (self.attack_scale * rng.normal()) as f32;
+                }
+            }
+            AttackModel::Zero => w.copy_from_slice(base),
+            AttackModel::Collude => {
+                // One shared direction per (block, level): every colluder
+                // re-derives the same stream, so corruptions reinforce.
+                let mut rng = StreamRng::for_key(StreamKey::new(
+                    seed,
+                    Purpose::AdversaryPayload,
+                    block_tag,
+                    entity(level, u32::MAX as usize),
+                ));
+                for (wj, &bj) in w.iter_mut().zip(base) {
+                    *wj = bj + (self.attack_scale * rng.normal()) as f32;
+                }
+            }
+        }
+    }
+
     /// Replay the delivery of one edge↔cloud message: sequential loss
     /// draws from the message's own stream, up to `1 + max_retries`
     /// attempts, doubling backoff between attempts.
@@ -336,12 +512,13 @@ impl FaultPlan {
                 backoff_s: 0.0,
             };
         }
-        let mut rng = StreamRng::for_key(StreamKey::new(
-            seed,
-            Purpose::MsgLoss,
-            round,
-            ((level as u64) << 34) | (channel.tag() << 32) | edge as u64,
-        ));
+        let link = ((level as u64) << 34) | (channel.tag() << 32) | edge as u64;
+        let mut rng = StreamRng::for_key(StreamKey::new(seed, Purpose::MsgLoss, round, link));
+        // Jitter draws come from their own per-message stream so enabling
+        // jitter never shifts the loss coins (and zero jitter draws
+        // nothing, keeping the exact doubling schedule bit-identical).
+        let mut jrng = (self.backoff_jitter > 0.0)
+            .then(|| StreamRng::for_key(StreamKey::new(seed, Purpose::BackoffJitter, round, link)));
         let loss = f64::from(self.msg_loss);
         let mut backoff_s = 0.0;
         let mut wait = self.backoff_base_s;
@@ -354,7 +531,11 @@ impl FaultPlan {
                 };
             }
             if attempt <= self.max_retries {
-                backoff_s += wait;
+                let step = match jrng.as_mut() {
+                    Some(j) => wait * (1.0 + self.backoff_jitter * (j.uniform() - 0.5)),
+                    None => wait,
+                };
+                backoff_s += step;
                 wait *= 2.0;
             }
         }
@@ -408,6 +589,37 @@ impl FaultStats {
     }
 }
 
+/// Snapshot of a run's adversary/quarantine bookkeeping (cumulative).
+/// Kept separate from [`FaultStats`] so the legacy snapshot layout,
+/// `fault_summary` schema, and pinned corpus stay byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QuarantineStats {
+    /// Uploads replaced by an attack (per block, per corrupted client).
+    pub corrupted_updates: u64,
+    /// Quarantine sentences handed out by the z-score pass (a client
+    /// re-quarantined after its window expires counts again).
+    pub quarantined_clients: u64,
+    /// Uploads suppressed because the client sat in quarantine
+    /// (per block, per excluded client).
+    pub excluded_uploads: u64,
+}
+
+impl QuarantineStats {
+    /// Counter-wise difference `self − earlier` (per-round deltas).
+    pub fn since(&self, earlier: &QuarantineStats) -> QuarantineStats {
+        QuarantineStats {
+            corrupted_updates: self.corrupted_updates - earlier.corrupted_updates,
+            quarantined_clients: self.quarantined_clients - earlier.quarantined_clients,
+            excluded_uploads: self.excluded_uploads - earlier.excluded_uploads,
+        }
+    }
+
+    /// Total adversary-layer occurrences of any class.
+    pub fn total(&self) -> u64 {
+        self.corrupted_updates + self.quarantined_clients + self.excluded_uploads
+    }
+}
+
 /// Run-scoped fault oracle: the pure [`FaultPlan`] decisions plus
 /// thread-safe occurrence counting and simulated-time accumulation.
 ///
@@ -423,6 +635,9 @@ pub struct FaultInjector {
     retries: AtomicU64,
     gave_up: AtomicU64,
     deadline_missed: AtomicU64,
+    corrupted: AtomicU64,
+    quarantined: AtomicU64,
+    excluded: AtomicU64,
     seconds: Mutex<(f64, f64)>, // (backoff_s, straggler_slots)
 }
 
@@ -443,6 +658,9 @@ impl FaultInjector {
             retries: AtomicU64::new(0),
             gave_up: AtomicU64::new(0),
             deadline_missed: AtomicU64::new(0),
+            corrupted: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            excluded: AtomicU64::new(0),
             seconds: Mutex::new((0.0, 0.0)),
         }
     }
@@ -460,6 +678,51 @@ impl FaultInjector {
     /// Whether any fault class has a nonzero rate.
     pub fn is_active(&self) -> bool {
         !self.plan.is_none()
+    }
+
+    /// Whether the plan injects Byzantine clients.
+    pub fn has_adversary(&self) -> bool {
+        self.plan.has_adversary()
+    }
+
+    /// Whether a surviving client is Byzantine this block; counts
+    /// corrupted uploads.
+    pub fn client_corrupt(&self, block_tag: u64, level: usize, client: usize) -> bool {
+        let corrupt = self
+            .plan
+            .client_corrupt(self.seed, block_tag, level, client);
+        if corrupt {
+            self.corrupted.fetch_add(1, Ordering::Relaxed);
+        }
+        corrupt
+    }
+
+    /// Apply the plan's attack to an update in place (pure; callable from
+    /// parallel tasks). See [`FaultPlan::corrupt_update`].
+    pub fn corrupt_update(
+        &self,
+        block_tag: u64,
+        level: usize,
+        client: usize,
+        base: &[f32],
+        w: &mut [f32],
+    ) {
+        self.plan
+            .corrupt_update(self.seed, block_tag, level, client, base, w);
+    }
+
+    /// Count quarantine sentences handed out by the z-score pass.
+    pub fn add_quarantined(&self, n: u64) {
+        if n > 0 {
+            self.quarantined.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Count uploads suppressed because a client sat in quarantine.
+    pub fn add_excluded(&self, n: u64) {
+        if n > 0 {
+            self.excluded.fetch_add(n, Ordering::Relaxed);
+        }
     }
 
     /// Whether a client survives the block (not crashed); counts crashes.
@@ -529,6 +792,26 @@ impl FaultInjector {
         self.deadline_missed
             .store(stats.deadline_missed, Ordering::Relaxed);
         *self.seconds.lock() = (stats.backoff_s, stats.straggler_slots);
+    }
+
+    /// Overwrite the adversary counters from a [`QuarantineStats`]
+    /// snapshot (resume path; same contract as [`FaultInjector::restore`]).
+    pub fn restore_adversary(&self, stats: &QuarantineStats) {
+        self.corrupted
+            .store(stats.corrupted_updates, Ordering::Relaxed);
+        self.quarantined
+            .store(stats.quarantined_clients, Ordering::Relaxed);
+        self.excluded
+            .store(stats.excluded_uploads, Ordering::Relaxed);
+    }
+
+    /// Snapshot the adversary/quarantine counters.
+    pub fn adversary_stats(&self) -> QuarantineStats {
+        QuarantineStats {
+            corrupted_updates: self.corrupted.load(Ordering::Relaxed),
+            quarantined_clients: self.quarantined.load(Ordering::Relaxed),
+            excluded_uploads: self.excluded.load(Ordering::Relaxed),
+        }
     }
 
     /// Snapshot the counters.
@@ -721,9 +1004,7 @@ mod tests {
             msg_loss: 1.0,
             max_retries: 2,
             backoff_base_s: 0.25,
-            straggler_rate: 0.0,
-            straggler_slowdown: 1.0,
-            deadline_factor: 2.0,
+            ..NO_FAULTS
         };
         let fi = FaultInjector::new(9, plan);
         assert!(fi.is_active());
@@ -761,5 +1042,190 @@ mod tests {
         let mut p = NO_FAULTS;
         p.msg_loss = -0.1;
         let _ = FaultInjector::new(0, p);
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_rates_everywhere() {
+        // Satellite bugfix: every knob must reject NaN and ±∞ explicitly,
+        // not rely on a range check that NaN can slip past.
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            for field in 0..5 {
+                let mut p = NO_FAULTS;
+                match field {
+                    0 => p.client_crash = bad,
+                    1 => p.edge_outage = bad,
+                    2 => p.msg_loss = bad,
+                    3 => p.straggler_rate = bad,
+                    _ => p.corrupt_rate = bad,
+                }
+                assert!(p.validate().is_err(), "field {field} accepted {bad}");
+            }
+        }
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            for field in 0..5 {
+                let mut p = NO_FAULTS;
+                match field {
+                    0 => p.backoff_base_s = bad,
+                    1 => p.straggler_slowdown = bad,
+                    2 => p.deadline_factor = bad,
+                    3 => p.attack_scale = bad,
+                    _ => p.backoff_jitter = bad,
+                }
+                assert!(p.validate().is_err(), "f64 field {field} accepted {bad}");
+            }
+        }
+        assert!(NO_FAULTS.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_corrupt_rate_never_corrupts() {
+        assert!(!NO_FAULTS.has_adversary());
+        for c in 0..64 {
+            assert!(!NO_FAULTS.client_corrupt(7, 3, 0, c));
+        }
+    }
+
+    #[test]
+    fn corrupt_decisions_are_deterministic_and_track_rate() {
+        let plan = FaultPlan::preset("byzantine").unwrap();
+        assert!(plan.has_adversary());
+        assert!(plan.is_none(), "byzantine preset must not inject crashes");
+        let bits: Vec<bool> = (0..4_000)
+            .map(|c| plan.client_corrupt(11, 5, 0, c))
+            .collect();
+        let again: Vec<bool> = (0..4_000)
+            .map(|c| plan.client_corrupt(11, 5, 0, c))
+            .collect();
+        assert_eq!(bits, again);
+        let frac = bits.iter().filter(|&&b| b).count() as f64 / 4_000.0;
+        assert!((frac - 0.2).abs() < 0.02, "corrupt fraction {frac}");
+        // Corruption coins live on their own purpose stream: they must
+        // not mirror the Dropout stream at equal indices.
+        let crash_plan = FaultPlan {
+            client_crash: 0.2,
+            ..NO_FAULTS
+        };
+        let crash_bits: Vec<bool> = (0..4_000)
+            .map(|c| crash_plan.client_crashed(11, 5, 0, c))
+            .collect();
+        assert_ne!(bits, crash_bits);
+    }
+
+    #[test]
+    fn attack_models_transform_as_specified() {
+        let base = [1.0_f32, -2.0, 0.5];
+        let honest = [1.5_f32, -2.5, 0.5];
+        let mk = |attack, k| FaultPlan {
+            corrupt_rate: 1.0,
+            attack,
+            attack_scale: k,
+            ..NO_FAULTS
+        };
+
+        let mut w = honest;
+        mk(AttackModel::SignFlip, 2.0).corrupt_update(1, 2, 0, 3, &base, &mut w);
+        assert_eq!(w, [0.0, -1.0, 0.5]); // base − 2·(honest − base)
+
+        let mut w = honest;
+        mk(AttackModel::Scale, 3.0).corrupt_update(1, 2, 0, 3, &base, &mut w);
+        assert_eq!(w, [2.5, -3.5, 0.5]); // base + 3·(honest − base)
+
+        let mut w = honest;
+        mk(AttackModel::Zero, 1.0).corrupt_update(1, 2, 0, 3, &base, &mut w);
+        assert_eq!(w, base);
+
+        // Noise is keyed per client and repeatable.
+        let noise = mk(AttackModel::Noise, 0.1);
+        let mut a = honest;
+        let mut b = honest;
+        noise.corrupt_update(1, 2, 0, 3, &base, &mut a);
+        noise.corrupt_update(1, 2, 0, 3, &base, &mut b);
+        assert_eq!(a, b);
+        assert_ne!(a, honest);
+        let mut other = honest;
+        noise.corrupt_update(1, 2, 0, 4, &base, &mut other);
+        assert_ne!(a, other, "noise must decorrelate across clients");
+
+        // Colluders in the same block share one direction.
+        let collude = mk(AttackModel::Collude, 1.0);
+        let mut c3 = honest;
+        let mut c4 = [9.0_f32, 9.0, 9.0]; // honest update is irrelevant
+        collude.corrupt_update(1, 2, 0, 3, &base, &mut c3);
+        collude.corrupt_update(1, 2, 0, 4, &base, &mut c4);
+        assert_eq!(c3, c4, "colluders must upload the same vector");
+        let mut c5 = honest;
+        collude.corrupt_update(1, 3, 0, 3, &base, &mut c5);
+        assert_ne!(c3, c5, "collusion direction must change per block");
+    }
+
+    #[test]
+    fn backoff_jitter_desynchronizes_but_preserves_outcomes() {
+        let lossy = FaultPlan {
+            msg_loss: 1.0,
+            max_retries: 3,
+            backoff_base_s: 0.5,
+            ..NO_FAULTS
+        };
+        let jittered = FaultPlan {
+            backoff_jitter: 0.5,
+            ..lossy
+        };
+        let plain = lossy.delivery(1, 0, 0, MsgChannel::Phase1Down, 0);
+        let jit = jittered.delivery(1, 0, 0, MsgChannel::Phase1Down, 0);
+        // Same attempts and outcome: jitter only perturbs wait times.
+        assert_eq!(plain.attempts, jit.attempts);
+        assert_eq!(plain.delivered, jit.delivered);
+        assert!((plain.backoff_s - 3.5).abs() < 1e-12, "default stays exact");
+        assert!(jit.backoff_s != plain.backoff_s);
+        // Each wait is scaled by at most 1 ± jitter/2.
+        assert!(jit.backoff_s > 3.5 * 0.75 && jit.backoff_s < 3.5 * 1.25);
+        // Deterministic, and desynchronized across edges.
+        assert_eq!(jit, jittered.delivery(1, 0, 0, MsgChannel::Phase1Down, 0));
+        let other = jittered.delivery(1, 0, 0, MsgChannel::Phase1Down, 1);
+        assert_eq!(other.attempts, jit.attempts);
+        assert_ne!(other.backoff_s, jit.backoff_s, "edges must desync");
+        // Jitter draws never touch the loss stream: delivery patterns
+        // match coin-for-coin with jitter on and off.
+        let chatty = FaultPlan {
+            msg_loss: 0.4,
+            max_retries: 4,
+            ..NO_FAULTS
+        };
+        let chatty_jit = FaultPlan {
+            backoff_jitter: 1.0,
+            ..chatty
+        };
+        for r in 0..256 {
+            let a = chatty.delivery(9, r, 0, MsgChannel::Phase1Up, 2);
+            let b = chatty_jit.delivery(9, r, 0, MsgChannel::Phase1Up, 2);
+            assert_eq!((a.attempts, a.delivered), (b.attempts, b.delivered));
+        }
+    }
+
+    #[test]
+    fn injector_tracks_adversary_counters_and_restores() {
+        let fi = FaultInjector::new(3, FaultPlan::preset("byzantine").unwrap());
+        assert!(fi.has_adversary());
+        assert!(
+            !fi.is_active(),
+            "adversary alone must not gate fault_summary"
+        );
+        let mut hits = 0;
+        for c in 0..64 {
+            if fi.client_corrupt(0, 0, c) {
+                hits += 1;
+            }
+        }
+        fi.add_quarantined(2);
+        fi.add_excluded(5);
+        let s = fi.adversary_stats();
+        assert_eq!(s.corrupted_updates, hits);
+        assert_eq!(s.quarantined_clients, 2);
+        assert_eq!(s.excluded_uploads, 5);
+        assert_eq!(s.total(), hits + 7);
+        assert_eq!(s.since(&s), QuarantineStats::default());
+        let fresh = FaultInjector::new(3, FaultPlan::preset("byzantine").unwrap());
+        fresh.restore_adversary(&s);
+        assert_eq!(fresh.adversary_stats(), s);
     }
 }

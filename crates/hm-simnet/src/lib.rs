@@ -23,7 +23,8 @@
 //!   tests to assert protocol-level behaviour (who was sampled, what was
 //!   aggregated when).
 //! - [`fault`] — deterministic fault injection (client crashes, edge
-//!   outages, message loss with retry/backoff, stragglers), keyed off the
+//!   outages, message loss with retry/backoff, stragglers, Byzantine
+//!   update corruption), keyed off the
 //!   same RNG-stream discipline so faulty runs stay bit-reproducible and
 //!   conformance-checkable.
 
@@ -39,8 +40,8 @@ pub mod trace;
 pub use comm::{CommMeter, CommStats, Link};
 pub use executor::{ExecEngine, Parallelism};
 pub use fault::{
-    Delivery, FaultInjector, FaultKind, FaultPlan, FaultStats, MsgChannel, StragglerFate,
-    FAULT_PRESETS, NO_FAULTS,
+    AttackModel, Delivery, FaultInjector, FaultKind, FaultPlan, FaultStats, MsgChannel,
+    QuarantineStats, StragglerFate, ATTACK_MODELS, FAULT_PRESETS, NO_FAULTS,
 };
 pub use latency::LatencyModel;
 pub use quantize::Quantizer;

@@ -114,6 +114,20 @@ pub enum Event {
         /// Delivery attempts made (0 for outages, which transmit nothing).
         attempts: usize,
     },
+    /// Per-round Byzantine-adversary accounting: how many client uploads
+    /// the configured attack corrupted this round. Emitted once per round
+    /// (immediately before [`Event::RoundComm`]) by runs whose fault plan
+    /// has a non-zero corruption rate, so the conformance automaton can
+    /// replay the adversary decision streams and reject forged or missing
+    /// corruption claims.
+    AdversaryRound {
+        /// Training round.
+        round: usize,
+        /// Corrupted uploads this round (delta, not cumulative).
+        corrupted: u64,
+        /// Attack-model tag (`AttackModel::as_str`).
+        attack: &'static str,
+    },
     /// Communication-meter delta accumulated over exactly one training
     /// round, validated against the closed-form accounting in `comm.rs`.
     RoundComm {

@@ -128,6 +128,38 @@ pub enum TelemetryEvent {
         /// Extra time slots waiting for in-deadline stragglers this round.
         straggler_slots: f64,
     },
+    /// Per-round Byzantine-adversary bookkeeping delta (emitted once per
+    /// round by runs with a non-zero corruption rate, before
+    /// `fault_summary`/`round_end`). Emitted *unsequenced*, like
+    /// [`TelemetryEvent::Span`], so adversary-off streams keep their
+    /// historical sequence numbers.
+    Adversary {
+        /// Round index.
+        round: usize,
+        /// Corrupted uploads this round.
+        corrupted: u64,
+        /// Attack model tag (`hm_simnet::AttackModel::as_str`).
+        attack: String,
+    },
+    /// A client was quarantined by the update-norm outlier pass. Emitted
+    /// *unsequenced*.
+    Quarantine {
+        /// Round whose observations triggered the bench.
+        round: usize,
+        /// Global client id.
+        client: usize,
+        /// First round the client may participate again.
+        until: usize,
+    },
+    /// Which client→edge aggregation rule the run used (emitted once,
+    /// *unsequenced*, right after the preamble, and only when the rule is
+    /// not the default `mean`).
+    AggregatorSummary {
+        /// Aggregator tag (`hm_tensor::Aggregator::as_str`).
+        aggregator: String,
+        /// The rule's knob (`beta` / `tau`), `0.0` when it has none.
+        param: f64,
+    },
     /// A round finished.
     RoundEnd {
         /// Round index.
@@ -243,6 +275,9 @@ impl TelemetryEvent {
             TelemetryEvent::RunResume { .. } => "run_resume",
             TelemetryEvent::Span { .. } => "span",
             TelemetryEvent::ProfileSummary { .. } => "profile_summary",
+            TelemetryEvent::Adversary { .. } => "adversary",
+            TelemetryEvent::Quarantine { .. } => "quarantine",
+            TelemetryEvent::AggregatorSummary { .. } => "aggregator_summary",
             TelemetryEvent::RoundEnd { .. } => "round_end",
             TelemetryEvent::RunEnd { .. } => "run_end",
         }
@@ -393,6 +428,27 @@ impl TelemetryEvent {
             TelemetryEvent::ProfileSummary { phases } => {
                 w.raw("phases", &phases_to_json(phases));
             }
+            TelemetryEvent::Adversary {
+                round,
+                corrupted,
+                attack,
+            } => {
+                w.usize("round", *round)
+                    .u64("corrupted", *corrupted)
+                    .str("attack", attack);
+            }
+            TelemetryEvent::Quarantine {
+                round,
+                client,
+                until,
+            } => {
+                w.usize("round", *round)
+                    .usize("client", *client)
+                    .usize("until", *until);
+            }
+            TelemetryEvent::AggregatorSummary { aggregator, param } => {
+                w.str("aggregator", aggregator).f64("param", *param);
+            }
             TelemetryEvent::RoundEnd {
                 round,
                 slots,
@@ -537,6 +593,20 @@ mod tests {
                     p90_s: 0.02,
                     p99_s: 0.02,
                 }],
+            },
+            TelemetryEvent::Adversary {
+                round: 0,
+                corrupted: 5,
+                attack: "sign-flip".into(),
+            },
+            TelemetryEvent::Quarantine {
+                round: 0,
+                client: 7,
+                until: 4,
+            },
+            TelemetryEvent::AggregatorSummary {
+                aggregator: "trimmed-mean".into(),
+                param: 0.2,
             },
             TelemetryEvent::RoundEnd {
                 round: 0,

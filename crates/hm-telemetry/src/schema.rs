@@ -97,6 +97,17 @@ fn fields_for(kind: &str) -> Option<&'static [(&'static str, Ty)]> {
             ("elapsed_s", Ty::Num),
         ],
         "profile_summary" => &[("phases", Ty::Phases)],
+        "adversary" => &[
+            ("round", Ty::UInt),
+            ("corrupted", Ty::UInt),
+            ("attack", Ty::Str),
+        ],
+        "quarantine" => &[
+            ("round", Ty::UInt),
+            ("client", Ty::UInt),
+            ("until", Ty::UInt),
+        ],
+        "aggregator_summary" => &[("aggregator", Ty::Str), ("param", Ty::Num)],
         "run_resume" => &[
             ("algorithm", Ty::Str),
             ("rounds", Ty::UInt),
@@ -466,7 +477,7 @@ fn validate_stream_impl(text: &str, strict: bool) -> Result<StreamSummary, Schem
                 }
                 rounds_seen += 1;
             }
-            "span" | "profile_summary" => {
+            "span" | "profile_summary" | "adversary" | "quarantine" | "aggregator_summary" => {
                 if !in_run {
                     return Err(at(line_no, format!("{kind} outside a run")));
                 }
@@ -704,6 +715,38 @@ mod tests {
             assert_eq!(s.runs, 1);
             assert_eq!(s.events_by_kind["span"], 1);
             assert_eq!(s.events_by_kind["profile_summary"], 1);
+        }
+    }
+
+    #[test]
+    fn adversary_kinds_are_unsequenced() {
+        // The Byzantine events must not perturb checkpoint seq values —
+        // same continuity argument as spans, in both validators.
+        let adversary = TelemetryEvent::Adversary {
+            round: 0,
+            corrupted: 3,
+            attack: "sign-flip".into(),
+        };
+        let quarantine = TelemetryEvent::Quarantine {
+            round: 0,
+            client: 2,
+            until: 5,
+        };
+        let agg = TelemetryEvent::AggregatorSummary {
+            aggregator: "trimmed-mean".into(),
+            param: 0.2,
+        };
+        let mut lines: Vec<String> = checkpointed_stream().lines().map(String::from).collect();
+        lines.insert(9, adversary.to_json());
+        lines.insert(10, quarantine.to_json());
+        lines.insert(1, agg.to_json());
+        let text = lines.join("\n");
+        for validate in [validate_stream, validate_stream_strict] {
+            let s = validate(&text).unwrap();
+            assert_eq!(s.runs, 1);
+            assert_eq!(s.events_by_kind["adversary"], 1);
+            assert_eq!(s.events_by_kind["quarantine"], 1);
+            assert_eq!(s.events_by_kind["aggregator_summary"], 1);
         }
     }
 

@@ -17,8 +17,10 @@
 
 pub mod matrix;
 pub mod ops;
+pub mod robust;
 pub mod vecops;
 pub mod view;
 
 pub use matrix::Matrix;
+pub use robust::{Aggregator, AGGREGATORS};
 pub use view::MatrixView;

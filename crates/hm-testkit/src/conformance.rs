@@ -26,6 +26,13 @@
 //!   recipients must equal the post-outage active set, and survivor-only
 //!   participation must match the delivery replay. A fully-failed round
 //!   must still emit its aggregation events (the stale-round path).
+//! - **Adversary replay** — when the plan has a Byzantine adversary
+//!   (`corrupt_rate > 0`), the per-round corrupted-upload count is
+//!   re-drawn from the keyed `Adversary` stream over the surviving slots
+//!   of every block, and the round's [`Event::AdversaryRound`] must carry
+//!   exactly that count and the plan's attack tag. Honest traces must not
+//!   contain the event at all, so a forged adversary record is rejected
+//!   just like a forged fault.
 //! - **Communication accounting** — every [`Event::RoundComm`] delta is
 //!   compared counter-by-counter against a closed-form model of the
 //!   round's float/message/round costs on all three links, including the
@@ -532,11 +539,13 @@ fn check_edge_blocks(
     seed: u64,
     plan: &FaultPlan,
     report: &mut ConformanceReport,
-) -> Result<Vec<u64>, ConformanceError> {
+) -> Result<(Vec<u64>, u64), ConformanceError> {
     let n0 = problem.clients_per_edge();
     let topo = problem.topology();
     let mut survivors_per_block = Vec::with_capacity(tau2);
+    let mut corrupted = 0u64;
     for t2 in 0..tau2 {
+        let block_tag = (k * tau2 + t2) as u64;
         let alive = replay_alive(problem, edges, k, tau2, t2, seed, plan);
         survivors_per_block.push(alive.iter().filter(|&&a| a).count() as u64);
         for (ei, &edge) in edges.iter().enumerate() {
@@ -545,6 +554,11 @@ fn check_edge_blocks(
                     continue;
                 }
                 let client = topo.client_id(edge, c);
+                // Surviving uploads draw their Byzantine bit from the
+                // dedicated adversary stream, exactly as the run does.
+                if plan.has_adversary() && plan.client_corrupt(seed, block_tag, 0, client) {
+                    corrupted += 1;
+                }
                 match cur.next(k, "LocalSteps")? {
                     Event::LocalSteps {
                         round,
@@ -618,7 +632,46 @@ fn check_edge_blocks(
             }
         }
     }
-    Ok(survivors_per_block)
+    Ok((survivors_per_block, corrupted))
+}
+
+/// Consume one [`Event::AdversaryRound`] and match its corrupted-upload
+/// count and attack tag against the independent replay of the keyed
+/// adversary decision stream. Only called when the plan has an adversary;
+/// honest traces must not contain the event at all.
+fn expect_adversary_round(
+    cur: &mut Cursor<'_>,
+    round: usize,
+    plan: &FaultPlan,
+    corrupted: Option<u64>,
+    report: &mut ConformanceReport,
+) -> Result<(), ConformanceError> {
+    match cur.next(round, "AdversaryRound")? {
+        Event::AdversaryRound {
+            round: er,
+            corrupted: ec,
+            attack,
+        } if *er == round
+            && *attack == plan.attack.as_str()
+            && corrupted.is_none_or(|c| *ec == c) =>
+        {
+            report.faults += 1;
+            Ok(())
+        }
+        other => Err(ConformanceError::FaultMismatch {
+            round,
+            detail: match corrupted {
+                Some(c) => format!(
+                    "expected AdversaryRound with {c} corrupted uploads ({}), found {other:?}",
+                    plan.attack.as_str()
+                ),
+                None => format!(
+                    "expected AdversaryRound ({}), found {other:?}",
+                    plan.attack.as_str()
+                ),
+            },
+        }),
+    }
 }
 
 /// Check a full HierMinimax trace against the Algorithm-1 model.
@@ -638,6 +691,10 @@ pub fn check_hierminimax_trace(
     assert!(
         cfg.tau2_per_edge.is_none(),
         "conformance model covers homogeneous rates only"
+    );
+    assert!(
+        cfg.opts.quarantine_z <= 0.0,
+        "conformance replay does not model quarantine exclusion windows"
     );
     let n_edges = problem.num_edges();
     let n0 = problem.clients_per_edge() as u64;
@@ -724,7 +781,7 @@ pub fn check_hierminimax_trace(
         let participants: Vec<usize> = p1_down.delivered.iter().map(|&i| active[i]).collect();
 
         // τ2 blocks of local steps + aggregations.
-        let survivors = check_edge_blocks(
+        let (survivors, corrupted) = check_edge_blocks(
             &mut cur,
             problem,
             &participants,
@@ -816,6 +873,14 @@ pub fn check_hierminimax_trace(
             });
         }
 
+        // Adversarial rounds account their corrupted uploads immediately
+        // before the communication record; the count must equal the
+        // independent replay of the keyed corruption stream over the
+        // surviving slots of every block.
+        if plan.has_adversary() {
+            expect_adversary_round(&mut cur, k, &plan, Some(corrupted), &mut report)?;
+        }
+
         // Closed-form communication accounting for this round: base costs
         // over the surviving sets, plus one full payload per replayed
         // retransmission (retried and given-up deliveries alike).
@@ -888,6 +953,10 @@ pub fn check_hierfavg_trace(
     let n0 = problem.clients_per_edge() as u64;
     let d = problem.num_params();
     let wire = cfg.quantizer.wire_floats(d);
+    assert!(
+        cfg.opts.quarantine_z <= 0.0,
+        "conformance replay does not model quarantine exclusion windows"
+    );
     let plan = cfg.opts.fault.clone().with_dropout(cfg.dropout);
     let mut cur = Cursor::new(events);
     let mut report = ConformanceReport::default();
@@ -934,7 +1003,7 @@ pub fn check_hierfavg_trace(
             &mut report,
         )?;
         let participants: Vec<usize> = p1_down.delivered.iter().map(|&i| active[i]).collect();
-        let survivors = check_edge_blocks(
+        let (survivors, corrupted) = check_edge_blocks(
             &mut cur,
             problem,
             &participants,
@@ -962,6 +1031,9 @@ pub fn check_hierfavg_trace(
         match cur.next(k, "GlobalModel")? {
             Event::GlobalModel { round, w } if *round == k => check_finite_model(k, w, d)?,
             other => return Err(unexpected(k, "GlobalModel", other)),
+        }
+        if plan.has_adversary() {
+            expect_adversary_round(&mut cur, k, &plan, Some(corrupted), &mut report)?;
         }
         let delta = match cur.next(k, "RoundComm")? {
             Event::RoundComm { round, delta } if *round == k => *delta,
@@ -1025,6 +1097,7 @@ fn is_cloud_level(e: &Event) -> bool {
             | Event::GlobalModel { .. }
             | Event::Phase2EdgesSampled { .. }
             | Event::WeightUpdate { .. }
+            | Event::AdversaryRound { .. }
             | Event::RoundComm { .. }
             // Cloud-link fault events; the multi-level loop models
             // intermediate links as reliable, so every `EdgeFault` in the
@@ -1242,6 +1315,14 @@ pub fn check_multilevel_trace(
                 round: k,
                 violation,
             });
+        }
+
+        // The per-round corrupted count aggregates over inner subtrees
+        // whose corruption streams key on position tags this closed-form
+        // checker does not model, so only the event's presence, round, and
+        // attack tag are validated here.
+        if plan.has_adversary() {
+            expect_adversary_round(&mut cur, k, &plan, None, &mut report)?;
         }
 
         let delta = match cur.next(k, "RoundComm")? {
@@ -1545,6 +1626,197 @@ mod tests {
         events.push(Event::GlobalAggregation { round: 2 });
         let err = check_hierminimax_trace(&fp, &cfg, 5, &events).unwrap_err();
         assert_eq!(err, ConformanceError::TrailingEvents { count: 1 });
+    }
+
+    fn byzantine_plan(rate: f32) -> FaultPlan {
+        FaultPlan {
+            corrupt_rate: rate,
+            attack: hm_simnet::AttackModel::SignFlip,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// An adversarial trace replays cleanly and the traced per-round
+    /// corrupted counts sum to the run's own adversary accounting (a
+    /// closed-form cross-check of the keyed corruption stream).
+    #[test]
+    fn adversarial_hierminimax_trace_passes_and_counts_corruption() {
+        let fp = problem(3, 2, 4);
+        let cfg = HierMinimaxConfig {
+            rounds: 5,
+            opts: RunOpts {
+                fault: byzantine_plan(0.3),
+                ..traced_opts()
+            },
+            ..Default::default()
+        };
+        let r = HierMinimax::new(cfg.clone()).run(&fp, 42);
+        let report = check_hierminimax_trace(&fp, &cfg, 42, &r.trace.events()).unwrap();
+        assert_eq!(report.rounds, 5);
+        assert_eq!(report.faults, 5, "one validated AdversaryRound per round");
+        let traced: u64 = r
+            .trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::AdversaryRound { corrupted, .. } => Some(*corrupted),
+                _ => None,
+            })
+            .sum();
+        assert!(traced > 0, "30% corruption over 5 rounds fires");
+        assert_eq!(traced, r.quarantine.corrupted_updates);
+    }
+
+    /// Corruption composes with crash/straggler faults: the corrupted
+    /// count is drawn over the *surviving* slots only, and the replay
+    /// still matches with both fault classes active.
+    #[test]
+    fn adversarial_trace_with_crashes_passes() {
+        let fp = problem(3, 2, 4);
+        let cfg = HierMinimaxConfig {
+            rounds: 6,
+            opts: RunOpts {
+                fault: FaultPlan {
+                    client_crash: 0.3,
+                    straggler_rate: 0.2,
+                    straggler_slowdown: 3.0,
+                    deadline_factor: 1.5,
+                    ..byzantine_plan(0.4)
+                },
+                ..traced_opts()
+            },
+            ..Default::default()
+        };
+        let r = HierMinimax::new(cfg.clone()).run(&fp, 9);
+        let report = check_hierminimax_trace(&fp, &cfg, 9, &r.trace.events()).unwrap();
+        assert_eq!(report.rounds, 6);
+    }
+
+    #[test]
+    fn adversarial_hierfavg_trace_passes() {
+        let fp = problem(3, 2, 5);
+        let cfg = HierFavgConfig {
+            rounds: 4,
+            opts: RunOpts {
+                fault: byzantine_plan(0.25),
+                ..traced_opts()
+            },
+            ..Default::default()
+        };
+        let r = HierFavg::new(cfg.clone()).run(&fp, 19);
+        let report = check_hierfavg_trace(&fp, &cfg, 19, &r.trace.events()).unwrap();
+        assert_eq!(report.rounds, 4);
+        assert_eq!(report.faults, 4);
+    }
+
+    #[test]
+    fn adversarial_multilevel_trace_passes() {
+        let fp = problem(4, 2, 6);
+        let cfg = MultiLevelConfig {
+            rounds: 4,
+            upper: vec![UpperLevel {
+                group_size: 2,
+                tau: 2,
+            }],
+            m_groups: 2,
+            opts: RunOpts {
+                fault: byzantine_plan(0.25),
+                ..traced_opts()
+            },
+            ..Default::default()
+        };
+        let r = MultiLevelMinimax::new(cfg.clone()).run(&fp, 13);
+        let report = check_multilevel_trace(&fp, &cfg, 13, &r.trace.events()).unwrap();
+        assert_eq!(report.rounds, 4);
+        assert_eq!(report.faults, 4);
+    }
+
+    /// Inflating a traced corrupted count forges adversary accounting the
+    /// keyed stream never produced; the replay must reject it.
+    #[test]
+    fn forged_adversary_count_is_rejected() {
+        let fp = problem(3, 2, 4);
+        let cfg = HierMinimaxConfig {
+            rounds: 5,
+            opts: RunOpts {
+                fault: byzantine_plan(0.3),
+                ..traced_opts()
+            },
+            ..Default::default()
+        };
+        let r = HierMinimax::new(cfg.clone()).run(&fp, 42);
+        let mut events = r.trace.events();
+        let slot = events
+            .iter_mut()
+            .find_map(|e| match e {
+                Event::AdversaryRound { corrupted, .. } => Some(corrupted),
+                _ => None,
+            })
+            .expect("adversarial run traces AdversaryRound");
+        *slot += 1;
+        let err = check_hierminimax_trace(&fp, &cfg, 42, &events).unwrap_err();
+        assert!(
+            matches!(err, ConformanceError::FaultMismatch { .. }),
+            "{err}"
+        );
+    }
+
+    /// Deleting an AdversaryRound hides corruption from the log; the
+    /// replay still expects the event and must reject the trace.
+    #[test]
+    fn missing_adversary_event_is_rejected() {
+        let fp = problem(3, 2, 4);
+        let cfg = HierMinimaxConfig {
+            rounds: 5,
+            opts: RunOpts {
+                fault: byzantine_plan(0.3),
+                ..traced_opts()
+            },
+            ..Default::default()
+        };
+        let r = HierMinimax::new(cfg.clone()).run(&fp, 42);
+        let mut events = r.trace.events();
+        let idx = events
+            .iter()
+            .position(|e| matches!(e, Event::AdversaryRound { .. }))
+            .unwrap();
+        events.remove(idx);
+        let err = check_hierminimax_trace(&fp, &cfg, 42, &events).unwrap_err();
+        assert!(
+            matches!(err, ConformanceError::FaultMismatch { .. }),
+            "{err}"
+        );
+    }
+
+    /// An honest (zero-rate) trace must not carry adversary events: the
+    /// checker never consumes them, so an injected one desynchronizes.
+    #[test]
+    fn injected_adversary_event_in_honest_trace_is_rejected() {
+        let fp = problem(3, 2, 1);
+        let cfg = HierMinimaxConfig {
+            rounds: 2,
+            opts: traced_opts(),
+            ..Default::default()
+        };
+        let r = HierMinimax::new(cfg.clone()).run(&fp, 5);
+        let mut events = r.trace.events();
+        let idx = events
+            .iter()
+            .position(|e| matches!(e, Event::RoundComm { .. }))
+            .unwrap();
+        events.insert(
+            idx,
+            Event::AdversaryRound {
+                round: 0,
+                corrupted: 2,
+                attack: "sign-flip",
+            },
+        );
+        let err = check_hierminimax_trace(&fp, &cfg, 5, &events).unwrap_err();
+        assert!(
+            matches!(err, ConformanceError::UnexpectedEvent { .. }),
+            "{err}"
+        );
     }
 
     #[test]
