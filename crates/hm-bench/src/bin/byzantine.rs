@@ -74,6 +74,8 @@ fn config(rounds: usize, plan: FaultPlan, agg: Aggregator) -> HierMinimaxConfig 
             aggregator: agg,
             quarantine_z: 0.0,
             quarantine_window: 0,
+            churn: Default::default(),
+            max_stale_rounds: 0,
         },
     }
 }

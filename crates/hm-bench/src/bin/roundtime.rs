@@ -84,6 +84,8 @@ fn config(case: &Case, rounds: usize, engine: ExecEngine) -> HierMinimaxConfig {
             aggregator: Default::default(),
             quarantine_z: 0.0,
             quarantine_window: 0,
+            churn: Default::default(),
+            max_stale_rounds: 0,
         },
     }
 }

@@ -123,6 +123,8 @@ impl SuiteParams {
             aggregator: Default::default(),
             quarantine_z: 0.0,
             quarantine_window: 0,
+            churn: Default::default(),
+            max_stale_rounds: 0,
         }
     }
 

@@ -13,8 +13,8 @@ use hm_core::problem::FederatedProblem;
 use hm_core::{CheckpointOpts, RunResult};
 use hm_data::partition::label_skew;
 use hm_simnet::{
-    AttackModel, ExecEngine, FaultPlan, LatencyModel, Link, Parallelism, Quantizer, ATTACK_MODELS,
-    FAULT_PRESETS,
+    AttackModel, ChurnPlan, ExecEngine, FaultPlan, LatencyModel, Link, Parallelism, Quantizer,
+    ATTACK_MODELS, CHURN_PRESETS, FAULT_PRESETS,
 };
 use hm_telemetry::{PhaseAgg, Profiler, SpanAggregator, Telemetry};
 use hm_tensor::{Aggregator, AGGREGATORS};
@@ -94,6 +94,16 @@ FAULT-INJECTION FLAGS (run, compare; deterministic per seed):
   --straggler-rate F --straggler-slowdown F --deadline-factor F
                         compute stragglers; slower than the deadline is cut
 
+MEMBERSHIP-CHURN FLAGS (run; hierminimax and hierfavg only):
+  --churn-plan NAME     none|mild|flash-crowd|edge-failover|chaos-churn
+                        (default none; deterministic per seed)
+  --leave-rate F --join-rate F --edge-fail-rate F
+                        per-round probabilities overriding the preset
+  --no-rehome           strand a failed edge's clients instead of
+                        re-homing them onto surviving edges
+  --max-stale-rounds N  abort with an error after N+1 consecutive rounds
+                        in which no sampled edge reported (0 = never)
+
 BYZANTINE-ADVERSARY FLAGS (run, compare; deterministic per seed):
   --corrupt-rate F      per-client per-block corruption probability
   --attack NAME         sign-flip|scale|noise|zero|collude (default sign-flip)
@@ -160,6 +170,27 @@ fn fault_plan(args: &Args) -> Result<FaultPlan, ArgError> {
     plan.backoff_jitter = args.num_or("backoff-jitter", plan.backoff_jitter)?;
     plan.validate()
         .map_err(|e| ArgError(format!("fault plan: {e}")))?;
+    Ok(plan)
+}
+
+/// Resolve `--churn-plan` (a preset name) plus the per-knob override
+/// flags into a validated [`ChurnPlan`].
+fn churn_plan(args: &Args) -> Result<ChurnPlan, ArgError> {
+    let name = args.str_or("churn-plan", "none");
+    let mut plan = ChurnPlan::preset(&name).ok_or_else(|| {
+        ArgError(format!(
+            "--churn-plan {name:?} unknown (one of {})",
+            CHURN_PRESETS.join("|")
+        ))
+    })?;
+    plan.leave_rate = args.num_or("leave-rate", plan.leave_rate)?;
+    plan.join_rate = args.num_or("join-rate", plan.join_rate)?;
+    plan.edge_fail_rate = args.num_or("edge-fail-rate", plan.edge_fail_rate)?;
+    if args.switch("no-rehome") {
+        plan.rehome = false;
+    }
+    plan.validate()
+        .map_err(|e| ArgError(format!("churn plan: {e}")))?;
     Ok(plan)
 }
 
@@ -282,6 +313,8 @@ fn opts(args: &Args) -> Result<RunOpts, ArgError> {
         aggregator: aggregator(args)?,
         quarantine_z: args.num_or("quarantine-z", 0.0_f64)?,
         quarantine_window: args.num_or("quarantine-window", 5_usize)?,
+        churn: churn_plan(args)?,
+        max_stale_rounds: args.num_or("max-stale-rounds", 0_usize)?,
     })
 }
 
@@ -343,6 +376,11 @@ fn build_algorithm(args: &Args) -> Result<(Box<dyn Algorithm>, RunOpts), ArgErro
     let batch_size = args.num_or("batch", 2)?;
     let loss_batch = args.num_or("loss-batch", 16)?;
     let opts = opts(args)?;
+    if !opts.churn.is_none() && method != "hierminimax" && method != "hierfavg" {
+        return Err(ArgError(format!(
+            "--churn-plan requires --method hierminimax|hierfavg (got {method:?})"
+        )));
+    }
     let handles = opts.clone();
     let quant = quantizer(args)?;
     let alg: Box<dyn Algorithm> = match method.as_str() {
@@ -497,6 +535,14 @@ fn report(problem: &FederatedProblem, name: &str, r: &RunResult) {
             q.corrupted_updates, q.quarantined_clients, q.excluded_uploads
         );
     }
+    let c = &r.churn;
+    if c.total() > 0 {
+        println!(
+            "membership churn: {} joined, {} left, {} edge failures; \
+             {} clients re-homed, {} stranded",
+            c.joined, c.left, c.edge_failures, c.rehomed, c.stranded
+        );
+    }
 }
 
 fn run(args: &Args) -> Result<(), ArgError> {
@@ -513,7 +559,9 @@ fn run(args: &Args) -> Result<(), ArgError> {
         problem.clients_per_edge(),
         problem.num_params()
     );
-    let r = alg.run(&problem, seed);
+    let r = alg
+        .try_run(&problem, seed)
+        .map_err(|e| ArgError(e.to_string()))?;
     report(&problem, alg.name(), &r);
     if handles.profile.is_enabled() {
         print_phase_table(&handles.profile.summary());

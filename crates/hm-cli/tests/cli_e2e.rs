@@ -676,3 +676,152 @@ fn data_tiny_matches_golden_snapshot() {
         golden("data_tiny_3x2.txt")
     );
 }
+
+#[test]
+fn churn_plan_run_reports_membership_and_is_deterministic() {
+    let run = || {
+        bin()
+            .args([
+                "run",
+                "--scenario",
+                "tiny",
+                "--edges",
+                "4",
+                "--clients",
+                "2",
+                "--rounds",
+                "8",
+                "--m",
+                "2",
+                "--churn-plan",
+                "chaos-churn",
+                "--seed",
+                "11",
+                "--sequential",
+            ])
+            .output()
+            .expect("spawn")
+    };
+    let a = run();
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    let text = String::from_utf8_lossy(&a.stdout);
+    assert!(text.contains("membership churn:"), "{text}");
+    assert!(text.contains("re-homed"), "{text}");
+    // Same seed, same plan: byte-identical report (keyed churn streams).
+    let b = run();
+    assert_eq!(a.stdout, b.stdout);
+}
+
+#[test]
+fn churn_flags_override_preset() {
+    // `none` preset plus one knob: only joins fire, and the report line
+    // appears with zero leaves and failures.
+    let out = bin()
+        .args([
+            "run",
+            "--scenario",
+            "tiny",
+            "--edges",
+            "3",
+            "--clients",
+            "2",
+            "--rounds",
+            "8",
+            "--m",
+            "2",
+            "--join-rate",
+            "0.5",
+            "--seed",
+            "3",
+            "--sequential",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("membership churn:"), "{text}");
+    assert!(text.contains("0 left, 0 edge failures"), "{text}");
+}
+
+#[test]
+fn unknown_churn_plan_is_rejected() {
+    let out = bin()
+        .args([
+            "run",
+            "--scenario",
+            "tiny",
+            "--edges",
+            "3",
+            "--clients",
+            "2",
+            "--churn-plan",
+            "mayhem",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--churn-plan") && err.contains("chaos-churn"),
+        "{err}"
+    );
+}
+
+#[test]
+fn churn_plan_requires_hierarchical_method() {
+    let out = bin()
+        .args([
+            "run",
+            "--scenario",
+            "tiny",
+            "--edges",
+            "3",
+            "--clients",
+            "2",
+            "--method",
+            "fedavg",
+            "--churn-plan",
+            "mild",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--churn-plan requires"), "{err}");
+}
+
+#[test]
+fn max_stale_rounds_aborts_with_error() {
+    // A total blackout (100% edge outages) never delivers a report; with
+    // the cap set the run must abort with the typed stale-rounds error.
+    let out = bin()
+        .args([
+            "run",
+            "--scenario",
+            "tiny",
+            "--edges",
+            "3",
+            "--clients",
+            "2",
+            "--rounds",
+            "8",
+            "--m",
+            "2",
+            "--edge-outage",
+            "1.0",
+            "--max-stale-rounds",
+            "2",
+            "--seed",
+            "3",
+            "--sequential",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("stale"), "{err}");
+}

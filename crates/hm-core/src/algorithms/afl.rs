@@ -317,6 +317,7 @@ impl Algorithm for StochasticAfl {
             trace,
             faults: Default::default(),
             quarantine: Default::default(),
+            churn: Default::default(),
         }
     }
 }

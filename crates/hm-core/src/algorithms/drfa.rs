@@ -335,6 +335,7 @@ impl Algorithm for Drfa {
             trace,
             faults: Default::default(),
             quarantine: Default::default(),
+            churn: Default::default(),
         }
     }
 }

@@ -242,6 +242,7 @@ impl Algorithm for FedAvg {
             trace,
             faults: Default::default(),
             quarantine: Default::default(),
+            churn: Default::default(),
         }
     }
 }

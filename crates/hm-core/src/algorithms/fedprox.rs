@@ -201,6 +201,7 @@ impl Algorithm for FedProx {
             trace,
             faults: Default::default(),
             quarantine: Default::default(),
+            churn: Default::default(),
         }
     }
 }

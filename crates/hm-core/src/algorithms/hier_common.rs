@@ -27,6 +27,8 @@
 use crate::localsgd::{local_sgd_fresh, local_sgd_into};
 use crate::problem::FederatedProblem;
 use hm_data::rng::{Purpose, StreamKey, StreamRng};
+use hm_data::Dataset;
+use std::collections::HashMap;
 use hm_simnet::trace::{Event, Trace};
 use hm_simnet::{
     CommMeter, ExecEngine, FaultInjector, Link, Parallelism, Quantizer, StragglerFate,
@@ -37,6 +39,116 @@ use hm_tensor::{vecops, Aggregator};
 /// A client's block output: the updated model and, in the checkpoint
 /// block, the checkpoint snapshot.
 type ClientBlockResult = (Vec<f32>, Option<Vec<f32>>);
+
+/// Live client membership for churn-enabled runs: which global client ids
+/// each edge currently serves, plus the data shards minted for mid-run
+/// joiners. `None` in [`EdgeBlockParams::roster`] means the frozen
+/// topology enumeration (`gid = edge·n₀ + idx`) — the bit-exact legacy
+/// layout every churn-off run takes.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ClientRoster {
+    /// `members[edge]` — active global client ids, in deterministic
+    /// order (originals first, then re-homed/joined arrivals in
+    /// assignment order). Mirrors `ActiveTopology::members_of`.
+    members: Vec<Vec<usize>>,
+    /// Data shards of clients that joined mid-run, keyed by global id.
+    /// Original clients (`gid < N`) resolve through the problem scenario.
+    joined: HashMap<usize, Dataset>,
+}
+
+impl ClientRoster {
+    pub(crate) fn new(members: Vec<Vec<usize>>) -> Self {
+        Self {
+            members,
+            joined: HashMap::new(),
+        }
+    }
+
+    /// Replace the per-edge member lists (called once per round after the
+    /// churn transitions are applied).
+    pub(crate) fn sync_members(&mut self, members: &[Vec<usize>]) {
+        self.members.clear();
+        self.members.extend_from_slice(members);
+    }
+
+    /// Register the data shard of a freshly joined client.
+    pub(crate) fn insert_joined(&mut self, gid: usize, data: Dataset) {
+        self.joined.insert(gid, data);
+    }
+
+    /// Active global client ids currently homed at `edge`.
+    pub(crate) fn members_of(&self, edge: usize) -> &[usize] {
+        &self.members[edge]
+    }
+
+    /// Resolve a global client id to its training shard: original clients
+    /// decompose into `(edge, idx)` against the frozen topology; joiner
+    /// ids look up the shard minted at join time.
+    pub(crate) fn data<'a>(&'a self, problem: &'a FederatedProblem, gid: usize) -> &'a Dataset {
+        let n0 = problem.clients_per_edge();
+        if gid < problem.topology().total_clients() {
+            problem.client_data(gid / n0, gid % n0)
+        } else {
+            self.joined
+                .get(&gid)
+                .unwrap_or_else(|| panic!("no data shard for joined client {gid}"))
+        }
+    }
+}
+
+/// Flattened client-slot layout of one round: for each participating edge
+/// `ei`, the global ids of its current members, contiguous in `gids` at
+/// `offsets[ei]..offsets[ei+1]`. With no roster this is exactly the legacy
+/// uniform layout (`offsets[ei] = ei·n₀`, `gids[slot] = client_id(edge,
+/// slot % n₀)`), so every index computed from it — and therefore every
+/// draw, fold, and meter total — is bit-identical to pre-churn builds.
+struct SlotMap {
+    gids: Vec<usize>,
+    offsets: Vec<usize>,
+}
+
+impl SlotMap {
+    fn build(p: &EdgeBlockParams<'_>) -> Self {
+        let topo = p.problem.topology();
+        let mut gids = Vec::new();
+        let mut offsets = Vec::with_capacity(p.edges.len() + 1);
+        offsets.push(0);
+        for &e in p.edges {
+            match p.roster {
+                Some(r) => gids.extend_from_slice(r.members_of(e)),
+                None => gids.extend(topo.clients_of(e)),
+            }
+            offsets.push(gids.len());
+        }
+        Self { gids, offsets }
+    }
+
+    /// Total client slots across the participating edges.
+    fn n_slots(&self) -> usize {
+        self.gids.len()
+    }
+
+    /// Slot range of participating edge `ei`.
+    fn range(&self, ei: usize) -> std::ops::Range<usize> {
+        self.offsets[ei]..self.offsets[ei + 1]
+    }
+
+    /// Member count of participating edge `ei`.
+    fn len_of(&self, ei: usize) -> usize {
+        self.offsets[ei + 1] - self.offsets[ei]
+    }
+}
+
+/// Training shard of the client in a slot (see [`ClientRoster::data`]).
+fn data_of<'a>(p: &EdgeBlockParams<'a>, gid: usize) -> &'a Dataset {
+    match p.roster {
+        Some(r) => r.data(p.problem, gid),
+        None => {
+            let n0 = p.problem.clients_per_edge();
+            p.problem.client_data(gid / n0, gid % n0)
+        }
+    }
+}
 
 /// Result of one edge server's `ModelUpdate` procedure.
 #[derive(Debug, Clone)]
@@ -121,6 +233,9 @@ pub(crate) struct EdgeBlockParams<'a> {
     /// Off by default — norm tracking costs one `dist2_sq` per surviving
     /// upload but never perturbs the trained bits.
     pub track_norms: bool,
+    /// Live membership for churn-enabled runs. `None` (every churn-off
+    /// run) enumerates the frozen topology — the bit-exact legacy layout.
+    pub roster: Option<&'a ClientRoster>,
 }
 
 /// Per-round fault and survivor schedule, computed before any client work.
@@ -133,10 +248,11 @@ pub(crate) struct EdgeBlockParams<'a> {
 /// driven in the same `(t2, slot)` order the barrier engine uses, so
 /// fault statistics stay bit-identical.
 struct RoundSchedule {
-    /// `alive[t2 * n_slots + ei * n0 + c]` — does that client's upload
-    /// survive block `t2`?
+    /// `alive[t2 * n_slots + slot]` — does that slot's upload survive
+    /// block `t2`? (With no roster, `slot = ei·n₀ + c`, the legacy flat
+    /// layout.)
     alive: Vec<bool>,
-    /// `corrupt[t2 * n_slots + ei * n0 + c]` — is that surviving upload
+    /// `corrupt[t2 * n_slots + slot]` — is that surviving upload
     /// Byzantine-corrupted? (Same indexing; always `false` for dead
     /// slots, and drawn from the dedicated `Purpose::Adversary` stream
     /// so a zero corruption rate makes no draws at all.)
@@ -146,17 +262,18 @@ struct RoundSchedule {
 }
 
 impl RoundSchedule {
-    fn survivors_of_edge(&self, n0: usize, ne: usize, t2: usize, ei: usize) -> usize {
-        let base = t2 * ne * n0 + ei * n0;
-        self.alive[base..base + n0].iter().filter(|&&a| a).count()
+    fn survivors_of_edge(&self, slots: &SlotMap, t2: usize, ei: usize) -> usize {
+        let base = t2 * slots.n_slots();
+        let r = slots.range(ei);
+        self.alive[base + r.start..base + r.end]
+            .iter()
+            .filter(|&&a| a)
+            .count()
     }
 }
 
-fn compute_schedule(p: &EdgeBlockParams<'_>) -> RoundSchedule {
-    let n0 = p.problem.clients_per_edge();
-    let ne = p.edges.len();
-    let topo = p.problem.topology();
-    let n_slots = ne * n0;
+fn compute_schedule(p: &EdgeBlockParams<'_>, slots: &SlotMap) -> RoundSchedule {
+    let n_slots = slots.n_slots();
     let mut alive = vec![false; p.tau2 * n_slots];
     let mut corrupt = vec![false; p.tau2 * n_slots];
     let mut block_survivors = vec![0u64; p.tau2];
@@ -170,8 +287,7 @@ fn compute_schedule(p: &EdgeBlockParams<'_>) -> RoundSchedule {
         // Byzantine-corruption bit from the dedicated adversary stream.
         let mut max_slow = 1.0_f64;
         for slot in 0..n_slots {
-            let edge = p.edges[slot / n0];
-            let client = topo.client_id(edge, slot % n0);
+            let client = slots.gids[slot];
             let a = if quarantine_excludes(p.quarantined, client, p.round) {
                 p.fault.add_excluded(1);
                 false
@@ -219,9 +335,9 @@ fn quarantine_excludes(quarantined: &[u64], client: usize, round: usize) -> bool
 /// on the gather), and `τ2` synchronisation rounds. Byte-for-byte the
 /// same totals as the barrier engine's per-block calls, in a handful of
 /// atomic updates.
-fn meter_round(p: &EdgeBlockParams<'_>, schedule: &RoundSchedule) {
+fn meter_round(p: &EdgeBlockParams<'_>, slots: &SlotMap, schedule: &RoundSchedule) {
     let d = p.problem.num_params() as u64;
-    let n_slots = (p.edges.len() * p.problem.clients_per_edge()) as u64;
+    let n_slots = slots.n_slots() as u64;
     p.meter
         .record_broadcast(Link::ClientEdge, d, p.tau2 as u64 * n_slots);
     let unit = p.quantizer.wire_floats(d as usize);
@@ -246,27 +362,26 @@ fn meter_round(p: &EdgeBlockParams<'_>, schedule: &RoundSchedule) {
 /// `LocalSteps` for every survivor in slot order, then per edge (with at
 /// least one survivor) the checkpoint capture, the aggregation event, and
 /// the telemetry record.
-fn replay_events(p: &EdgeBlockParams<'_>, schedule: &RoundSchedule) {
-    let n0 = p.problem.clients_per_edge();
+fn replay_events(p: &EdgeBlockParams<'_>, slots: &SlotMap, schedule: &RoundSchedule) {
     let ne = p.edges.len();
-    let topo = p.problem.topology();
+    let n_slots = slots.n_slots();
     for t2 in 0..p.tau2 {
         let is_cp_block = p.checkpoint.map(|(_, c2)| c2 == t2).unwrap_or(false);
         for ei in 0..ne {
-            for c in 0..n0 {
-                if schedule.alive[t2 * ne * n0 + ei * n0 + c] {
+            for slot in slots.range(ei) {
+                if schedule.alive[t2 * n_slots + slot] {
                     p.trace.record(|| Event::LocalSteps {
                         round: p.round,
                         t2,
                         edge: p.edges[ei],
-                        client: topo.client_id(p.edges[ei], c),
+                        client: slots.gids[slot],
                         steps: p.tau1,
                     });
                 }
             }
         }
         for ei in 0..ne {
-            let survivors = schedule.survivors_of_edge(n0, ne, t2, ei);
+            let survivors = schedule.survivors_of_edge(slots, t2, ei);
             if survivors == 0 {
                 continue;
             }
@@ -315,26 +430,26 @@ type ChainOutput = (Vec<f32>, Option<Vec<f32>>, Vec<(f64, u32)>, f64);
 /// The chained engine: fault schedule and metering up front, then one
 /// task per edge running all `τ2` blocks back to back, then event replay.
 fn run_edge_blocks_chained(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
-    let n0 = p.problem.clients_per_edge();
     let ne = p.edges.len();
-    let topo = p.problem.topology();
-    let schedule = compute_schedule(p);
-    meter_round(p, &schedule);
+    let slots = SlotMap::build(p);
+    let schedule = compute_schedule(p, &slots);
+    meter_round(p, &slots, &schedule);
 
     let outputs: Vec<ChainOutput> = {
         let schedule = &schedule;
+        let slots = &slots;
         p.par.map_chains(ne, |ei| {
             hm_nn::with_scratch(|scratch| {
                 let chain_timer = p.profile.start();
-                let edge = p.edges[ei];
+                let n0_e = slots.len_of(ei);
                 let mut model = p.w_start.to_vec();
                 let mut checkpoint: Option<Vec<f32>> = None;
                 // Per-client upload buffers, reused across blocks. An
                 // empty model slot means "dropped this block" (models are
                 // never zero-length), which is what the aggregation's
                 // presence test reads.
-                let mut client_w: Vec<Vec<f32>> = vec![Vec::new(); n0];
-                let mut client_cp: Vec<Option<Vec<f32>>> = vec![None; n0];
+                let mut client_w: Vec<Vec<f32>> = vec![Vec::new(); n0_e];
+                let mut client_cp: Vec<Option<Vec<f32>>> = vec![None; n0_e];
                 // Robust-aggregation workspace, reused across blocks. The
                 // base snapshot is only cloned for rules that need the
                 // block-start model (NormClip), so the Mean path stays
@@ -343,21 +458,21 @@ fn run_edge_blocks_chained(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
                 let mut agg_scratch: Vec<f32> = Vec::new();
                 let mut base_buf: Vec<f32> = Vec::new();
                 let mut norms: Vec<(f64, u32)> = if p.track_norms {
-                    vec![(0.0, 0); n0]
+                    vec![(0.0, 0); n0_e]
                 } else {
                     Vec::new()
                 };
                 for t2 in 0..p.tau2 {
                     let is_cp_block = p.checkpoint.map(|(_, c2)| c2 == t2).unwrap_or(false);
                     let cp_after = p.checkpoint.and_then(|(c1, c2)| (c2 == t2).then_some(c1));
-                    let base = t2 * ne * n0 + ei * n0;
-                    for c in 0..n0 {
+                    let base = t2 * slots.n_slots() + slots.offsets[ei];
+                    for c in 0..n0_e {
                         client_cp[c] = None;
                         if !schedule.alive[base + c] {
                             client_w[c].clear();
                             continue;
                         }
-                        let client = topo.client_id(edge, c);
+                        let client = slots.gids[slots.offsets[ei] + c];
                         let mut rng = StreamRng::for_key(StreamKey::new(
                             p.seed,
                             Purpose::Batch,
@@ -366,7 +481,7 @@ fn run_edge_blocks_chained(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
                         ));
                         let mut cp_out = local_sgd_into(
                             &*p.problem.model,
-                            p.problem.client_data(edge, c),
+                            data_of(p, client),
                             &model,
                             &mut client_w[c],
                             p.tau1,
@@ -456,7 +571,7 @@ fn run_edge_blocks_chained(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
         })
     };
 
-    replay_events(p, &schedule);
+    replay_events(p, &slots, &schedule);
     for (ei, (_, _, _, chain_s)) in outputs.iter().enumerate() {
         p.profile.record_secs(
             p.telemetry,
@@ -504,9 +619,9 @@ fn finish_edge(
 /// against. One global fork/join per block, per-call training scratch
 /// ([`local_sgd_fresh`]), per-block result and survivor vectors.
 fn run_edge_blocks_barrier(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
-    let n0 = p.problem.clients_per_edge();
     let d = p.problem.num_params() as u64;
-    let topo = p.problem.topology();
+    let slots = SlotMap::build(p);
+    let n_slots = slots.n_slots();
     let mut edge_models: Vec<Vec<f32>> = p.edges.iter().map(|_| p.w_start.to_vec()).collect();
     let mut edge_checkpoints: Vec<Option<Vec<f32>>> = vec![None; p.edges.len()];
     // Per-edge accumulated work time across blocks (client tasks + the
@@ -514,12 +629,12 @@ fn run_edge_blocks_barrier(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
     // one-span-per-edge stream as the chained engine's whole-chain timer.
     let mut chain_s = vec![0.0_f64; p.edges.len()];
     // Robust-aggregation workspace and quarantine observables, mirroring
-    // the chained engine (flat `[ei * n0 + c]` norm slots here).
+    // the chained engine (flat slot-map norm slots here).
     let needs_base = p.aggregator.needs_base();
     let mut agg_scratch: Vec<f32> = Vec::new();
     let mut base_buf: Vec<f32> = Vec::new();
     let mut norms: Vec<(f64, u32)> = if p.track_norms {
-        vec![(0.0, 0); p.edges.len() * n0]
+        vec![(0.0, 0); n_slots]
     } else {
         Vec::new()
     };
@@ -529,11 +644,10 @@ fn run_edge_blocks_barrier(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
         let cp_after = p.checkpoint.and_then(|(c1, c2)| (c2 == t2).then_some(c1));
         let block_tag = (p.round * p.tau2 + t2) as u64;
         let mut max_slow = 1.0_f64;
-        let mut corrupt = vec![false; p.edges.len() * n0];
-        let alive: Vec<bool> = (0..p.edges.len() * n0)
+        let mut corrupt = vec![false; n_slots];
+        let alive: Vec<bool> = (0..n_slots)
             .map(|slot| {
-                let edge = p.edges[slot / n0];
-                let client = topo.client_id(edge, slot % n0);
+                let client = slots.gids[slot];
                 let a = if quarantine_excludes(p.quarantined, client, p.round) {
                     p.fault.add_excluded(1);
                     false
@@ -559,21 +673,22 @@ fn run_edge_blocks_barrier(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
         }
         // Edge broadcasts its block-start model to its clients.
         p.meter
-            .record_broadcast(Link::ClientEdge, d, (p.edges.len() * n0) as u64);
+            .record_broadcast(Link::ClientEdge, d, n_slots as u64);
 
         // All (edge, client) pairs run τ1 local steps concurrently, with a
-        // full join before the edge aggregations.
+        // full join before the edge aggregations. Tasks carry the flat
+        // slot index; the owning edge is recovered from the slot map.
         let tasks: Vec<(usize, usize)> = (0..p.edges.len())
-            .flat_map(|ei| (0..n0).map(move |c| (ei, c)))
-            .filter(|&(ei, c)| alive[ei * n0 + c])
+            .flat_map(|ei| slots.range(ei).map(move |slot| (ei, slot)))
+            .filter(|&(_, slot)| alive[slot])
             .collect();
         let results_alive: Vec<(Vec<f32>, Option<Vec<f32>>, f64)> = {
             let edge_models = &edge_models;
             let corrupt = &corrupt;
-            p.par.map_ref(&tasks, |&(ei, c)| {
+            let slots = &slots;
+            p.par.map_ref(&tasks, |&(ei, slot)| {
                 let task_timer = p.profile.start();
-                let edge = p.edges[ei];
-                let client = topo.client_id(edge, c);
+                let client = slots.gids[slot];
                 let mut rng = StreamRng::for_key(StreamKey::new(
                     p.seed,
                     Purpose::Batch,
@@ -582,7 +697,7 @@ fn run_edge_blocks_barrier(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
                 ));
                 let (mut w_out, mut cp_out) = local_sgd_fresh(
                     &*p.problem.model,
-                    p.problem.client_data(edge, c),
+                    data_of(p, client),
                     &edge_models[ei],
                     p.tau1,
                     p.eta_w,
@@ -591,7 +706,7 @@ fn run_edge_blocks_barrier(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
                     &mut rng,
                     cp_after,
                 );
-                if corrupt[ei * n0 + c] {
+                if corrupt[slot] {
                     let base = &edge_models[ei];
                     p.fault
                         .corrupt_update(block_tag, p.level, client, base, &mut w_out);
@@ -615,24 +730,23 @@ fn run_edge_blocks_barrier(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
                 (w_out, cp_out, task_timer.elapsed_s())
             })
         };
-        // Scatter results back to (edge, client) slots; dropped slots None.
-        let mut results: Vec<Option<ClientBlockResult>> =
-            (0..p.edges.len() * n0).map(|_| None).collect();
-        for (&(ei, c), (w_out, cp_out, secs)) in tasks.iter().zip(results_alive) {
+        // Scatter results back to their slots; dropped slots None.
+        let mut results: Vec<Option<ClientBlockResult>> = (0..n_slots).map(|_| None).collect();
+        for (&(ei, slot), (w_out, cp_out, secs)) in tasks.iter().zip(results_alive) {
             p.trace.record(|| Event::LocalSteps {
                 round: p.round,
                 t2,
                 edge: p.edges[ei],
-                client: topo.client_id(p.edges[ei], c),
+                client: slots.gids[slot],
                 steps: p.tau1,
             });
             chain_s[ei] += secs;
             if p.track_norms {
-                let entry = &mut norms[ei * n0 + c];
+                let entry = &mut norms[slot];
                 entry.0 += vecops::dist2_sq(&w_out, &edge_models[ei]).sqrt();
                 entry.1 += 1;
             }
-            results[ei * n0 + c] = Some((w_out, cp_out));
+            results[slot] = Some((w_out, cp_out));
         }
 
         // Surviving clients upload their (possibly quantized) models, plus
@@ -653,15 +767,15 @@ fn run_edge_blocks_barrier(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
         // (asserted in `hm_tensor::vecops` tests).
         for (ei, model) in edge_models.iter_mut().enumerate() {
             let agg_timer = p.profile.start();
-            let slots = &results[ei * n0..(ei + 1) * n0];
+            let edge_results = &results[slots.range(ei)];
             // An edge with no surviving clients keeps its block-start
             // model (and captures no checkpoint from this block).
-            if slots.iter().any(|s| s.is_some()) {
+            if edge_results.iter().any(|s| s.is_some()) {
                 if needs_base {
                     base_buf.clone_from(model);
                 }
                 let survivors = p.aggregator.aggregate_present_into(
-                    slots,
+                    edge_results,
                     |s| s.as_ref().map(|(w, _)| w.as_slice()),
                     needs_base.then_some(base_buf.as_slice()),
                     &mut agg_scratch,
@@ -670,7 +784,7 @@ fn run_edge_blocks_barrier(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
                 if is_cp_block {
                     let mut cp = vec![0.0_f32; model.len()];
                     let got = p.aggregator.aggregate_present_into(
-                        slots,
+                        edge_results,
                         |s| {
                             s.as_ref().map(|(_, cp)| {
                                 cp.as_deref()
@@ -722,7 +836,7 @@ fn run_edge_blocks_barrier(p: &EdgeBlockParams<'_>) -> Vec<EdgeBlockOutput> {
         .zip(edge_checkpoints)
         .map(|(((ei, &edge), w_final), checkpoint)| {
             let client_norms = if p.track_norms {
-                norms[ei * n0..(ei + 1) * n0].to_vec()
+                norms[slots.range(ei)].to_vec()
             } else {
                 Vec::new()
             };
@@ -830,9 +944,27 @@ impl QuarantineCtl {
         self.blocks.fill(0);
     }
 
+    /// Grow the per-client tables to cover `n` global ids (no-op when
+    /// disabled or already large enough). Churn-enabled runs call this
+    /// after joins mint fresh ids, so the horizon table covers every
+    /// client that can ever report.
+    pub(crate) fn ensure_clients(&mut self, n: usize) {
+        if self.active() && n > self.until.len() {
+            self.until.resize(n, 0);
+            self.sums.resize(n, 0.0);
+            self.blocks.resize(n, 0);
+        }
+    }
+
     /// Fold one `run_edge_blocks` output batch into this round's
-    /// observations.
-    pub(crate) fn observe(&mut self, problem: &FederatedProblem, outputs: &[EdgeBlockOutput]) {
+    /// observations. With a roster (churn active), per-edge norm slots map
+    /// to the edge's current members; otherwise to the frozen topology.
+    pub(crate) fn observe(
+        &mut self,
+        problem: &FederatedProblem,
+        roster: Option<&ClientRoster>,
+        outputs: &[EdgeBlockOutput],
+    ) {
         if !self.active() {
             return;
         }
@@ -840,7 +972,11 @@ impl QuarantineCtl {
         for o in outputs {
             for (c, &(norm, blocks)) in o.client_norms.iter().enumerate() {
                 if blocks > 0 {
-                    let id = topo.client_id(o.edge, c);
+                    let id = match roster {
+                        Some(r) => r.members_of(o.edge)[c],
+                        None => topo.client_id(o.edge, c),
+                    };
+                    self.ensure_clients(id + 1);
                     self.sums[id] += norm;
                     self.blocks[id] += blocks;
                 }
@@ -905,14 +1041,18 @@ impl QuarantineCtl {
         &self.until
     }
 
-    /// Restore a checkpointed horizon table (no-op when disabled).
+    /// Restore a checkpointed horizon table (no-op when disabled). The
+    /// table may be larger than the fresh one when membership churn
+    /// minted joiner ids before the snapshot was written; it can never
+    /// legitimately be smaller.
     pub(crate) fn restore(&mut self, until: Vec<u64>) {
         if self.active() {
-            assert_eq!(
-                until.len(),
-                self.until.len(),
+            assert!(
+                until.len() >= self.until.len(),
                 "quarantine state size mismatch on resume"
             );
+            self.sums.resize(until.len(), 0.0);
+            self.blocks.resize(until.len(), 0);
             self.until = until;
         }
     }
@@ -984,6 +1124,7 @@ mod tests {
             aggregator: Aggregator::Mean,
             quarantined: &[],
             track_norms: false,
+            roster: None,
         });
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].edge, 0);
@@ -1044,6 +1185,7 @@ mod tests {
             aggregator: Aggregator::Mean,
             quarantined: &[],
             track_norms: false,
+            roster: None,
         });
         assert_eq!(out[0].checkpoint.as_deref(), Some(w0.as_slice()));
     }
@@ -1095,6 +1237,7 @@ mod tests {
             aggregator,
             quarantined: &[],
             track_norms: true,
+            roster: None,
         });
         (out, meter.snapshot(), trace.events())
     }
@@ -1230,6 +1373,7 @@ mod tests {
                 aggregator: Aggregator::Mean,
                 quarantined: &until,
                 track_norms: true,
+                roster: None,
             });
             // The benched client never ran (no LocalSteps events) and was
             // counted once per block.
@@ -1264,7 +1408,7 @@ mod tests {
             mk(1, vec![(0.9, 1), (50.0, 1)]),
             mk(2, vec![(1.0, 1), (1.05, 1)]),
         ];
-        ctl.observe(&fp, &outputs);
+        ctl.observe(&fp, None, &outputs);
         let fi = FaultInjector::none(1);
         let newly = ctl.end_round(7, &fi, &Telemetry::disabled());
         assert_eq!(newly, 1);

@@ -7,9 +7,10 @@
 //! shards within an edge are equal-sized in every scenario here, so the
 //! client-edge aggregation remains a plain average.
 
+use super::churnctl::ChurnCtl;
 use super::hier_common::{robust_reduce_into, run_edge_blocks, EdgeBlockParams, QuarantineCtl};
 use super::hierminimax::{delivery_fault_kind, record_edge_fault};
-use super::{finish_round, Algorithm, IterateAverage, RunOpts, RunResult};
+use super::{finish_round, Algorithm, IterateAverage, RunError, RunOpts, RunResult};
 use crate::checkpoint::{emit_preamble, CheckpointCtx, ResumedRun};
 use crate::history::History;
 use crate::problem::FederatedProblem;
@@ -81,6 +82,10 @@ impl Algorithm for HierFavg {
     }
 
     fn run(&self, problem: &FederatedProblem, seed: u64) -> RunResult {
+        self.try_run(problem, seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_run(&self, problem: &FederatedProblem, seed: u64) -> Result<RunResult, RunError> {
         let cfg = &self.cfg;
         let n_edges = problem.num_edges();
         assert!(
@@ -113,6 +118,11 @@ impl Algorithm for HierFavg {
             cfg.opts.quarantine_window,
             problem.topology().total_clients(),
         );
+        // Membership churn (inert at the default all-zero plan; the
+        // minimization baseline has no fairness weights to re-project).
+        let mut churn = ChurnCtl::new(problem, &cfg.opts.churn, seed);
+        let churn_active = churn.active();
+        let mut stale_rounds: u64 = 0;
 
         let resumed = ResumedRun::from_opts(&cfg.opts, "HierFAVG", seed, cfg.rounds);
         let start_round = match &resumed {
@@ -130,6 +140,15 @@ impl Algorithm for HierFavg {
                     quarantine.restore(until);
                     fault.restore_adversary(&adv);
                     adv_prev = adv;
+                }
+                if churn_active {
+                    let bytes = rr
+                        .snap
+                        .extra(crate::checkpoint::CHURN_SECTION)
+                        .unwrap_or_else(|| {
+                            panic!("cannot resume a churn run: snapshot has no churn section")
+                        });
+                    stale_rounds = churn.restore(problem, bytes);
                 }
                 rr.start_round
             }
@@ -157,10 +176,25 @@ impl Algorithm for HierFavg {
             let round_timer = tel.timer();
             let phase1_timer = tel.timer();
             let round_span = prof.start();
+            // Membership churn resolves at the round boundary, before any
+            // sampling draw (no fairness weights here — `&mut []`).
+            churn.begin_round(problem, k, &mut [], &mut quarantine, &trace, tel);
             let sampling_span = prof.start();
             let mut e_rng =
                 StreamRng::for_key(StreamKey::new(seed, Purpose::EdgeSampling, k as u64, 0));
-            let sampled = sample_edges_uniform(n_edges, cfg.m_edges, &mut e_rng);
+            // Under churn the uniform draw covers surviving edges only
+            // (a dead edge can never report), with m clamped to their
+            // count.
+            let sampled = if churn_active {
+                let up = churn.up_edges();
+                let m = cfg.m_edges.min(up.len());
+                sample_edges_uniform(up.len(), m, &mut e_rng)
+                    .into_iter()
+                    .map(|i| up[i])
+                    .collect()
+            } else {
+                sample_edges_uniform(n_edges, cfg.m_edges, &mut e_rng)
+            };
             trace.record(|| Event::Phase1EdgesSampled {
                 round: k,
                 edges: sampled.clone(),
@@ -233,8 +267,9 @@ impl Algorithm for HierFavg {
                 aggregator: cfg.opts.aggregator,
                 quarantined: quarantine.exclusions(),
                 track_norms: quarantine.active(),
+                roster: churn.roster(),
             });
-            quarantine.observe(problem, &outputs);
+            quarantine.observe(problem, churn.roster(), &outputs);
 
             let mut outputs = outputs;
             if cfg.quantizer != Quantizer::Exact {
@@ -279,22 +314,49 @@ impl Algorithm for HierFavg {
             meter.record_gather(Link::EdgeCloud, wire_up, outputs.len() as u64);
             meter.record_round(Link::EdgeCloud);
 
+            // Stale-round accounting (see HierMinimax): `max_stale_rounds`
+            // caps the tolerated all-failed streak.
+            if reported.is_empty() {
+                stale_rounds += 1;
+                if cfg.opts.max_stale_rounds > 0 && stale_rounds > cfg.opts.max_stale_rounds as u64
+                {
+                    return Err(RunError::StaleRoundsExceeded {
+                        round: k,
+                        consecutive: stale_rounds as usize,
+                        limit: cfg.opts.max_stale_rounds,
+                    });
+                }
+            } else {
+                stale_rounds = 0;
+            }
+
             // Cloud aggregation weighted by edge data volume (q ∝ data),
             // renormalized over the reports that arrived; a fully-failed
-            // round keeps w^(k) bit-identically.
+            // round keeps w^(k) bit-identically. Under churn, an edge's
+            // volume is its *current* members' shards (arrivals counted,
+            // leavers not), so re-homed data keeps its aggregation pull.
             let agg_span = prof.start();
-            if !reported.is_empty() {
-                let sizes: Vec<f64> = reported
-                    .iter()
-                    .map(|&i| {
-                        problem.scenario.edges[outputs[i].edge]
+            let sizes: Vec<f64> = reported
+                .iter()
+                .map(|&i| {
+                    let e = outputs[i].edge;
+                    if churn_active {
+                        churn
+                            .members_of(e)
+                            .iter()
+                            .map(|&gid| churn.data(problem, gid).len())
+                            .sum::<usize>() as f64
+                    } else {
+                        problem.scenario.edges[e]
                             .client_train
                             .iter()
                             .map(|d| d.len())
                             .sum::<usize>() as f64
-                    })
-                    .collect();
-                let total: f64 = sizes.iter().sum();
+                    }
+                })
+                .collect();
+            let total: f64 = sizes.iter().sum();
+            if !reported.is_empty() && total > 0.0 {
                 let weights: Vec<f64> = sizes.iter().map(|s| s / total).collect();
                 let finals: Vec<&[f32]> = reported
                     .iter()
@@ -396,19 +458,27 @@ impl Algorithm for HierFavg {
                 &history,
                 comm_now,
                 fstats,
-                if quarantine.active() || fault.has_adversary() {
-                    vec![(
-                        crate::checkpoint::QUARANTINE_SECTION.to_string(),
-                        // Read the counters fresh: `end_round` has added
-                        // this round's quarantine sentences since `adv_now`
-                        // was captured for the telemetry delta.
-                        crate::checkpoint::encode_quarantine(
-                            quarantine.state(),
-                            &fault.adversary_stats(),
-                        ),
-                    )]
-                } else {
-                    vec![]
+                {
+                    let mut extra = Vec::new();
+                    if quarantine.active() || fault.has_adversary() {
+                        extra.push((
+                            crate::checkpoint::QUARANTINE_SECTION.to_string(),
+                            // Read the counters fresh: `end_round` has added
+                            // this round's quarantine sentences since `adv_now`
+                            // was captured for the telemetry delta.
+                            crate::checkpoint::encode_quarantine(
+                                quarantine.state(),
+                                &fault.adversary_stats(),
+                            ),
+                        ));
+                    }
+                    if churn_active {
+                        extra.push((
+                            crate::checkpoint::CHURN_SECTION.to_string(),
+                            churn.checkpoint_bytes(stale_rounds),
+                        ));
+                    }
+                    extra
                 },
             );
         }
@@ -427,7 +497,7 @@ impl Algorithm for HierFavg {
         });
         tel.flush();
 
-        RunResult {
+        Ok(RunResult {
             final_w: w,
             avg_w: avg_w.mean(),
             final_p: uniform_p.clone(),
@@ -437,7 +507,8 @@ impl Algorithm for HierFavg {
             trace,
             faults: faults_final,
             quarantine: fault.adversary_stats(),
-        }
+            churn: churn.stats(),
+        })
     }
 }
 

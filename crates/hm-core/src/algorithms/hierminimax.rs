@@ -17,10 +17,11 @@
 //! unbiased for `∇_p F(w^{(k,c2,c1)}, ·)` — and updates
 //! `p^{(k+1)} = Π_P(p^(k) + η_p τ1 τ2 v)` (eq. 7).
 
+use super::churnctl::ChurnCtl;
 use super::hier_common::{
     multiplicities, robust_reduce_into, run_edge_blocks, EdgeBlockParams, QuarantineCtl,
 };
-use super::{finish_round, Algorithm, IterateAverage, RunOpts, RunResult};
+use super::{finish_round, Algorithm, IterateAverage, RunError, RunOpts, RunResult};
 use crate::checkpoint::{emit_preamble, CheckpointCtx, ResumedRun};
 use crate::history::History;
 use crate::localsgd::estimate_loss;
@@ -175,6 +176,10 @@ impl Algorithm for HierMinimax {
     }
 
     fn run(&self, problem: &FederatedProblem, seed: u64) -> RunResult {
+        self.try_run(problem, seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_run(&self, problem: &FederatedProblem, seed: u64) -> Result<RunResult, RunError> {
         let cfg = &self.cfg;
         let n_edges = problem.num_edges();
         let n0 = problem.clients_per_edge();
@@ -220,6 +225,14 @@ impl Algorithm for HierMinimax {
             cfg.opts.quarantine_window,
             problem.topology().total_clients(),
         );
+        // Membership churn (inert at the default all-zero plan, in which
+        // case every churn branch below is skipped and the loop is
+        // bit-identical to the pre-churn build).
+        let mut churn = ChurnCtl::new(problem, &cfg.opts.churn, seed);
+        let churn_active = churn.active();
+        // Consecutive all-failed (stale) rounds; `max_stale_rounds > 0`
+        // turns the streak into a typed abort.
+        let mut stale_rounds: u64 = 0;
 
         // Resuming restores every piece of round-boundary state; all
         // randomness is keyed by (seed, round), so re-entering the loop at
@@ -241,6 +254,15 @@ impl Algorithm for HierMinimax {
                     quarantine.restore(until);
                     fault.restore_adversary(&adv);
                     adv_prev = adv;
+                }
+                if churn_active {
+                    let bytes = rr
+                        .snap
+                        .extra(crate::checkpoint::CHURN_SECTION)
+                        .unwrap_or_else(|| {
+                            panic!("cannot resume a churn run: snapshot has no churn section")
+                        });
+                    stale_rounds = churn.restore(problem, bytes);
                 }
                 rr.start_round
             }
@@ -268,6 +290,12 @@ impl Algorithm for HierMinimax {
             let round_timer = tel.timer();
             let phase1_timer = tel.timer();
             let round_span = prof.start();
+            // Membership churn is resolved at the round boundary, before
+            // any Phase-1 draw: leaves, edge failures (with orphan
+            // re-homing), joins — and, when an edge died, the fairness
+            // weights re-projected onto the surviving simplex so the
+            // Phase-1 sampler below never picks a dead edge.
+            churn.begin_round(problem, k, &mut p, &mut quarantine, &trace, tel);
             let sampling_span = prof.start();
             // ---- Phase 1: model parameter update --------------------------
             let mut e_rng =
@@ -371,6 +399,7 @@ impl Algorithm for HierMinimax {
                     aggregator: cfg.opts.aggregator,
                     quarantined: quarantine.exclusions(),
                     track_norms: quarantine.active(),
+                    roster: churn.roster(),
                 }),
                 Some(rates) => {
                     // Heterogeneous rates: each edge runs its own block
@@ -413,6 +442,7 @@ impl Algorithm for HierMinimax {
                             aggregator: cfg.opts.aggregator,
                             quarantined: quarantine.exclusions(),
                             track_norms: quarantine.active(),
+                            roster: churn.roster(),
                         });
                         outs.push(o.pop().expect("one edge per call"));
                     }
@@ -432,7 +462,7 @@ impl Algorithm for HierMinimax {
                 outputs.iter().zip(&participants).all(|(o, &e)| o.edge == e),
                 "edge outputs out of order"
             );
-            quarantine.observe(problem, &outputs);
+            quarantine.observe(problem, churn.roster(), &outputs);
 
             // Edges → cloud: final model + checkpoint model (quantized
             // when the codec is active), one round.
@@ -486,6 +516,24 @@ impl Algorithm for HierMinimax {
             // duplicates in the with-replacement sample weight their edge,
             // and the weights renormalize over the reports that actually
             // arrived (fault-free, the denominator is exactly m_E).
+            // Stale-round accounting: a round where no sampled edge
+            // reported leaves the model untouched. `max_stale_rounds`
+            // caps the tolerated consecutive streak; one more aborts with
+            // a typed error instead of silently treading water forever.
+            if reported.is_empty() {
+                stale_rounds += 1;
+                if cfg.opts.max_stale_rounds > 0 && stale_rounds > cfg.opts.max_stale_rounds as u64
+                {
+                    return Err(RunError::StaleRoundsExceeded {
+                        round: k,
+                        consecutive: stale_rounds as usize,
+                        limit: cfg.opts.max_stale_rounds,
+                    });
+                }
+            } else {
+                stale_rounds = 0;
+            }
+
             let agg_span = prof.start();
             let mut w_checkpoint = vec![0.0_f32; d];
             if reported.is_empty() {
@@ -561,7 +609,22 @@ impl Algorithm for HierMinimax {
                 k as u64,
                 u64::MAX,
             ));
-            let u_set = sample_edges_uniform(n_edges, cfg.m_edges, &mut u_rng);
+            // Under churn, U^(k) is uniform over the *surviving* edges
+            // (m clamped to their count) — a permanently failed edge can
+            // never report a loss, so keeping it in the pool would bias
+            // the estimate toward zero on every survivor.
+            let (p2_pool, p2_m, u_set) = if churn_active {
+                let up = churn.up_edges();
+                let m = cfg.m_edges.min(up.len());
+                let idx = sample_edges_uniform(up.len(), m, &mut u_rng);
+                (up.len(), m, idx.into_iter().map(|i| up[i]).collect())
+            } else {
+                (
+                    n_edges,
+                    cfg.m_edges,
+                    sample_edges_uniform(n_edges, cfg.m_edges, &mut u_rng),
+                )
+            };
             trace.record(|| Event::Phase2EdgesSampled {
                 round: k,
                 edges: u_set.clone(),
@@ -597,37 +660,70 @@ impl Algorithm for HierMinimax {
                 meter.record_broadcast(Link::EdgeCloud, d as u64, retries);
                 prof.record(tel, Phase::FaultRetry, Some(k), None, retry_span);
             }
-            meter.record_broadcast(Link::ClientEdge, d as u64, (est.len() * n0) as u64);
+            // Under churn the estimating population is each edge's
+            // current member list (re-homed arrivals included, leavers
+            // gone), so both the meter and the estimate see the same set.
+            let est_clients: u64 = if churn_active {
+                est.iter().map(|&e| churn.members_of(e).len() as u64).sum()
+            } else {
+                (est.len() * n0) as u64
+            };
+            meter.record_broadcast(Link::ClientEdge, d as u64, est_clients);
 
             let topo = problem.topology();
             let model = &problem.model;
+            let churn_ref = &churn;
             let edge_losses: Vec<f64> = cfg.opts.parallelism.map_ref(&est, |&e| {
                 // f_e = (1/N_0) Σ_n f_n(checkpoint; ξ_n).
                 let mut total = 0.0_f64;
-                for c in 0..n0 {
-                    let client = topo.client_id(e, c);
-                    let mut rng = StreamRng::for_key(StreamKey::new(
-                        seed,
-                        Purpose::LossEstSampling,
-                        k as u64,
-                        client as u64,
-                    ));
-                    total += estimate_loss(
-                        &**model,
-                        problem.client_data(e, c),
-                        w_phase2,
-                        cfg.loss_batch,
-                        &mut rng,
-                    );
+                if churn_active {
+                    let members = churn_ref.members_of(e);
+                    for &client in members {
+                        let mut rng = StreamRng::for_key(StreamKey::new(
+                            seed,
+                            Purpose::LossEstSampling,
+                            k as u64,
+                            client as u64,
+                        ));
+                        total += estimate_loss(
+                            &**model,
+                            churn_ref.data(problem, client),
+                            w_phase2,
+                            cfg.loss_batch,
+                            &mut rng,
+                        );
+                    }
+                    if members.is_empty() {
+                        0.0
+                    } else {
+                        total / members.len() as f64
+                    }
+                } else {
+                    for c in 0..n0 {
+                        let client = topo.client_id(e, c);
+                        let mut rng = StreamRng::for_key(StreamKey::new(
+                            seed,
+                            Purpose::LossEstSampling,
+                            k as u64,
+                            client as u64,
+                        ));
+                        total += estimate_loss(
+                            &**model,
+                            problem.client_data(e, c),
+                            w_phase2,
+                            cfg.loss_batch,
+                            &mut rng,
+                        );
+                    }
+                    total / n0 as f64
                 }
-                total / n0 as f64
             });
 
             // Clients → edges: scalar losses; edges → cloud: scalar f_e.
             // Scalars ride the reliable control channel (loss injection
             // models the bulky model transfers), so every estimating edge
             // reports.
-            meter.record_gather(Link::ClientEdge, 1, (est.len() * n0) as u64);
+            meter.record_gather(Link::ClientEdge, 1, est_clients);
             meter.record_round(Link::ClientEdge);
             // Phase 2 piggybacks on the round's cloud exchange window: its
             // floats/messages are metered above, but it does not count as a
@@ -638,7 +734,7 @@ impl Algorithm for HierMinimax {
 
             // Unbiased gradient estimate v and projected ascent (eq. 7).
             let mut v = vec![0.0_f32; n_edges];
-            let scale = n_edges as f64 / cfg.m_edges as f64;
+            let scale = p2_pool as f64 / p2_m as f64;
             for (&e, &fe) in est.iter().zip(&edge_losses) {
                 v[e] = (scale * fe) as f32;
             }
@@ -646,6 +742,10 @@ impl Algorithm for HierMinimax {
             // heterogeneous rates the round spans τ1 · max τ2_e slots.
             let lr = cfg.eta_p * (cfg.tau1 * max_tau2) as f32;
             projected_ascent_step(&mut p, &v, lr, &problem.p_domain);
+            // The domain projection may hand mass back to a dead edge;
+            // re-project so p^{(k+1)} lives on the surviving simplex
+            // (a no-op while every edge is up).
+            churn.reproject_weights(&mut p);
             prof.record(tel, Phase::DualUpdate, Some(k), None, dual_span);
             trace.record(|| Event::WeightUpdate {
                 round: k,
@@ -733,19 +833,27 @@ impl Algorithm for HierMinimax {
                 &history,
                 comm_now,
                 fstats,
-                if quarantine.active() || fault.has_adversary() {
-                    vec![(
-                        crate::checkpoint::QUARANTINE_SECTION.to_string(),
-                        // Read the counters fresh: `end_round` has added
-                        // this round's quarantine sentences since `adv_now`
-                        // was captured for the telemetry delta.
-                        crate::checkpoint::encode_quarantine(
-                            quarantine.state(),
-                            &fault.adversary_stats(),
-                        ),
-                    )]
-                } else {
-                    vec![]
+                {
+                    let mut extra = Vec::new();
+                    if quarantine.active() || fault.has_adversary() {
+                        extra.push((
+                            crate::checkpoint::QUARANTINE_SECTION.to_string(),
+                            // Read the counters fresh: `end_round` has added
+                            // this round's quarantine sentences since `adv_now`
+                            // was captured for the telemetry delta.
+                            crate::checkpoint::encode_quarantine(
+                                quarantine.state(),
+                                &fault.adversary_stats(),
+                            ),
+                        ));
+                    }
+                    if churn_active {
+                        extra.push((
+                            crate::checkpoint::CHURN_SECTION.to_string(),
+                            churn.checkpoint_bytes(stale_rounds),
+                        ));
+                    }
+                    extra
                 },
             );
         }
@@ -764,7 +872,7 @@ impl Algorithm for HierMinimax {
         });
         tel.flush();
 
-        RunResult {
+        Ok(RunResult {
             final_w: w,
             avg_w: avg_w.mean(),
             final_p: p.clone(),
@@ -774,7 +882,8 @@ impl Algorithm for HierMinimax {
             trace,
             faults: faults_final,
             quarantine: fault.adversary_stats(),
-        }
+            churn: churn.stats(),
+        })
     }
 }
 

@@ -23,6 +23,7 @@
 //! and visible in [`CommStats::total_rounds`] and the float counters, but
 //! do not count toward the headline metric.
 
+mod churnctl;
 mod drfa;
 mod fedavg;
 mod fedprox;
@@ -47,7 +48,10 @@ use crate::history::History;
 use crate::metrics::evaluate;
 use crate::problem::FederatedProblem;
 use hm_simnet::trace::Trace;
-use hm_simnet::{CommStats, ExecEngine, FaultPlan, FaultStats, Parallelism, QuarantineStats};
+use hm_simnet::{
+    ChurnPlan, ChurnStats, CommStats, ExecEngine, FaultPlan, FaultStats, Parallelism,
+    QuarantineStats,
+};
 use hm_telemetry::{Phase, Profiler, Telemetry, TelemetryEvent};
 use hm_tensor::Aggregator;
 
@@ -110,6 +114,23 @@ pub struct RunOpts {
     pub quarantine_z: f64,
     /// Rounds a quarantined client sits out after being flagged.
     pub quarantine_window: usize,
+    /// Deterministic membership churn (see `hm_simnet::churn` and
+    /// DESIGN.md §15): clients leave/join mid-run and edge servers fail
+    /// permanently with their clients re-homed onto survivors. The
+    /// default zero-rate plan makes no RNG draws and takes the frozen
+    /// legacy paths everywhere, so churn-capable runs with churn off are
+    /// bit-identical to pre-churn builds. Only the three-layer
+    /// hierarchical runs (HierMinimax, HierFAVG) support churn; the
+    /// multi-level and flat runners reject or ignore an active plan.
+    pub churn: ChurnPlan,
+    /// Abort cap on consecutive stale rounds (rounds in which every
+    /// sampled edge failed to report, leaving the global model untouched).
+    /// `0` (the default) preserves the legacy behaviour of looping on the
+    /// stale model forever; a positive cap makes
+    /// [`Algorithm::try_run`] return
+    /// [`RunError::StaleRoundsExceeded`] once that many stale rounds
+    /// occur back to back.
+    pub max_stale_rounds: usize,
 }
 
 impl Default for RunOpts {
@@ -126,6 +147,8 @@ impl Default for RunOpts {
             aggregator: Aggregator::Mean,
             quarantine_z: 0.0,
             quarantine_window: 0,
+            churn: ChurnPlan::default(),
+            max_stale_rounds: 0,
         }
     }
 }
@@ -188,7 +211,45 @@ pub struct RunResult {
     /// quarantined clients, and quarantine-excluded upload slots (all
     /// zeros when the adversary and quarantine are off).
     pub quarantine: QuarantineStats,
+    /// Cumulative membership-churn bookkeeping: joins, leaves, permanent
+    /// edge failures, re-homed and stranded clients (all zeros when the
+    /// churn plan is inert or the runner does not support churn).
+    pub churn: ChurnStats,
 }
+
+/// A typed abort from a run loop (see [`Algorithm::try_run`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The run exceeded [`RunOpts::max_stale_rounds`] consecutive rounds
+    /// in which no sampled edge reported, so the global model was stuck
+    /// on its stale value with no progress possible.
+    StaleRoundsExceeded {
+        /// The round (0-based) at which the cap was breached.
+        round: usize,
+        /// Consecutive stale rounds observed, including this one.
+        consecutive: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::StaleRoundsExceeded {
+                round,
+                consecutive,
+                limit,
+            } => write!(
+                f,
+                "aborted at round {round}: {consecutive} consecutive stale rounds \
+                 (no sampled edge reported) exceeded the max_stale_rounds cap of {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
 
 /// A distributed algorithm that solves (or approximates) problem (3).
 pub trait Algorithm {
@@ -196,7 +257,19 @@ pub trait Algorithm {
     fn name(&self) -> &'static str;
 
     /// Run the algorithm on a problem with a master seed.
+    ///
+    /// # Panics
+    /// Panics if the run hits a typed abort condition (see
+    /// [`Algorithm::try_run`] for the non-panicking form).
     fn run(&self, problem: &FederatedProblem, seed: u64) -> RunResult;
+
+    /// Fallible form of [`Algorithm::run`]: runners with abort conditions
+    /// (the hierarchical loops' `max_stale_rounds` cap) return a typed
+    /// [`RunError`] instead of panicking. The default forwards to `run`,
+    /// which never aborts for the other algorithms.
+    fn try_run(&self, problem: &FederatedProblem, seed: u64) -> Result<RunResult, RunError> {
+        Ok(self.run(problem, seed))
+    }
 }
 
 /// Running f64 accumulator for iterate averaging (`ŵ`, `p̂`).

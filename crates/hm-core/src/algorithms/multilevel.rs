@@ -187,6 +187,7 @@ impl MultiLevelMinimax {
                 aggregator: cfg.opts.aggregator,
                 quarantined: &[],
                 track_norms: false,
+                roster: None,
             });
             let agg = &cfg.opts.aggregator;
             let mut agg_scratch: Vec<f32> = Vec::new();
@@ -273,6 +274,10 @@ impl Algorithm for MultiLevelMinimax {
 
     fn run(&self, problem: &FederatedProblem, seed: u64) -> RunResult {
         let cfg = &self.cfg;
+        assert!(
+            cfg.opts.churn.is_none(),
+            "MultiLevelMinimax does not support membership churn; use HierMinimax"
+        );
         let num_groups = self.num_groups(problem);
         assert!(
             cfg.m_groups <= num_groups,
@@ -726,6 +731,7 @@ impl Algorithm for MultiLevelMinimax {
             trace,
             faults: faults_final,
             quarantine: fault.adversary_stats(),
+            churn: hm_simnet::ChurnStats::default(),
         }
     }
 }

@@ -103,6 +103,10 @@ impl OverselectMinimax {
     /// Run, returning both the standard result and the timing account.
     pub fn run_timed(&self, problem: &FederatedProblem, seed: u64) -> OverselectResult {
         let cfg = &self.cfg;
+        assert!(
+            cfg.opts.churn.is_none(),
+            "OverselectMinimax does not support membership churn; use HierMinimax"
+        );
         let n_edges = problem.num_edges();
         let n0 = problem.clients_per_edge();
         assert_eq!(cfg.seconds_per_slot.len(), n_edges, "one speed per edge");
@@ -255,6 +259,7 @@ impl OverselectMinimax {
                 aggregator: cfg.opts.aggregator,
                 quarantined: &[],
                 track_norms: false,
+                roster: None,
             });
             let mut reported: Vec<usize> = Vec::with_capacity(participants.len());
             let mut retries = 0u64;
@@ -488,6 +493,7 @@ impl OverselectMinimax {
                 trace,
                 faults: fault.stats(),
                 quarantine: fault.adversary_stats(),
+                churn: hm_simnet::ChurnStats::default(),
             },
             simulated_seconds,
             discarded,

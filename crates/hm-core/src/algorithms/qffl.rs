@@ -247,6 +247,7 @@ impl Algorithm for QFedAvg {
             trace,
             faults: Default::default(),
             quarantine: Default::default(),
+            churn: Default::default(),
         }
     }
 }

@@ -26,7 +26,7 @@ use hm_checkpoint::format::{ByteReader, ByteWriter};
 use hm_checkpoint::{
     rng_cursors_for, snapshot_path, write_snapshot, Cadence, CheckpointError, Snapshot,
 };
-use hm_simnet::{CommStats, FaultStats, QuarantineStats};
+use hm_simnet::{ChurnStats, CommStats, FaultStats, QuarantineStats};
 use hm_telemetry::{Telemetry, TelemetryEvent};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -75,6 +75,121 @@ pub(crate) fn decode_quarantine(
         ));
     }
     Ok((until, adv))
+}
+
+/// Extras section name holding the membership-churn state: the active
+/// topology (edge up/down flags, per-edge member lists, join cursor), the
+/// joiner provenance needed to re-mint shards, the cumulative churn
+/// counters, and the run loop's consecutive stale-round counter. Written
+/// only by runs with an active churn plan, so churn-off snapshots stay
+/// byte-identical to pre-churn builds.
+pub(crate) const CHURN_SECTION: &str = "churn";
+
+/// Decoded contents of a snapshot's [`CHURN_SECTION`].
+pub(crate) struct ChurnSnapshot {
+    pub base_total: usize,
+    pub edge_up: Vec<bool>,
+    pub members: Vec<Vec<usize>>,
+    pub next_join_id: usize,
+    pub stats: ChurnStats,
+    pub joined_src: Vec<(usize, usize)>,
+    pub stale_rounds: u64,
+}
+
+/// Serialise the membership-churn state for [`CHURN_SECTION`].
+pub(crate) fn encode_churn(
+    base_total: usize,
+    edge_up: &[bool],
+    members: &[Vec<usize>],
+    next_join_id: usize,
+    stats: &ChurnStats,
+    joined_src: &[(usize, usize)],
+    stale_rounds: u64,
+) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(base_total as u64);
+    w.put_u64(edge_up.len() as u64);
+    for &up in edge_up {
+        w.put_u8(u8::from(up));
+    }
+    w.put_u64(members.len() as u64);
+    for edge in members {
+        w.put_u64(edge.len() as u64);
+        for &gid in edge {
+            w.put_u64(gid as u64);
+        }
+    }
+    w.put_u64(next_join_id as u64);
+    w.put_u64(stats.joined);
+    w.put_u64(stats.left);
+    w.put_u64(stats.edge_failures);
+    w.put_u64(stats.rehomed);
+    w.put_u64(stats.stranded);
+    w.put_u64(joined_src.len() as u64);
+    for &(gid, home) in joined_src {
+        w.put_u64(gid as u64);
+        w.put_u64(home as u64);
+    }
+    w.put_u64(stale_rounds);
+    w.into_bytes()
+}
+
+/// Inverse of [`encode_churn`].
+pub(crate) fn decode_churn(bytes: &[u8]) -> Result<ChurnSnapshot, CheckpointError> {
+    let mut r = ByteReader::new(bytes);
+    let base_total = r.get_u64()? as usize;
+    let n_up = r.get_u64()? as usize;
+    let mut edge_up = Vec::with_capacity(n_up.min(1 << 20));
+    for _ in 0..n_up {
+        edge_up.push(r.get_u8()? != 0);
+    }
+    let n_edges = r.get_u64()? as usize;
+    let mut members = Vec::with_capacity(n_edges.min(1 << 20));
+    for _ in 0..n_edges {
+        let len = r.get_u64()? as usize;
+        let mut edge = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            edge.push(r.get_u64()? as usize);
+        }
+        members.push(edge);
+    }
+    let next_join_id = r.get_u64()? as usize;
+    let stats = ChurnStats {
+        joined: r.get_u64()?,
+        left: r.get_u64()?,
+        edge_failures: r.get_u64()?,
+        rehomed: r.get_u64()?,
+        stranded: r.get_u64()?,
+    };
+    let n_joined = r.get_u64()? as usize;
+    let mut joined_src = Vec::with_capacity(n_joined.min(1 << 20));
+    for _ in 0..n_joined {
+        let gid = r.get_u64()? as usize;
+        let home = r.get_u64()? as usize;
+        joined_src.push((gid, home));
+    }
+    let stale_rounds = r.get_u64()?;
+    if r.remaining() != 0 {
+        return Err(CheckpointError::Malformed(
+            "trailing bytes after churn state".into(),
+        ));
+    }
+    if edge_up.len() != members.len() {
+        return Err(CheckpointError::Malformed(format!(
+            "churn state edge count mismatch: {} up-flags vs {} member lists",
+            edge_up.len(),
+            members.len()
+        )));
+    }
+    Ok(ChurnSnapshot {
+        base_total,
+        edge_up,
+        members,
+        next_join_id,
+        stats,
+        joined_src,
+        stale_rounds,
+    })
 }
 
 /// Checkpoint settings carried in [`RunOpts`].

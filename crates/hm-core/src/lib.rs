@@ -32,7 +32,7 @@ pub mod metrics;
 pub mod problem;
 pub mod stationarity;
 
-pub use algorithms::{Algorithm, RunOpts, RunResult};
+pub use algorithms::{Algorithm, RunError, RunOpts, RunResult};
 pub use checkpoint::CheckpointOpts;
 pub use history::History;
 pub use metrics::EvalReport;

@@ -61,6 +61,12 @@ pub enum Purpose {
     AdversaryPayload,
     /// Retry-backoff jitter draws on lossy links (fault injection).
     BackoffJitter,
+    /// Membership-churn coin flips: client leaves, edge failures, join
+    /// arrivals (churn injection).
+    Churn,
+    /// Data-shard generation for clients that join mid-run (churn
+    /// injection; keyed by the joining client's global id).
+    ChurnData,
     /// Anything else (tests, ad-hoc tools).
     Misc,
 }
@@ -84,6 +90,8 @@ impl Purpose {
             Purpose::Adversary => 14,
             Purpose::AdversaryPayload => 15,
             Purpose::BackoffJitter => 16,
+            Purpose::Churn => 17,
+            Purpose::ChurnData => 18,
         }
     }
 }

@@ -28,6 +28,11 @@
 //!   same RNG-stream discipline so faulty runs stay bit-reproducible and
 //!   conformance-checkable.
 
+//! - [`churn`] — deterministic membership churn (clients leave/join, edge
+//!   servers fail permanently with client re-homing), same keyed-stream
+//!   discipline as [`fault`].
+
+pub mod churn;
 pub mod comm;
 pub mod executor;
 pub mod fault;
@@ -37,6 +42,7 @@ pub mod sampling;
 pub mod topology;
 pub mod trace;
 
+pub use churn::{ActiveTopology, ChurnPlan, ChurnStats, RoundChurn, CHURN_PRESETS, NO_CHURN};
 pub use comm::{CommMeter, CommStats, Link};
 pub use executor::{ExecEngine, Parallelism};
 pub use fault::{

@@ -129,4 +129,74 @@ mod tests {
     fn zero_edges_panics() {
         Topology::new(0, 1);
     }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// `edge_of` inverts `client_id` for every in-range pair, and
+            /// the result indexes a real edge.
+            #[test]
+            fn edge_of_client_id_round_trip(
+                ne in 1usize..64,
+                n0 in 1usize..64,
+                e_pick in 0usize..64,
+                i_pick in 0usize..64,
+            ) {
+                let t = Topology::new(ne, n0);
+                let e = e_pick % ne;
+                let i = i_pick % n0;
+                let gid = t.client_id(e, i);
+                prop_assert!(gid < t.total_clients());
+                prop_assert_eq!(t.edge_of(gid), e);
+                // And the inverse direction: gid decomposes back.
+                prop_assert_eq!(gid / n0, e);
+                prop_assert_eq!(gid % n0, i);
+            }
+
+            /// `clients_of` enumerates exactly the ids whose `edge_of`
+            /// maps back, contiguously, and the edges partition `0..N`.
+            #[test]
+            fn clients_of_partitions_the_id_space(
+                ne in 1usize..32,
+                n0 in 1usize..32,
+            ) {
+                let t = Topology::new(ne, n0);
+                let mut all = Vec::new();
+                for e in 0..ne {
+                    let ids: Vec<ClientId> = t.clients_of(e).collect();
+                    prop_assert_eq!(ids.len(), n0);
+                    for &gid in &ids {
+                        prop_assert_eq!(t.edge_of(gid), e);
+                    }
+                    all.extend(ids);
+                }
+                prop_assert_eq!(all, (0..t.total_clients()).collect::<Vec<_>>());
+            }
+
+            /// Out-of-range lookups panic rather than aliasing a
+            /// neighbouring edge or client.
+            #[test]
+            fn out_of_range_lookups_panic(
+                ne in 1usize..16,
+                n0 in 1usize..16,
+                past in 0usize..8,
+            ) {
+                let t = Topology::new(ne, n0);
+                prop_assert!(std::panic::catch_unwind(|| {
+                    t.edge_of(t.total_clients() + past)
+                }).is_err());
+                prop_assert!(std::panic::catch_unwind(|| {
+                    t.client_id(ne + past, 0)
+                }).is_err());
+                prop_assert!(std::panic::catch_unwind(|| {
+                    t.client_id(0, n0 + past)
+                }).is_err());
+                prop_assert!(std::panic::catch_unwind(|| {
+                    t.clients_of(ne + past).count()
+                }).is_err());
+            }
+        }
+    }
 }

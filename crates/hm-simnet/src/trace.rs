@@ -128,6 +128,23 @@ pub enum Event {
         /// Attack-model tag (`AttackModel::as_str`).
         attack: &'static str,
     },
+    /// One round's membership-churn transitions (emitted at round start,
+    /// before Phase-1 sampling, by runs with an active churn plan). The
+    /// conformance automaton re-derives the same transitions from the
+    /// keyed churn streams plus the deterministic re-homing policy and
+    /// rejects any forged or missing move.
+    ChurnRound {
+        /// Training round.
+        round: usize,
+        /// Clients that permanently left.
+        left: Vec<usize>,
+        /// Edges that failed permanently, ascending.
+        failed_edges: Vec<usize>,
+        /// `(client, from_edge, to_edge)` re-homing moves.
+        rehomed: Vec<(usize, usize, usize)>,
+        /// `(client, home_edge)` arrivals.
+        joined: Vec<(usize, usize)>,
+    },
     /// Communication-meter delta accumulated over exactly one training
     /// round, validated against the closed-form accounting in `comm.rs`.
     RoundComm {

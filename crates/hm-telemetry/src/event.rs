@@ -151,6 +151,34 @@ pub enum TelemetryEvent {
         /// First round the client may participate again.
         until: usize,
     },
+    /// Per-round membership-churn accounting delta (emitted once per
+    /// round, at round start, by runs with an active churn plan).
+    /// Emitted *unsequenced*, like [`TelemetryEvent::Adversary`], so
+    /// churn-off streams keep their historical sequence numbers.
+    Churn {
+        /// Round index.
+        round: usize,
+        /// Clients that joined this round.
+        joins: u64,
+        /// Clients that permanently left this round.
+        leaves: u64,
+        /// Edge servers that failed permanently this round.
+        edge_failures: u64,
+        /// Clients re-homed off a failed edge this round.
+        rehomed: u64,
+    },
+    /// A client was re-homed from a failed edge onto a survivor.
+    /// Emitted *unsequenced*, one event per move, in assignment order.
+    Rehome {
+        /// Round index.
+        round: usize,
+        /// Global client id.
+        client: usize,
+        /// The failed edge the client was homed at.
+        from_edge: usize,
+        /// The surviving edge that absorbed the client.
+        to_edge: usize,
+    },
     /// Which client→edge aggregation rule the run used (emitted once,
     /// *unsequenced*, right after the preamble, and only when the rule is
     /// not the default `mean`).
@@ -277,6 +305,8 @@ impl TelemetryEvent {
             TelemetryEvent::ProfileSummary { .. } => "profile_summary",
             TelemetryEvent::Adversary { .. } => "adversary",
             TelemetryEvent::Quarantine { .. } => "quarantine",
+            TelemetryEvent::Churn { .. } => "churn",
+            TelemetryEvent::Rehome { .. } => "rehome",
             TelemetryEvent::AggregatorSummary { .. } => "aggregator_summary",
             TelemetryEvent::RoundEnd { .. } => "round_end",
             TelemetryEvent::RunEnd { .. } => "run_end",
@@ -446,6 +476,30 @@ impl TelemetryEvent {
                     .usize("client", *client)
                     .usize("until", *until);
             }
+            TelemetryEvent::Churn {
+                round,
+                joins,
+                leaves,
+                edge_failures,
+                rehomed,
+            } => {
+                w.usize("round", *round)
+                    .u64("joins", *joins)
+                    .u64("leaves", *leaves)
+                    .u64("edge_failures", *edge_failures)
+                    .u64("rehomed", *rehomed);
+            }
+            TelemetryEvent::Rehome {
+                round,
+                client,
+                from_edge,
+                to_edge,
+            } => {
+                w.usize("round", *round)
+                    .usize("client", *client)
+                    .usize("from_edge", *from_edge)
+                    .usize("to_edge", *to_edge);
+            }
             TelemetryEvent::AggregatorSummary { aggregator, param } => {
                 w.str("aggregator", aggregator).f64("param", *param);
             }
@@ -603,6 +657,19 @@ mod tests {
                 round: 0,
                 client: 7,
                 until: 4,
+            },
+            TelemetryEvent::Churn {
+                round: 0,
+                joins: 2,
+                leaves: 1,
+                edge_failures: 1,
+                rehomed: 3,
+            },
+            TelemetryEvent::Rehome {
+                round: 0,
+                client: 5,
+                from_edge: 1,
+                to_edge: 2,
             },
             TelemetryEvent::AggregatorSummary {
                 aggregator: "trimmed-mean".into(),

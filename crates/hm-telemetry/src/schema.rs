@@ -107,6 +107,19 @@ fn fields_for(kind: &str) -> Option<&'static [(&'static str, Ty)]> {
             ("client", Ty::UInt),
             ("until", Ty::UInt),
         ],
+        "churn" => &[
+            ("round", Ty::UInt),
+            ("joins", Ty::UInt),
+            ("leaves", Ty::UInt),
+            ("edge_failures", Ty::UInt),
+            ("rehomed", Ty::UInt),
+        ],
+        "rehome" => &[
+            ("round", Ty::UInt),
+            ("client", Ty::UInt),
+            ("from_edge", Ty::UInt),
+            ("to_edge", Ty::UInt),
+        ],
         "aggregator_summary" => &[("aggregator", Ty::Str), ("param", Ty::Num)],
         "run_resume" => &[
             ("algorithm", Ty::Str),
@@ -477,7 +490,8 @@ fn validate_stream_impl(text: &str, strict: bool) -> Result<StreamSummary, Schem
                 }
                 rounds_seen += 1;
             }
-            "span" | "profile_summary" | "adversary" | "quarantine" | "aggregator_summary" => {
+            "span" | "profile_summary" | "adversary" | "quarantine" | "aggregator_summary"
+            | "churn" | "rehome" => {
                 if !in_run {
                     return Err(at(line_no, format!("{kind} outside a run")));
                 }
@@ -747,6 +761,36 @@ mod tests {
             assert_eq!(s.events_by_kind["adversary"], 1);
             assert_eq!(s.events_by_kind["quarantine"], 1);
             assert_eq!(s.events_by_kind["aggregator_summary"], 1);
+        }
+    }
+
+    #[test]
+    fn churn_kinds_are_unsequenced() {
+        // Churn/rehome must not perturb checkpoint seq values — the same
+        // continuity argument as spans and adversary events, so churn-off
+        // streams keep their historical sequence numbers.
+        let churn = TelemetryEvent::Churn {
+            round: 0,
+            joins: 1,
+            leaves: 0,
+            edge_failures: 1,
+            rehomed: 2,
+        };
+        let rehome = TelemetryEvent::Rehome {
+            round: 0,
+            client: 4,
+            from_edge: 1,
+            to_edge: 0,
+        };
+        let mut lines: Vec<String> = checkpointed_stream().lines().map(String::from).collect();
+        lines.insert(9, churn.to_json());
+        lines.insert(10, rehome.to_json());
+        let text = lines.join("\n");
+        for validate in [validate_stream, validate_stream_strict] {
+            let s = validate(&text).unwrap();
+            assert_eq!(s.runs, 1);
+            assert_eq!(s.events_by_kind["churn"], 1);
+            assert_eq!(s.events_by_kind["rehome"], 1);
         }
     }
 

@@ -33,6 +33,16 @@
 //!   exactly that count and the plan's attack tag. Honest traces must not
 //!   contain the event at all, so a forged adversary record is rejected
 //!   just like a forged fault.
+//! - **Churn replay** — when the run has an active
+//!   [`hm_simnet::ChurnPlan`], the checker maintains its own
+//!   [`ActiveTopology`] mirror and re-derives every round's membership
+//!   transitions (leaves, joins, edge failures and the deterministic
+//!   re-homing moves) from the keyed `Churn` stream; the round's
+//!   [`Event::ChurnRound`] must match the replay exactly, so a forged
+//!   leave, join or re-homing move is rejected. The mirror's member
+//!   lists drive the participation, fault and comm models below, and
+//!   the tracked `p` is re-projected onto the surviving simplex exactly
+//!   like the run whenever an edge fails.
 //! - **Communication accounting** — every [`Event::RoundComm`] delta is
 //!   compared counter-by-counter against a closed-form model of the
 //!   round's float/message/round costs on all three links, including the
@@ -53,7 +63,10 @@ use hm_core::problem::FederatedProblem;
 use hm_data::rng::{Purpose, StreamKey, StreamRng};
 use hm_simnet::sampling::{sample_checkpoint, sample_edges_uniform, sample_edges_weighted};
 use hm_simnet::trace::Event;
-use hm_simnet::{CommStats, FaultKind, FaultPlan, Link, MsgChannel, StragglerFate};
+use hm_simnet::{
+    ActiveTopology, ChurnPlan, CommStats, FaultKind, FaultPlan, Link, MsgChannel, RoundChurn,
+    StragglerFate,
+};
 use std::fmt;
 
 /// Feasibility slack for traced weight iterates: the projections are exact
@@ -175,6 +188,14 @@ pub enum ConformanceError {
         /// Traced value.
         actual: u64,
     },
+    /// A membership-churn event contradicts the keyed churn-stream replay
+    /// (forged leave/join/failure/re-homing move, or missing event).
+    ChurnMismatch {
+        /// Round being checked.
+        round: usize,
+        /// What went wrong.
+        detail: String,
+    },
     /// Events remained after the final round's accounting.
     TrailingEvents {
         /// Number of leftover events.
@@ -251,6 +272,9 @@ impl fmt::Display for ConformanceError {
                 f,
                 "round {round}: {link} {counter} = {actual}, expected {expected}"
             ),
+            Self::ChurnMismatch { round, detail } => {
+                write!(f, "round {round}: {detail}")
+            }
             Self::TrailingEvents { count } => {
                 write!(f, "{count} trailing events after the final round")
             }
@@ -337,32 +361,92 @@ fn multiplicities(sampled: &[usize]) -> (Vec<usize>, Vec<usize>) {
 }
 
 /// Replay the keyed client-fault streams for one block over the given
-/// edges: `alive[ei * n0 + c]`. A client is cut by a crash (the legacy
-/// dropout stream) or by straggling past the deadline; zero-rate plans
-/// make no draws, replicating the production fast path.
+/// per-edge member lists: `alive[ei][ci]`. A client is cut by a crash
+/// (the legacy dropout stream) or by straggling past the deadline;
+/// zero-rate plans make no draws, replicating the production fast path.
 fn replay_alive(
-    problem: &FederatedProblem,
-    edges: &[usize],
+    members: &[Vec<usize>],
     round: usize,
     tau2: usize,
     t2: usize,
     seed: u64,
     plan: &FaultPlan,
-) -> Vec<bool> {
-    let n0 = problem.clients_per_edge();
-    let topo = problem.topology();
+) -> Vec<Vec<bool>> {
     let block_tag = (round * tau2 + t2) as u64;
-    (0..edges.len() * n0)
-        .map(|slot| {
-            let edge = edges[slot / n0];
-            let client = topo.client_id(edge, slot % n0);
-            !plan.client_crashed(seed, block_tag, 0, client)
-                && !matches!(
-                    plan.straggler(seed, block_tag, 0, client),
-                    StragglerFate::Missed
-                )
+    members
+        .iter()
+        .map(|gids| {
+            gids.iter()
+                .map(|&client| {
+                    !plan.client_crashed(seed, block_tag, 0, client)
+                        && !matches!(
+                            plan.straggler(seed, block_tag, 0, client),
+                            StragglerFate::Missed
+                        )
+                })
+                .collect()
         })
         .collect()
+}
+
+/// Per-edge member lists the run enumerates for the given edges: the
+/// churn mirror's rosters when a plan is active, otherwise the static
+/// `client_id` layout.
+fn edge_members(
+    problem: &FederatedProblem,
+    mirror: &ActiveTopology,
+    churn_on: bool,
+    edges: &[usize],
+) -> Vec<Vec<usize>> {
+    let n0 = problem.clients_per_edge();
+    let topo = problem.topology();
+    edges
+        .iter()
+        .map(|&e| {
+            if churn_on {
+                mirror.members_of(e).to_vec()
+            } else {
+                (0..n0).map(|c| topo.client_id(e, c)).collect()
+            }
+        })
+        .collect()
+}
+
+/// Advance the churn mirror by one round and match the traced
+/// [`Event::ChurnRound`] against the replayed transitions. Any forged or
+/// missing leave, join, edge failure or re-homing move is rejected.
+fn expect_churn_round(
+    cur: &mut Cursor<'_>,
+    k: usize,
+    mirror: &mut ActiveTopology,
+    plan: &ChurnPlan,
+    seed: u64,
+) -> Result<RoundChurn, ConformanceError> {
+    let rc = mirror.apply_round(plan, seed, k);
+    match cur.next(k, "ChurnRound")? {
+        Event::ChurnRound {
+            round,
+            left,
+            failed_edges,
+            rehomed,
+            joined,
+        } if *round == k
+            && *left == rc.left
+            && *failed_edges == rc.failed_edges
+            && *rehomed == rc.rehomed
+            && *joined == rc.joined =>
+        {
+            Ok(rc)
+        }
+        other => Err(ConformanceError::ChurnMismatch {
+            round: k,
+            detail: format!(
+                "expected churn transitions left={:?} failed={:?} rehomed={:?} joined={:?}, \
+                 found {other:?}",
+                rc.left, rc.failed_edges, rc.rehomed, rc.joined
+            ),
+        }),
+    }
 }
 
 /// Consume one [`Event::EdgeFault`] and match it against the replayed
@@ -526,12 +610,14 @@ fn check_link(
 
 /// Validate the `run_edge_blocks` section of a round: `LocalSteps` events
 /// in edge-major survivor order, then per-edge checkpoint captures and
-/// aggregations. Returns per-block survivor counts.
+/// aggregations. `members` holds the client ids each edge enumerates
+/// (roster lists under churn, the static layout otherwise). Returns
+/// per-block survivor counts.
 #[allow(clippy::too_many_arguments)]
 fn check_edge_blocks(
     cur: &mut Cursor<'_>,
-    problem: &FederatedProblem,
     edges: &[usize],
+    members: &[Vec<usize>],
     k: usize,
     tau1: usize,
     tau2: usize,
@@ -540,20 +626,17 @@ fn check_edge_blocks(
     plan: &FaultPlan,
     report: &mut ConformanceReport,
 ) -> Result<(Vec<u64>, u64), ConformanceError> {
-    let n0 = problem.clients_per_edge();
-    let topo = problem.topology();
     let mut survivors_per_block = Vec::with_capacity(tau2);
     let mut corrupted = 0u64;
     for t2 in 0..tau2 {
         let block_tag = (k * tau2 + t2) as u64;
-        let alive = replay_alive(problem, edges, k, tau2, t2, seed, plan);
-        survivors_per_block.push(alive.iter().filter(|&&a| a).count() as u64);
+        let alive = replay_alive(members, k, tau2, t2, seed, plan);
+        survivors_per_block.push(alive.iter().flatten().filter(|&&a| a).count() as u64);
         for (ei, &edge) in edges.iter().enumerate() {
-            for c in 0..n0 {
-                if !alive[ei * n0 + c] {
+            for (ci, &client) in members[ei].iter().enumerate() {
+                if !alive[ei][ci] {
                     continue;
                 }
-                let client = topo.client_id(edge, c);
                 // Surviving uploads draw their Byzantine bit from the
                 // dedicated adversary stream, exactly as the run does.
                 if plan.has_adversary() && plan.client_corrupt(seed, block_tag, 0, client) {
@@ -590,7 +673,7 @@ fn check_edge_blocks(
         // Per-edge aggregation over survivors; a fully-dropped edge emits
         // nothing and keeps its block-start model.
         for (ei, &edge) in edges.iter().enumerate() {
-            let any_alive = (0..n0).any(|c| alive[ei * n0 + c]);
+            let any_alive = alive[ei].iter().any(|&a| a);
             if !any_alive {
                 continue;
             }
@@ -703,11 +786,24 @@ pub fn check_hierminimax_trace(
     // The effective fault plan: the run folds the legacy `dropout` knob
     // into `client_crash` exactly like this (plan wins when nonzero).
     let plan = cfg.opts.fault.clone().with_dropout(cfg.dropout);
+    let churn_plan = &cfg.opts.churn;
+    let churn_on = !churn_plan.is_none();
+    let mut mirror = ActiveTopology::new(&problem.topology());
     let mut cur = Cursor::new(events);
     let mut p = problem.initial_p();
     let mut report = ConformanceReport::default();
 
     for k in 0..cfg.rounds {
+        // Membership churn applies at the round boundary, before any
+        // sampling draw; a failed edge re-projects the tracked p exactly
+        // like the run does.
+        if churn_on {
+            let rc = expect_churn_round(&mut cur, k, &mut mirror, churn_plan, seed)?;
+            if !rc.failed_edges.is_empty() {
+                mirror.reproject_weights(&mut p);
+            }
+        }
+
         // Phase 1 (a): weighted edge sample from the traced p^(k).
         let sampled = match cur.next(k, "Phase1EdgesSampled")? {
             Event::Phase1EdgesSampled { round, edges } if *round == k => edges.clone(),
@@ -780,11 +876,13 @@ pub fn check_hierminimax_trace(
         )?;
         let participants: Vec<usize> = p1_down.delivered.iter().map(|&i| active[i]).collect();
 
-        // τ2 blocks of local steps + aggregations.
+        // τ2 blocks of local steps + aggregations over each edge's
+        // current member list.
+        let prt_members = edge_members(problem, &mirror, churn_on, &participants);
         let (survivors, corrupted) = check_edge_blocks(
             &mut cur,
-            problem,
             &participants,
+            &prt_members,
             k,
             cfg.tau1,
             cfg.tau2,
@@ -828,7 +926,18 @@ pub fn check_hierminimax_trace(
             k as u64,
             u64::MAX,
         ));
-        let expect_u = sample_edges_uniform(n_edges, cfg.m_edges, &mut u_rng);
+        // Under churn the run samples indices into the up-edge list (with
+        // m clamped to its size) and maps them back to edge ids.
+        let expect_u = if churn_on {
+            let up = mirror.up_edges();
+            let m = cfg.m_edges.min(up.len());
+            sample_edges_uniform(up.len(), m, &mut u_rng)
+                .into_iter()
+                .map(|i| up[i])
+                .collect()
+        } else {
+            sample_edges_uniform(n_edges, cfg.m_edges, &mut u_rng)
+        };
         if u_set != expect_u {
             return Err(ConformanceError::SamplingMismatch {
                 round: k,
@@ -852,6 +961,17 @@ pub fn check_hierminimax_trace(
             &mut report,
         )?;
         let est = p2_down.delivered.len() as u64;
+        // Loss-estimation fan-out: each delivered estimate edge touches
+        // its current member count (`n0` each in the static layout).
+        let est_clients: u64 = if churn_on {
+            p2_down
+                .delivered
+                .iter()
+                .map(|&i| mirror.members_of(live[i]).len() as u64)
+                .sum()
+        } else {
+            est * n0
+        };
 
         // Weight update: dimension, finiteness, feasibility; the traced p
         // becomes the next round's sampling distribution.
@@ -865,12 +985,36 @@ pub fn check_hierminimax_trace(
                 detail: format!("weight vector malformed: {p_new:?}"),
             });
         }
-        let violation = problem.p_domain.feasibility_violation(&p_new);
-        if violation > FEASIBILITY_TOL {
-            return Err(ConformanceError::InfeasibleWeights {
-                round: k,
-                violation,
-            });
+        if churn_on && mirror.num_up() < n_edges {
+            // After an edge failure the run re-projects p onto the
+            // surviving simplex, which can leave the original domain `P`;
+            // check the surviving-simplex constraints instead: entries
+            // non-negative, zero on dead edges, summing to one.
+            let mut sum = 0.0_f64;
+            let mut violation = 0.0_f64;
+            for (e, &x) in p_new.iter().enumerate() {
+                let x = f64::from(x);
+                if !mirror.is_up(e) {
+                    violation = violation.max(x.abs());
+                }
+                violation = violation.max(-x);
+                sum += x;
+            }
+            violation = violation.max((sum - 1.0).abs());
+            if violation > FEASIBILITY_TOL {
+                return Err(ConformanceError::InfeasibleWeights {
+                    round: k,
+                    violation,
+                });
+            }
+        } else {
+            let violation = problem.p_domain.feasibility_violation(&p_new);
+            if violation > FEASIBILITY_TOL {
+                return Err(ConformanceError::InfeasibleWeights {
+                    round: k,
+                    violation,
+                });
+            }
         }
 
         // Adversarial rounds account their corrupted uploads immediately
@@ -907,8 +1051,9 @@ pub fn check_hierminimax_trace(
                 rounds: 1,
             },
         )?;
-        let mut ce_up_f = est * n0;
-        let mut ce_up_m = est * n0;
+        let prt_clients: u64 = prt_members.iter().map(|m| m.len() as u64).sum();
+        let mut ce_up_f = est_clients;
+        let mut ce_up_m = est_clients;
         for (t2, &s) in survivors.iter().enumerate() {
             ce_up_f += if t2 == c2 { 2 * wire } else { wire } * s;
             ce_up_m += s;
@@ -919,8 +1064,8 @@ pub fn check_hierminimax_trace(
             Link::ClientEdge,
             "ClientEdge",
             LinkCost {
-                down_floats: t2u * prt * n0 * du + du * est * n0,
-                down_msgs: t2u * prt * n0 + est * n0,
+                down_floats: t2u * prt_clients * du + du * est_clients,
+                down_msgs: t2u * prt_clients + est_clients,
                 up_floats: ce_up_f,
                 up_msgs: ce_up_m,
                 rounds: t2u + 1,
@@ -950,7 +1095,6 @@ pub fn check_hierfavg_trace(
     events: &[Event],
 ) -> Result<ConformanceReport, ConformanceError> {
     let n_edges = problem.num_edges();
-    let n0 = problem.clients_per_edge() as u64;
     let d = problem.num_params();
     let wire = cfg.quantizer.wire_floats(d);
     assert!(
@@ -958,17 +1102,36 @@ pub fn check_hierfavg_trace(
         "conformance replay does not model quarantine exclusion windows"
     );
     let plan = cfg.opts.fault.clone().with_dropout(cfg.dropout);
+    let churn_plan = &cfg.opts.churn;
+    let churn_on = !churn_plan.is_none();
+    let mut mirror = ActiveTopology::new(&problem.topology());
     let mut cur = Cursor::new(events);
     let mut report = ConformanceReport::default();
 
     for k in 0..cfg.rounds {
+        // Membership churn applies at the round boundary, before the
+        // Phase-1 draw (HierFAVG has no fairness weights to re-project).
+        if churn_on {
+            expect_churn_round(&mut cur, k, &mut mirror, churn_plan, seed)?;
+        }
         let sampled = match cur.next(k, "Phase1EdgesSampled")? {
             Event::Phase1EdgesSampled { round, edges } if *round == k => edges.clone(),
             other => return Err(unexpected(k, "Phase1EdgesSampled", other)),
         };
         let mut e_rng =
             StreamRng::for_key(StreamKey::new(seed, Purpose::EdgeSampling, k as u64, 0));
-        let expect = sample_edges_uniform(n_edges, cfg.m_edges, &mut e_rng);
+        // Under churn the run samples uniformly over the up-edge list
+        // (with m clamped to its size) and maps indices back to edge ids.
+        let expect = if churn_on {
+            let up = mirror.up_edges();
+            let m = cfg.m_edges.min(up.len());
+            sample_edges_uniform(up.len(), m, &mut e_rng)
+                .into_iter()
+                .map(|i| up[i])
+                .collect()
+        } else {
+            sample_edges_uniform(n_edges, cfg.m_edges, &mut e_rng)
+        };
         if sampled != expect {
             return Err(ConformanceError::SamplingMismatch {
                 round: k,
@@ -1003,10 +1166,11 @@ pub fn check_hierfavg_trace(
             &mut report,
         )?;
         let participants: Vec<usize> = p1_down.delivered.iter().map(|&i| active[i]).collect();
+        let prt_members = edge_members(problem, &mirror, churn_on, &participants);
         let (survivors, corrupted) = check_edge_blocks(
             &mut cur,
-            problem,
             &participants,
+            &prt_members,
             k,
             cfg.tau1,
             cfg.tau2,
@@ -1056,6 +1220,7 @@ pub fn check_hierfavg_trace(
                 rounds: 1,
             },
         )?;
+        let prt_clients: u64 = prt_members.iter().map(|m| m.len() as u64).sum();
         let ce_up_f: u64 = survivors.iter().map(|&s| wire * s).sum();
         let ce_up_m: u64 = survivors.iter().sum();
         check_link(
@@ -1064,8 +1229,8 @@ pub fn check_hierfavg_trace(
             Link::ClientEdge,
             "ClientEdge",
             LinkCost {
-                down_floats: t2u * prt * n0 * du,
-                down_msgs: t2u * prt * n0,
+                down_floats: t2u * prt_clients * du,
+                down_msgs: t2u * prt_clients,
                 up_floats: ce_up_f,
                 up_msgs: ce_up_m,
                 rounds: t2u,
@@ -1168,6 +1333,10 @@ pub fn check_multilevel_trace(
         plan.client_crash == 0.0 && plan.straggler_rate == 0.0,
         "check_multilevel_trace replays cloud-link faults only \
          (client_crash and straggler_rate must be zero)"
+    );
+    assert!(
+        cfg.opts.churn.is_none(),
+        "membership churn is a two-level feature (the multi-level run rejects it)"
     );
     let cloud: Vec<&Event> = events.iter().filter(|e| is_cloud_level(e)).collect();
     let mut cur = Cursor {
@@ -1830,5 +1999,178 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("EdgeCloud") && s.contains("12"), "{s}");
+    }
+
+    fn churn_opts(preset: &str) -> RunOpts {
+        RunOpts {
+            churn: ChurnPlan::preset(preset).unwrap(),
+            ..traced_opts()
+        }
+    }
+
+    /// A chaos-churn trace replays cleanly: the checker's topology mirror
+    /// re-derives every leave, join, edge failure and re-homing move from
+    /// the keyed churn stream, tracks roster-based participation, and the
+    /// membership-aware comm closed form matches the meter.
+    #[test]
+    fn churn_hierminimax_trace_passes() {
+        let fp = problem(4, 2, 4);
+        let cfg = HierMinimaxConfig {
+            rounds: 6,
+            opts: churn_opts("chaos-churn"),
+            ..Default::default()
+        };
+        let r = HierMinimax::new(cfg.clone()).run(&fp, 42);
+        assert!(r.churn.total() > 0, "chaos-churn over 6 rounds fires");
+        let report = check_hierminimax_trace(&fp, &cfg, 42, &r.trace.events()).unwrap();
+        assert_eq!(report.rounds, 6);
+        assert!(report.local_steps > 0);
+    }
+
+    #[test]
+    fn churn_hierfavg_trace_passes() {
+        let fp = problem(4, 2, 5);
+        let cfg = HierFavgConfig {
+            rounds: 6,
+            opts: churn_opts("mild"),
+            ..Default::default()
+        };
+        let r = HierFavg::new(cfg.clone()).run(&fp, 19);
+        let report = check_hierfavg_trace(&fp, &cfg, 19, &r.trace.events()).unwrap();
+        assert_eq!(report.rounds, 6);
+    }
+
+    /// Edge failover exercises the headline path: a failed edge's clients
+    /// re-home onto survivors, the fairness weights leave the dead
+    /// coordinate, and the replay still matches end to end.
+    #[test]
+    fn edge_failover_trace_passes_with_rehoming() {
+        let fp = problem(4, 2, 6);
+        let cfg = HierMinimaxConfig {
+            rounds: 10,
+            opts: churn_opts("edge-failover"),
+            ..Default::default()
+        };
+        let r = HierMinimax::new(cfg.clone()).run(&fp, 7);
+        assert!(r.churn.rehomed > 0, "15% failure rate over 10 rounds fires");
+        let report = check_hierminimax_trace(&fp, &cfg, 7, &r.trace.events()).unwrap();
+        assert_eq!(report.rounds, 10);
+    }
+
+    /// Churn composes with message-level faults: delivery replays run over
+    /// the roster-derived survivor sets and still match.
+    #[test]
+    fn churn_with_faults_trace_passes() {
+        let fp = problem(4, 2, 4);
+        let cfg = HierMinimaxConfig {
+            rounds: 5,
+            opts: RunOpts {
+                fault: FaultPlan {
+                    client_crash: 0.2,
+                    msg_loss: 0.25,
+                    max_retries: 1,
+                    ..FaultPlan::default()
+                },
+                ..churn_opts("chaos-churn")
+            },
+            ..Default::default()
+        };
+        let r = HierMinimax::new(cfg.clone()).run(&fp, 23);
+        let report = check_hierminimax_trace(&fp, &cfg, 23, &r.trace.events()).unwrap();
+        assert_eq!(report.rounds, 5);
+    }
+
+    /// A forged re-homing move (a transition the keyed churn stream never
+    /// drew) is rejected as a churn mismatch.
+    #[test]
+    fn forged_rehoming_move_is_rejected() {
+        let fp = problem(4, 2, 4);
+        let cfg = HierMinimaxConfig {
+            rounds: 3,
+            opts: churn_opts("chaos-churn"),
+            ..Default::default()
+        };
+        let r = HierMinimax::new(cfg.clone()).run(&fp, 42);
+        let mut events = r.trace.events();
+        let idx = events
+            .iter()
+            .position(|e| matches!(e, Event::ChurnRound { .. }))
+            .expect("active plan emits ChurnRound every round");
+        if let Event::ChurnRound { rehomed, .. } = &mut events[idx] {
+            rehomed.push((0, 1, 2));
+        }
+        let err = check_hierminimax_trace(&fp, &cfg, 42, &events).unwrap_err();
+        assert!(matches!(err, ConformanceError::ChurnMismatch { .. }), "{err}");
+    }
+
+    /// A forged leave is likewise rejected.
+    #[test]
+    fn forged_leave_is_rejected() {
+        let fp = problem(4, 2, 5);
+        let cfg = HierFavgConfig {
+            rounds: 3,
+            opts: churn_opts("mild"),
+            ..Default::default()
+        };
+        let r = HierFavg::new(cfg.clone()).run(&fp, 19);
+        let mut events = r.trace.events();
+        let idx = events
+            .iter()
+            .position(|e| matches!(e, Event::ChurnRound { .. }))
+            .unwrap();
+        if let Event::ChurnRound { left, .. } = &mut events[idx] {
+            left.push(0);
+        }
+        let err = check_hierfavg_trace(&fp, &cfg, 19, &events).unwrap_err();
+        assert!(matches!(err, ConformanceError::ChurnMismatch { .. }), "{err}");
+    }
+
+    /// Dropping a ChurnRound desynchronizes the replay immediately.
+    #[test]
+    fn missing_churn_round_is_rejected() {
+        let fp = problem(4, 2, 4);
+        let cfg = HierMinimaxConfig {
+            rounds: 3,
+            opts: churn_opts("chaos-churn"),
+            ..Default::default()
+        };
+        let r = HierMinimax::new(cfg.clone()).run(&fp, 42);
+        let mut events = r.trace.events();
+        let idx = events
+            .iter()
+            .position(|e| matches!(e, Event::ChurnRound { .. }))
+            .unwrap();
+        events.remove(idx);
+        let err = check_hierminimax_trace(&fp, &cfg, 42, &events).unwrap_err();
+        assert!(matches!(err, ConformanceError::ChurnMismatch { .. }), "{err}");
+    }
+
+    /// A ChurnRound in a churnless trace is an unexpected event — runs
+    /// without an active plan must not claim membership transitions.
+    #[test]
+    fn churn_event_in_churnless_trace_is_rejected() {
+        let fp = problem(3, 2, 1);
+        let cfg = HierMinimaxConfig {
+            rounds: 2,
+            opts: traced_opts(),
+            ..Default::default()
+        };
+        let r = HierMinimax::new(cfg.clone()).run(&fp, 5);
+        let mut events = r.trace.events();
+        events.insert(
+            0,
+            Event::ChurnRound {
+                round: 0,
+                left: vec![],
+                failed_edges: vec![],
+                rehomed: vec![],
+                joined: vec![],
+            },
+        );
+        let err = check_hierminimax_trace(&fp, &cfg, 5, &events).unwrap_err();
+        assert!(
+            matches!(err, ConformanceError::UnexpectedEvent { .. }),
+            "{err}"
+        );
     }
 }

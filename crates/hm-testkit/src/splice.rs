@@ -14,12 +14,16 @@ use hm_simnet::trace::Event;
 
 /// Index of the first event belonging to `round` in a hierarchical
 /// (HierMinimax / HierFAVG / multi-level cloud) trace — each round opens
-/// with its `Phase1EdgesSampled` draw. Returns `events.len()` when the
-/// trace ends before `round`.
+/// with its `Phase1EdgesSampled` draw, or with the `ChurnRound`
+/// membership record when the run has an active churn plan. Returns
+/// `events.len()` when the trace ends before `round`.
 pub fn round_start_index(events: &[Event], round: usize) -> usize {
     events
         .iter()
-        .position(|e| matches!(e, Event::Phase1EdgesSampled { round: r, .. } if *r == round))
+        .position(|e| {
+            matches!(e, Event::Phase1EdgesSampled { round: r, .. } if *r == round)
+                || matches!(e, Event::ChurnRound { round: r, .. } if *r == round)
+        })
         .unwrap_or(events.len())
 }
 

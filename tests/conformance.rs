@@ -496,3 +496,64 @@ fn resumed_regression_corpus_conforms() {
             .unwrap_or_else(|e| panic!("{spec:?} kill {kill_round}: {e}"));
     }
 }
+
+// ---- Churn splices (DESIGN.md §15). --------------------------------------
+//
+// The `churn` snapshot section restores the active topology, rosters and
+// joiner provenance, so a killed-and-resumed churn run splices into the
+// uninterrupted trace and the membership-aware automaton replays it — the
+// end-to-end proof that every transition (and the re-homed participation
+// and comm accounting that follow it) survives the resume boundary.
+
+#[test]
+fn spliced_churn_trace_conforms_and_matches_uninterrupted() {
+    use hierminimax::core::algorithms::HierMinimaxConfig;
+    use hierminimax::core::problem::FederatedProblem;
+    use hierminimax::data::scenarios::tiny_problem;
+    use hierminimax::simnet::ChurnPlan;
+
+    let fp = FederatedProblem::logistic_from_scenario(&tiny_problem(4, 2, 23));
+    let rounds = 6;
+    let cfg = HierMinimaxConfig {
+        rounds,
+        tau1: 2,
+        tau2: 2,
+        m_edges: 2,
+        batch_size: 2,
+        loss_batch: 4,
+        opts: hierminimax::core::algorithms::RunOpts {
+            trace: true,
+            churn: ChurnPlan::preset("chaos-churn").unwrap(),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let seed = 42;
+    let full_run = HierMinimax::new(cfg.clone()).run(&fp, seed);
+    assert!(full_run.churn.rehomed > 0, "chaos-churn must re-home here");
+    let full = full_run.trace.events();
+    check_hierminimax_trace(&fp, &cfg, seed, &full).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("hm-churn-splice-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut ck_cfg = cfg.clone();
+    ck_cfg.opts.checkpoint = CheckpointOpts::writing(&dir, 1);
+    let prefix = HierMinimax::new(ck_cfg).run(&fp, seed).trace.events();
+
+    for kill_round in 1..rounds {
+        let snap = read_snapshot(&snapshot_path(&dir, "HierMinimax", kill_round))
+            .unwrap_or_else(|e| panic!("reading round-{kill_round} snapshot: {e}"));
+        let mut rs_cfg = cfg.clone();
+        rs_cfg.opts.checkpoint = CheckpointOpts::resuming(Arc::new(snap));
+        let suffix = HierMinimax::new(rs_cfg).run(&fp, seed).trace.events();
+        let spliced = splice_traces(&prefix, &suffix, kill_round);
+        assert_eq!(
+            spliced, full,
+            "churn splice at round {kill_round} diverges from the uninterrupted trace"
+        );
+        let report = check_hierminimax_trace(&fp, &cfg, seed, &spliced)
+            .unwrap_or_else(|e| panic!("churn splice at round {kill_round}: {e}"));
+        assert_eq!(report.rounds, rounds);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
